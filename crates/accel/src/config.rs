@@ -1,0 +1,202 @@
+//! The Table II accelerator configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::systolic::SystolicConfig;
+
+/// Which host accelerator family a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// REACT (Upadhyay et al., DAC 2022) — reconfigurable wearable-class
+    /// accelerator with software-configurable NoCs.
+    React,
+    /// TPU-v3-like tensor core (2 MXUs per core × 2 cores).
+    TpuV3,
+    /// TPU-v4-like tensor core (4 MXUs per core × 2 cores).
+    TpuV4,
+    /// Jetson Xavier NX SoC with NVDLA cores (modeled via ESP in the
+    /// paper).
+    JetsonNx,
+}
+
+/// One Table II row plus the attachment parameters Fig 5 implies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Display name (Table II row label).
+    pub name: &'static str,
+    /// Host family.
+    pub kind: AcceleratorKind,
+    /// NOVA routers overlaid ("Num of NOVA routers").
+    pub nova_routers: usize,
+    /// Output neurons per NOVA router ("Num of neurons per NOVA router").
+    pub neurons_per_router: usize,
+    /// On-chip memory (kB).
+    pub onchip_memory_kb: usize,
+    /// Operating frequency at 0.8 V (MHz).
+    pub frequency_mhz: f64,
+    /// Physical spacing between adjacent NOVA routers (mm) — sets wire
+    /// cost and SMART reach. MXUs are large (≈1 mm pitch); NVDLA cores
+    /// are small.
+    pub router_pitch_mm: f64,
+    /// Fraction of cycles the approximator datapath is active while the
+    /// accelerator runs attention layers (drives dynamic power).
+    pub datapath_activity: f64,
+    /// Host die area (mm²) where the paper reports overhead percentages
+    /// (`None` when the paper doesn't).
+    pub die_area_mm2: Option<f64>,
+    /// The systolic-equivalent compute fabric used for runtime modeling.
+    pub systolic: SystolicConfig,
+    /// Default evaluation sequence length (paper: 1024, but 128 for the
+    /// edge-targeted REACT).
+    pub default_seq_len: usize,
+}
+
+impl AcceleratorConfig {
+    /// REACT: 10 routers × 256 neurons, 768 kB, 240 MHz (Table II).
+    ///
+    /// Die area back-solved from §V.C: NOVA's 1.817 mm² is a 9.11%
+    /// overhead, so the REACT die is ≈ 19.9 mm².
+    #[must_use]
+    pub fn react() -> Self {
+        Self {
+            name: "REACT",
+            kind: AcceleratorKind::React,
+            nova_routers: 10,
+            neurons_per_router: 256,
+            onchip_memory_kb: 768,
+            frequency_mhz: 240.0,
+            router_pitch_mm: 1.0,
+            datapath_activity: 1.0,
+            die_area_mm2: Some(19.9),
+            systolic: SystolicConfig { rows: 16, cols: 16, arrays: 10 },
+            default_seq_len: 128,
+        }
+    }
+
+    /// TPU-v3-like: 4 MXUs of 128×128, 42 MB, 1.4 GHz (Table II).
+    #[must_use]
+    pub fn tpu_v3_like() -> Self {
+        Self {
+            name: "TPU v3-like",
+            kind: AcceleratorKind::TpuV3,
+            nova_routers: 4,
+            neurons_per_router: 128,
+            onchip_memory_kb: 42 * 1024,
+            frequency_mhz: 1400.0,
+            router_pitch_mm: 1.0,
+            datapath_activity: 1.0,
+            die_area_mm2: None,
+            systolic: SystolicConfig { rows: 128, cols: 128, arrays: 4 },
+            default_seq_len: 1024,
+        }
+    }
+
+    /// TPU-v4-like: 8 MXUs of 128×128, 42 MB, 1.4 GHz (Table II).
+    #[must_use]
+    pub fn tpu_v4_like() -> Self {
+        Self {
+            name: "TPU v4-like",
+            kind: AcceleratorKind::TpuV4,
+            nova_routers: 8,
+            neurons_per_router: 128,
+            onchip_memory_kb: 42 * 1024,
+            frequency_mhz: 1400.0,
+            router_pitch_mm: 1.0,
+            datapath_activity: 1.0,
+            die_area_mm2: None,
+            systolic: SystolicConfig { rows: 128, cols: 128, arrays: 8 },
+            default_seq_len: 1024,
+        }
+    }
+
+    /// Jetson Xavier NX: 2 NVDLA cores, 16 output neurons each, 256 kB
+    /// (Table II). NVDLA's convolution core is 64 MACs wide × 16 deep
+    /// (atomic-C × atomic-K). The SDP duty cycle on CNN-dominated NVDLA
+    /// workloads is low, hence the small activity factor.
+    #[must_use]
+    pub fn jetson_xavier_nx() -> Self {
+        Self {
+            name: "Jetson Xavier NX",
+            kind: AcceleratorKind::JetsonNx,
+            nova_routers: 2,
+            neurons_per_router: 16,
+            onchip_memory_kb: 256,
+            frequency_mhz: 1400.0,
+            router_pitch_mm: 0.3,
+            datapath_activity: 0.1,
+            die_area_mm2: None,
+            systolic: SystolicConfig { rows: 64, cols: 16, arrays: 2 },
+            default_seq_len: 1024,
+        }
+    }
+
+    /// All Table II rows, in the paper's order.
+    #[must_use]
+    pub fn table2() -> Vec<AcceleratorConfig> {
+        vec![
+            Self::react(),
+            Self::tpu_v3_like(),
+            Self::tpu_v4_like(),
+            Self::jetson_xavier_nx(),
+        ]
+    }
+
+    /// Total output neurons across the NOVA overlay.
+    #[must_use]
+    pub fn total_neurons(&self) -> usize {
+        self.nova_routers * self.neurons_per_router
+    }
+
+    /// Core clock in GHz.
+    #[must_use]
+    pub fn frequency_ghz(&self) -> f64 {
+        self.frequency_mhz / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = AcceleratorConfig::table2();
+        assert_eq!(rows.len(), 4);
+        let react = &rows[0];
+        assert_eq!((react.nova_routers, react.neurons_per_router), (10, 256));
+        assert_eq!(react.onchip_memory_kb, 768);
+        assert_eq!(react.frequency_mhz, 240.0);
+        let v3 = &rows[1];
+        assert_eq!((v3.nova_routers, v3.neurons_per_router), (4, 128));
+        assert_eq!(v3.onchip_memory_kb, 42 * 1024);
+        let v4 = &rows[2];
+        assert_eq!((v4.nova_routers, v4.neurons_per_router), (8, 128));
+        let nx = &rows[3];
+        assert_eq!((nx.nova_routers, nx.neurons_per_router), (2, 16));
+        assert_eq!(nx.onchip_memory_kb, 256);
+    }
+
+    #[test]
+    fn all_configs_fit_single_cycle_broadcast() {
+        // Every Table II config keeps ≤ 10 routers (§V.A scalability).
+        for cfg in AcceleratorConfig::table2() {
+            assert!(cfg.nova_routers <= 10, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn react_targets_the_edge() {
+        let react = AcceleratorConfig::react();
+        assert_eq!(react.default_seq_len, 128);
+        for other in &AcceleratorConfig::table2()[1..] {
+            assert_eq!(other.default_seq_len, 1024);
+        }
+    }
+
+    #[test]
+    fn totals() {
+        assert_eq!(AcceleratorConfig::react().total_neurons(), 2560);
+        assert_eq!(AcceleratorConfig::tpu_v4_like().total_neurons(), 1024);
+        assert_eq!(AcceleratorConfig::jetson_xavier_nx().total_neurons(), 32);
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig 5 integration adapters: how the NOVA NoC attaches to each host.
+//!
+//! The paper wires NOVA into three very different hosts:
+//!
+//! - **REACT** (Fig 5a): the Weighted-Sum NoC router grows to a 6×2 input
+//!   crossbar; one output bypasses NOVA, the other feeds the comparators.
+//! - **TPU MXU** (Fig 5b): MXU column outputs feed the comparators; the
+//!   NOVA routers sit along the MXU edge.
+//! - **NVDLA** (Fig 5c): each convolution core's 16 output neurons feed
+//!   one NOVA router, replacing trips through the SDP.
+//!
+//! The adapter captures what those diagrams imply for the simulator: the
+//! line geometry, the extra crossbar/mux hardware the host pays, and the
+//! label of the path that was replaced.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AcceleratorConfig, AcceleratorKind};
+
+/// The extra host-side plumbing an attachment needs (mux/crossbar ports
+/// added to existing routers or output buses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attachment {
+    /// Host name.
+    pub host: &'static str,
+    /// Line geometry: routers on the NOVA line.
+    pub routers: usize,
+    /// Neurons per router.
+    pub neurons_per_router: usize,
+    /// Router pitch (mm) for wire cost and SMART reach.
+    pub pitch_mm: f64,
+    /// Crossbar ports added per host router/core (Fig 5a's 6×2 and 2×6
+    /// crossbars for REACT; simple output taps elsewhere).
+    pub added_crossbar_ports: usize,
+    /// Which host unit the NOVA path replaces for non-linear ops.
+    pub replaces: &'static str,
+}
+
+/// Builds the Fig 5 attachment for a Table II config.
+#[must_use]
+pub fn attachment(config: &AcceleratorConfig) -> Attachment {
+    let (added_crossbar_ports, replaces) = match config.kind {
+        // 6×2 input + 2×6 output crossbars on each WS router.
+        AcceleratorKind::React => (16, "WS-NoC vector path"),
+        // Output tap on each MXU column bus.
+        AcceleratorKind::TpuV3 | AcceleratorKind::TpuV4 => (2, "LUT-based vector unit"),
+        // Conv-core output tap, bypassing the SDP.
+        AcceleratorKind::JetsonNx => (2, "SDP (Single Data Processor)"),
+    };
+    Attachment {
+        host: config.name,
+        routers: config.nova_routers,
+        neurons_per_router: config.neurons_per_router,
+        pitch_mm: config.router_pitch_mm,
+        added_crossbar_ports,
+        replaces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn react_gets_crossbars() {
+        let a = attachment(&AcceleratorConfig::react());
+        assert_eq!(a.added_crossbar_ports, 16);
+        assert_eq!(a.routers, 10);
+        assert!(a.replaces.contains("WS"));
+    }
+
+    #[test]
+    fn nvdla_replaces_sdp() {
+        let a = attachment(&AcceleratorConfig::jetson_xavier_nx());
+        assert!(a.replaces.contains("SDP"));
+        assert_eq!(a.neurons_per_router, 16);
+    }
+
+    #[test]
+    fn attachment_mirrors_config_geometry() {
+        for cfg in AcceleratorConfig::table2() {
+            let a = attachment(&cfg);
+            assert_eq!(a.routers, cfg.nova_routers);
+            assert_eq!(a.neurons_per_router, cfg.neurons_per_router);
+            assert_eq!(a.pitch_mm, cfg.router_pitch_mm);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Accelerator substrate: the third-party accelerators NOVA overlays onto.
+//!
+//! The paper integrates NOVA with four hosts (Table II, Fig 5): REACT (a
+//! coarse-grained wearable-class accelerator with software-configurable
+//! NoCs), TPU-v3/v4-like systolic tensor cores, and the NVDLA cores of a
+//! Jetson Xavier NX. This crate provides:
+//!
+//! - [`config`]: the Table II configurations as data,
+//! - [`systolic`]: a SCALE-Sim-style runtime model — analytic cycle
+//!   formulas for output/weight/input-stationary dataflows, *validated
+//!   against a cycle-accurate systolic-array simulator* built on the
+//!   `nova-fixed` MAC,
+//! - [`integrate`]: the Fig 5 attachment descriptions (how many NOVA
+//!   routers, how many neurons each serves, router pitch),
+//! - [`runtime`]: per-inference matmul cycle counts for a workload census.
+//!
+//! # Example
+//!
+//! ```
+//! use nova_accel::config::AcceleratorConfig;
+//! use nova_accel::systolic::{analytic_cycles, Dataflow, SystolicConfig};
+//! use nova_workloads::bert::MatmulDims;
+//!
+//! let tpu = AcceleratorConfig::tpu_v4_like();
+//! let dims = MatmulDims { m: 256, k: 128, n: 512 };
+//! let cycles = analytic_cycles(&tpu.systolic, dims, Dataflow::OutputStationary);
+//! assert!(cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod integrate;
+pub mod nvdla;
+pub mod react;
+pub mod runtime;
+pub mod systolic;
+
+pub use config::AcceleratorConfig;

@@ -1,0 +1,221 @@
+//! A functional model of the NVDLA convolution core — the Fig 5(c) host.
+//!
+//! NVDLA's convolution engine is organized around *atomic* operations: an
+//! atomic-C (64-wide input-channel dot product) times atomic-K (16
+//! parallel output channels) MAC cube that consumes one input-feature
+//! vector per cycle. The Jetson Xavier NX integration connects each
+//! core's 16 output neurons (atomic-K lanes) to one NOVA router, which
+//! replaces trips through the SDP for activation functions.
+//!
+//! The model computes direct convolutions bit-accurately on the fixed
+//! datapath and counts cycles with the atomic-operation schedule, so the
+//! Jetson rows of the evaluation rest on a real substrate rather than an
+//! im2col abstraction.
+
+use nova_fixed::{Fixed, Mac, QFormat, Rounding};
+
+/// NVDLA convolution-core geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvdlaCoreConfig {
+    /// Input channels consumed per atomic op (NVDLA full: 64).
+    pub atomic_c: usize,
+    /// Output channels produced in parallel (NVDLA full: 16).
+    pub atomic_k: usize,
+}
+
+impl NvdlaCoreConfig {
+    /// The Jetson Xavier NX configuration (full NVDLA: 64×16).
+    #[must_use]
+    pub fn jetson() -> Self {
+        Self { atomic_c: 64, atomic_k: 16 }
+    }
+}
+
+/// A convolution problem: `out_c` filters of `k×k×in_c` over an
+/// `h×w×in_c` input, stride 1, valid padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel size.
+    pub k: usize,
+}
+
+impl ConvShape {
+    /// Output height (valid padding, stride 1).
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        self.h - self.k + 1
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        self.w - self.k + 1
+    }
+
+    /// Multiply-accumulates in the convolution.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.out_h() * self.out_w() * self.out_c * self.k * self.k * self.in_c) as u64
+    }
+}
+
+/// Result of a convolution run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvResult {
+    /// Output feature map, `[out_h][out_w][out_c]` flattened row-major.
+    pub output: Vec<Fixed>,
+    /// Cycles under the atomic-op schedule.
+    pub cycles: u64,
+}
+
+/// Executes a convolution on the atomic MAC cube.
+///
+/// Layouts: `input[y][x][c]` and `weights[o][ky][kx][c]`, both flattened
+/// row-major. Arithmetic is the hardware path: wide accumulator per
+/// output, one rounding at writeback.
+///
+/// Cycle model: every output position needs
+/// `k·k·⌈in_c/atomic_c⌉` atomic ops; `atomic_k` output channels share
+/// them, so positions cost `k·k·⌈in_c/atomic_c⌉·⌈out_c/atomic_k⌉` cycles
+/// each (one atomic op per cycle).
+///
+/// # Panics
+///
+/// Panics on shape/format mismatches (wiring bugs).
+#[must_use]
+pub fn convolve(
+    config: NvdlaCoreConfig,
+    shape: ConvShape,
+    input: &[Fixed],
+    weights: &[Fixed],
+    format: QFormat,
+    rounding: Rounding,
+) -> ConvResult {
+    assert_eq!(input.len(), shape.h * shape.w * shape.in_c, "input size");
+    assert_eq!(
+        weights.len(),
+        shape.out_c * shape.k * shape.k * shape.in_c,
+        "weight size"
+    );
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut output = Vec::with_capacity(oh * ow * shape.out_c);
+    let idx_in = |y: usize, x: usize, c: usize| (y * shape.w + x) * shape.in_c + c;
+    let idx_w = |o: usize, ky: usize, kx: usize, c: usize| {
+        ((o * shape.k + ky) * shape.k + kx) * shape.in_c + c
+    };
+    for y in 0..oh {
+        for x in 0..ow {
+            for o in 0..shape.out_c {
+                let mut mac = Mac::new(format);
+                for ky in 0..shape.k {
+                    for kx in 0..shape.k {
+                        for c in 0..shape.in_c {
+                            mac.accumulate(
+                                weights[idx_w(o, ky, kx, c)],
+                                input[idx_in(y + ky, x + kx, c)],
+                            )
+                            .expect("uniform formats");
+                        }
+                    }
+                }
+                output.push(mac.read(rounding));
+            }
+        }
+    }
+    let atomics_per_position = (shape.k * shape.k) as u64
+        * shape.in_c.div_ceil(config.atomic_c) as u64
+        * shape.out_c.div_ceil(config.atomic_k) as u64;
+    let cycles = (oh * ow) as u64 * atomics_per_position;
+    ConvResult { output, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_fixed::Q4_12;
+
+    fn fx(v: f64) -> Fixed {
+        Fixed::from_f64(v, Q4_12, Rounding::NearestEven)
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1×1 kernel, weight 1.0, one channel: output == input.
+        let shape = ConvShape { h: 3, w: 3, in_c: 1, out_c: 1, k: 1 };
+        let input: Vec<Fixed> = (0..9).map(|i| fx(i as f64 * 0.25)).collect();
+        let r = convolve(
+            NvdlaCoreConfig::jetson(),
+            shape,
+            &input,
+            &[fx(1.0)],
+            Q4_12,
+            Rounding::NearestEven,
+        );
+        assert_eq!(r.output, input);
+    }
+
+    #[test]
+    fn conv_matches_reference() {
+        // 2×2 kernel over 3×3 single-channel input, all weights 1.0:
+        // each output is the window sum.
+        let shape = ConvShape { h: 3, w: 3, in_c: 1, out_c: 1, k: 2 };
+        let input: Vec<Fixed> = (0..9).map(|i| fx(i as f64 * 0.1)).collect();
+        let weights = vec![fx(1.0); 4];
+        let r = convolve(
+            NvdlaCoreConfig::jetson(),
+            shape,
+            &input,
+            &weights,
+            Q4_12,
+            Rounding::NearestEven,
+        );
+        // Window at (0,0): inputs 0,1,3,4 → (0.0+0.1+0.3+0.4)=0.8.
+        assert!((r.output[0].to_f64() - 0.8).abs() < 4.0 * Q4_12.resolution());
+        assert_eq!(r.output.len(), 4);
+    }
+
+    #[test]
+    fn cycle_model_counts_atomics() {
+        // 16 in-channels (< atomic-C 64 → 1 atomic), 32 out-channels
+        // (2 × atomic-K 16), 3×3 kernel, 8×8 output.
+        let shape = ConvShape { h: 10, w: 10, in_c: 16, out_c: 32, k: 3 };
+        let cfg = NvdlaCoreConfig::jetson();
+        let input = vec![fx(0.0); 10 * 10 * 16];
+        let weights = vec![fx(0.0); 32 * 3 * 3 * 16];
+        let r = convolve(cfg, shape, &input, &weights, Q4_12, Rounding::NearestEven);
+        assert_eq!(r.cycles, (64 * 9) * 2);
+    }
+
+    #[test]
+    fn deeper_channels_cost_more_atomics() {
+        let cfg = NvdlaCoreConfig::jetson();
+        let mk = |in_c: usize| {
+            let shape = ConvShape { h: 4, w: 4, in_c, out_c: 16, k: 1 };
+            convolve(
+                cfg,
+                shape,
+                &vec![fx(0.0); 16 * in_c],
+                &vec![fx(0.0); 16 * in_c],
+                Q4_12,
+                Rounding::NearestEven,
+            )
+            .cycles
+        };
+        assert_eq!(mk(128), 2 * mk(64));
+    }
+
+    #[test]
+    fn macs_accounting() {
+        let shape = ConvShape { h: 5, w: 5, in_c: 2, out_c: 3, k: 3 };
+        // out 3×3, 3 filters, 3×3 kernel, 2 channels.
+        assert_eq!(shape.macs(), 3 * 3 * 3 * 9 * 2);
+    }
+}

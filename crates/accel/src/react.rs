@@ -1,0 +1,178 @@
+//! A functional model of REACT's Weighted-Sum (WS) NoC — the host fabric
+//! NOVA integrates with in Fig 5(a).
+//!
+//! REACT (Upadhyay et al., DAC 2022) computes neuron outputs by in-network
+//! reduction: each PE multiplies its input activation by its weight and a
+//! line of WS routers accumulates the partial sums as the packet snakes
+//! through, so the finished weighted sum pops out of the last router —
+//! no shared accumulator tree. NOVA then taps that output through the
+//! widened 6×2 router crossbar, feeds the comparators, and returns the
+//! approximated activation through the 2×6 output crossbar.
+//!
+//! This module models one REACT core: a line of `pes` PEs computing a
+//! dot-product per output neuron, pipelined one partial-sum hop per cycle,
+//! with exact fixed-point arithmetic (wide accumulator, one output
+//! rounding) so results can be checked bit-for-bit against a reference.
+
+use nova_fixed::{Fixed, Mac, QFormat, Rounding};
+
+/// One REACT core: `pes` processing elements on a WS line.
+///
+/// Weights are loaded per output neuron (weight-stationary across the
+/// input vector); an input vector of `pes` activations produces one
+/// weighted sum per neuron.
+#[derive(Debug, Clone)]
+pub struct ReactCore {
+    format: QFormat,
+    rounding: Rounding,
+    /// `weights[n][p]`: weight of PE `p` for output neuron `n`.
+    weights: Vec<Vec<Fixed>>,
+    /// Cycle and traffic counters.
+    stats: WsStats,
+}
+
+/// Activity counters of the WS fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WsStats {
+    /// Weighted sums produced.
+    pub sums: u64,
+    /// MAC operations across all PEs.
+    pub mac_ops: u64,
+    /// Partial-sum hops on the WS line.
+    pub hops: u64,
+    /// Total cycles (pipelined: fill + one result per cycle).
+    pub cycles: u64,
+}
+
+impl ReactCore {
+    /// Builds a core with the given per-neuron weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrix is empty or ragged, or if any weight's
+    /// format disagrees with the first.
+    #[must_use]
+    pub fn new(weights: Vec<Vec<Fixed>>, rounding: Rounding) -> Self {
+        assert!(!weights.is_empty(), "need at least one output neuron");
+        let pes = weights[0].len();
+        assert!(pes > 0, "need at least one PE");
+        let format = weights[0][0].format();
+        for row in &weights {
+            assert_eq!(row.len(), pes, "weight matrix must be rectangular");
+            assert!(
+                row.iter().all(|w| w.format() == format),
+                "all weights share one format"
+            );
+        }
+        Self { format, rounding, weights, stats: WsStats::default() }
+    }
+
+    /// PEs on the WS line.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Output neurons this core computes.
+    #[must_use]
+    pub fn neurons(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The word format of the datapath.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> WsStats {
+        self.stats
+    }
+
+    /// Computes all neurons' weighted sums for one input vector through
+    /// the WS line (in-network reduction, wide accumulator, single output
+    /// rounding per neuron).
+    ///
+    /// Cycle model: the line is pipelined — after `pes` fill cycles the
+    /// first sum emerges, then one sum per cycle (`pes + neurons - 1`
+    /// total).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.pes()` or on a format mismatch —
+    /// wiring bugs in the caller, not data conditions.
+    pub fn weighted_sums(&mut self, inputs: &[Fixed]) -> Vec<Fixed> {
+        assert_eq!(inputs.len(), self.pes(), "one activation per PE");
+        assert!(
+            inputs.iter().all(|x| x.format() == self.format),
+            "input format must match the core"
+        );
+        let mut out = Vec::with_capacity(self.neurons());
+        for row in &self.weights {
+            // In-network reduction: each WS router adds its PE's product
+            // into the passing accumulator (modeled by a wide MAC).
+            let mut mac = Mac::new(self.format);
+            for (&w, &x) in row.iter().zip(inputs) {
+                mac.accumulate(w, x).expect("formats verified in constructor");
+            }
+            out.push(mac.read(self.rounding));
+            self.stats.mac_ops += self.pes() as u64;
+            self.stats.hops += self.pes() as u64 - 1;
+        }
+        self.stats.sums += self.neurons() as u64;
+        self.stats.cycles += (self.pes() + self.neurons() - 1) as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_fixed::Q4_12;
+
+    fn w(v: f64) -> Fixed {
+        Fixed::from_f64(v, Q4_12, Rounding::NearestEven)
+    }
+
+    #[test]
+    fn weighted_sum_matches_reference() {
+        let weights = vec![
+            vec![w(0.5), w(-0.25), w(1.0)],
+            vec![w(0.1), w(0.2), w(0.3)],
+        ];
+        let mut core = ReactCore::new(weights, Rounding::NearestEven);
+        let inputs = [w(2.0), w(4.0), w(-1.0)];
+        let sums = core.weighted_sums(&inputs);
+        let expect0 = 0.5 * 2.0 + (-0.25) * 4.0 + -1.0;
+        let expect1 = 0.1 * 2.0 + 0.2 * 4.0 + -0.3;
+        assert!((sums[0].to_f64() - expect0).abs() < 3.0 * Q4_12.resolution());
+        assert!((sums[1].to_f64() - expect1).abs() < 3.0 * Q4_12.resolution());
+    }
+
+    #[test]
+    fn pipelined_cycle_model() {
+        let weights = vec![vec![w(1.0); 8]; 4]; // 8 PEs, 4 neurons
+        let mut core = ReactCore::new(weights, Rounding::NearestEven);
+        core.weighted_sums(&[w(0.5); 8]);
+        let s = core.stats();
+        assert_eq!(s.cycles, 8 + 4 - 1);
+        assert_eq!(s.mac_ops, 32);
+        assert_eq!(s.hops, 4 * 7);
+        assert_eq!(s.sums, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_weights_rejected() {
+        let _ = ReactCore::new(vec![vec![w(1.0)], vec![w(1.0), w(2.0)]], Rounding::NearestEven);
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation per PE")]
+    fn wrong_input_length_panics() {
+        let mut core = ReactCore::new(vec![vec![w(1.0); 3]], Rounding::NearestEven);
+        let _ = core.weighted_sums(&[w(1.0); 2]);
+    }
+}

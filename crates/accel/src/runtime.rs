@@ -1,0 +1,99 @@
+//! Per-inference runtime: the matmul side of the evaluation.
+//!
+//! Combines a workload census (`nova-workloads`) with a systolic fabric
+//! (`systolic`) to produce the cycle counts the Fig 8 energy evaluation
+//! multiplies with the power models.
+
+use serde::{Deserialize, Serialize};
+
+use nova_workloads::bert::OpCensus;
+
+use crate::config::AcceleratorConfig;
+use crate::systolic::{analytic_cycles, Dataflow};
+
+/// Matmul runtime of one inference on one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatmulRuntime {
+    /// Total compute cycles across all matmuls (arrays already
+    /// parallelized).
+    pub cycles: u64,
+    /// Total multiply-accumulate operations.
+    pub macs: u64,
+    /// Wall-clock seconds at the accelerator's core clock.
+    pub seconds: f64,
+}
+
+/// Computes the matmul runtime of `census` on `config` with `dataflow`.
+///
+/// # Panics
+///
+/// Panics on degenerate configs (zero arrays) — configuration bugs, not
+/// data conditions.
+#[must_use]
+pub fn matmul_runtime(
+    config: &AcceleratorConfig,
+    census: &OpCensus,
+    dataflow: Dataflow,
+) -> MatmulRuntime {
+    let cycles: u64 = census
+        .matmuls
+        .iter()
+        .map(|&d| analytic_cycles(&config.systolic, d, dataflow))
+        .sum();
+    let macs = census.total_matmul_macs();
+    let seconds = cycles as f64 / (config.frequency_mhz * 1e6);
+    MatmulRuntime { cycles, macs, seconds }
+}
+
+/// Utilization: achieved MACs/cycle over the fabric's peak.
+#[must_use]
+pub fn utilization(config: &AcceleratorConfig, runtime: &MatmulRuntime) -> f64 {
+    let peak = (config.systolic.pes_per_array() * config.systolic.arrays) as f64;
+    if runtime.cycles == 0 {
+        return 0.0;
+    }
+    (runtime.macs as f64 / runtime.cycles as f64) / peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_workloads::bert::{census, BertConfig};
+
+    #[test]
+    fn runtime_positive_and_scales_with_model() {
+        let tpu = AcceleratorConfig::tpu_v4_like();
+        let tiny = matmul_runtime(&tpu, &census(&BertConfig::bert_tiny(), 128), Dataflow::OutputStationary);
+        let roberta =
+            matmul_runtime(&tpu, &census(&BertConfig::roberta_base(), 128), Dataflow::OutputStationary);
+        assert!(tiny.cycles > 0);
+        assert!(roberta.cycles > 10 * tiny.cycles);
+        assert!(roberta.seconds > tiny.seconds);
+    }
+
+    #[test]
+    fn v4_faster_than_v3() {
+        let ops = census(&BertConfig::bert_mini(), 1024);
+        let v3 = matmul_runtime(&AcceleratorConfig::tpu_v3_like(), &ops, Dataflow::OutputStationary);
+        let v4 = matmul_runtime(&AcceleratorConfig::tpu_v4_like(), &ops, Dataflow::OutputStationary);
+        assert!(v4.cycles < v3.cycles);
+        assert_eq!(v3.macs, v4.macs);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let tpu = AcceleratorConfig::tpu_v3_like();
+        let ops = census(&BertConfig::roberta_base(), 1024);
+        let rt = matmul_runtime(&tpu, &ops, Dataflow::OutputStationary);
+        let u = utilization(&tpu, &rt);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn react_slow_clock_long_seconds() {
+        let ops = census(&BertConfig::bert_tiny(), 128);
+        let react = matmul_runtime(&AcceleratorConfig::react(), &ops, Dataflow::OutputStationary);
+        let tpu = matmul_runtime(&AcceleratorConfig::tpu_v3_like(), &ops, Dataflow::OutputStationary);
+        assert!(react.seconds > tpu.seconds);
+    }
+}

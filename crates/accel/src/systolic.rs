@@ -1,0 +1,320 @@
+//! SCALE-Sim-style systolic array runtime model.
+//!
+//! The paper runs its BERT benchmarks "in conjunction with the SCALE-Sim
+//! toolchain" to get per-inference runtime on the TPU-like hosts. This
+//! module implements the same analytic first-order cycle formulas
+//! SCALE-Sim uses for the three classic dataflows, and — because analytic
+//! formulas deserve a ground truth — a small cycle-accurate systolic array
+//! simulator ([`cycle_accurate`]) whose cycle counts and numerical results
+//! validate the output-stationary formula exactly on small problems.
+
+use serde::{Deserialize, Serialize};
+
+use nova_workloads::bert::MatmulDims;
+
+/// A systolic compute fabric: `arrays` independent `rows × cols` grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystolicConfig {
+    /// PE rows per array.
+    pub rows: usize,
+    /// PE columns per array.
+    pub cols: usize,
+    /// Independent arrays (MXUs / cores) working in parallel.
+    pub arrays: usize,
+}
+
+impl SystolicConfig {
+    /// MAC units in one array.
+    #[must_use]
+    pub fn pes_per_array(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// The mapping dataflow (SCALE-Sim's `-d` options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Outputs pinned to PEs; operands stream through (TPU-style for
+    /// GEMM).
+    OutputStationary,
+    /// Weights pinned; activations stream (classic TPU conv mapping).
+    WeightStationary,
+    /// Inputs pinned; weights stream.
+    InputStationary,
+}
+
+/// Analytic cycle count for one `M×K·K×N` matmul on a single array.
+///
+/// First-order SCALE-Sim formulas (fill + stream + drain per fold):
+///
+/// - **OS**: each fold computes an `R×C` output tile over the full `K`
+///   reduction: `T = (K + R + C − 2) · ⌈M/R⌉ · ⌈N/C⌉`
+/// - **WS**: a fold pins an `R×C` weight tile (`R` rows of `K`, `C`
+///   columns of `N`) and streams `M` activations:
+///   `T = (R + M + C − 1) · ⌈K/R⌉ · ⌈N/C⌉`
+/// - **IS**: symmetric to WS with inputs pinned:
+///   `T = (R + N + C − 1) · ⌈K/R⌉ · ⌈M/C⌉`
+///
+/// # Panics
+///
+/// Panics if any dimension or the array shape is zero.
+#[must_use]
+pub fn analytic_cycles_one_array(
+    rows: usize,
+    cols: usize,
+    dims: MatmulDims,
+    dataflow: Dataflow,
+) -> u64 {
+    assert!(rows > 0 && cols > 0, "array must have PEs");
+    assert!(dims.m > 0 && dims.k > 0 && dims.n > 0, "degenerate matmul");
+    let (r, c) = (rows as u64, cols as u64);
+    let (m, k, n) = (dims.m as u64, dims.k as u64, dims.n as u64);
+    match dataflow {
+        Dataflow::OutputStationary => {
+            let folds = m.div_ceil(r) * n.div_ceil(c);
+            (k + r + c - 2) * folds
+        }
+        Dataflow::WeightStationary => {
+            let folds = k.div_ceil(r) * n.div_ceil(c);
+            (r + m + c - 1) * folds
+        }
+        Dataflow::InputStationary => {
+            let folds = k.div_ceil(r) * m.div_ceil(c);
+            (r + n + c - 1) * folds
+        }
+    }
+}
+
+/// Analytic cycles for one matmul on the whole fabric: folds are spread
+/// across the `arrays` in parallel (SCALE-Sim's multi-array scaling).
+///
+/// # Panics
+///
+/// Panics on zero-sized configs/matmuls.
+#[must_use]
+pub fn analytic_cycles(config: &SystolicConfig, dims: MatmulDims, dataflow: Dataflow) -> u64 {
+    assert!(config.arrays > 0, "need at least one array");
+    let single = analytic_cycles_one_array(config.rows, config.cols, dims, dataflow);
+    single.div_ceil(config.arrays as u64)
+}
+
+/// A cycle-accurate output-stationary systolic array simulator.
+///
+/// Operands skew in from the west (A) and north (B) edges exactly as in
+/// the textbook array; every PE is a `nova_fixed`-style wide-accumulator
+/// MAC (plain `i64` here since the array is validated on integer data).
+/// Used in tests to validate [`analytic_cycles_one_array`] and available
+/// to examples as a teaching model.
+pub mod cycle_accurate {
+    use nova_workloads::bert::MatmulDims;
+
+    /// Result of a cycle-accurate run.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RunResult {
+        /// The output matrix, row-major `M×N`.
+        pub output: Vec<i64>,
+        /// Cycles until the last PE finished its reduction and results
+        /// drained.
+        pub cycles: u64,
+    }
+
+    /// Multiplies `a` (`M×K`, row-major) by `b` (`K×N`, row-major) on an
+    /// `rows×cols` output-stationary array, tiling as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand shapes disagree with `dims` or the array is
+    /// empty.
+    #[must_use]
+    pub fn matmul(
+        rows: usize,
+        cols: usize,
+        dims: MatmulDims,
+        a: &[i64],
+        b: &[i64],
+    ) -> RunResult {
+        assert!(rows > 0 && cols > 0, "array must have PEs");
+        assert_eq!(a.len(), dims.m * dims.k, "A shape mismatch");
+        assert_eq!(b.len(), dims.k * dims.n, "B shape mismatch");
+        let mut output = vec![0i64; dims.m * dims.n];
+        let mut cycles = 0u64;
+
+        // Tile the output space into R×C folds.
+        let mut ti = 0;
+        while ti < dims.m {
+            let th = rows.min(dims.m - ti);
+            let mut tj = 0;
+            while tj < dims.n {
+                let tw = cols.min(dims.n - tj);
+                cycles += fold(dims, a, b, ti, tj, th, tw, rows, cols, &mut output);
+                tj += cols;
+            }
+            ti += rows;
+        }
+        RunResult { output, cycles }
+    }
+
+    /// Simulates one output-stationary fold cycle by cycle. Returns the
+    /// cycles it consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn fold(
+        dims: MatmulDims,
+        a: &[i64],
+        b: &[i64],
+        ti: usize,
+        tj: usize,
+        th: usize,
+        tw: usize,
+        rows: usize,
+        cols: usize,
+        output: &mut [i64],
+    ) -> u64 {
+        // acc[r][c] accumulates output (ti+r, tj+c).
+        let mut acc = vec![vec![0i64; cols]; rows];
+        // a_reg[r][c], b_reg[r][c]: operand registers flowing east/south.
+        let mut a_reg = vec![vec![0i64; cols]; rows];
+        let mut b_reg = vec![vec![0i64; cols]; rows];
+        // The fold is done when the last (skewed) operands have passed the
+        // far corner: K + R + C - 2 compute cycles.
+        let total = dims.k + rows + cols - 2;
+        for t in 0..total {
+            // Move operands one step (east / south), far side first.
+            for r in (0..rows).rev() {
+                for c in (0..cols).rev() {
+                    a_reg[r][c] = if c == 0 {
+                        // West edge: row r receives A[ti+r][t - r] skewed.
+                        edge_a(dims, a, ti, r, t)
+                    } else {
+                        a_reg[r][c - 1]
+                    };
+                    b_reg[r][c] = if r == 0 {
+                        edge_b(dims, b, tj, c, t)
+                    } else {
+                        b_reg[r - 1][c]
+                    };
+                }
+            }
+            // MAC everywhere (idle PEs see zeros).
+            for r in 0..th {
+                for c in 0..tw {
+                    acc[r][c] += a_reg[r][c] * b_reg[r][c];
+                }
+            }
+        }
+        for r in 0..th {
+            for c in 0..tw {
+                output[(ti + r) * dims.n + (tj + c)] = acc[r][c];
+            }
+        }
+        total as u64
+    }
+
+    /// Skewed west-edge feed: row `r` sees A[ti+r][t−r] at time `t`.
+    fn edge_a(dims: MatmulDims, a: &[i64], ti: usize, r: usize, t: usize) -> i64 {
+        let row = ti + r;
+        if row >= dims.m || t < r {
+            return 0;
+        }
+        let k = t - r;
+        if k >= dims.k {
+            0
+        } else {
+            a[row * dims.k + k]
+        }
+    }
+
+    /// Skewed north-edge feed: column `c` sees B[t−c][tj+c] at time `t`.
+    fn edge_b(dims: MatmulDims, b: &[i64], tj: usize, c: usize, t: usize) -> i64 {
+        let col = tj + c;
+        if col >= dims.n || t < c {
+            return 0;
+        }
+        let k = t - c;
+        if k >= dims.k {
+            0
+        } else {
+            b[k * dims.n + col]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(m: usize, k: usize, n: usize) -> MatmulDims {
+        MatmulDims { m, k, n }
+    }
+
+    fn reference_matmul(d: MatmulDims, a: &[i64], b: &[i64]) -> Vec<i64> {
+        let mut out = vec![0i64; d.m * d.n];
+        for i in 0..d.m {
+            for j in 0..d.n {
+                let mut s = 0;
+                for k in 0..d.k {
+                    s += a[i * d.k + k] * b[k * d.n + j];
+                }
+                out[i * d.n + j] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cycle_accurate_matches_reference_result() {
+        let d = dims(5, 7, 6);
+        let a: Vec<i64> = (0..35).map(|i| (i % 5) - 2).collect();
+        let b: Vec<i64> = (0..42).map(|i| (i % 7) - 3).collect();
+        let run = cycle_accurate::matmul(4, 4, d, &a, &b);
+        assert_eq!(run.output, reference_matmul(d, &a, &b));
+    }
+
+    #[test]
+    fn cycle_accurate_validates_analytic_os_formula() {
+        for (m, k, n, r, c) in [(4, 4, 4, 4, 4), (5, 7, 6, 4, 4), (8, 3, 9, 2, 8), (1, 1, 1, 4, 4)]
+        {
+            let d = dims(m, k, n);
+            let a = vec![1i64; m * k];
+            let b = vec![1i64; k * n];
+            let run = cycle_accurate::matmul(r, c, d, &a, &b);
+            let analytic = analytic_cycles_one_array(r, c, d, Dataflow::OutputStationary);
+            assert_eq!(run.cycles, analytic, "m={m} k={k} n={n} r={r} c={c}");
+        }
+    }
+
+    #[test]
+    fn os_formula_hand_check() {
+        // 128×128 array, M=K=N=128: one fold of 128+128+128-2 cycles.
+        let t = analytic_cycles_one_array(128, 128, dims(128, 128, 128), Dataflow::OutputStationary);
+        assert_eq!(t, 382);
+    }
+
+    #[test]
+    fn ws_formula_hand_check() {
+        // K=256 on 128 rows → 2 folds; each R+M+C-1.
+        let t = analytic_cycles_one_array(128, 128, dims(64, 256, 128), Dataflow::WeightStationary);
+        assert_eq!(t, 2 * (128 + 64 + 128 - 1));
+    }
+
+    #[test]
+    fn arrays_divide_folds() {
+        let cfg = SystolicConfig { rows: 128, cols: 128, arrays: 8 };
+        let one = analytic_cycles_one_array(128, 128, dims(1024, 1024, 1024), Dataflow::OutputStationary);
+        let eight = analytic_cycles(&cfg, dims(1024, 1024, 1024), Dataflow::OutputStationary);
+        assert_eq!(eight, one.div_ceil(8));
+    }
+
+    #[test]
+    fn bigger_matmuls_take_longer() {
+        let cfg = SystolicConfig { rows: 64, cols: 16, arrays: 2 };
+        let small = analytic_cycles(&cfg, dims(64, 64, 64), Dataflow::WeightStationary);
+        let big = analytic_cycles(&cfg, dims(256, 256, 256), Dataflow::WeightStationary);
+        assert!(big > 8 * small);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dim_panics() {
+        let _ = analytic_cycles_one_array(4, 4, dims(0, 1, 1), Dataflow::OutputStationary);
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or fitting approximators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApproxError {
+    /// A piecewise-linear function was given inconsistent table lengths.
+    TableShape {
+        /// Number of segments implied by the slope table.
+        slopes: usize,
+        /// Number of segments implied by the bias table.
+        biases: usize,
+        /// Number of interior breakpoints supplied.
+        breakpoints: usize,
+    },
+    /// Breakpoints were not strictly increasing or fell outside the domain.
+    BadBreakpoints,
+    /// The requested domain is empty or inverted.
+    BadDomain {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
+    /// Fewer than one segment was requested.
+    TooFewSegments,
+    /// An MLP training configuration was invalid (zero hidden units, zero
+    /// samples, non-positive learning rate, …).
+    BadTrainingConfig(&'static str),
+    /// A fixed-point conversion failed.
+    Fixed(nova_fixed::FixedError),
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::TableShape { slopes, biases, breakpoints } => write!(
+                f,
+                "inconsistent PWL table: {slopes} slopes, {biases} biases, {breakpoints} breakpoints"
+            ),
+            ApproxError::BadBreakpoints => {
+                write!(f, "breakpoints must be strictly increasing and inside the domain")
+            }
+            ApproxError::BadDomain { lo, hi } => write!(f, "empty domain [{lo}, {hi}]"),
+            ApproxError::TooFewSegments => write!(f, "at least one segment is required"),
+            ApproxError::BadTrainingConfig(msg) => write!(f, "bad training config: {msg}"),
+            ApproxError::Fixed(e) => write!(f, "fixed-point conversion failed: {e}"),
+        }
+    }
+}
+
+impl Error for ApproxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApproxError::Fixed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nova_fixed::FixedError> for ApproxError {
+    fn from(e: nova_fixed::FixedError) -> Self {
+        ApproxError::Fixed(e)
+    }
+}

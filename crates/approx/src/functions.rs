@@ -1,0 +1,220 @@
+use std::fmt;
+
+/// The non-linear operators attention-based models need, with reference
+/// (double-precision) implementations.
+///
+/// These are the functions the paper's Section II lists as the bottleneck of
+/// attention layers (Softmax is built from [`Activation::Exp`] and
+/// [`Activation::Recip`]; LayerNorm needs [`Activation::Rsqrt`]). Each
+/// variant carries a *default domain*: the clamp range the hardware
+/// comparators assume, chosen so that values outside it are saturated
+/// regions of the function (e.g. `exp(x) ≈ 0` for `x < -8` after
+/// max-subtraction).
+///
+/// # Example
+///
+/// ```
+/// use nova_approx::Activation;
+///
+/// assert!((Activation::Sigmoid.eval(0.0) - 0.5).abs() < 1e-12);
+/// let (lo, hi) = Activation::Exp.domain();
+/// assert!(lo < hi && hi <= 0.0); // softmax exp sees only x - max(x) <= 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Rectified linear unit `max(0, x)` (exact in PWL form).
+    Relu,
+    /// Gaussian error linear unit `x·Φ(x)` (BERT/GPT feed-forward).
+    Gelu,
+    /// Logistic sigmoid `1/(1+e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Exponential on the softmax-normalized domain `[-8, 0]`
+    /// (inputs are `x - max(x)`, so always non-positive).
+    Exp,
+    /// Error function `erf(x)` (GELU's underlying primitive).
+    Erf,
+    /// SiLU / swish `x·sigmoid(x)` (MobileNet-v3, some BERT variants).
+    Silu,
+    /// Softplus `ln(1+e^x)`.
+    Softplus,
+    /// Reciprocal `1/x` on the range-reduced mantissa domain `[1, 2]`
+    /// (softmax denominator after power-of-two normalization).
+    Recip,
+    /// Reciprocal square root `1/√x` on `[1, 4]` (LayerNorm denominator
+    /// after power-of-two range reduction with even exponent).
+    Rsqrt,
+    /// Square root on `[0, 4]`.
+    Sqrt,
+}
+
+impl Activation {
+    /// Every supported activation, for exhaustive sweeps.
+    #[must_use]
+    pub fn all() -> &'static [Activation] {
+        &[
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Exp,
+            Activation::Erf,
+            Activation::Silu,
+            Activation::Softplus,
+            Activation::Recip,
+            Activation::Rsqrt,
+            Activation::Sqrt,
+        ]
+    }
+
+    /// Reference evaluation at `x` (not clamped; callers that model the
+    /// hardware clamp first — see `PiecewiseLinear::eval`).
+    #[must_use]
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => 0.5 * x * (1.0 + erf(x / std::f64::consts::SQRT_2)),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Exp => x.exp(),
+            Activation::Erf => erf(x),
+            Activation::Silu => x / (1.0 + (-x).exp()),
+            Activation::Softplus => {
+                // Numerically stable ln(1+e^x).
+                if x > 30.0 {
+                    x
+                } else {
+                    x.exp().ln_1p()
+                }
+            }
+            Activation::Recip => x.recip(),
+            Activation::Rsqrt => x.sqrt().recip(),
+            Activation::Sqrt => x.sqrt(),
+        }
+    }
+
+    /// The default hardware clamp domain for this function.
+    ///
+    /// The bounds fit inside the Q4.12 word range (`[-8, 8)`), matching the
+    /// 16-bit datapath of the paper's routers.
+    #[must_use]
+    pub fn domain(self) -> (f64, f64) {
+        match self {
+            Activation::Relu => (-7.99, 7.99),
+            Activation::Gelu => (-7.99, 7.99),
+            Activation::Sigmoid => (-7.99, 7.99),
+            Activation::Tanh => (-4.0, 4.0),
+            Activation::Exp => (-8.0, 0.0),
+            Activation::Erf => (-3.0, 3.0),
+            Activation::Silu => (-7.99, 7.99),
+            Activation::Softplus => (-7.99, 7.99),
+            Activation::Recip => (1.0, 2.0),
+            Activation::Rsqrt => (1.0, 4.0),
+            Activation::Sqrt => (0.0, 4.0),
+        }
+    }
+
+    /// Human-readable operator name as used in the paper's text.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "ReLU",
+            Activation::Gelu => "GeLU",
+            Activation::Sigmoid => "Sigmoid",
+            Activation::Tanh => "Tanh",
+            Activation::Exp => "Exp",
+            Activation::Erf => "Erf",
+            Activation::Silu => "SiLU",
+            Activation::Softplus => "Softplus",
+            Activation::Recip => "Recip",
+            Activation::Rsqrt => "Rsqrt",
+            Activation::Sqrt => "Sqrt",
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (max absolute error 1.5e-7, far below 16-breakpoint PWL error), used so
+/// the crate has no libm dependency beyond `std`.
+pub(crate) fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_matches_definition() {
+        assert_eq!(Activation::Relu.eval(-3.0), 0.0);
+        assert_eq!(Activation::Relu.eval(2.5), 2.5);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0; GELU(x) -> x for large x; GELU(-x) small.
+        assert_eq!(Activation::Gelu.eval(0.0), 0.0);
+        assert!((Activation::Gelu.eval(6.0) - 6.0).abs() < 1e-6);
+        assert!(Activation::Gelu.eval(-6.0).abs() < 1e-6);
+        // Reference value gelu(1.0) ≈ 0.8413447
+        assert!((Activation::Gelu.eval(1.0) - 0.841_344_7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn erf_accuracy_against_known_points() {
+        // A&S 7.1.26 has ~1e-9 residual at 0 (coefficients sum to 1-1e-9).
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_tanh_silu_relations() {
+        for x in [-3.0, -0.5, 0.0, 0.7, 2.0] {
+            let s = Activation::Sigmoid.eval(x);
+            assert!((Activation::Tanh.eval(x) - (2.0 * Activation::Sigmoid.eval(2.0 * x) - 1.0)).abs() < 1e-12);
+            assert!((Activation::Silu.eval(x) - x * s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softplus_stable_for_large_inputs() {
+        assert!((Activation::Softplus.eval(50.0) - 50.0).abs() < 1e-9);
+        assert!(Activation::Softplus.eval(-50.0) < 1e-9);
+    }
+
+    #[test]
+    fn domains_are_well_formed_and_fit_q4_12() {
+        for &a in Activation::all() {
+            let (lo, hi) = a.domain();
+            assert!(lo < hi, "{a}: domain must be non-empty");
+            assert!(lo >= -8.0 && hi < 8.0 || a == Activation::Exp, "{a}: fits Q4.12");
+        }
+    }
+
+    #[test]
+    fn recip_rsqrt_on_reduced_domain() {
+        assert!((Activation::Recip.eval(1.0) - 1.0).abs() < 1e-12);
+        assert!((Activation::Recip.eval(2.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Rsqrt.eval(4.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Sqrt.eval(4.0) - 2.0).abs() < 1e-12);
+    }
+}

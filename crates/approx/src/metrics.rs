@@ -1,0 +1,181 @@
+//! Approximation error metrics used by the Table I reproduction and the
+//! fitting ablations.
+
+use std::fmt;
+
+/// Error statistics of an approximation against a reference over a scan
+/// grid.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorReport {
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Maximum relative error (w.r.t. reference values with |y| > 1e-6).
+    pub max_rel: f64,
+    /// Input location of the maximum absolute error.
+    pub argmax: f64,
+}
+
+impl fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "max|e|={:.3e} @x={:.3}, mean|e|={:.3e}, rmse={:.3e}, max rel={:.3e}",
+            self.max_abs, self.argmax, self.mean_abs, self.rmse, self.max_rel
+        )
+    }
+}
+
+/// Compares `approx` against `reference` over `n` evenly spaced points of
+/// `domain`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the domain is empty — both are harness bugs, not
+/// data conditions.
+#[must_use]
+pub fn compare(
+    reference: &dyn Fn(f64) -> f64,
+    approx: &dyn Fn(f64) -> f64,
+    domain: (f64, f64),
+    n: usize,
+) -> ErrorReport {
+    assert!(n >= 2, "need at least two scan points");
+    let (lo, hi) = domain;
+    assert!(lo < hi, "empty domain");
+    let step = (hi - lo) / (n - 1) as f64;
+    let mut report = ErrorReport::default();
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    for k in 0..n {
+        let x = lo + step * k as f64;
+        let y = reference(x);
+        let e = (approx(x) - y).abs();
+        sum_abs += e;
+        sum_sq += e * e;
+        if e > report.max_abs {
+            report.max_abs = e;
+            report.argmax = x;
+        }
+        if y.abs() > 1e-6 {
+            report.max_rel = report.max_rel.max(e / y.abs());
+        }
+    }
+    report.mean_abs = sum_abs / n as f64;
+    report.rmse = (sum_sq / n as f64).sqrt();
+    report
+}
+
+/// Compares two vectors elementwise (e.g. exact vs approximated softmax
+/// outputs).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn compare_slices(reference: &[f64], approx: &[f64]) -> ErrorReport {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty comparison");
+    let mut report = ErrorReport::default();
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    for (i, (&y, &a)) in reference.iter().zip(approx).enumerate() {
+        let e = (a - y).abs();
+        sum_abs += e;
+        sum_sq += e * e;
+        if e > report.max_abs {
+            report.max_abs = e;
+            report.argmax = i as f64;
+        }
+        if y.abs() > 1e-6 {
+            report.max_rel = report.max_rel.max(e / y.abs());
+        }
+    }
+    report.mean_abs = sum_abs / reference.len() as f64;
+    report.rmse = (sum_sq / reference.len() as f64).sqrt();
+    report
+}
+
+/// Fraction of positions where `reference` and `approx` pick the same
+/// argmax over consecutive windows of `classes` entries — the
+/// classification-agreement proxy used for the Table I substitution.
+///
+/// # Panics
+///
+/// Panics if `classes == 0` or the slices differ in length.
+#[must_use]
+pub fn argmax_agreement(reference: &[f64], approx: &[f64], classes: usize) -> f64 {
+    assert!(classes > 0, "need at least one class");
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let windows = reference.len() / classes;
+    if windows == 0 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    for w in 0..windows {
+        let lo = w * classes;
+        let hi = lo + classes;
+        if argmax(&reference[lo..hi]) == argmax(&approx[lo..hi]) {
+            agree += 1;
+        }
+    }
+    agree as f64 / windows as f64
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_functions_have_zero_error() {
+        let r = compare(&|x| x.sin(), &|x| x.sin(), (0.0, 3.0), 100);
+        assert_eq!(r.max_abs, 0.0);
+        assert_eq!(r.rmse, 0.0);
+    }
+
+    #[test]
+    fn constant_offset_detected() {
+        let r = compare(&|_| 1.0, &|_| 1.5, (0.0, 1.0), 10);
+        assert!((r.max_abs - 0.5).abs() < 1e-12);
+        assert!((r.mean_abs - 0.5).abs() < 1e-12);
+        assert!((r.max_rel - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_comparison_finds_argmax() {
+        let r = compare_slices(&[0.0, 0.0, 0.0], &[0.0, 0.3, 0.1]);
+        assert!((r.max_abs - 0.3).abs() < 1e-12);
+        assert_eq!(r.argmax, 1.0);
+    }
+
+    #[test]
+    fn agreement_counts_windows() {
+        // Two windows of 2 classes: first agrees, second flips.
+        let reference = [0.9, 0.1, 0.2, 0.8];
+        let approx = [0.8, 0.2, 0.6, 0.4];
+        assert!((argmax_agreement(&reference, &approx, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_agreement_is_one() {
+        let reference = [0.9, 0.1, 0.2, 0.8];
+        assert_eq!(argmax_agreement(&reference, &reference, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_panic() {
+        let _ = compare_slices(&[1.0], &[1.0, 2.0]);
+    }
+}

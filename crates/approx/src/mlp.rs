@@ -1,0 +1,356 @@
+//! The NN-LUT-style MLP approximator.
+//!
+//! NN-LUT (and therefore NOVA) learns the piecewise-linear approximation of
+//! a non-linear function with a tiny 2-layer MLP: `f(x) ≈ b₂ + Σᵢ w₂ᵢ ·
+//! ReLU(w₁ᵢ·x + b₁ᵢ)`. A 1-D ReLU network *is* a piecewise-linear function
+//! whose kinks sit at `xᵢ = -b₁ᵢ/w₁ᵢ`, so "the number of nodes in the
+//! hidden layer represents the number of breakpoints" (paper, §IV). After
+//! training, the kinks are extracted as breakpoints and the per-segment
+//! `(slope, bias)` pairs are read off (and optionally re-fit by least
+//! squares, which can only reduce error since LUT segments are
+//! independent).
+//!
+//! Training happens "at compile time" in the paper's flow; here it is an
+//! ordinary deterministic function of the target activation and a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Activation, ApproxError, PiecewiseLinear};
+
+/// Training hyperparameters for [`MlpApproximator::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of hidden ReLU units (= learned interior breakpoints).
+    pub hidden: usize,
+    /// Full-batch Adam epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training samples drawn uniformly over the domain.
+    pub samples: usize,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 15,
+            epochs: 3000,
+            learning_rate: 0.02,
+            samples: 256,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Default training seed (any fixed value; training is deterministic).
+pub const DEFAULT_SEED: u64 = 0x5eed_0007;
+
+/// The 2-layer (1 hidden layer) ReLU MLP: `y = b₂ + Σᵢ w₂ᵢ·ReLU(w₁ᵢ·x+b₁ᵢ)`.
+///
+/// # Example
+///
+/// ```
+/// use nova_approx::{Activation, MlpApproximator};
+/// use nova_approx::mlp::TrainConfig;
+///
+/// # fn main() -> Result<(), nova_approx::ApproxError> {
+/// let cfg = TrainConfig { hidden: 15, epochs: 1500, ..TrainConfig::default() };
+/// let mlp = MlpApproximator::train(Activation::Sigmoid, cfg)?;
+/// let pwl = mlp.to_piecewise()?;
+/// assert!(pwl.segments() <= 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpApproximator {
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    domain: (f64, f64),
+    /// Final training loss (MSE), exposed for convergence diagnostics.
+    final_loss: f64,
+}
+
+impl MlpApproximator {
+    /// Trains an MLP to approximate `activation` on its default domain.
+    ///
+    /// Deterministic for a fixed [`TrainConfig`] (seeded RNG, full-batch
+    /// Adam). Hidden kinks are initialized on a uniform grid over the
+    /// domain so every unit starts responsible for one region — the same
+    /// trick NN-LUT uses to stabilize breakpoint learning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadTrainingConfig`] for zero hidden units,
+    /// zero epochs/samples or a non-positive learning rate.
+    pub fn train(activation: Activation, config: TrainConfig) -> Result<Self, ApproxError> {
+        Self::train_fn(&move |x| activation.eval(x), activation.domain(), config)
+    }
+
+    /// Trains against an arbitrary target function on `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlpApproximator::train`], plus [`ApproxError::BadDomain`]
+    /// for an empty domain.
+    pub fn train_fn(
+        target: &dyn Fn(f64) -> f64,
+        domain: (f64, f64),
+        config: TrainConfig,
+    ) -> Result<Self, ApproxError> {
+        if config.hidden == 0 {
+            return Err(ApproxError::BadTrainingConfig("hidden units must be > 0"));
+        }
+        if config.epochs == 0 || config.samples < 2 {
+            return Err(ApproxError::BadTrainingConfig("epochs and samples must be > 0"));
+        }
+        if !(config.learning_rate > 0.0) {
+            return Err(ApproxError::BadTrainingConfig("learning rate must be positive"));
+        }
+        let (lo, hi) = domain;
+        if !(lo < hi) {
+            return Err(ApproxError::BadDomain { lo, hi });
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let span = hi - lo;
+
+        // Kink-grid initialization: unit i responds above x ≈ lo + span·(i+1)/(h+1).
+        let mut w1 = vec![0.0; h];
+        let mut b1 = vec![0.0; h];
+        let mut w2 = vec![0.0; h];
+        for i in 0..h {
+            let kink = lo + span * (i + 1) as f64 / (h + 1) as f64;
+            let w = 1.0 + rng.gen_range(-0.05..0.05);
+            w1[i] = w;
+            b1[i] = -w * kink + rng.gen_range(-0.01..0.01) * span;
+            w2[i] = rng.gen_range(-0.1..0.1);
+        }
+        let mut b2 = target(lo);
+
+        // Training set: even grid plus jitter (full batch).
+        let n = config.samples;
+        let xs: Vec<f64> = (0..n)
+            .map(|k| lo + span * k as f64 / (n - 1) as f64)
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| target(x)).collect();
+
+        // Adam state.
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        let mut m = vec![0.0; 3 * h + 1];
+        let mut v = vec![0.0; 3 * h + 1];
+        let mut final_loss = f64::INFINITY;
+
+        for epoch in 1..=config.epochs {
+            // Forward + gradient accumulation (full batch).
+            let mut g_w1 = vec![0.0; h];
+            let mut g_b1 = vec![0.0; h];
+            let mut g_w2 = vec![0.0; h];
+            let mut g_b2 = 0.0;
+            let mut loss = 0.0;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                let mut pred = b2;
+                for i in 0..h {
+                    let z = w1[i] * x + b1[i];
+                    if z > 0.0 {
+                        pred += w2[i] * z;
+                    }
+                }
+                let err = pred - y;
+                loss += err * err;
+                let d = 2.0 * err / n as f64;
+                g_b2 += d;
+                for i in 0..h {
+                    let z = w1[i] * x + b1[i];
+                    if z > 0.0 {
+                        g_w2[i] += d * z;
+                        g_w1[i] += d * w2[i] * x;
+                        g_b1[i] += d * w2[i];
+                    }
+                }
+            }
+            final_loss = loss / n as f64;
+
+            // Adam update over the flattened parameter vector.
+            let lr = config.learning_rate;
+            let t = epoch as f64;
+            let mut step = |idx: usize, grad: f64, param: &mut f64| {
+                m[idx] = beta1 * m[idx] + (1.0 - beta1) * grad;
+                v[idx] = beta2 * v[idx] + (1.0 - beta2) * grad * grad;
+                let mh = m[idx] / (1.0 - beta1.powf(t));
+                let vh = v[idx] / (1.0 - beta2.powf(t));
+                *param -= lr * mh / (vh.sqrt() + eps);
+            };
+            for i in 0..h {
+                step(i, g_w1[i], &mut w1[i]);
+                step(h + i, g_b1[i], &mut b1[i]);
+                step(2 * h + i, g_w2[i], &mut w2[i]);
+            }
+            step(3 * h, g_b2, &mut b2);
+        }
+
+        Ok(Self { w1, b1, w2, b2, domain, final_loss })
+    }
+
+    /// Evaluates the network at `x` (no clamping; the PWL extraction adds
+    /// the hardware clamp).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut y = self.b2;
+        for i in 0..self.w1.len() {
+            let z = self.w1[i] * x + self.b1[i];
+            if z > 0.0 {
+                y += self.w2[i] * z;
+            }
+        }
+        y
+    }
+
+    /// Number of hidden units.
+    #[must_use]
+    pub fn hidden(&self) -> usize {
+        self.w1.len()
+    }
+
+    /// Final full-batch MSE after training.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        self.final_loss
+    }
+
+    /// The training domain.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Extracts the exact piecewise-linear function the network computes:
+    /// breakpoints at the in-domain hidden kinks, slopes/biases accumulated
+    /// segment by segment.
+    ///
+    /// The result has at most `hidden() + 1` segments (kinks that trained
+    /// themselves outside the domain are dropped — the network decided it
+    /// needed fewer pieces there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PiecewiseLinear::new`] validation failures (cannot
+    /// happen for a well-formed network; kept as `Result` for API honesty).
+    pub fn to_piecewise(&self) -> Result<PiecewiseLinear, ApproxError> {
+        let (lo, hi) = self.domain;
+        let h = self.w1.len();
+        // Kinks strictly inside the domain, sorted and deduplicated.
+        let mut kinks: Vec<f64> = (0..h)
+            .filter(|&i| self.w1[i].abs() > 1e-12)
+            .map(|i| -self.b1[i] / self.w1[i])
+            .filter(|&k| k > lo + 1e-9 && k < hi - 1e-9)
+            .collect();
+        kinks.sort_by(f64::total_cmp);
+        kinks.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        // Accumulate (slope, bias) per segment by walking the segments and
+        // summing the units active in each one. A unit with w1 > 0 is
+        // active right of its kink; with w1 < 0, left of it.
+        let mut edges = Vec::with_capacity(kinks.len() + 2);
+        edges.push(lo);
+        edges.extend_from_slice(&kinks);
+        edges.push(hi);
+        let mut slopes = Vec::with_capacity(edges.len() - 1);
+        let mut biases = Vec::with_capacity(edges.len() - 1);
+        for w in edges.windows(2) {
+            let mid = (w[0] + w[1]) / 2.0;
+            let mut a = 0.0;
+            let mut b = self.b2;
+            for i in 0..h {
+                if self.w1[i] * mid + self.b1[i] > 0.0 {
+                    a += self.w2[i] * self.w1[i];
+                    b += self.w2[i] * self.b1[i];
+                }
+            }
+            slopes.push(a);
+            biases.push(b);
+        }
+        PiecewiseLinear::new(kinks, slopes, biases, self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn quick_cfg(hidden: usize) -> TrainConfig {
+        TrainConfig { hidden, epochs: 1200, samples: 128, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = TrainConfig { hidden: 0, ..quick_cfg(1) };
+        assert!(MlpApproximator::train(Activation::Tanh, bad).is_err());
+        let bad = TrainConfig { epochs: 0, ..quick_cfg(4) };
+        assert!(MlpApproximator::train(Activation::Tanh, bad).is_err());
+        let bad = TrainConfig { learning_rate: 0.0, ..quick_cfg(4) };
+        assert!(MlpApproximator::train(Activation::Tanh, bad).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = MlpApproximator::train(Activation::Sigmoid, quick_cfg(7)).unwrap();
+        let b = MlpApproximator::train(Activation::Sigmoid, quick_cfg(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mlp_learns_sigmoid() {
+        let mlp = MlpApproximator::train(Activation::Sigmoid, quick_cfg(15)).unwrap();
+        let report = metrics::compare(
+            &|x| Activation::Sigmoid.eval(x),
+            &|x| mlp.eval(x),
+            Activation::Sigmoid.domain(),
+            500,
+        );
+        assert!(report.max_abs < 0.05, "MLP max err {report}");
+        assert!(mlp.final_loss() < 1e-3);
+    }
+
+    #[test]
+    fn extracted_pwl_matches_network_exactly() {
+        let mlp = MlpApproximator::train(Activation::Gelu, quick_cfg(10)).unwrap();
+        let pwl = mlp.to_piecewise().unwrap();
+        let (lo, hi) = mlp.domain();
+        for k in 0..=400 {
+            let x = lo + (hi - lo) * k as f64 / 400.0;
+            // Skip points exactly at kinks where the two may disagree by
+            // floating-point association order.
+            let d = (pwl.eval(x) - mlp.eval(x)).abs();
+            assert!(d < 1e-9, "x={x}: pwl {} vs mlp {}", pwl.eval(x), mlp.eval(x));
+        }
+    }
+
+    #[test]
+    fn segment_budget_respected() {
+        let mlp = MlpApproximator::train(Activation::Tanh, quick_cfg(15)).unwrap();
+        let pwl = mlp.to_piecewise().unwrap();
+        assert!(pwl.segments() <= 16, "got {} segments", pwl.segments());
+        assert!(pwl.segments() >= 4, "kinks should mostly stay in-domain");
+    }
+
+    #[test]
+    fn relu_is_learned_exactly_with_one_unit() {
+        // ReLU is itself a 1-kink PWL; a 2-unit net should nail it.
+        let cfg = TrainConfig { hidden: 2, epochs: 3000, ..TrainConfig::default() };
+        let mlp = MlpApproximator::train(Activation::Relu, cfg).unwrap();
+        let report = metrics::compare(
+            &|x| Activation::Relu.eval(x),
+            &|x| mlp.eval(x),
+            Activation::Relu.domain(),
+            300,
+        );
+        assert!(report.max_abs < 0.05, "{report}");
+    }
+}

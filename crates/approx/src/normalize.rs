@@ -1,0 +1,181 @@
+//! LayerNorm denominator support: fixed-point reciprocal square root.
+//!
+//! LayerNorm (`(x - μ) / √(σ² + ε)`) is the third non-linear operator class
+//! the paper's workloads query the approximator for. Mean and variance are
+//! exact accumulations on the accelerator; only `1/√(σ²+ε)` needs the PWL
+//! unit. Range reduction: `v = m·4^e` with `m ∈ [1, 4)` gives
+//! `rsqrt(v) = rsqrt(m)·2^{-e}` — one PWL query per LayerNorm row, plus an
+//! exact shift.
+
+use nova_fixed::{Fixed, QFormat, Rounding};
+
+use crate::{fit, Activation, ApproxError, QuantizedPwl};
+
+/// Fixed-point `1/√x` evaluator built on a PWL table over `[1, 4]`.
+///
+/// # Example
+///
+/// ```
+/// use nova_approx::normalize::ApproxRsqrt;
+/// use nova_fixed::{Q4_12, Rounding};
+///
+/// # fn main() -> Result<(), nova_approx::ApproxError> {
+/// let unit = ApproxRsqrt::new(16, Q4_12, Rounding::NearestEven)?;
+/// let y = unit.eval_f64(2.25); // 1/1.5
+/// assert!((y - 2.0 / 3.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxRsqrt {
+    table: QuantizedPwl,
+    format: QFormat,
+    rounding: Rounding,
+}
+
+impl ApproxRsqrt {
+    /// Builds the unit with `segments` PWL segments on the reduced domain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting/quantization failures.
+    pub fn new(segments: usize, format: QFormat, rounding: Rounding) -> Result<Self, ApproxError> {
+        let pwl = fit::fit_activation(
+            Activation::Rsqrt,
+            segments,
+            fit::BreakpointStrategy::GreedyRefine,
+        )?;
+        Ok(Self {
+            table: QuantizedPwl::from_pwl(&pwl, format, rounding)?,
+            format,
+            rounding,
+        })
+    }
+
+    /// The underlying PWL table (for broadcast scheduling).
+    #[must_use]
+    pub fn table(&self) -> &QuantizedPwl {
+        &self.table
+    }
+
+    /// Evaluates `1/√x` for a positive fixed-point input via range
+    /// reduction to `[1, 4)` + one PWL query + an exact shift.
+    ///
+    /// Returns `None` for non-positive inputs (hardware raises a sticky
+    /// flag and substitutes the maximum word; callers decide policy).
+    #[must_use]
+    pub fn eval(&self, x: Fixed) -> Option<Fixed> {
+        if x.raw() <= 0 {
+            return None;
+        }
+        let scale = self.format.scale();
+        // Reduce raw = m_raw · 4^e with m_raw in [scale, 4·scale).
+        let mut e: i32 = 0;
+        let mut m_raw = x.raw();
+        while m_raw >= 4 * scale {
+            m_raw >>= 2;
+            e += 1;
+        }
+        while m_raw < scale {
+            m_raw <<= 2;
+            e -= 1;
+        }
+        let m = Fixed::from_raw_saturating(m_raw, self.format);
+        let r = self.table.eval(m); // rsqrt(m) ∈ (0.5, 1]
+        // rsqrt(x) = rsqrt(m) · 2^{-e}
+        let raw = if e >= 0 {
+            r.raw() >> e.min(62)
+        } else {
+            r.raw() << (-e).min(62)
+        };
+        Some(Fixed::from_raw_saturating(raw, self.format))
+    }
+
+    /// Convenience `f64 → f64` wrapper.
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        self.eval(Fixed::from_f64(x, self.format, self.rounding))
+            .map_or(f64::NAN, Fixed::to_f64)
+    }
+}
+
+/// Exact reference LayerNorm over a slice (software gold model).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn layernorm_exact(xs: &[f64], eps: f64) -> Vec<f64> {
+    assert!(!xs.is_empty(), "layernorm of empty slice");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let inv = (var + eps).sqrt().recip();
+    xs.iter().map(|x| (x - mean) * inv).collect()
+}
+
+/// LayerNorm where the `1/√(σ²+ε)` step goes through the PWL unit — the
+/// hardware path the paper maps. Mean/variance stay exact (they are MAC
+/// reductions on the accelerator).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn layernorm_approx(xs: &[f64], eps: f64, rsqrt: &ApproxRsqrt) -> Vec<f64> {
+    assert!(!xs.is_empty(), "layernorm of empty slice");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let inv = rsqrt.eval_f64(var + eps);
+    xs.iter().map(|x| (x - mean) * inv).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use nova_fixed::Q4_12;
+
+    #[test]
+    fn rsqrt_accuracy_over_wide_range() {
+        let unit = ApproxRsqrt::new(16, Q4_12, Rounding::NearestEven).unwrap();
+        for x in [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0] {
+            let y = unit.eval_f64(x);
+            let expect = 1.0 / x.sqrt();
+            assert!(
+                (y - expect).abs() < 0.02 * expect.max(1.0),
+                "x={x}: {y} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rsqrt_rejects_nonpositive() {
+        let unit = ApproxRsqrt::new(8, Q4_12, Rounding::NearestEven).unwrap();
+        assert!(unit.eval(Fixed::zero(Q4_12)).is_none());
+        assert!(unit
+            .eval(Fixed::from_f64(-1.0, Q4_12, Rounding::NearestEven))
+            .is_none());
+    }
+
+    #[test]
+    fn layernorm_exact_zero_mean_unit_var() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let y = layernorm_exact(&xs, 1e-5);
+        let mean: f64 = y.iter().sum::<f64>() / 4.0;
+        let var: f64 = y.iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn layernorm_approx_close_to_exact() {
+        let unit = ApproxRsqrt::new(16, Q4_12, Rounding::NearestEven).unwrap();
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.31).cos() * 2.0).collect();
+        let exact = layernorm_exact(&xs, 1e-5);
+        let approx = layernorm_approx(&xs, 1e-5, &unit);
+        let report = metrics::compare_slices(&exact, &approx);
+        assert!(report.max_abs < 0.05, "{report}");
+    }
+}

@@ -1,0 +1,295 @@
+use std::fmt;
+
+use crate::ApproxError;
+
+/// A piecewise-linear function: `n` segments over a clamp domain, each with
+/// an independent slope and bias (`y = a_i·x + b_i` on segment `i`).
+///
+/// This is the mathematical object NN-LUT stores in SRAM and NOVA stores in
+/// wires. Segments need not join continuously — each `(slope, bias)` pair is
+/// fit independently, which is exactly what a LUT of per-segment pairs
+/// expresses and gives strictly lower L2 error than a continuous fit.
+///
+/// Interior breakpoints `d_1 < d_2 < … < d_{n-1}` split the domain
+/// `[lo, hi]`; inputs are clamped to the domain first, mirroring the
+/// saturating comparator front-end of the hardware.
+///
+/// # Example
+///
+/// ```
+/// use nova_approx::PiecewiseLinear;
+///
+/// # fn main() -> Result<(), nova_approx::ApproxError> {
+/// // |x| on [-1, 1] with one breakpoint at 0.
+/// let pwl = PiecewiseLinear::new(vec![0.0], vec![-1.0, 1.0], vec![0.0, 0.0], (-1.0, 1.0))?;
+/// assert_eq!(pwl.eval(-0.5), 0.5);
+/// assert_eq!(pwl.eval(0.25), 0.25);
+/// assert_eq!(pwl.eval(9.0), 1.0); // clamped to the domain edge
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    breakpoints: Vec<f64>,
+    slopes: Vec<f64>,
+    biases: Vec<f64>,
+    domain: (f64, f64),
+}
+
+impl PiecewiseLinear {
+    /// Builds a PWL function from explicit tables.
+    ///
+    /// `breakpoints` are the `n-1` interior boundaries for `n = slopes.len()`
+    /// segments.
+    ///
+    /// # Errors
+    ///
+    /// - [`ApproxError::TableShape`] if `slopes`, `biases`, `breakpoints`
+    ///   lengths are inconsistent,
+    /// - [`ApproxError::TooFewSegments`] if there are no segments,
+    /// - [`ApproxError::BadDomain`] if `lo >= hi`,
+    /// - [`ApproxError::BadBreakpoints`] if breakpoints are not strictly
+    ///   increasing inside `(lo, hi)`.
+    pub fn new(
+        breakpoints: Vec<f64>,
+        slopes: Vec<f64>,
+        biases: Vec<f64>,
+        domain: (f64, f64),
+    ) -> Result<Self, ApproxError> {
+        if slopes.is_empty() {
+            return Err(ApproxError::TooFewSegments);
+        }
+        if slopes.len() != biases.len() || breakpoints.len() + 1 != slopes.len() {
+            return Err(ApproxError::TableShape {
+                slopes: slopes.len(),
+                biases: biases.len(),
+                breakpoints: breakpoints.len(),
+            });
+        }
+        let (lo, hi) = domain;
+        if !(lo < hi) {
+            return Err(ApproxError::BadDomain { lo, hi });
+        }
+        let mut prev = lo;
+        for &d in &breakpoints {
+            if !(d > prev && d < hi) {
+                return Err(ApproxError::BadBreakpoints);
+            }
+            prev = d;
+        }
+        Ok(Self { breakpoints, slopes, biases, domain })
+    }
+
+    /// Fits per-segment least-squares lines to `f` over the given interior
+    /// breakpoints using `samples_per_segment` evenly spaced samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor's validation errors for the supplied
+    /// breakpoints/domain.
+    pub fn fit(
+        f: &dyn Fn(f64) -> f64,
+        domain: (f64, f64),
+        breakpoints: &[f64],
+        samples_per_segment: usize,
+    ) -> Result<Self, ApproxError> {
+        let n = breakpoints.len() + 1;
+        let mut slopes = Vec::with_capacity(n);
+        let mut biases = Vec::with_capacity(n);
+        let edges = Self::edges_of(domain, breakpoints);
+        for w in edges.windows(2) {
+            let (a, b) = least_squares_line(f, w[0], w[1], samples_per_segment.max(2));
+            slopes.push(a);
+            biases.push(b);
+        }
+        Self::new(breakpoints.to_vec(), slopes, biases, domain)
+    }
+
+    fn edges_of(domain: (f64, f64), breakpoints: &[f64]) -> Vec<f64> {
+        let mut edges = Vec::with_capacity(breakpoints.len() + 2);
+        edges.push(domain.0);
+        edges.extend_from_slice(breakpoints);
+        edges.push(domain.1);
+        edges
+    }
+
+    /// Number of segments (= slope/bias pairs = the paper's "breakpoints").
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// The clamp domain `[lo, hi]`.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    /// Interior breakpoints (`segments() - 1` of them).
+    #[must_use]
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+
+    /// Per-segment slopes.
+    #[must_use]
+    pub fn slopes(&self) -> &[f64] {
+        &self.slopes
+    }
+
+    /// Per-segment biases.
+    #[must_use]
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Segment boundaries including the domain edges
+    /// (`segments() + 1` values).
+    #[must_use]
+    pub fn edges(&self) -> Vec<f64> {
+        Self::edges_of(self.domain, &self.breakpoints)
+    }
+
+    /// The segment index a (clamped) input falls into — the "lookup
+    /// address" the hardware comparators generate.
+    #[must_use]
+    pub fn segment_index(&self, x: f64) -> usize {
+        let x = x.clamp(self.domain.0, self.domain.1);
+        // partition_point returns the number of breakpoints <= x, i.e. the
+        // comparator count that fired — exactly the thermometer-to-binary
+        // encoding of the hardware address generator.
+        self.breakpoints.partition_point(|&d| d <= x)
+    }
+
+    /// Evaluates the PWL function (clamping the input to the domain).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let xc = x.clamp(self.domain.0, self.domain.1);
+        let i = self.segment_index(xc);
+        self.slopes[i] * xc + self.biases[i]
+    }
+}
+
+impl fmt::Display for PiecewiseLinear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PWL({} segments on [{}, {}])",
+            self.segments(),
+            self.domain.0,
+            self.domain.1
+        )
+    }
+}
+
+/// Least-squares line `y = a·x + b` over `n` even samples of `f` on
+/// `[lo, hi]`.
+fn least_squares_line(f: &dyn Fn(f64) -> f64, lo: f64, hi: f64, n: usize) -> (f64, f64) {
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    let step = (hi - lo) / (n - 1) as f64;
+    for k in 0..n {
+        let x = lo + step * k as f64;
+        let y = f(x);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let nf = n as f64;
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-30 {
+        // Degenerate (all x identical): flat line through the mean.
+        return (0.0, sy / nf);
+    }
+    let a = (nf * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / nf;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    #[test]
+    fn constructor_validates_shapes() {
+        assert!(matches!(
+            PiecewiseLinear::new(vec![], vec![], vec![], (0.0, 1.0)),
+            Err(ApproxError::TooFewSegments)
+        ));
+        assert!(matches!(
+            PiecewiseLinear::new(vec![0.5], vec![1.0], vec![0.0], (0.0, 1.0)),
+            Err(ApproxError::TableShape { .. })
+        ));
+        assert!(matches!(
+            PiecewiseLinear::new(vec![], vec![1.0], vec![0.0], (1.0, 1.0)),
+            Err(ApproxError::BadDomain { .. })
+        ));
+        assert!(matches!(
+            PiecewiseLinear::new(vec![2.0], vec![1.0, 1.0], vec![0.0, 0.0], (0.0, 1.0)),
+            Err(ApproxError::BadBreakpoints)
+        ));
+        assert!(matches!(
+            PiecewiseLinear::new(vec![0.5, 0.5], vec![1.0; 3], vec![0.0; 3], (0.0, 1.0)),
+            Err(ApproxError::BadBreakpoints)
+        ));
+    }
+
+    #[test]
+    fn segment_index_thermometer() {
+        let pwl = PiecewiseLinear::new(
+            vec![-1.0, 0.0, 1.0],
+            vec![0.0; 4],
+            vec![0.0; 4],
+            (-2.0, 2.0),
+        )
+        .unwrap();
+        assert_eq!(pwl.segment_index(-1.5), 0);
+        assert_eq!(pwl.segment_index(-1.0), 1); // breakpoint belongs to the upper segment
+        assert_eq!(pwl.segment_index(-0.5), 1);
+        assert_eq!(pwl.segment_index(0.7), 2);
+        assert_eq!(pwl.segment_index(1.2), 3);
+        assert_eq!(pwl.segment_index(99.0), 3); // clamped
+        assert_eq!(pwl.segment_index(-99.0), 0);
+    }
+
+    #[test]
+    fn fit_linear_function_is_exact() {
+        let f = |x: f64| 3.0 * x - 1.0;
+        let pwl = PiecewiseLinear::fit(&f, (-2.0, 2.0), &[0.0], 50).unwrap();
+        for x in [-1.9, -0.3, 0.0, 1.4] {
+            assert!((pwl.eval(x) - f(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_segments_reduce_error() {
+        let f = |x: f64| Activation::Sigmoid.eval(x);
+        let dom = (-6.0, 6.0);
+        let coarse = PiecewiseLinear::fit(&f, dom, &[-2.0, 2.0], 50).unwrap();
+        let bp16: Vec<f64> = (1..16).map(|i| -6.0 + 12.0 * i as f64 / 16.0).collect();
+        let fine = PiecewiseLinear::fit(&f, dom, &bp16, 50).unwrap();
+        let err = |p: &PiecewiseLinear| {
+            (0..=600)
+                .map(|k| -6.0 + k as f64 * 0.02)
+                .map(|x| (p.eval(x) - f(x)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err(&fine) < err(&coarse) / 4.0);
+    }
+
+    #[test]
+    fn eval_clamps_to_domain() {
+        let f = |x: f64| x * x;
+        let pwl = PiecewiseLinear::fit(&f, (0.0, 2.0), &[1.0], 50).unwrap();
+        assert_eq!(pwl.eval(5.0), pwl.eval(2.0));
+        assert_eq!(pwl.eval(-5.0), pwl.eval(0.0));
+    }
+
+    #[test]
+    fn edges_include_domain() {
+        let pwl = PiecewiseLinear::new(vec![0.5], vec![1.0, 1.0], vec![0.0, 0.0], (0.0, 1.0))
+            .unwrap();
+        assert_eq!(pwl.edges(), vec![0.0, 0.5, 1.0]);
+    }
+}

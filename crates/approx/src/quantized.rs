@@ -1,0 +1,275 @@
+use nova_fixed::{Fixed, QFormat, Rounding};
+
+use crate::{ApproxError, PiecewiseLinear};
+
+/// One broadcast/LUT entry: a quantized `(slope, bias)` pair.
+///
+/// On the NOVA NoC each pair occupies two 16-bit words of the 257-bit flit;
+/// in the LUT baselines each pair is 4 bytes of a 64-byte bank (16 pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlopeBias {
+    /// Quantized segment slope `a_i`.
+    pub slope: Fixed,
+    /// Quantized segment bias `b_i`.
+    pub bias: Fixed,
+}
+
+/// The hardware form of a [`PiecewiseLinear`] function: Q-format breakpoint
+/// thresholds for the comparator front-end plus Q-format `(slope, bias)`
+/// pairs for the MAC back-end.
+///
+/// Evaluation is bit-exact with the 16-bit datapath: the comparators
+/// produce a lookup address, the addressed pair feeds a fused
+/// multiply-add, and one rounding step produces the output word.
+///
+/// # Example
+///
+/// ```
+/// use nova_approx::{Activation, fit, QuantizedPwl};
+/// use nova_fixed::{Fixed, Q4_12, Rounding};
+///
+/// # fn main() -> Result<(), nova_approx::ApproxError> {
+/// let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)?;
+/// let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven)?;
+/// let x = Fixed::from_f64(1.0, Q4_12, Rounding::NearestEven);
+/// let y = q.eval(x);
+/// assert!((y.to_f64() - 0.731).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPwl {
+    format: QFormat,
+    rounding: Rounding,
+    /// Interior thresholds, strictly increasing (comparator inputs).
+    breakpoints: Vec<Fixed>,
+    /// One pair per segment (`breakpoints.len() + 1` entries).
+    pairs: Vec<SlopeBias>,
+    /// Clamp bounds in the fixed format.
+    lo: Fixed,
+    hi: Fixed,
+}
+
+impl QuantizedPwl {
+    /// Quantizes a real-valued PWL function into hardware tables.
+    ///
+    /// Slopes and biases are quantized independently with `rounding`;
+    /// breakpoints are quantized and deduplicated (two breakpoints closer
+    /// than one resolution step collapse, merging their segments — this is
+    /// what the RTL's comparator thresholds would do too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::BadBreakpoints`] if after quantization no
+    /// valid strictly-increasing threshold list remains but segments
+    /// disagree, or a fixed-point error if the domain does not fit the
+    /// format.
+    pub fn from_pwl(
+        pwl: &PiecewiseLinear,
+        format: QFormat,
+        rounding: Rounding,
+    ) -> Result<Self, ApproxError> {
+        let (dlo, dhi) = pwl.domain();
+        let lo = Fixed::from_f64(dlo, format, rounding);
+        let hi = Fixed::from_f64(dhi, format, rounding);
+
+        let mut breakpoints: Vec<Fixed> = Vec::with_capacity(pwl.breakpoints().len());
+        let mut pairs: Vec<SlopeBias> = Vec::with_capacity(pwl.segments());
+        pairs.push(SlopeBias {
+            slope: Fixed::from_f64(pwl.slopes()[0], format, rounding),
+            bias: Fixed::from_f64(pwl.biases()[0], format, rounding),
+        });
+        for (i, &d) in pwl.breakpoints().iter().enumerate() {
+            let qd = Fixed::from_f64(d, format, rounding);
+            let pair = SlopeBias {
+                slope: Fixed::from_f64(pwl.slopes()[i + 1], format, rounding),
+                bias: Fixed::from_f64(pwl.biases()[i + 1], format, rounding),
+            };
+            // Collapse breakpoints that quantize onto an existing threshold
+            // (or the domain edge): the later segment wins, as in RTL where
+            // equal thresholds make the lower comparator redundant.
+            let degenerate = breakpoints.last().is_some_and(|&p| qd.raw() <= p.raw())
+                || qd.raw() <= lo.raw()
+                || qd.raw() >= hi.raw();
+            if degenerate {
+                *pairs.last_mut().expect("at least one segment") = pair;
+            } else {
+                breakpoints.push(qd);
+                pairs.push(pair);
+            }
+        }
+        Ok(Self { format, rounding, breakpoints, pairs, lo, hi })
+    }
+
+    /// The word format of the tables.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The rounding mode used for quantization and the MAC output.
+    #[must_use]
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// Number of segments (= slope/bias pairs after quantization).
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The quantized `(slope, bias)` pairs, one per segment. These are the
+    /// words the NOVA NoC broadcasts (8 per flit).
+    #[must_use]
+    pub fn pairs(&self) -> &[SlopeBias] {
+        &self.pairs
+    }
+
+    /// The quantized interior thresholds the comparators hold.
+    #[must_use]
+    pub fn breakpoints(&self) -> &[Fixed] {
+        &self.breakpoints
+    }
+
+    /// Clamp bounds in the fixed format.
+    #[must_use]
+    pub fn clamp_bounds(&self) -> (Fixed, Fixed) {
+        (self.lo, self.hi)
+    }
+
+    /// Clamps an input word to the function domain (the saturating
+    /// comparator front-end).
+    #[must_use]
+    pub fn clamp(&self, x: Fixed) -> Fixed {
+        if x.raw() < self.lo.raw() {
+            self.lo
+        } else if x.raw() > self.hi.raw() {
+            self.hi
+        } else {
+            x
+        }
+    }
+
+    /// The lookup address the comparator tree generates for input `x`:
+    /// the number of thresholds `<= x` after clamping.
+    ///
+    /// For 16 segments this is the 4-bit address whose LSB is matched
+    /// against the NoC flit's tag bit and whose upper bits select the pair
+    /// within the flit.
+    #[must_use]
+    pub fn lookup_address(&self, x: Fixed) -> usize {
+        let x = self.clamp(x);
+        self.breakpoints.partition_point(|d| d.raw() <= x.raw())
+    }
+
+    /// Full datapath evaluation: clamp → comparator address → pair select →
+    /// fused MAC with a single output rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the table's format (a wiring bug, not a data
+    /// condition — hardware cannot mix word formats).
+    #[must_use]
+    pub fn eval(&self, x: Fixed) -> Fixed {
+        assert_eq!(x.format(), self.format, "input word format must match table format");
+        let xc = self.clamp(x);
+        let pair = self.pairs[self.lookup_address(xc)];
+        pair.slope
+            .mul_add(xc, pair.bias, self.rounding)
+            .expect("formats verified equal above")
+    }
+
+    /// Evaluates a whole vector through the datapath.
+    #[must_use]
+    pub fn eval_slice(&self, xs: &[Fixed]) -> Vec<Fixed> {
+        xs.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// Convenience: quantize an `f64`, evaluate, return `f64`.
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        self.eval(Fixed::from_f64(x, self.format, self.rounding)).to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fit, Activation, PiecewiseLinear};
+    use nova_fixed::{Q4_12, Q6_10};
+
+    fn sigmoid16() -> QuantizedPwl {
+        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
+            .unwrap();
+        QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+    }
+
+    #[test]
+    fn sixteen_segments_survive_quantization() {
+        let q = sigmoid16();
+        assert_eq!(q.segments(), 16);
+        assert_eq!(q.breakpoints().len(), 15);
+    }
+
+    #[test]
+    fn eval_matches_float_pwl_within_quantization() {
+        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
+            .unwrap();
+        let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
+        for k in 0..100 {
+            let x = -7.5 + 15.0 * k as f64 / 99.0;
+            let err = (q.eval_f64(x) - pwl.eval(x)).abs();
+            // Quantization of x, slope, bias and the output each contribute
+            // up to half a resolution step; slope error is amplified by |x|<8.
+            assert!(err < 8.5 * Q4_12.resolution() * 2.0, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn lookup_address_monotone_nondecreasing() {
+        let q = sigmoid16();
+        let mut prev = 0;
+        for raw in (Q4_12.min_raw()..Q4_12.max_raw()).step_by(257) {
+            let x = Fixed::from_raw(raw, Q4_12).unwrap();
+            let a = q.lookup_address(x);
+            assert!(a >= prev, "address must not decrease as x grows");
+            assert!(a < q.segments());
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn degenerate_breakpoints_collapse() {
+        // Two breakpoints closer than one Q4.12 step must merge.
+        let eps = 1e-6;
+        let pwl = PiecewiseLinear::new(
+            vec![0.5, 0.5 + eps],
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.1, 0.2],
+            (0.0, 1.0),
+        )
+        .unwrap();
+        let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
+        assert_eq!(q.segments(), 2);
+        // The surviving second segment is the *later* one (slope 3).
+        assert!((q.pairs()[1].slope.to_f64() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamp_bounds_respected() {
+        let q = sigmoid16();
+        let big = Fixed::from_f64(7.99, Q4_12, Rounding::NearestEven);
+        let clamped = q.clamp(big);
+        let (_, hi) = q.clamp_bounds();
+        assert!(clamped.raw() <= hi.raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "format")]
+    fn mixed_format_input_panics() {
+        let q = sigmoid16();
+        let wrong = Fixed::zero(Q6_10);
+        let _ = q.eval(wrong);
+    }
+}

@@ -1,0 +1,45 @@
+//! §V.A scalability: how many routers a broadcast crosses in one cycle,
+//! versus clock frequency and router pitch, and what happens beyond.
+
+use nova_bench::table::Table;
+use nova_synth::{timing, TechModel};
+
+fn main() {
+    let tech = TechModel::cmos22();
+
+    let mut t = Table::new(
+        "§V.A — single-cycle SMART reach (routers) vs NoC clock, 1 mm pitch",
+        &["NoC clock (GHz)", "Max routers/cycle", "Cycles for 10 routers", "Cycles for 20 routers"],
+    );
+    for f in [0.5, 0.75, 1.0, 1.5, 2.0, 2.8, 3.0] {
+        t.row(&[
+            format!("{f:.2}"),
+            timing::max_hops_per_cycle(&tech, f, 1.0).to_string(),
+            timing::broadcast_cycles(&tech, 10, f, 1.0).to_string(),
+            timing::broadcast_cycles(&tech, 20, f, 1.0).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper anchor: at 1.5 GHz with 1 mm pitch, exactly 10 routers are\n\
+         single-cycle reachable — reproduced: {} routers.",
+        timing::max_hops_per_cycle(&tech, 1.5, 1.0)
+    );
+
+    let mut t2 = Table::new(
+        "Reach vs router pitch at 1.5 GHz",
+        &["Pitch (mm)", "Max routers/cycle", "Max single-cycle clock for 10 routers (GHz)"],
+    );
+    for pitch in [0.3, 0.5, 1.0, 1.5, 2.0] {
+        t2.row(&[
+            format!("{pitch:.1}"),
+            timing::max_hops_per_cycle(&tech, 1.5, pitch).to_string(),
+            format!("{:.2}", timing::max_single_cycle_freq_ghz(&tech, 10, pitch)),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nTrade-off (paper): scaling beyond 10 routers makes the traversal\n\
+         multi-cycle, trading latency for lower clock frequency and power."
+    );
+}

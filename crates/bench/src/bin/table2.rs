@@ -1,0 +1,36 @@
+//! Table II: accelerator parameters integrated with NOVA.
+
+use nova_accel::AcceleratorConfig;
+use nova_bench::table::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table II — accelerator parameters integrated with NOVA",
+        &[
+            "Hardware Accelerator",
+            "NOVA routers",
+            "Neurons per router",
+            "On-chip memory",
+            "Frequency (0.8V) [MHz]",
+            "Router pitch [mm]",
+            "Eval seq len",
+        ],
+    );
+    for cfg in AcceleratorConfig::table2() {
+        let mem = if cfg.onchip_memory_kb >= 1024 {
+            format!("{} MB", cfg.onchip_memory_kb / 1024)
+        } else {
+            format!("{} kB", cfg.onchip_memory_kb)
+        };
+        t.row(&[
+            cfg.name.to_string(),
+            cfg.nova_routers.to_string(),
+            cfg.neurons_per_router.to_string(),
+            mem,
+            format!("{:.0}", cfg.frequency_mhz),
+            format!("{:.1}", cfg.router_pitch_mm),
+            cfg.default_seq_len.to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,115 @@
+//! Table III: hardware overhead of NOVA versus LUT-based approximators on
+//! top of each host accelerator, plus the §V.C REACT overhead percentages.
+
+use nova::engine::{approximator_power_mw, ApproximatorKind};
+use nova::NovaOverlay;
+use nova_accel::AcceleratorConfig;
+use nova_bench::table::{vs_paper, Table};
+use nova_synth::{units, LutSharing, TechModel};
+
+struct PaperRow {
+    approximator: &'static str,
+    area_mm2: f64,
+    power_mw: f64,
+}
+
+fn main() {
+    let tech = TechModel::cmos22();
+    let mut t = Table::new(
+        "Table III — hardware overhead of NOVA vs LUT-based approximators",
+        &["Accelerator", "Hardware Approximator", "Area (mm²)", "Power (mW)"],
+    );
+
+    let paper: &[(&str, &[PaperRow])] = &[
+        (
+            "REACT",
+            &[
+                PaperRow { approximator: "naive LUT (per-neuron LUT)", area_mm2: 6.058, power_mw: 289.08 },
+                PaperRow { approximator: "naive LUT (per-core LUT)", area_mm2: 3.226, power_mw: 292.57 },
+                PaperRow { approximator: "NOVA NoC", area_mm2: 1.817, power_mw: 117.51 },
+            ],
+        ),
+        (
+            "TPU v3-like",
+            &[
+                PaperRow { approximator: "naive LUT (per-neuron LUT)", area_mm2: 1.267, power_mw: 382.468 },
+                PaperRow { approximator: "naive LUT (per-core LUT)", area_mm2: 1.004, power_mw: 862.472 },
+                PaperRow { approximator: "NOVA NoC", area_mm2: 0.414, power_mw: 103.78 },
+            ],
+        ),
+        (
+            "TPU v4-like",
+            &[
+                PaperRow { approximator: "naive LUT (per-neuron LUT)", area_mm2: 2.534, power_mw: 764.936 },
+                PaperRow { approximator: "naive LUT (per-core LUT)", area_mm2: 2.008, power_mw: 1724.94 },
+                PaperRow { approximator: "NOVA NoC", area_mm2: 0.82, power_mw: 184.83 },
+            ],
+        ),
+        (
+            "Jetson Xavier NX",
+            &[
+                PaperRow { approximator: "NVDLA SDP", area_mm2: 0.1382, power_mw: 48.867 },
+                PaperRow { approximator: "NOVA NoC", area_mm2: 0.0276, power_mw: 1.294 },
+            ],
+        ),
+    ];
+
+    for (host, rows) in paper {
+        let cfg = match *host {
+            "REACT" => AcceleratorConfig::react(),
+            "TPU v3-like" => AcceleratorConfig::tpu_v3_like(),
+            "TPU v4-like" => AcceleratorConfig::tpu_v4_like(),
+            _ => AcceleratorConfig::jetson_xavier_nx(),
+        };
+        let overlay = NovaOverlay::new(&cfg);
+        for row in *rows {
+            let (area, power) = match row.approximator {
+                "NOVA NoC" => {
+                    let ap = overlay.area_power(&tech);
+                    (ap.area_mm2, ap.power_mw)
+                }
+                "naive LUT (per-neuron LUT)" => {
+                    let ap = overlay.lut_area_power(&tech, LutSharing::PerNeuron);
+                    (ap.area_mm2, ap.power_mw)
+                }
+                "naive LUT (per-core LUT)" => {
+                    let ap = overlay.lut_area_power(&tech, LutSharing::PerCore);
+                    (ap.area_mm2, ap.power_mw)
+                }
+                _ => {
+                    let unit = units::nvdla_sdp(&tech, cfg.neurons_per_router);
+                    let area = unit.area_um2 * cfg.nova_routers as f64 * 1e-6;
+                    let power =
+                        approximator_power_mw(&tech, &cfg, ApproximatorKind::NvdlaSdp);
+                    (area, power)
+                }
+            };
+            t.row(&[
+                (*host).to_string(),
+                row.approximator.to_string(),
+                vs_paper(area, row.area_mm2, 4),
+                vs_paper(power, row.power_mw, 2),
+            ]);
+        }
+    }
+    t.print();
+
+    // §V.C: overhead as % of the REACT die.
+    let react = AcceleratorConfig::react();
+    let overlay = NovaOverlay::new(&react);
+    let die = react.die_area_mm2.expect("REACT reports a die area");
+    let pct = |mm2: f64| 100.0 * mm2 / die;
+    println!("\n§V.C REACT area overheads (% of ~{die:.1} mm² die):");
+    println!(
+        "  per-neuron LUT : {:>6.2}%   (paper 31%)",
+        pct(overlay.lut_area_power(&tech, LutSharing::PerNeuron).area_mm2)
+    );
+    println!(
+        "  per-core LUT   : {:>6.2}%   (paper 19.2%)",
+        pct(overlay.lut_area_power(&tech, LutSharing::PerCore).area_mm2)
+    );
+    println!(
+        "  NOVA NoC       : {:>6.2}%   (paper 9.11%)",
+        overlay.area_overhead_pct(&tech).expect("die area known")
+    );
+}

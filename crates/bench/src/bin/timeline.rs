@@ -1,0 +1,64 @@
+//! Per-layer execution timeline and the paper's §I motivation claim:
+//! "non-linear operations can consume up to nearly 40% of the runtime in
+//! models with significant attention layers".
+//!
+//! The claim holds when the non-linear operators are *serialized* behind a
+//! narrow vector unit; a full-width approximator (LUT or NOVA) shrinks the
+//! share to noise. This binary shows both regimes.
+
+use nova::timeline::{layer_timeline, totals};
+use nova::ApproximatorKind;
+use nova_accel::AcceleratorConfig;
+use nova_bench::table::Table;
+use nova_workloads::bert::BertConfig;
+
+fn main() {
+    let cfg = AcceleratorConfig::tpu_v4_like();
+    let model = BertConfig::roberta_base();
+    let seq = 1024;
+
+    // Detailed phase breakdown for one layer.
+    let phases = layer_timeline(&cfg, &model, seq, ApproximatorKind::NovaNoc);
+    let mut t = Table::new(
+        format!("One {} encoder layer on {} (seq {seq}) — NOVA", model.name, cfg.name),
+        &["Phase", "Cycles"],
+    );
+    for p in &phases {
+        if p.cycles > 0 {
+            t.row(&[p.label.clone(), p.cycles.to_string()]);
+        }
+    }
+    t.print();
+    let (mm, nl, sw) = totals(&phases);
+    println!(
+        "  totals: matmul {mm} cycles, non-linear {nl} cycles, table switches {sw} cycles\n\
+         → non-linear share with a full-width approximator: {:.1}%",
+        100.0 * nl as f64 / (mm + nl + sw) as f64
+    );
+
+    // §I claim: with the approximator serialized through a narrow unit
+    // (e.g. a 32-lane vector unit, as on CPUs/early NPUs), the share
+    // explodes.
+    let mut t2 = Table::new(
+        "§I motivation — non-linear runtime share vs vector-unit width (RoBERTa, seq 1024)",
+        &["Vector-unit lanes", "Non-linear share of runtime (%)"],
+    );
+    for lanes in [32u64, 128, 512, 1024u64] {
+        let queries: u64 = phases
+            .iter()
+            .filter_map(|p| match p.kind {
+                nova::timeline::PhaseKind::NonLinear { queries } => Some(queries),
+                _ => None,
+            })
+            .sum();
+        let nl_cycles = queries.div_ceil(lanes) * 2;
+        let share = 100.0 * nl_cycles as f64 / (mm + nl_cycles) as f64;
+        t2.row(&[lanes.to_string(), format!("{share:.1}")]);
+    }
+    t2.print();
+    println!(
+        "  The paper's \"up to ~40% of runtime\" regime is the narrow-unit row;\n\
+         NOVA's full-width overlay ({} neurons here) removes the bottleneck.",
+        cfg.total_neurons()
+    );
+}

@@ -1,0 +1,120 @@
+//! Minimal fixed-width table printing for the reproduction binaries.
+
+/// A printable table with a title, column headers and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n=== {} ===", self.title);
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            println!("| {} |", joined.join(" | "));
+        };
+        line(&self.headers);
+        println!(
+            "|{}|",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Renders grouped horizontal bars for a figure-style comparison:
+/// one row per x-point, one bar per labeled series, scaled to the global
+/// maximum.
+///
+/// # Panics
+///
+/// Panics if series lengths disagree with the x-labels.
+pub fn bar_chart(title: &str, x_labels: &[String], series: &[(&str, Vec<f64>)], width: usize) {
+    for (_, v) in series {
+        assert_eq!(v.len(), x_labels.len(), "series length mismatch");
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let xw = x_labels.iter().map(String::len).max().unwrap_or(0);
+    println!("\n--- {title} ---");
+    for (i, x) in x_labels.iter().enumerate() {
+        for (j, (label, values)) in series.iter().enumerate() {
+            let v = values[i];
+            let bars = ((v / max) * width as f64).round().max(1.0) as usize;
+            let x_cell = if j == 0 { x.as_str() } else { "" };
+            println!("{x_cell:>xw$} {label:<label_w$} {} {v:.2}", "█".repeat(bars));
+        }
+    }
+}
+
+/// Formats a measured-vs-paper pair with the ratio, e.g. `1.85 (paper 1.82, 1.02x)`.
+#[must_use]
+pub fn vs_paper(measured: f64, paper: f64, decimals: usize) -> String {
+    if paper == 0.0 {
+        return format!("{measured:.decimals$}");
+    }
+    format!(
+        "{measured:.decimals$} (paper {paper:.decimals$}, {:.2}x)",
+        measured / paper
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_formats_ratio() {
+        let s = vs_paper(2.0, 1.0, 1);
+        assert!(s.contains("2.00x"));
+        assert_eq!(vs_paper(3.5, 0.0, 2), "3.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Top-level error type: wraps the substrate errors plus overlay-specific
+/// conditions.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NovaError {
+    /// Approximation/fitting failure.
+    Approx(nova_approx::ApproxError),
+    /// NoC configuration/simulation failure.
+    Noc(nova_noc::NocError),
+    /// LUT unit failure.
+    Lut(nova_lut::LutError),
+    /// The mapper found the broadcast infeasible (too many routers for
+    /// single-cycle reach at the required NoC clock).
+    MappingInfeasible {
+        /// Routers requested.
+        routers: usize,
+        /// Single-cycle reach at the planned NoC clock.
+        reach: usize,
+    },
+    /// Batch shape did not match the overlay geometry.
+    BatchShape(String),
+}
+
+impl fmt::Display for NovaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NovaError::Approx(e) => write!(f, "approximation error: {e}"),
+            NovaError::Noc(e) => write!(f, "noc error: {e}"),
+            NovaError::Lut(e) => write!(f, "lut error: {e}"),
+            NovaError::MappingInfeasible { routers, reach } => write!(
+                f,
+                "mapping infeasible: {routers} routers exceed single-cycle reach {reach}"
+            ),
+            NovaError::BatchShape(msg) => write!(f, "batch shape error: {msg}"),
+        }
+    }
+}
+
+impl Error for NovaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NovaError::Approx(e) => Some(e),
+            NovaError::Noc(e) => Some(e),
+            NovaError::Lut(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nova_approx::ApproxError> for NovaError {
+    fn from(e: nova_approx::ApproxError) -> Self {
+        NovaError::Approx(e)
+    }
+}
+
+impl From<nova_noc::NocError> for NovaError {
+    fn from(e: nova_noc::NocError) -> Self {
+        NovaError::Noc(e)
+    }
+}
+
+impl From<nova_lut::LutError> for NovaError {
+    fn from(e: nova_lut::LutError) -> Self {
+        NovaError::Lut(e)
+    }
+}

@@ -1,0 +1,59 @@
+//! NOVA: a NoC-based Vector Unit for mapping attention layers on CNN
+//! accelerators — a from-scratch Rust reproduction of the DATE 2024 paper
+//! by Upadhyay, Juneja, Wong and Peh.
+//!
+//! NOVA replaces the SRAM lookup tables of NN-LUT-style non-linear
+//! approximators with an on-chip broadcast: the piecewise-linear
+//! `(slope, bias)` pairs travel on a 257-bit line NoC with clockless
+//! repeaters, and each router's comparator-addressed tag match latches the
+//! right pair for every neuron's MAC. The result is a vector unit that is
+//! ~3× smaller and an order of magnitude more power-efficient than LUT
+//! baselines, overlayable onto existing accelerators (REACT, TPU-like
+//! systolic cores, NVDLA).
+//!
+//! This crate is the top of the reproduction stack:
+//!
+//! - [`VectorUnit`]: one trait over the NOVA NoC and the LUT baselines —
+//!   identical functional results, different latency/cost semantics,
+//! - [`NovaOverlay`]: attach a NOVA NoC to a Table II accelerator config
+//!   (Fig 5) and cost it with the 22 nm model,
+//! - [`Mapper`]: the §IV software mapper — compiles activation tables into
+//!   broadcast schedules and programs the NoC clock multiplier, checking
+//!   the SMART timing feasibility,
+//! - [`engine`]: per-inference runtime + energy (the Fig 8 evaluation).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nova::{engine, ApproximatorKind};
+//! use nova_accel::AcceleratorConfig;
+//! use nova_workloads::bert::BertConfig;
+//!
+//! # fn main() -> Result<(), nova::NovaError> {
+//! let tpu = AcceleratorConfig::tpu_v4_like();
+//! let report = engine::evaluate(&tpu, &BertConfig::bert_tiny(), 128,
+//!                               ApproximatorKind::NovaNoc)?;
+//! assert!(report.approximator_energy_mj > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod engine;
+pub mod mapper;
+pub mod overlay;
+pub mod react_pipeline;
+pub mod timeline;
+pub mod vector_unit;
+
+pub use engine::{ApproximatorKind, InferenceReport};
+pub use error::NovaError;
+pub use mapper::{Mapper, MappingPlan};
+pub use overlay::NovaOverlay;
+pub use vector_unit::{
+    LutVariant, LutVectorUnit, NovaVectorUnit, SegmentedNovaUnit, VectorUnit,
+};

@@ -1,0 +1,218 @@
+//! The NOVA mapper (paper §IV).
+//!
+//! The mapper runs at compile time: it takes the activation tables the
+//! model needs, compiles each into a broadcast schedule, and programs the
+//! NoC clock so the lookup latency stays at one accelerator cycle. It also
+//! checks physical feasibility: at the chosen NoC clock and router pitch,
+//! the SMART reach must still cover the whole line in one cycle (otherwise
+//! the broadcast degrades to multi-cycle — the §V.A trade-off).
+
+use nova_approx::{fit, Activation, QuantizedPwl};
+use nova_fixed::{QFormat, Rounding};
+use nova_noc::{BroadcastSchedule, LinkConfig};
+use nova_synth::{timing, TechModel};
+
+use crate::NovaError;
+
+/// One activation's compiled mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationMapping {
+    /// The operator.
+    pub activation: Activation,
+    /// Its quantized table.
+    pub table: QuantizedPwl,
+    /// Its broadcast schedule.
+    pub schedule: BroadcastSchedule,
+}
+
+/// The mapper's output: per-activation schedules plus the programmed NoC
+/// clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingPlan {
+    /// Compiled activations.
+    pub mappings: Vec<ActivationMapping>,
+    /// NoC clock multiplier over the core clock (max over activations;
+    /// paper: 2× for 16 breakpoints).
+    pub noc_clock_multiplier: usize,
+    /// The resulting NoC clock (GHz).
+    pub noc_clock_ghz: f64,
+    /// Single-cycle SMART reach at that clock and pitch (routers).
+    pub reach: usize,
+    /// Whether the whole line is covered in one NoC cycle.
+    pub single_cycle_broadcast: bool,
+}
+
+/// The compile-time mapper.
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    format: QFormat,
+    rounding: Rounding,
+    segments: usize,
+    link: LinkConfig,
+    strategy: fit::BreakpointStrategy,
+}
+
+impl Mapper {
+    /// A mapper with the paper's defaults: 16 breakpoints, Q4.12 words,
+    /// the 257-bit link, MLP-quality greedy breakpoint refinement.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            format: nova_fixed::Q4_12,
+            rounding: Rounding::NearestEven,
+            segments: 16,
+            link: LinkConfig::paper(),
+            strategy: fit::BreakpointStrategy::GreedyRefine,
+        }
+    }
+
+    /// Overrides the segment count (breakpoints ablation).
+    #[must_use]
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Overrides the link geometry (broadcast-width ablation).
+    #[must_use]
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Overrides the breakpoint placement strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: fit::BreakpointStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured PWL segment count.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Compiles a plan for `activations` on a line of `routers` routers at
+    /// `core_ghz` with `pitch_mm` spacing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting/quantization/schedule errors. A line that cannot
+    /// be covered in one NoC cycle is *not* an error — the plan reports
+    /// `single_cycle_broadcast = false` and the simulator handles the
+    /// multi-cycle traversal — but zero activations is.
+    pub fn compile(
+        &self,
+        activations: &[Activation],
+        tech: &TechModel,
+        routers: usize,
+        core_ghz: f64,
+        pitch_mm: f64,
+    ) -> Result<MappingPlan, NovaError> {
+        if activations.is_empty() {
+            return Err(NovaError::BatchShape("no activations to map".into()));
+        }
+        let mut mappings = Vec::with_capacity(activations.len());
+        let mut multiplier = 1usize;
+        for &activation in activations {
+            let pwl = fit::fit_activation(activation, self.segments, self.strategy)?;
+            let table = QuantizedPwl::from_pwl(&pwl, self.format, self.rounding)?;
+            let schedule = BroadcastSchedule::compile(&table, self.link)?;
+            multiplier = multiplier.max(schedule.noc_clock_multiplier());
+            mappings.push(ActivationMapping { activation, table, schedule });
+        }
+        let noc_clock_ghz = core_ghz * multiplier as f64;
+        let reach = timing::max_hops_per_cycle(tech, noc_clock_ghz, pitch_mm);
+        Ok(MappingPlan {
+            mappings,
+            noc_clock_multiplier: multiplier,
+            noc_clock_ghz,
+            reach,
+            single_cycle_broadcast: reach >= routers,
+        })
+    }
+}
+
+impl Default for Mapper {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ATTENTION_OPS: [Activation; 3] =
+        [Activation::Exp, Activation::Gelu, Activation::Recip];
+
+    #[test]
+    fn paper_plan_16bp_2x_clock() {
+        let tech = TechModel::cmos22();
+        let plan = Mapper::paper_default()
+            .compile(&ATTENTION_OPS, &tech, 10, 0.24, 1.0)
+            .unwrap();
+        assert_eq!(plan.noc_clock_multiplier, 2, "16 breakpoints → 2 flits → 2×");
+        assert_eq!(plan.mappings.len(), 3);
+        assert!(plan.single_cycle_broadcast, "REACT's 10 routers fit the reach");
+    }
+
+    #[test]
+    fn tpu_clock_still_single_cycle_at_8_routers() {
+        // TPU-v4: 1.4 GHz core → 2.8 GHz NoC. Reach shrinks but 8 routers
+        // at 1 mm still fit? At 2.8 GHz the budget is ~312 ps → 5 hops —
+        // so the mapper must report multi-cycle and the plan must say so.
+        let tech = TechModel::cmos22();
+        let plan = Mapper::paper_default()
+            .compile(&ATTENTION_OPS, &tech, 8, 1.4, 1.0)
+            .unwrap();
+        assert_eq!(plan.noc_clock_multiplier, 2);
+        assert!(plan.reach < 8, "2.8 GHz cannot cross 8 routers in a cycle");
+        assert!(!plan.single_cycle_broadcast);
+    }
+
+    #[test]
+    fn eight_breakpoints_keep_1x_clock() {
+        let tech = TechModel::cmos22();
+        let plan = Mapper::paper_default()
+            .with_segments(8)
+            .compile(&[Activation::Sigmoid], &tech, 10, 1.5, 1.0)
+            .unwrap();
+        assert_eq!(plan.noc_clock_multiplier, 1);
+        assert_eq!(plan.reach, 10);
+        assert!(plan.single_cycle_broadcast);
+    }
+
+    #[test]
+    fn narrow_link_needs_4x() {
+        let tech = TechModel::cmos22();
+        let link = LinkConfig::new(4, 2).unwrap();
+        let plan = Mapper::paper_default()
+            .with_link(link)
+            .compile(&[Activation::Tanh], &tech, 4, 0.24, 1.0)
+            .unwrap();
+        assert_eq!(plan.noc_clock_multiplier, 4);
+    }
+
+    #[test]
+    fn empty_activations_rejected() {
+        let tech = TechModel::cmos22();
+        assert!(Mapper::paper_default()
+            .compile(&[], &tech, 4, 1.0, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn tables_cover_all_requested_ops() {
+        let tech = TechModel::cmos22();
+        let plan = Mapper::paper_default()
+            .compile(&ATTENTION_OPS, &tech, 2, 0.5, 0.3)
+            .unwrap();
+        for (m, &a) in plan.mappings.iter().zip(ATTENTION_OPS.iter()) {
+            assert_eq!(m.activation, a);
+            assert!(m.table.segments() <= 16);
+            assert!(m.schedule.flit_count() <= 2);
+        }
+    }
+}

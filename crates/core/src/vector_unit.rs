@@ -1,0 +1,332 @@
+//! One trait over all vector-unit implementations.
+//!
+//! The paper's comparison hinges on three units that compute *the same
+//! function* with different hardware: the NOVA NoC, the per-neuron LUT and
+//! the per-core LUT. [`VectorUnit`] captures the shared contract — batch
+//! lookups over `(routers × neurons)` grids with bit-identical results —
+//! while each implementation reports its own latency and activity.
+
+use nova_approx::QuantizedPwl;
+use nova_fixed::Fixed;
+use nova_lut::{PerCoreLut, PerNeuronLut};
+use nova_noc::{multiline::SegmentedNoc, sim::BroadcastSim, LineConfig};
+
+use crate::NovaError;
+
+/// A batch-lookup vector unit: the functional contract shared by NOVA and
+/// the LUT baselines.
+pub trait VectorUnit {
+    /// Display name (matches the Table III row labels).
+    fn name(&self) -> &str;
+
+    /// Evaluates one batch: `inputs[r][n]` → approximated outputs with the
+    /// same shape. Results must be bit-identical to the quantized table.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`NovaError`] for malformed batches.
+    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError>;
+
+    /// Effective per-batch latency in accelerator cycles.
+    fn latency_cycles(&self) -> u64;
+
+    /// Total lookups served so far.
+    fn lookups(&self) -> u64;
+}
+
+/// The NOVA NoC as a vector unit (wraps the cycle-accurate simulator).
+#[derive(Debug, Clone)]
+pub struct NovaVectorUnit {
+    sim: BroadcastSim,
+    last_latency: u64,
+    lookups: u64,
+}
+
+impl NovaVectorUnit {
+    /// Builds the unit for a line geometry and table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NoC configuration/schedule errors.
+    pub fn new(config: LineConfig, table: &QuantizedPwl) -> Result<Self, NovaError> {
+        Ok(Self {
+            sim: BroadcastSim::new(config, table)?,
+            last_latency: 0,
+            lookups: 0,
+        })
+    }
+
+    /// The underlying simulator (for stats inspection).
+    #[must_use]
+    pub fn sim(&self) -> &BroadcastSim {
+        &self.sim
+    }
+}
+
+impl VectorUnit for NovaVectorUnit {
+    fn name(&self) -> &str {
+        "NOVA NoC"
+    }
+
+    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let outcome = self.sim.run(inputs)?;
+        self.last_latency = outcome.stats.core_cycle_latency;
+        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
+        Ok(outcome.outputs)
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        self.last_latency
+    }
+
+    fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+/// The segmented NOVA NoC as a vector unit: parallel line segments keep
+/// the broadcast single-cycle when the host has more routers than the
+/// SMART reach covers (e.g. 8 TPU MXUs at a 2.8 GHz NoC clock with a
+/// 5-router reach).
+#[derive(Debug, Clone)]
+pub struct SegmentedNovaUnit {
+    noc: SegmentedNoc,
+    last_latency: u64,
+    lookups: u64,
+}
+
+impl SegmentedNovaUnit {
+    /// Builds the unit, splitting `config.routers` into the fewest
+    /// segments that each fit the single-cycle reach.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NoC configuration/schedule errors.
+    pub fn new(config: LineConfig, table: &QuantizedPwl) -> Result<Self, NovaError> {
+        Ok(Self {
+            noc: SegmentedNoc::new(config, table)?,
+            last_latency: 0,
+            lookups: 0,
+        })
+    }
+
+    /// Number of parallel line segments.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.noc.segment_count()
+    }
+}
+
+impl VectorUnit for SegmentedNovaUnit {
+    fn name(&self) -> &str {
+        "NOVA NoC (segmented)"
+    }
+
+    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let outcome = self.noc.run(inputs)?;
+        self.last_latency = outcome.stats.core_cycle_latency;
+        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
+        Ok(outcome.outputs)
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        self.last_latency
+    }
+
+    fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+/// Which LUT baseline a [`LutVectorUnit`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutVariant {
+    /// One single-ported bank per neuron.
+    PerNeuron,
+    /// One multi-ported bank per core.
+    PerCore,
+}
+
+/// A LUT-based vector unit spread across `routers` cores.
+#[derive(Debug, Clone)]
+pub struct LutVectorUnit {
+    variant: LutVariant,
+    per_neuron: Vec<PerNeuronLut>,
+    per_core: Vec<PerCoreLut>,
+    lookups: u64,
+}
+
+impl LutVectorUnit {
+    /// Builds `routers` cores of `neurons` each, sharing per the variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0` or `neurons == 0`.
+    #[must_use]
+    pub fn new(table: &QuantizedPwl, routers: usize, neurons: usize, variant: LutVariant) -> Self {
+        assert!(routers > 0 && neurons > 0, "need at least one core and neuron");
+        let (per_neuron, per_core) = match variant {
+            LutVariant::PerNeuron => (
+                (0..routers).map(|_| PerNeuronLut::new(table, neurons)).collect(),
+                Vec::new(),
+            ),
+            LutVariant::PerCore => (
+                Vec::new(),
+                (0..routers).map(|_| PerCoreLut::new(table, neurons)).collect(),
+            ),
+        };
+        Self { variant, per_neuron, per_core, lookups: 0 }
+    }
+}
+
+impl VectorUnit for LutVectorUnit {
+    fn name(&self) -> &str {
+        match self.variant {
+            LutVariant::PerNeuron => "naive LUT (per-neuron LUT)",
+            LutVariant::PerCore => "naive LUT (per-core LUT)",
+        }
+    }
+
+    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let cores = self.per_neuron.len().max(self.per_core.len());
+        if inputs.len() != cores {
+            return Err(NovaError::BatchShape(format!(
+                "{} rows for {cores} cores",
+                inputs.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(inputs.len());
+        match self.variant {
+            LutVariant::PerNeuron => {
+                for (unit, xs) in self.per_neuron.iter_mut().zip(inputs) {
+                    out.push(unit.lookup_batch(xs)?);
+                }
+            }
+            LutVariant::PerCore => {
+                for (unit, xs) in self.per_core.iter_mut().zip(inputs) {
+                    out.push(unit.lookup_batch(xs)?);
+                }
+            }
+        }
+        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
+        Ok(out)
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        2 // lookup + MAC (paper §V.B: same latency as NOVA)
+    }
+
+    fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_approx::{fit, Activation};
+    use nova_fixed::{Q4_12, Rounding};
+
+    fn table() -> QuantizedPwl {
+        let pwl = fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform)
+            .unwrap();
+        QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+    }
+
+    fn batch(routers: usize, neurons: usize) -> Vec<Vec<Fixed>> {
+        (0..routers)
+            .map(|r| {
+                (0..neurons)
+                    .map(|n| {
+                        Fixed::from_f64(
+                            ((r * neurons + n) as f64 * 0.37).sin() * 5.0,
+                            Q4_12,
+                            Rounding::NearestEven,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_three_units_agree_bit_for_bit() {
+        let t = table();
+        let inputs = batch(4, 16);
+        let mut nova = NovaVectorUnit::new(LineConfig::paper_default(4, 16), &t).unwrap();
+        let mut pn = LutVectorUnit::new(&t, 4, 16, LutVariant::PerNeuron);
+        let mut pc = LutVectorUnit::new(&t, 4, 16, LutVariant::PerCore);
+        let a = nova.lookup_batch(&inputs).unwrap();
+        let b = pn.lookup_batch(&inputs).unwrap();
+        let c = pc.lookup_batch(&inputs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        // And all equal the table.
+        for (r, row) in inputs.iter().enumerate() {
+            for (n, &x) in row.iter().enumerate() {
+                assert_eq!(a[r][n], t.eval(x));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_parity() {
+        // Paper: "NOVA's latency is identical to that of the baseline".
+        let t = table();
+        let inputs = batch(10, 8);
+        let mut nova = NovaVectorUnit::new(LineConfig::paper_default(10, 8), &t).unwrap();
+        let mut pn = LutVectorUnit::new(&t, 10, 8, LutVariant::PerNeuron);
+        nova.lookup_batch(&inputs).unwrap();
+        pn.lookup_batch(&inputs).unwrap();
+        assert_eq!(nova.latency_cycles(), pn.latency_cycles());
+    }
+
+    #[test]
+    fn lookup_counters() {
+        let t = table();
+        let mut pc = LutVectorUnit::new(&t, 2, 8, LutVariant::PerCore);
+        pc.lookup_batch(&batch(2, 8)).unwrap();
+        pc.lookup_batch(&batch(2, 8)).unwrap();
+        assert_eq!(pc.lookups(), 32);
+    }
+
+    #[test]
+    fn lut_batch_shape_checked() {
+        let t = table();
+        let mut pn = LutVectorUnit::new(&t, 3, 8, LutVariant::PerNeuron);
+        assert!(matches!(
+            pn.lookup_batch(&batch(2, 8)),
+            Err(NovaError::BatchShape(_))
+        ));
+    }
+
+    #[test]
+    fn segmented_unit_restores_single_cycle_latency() {
+        let t = table();
+        let mut config = LineConfig::paper_default(8, 4);
+        config.max_hops_per_cycle = 5; // TPU-like 2.8 GHz reach
+        let inputs = batch(8, 4);
+        let mut plain = NovaVectorUnit::new(config, &t).unwrap();
+        let mut seg = SegmentedNovaUnit::new(config, &t).unwrap();
+        let a = plain.lookup_batch(&inputs).unwrap();
+        let b = seg.lookup_batch(&inputs).unwrap();
+        assert_eq!(a, b, "segmentation is functionally invisible");
+        assert_eq!(seg.segments(), 2);
+        assert!(seg.latency_cycles() < plain.latency_cycles());
+        assert_eq!(seg.latency_cycles(), 2);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        // The trait is object-safe — hosts can hold `Box<dyn VectorUnit>`.
+        let t = table();
+        let mut units: Vec<Box<dyn VectorUnit>> = vec![
+            Box::new(NovaVectorUnit::new(LineConfig::paper_default(2, 4), &t).unwrap()),
+            Box::new(LutVectorUnit::new(&t, 2, 4, LutVariant::PerNeuron)),
+        ];
+        let inputs = batch(2, 4);
+        let a = units[0].lookup_batch(&inputs).unwrap();
+        let b = units[1].lookup_batch(&inputs).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,59 @@
+//! Fixed-point arithmetic substrate for the NOVA reproduction.
+//!
+//! Every hardware datapath in the paper — the comparators that generate
+//! lookup addresses, the broadcast slope/bias words on the 257-bit NoC
+//! links, and the per-neuron MAC that computes `a·x + b` — operates on
+//! 16-bit signed fixed-point words. This crate provides:
+//!
+//! - [`QFormat`]: a signed Q-format description (word size + fraction bits),
+//! - [`Fixed`]: a checked, saturating fixed-point value in a given format,
+//! - [`Word16`]: the raw 16-bit hardware word as it travels on NoC wires,
+//! - [`Mac`]: a hardware-like multiply-accumulate with a wide internal
+//!   accumulator and a single output quantization step.
+//!
+//! # Example
+//!
+//! ```
+//! use nova_fixed::{Fixed, QFormat, Rounding};
+//!
+//! # fn main() -> Result<(), nova_fixed::FixedError> {
+//! let q = QFormat::new(16, 12)?; // Q4.12: range [-8, 8), resolution 2^-12
+//! let a = Fixed::from_f64(1.5, q, Rounding::NearestEven);
+//! let b = Fixed::from_f64(-0.25, q, Rounding::NearestEven);
+//! let sum = a.saturating_add(b)?;
+//! assert!((sum.to_f64() - 1.25).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+mod mac;
+mod value;
+mod word;
+
+pub use error::FixedError;
+pub use format::{QFormat, Rounding};
+pub use mac::Mac;
+pub use value::Fixed;
+pub use word::Word16;
+
+/// The default Q-format used by the NOVA datapath for activations and
+/// slope/bias words: Q4.12 (16-bit word, 12 fraction bits, range `[-8, 8)`).
+///
+/// NN-LUT-style approximators clamp their inputs to a bounded range before
+/// the piecewise-linear lookup, so 4 integer bits cover the useful domain of
+/// every activation the paper maps (exp after max-subtraction, GELU, tanh,
+/// sigmoid) while 12 fraction bits keep quantization error below the
+/// approximation error of 16 breakpoints.
+pub const Q4_12: QFormat = QFormat::const_new(16, 12);
+
+/// Wider Q6.10 format (range `[-32, 32)`) used when an operator needs more
+/// dynamic range (e.g. pre-normalization softmax logits).
+pub const Q6_10: QFormat = QFormat::const_new(16, 10);
+
+/// Q8.8 format (range `[-128, 128)`) used in ablations of the word format.
+pub const Q8_8: QFormat = QFormat::const_new(16, 8);

@@ -1,0 +1,189 @@
+use crate::{Fixed, FixedError, QFormat, Rounding};
+
+/// A hardware-style multiply-accumulate unit with a wide internal
+/// accumulator.
+///
+/// The paper's approximation datapath ends in a per-neuron MAC that computes
+/// `slope · x + bias` in one cycle. `Mac` models the slightly more general
+/// unit: a sequence of `accumulate` steps held at full product precision,
+/// quantized once when the output register is read. This is also the PE
+/// model used by the cycle-accurate systolic array in `nova-accel`.
+///
+/// # Example
+///
+/// ```
+/// use nova_fixed::{Fixed, Mac, Q4_12, Rounding};
+///
+/// # fn main() -> Result<(), nova_fixed::FixedError> {
+/// let mut mac = Mac::new(Q4_12);
+/// let a = Fixed::from_f64(0.5, Q4_12, Rounding::NearestEven);
+/// let x = Fixed::from_f64(2.0, Q4_12, Rounding::NearestEven);
+/// mac.accumulate(a, x)?;
+/// mac.accumulate(a, x)?;
+/// let y = mac.read(Rounding::NearestEven);
+/// assert_eq!(y.to_f64(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mac {
+    format: QFormat,
+    /// Accumulator at `2 × frac_bits` precision.
+    acc: i64,
+    /// Number of accumulate operations since the last clear (for stats).
+    ops: u64,
+}
+
+impl Mac {
+    /// Creates a cleared MAC operating on words of `format`.
+    #[must_use]
+    pub fn new(format: QFormat) -> Self {
+        Self { format, acc: 0, ops: 0 }
+    }
+
+    /// The word format of this MAC's operands and output.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Adds `a · x` to the accumulator at full product precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if either operand is not in
+    /// the MAC's format.
+    pub fn accumulate(&mut self, a: Fixed, x: Fixed) -> Result<(), FixedError> {
+        self.check(a)?;
+        self.check(x)?;
+        self.acc = self.acc.saturating_add(a.raw() * x.raw());
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Adds a pre-scaled bias term (aligned to accumulator precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if `b` is not in the MAC's
+    /// format.
+    pub fn add_bias(&mut self, b: Fixed) -> Result<(), FixedError> {
+        self.check(b)?;
+        self.acc = self.acc.saturating_add(b.raw() << self.format.frac_bits());
+        Ok(())
+    }
+
+    /// Quantizes the accumulator to an output word (saturating) without
+    /// clearing it.
+    #[must_use]
+    pub fn read(&self, rounding: Rounding) -> Fixed {
+        let frac = self.format.frac_bits();
+        let shifted = shift_round_i64(self.acc, frac, rounding);
+        Fixed::from_raw_saturating(shifted, self.format)
+    }
+
+    /// Clears the accumulator; returns the number of accumulate operations
+    /// performed since the previous clear.
+    pub fn clear(&mut self) -> u64 {
+        self.acc = 0;
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Number of accumulate operations since the last clear.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn check(&self, v: Fixed) -> Result<(), FixedError> {
+        if v.format() == self.format {
+            Ok(())
+        } else {
+            Err(FixedError::FormatMismatch { lhs: self.format, rhs: v.format() })
+        }
+    }
+}
+
+fn shift_round_i64(wide: i64, frac: u8, rounding: Rounding) -> i64 {
+    if frac == 0 {
+        return wide;
+    }
+    let floor = wide >> frac;
+    let rem = wide - (floor << frac);
+    let half = 1i64 << (frac - 1);
+    match rounding {
+        Rounding::Floor => floor,
+        Rounding::NearestAway => {
+            if rem >= half && wide >= 0 || rem > half {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Rounding::NearestEven => {
+            if rem > half || (rem == half && floor & 1 == 1) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q4_12;
+
+    #[test]
+    fn dot_product_matches_float() {
+        let mut mac = Mac::new(Q4_12);
+        let pairs = [(0.5, 1.5), (-0.25, 2.0), (1.0, -0.75)];
+        let mut expected = 0.0;
+        for (a, x) in pairs {
+            let fa = Fixed::from_f64(a, Q4_12, Rounding::NearestEven);
+            let fx = Fixed::from_f64(x, Q4_12, Rounding::NearestEven);
+            mac.accumulate(fa, fx).unwrap();
+            expected += a * x;
+        }
+        let y = mac.read(Rounding::NearestEven);
+        assert!((y.to_f64() - expected).abs() <= 3.0 * Q4_12.resolution());
+        assert_eq!(mac.ops(), 3);
+    }
+
+    #[test]
+    fn bias_is_full_precision() {
+        let mut mac = Mac::new(Q4_12);
+        let b = Fixed::from_f64(1.25, Q4_12, Rounding::NearestEven);
+        mac.add_bias(b).unwrap();
+        assert_eq!(mac.read(Rounding::NearestEven).to_f64(), 1.25);
+    }
+
+    #[test]
+    fn clear_resets_and_reports_ops() {
+        let mut mac = Mac::new(Q4_12);
+        let one = Fixed::one(Q4_12);
+        mac.accumulate(one, one).unwrap();
+        assert_eq!(mac.clear(), 1);
+        assert_eq!(mac.read(Rounding::NearestEven).to_f64(), 0.0);
+        assert_eq!(mac.ops(), 0);
+    }
+
+    #[test]
+    fn output_saturates() {
+        let mut mac = Mac::new(Q4_12);
+        let big = Fixed::from_f64(7.9, Q4_12, Rounding::NearestEven);
+        for _ in 0..4 {
+            mac.accumulate(big, big).unwrap();
+        }
+        assert_eq!(mac.read(Rounding::NearestEven).raw(), Q4_12.max_raw());
+    }
+
+    #[test]
+    fn format_mismatch_rejected() {
+        let mut mac = Mac::new(Q4_12);
+        let wrong = Fixed::zero(crate::Q6_10);
+        assert!(mac.accumulate(wrong, wrong).is_err());
+        assert!(mac.add_bias(wrong).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{FixedError, QFormat, Rounding};
+
+/// A fixed-point value: a raw two's-complement word interpreted in a
+/// [`QFormat`].
+///
+/// `Fixed` is the *architectural* value type: all datapath simulation in the
+/// NOVA reproduction (comparators, MACs, broadcast words) goes through it so
+/// that results are bit-exact with what the 16-bit RTL datapath would
+/// produce.
+///
+/// Arithmetic is saturating, mirroring the saturating adders the paper's MAC
+/// units use; mixed-format operations are an error rather than an implicit
+/// conversion.
+///
+/// # Example
+///
+/// ```
+/// use nova_fixed::{Fixed, Q4_12, Rounding};
+///
+/// # fn main() -> Result<(), nova_fixed::FixedError> {
+/// let slope = Fixed::from_f64(0.5, Q4_12, Rounding::NearestEven);
+/// let x = Fixed::from_f64(3.0, Q4_12, Rounding::NearestEven);
+/// let bias = Fixed::from_f64(0.125, Q4_12, Rounding::NearestEven);
+/// let y = slope.mul_add(x, bias, Rounding::NearestEven)?;
+/// assert!((y.to_f64() - 1.625).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    #[must_use]
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// One in the given format (saturated if 1.0 is out of range).
+    #[must_use]
+    pub fn one(format: QFormat) -> Self {
+        Self { raw: format.saturate_raw(format.scale()), format }
+    }
+
+    /// Quantizes `value` into `format`, saturating out-of-range inputs.
+    #[must_use]
+    pub fn from_f64(value: f64, format: QFormat, rounding: Rounding) -> Self {
+        Self { raw: format.quantize(value, rounding), format }
+    }
+
+    /// Constructs from a raw word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::RawOutOfRange`] if `raw` does not fit the
+    /// format's word.
+    pub fn from_raw(raw: i64, format: QFormat) -> Result<Self, FixedError> {
+        if format.contains_raw(raw) {
+            Ok(Self { raw, format })
+        } else {
+            Err(FixedError::RawOutOfRange { raw, format })
+        }
+    }
+
+    /// Constructs from a raw word, saturating instead of failing.
+    #[must_use]
+    pub fn from_raw_saturating(raw: i64, format: QFormat) -> Self {
+        Self { raw: format.saturate_raw(raw), format }
+    }
+
+    /// The raw two's-complement word.
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The value's format.
+    #[must_use]
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// Converts to `f64` exactly (every fixed-point word is representable).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 * self.format.resolution()
+    }
+
+    /// Re-quantizes into another format.
+    #[must_use]
+    pub fn convert(self, format: QFormat, rounding: Rounding) -> Self {
+        if format == self.format {
+            return self;
+        }
+        Fixed::from_f64(self.to_f64(), format, rounding)
+    }
+
+    /// Saturating addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operands' formats
+    /// differ.
+    pub fn saturating_add(self, rhs: Self) -> Result<Self, FixedError> {
+        self.check_format(rhs)?;
+        Ok(Self {
+            raw: self.format.saturate_raw(self.raw + rhs.raw),
+            format: self.format,
+        })
+    }
+
+    /// Saturating subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operands' formats
+    /// differ.
+    pub fn saturating_sub(self, rhs: Self) -> Result<Self, FixedError> {
+        self.check_format(rhs)?;
+        Ok(Self {
+            raw: self.format.saturate_raw(self.raw - rhs.raw),
+            format: self.format,
+        })
+    }
+
+    /// Saturating multiplication with a single rounding step, as a hardware
+    /// multiplier with a `2n`-bit product register would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operands' formats
+    /// differ.
+    pub fn saturating_mul(self, rhs: Self, rounding: Rounding) -> Result<Self, FixedError> {
+        self.check_format(rhs)?;
+        let wide = self.raw * rhs.raw; // ≤ 64 bits for ≤ 32-bit words
+        let raw = shift_round(wide, self.format.frac_bits(), rounding);
+        Ok(Self {
+            raw: self.format.saturate_raw(raw),
+            format: self.format,
+        })
+    }
+
+    /// Fused multiply-add `self * x + b` with one rounding step at the end,
+    /// exactly as the paper's per-neuron MAC computes `a·x + b`.
+    ///
+    /// The product is kept in a wide accumulator, the bias is aligned to the
+    /// accumulator's precision, and a single quantization produces the
+    /// output word — so `mul_add` can be more accurate than
+    /// `saturating_mul` followed by `saturating_add`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the formats differ.
+    pub fn mul_add(self, x: Self, b: Self, rounding: Rounding) -> Result<Self, FixedError> {
+        self.check_format(x)?;
+        self.check_format(b)?;
+        let frac = self.format.frac_bits();
+        let wide = self.raw * x.raw + (b.raw << frac);
+        let raw = shift_round(wide, frac, rounding);
+        Ok(Self {
+            raw: self.format.saturate_raw(raw),
+            format: self.format,
+        })
+    }
+
+    /// Saturating negation (`-min_raw` saturates to `max_raw`).
+    #[must_use]
+    pub fn saturating_neg(self) -> Self {
+        Self {
+            raw: self.format.saturate_raw(-self.raw),
+            format: self.format,
+        }
+    }
+
+    /// Absolute value, saturating for the most-negative word.
+    #[must_use]
+    pub fn saturating_abs(self) -> Self {
+        if self.raw < 0 {
+            self.saturating_neg()
+        } else {
+            self
+        }
+    }
+
+    /// Compares two values of the same format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operands' formats
+    /// differ.
+    pub fn compare(self, rhs: Self) -> Result<Ordering, FixedError> {
+        self.check_format(rhs)?;
+        Ok(self.raw.cmp(&rhs.raw))
+    }
+
+    fn check_format(self, rhs: Self) -> Result<(), FixedError> {
+        if self.format == rhs.format {
+            Ok(())
+        } else {
+            Err(FixedError::FormatMismatch { lhs: self.format, rhs: rhs.format })
+        }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+/// Arithmetic right shift by `frac` bits with the requested rounding of the
+/// dropped fraction.
+fn shift_round(wide: i64, frac: u8, rounding: Rounding) -> i64 {
+    if frac == 0 {
+        return wide;
+    }
+    let floor = wide >> frac;
+    let rem = wide - (floor << frac);
+    let half = 1i64 << (frac - 1);
+    match rounding {
+        Rounding::Floor => floor,
+        Rounding::NearestAway => {
+            if wide >= 0 {
+                if rem >= half {
+                    floor + 1
+                } else {
+                    floor
+                }
+            } else if rem > half {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Rounding::NearestEven => match rem.cmp(&half) {
+            Ordering::Less => floor,
+            Ordering::Greater => floor + 1,
+            Ordering::Equal => {
+                if floor & 1 == 0 {
+                    floor
+                } else {
+                    floor + 1
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Q4_12, Q6_10};
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [-8.0, -1.5, -0.25, 0.0, 0.5, 1.0, 3.75, 7.5] {
+            let f = Fixed::from_f64(v, Q4_12, Rounding::NearestEven);
+            assert_eq!(f.to_f64(), v, "value {v} should be exact in Q4.12");
+        }
+    }
+
+    #[test]
+    fn add_saturates_at_bounds() {
+        let max = Fixed::from_f64(7.9, Q4_12, Rounding::NearestEven);
+        let one = Fixed::one(Q4_12);
+        let sum = max.saturating_add(one).unwrap();
+        assert_eq!(sum.raw(), Q4_12.max_raw());
+        let min = Fixed::from_f64(-8.0, Q4_12, Rounding::NearestEven);
+        let diff = min.saturating_sub(one).unwrap();
+        assert_eq!(diff.raw(), Q4_12.min_raw());
+    }
+
+    #[test]
+    fn format_mismatch_is_an_error() {
+        let a = Fixed::zero(Q4_12);
+        let b = Fixed::zero(Q6_10);
+        assert!(matches!(
+            a.saturating_add(b),
+            Err(FixedError::FormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_matches_float_within_resolution() {
+        let a = Fixed::from_f64(1.25, Q4_12, Rounding::NearestEven);
+        let b = Fixed::from_f64(-2.5, Q4_12, Rounding::NearestEven);
+        let p = a.saturating_mul(b, Rounding::NearestEven).unwrap();
+        assert!((p.to_f64() - (-3.125)).abs() <= Q4_12.resolution());
+    }
+
+    #[test]
+    fn mul_add_single_rounding() {
+        // a*x where the product needs rounding: with a wide accumulator the
+        // bias add happens before the rounding step.
+        let a = Fixed::from_raw(3, Q4_12).unwrap(); // tiny slope
+        let x = Fixed::from_raw(3, Q4_12).unwrap();
+        let b = Fixed::from_f64(1.0, Q4_12, Rounding::NearestEven);
+        let fused = a.mul_add(x, b, Rounding::NearestEven).unwrap();
+        // product = 9 >> 12 -> rounds to 0, so fused ≈ 1.0
+        assert_eq!(fused.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn neg_and_abs_saturate_min_word() {
+        let min = Fixed::from_raw(Q4_12.min_raw(), Q4_12).unwrap();
+        assert_eq!(min.saturating_neg().raw(), Q4_12.max_raw());
+        assert_eq!(min.saturating_abs().raw(), Q4_12.max_raw());
+        let pos = Fixed::from_f64(2.0, Q4_12, Rounding::NearestEven);
+        assert_eq!(pos.saturating_abs(), pos);
+    }
+
+    #[test]
+    fn convert_changes_format() {
+        let a = Fixed::from_f64(1.5, Q4_12, Rounding::NearestEven);
+        let b = a.convert(Q6_10, Rounding::NearestEven);
+        assert_eq!(b.format(), Q6_10);
+        assert_eq!(b.to_f64(), 1.5);
+    }
+
+    #[test]
+    fn from_raw_rejects_out_of_range() {
+        assert!(Fixed::from_raw(40_000, Q4_12).is_err());
+        assert!(Fixed::from_raw(32_767, Q4_12).is_ok());
+    }
+
+    #[test]
+    fn shift_round_modes() {
+        assert_eq!(shift_round(5, 1, Rounding::Floor), 2);
+        assert_eq!(shift_round(5, 1, Rounding::NearestAway), 3);
+        assert_eq!(shift_round(5, 1, Rounding::NearestEven), 2); // 2.5 -> 2
+        assert_eq!(shift_round(7, 1, Rounding::NearestEven), 4); // 3.5 -> 4
+        assert_eq!(shift_round(-5, 1, Rounding::Floor), -3);
+        assert_eq!(shift_round(-5, 1, Rounding::NearestAway), -3); // -2.5 away -> -3... floor(-5/2)=-3, rem=1 == half -> floor => -3
+    }
+}

@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LUT vector-unit models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LutError {
+    /// The input batch length does not match the unit's neuron count.
+    BatchShape {
+        /// Neurons the unit serves.
+        neurons: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// An input word used a different Q-format than the table.
+    FormatMismatch,
+    /// A bank read addressed a missing entry (table smaller than address
+    /// space — a wiring bug).
+    AddressOutOfRange {
+        /// The offending address.
+        address: usize,
+        /// Entries in the bank.
+        entries: usize,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutError::BatchShape { neurons, got } => {
+                write!(f, "batch of {got} inputs for a {neurons}-neuron unit")
+            }
+            LutError::FormatMismatch => write!(f, "input word format does not match the table"),
+            LutError::AddressOutOfRange { address, entries } => {
+                write!(f, "address {address} out of range for {entries} entries")
+            }
+        }
+    }
+}
+
+impl Error for LutError {}

@@ -1,0 +1,52 @@
+//! Baseline LUT-based vector units (the paper's comparison hardware).
+//!
+//! NN-LUT-style approximators store the `(slope, bias)` pairs in SRAM
+//! banks next to the PEs (Fig 1/Fig 2). The paper models the two extreme
+//! sharing variants (§V.B):
+//!
+//! - **per-neuron LUT** ([`PerNeuronLut`]): every neuron owns a
+//!   single-ported 64 B bank holding a full copy of the table — maximal
+//!   redundancy, cheap ports;
+//! - **per-core LUT** ([`PerCoreLut`]): one bank per core with as many
+//!   read ports as neurons — no redundancy, expensive ports.
+//!
+//! Both take **2 cycles** per lookup: cycle 1 fetches the pair addressed
+//! by the comparators, cycle 2 runs the MAC. Functionally they are exactly
+//! the quantized PWL table; what differs is the cost model (`nova-synth`)
+//! and the access statistics this crate counts.
+//!
+//! [`SdpUnit`] models the NVDLA Single Data Processor the Jetson rows of
+//! Table III compare against.
+//!
+//! # Example
+//!
+//! ```
+//! use nova_approx::{fit, Activation, QuantizedPwl};
+//! use nova_fixed::{Fixed, Q4_12, Rounding};
+//! use nova_lut::PerNeuronLut;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pwl = fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform)?;
+//! let table = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven)?;
+//! let mut unit = PerNeuronLut::new(&table, 8); // 8 neurons
+//! let xs = vec![Fixed::from_f64(1.0, Q4_12, Rounding::NearestEven); 8];
+//! let ys = unit.lookup_batch(&xs)?;
+//! assert_eq!(ys[0], table.eval(xs[0]));
+//! assert_eq!(unit.stats().cycles, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod error;
+mod sdp;
+mod unit;
+pub mod walkthrough;
+
+pub use bank::LutBank;
+pub use error::LutError;
+pub use sdp::SdpUnit;
+pub use unit::{LutStats, PerCoreLut, PerNeuronLut};

@@ -1,0 +1,96 @@
+//! The paper's Fig 2 walkthrough: an 8-PE spatial accelerator (4×2 grid)
+//! where each PE's output lands in a different section of an 8-breakpoint
+//! piecewise-linear function.
+//!
+//! This module reconstructs that narrative as an executable trace: given
+//! one output value per PE, it reports the lookup address each PE's
+//! comparators generate, the `(slope, bias)` pair fetched in cycle 1, and
+//! the MAC result in cycle 2 — the exact story of the figure.
+
+use nova_approx::{QuantizedPwl, SlopeBias};
+use nova_fixed::Fixed;
+
+use crate::{LutError, PerNeuronLut};
+
+/// One PE's row of the walkthrough trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRow {
+    /// PE grid coordinates `(row, col)` in the 4×2 layout.
+    pub pe: (usize, usize),
+    /// The PE's output value (the approximator input).
+    pub input: Fixed,
+    /// The comparator-generated lookup address (1-based in the paper's
+    /// prose; stored 0-based here).
+    pub address: usize,
+    /// The fetched pair (cycle 1).
+    pub pair: SlopeBias,
+    /// The approximated result (cycle 2).
+    pub result: Fixed,
+}
+
+/// Runs the Fig 2 walkthrough: 8 PEs in a 4×2 grid, one value each.
+///
+/// # Errors
+///
+/// Propagates batch validation errors (wrong count or format).
+pub fn fig2_walkthrough(
+    table: &QuantizedPwl,
+    pe_outputs: &[Fixed; 8],
+) -> Result<Vec<TraceRow>, LutError> {
+    let mut unit = PerNeuronLut::new(table, 8);
+    let results = unit.lookup_batch(pe_outputs)?;
+    Ok(pe_outputs
+        .iter()
+        .zip(&results)
+        .enumerate()
+        .map(|(i, (&input, &result))| {
+            let xc = table.clamp(input);
+            let address = table.lookup_address(xc);
+            TraceRow {
+                // Paper's grid walks (0,0), (0,1), (1,0) … down a 4×2 grid.
+                pe: (i / 2, i % 2),
+                input,
+                address,
+                pair: table.pairs()[address],
+                result,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_approx::{fit, Activation};
+    use nova_fixed::{Q4_12, Rounding};
+
+    #[test]
+    fn walkthrough_covers_all_eight_sections() {
+        // Construct inputs that land one per section, like the figure's
+        // x1..x8.
+        let pwl = fit::fit_activation(Activation::Sigmoid, 8, fit::BreakpointStrategy::Uniform)
+            .unwrap();
+        let table = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let edges = pwl.edges();
+        let mut inputs = [Fixed::zero(Q4_12); 8];
+        for i in 0..8 {
+            let mid = (edges[i] + edges[i + 1]) / 2.0;
+            inputs[i] = Fixed::from_f64(mid, Q4_12, Rounding::NearestEven);
+        }
+        let trace = fig2_walkthrough(&table, &inputs).unwrap();
+        let addresses: Vec<usize> = trace.iter().map(|r| r.address).collect();
+        assert_eq!(addresses, vec![0, 1, 2, 3, 4, 5, 6, 7], "one PE per section");
+        // Each result is a_i·x_i + b_i from the addressed pair.
+        for row in &trace {
+            let expect = row
+                .pair
+                .slope
+                .mul_add(table.clamp(row.input), row.pair.bias, table.rounding())
+                .unwrap();
+            assert_eq!(row.result, expect);
+        }
+        // Grid coordinates walk the 4×2 layout.
+        assert_eq!(trace[0].pe, (0, 0));
+        assert_eq!(trace[7].pe, (3, 1));
+    }
+}

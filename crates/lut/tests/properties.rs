@@ -1,0 +1,70 @@
+//! Property tests: every LUT variant is functionally identical to the
+//! quantized table, for any table and batch.
+
+use nova_approx::{fit, Activation, QuantizedPwl};
+use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_lut::{PerCoreLut, PerNeuronLut, SdpUnit};
+use proptest::prelude::*;
+
+fn table(segments: usize, activation: Activation) -> QuantizedPwl {
+    let pwl = fit::fit_activation(activation, segments, fit::BreakpointStrategy::Uniform)
+        .unwrap();
+    QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+}
+
+fn activations() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Relu),
+        Just(Activation::Gelu),
+        Just(Activation::Sigmoid),
+        Just(Activation::Exp),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-neuron, per-core and SDP all equal the table, bit for bit.
+    #[test]
+    fn all_variants_equal_table(
+        segments in 1usize..=16,
+        a in activations(),
+        raws in prop::collection::vec(any::<i16>(), 1..48),
+    ) {
+        let t = table(segments, a);
+        let xs: Vec<Fixed> = raws
+            .iter()
+            .map(|&r| Fixed::from_raw(i64::from(r), Q4_12).unwrap())
+            .collect();
+        let expect: Vec<Fixed> = xs.iter().map(|&x| t.eval(x)).collect();
+        let mut pn = PerNeuronLut::new(&t, xs.len());
+        let mut pc = PerCoreLut::new(&t, xs.len());
+        let mut sdp = SdpUnit::new(&t, xs.len());
+        prop_assert_eq!(pn.lookup_batch(&xs).unwrap(), expect.clone());
+        prop_assert_eq!(pc.lookup_batch(&xs).unwrap(), expect.clone());
+        prop_assert_eq!(sdp.lookup_batch(&xs).unwrap(), expect);
+    }
+
+    /// Stats invariants: lookups == bank reads == MAC ops after any batch
+    /// sequence; cycles are 2 per batch for fully-ported units.
+    #[test]
+    fn stats_invariants(batches in 1usize..6, neurons in 1usize..24) {
+        let t = table(16, Activation::Tanh);
+        let mut pn = PerNeuronLut::new(&t, neurons);
+        let mut pc = PerCoreLut::new(&t, neurons);
+        let xs: Vec<Fixed> = (0..neurons)
+            .map(|i| Fixed::from_f64(i as f64 * 0.2 - 2.0, Q4_12, Rounding::NearestEven))
+            .collect();
+        for _ in 0..batches {
+            pn.lookup_batch(&xs).unwrap();
+            pc.lookup_batch(&xs).unwrap();
+        }
+        for s in [pn.stats(), pc.stats()] {
+            prop_assert_eq!(s.batches, batches as u64);
+            prop_assert_eq!(s.lookups, (batches * neurons) as u64);
+            prop_assert_eq!(s.bank_reads, s.lookups);
+            prop_assert_eq!(s.mac_ops, s.lookups);
+            prop_assert_eq!(s.cycles, 2 * batches as u64);
+        }
+    }
+}

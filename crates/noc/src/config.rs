@@ -1,0 +1,90 @@
+use crate::{LinkConfig, NocError};
+
+/// Geometry and timing of a NOVA line NoC instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineConfig {
+    /// Routers on the line (one per PE cluster / core; paper Table II).
+    pub routers: usize,
+    /// Output neurons served by each router.
+    pub neurons_per_router: usize,
+    /// Link geometry (width, tag bits).
+    pub link: LinkConfig,
+    /// Maximum routers a flit traverses per NoC cycle (SMART reach; the
+    /// paper's P&R gives 10 at 1.5 GHz with 1 mm pitch).
+    pub max_hops_per_cycle: usize,
+}
+
+impl LineConfig {
+    /// The paper's default geometry: 257-bit link, single-cycle reach of
+    /// 10 routers.
+    #[must_use]
+    pub fn paper_default(routers: usize, neurons_per_router: usize) -> Self {
+        Self {
+            routers,
+            neurons_per_router,
+            link: LinkConfig::paper(),
+            max_hops_per_cycle: 10,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadLineConfig`] for zero routers, neurons or
+    /// hop reach.
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.routers == 0 {
+            return Err(NocError::BadLineConfig("need at least one router"));
+        }
+        if self.neurons_per_router == 0 {
+            return Err(NocError::BadLineConfig("need at least one neuron per router"));
+        }
+        if self.max_hops_per_cycle == 0 {
+            return Err(NocError::BadLineConfig("hop reach must be > 0"));
+        }
+        Ok(())
+    }
+
+    /// Total neurons across the line.
+    #[must_use]
+    pub fn total_neurons(&self) -> usize {
+        self.routers * self.neurons_per_router
+    }
+
+    /// NoC cycles for one flit to reach the last router.
+    #[must_use]
+    pub fn traversal_cycles(&self) -> usize {
+        self.routers.div_ceil(self.max_hops_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        let c = LineConfig::paper_default(10, 256);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_neurons(), 2560);
+        assert_eq!(c.traversal_cycles(), 1);
+    }
+
+    #[test]
+    fn beyond_reach_needs_more_cycles() {
+        let mut c = LineConfig::paper_default(25, 16);
+        assert_eq!(c.traversal_cycles(), 3);
+        c.max_hops_per_cycle = 5;
+        assert_eq!(c.traversal_cycles(), 5);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(LineConfig::paper_default(0, 1).validate().is_err());
+        assert!(LineConfig::paper_default(1, 0).validate().is_err());
+        let mut c = LineConfig::paper_default(1, 1);
+        c.max_hops_per_cycle = 0;
+        assert!(c.validate().is_err());
+    }
+}

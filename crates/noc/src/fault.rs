@@ -1,0 +1,186 @@
+//! Fault injection on the broadcast link.
+//!
+//! NOVA trades SRAM (with its well-understood ECC story) for long repeated
+//! wires, so a reproduction should let users ask: *what does a single-event
+//! upset on the link do to the results?* This module flips chosen bits of
+//! a flit's wire image and reports how the approximation output degrades —
+//! useful both as a robustness study and as a test oracle (a flipped bit
+//! must corrupt only the neurons whose lookup address selected the
+//! affected pair, and only in the affected flit).
+
+use nova_approx::QuantizedPwl;
+use nova_fixed::Fixed;
+
+use crate::comparator::Comparators;
+use crate::{BroadcastSchedule, Flit, LinkConfig, NocError};
+
+/// A single-bit fault on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitFault {
+    /// Which flit of the schedule is hit (0-based).
+    pub flit: usize,
+    /// Which wire (bit position in the packed 257-bit image).
+    pub bit: usize,
+}
+
+impl BitFault {
+    /// The pair slot this fault lands in, or `None` if it hit the tag
+    /// field.
+    #[must_use]
+    pub fn slot(&self, link: LinkConfig) -> Option<usize> {
+        let data_bits = link.pairs_per_flit * 32;
+        (self.bit < data_bits).then_some(self.bit / 32)
+    }
+}
+
+/// Outcome of evaluating one input batch under a fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Per-input golden (fault-free) results.
+    pub golden: Vec<Fixed>,
+    /// Per-input faulty results.
+    pub faulty: Vec<Fixed>,
+    /// Indices of inputs whose result changed.
+    pub corrupted: Vec<usize>,
+    /// Whether the fault hit the tag field (corrupts pair *selection*, not
+    /// values).
+    pub tag_fault: bool,
+}
+
+/// Applies `fault` to the compiled schedule of `table` and evaluates
+/// `inputs` through the (faulty) broadcast datapath.
+///
+/// # Errors
+///
+/// Propagates schedule compilation errors; returns
+/// [`NocError::BadLinkConfig`] for an out-of-range fault position.
+pub fn inject(
+    table: &QuantizedPwl,
+    link: LinkConfig,
+    inputs: &[Fixed],
+    fault: BitFault,
+) -> Result<FaultReport, NocError> {
+    let schedule = BroadcastSchedule::compile(table, link)?;
+    if fault.flit >= schedule.flit_count() || fault.bit >= link.link_bits() {
+        return Err(NocError::BadLinkConfig("fault position out of range"));
+    }
+
+    // Corrupt the wire image of the targeted flit.
+    let mut flits: Vec<Flit> = schedule.flits().to_vec();
+    let mut bytes = flits[fault.flit].pack();
+    bytes[fault.bit / 8] ^= 1 << (fault.bit % 8);
+    flits[fault.flit] = Flit::unpack(&bytes, link)?;
+    let tag_fault = fault.bit >= link.pairs_per_flit * 32;
+
+    // Evaluate every input through comparator → (faulty) pair → MAC.
+    let comparators = Comparators::from_table(table);
+    let flit_count = schedule.flit_count();
+    let mut golden = Vec::with_capacity(inputs.len());
+    let mut faulty = Vec::with_capacity(inputs.len());
+    let mut corrupted = Vec::new();
+    for (i, &x) in inputs.iter().enumerate() {
+        let xc = comparators.clamp(x);
+        let addr = comparators.address(xc);
+        let tag = addr.tag(flit_count);
+        let slot = addr.slot(flit_count);
+        let gold_pair = schedule.flits()[usize::from(tag)].pair(slot, table.format());
+        // The faulty network: the router matches tags against the (possibly
+        // corrupted) tag field; a tag fault makes one flit answer for the
+        // wrong addresses.
+        let faulty_flit = flits
+            .iter()
+            .find(|f| f.tag() == tag)
+            .unwrap_or(&flits[usize::from(tag) % flits.len()]);
+        let bad_pair = faulty_flit.pair(slot, table.format());
+        let g = gold_pair
+            .slope
+            .mul_add(xc, gold_pair.bias, table.rounding())
+            .expect("table format");
+        let f = bad_pair
+            .slope
+            .mul_add(xc, bad_pair.bias, table.rounding())
+            .expect("table format");
+        if g != f {
+            corrupted.push(i);
+        }
+        golden.push(g);
+        faulty.push(f);
+    }
+    Ok(FaultReport { golden, faulty, corrupted, tag_fault })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_approx::{fit, Activation};
+    use nova_fixed::{Q4_12, Rounding};
+
+    fn table() -> QuantizedPwl {
+        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
+            .unwrap();
+        QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+    }
+
+    fn inputs() -> Vec<Fixed> {
+        (0..64)
+            .map(|i| Fixed::from_f64(-7.5 + i as f64 * 0.23, Q4_12, Rounding::NearestEven))
+            .collect()
+    }
+
+    #[test]
+    fn fault_corrupts_only_the_addressed_slot() {
+        let t = table();
+        let link = LinkConfig::paper();
+        let xs = inputs();
+        // Flip a bit in slot 3 of flit 0 → only addresses with tag 0, slot
+        // 3 (i.e. address 6) may change.
+        let fault = BitFault { flit: 0, bit: 3 * 32 + 5 };
+        assert_eq!(fault.slot(link), Some(3));
+        let report = inject(&t, link, &xs, fault).unwrap();
+        assert!(!report.tag_fault);
+        for &i in &report.corrupted {
+            let addr = t.lookup_address(xs[i]);
+            assert_eq!(addr, 6, "input {i} with address {addr} must not be affected");
+        }
+    }
+
+    #[test]
+    fn some_fault_always_detectable_with_coverage() {
+        // A high-order slope bit flip must corrupt at least one input of a
+        // batch that covers all 16 segments.
+        let t = table();
+        let link = LinkConfig::paper();
+        let xs = inputs(); // spans the domain → all addresses covered
+        let fault = BitFault { flit: 1, bit: 14 }; // slot 0 slope, high bit
+        let report = inject(&t, link, &xs, fault).unwrap();
+        assert!(!report.corrupted.is_empty(), "an MSB flip must be visible");
+    }
+
+    #[test]
+    fn tag_fault_detected_as_selection_corruption() {
+        let t = table();
+        let link = LinkConfig::paper();
+        let fault = BitFault { flit: 0, bit: 256 }; // the tag bit
+        let report = inject(&t, link, &inputs(), fault).unwrap();
+        assert!(report.tag_fault);
+    }
+
+    #[test]
+    fn out_of_range_fault_rejected() {
+        let t = table();
+        let link = LinkConfig::paper();
+        assert!(inject(&t, link, &inputs(), BitFault { flit: 5, bit: 0 }).is_err());
+        assert!(inject(&t, link, &inputs(), BitFault { flit: 0, bit: 257 }).is_err());
+    }
+
+    #[test]
+    fn golden_results_match_table() {
+        let t = table();
+        let xs = inputs();
+        let report =
+            inject(&t, LinkConfig::paper(), &xs, BitFault { flit: 0, bit: 0 }).unwrap();
+        for (g, &x) in report.golden.iter().zip(&xs) {
+            assert_eq!(*g, t.eval(x));
+        }
+    }
+}

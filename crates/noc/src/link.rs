@@ -1,0 +1,266 @@
+//! The NOVA link: flit format and bit-exact packing.
+//!
+//! The paper's link is 257 bits: 16 × 16-bit words (8 `(slope, bias)`
+//! pairs) plus one tag bit (Fig 3). [`LinkConfig`] generalizes the width
+//! for the broadcast-width ablation; [`LinkConfig::paper`] is the 257-bit
+//! default.
+
+use nova_approx::SlopeBias;
+use nova_fixed::{QFormat, Word16};
+
+use crate::NocError;
+
+/// Link geometry: pairs per flit and tag width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkConfig {
+    /// `(slope, bias)` pairs carried per flit (paper: 8).
+    pub pairs_per_flit: usize,
+    /// Tag field width in bits (paper: 1).
+    pub tag_bits: u8,
+}
+
+impl LinkConfig {
+    /// The paper's 257-bit link: 8 pairs + 1 tag bit.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { pairs_per_flit: 8, tag_bits: 1 }
+    }
+
+    /// Creates a custom link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadLinkConfig`] for zero pairs or zero tag bits.
+    pub fn new(pairs_per_flit: usize, tag_bits: u8) -> Result<Self, NocError> {
+        if pairs_per_flit == 0 {
+            return Err(NocError::BadLinkConfig("pairs_per_flit must be > 0"));
+        }
+        if tag_bits == 0 || tag_bits > 8 {
+            return Err(NocError::BadLinkConfig("tag_bits must be in 1..=8"));
+        }
+        Ok(Self { pairs_per_flit, tag_bits })
+    }
+
+    /// Total link width in bits (data words + tag).
+    #[must_use]
+    pub fn link_bits(self) -> usize {
+        self.pairs_per_flit * 32 + self.tag_bits as usize
+    }
+
+    /// Number of distinct tags the field encodes.
+    #[must_use]
+    pub fn tag_capacity(self) -> usize {
+        1usize << self.tag_bits
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One broadcast flit: up to [`LinkConfig::pairs_per_flit`] quantized
+/// `(slope, bias)` pairs plus a tag.
+///
+/// Slots beyond the table's last pair are padded with zero words (the RTL
+/// drives idle lanes low); the tag identifies which flit of a multi-flit
+/// schedule this is, and is what the routers match lookup-address LSBs
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Flit {
+    words: Vec<Word16>,
+    tag: u8,
+    config: LinkConfig,
+}
+
+impl Flit {
+    /// Builds a flit from pairs (≤ `config.pairs_per_flit`) and a tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadLinkConfig`] if more pairs than slots are
+    /// supplied or the tag exceeds the tag field, and
+    /// [`NocError::FormatMismatch`] if a pair's words don't fit 16 bits.
+    pub fn from_pairs(pairs: &[SlopeBias], tag: u8, config: LinkConfig) -> Result<Self, NocError> {
+        if pairs.len() > config.pairs_per_flit {
+            return Err(NocError::BadLinkConfig("more pairs than flit slots"));
+        }
+        if u32::from(tag) >= config.tag_capacity() as u32 {
+            return Err(NocError::BadLinkConfig("tag exceeds tag field"));
+        }
+        let mut words = Vec::with_capacity(config.pairs_per_flit * 2);
+        for p in pairs {
+            words.push(Word16::from_fixed(p.slope).map_err(|_| NocError::FormatMismatch)?);
+            words.push(Word16::from_fixed(p.bias).map_err(|_| NocError::FormatMismatch)?);
+        }
+        words.resize(config.pairs_per_flit * 2, Word16::default());
+        Ok(Self { words, tag, config })
+    }
+
+    /// The flit's tag.
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        self.tag
+    }
+
+    /// The link geometry this flit was built for.
+    #[must_use]
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Decodes slot `i` as a `(slope, bias)` pair under `format`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (a router indexing bug).
+    #[must_use]
+    pub fn pair(&self, i: usize, format: QFormat) -> SlopeBias {
+        assert!(i < self.config.pairs_per_flit, "slot {i} out of range");
+        SlopeBias {
+            slope: self.words[2 * i].to_fixed(format),
+            bias: self.words[2 * i + 1].to_fixed(format),
+        }
+    }
+
+    /// Bit-exact wire image, little-endian bit order: data words first
+    /// (word 0 in bits 0..16), tag field last. The final byte is partially
+    /// used — 257 bits pack into 33 bytes.
+    #[must_use]
+    pub fn pack(&self) -> Vec<u8> {
+        let bits = self.config.link_bits();
+        let mut out = vec![0u8; bits.div_ceil(8)];
+        for (w, word) in self.words.iter().enumerate() {
+            let base = w * 16;
+            let b = word.bits();
+            for i in 0..16 {
+                if b & (1 << i) != 0 {
+                    out[(base + i) / 8] |= 1 << ((base + i) % 8);
+                }
+            }
+        }
+        let tag_base = self.words.len() * 16;
+        for i in 0..self.config.tag_bits as usize {
+            if self.tag & (1 << i) != 0 {
+                out[(tag_base + i) / 8] |= 1 << ((tag_base + i) % 8);
+            }
+        }
+        out
+    }
+
+    /// Decodes a wire image produced by [`Flit::pack`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadLinkConfig`] if the byte length does not
+    /// match the link width.
+    pub fn unpack(bytes: &[u8], config: LinkConfig) -> Result<Self, NocError> {
+        let bits = config.link_bits();
+        if bytes.len() != bits.div_ceil(8) {
+            return Err(NocError::BadLinkConfig("wire image length mismatch"));
+        }
+        let get_bit = |i: usize| (bytes[i / 8] >> (i % 8)) & 1;
+        let mut words = Vec::with_capacity(config.pairs_per_flit * 2);
+        for w in 0..config.pairs_per_flit * 2 {
+            let mut v = 0u16;
+            for i in 0..16 {
+                v |= u16::from(get_bit(w * 16 + i)) << i;
+            }
+            words.push(Word16::new(v));
+        }
+        let tag_base = config.pairs_per_flit * 32;
+        let mut tag = 0u8;
+        for i in 0..config.tag_bits as usize {
+            tag |= get_bit(tag_base + i) << i;
+        }
+        Ok(Self { words, tag, config })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_fixed::{Fixed, Q4_12, Rounding};
+
+    fn pair(s: f64, b: f64) -> SlopeBias {
+        SlopeBias {
+            slope: Fixed::from_f64(s, Q4_12, Rounding::NearestEven),
+            bias: Fixed::from_f64(b, Q4_12, Rounding::NearestEven),
+        }
+    }
+
+    #[test]
+    fn paper_link_is_257_bits() {
+        let c = LinkConfig::paper();
+        assert_eq!(c.link_bits(), 257);
+        assert_eq!(c.tag_capacity(), 2);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = LinkConfig::paper();
+        let pairs: Vec<SlopeBias> = (0..8).map(|i| pair(0.1 * i as f64, -0.05 * i as f64)).collect();
+        let f = Flit::from_pairs(&pairs, 1, c).unwrap();
+        let bytes = f.pack();
+        assert_eq!(bytes.len(), 33);
+        let g = Flit::unpack(&bytes, c).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn partial_flit_pads_with_zeros() {
+        let c = LinkConfig::paper();
+        let f = Flit::from_pairs(&[pair(1.0, 2.0)], 0, c).unwrap();
+        let decoded = f.pair(7, Q4_12);
+        assert_eq!(decoded.slope.raw(), 0);
+        assert_eq!(decoded.bias.raw(), 0);
+    }
+
+    #[test]
+    fn decoded_pairs_match_inputs() {
+        let c = LinkConfig::paper();
+        let pairs: Vec<SlopeBias> = (0..8).map(|i| pair(-1.0 + 0.25 * i as f64, 0.5)).collect();
+        let f = Flit::from_pairs(&pairs, 0, c).unwrap();
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(f.pair(i, Q4_12), *p, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn too_many_pairs_rejected() {
+        let c = LinkConfig::paper();
+        let pairs: Vec<SlopeBias> = (0..9).map(|_| pair(0.0, 0.0)).collect();
+        assert!(Flit::from_pairs(&pairs, 0, c).is_err());
+    }
+
+    #[test]
+    fn oversized_tag_rejected() {
+        let c = LinkConfig::paper();
+        assert!(Flit::from_pairs(&[pair(0.0, 0.0)], 2, c).is_err());
+    }
+
+    #[test]
+    fn custom_link_roundtrip() {
+        let c = LinkConfig::new(4, 2).unwrap();
+        assert_eq!(c.link_bits(), 130);
+        let pairs: Vec<SlopeBias> = (0..4).map(|i| pair(i as f64 * 0.3, -1.0)).collect();
+        let f = Flit::from_pairs(&pairs, 3, c).unwrap();
+        let g = Flit::unpack(&f.pack(), c).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(g.tag(), 3);
+    }
+
+    #[test]
+    fn bad_link_configs_rejected() {
+        assert!(LinkConfig::new(0, 1).is_err());
+        assert!(LinkConfig::new(8, 0).is_err());
+        assert!(LinkConfig::new(8, 9).is_err());
+    }
+
+    #[test]
+    fn unpack_length_check() {
+        let c = LinkConfig::paper();
+        assert!(Flit::unpack(&[0u8; 32], c).is_err());
+    }
+}

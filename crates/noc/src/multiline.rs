@@ -1,0 +1,192 @@
+//! Segmented broadcast: parallel NOVA lines for hosts whose router count
+//! exceeds the single-cycle SMART reach.
+//!
+//! The paper's scalability analysis (§V.A) stops at "beyond 10 routers the
+//! traversal takes multiple cycles". This module implements the natural
+//! fix the analysis implies: split the line into `k` segments, each with
+//! its own injection point fed by the same mapper, broadcasting in
+//! parallel. Latency returns to single-cycle at the cost of replicating
+//! the injector (not the table — the pairs are still on wires).
+//!
+//! This matters in practice: a TPU-like host at a 2.8 GHz NoC clock has a
+//! reach of ~5 routers, so its 8 MXUs need either 2 NoC cycles (plain
+//! line) or 2 segments (this module).
+
+use nova_approx::QuantizedPwl;
+use nova_fixed::Fixed;
+
+use crate::sim::{BroadcastSim, Outcome, SimStats};
+use crate::{LineConfig, NocError};
+
+/// A NOVA NoC split into parallel segments.
+#[derive(Debug, Clone)]
+pub struct SegmentedNoc {
+    segments: Vec<BroadcastSim>,
+    /// Routers per segment (last may be smaller).
+    split: Vec<usize>,
+    config: LineConfig,
+}
+
+impl SegmentedNoc {
+    /// Splits `config.routers` into the fewest segments that each fit the
+    /// single-cycle reach, and builds one simulator per segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/schedule errors.
+    pub fn new(config: LineConfig, table: &QuantizedPwl) -> Result<Self, NocError> {
+        config.validate()?;
+        let reach = config.max_hops_per_cycle;
+        let k = config.routers.div_ceil(reach);
+        let mut split = Vec::with_capacity(k);
+        let mut remaining = config.routers;
+        while remaining > 0 {
+            let take = remaining.min(reach);
+            split.push(take);
+            remaining -= take;
+        }
+        let segments = split
+            .iter()
+            .map(|&routers| {
+                let seg_config = LineConfig { routers, ..config };
+                BroadcastSim::new(seg_config, table)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { segments, split, config })
+    }
+
+    /// Number of parallel segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Routers per segment.
+    #[must_use]
+    pub fn split(&self) -> &[usize] {
+        &self.split
+    }
+
+    /// Runs one batch across all segments in parallel. NoC cycles are the
+    /// *maximum* over segments (they operate concurrently); activity
+    /// counters are summed.
+    ///
+    /// # Errors
+    ///
+    /// Same shape/format validation as [`BroadcastSim::run`].
+    pub fn run(&mut self, inputs: &[Vec<Fixed>]) -> Result<Outcome, NocError> {
+        if inputs.len() != self.config.routers {
+            return Err(NocError::InputShape {
+                routers: self.config.routers,
+                neurons: self.config.neurons_per_router,
+                got: (inputs.len(), inputs.first().map_or(0, Vec::len)),
+            });
+        }
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut stats = SimStats::default();
+        let mut offset = 0;
+        for (seg, &routers) in self.segments.iter_mut().zip(&self.split) {
+            let chunk = &inputs[offset..offset + routers];
+            let out = seg.run(chunk)?;
+            outputs.extend(out.outputs);
+            stats.noc_cycles = stats.noc_cycles.max(out.stats.noc_cycles);
+            stats.core_cycle_latency =
+                stats.core_cycle_latency.max(out.stats.core_cycle_latency);
+            stats.flits_injected += out.stats.flits_injected;
+            stats.hops += out.stats.hops;
+            stats.buffered += out.stats.buffered;
+            stats.pairs_latched += out.stats.pairs_latched;
+            stats.mac_ops += out.stats.mac_ops;
+            offset += routers;
+        }
+        Ok(Outcome { outputs, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_approx::{fit, Activation};
+    use nova_fixed::{Q4_12, Rounding};
+
+    fn table() -> QuantizedPwl {
+        let pwl = fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform)
+            .unwrap();
+        QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+    }
+
+    fn batch(routers: usize, neurons: usize) -> Vec<Vec<Fixed>> {
+        (0..routers)
+            .map(|r| {
+                (0..neurons)
+                    .map(|n| {
+                        Fixed::from_f64(
+                            -(((r * neurons + n) as f64 * 0.7).sin().abs() * 7.9),
+                            Q4_12,
+                            Rounding::NearestEven,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tpu_v4_at_reach_5_needs_two_segments() {
+        let t = table();
+        let mut config = LineConfig::paper_default(8, 4);
+        config.max_hops_per_cycle = 5; // 2.8 GHz NoC reach
+        let mut noc = SegmentedNoc::new(config, &t).unwrap();
+        assert_eq!(noc.segment_count(), 2);
+        assert_eq!(noc.split(), &[5, 3]);
+        let inputs = batch(8, 4);
+        let out = noc.run(&inputs).unwrap();
+        // Single-cycle broadcast restored: 2 flits, 2 NoC cycles, latency
+        // 2 core cycles — same as a short line.
+        assert_eq!(out.stats.noc_cycles, 2);
+        assert_eq!(out.stats.core_cycle_latency, 2);
+        assert_eq!(out.stats.buffered, 0);
+    }
+
+    #[test]
+    fn segmented_matches_plain_line_results() {
+        let t = table();
+        let mut config = LineConfig::paper_default(12, 3);
+        config.max_hops_per_cycle = 4;
+        let inputs = batch(12, 3);
+        let mut seg = SegmentedNoc::new(config, &t).unwrap();
+        let mut plain = BroadcastSim::new(config, &t).unwrap();
+        let a = seg.run(&inputs).unwrap();
+        let b = plain.run(&inputs).unwrap();
+        assert_eq!(a.outputs, b.outputs, "functionally identical");
+        // But the segmented NoC is strictly faster.
+        assert!(a.stats.noc_cycles < b.stats.noc_cycles);
+    }
+
+    #[test]
+    fn single_segment_when_reach_suffices() {
+        let t = table();
+        let config = LineConfig::paper_default(8, 2); // reach 10 ≥ 8
+        let noc = SegmentedNoc::new(config, &t).unwrap();
+        assert_eq!(noc.segment_count(), 1);
+    }
+
+    #[test]
+    fn flit_injections_scale_with_segments() {
+        let t = table();
+        let mut config = LineConfig::paper_default(20, 1);
+        config.max_hops_per_cycle = 5;
+        let mut noc = SegmentedNoc::new(config, &t).unwrap();
+        assert_eq!(noc.segment_count(), 4);
+        let out = noc.run(&batch(20, 1)).unwrap();
+        // 2 flits per segment (16 breakpoints), 4 segments.
+        assert_eq!(out.stats.flits_injected, 8);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let t = table();
+        let mut noc = SegmentedNoc::new(LineConfig::paper_default(4, 2), &t).unwrap();
+        assert!(noc.run(&batch(3, 2)).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! The cycle-accurate line-broadcast simulator (paper Fig 4).
+//!
+//! Each NoC cycle, one flit of the compiled [`BroadcastSchedule`] is
+//! injected at the head of the line. A flit propagates combinationally
+//! through up to [`LineConfig::max_hops_per_cycle`] router bypasses
+//! (SMART-style clockless repeaters), snooping every router it passes; if
+//! routers remain beyond the reach, it is parked in the next router's east
+//! input register and continues the following cycle. Once a router has
+//! latched pairs for all its neurons, its MAC stage fires one accelerator
+//! cycle later.
+//!
+//! The simulator therefore reproduces both of the paper's headline timing
+//! facts: (a) for ≤ 10 routers and 16 breakpoints at a 2× NoC clock the
+//! effective lookup latency is one core cycle (plus the MAC cycle the LUT
+//! baselines also pay), and (b) beyond the single-cycle reach the
+//! broadcast degrades gracefully to multi-cycle traversal (§V.A).
+
+use nova_approx::QuantizedPwl;
+use nova_fixed::Fixed;
+
+use crate::router::Router;
+use crate::{BroadcastSchedule, LineConfig, NocError};
+
+/// Aggregate statistics of one broadcast batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// NoC cycles consumed until the last router latched its last pair.
+    pub noc_cycles: u64,
+    /// Effective lookup latency in accelerator (core) cycles, including
+    /// the MAC cycle.
+    pub core_cycle_latency: u64,
+    /// Flits injected at the line head.
+    pub flits_injected: u64,
+    /// Total router-to-router hops traversed.
+    pub hops: u64,
+    /// Flits parked in east input registers (reach boundaries).
+    pub buffered: u64,
+    /// Total `(slope, bias)` pairs latched across all routers.
+    pub pairs_latched: u64,
+    /// Total MAC operations.
+    pub mac_ops: u64,
+}
+
+/// Result of one batch: per-router per-neuron outputs plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// `outputs[r][n]` is neuron `n` of router `r`.
+    pub outputs: Vec<Vec<Fixed>>,
+    /// Cycle/activity statistics.
+    pub stats: SimStats,
+}
+
+/// The line simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastSim {
+    config: LineConfig,
+    schedule: BroadcastSchedule,
+    table: QuantizedPwl,
+    routers: Vec<Router>,
+}
+
+impl BroadcastSim {
+    /// Builds a simulator for `table` on the given line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and schedule compilation
+    /// errors.
+    pub fn new(config: LineConfig, table: &QuantizedPwl) -> Result<Self, NocError> {
+        config.validate()?;
+        let schedule = BroadcastSchedule::compile(table, config.link)?;
+        let routers = (0..config.routers).map(|_| Router::new(table)).collect();
+        Ok(Self { config, schedule, table: table.clone(), routers })
+    }
+
+    /// The compiled schedule (flit count, NoC multiplier).
+    #[must_use]
+    pub fn schedule(&self) -> &BroadcastSchedule {
+        &self.schedule
+    }
+
+    /// The line configuration.
+    #[must_use]
+    pub fn config(&self) -> LineConfig {
+        self.config
+    }
+
+    /// Switches the active operator table (e.g. softmax-exp → GELU between
+    /// layer phases). For NOVA this is free in hardware — the next
+    /// broadcast simply carries the new pairs — so the simulator just
+    /// recompiles the schedule and reprograms the comparators; no cycles
+    /// are consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule compilation errors (e.g. tag overflow).
+    pub fn set_table(&mut self, table: &QuantizedPwl) -> Result<(), NocError> {
+        self.schedule = BroadcastSchedule::compile(table, self.config.link)?;
+        self.table = table.clone();
+        for router in &mut self.routers {
+            *router = Router::new(table);
+        }
+        Ok(())
+    }
+
+    /// Runs one batch: `inputs[r][n]` is the PE output of neuron `n` at
+    /// router `r`. Returns per-neuron approximated values plus stats.
+    ///
+    /// # Errors
+    ///
+    /// - [`NocError::InputShape`] if the batch shape mismatches the line,
+    /// - [`NocError::FormatMismatch`] if any word uses the wrong Q-format.
+    pub fn run(&mut self, inputs: &[Vec<Fixed>]) -> Result<Outcome, NocError> {
+        self.validate_inputs(inputs)?;
+        let flits = self.schedule.flit_count();
+        let reach = self.config.max_hops_per_cycle;
+        let routers = self.config.routers;
+
+        // Comparator stage (parallel across routers, before broadcast).
+        for (router, xs) in self.routers.iter_mut().zip(inputs) {
+            router.load_inputs(xs);
+        }
+
+        // In-flight flits: (schedule index, next router to visit).
+        let mut in_flight: Vec<(usize, usize)> = Vec::new();
+        let mut injected = 0usize;
+        let mut stats = SimStats::default();
+        let mut cycle: u64 = 0;
+
+        while injected < flits || !in_flight.is_empty() {
+            cycle += 1;
+            // Advance flits already on the line (ahead of today's
+            // injection, preserving order; no two flits can collide since
+            // they all move `reach` hops per cycle).
+            let mut still_flying = Vec::new();
+            for (fi, pos) in in_flight.drain(..) {
+                let (next, parked) = self.fly(fi, pos, reach, &mut stats);
+                if parked {
+                    still_flying.push((fi, next));
+                }
+            }
+            // Inject this cycle's flit at router 0.
+            if injected < flits {
+                let fi = injected;
+                injected += 1;
+                stats.flits_injected += 1;
+                let (next, parked) = self.fly(fi, 0, reach, &mut stats);
+                if parked {
+                    still_flying.push((fi, next));
+                }
+            }
+            in_flight = still_flying;
+        }
+        stats.noc_cycles = cycle;
+
+        // MAC stage: one core cycle after the last latch.
+        let mut outputs = Vec::with_capacity(routers);
+        for router in &mut self.routers {
+            outputs.push(router.compute()?);
+        }
+        for router in &self.routers {
+            stats.pairs_latched += router.stats.pairs_latched;
+            stats.mac_ops += router.stats.mac_ops;
+        }
+        let multiplier = self.schedule.noc_clock_multiplier() as u64;
+        stats.core_cycle_latency = cycle.div_ceil(multiplier) + 1;
+        Ok(Outcome { outputs, stats })
+    }
+
+    /// Propagates flit `fi` starting at router `pos` for up to `reach`
+    /// hops. Returns `(next position, parked?)`.
+    fn fly(&mut self, fi: usize, pos: usize, reach: usize, stats: &mut SimStats) -> (usize, bool) {
+        let flits = self.schedule.flit_count();
+        let routers = self.config.routers;
+        let flit = self.schedule.flits()[fi].clone();
+        let mut p = pos;
+        let mut hops = 0usize;
+        while p < routers && hops < reach {
+            self.routers[p].snoop(&flit, flits, &self.table);
+            p += 1;
+            hops += 1;
+        }
+        stats.hops += hops as u64;
+        if p < routers {
+            // Parked in router p's east input register.
+            self.routers[p].buffer();
+            stats.buffered += 1;
+            (p, true)
+        } else {
+            (p, false)
+        }
+    }
+
+    fn validate_inputs(&self, inputs: &[Vec<Fixed>]) -> Result<(), NocError> {
+        let shape_err = |got| NocError::InputShape {
+            routers: self.config.routers,
+            neurons: self.config.neurons_per_router,
+            got,
+        };
+        if inputs.len() != self.config.routers {
+            return Err(shape_err((inputs.len(), 0)));
+        }
+        for row in inputs {
+            if row.len() != self.config.neurons_per_router {
+                return Err(shape_err((inputs.len(), row.len())));
+            }
+            for x in row {
+                if x.format() != self.table.format() {
+                    return Err(NocError::FormatMismatch);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkConfig;
+    use nova_approx::{fit, Activation};
+    use nova_fixed::{Q4_12, Rounding};
+
+    fn table(segments: usize) -> QuantizedPwl {
+        let pwl =
+            fit::fit_activation(Activation::Sigmoid, segments, fit::BreakpointStrategy::Uniform)
+                .unwrap();
+        QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+    }
+
+    fn batch(routers: usize, neurons: usize, seed: f64) -> Vec<Vec<Fixed>> {
+        (0..routers)
+            .map(|r| {
+                (0..neurons)
+                    .map(|n| {
+                        let x = ((r * neurons + n) as f64 * 0.7 + seed).sin() * 6.0;
+                        Fixed::from_f64(x, Q4_12, Rounding::NearestEven)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn functional_equivalence_with_table() {
+        let t = table(16);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(10, 32), &t).unwrap();
+        let inputs = batch(10, 32, 0.3);
+        let out = sim.run(&inputs).unwrap();
+        for (r, row) in inputs.iter().enumerate() {
+            for (n, &x) in row.iter().enumerate() {
+                assert_eq!(out.outputs[r][n], t.eval(x), "router {r} neuron {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_latency_16_breakpoints_10_routers() {
+        // 2 flits at 2× NoC clock, single-cycle reach: 2 NoC cycles =
+        // 1 core cycle + 1 MAC cycle = 2 core cycles (same as the LUT
+        // baseline's lookup + MAC).
+        let t = table(16);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(10, 8), &t).unwrap();
+        let out = sim.run(&batch(10, 8, 0.0)).unwrap();
+        assert_eq!(out.stats.flits_injected, 2);
+        assert_eq!(out.stats.noc_cycles, 2);
+        assert_eq!(out.stats.core_cycle_latency, 2);
+        assert_eq!(out.stats.buffered, 0, "10 routers are single-cycle reachable");
+    }
+
+    #[test]
+    fn eight_breakpoints_single_flit() {
+        let t = table(8);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(8, 4), &t).unwrap();
+        let out = sim.run(&batch(8, 4, 1.0)).unwrap();
+        assert_eq!(out.stats.flits_injected, 1);
+        assert_eq!(out.stats.noc_cycles, 1);
+        assert_eq!(out.stats.core_cycle_latency, 2); // lookup + MAC
+    }
+
+    #[test]
+    fn beyond_reach_goes_multicycle() {
+        let t = table(16);
+        let mut config = LineConfig::paper_default(25, 2);
+        config.max_hops_per_cycle = 10;
+        let mut sim = BroadcastSim::new(config, &t).unwrap();
+        let out = sim.run(&batch(25, 2, 2.0)).unwrap();
+        // Each flit needs 3 cycles to cross 25 routers; second flit is
+        // pipelined one cycle behind: 4 NoC cycles total.
+        assert_eq!(out.stats.noc_cycles, 4);
+        assert!(out.stats.buffered > 0);
+        // Functional result still exact.
+        let inputs = batch(25, 2, 2.0);
+        for (r, row) in inputs.iter().enumerate() {
+            for (n, &x) in row.iter().enumerate() {
+                assert_eq!(out.outputs[r][n], t.eval(x));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_hops_accounting() {
+        let t = table(8);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(4, 2), &t).unwrap();
+        let out = sim.run(&batch(4, 2, 0.5)).unwrap();
+        assert_eq!(out.stats.hops, 4, "one flit × four routers");
+        assert_eq!(out.stats.pairs_latched, 8);
+        assert_eq!(out.stats.mac_ops, 8);
+    }
+
+    #[test]
+    fn input_shape_validation() {
+        let t = table(16);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(4, 8), &t).unwrap();
+        assert!(matches!(
+            sim.run(&batch(3, 8, 0.0)),
+            Err(NocError::InputShape { .. })
+        ));
+        assert!(matches!(
+            sim.run(&batch(4, 7, 0.0)),
+            Err(NocError::InputShape { .. })
+        ));
+    }
+
+    #[test]
+    fn format_validation() {
+        let t = table(16);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(1, 1), &t).unwrap();
+        let wrong = vec![vec![Fixed::zero(nova_fixed::Q6_10)]];
+        assert!(matches!(sim.run(&wrong), Err(NocError::FormatMismatch)));
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let t = table(16);
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(2, 4), &t).unwrap();
+        let a = sim.run(&batch(2, 4, 0.1)).unwrap();
+        let b = sim.run(&batch(2, 4, 0.9)).unwrap();
+        assert_ne!(a.outputs, b.outputs);
+        // Second batch computed correctly too.
+        let inputs = batch(2, 4, 0.9);
+        assert_eq!(b.outputs[1][3], t.eval(inputs[1][3]));
+    }
+
+    #[test]
+    fn table_switch_between_batches() {
+        // Operator switching mid-stream: exp for softmax, then gelu for
+        // the FFN — zero-cost in NOVA, and both phases bit-exact.
+        let exp = table(16);
+        let gelu_pwl =
+            fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform).unwrap();
+        let gelu = QuantizedPwl::from_pwl(&gelu_pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let mut sim = BroadcastSim::new(LineConfig::paper_default(4, 8), &exp).unwrap();
+        let inputs = batch(4, 8, 0.4);
+        let a = sim.run(&inputs).unwrap();
+        assert_eq!(a.outputs[2][3], exp.eval(inputs[2][3]));
+        sim.set_table(&gelu).unwrap();
+        let b = sim.run(&inputs).unwrap();
+        assert_eq!(b.outputs[2][3], gelu.eval(inputs[2][3]));
+        assert_ne!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn narrow_link_ablation_still_exact() {
+        let t = table(16);
+        let mut config = LineConfig::paper_default(4, 4);
+        config.link = LinkConfig::new(4, 2).unwrap();
+        let mut sim = BroadcastSim::new(config, &t).unwrap();
+        let inputs = batch(4, 4, 0.2);
+        let out = sim.run(&inputs).unwrap();
+        assert_eq!(out.stats.flits_injected, 4); // 16 segments / 4 per flit
+        assert_eq!(out.outputs[0][0], t.eval(inputs[0][0]));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests: the NoC broadcast is functionally identical to a
+//! direct table lookup for every geometry and input batch.
+
+use nova_approx::{fit, Activation, QuantizedPwl};
+use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_noc::{sim::BroadcastSim, Flit, LineConfig, LinkConfig};
+use proptest::prelude::*;
+
+fn table(segments: usize) -> QuantizedPwl {
+    let pwl = fit::fit_activation(Activation::Gelu, segments, fit::BreakpointStrategy::Uniform)
+        .unwrap();
+    QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NoC simulation ≡ table lookup, bit for bit, for any geometry.
+    #[test]
+    fn broadcast_equals_table(
+        segments in 1usize..=16,
+        routers in 1usize..=12,
+        neurons in 1usize..=8,
+        reach in 1usize..=10,
+        raws in prop::collection::vec(i64::from(i16::MIN)..=i64::from(i16::MAX), 1..96),
+    ) {
+        let t = table(segments);
+        let mut config = LineConfig::paper_default(routers, neurons);
+        config.max_hops_per_cycle = reach;
+        let mut sim = BroadcastSim::new(config, &t).unwrap();
+        let inputs: Vec<Vec<Fixed>> = (0..routers)
+            .map(|r| {
+                (0..neurons)
+                    .map(|n| {
+                        let raw = raws[(r * neurons + n) % raws.len()];
+                        Fixed::from_raw(raw, Q4_12).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = sim.run(&inputs).unwrap();
+        for (out_row, in_row) in out.outputs.iter().zip(&inputs) {
+            for (&o, &x) in out_row.iter().zip(in_row) {
+                prop_assert_eq!(o, t.eval(x));
+            }
+        }
+    }
+
+    /// NoC cycle count follows the pipeline formula:
+    /// flits + traversal_cycles − 1 (one flit injected per cycle, each
+    /// taking `traversal_cycles` to cross the line).
+    #[test]
+    fn cycle_count_formula(
+        segments in 1usize..=16,
+        routers in 1usize..=24,
+        reach in 1usize..=10,
+    ) {
+        let t = table(segments);
+        let mut config = LineConfig::paper_default(routers, 1);
+        config.max_hops_per_cycle = reach;
+        let flits = t.segments().div_ceil(config.link.pairs_per_flit);
+        prop_assume!(flits <= config.link.tag_capacity());
+        let mut sim = BroadcastSim::new(config, &t).unwrap();
+        let inputs = vec![vec![Fixed::zero(Q4_12)]; routers];
+        let out = sim.run(&inputs).unwrap();
+        let traversal = routers.div_ceil(reach) as u64;
+        prop_assert_eq!(out.stats.noc_cycles, flits as u64 + traversal - 1);
+    }
+
+    /// Hop count: every flit visits every router exactly once.
+    #[test]
+    fn hops_are_flits_times_routers(
+        segments in 1usize..=16,
+        routers in 1usize..=12,
+    ) {
+        let t = table(segments);
+        let config = LineConfig::paper_default(routers, 1);
+        let mut sim = BroadcastSim::new(config, &t).unwrap();
+        let inputs = vec![vec![Fixed::zero(Q4_12)]; routers];
+        let out = sim.run(&inputs).unwrap();
+        let flits = sim.schedule().flit_count() as u64;
+        prop_assert_eq!(out.stats.hops, flits * routers as u64);
+    }
+
+    /// Flit wire-image roundtrip for arbitrary word payloads.
+    #[test]
+    fn flit_pack_unpack(words in prop::collection::vec(any::<i16>(), 16), tag in 0u8..=1) {
+        let pairs: Vec<nova_approx::SlopeBias> = words
+            .chunks(2)
+            .map(|c| nova_approx::SlopeBias {
+                slope: Fixed::from_raw(i64::from(c[0]), Q4_12).unwrap(),
+                bias: Fixed::from_raw(i64::from(c[1]), Q4_12).unwrap(),
+            })
+            .collect();
+        let c = LinkConfig::paper();
+        let f = Flit::from_pairs(&pairs, tag, c).unwrap();
+        prop_assert_eq!(Flit::unpack(&f.pack(), c).unwrap(), f);
+    }
+}

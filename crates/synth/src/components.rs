@@ -1,0 +1,138 @@
+//! Primitive hardware blocks: area and switched capacitance.
+//!
+//! Every composite in [`crate::units`] is assembled from these five
+//! primitives, mirroring how the paper's RTL decomposes (Fig 3: comparator
+//! front-end, link registers + bypass, repeated wires, MAC back-end; Fig 1:
+//! LUT banks).
+
+use crate::TechModel;
+
+/// Area/capacitance of a register bank of `bits` flops.
+#[must_use]
+pub fn register(tech: &TechModel, bits: usize) -> (f64, f64) {
+    (
+        bits as f64 * tech.reg_bit_area_um2,
+        bits as f64 * tech.reg_bit_cap_pf,
+    )
+}
+
+/// Area/capacitance of one 16-bit MAC slice.
+#[must_use]
+pub fn mac16(tech: &TechModel) -> (f64, f64) {
+    (tech.mac16_area_um2, tech.mac16_cap_pf)
+}
+
+/// Area/capacitance of a lookup-address generator for `breakpoints`
+/// segments: `breakpoints - 1` threshold comparators plus a thermometer
+/// encoder (folded into the per-comparator constant).
+#[must_use]
+pub fn comparator_tree(tech: &TechModel, breakpoints: usize) -> (f64, f64) {
+    let n = breakpoints.saturating_sub(1).max(1) as f64;
+    (n * tech.comparator_area_um2, n * tech.comparator_cap_pf)
+}
+
+/// Area and per-access read capacitance of an SRAM bank.
+///
+/// `bytes` of storage with `read_ports` simultaneous read ports. Multi-port
+/// banks pay linearly growing bitcell area (extra wordline/bitline pairs),
+/// per-port periphery, and a much larger per-access capacitance (long
+/// bitlines across the widened array) — the physical reason the per-core
+/// LUT baseline wins on area but loses on power (paper §V.C.2).
+///
+/// Returns `(area_um2, read_cap_pf_per_port_access)`.
+///
+/// # Panics
+///
+/// Panics if `read_ports == 0` (a bank nobody can read is a config bug).
+#[must_use]
+pub fn sram_bank(tech: &TechModel, bytes: usize, read_ports: usize) -> (f64, f64) {
+    assert!(read_ports > 0, "SRAM bank needs at least one read port");
+    let bits = (bytes * 8) as f64;
+    let port_growth = 1.0 + tech.sram_port_area_factor * (read_ports - 1) as f64;
+    let area = bits * tech.sram_bit_area_um2 * port_growth
+        + tech.sram_periphery_area_um2
+        + read_ports as f64 * tech.sram_port_periphery_um2;
+    let cap = if read_ports == 1 {
+        tech.sram_read_cap_pf
+    } else {
+        tech.sram_multiport_read_cap_pf
+    };
+    (area, cap)
+}
+
+/// Area/capacitance of a repeated broadcast wire segment: `bits` wires of
+/// `pitch_mm` length plus their clockless repeaters.
+///
+/// Wires route over logic in upper metal, so only the repeaters contribute
+/// die area; the wire capacitance is what the broadcast pays per hop.
+#[must_use]
+pub fn link_segment(tech: &TechModel, bits: usize, pitch_mm: f64) -> (f64, f64) {
+    let area = bits as f64 * tech.repeater_area_um2_per_bit;
+    let cap = bits as f64 * tech.wire_cap_pf_per_mm * pitch_mm;
+    (area, cap)
+}
+
+/// Area of the router's 2:1 bypass/buffer mux across `bits`.
+#[must_use]
+pub fn bypass_mux(tech: &TechModel, bits: usize) -> f64 {
+    bits as f64 * tech.mux_bit_area_um2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechModel {
+        TechModel::cmos22()
+    }
+
+    #[test]
+    fn register_scales_linearly() {
+        let t = tech();
+        let (a1, c1) = register(&t, 100);
+        let (a2, c2) = register(&t, 200);
+        assert!((a2 - 2.0 * a1).abs() < 1e-9);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_port_sram_64b_matches_calibration() {
+        // 64 B single-ported bank ≈ 1.8k µm² — the per-neuron LUT slice
+        // memory (paper: per-neuron LUT ≈ 2.4k µm²/neuron incl. MAC+comp).
+        let (area, cap) = sram_bank(&tech(), 64, 1);
+        assert!((1_500.0..2_500.0).contains(&area), "area = {area}");
+        assert!((cap - 0.62).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiport_sram_blows_up() {
+        let t = tech();
+        let (a1, c1) = sram_bank(&t, 64, 1);
+        let (a128, c128) = sram_bank(&t, 64, 128);
+        assert!(a128 > 50.0 * a1, "128-port bank must dwarf single-port");
+        assert!(c128 > c1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read port")]
+    fn zero_port_bank_panics() {
+        let _ = sram_bank(&tech(), 64, 0);
+    }
+
+    #[test]
+    fn comparator_tree_min_one() {
+        let t = tech();
+        let (a1, _) = comparator_tree(&t, 1);
+        assert!(a1 > 0.0);
+        let (a16, _) = comparator_tree(&t, 16);
+        assert!((a16 - 15.0 * t.comparator_area_um2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_segment_cap_scales_with_pitch() {
+        let t = tech();
+        let (_, c1) = link_segment(&t, 257, 1.0);
+        let (_, c2) = link_segment(&t, 257, 2.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-9);
+    }
+}

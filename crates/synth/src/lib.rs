@@ -1,0 +1,51 @@
+//! Analytic 22 nm technology model — the reproduction's substitute for the
+//! paper's Synopsys Design Compiler / Cadence Innovus flow.
+//!
+//! The paper synthesizes the NOVA NoC and the LUT-based baselines on a
+//! commercial 22 nm process and reports component area (µm²/mm²) and power
+//! (mW). Without the PDK those absolute numbers cannot be re-derived, so
+//! this crate provides a *calibrated analytic model*: per-component area
+//! and switched-capacitance constants (registers, SRAM macros, comparators,
+//! MACs, wires, clockless repeaters) chosen so that the published component
+//! totals of Table III / Table IV are approximately reproduced, and —
+//! more importantly — so that every *ratio* the paper's conclusions rest on
+//! (NOVA vs per-neuron LUT vs per-core LUT, scaling with neuron count,
+//! multi-port SRAM blow-up, frequency/leakage behaviour) follows from the
+//! same physical reasoning the paper gives.
+//!
+//! Structure:
+//! - [`TechModel`]: the constants (one place to calibrate),
+//! - [`components`]: area/capacitance of primitive blocks,
+//! - [`units`]: composite vector-unit costs (NOVA router, per-neuron LUT,
+//!   per-core LUT, NVDLA-SDP-style unit),
+//! - [`timing`]: repeated-wire delay model → max single-cycle hops
+//!   (reproduces "10 routers at 1.5 GHz, 1 mm apart"),
+//! - [`report`]: area/power report types shared by the bench harness.
+//!
+//! # Example
+//!
+//! ```
+//! use nova_synth::{TechModel, units};
+//!
+//! let tech = TechModel::cmos22();
+//! // A NOVA router serving 128 neurons with 16 breakpoints, 1 mm pitch:
+//! let cost = units::nova_router(&tech, 128, 16, 1.0);
+//! assert!(cost.area_um2 > 0.0);
+//! // At TPU clocks (1.4 GHz core / 2.8 GHz NoC) it draws tens of mW:
+//! let p = cost.power_mw(&tech, 1.4, 2.8, 1.0);
+//! assert!(p > 0.0 && p < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tech;
+
+pub mod components;
+pub mod report;
+pub mod timing;
+pub mod units;
+
+pub use report::{AreaPower, CostBreakdown};
+pub use tech::TechModel;
+pub use units::{LutSharing, LutUnitCost, NovaRouterCost};

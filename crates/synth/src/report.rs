@@ -1,0 +1,115 @@
+//! Area/power report types shared by the bench harness and the core
+//! engine.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A paired area (mm²) and power (mW) result — one Table III cell pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AreaPower {
+    /// Total area in mm².
+    pub area_mm2: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+}
+
+impl AreaPower {
+    /// Creates a report from raw values.
+    #[must_use]
+    pub fn new(area_mm2: f64, power_mw: f64) -> Self {
+        Self { area_mm2, power_mw }
+    }
+
+    /// Sums two reports (e.g. accumulate routers into an accelerator
+    /// total).
+    #[must_use]
+    pub fn plus(self, other: AreaPower) -> AreaPower {
+        AreaPower {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+
+    /// Scales both fields (e.g. replicate one router `n` times).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> AreaPower {
+        AreaPower {
+            area_mm2: self.area_mm2 * factor,
+            power_mw: self.power_mw * factor,
+        }
+    }
+}
+
+impl fmt::Display for AreaPower {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mm², {:.3} mW", self.area_mm2, self.power_mw)
+    }
+}
+
+/// A labeled component breakdown, used to print the per-figure tables.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Ordered `(component label, value)` rows.
+    pub rows: Vec<(String, f64)>,
+    /// Unit label for the values (e.g. `"µm²"`, `"mW"`).
+    pub unit: String,
+}
+
+impl CostBreakdown {
+    /// Creates an empty breakdown with a unit label.
+    #[must_use]
+    pub fn new(unit: impl Into<String>) -> Self {
+        Self { rows: Vec::new(), unit: unit.into() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.rows.push((label.into(), value));
+    }
+
+    /// Sum of all rows.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.rows.iter().map(|(_, v)| v).sum()
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, value) in &self.rows {
+            writeln!(f, "  {label:<40} {value:>12.3} {}", self.unit)?;
+        }
+        write!(f, "  {:<40} {:>12.3} {}", "total", self.total(), self.unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_and_scaled_compose() {
+        let a = AreaPower::new(1.0, 10.0);
+        let b = AreaPower::new(0.5, 5.0);
+        let s = a.plus(b).scaled(2.0);
+        assert_eq!(s.area_mm2, 3.0);
+        assert_eq!(s.power_mw, 30.0);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let mut b = CostBreakdown::new("mW");
+        b.push("macs", 1.5);
+        b.push("sram", 2.5);
+        assert_eq!(b.total(), 4.0);
+        let s = b.to_string();
+        assert!(s.contains("macs") && s.contains("total"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = AreaPower::new(1.2345, 67.89);
+        assert!(a.to_string().contains("mm²"));
+    }
+}

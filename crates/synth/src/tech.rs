@@ -1,0 +1,210 @@
+use serde::{Deserialize, Serialize};
+
+/// Technology constants for the analytic area/power/timing model.
+///
+/// All area values are µm², all capacitances are pF (so that
+/// `pF · V² · GHz = mW`), all delays are ps. The `cmos22` values are
+/// calibrated against the component totals the paper publishes (Table III,
+/// Table IV, §V.A scalability); `EXPERIMENTS.md` records the residuals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechModel {
+    /// Process label, e.g. `"22nm"`.
+    pub node: &'static str,
+    /// Nominal supply voltage (V). The paper evaluates at 0.8 V.
+    pub voltage: f64,
+
+    // --- Sequential / logic ---
+    /// Flip-flop area per bit (µm²), including local clock buffering.
+    pub reg_bit_area_um2: f64,
+    /// Effective switched capacitance per register bit per cycle (pF).
+    pub reg_bit_cap_pf: f64,
+    /// Area of one 16-bit MAC slice (multiplier + saturating adder, µm²).
+    pub mac16_area_um2: f64,
+    /// Effective switched capacitance of one MAC operation (pF).
+    pub mac16_cap_pf: f64,
+    /// Comparator area per breakpoint threshold (µm²); an N-breakpoint
+    /// address generator is N-1 comparators plus the thermometer encoder.
+    pub comparator_area_um2: f64,
+    /// Switched capacitance per comparator evaluation (pF).
+    pub comparator_cap_pf: f64,
+    /// 2:1 mux area per bit (µm²) — the router bypass/buffer selector.
+    pub mux_bit_area_um2: f64,
+
+    // --- SRAM macros ---
+    /// 6T bitcell area (µm²/bit) for a single-ported array.
+    pub sram_bit_area_um2: f64,
+    /// Extra bitcell area factor per additional port (each port adds a
+    /// wordline + bitline pair; area grows roughly linearly).
+    pub sram_port_area_factor: f64,
+    /// Fixed periphery area per bank (decoder, sense amps; µm²).
+    pub sram_periphery_area_um2: f64,
+    /// Additional periphery area per port (µm²).
+    pub sram_port_periphery_um2: f64,
+    /// Switched capacitance of one read access on a single-ported small
+    /// bank (pF). Dominated by periphery for 64 B banks.
+    pub sram_read_cap_pf: f64,
+    /// Switched capacitance of one read access per port on a heavily
+    /// multi-ported bank (pF) — long bitlines across the widened array.
+    pub sram_multiport_read_cap_pf: f64,
+
+    // --- Wires / repeaters (the NOVA link) ---
+    /// Wire capacitance per bit per mm (pF).
+    pub wire_cap_pf_per_mm: f64,
+    /// Clockless repeater area per link bit per router (µm²).
+    pub repeater_area_um2_per_bit: f64,
+    /// Average signal activity on the broadcast link (fraction of bits
+    /// toggling per cycle; slope/bias words are reused across many
+    /// lookups, so activity is well below 0.5).
+    pub link_activity: f64,
+
+    // --- Leakage ---
+    /// Leakage power density (mW per mm² of standard-cell/SRAM area).
+    pub leakage_mw_per_mm2: f64,
+
+    // --- Timing (for the SMART-style single-cycle multi-hop model) ---
+    /// Repeated-wire delay per mm (ps).
+    pub wire_delay_ps_per_mm: f64,
+    /// Router bypass-path delay per hop (mux + repeater, ps).
+    pub hop_logic_delay_ps: f64,
+    /// Flop clock-to-Q plus setup overhead per cycle (ps).
+    pub clocking_overhead_ps: f64,
+}
+
+impl TechModel {
+    /// The calibrated commercial-22nm-like model used throughout the
+    /// reproduction (paper's node, 0.8 V operating point).
+    #[must_use]
+    pub fn cmos22() -> Self {
+        Self {
+            node: "22nm",
+            voltage: 0.8,
+            reg_bit_area_um2: 6.0,
+            reg_bit_cap_pf: 0.0012,
+            mac16_area_um2: 500.0,
+            mac16_cap_pf: 0.10,
+            comparator_area_um2: 14.0,
+            comparator_cap_pf: 0.002,
+            mux_bit_area_um2: 2.0,
+            sram_bit_area_um2: 0.35,
+            sram_port_area_factor: 1.0,
+            sram_periphery_area_um2: 600.0,
+            sram_port_periphery_um2: 1060.0,
+            sram_read_cap_pf: 0.62,
+            sram_multiport_read_cap_pf: 1.74,
+            wire_cap_pf_per_mm: 0.15,
+            repeater_area_um2_per_bit: 4.0,
+            link_activity: 0.15,
+            leakage_mw_per_mm2: 15.0,
+            wire_delay_ps_per_mm: 62.0,
+            hop_logic_delay_ps: 0.0,
+            clocking_overhead_ps: 45.0,
+        }
+    }
+
+    /// A 28 nm variant (used only for the Table IV NACU comparison row;
+    /// NACU is published at 28 nm). Scales area by the node-area ratio and
+    /// keeps capacitances — adequate for an order-of-magnitude row.
+    #[must_use]
+    pub fn cmos28() -> Self {
+        let mut t = Self::cmos22();
+        t.node = "28nm";
+        let s = (28.0f64 / 22.0).powi(2);
+        t.reg_bit_area_um2 *= s;
+        t.mac16_area_um2 *= s;
+        t.comparator_area_um2 *= s;
+        t.mux_bit_area_um2 *= s;
+        t.sram_bit_area_um2 *= s;
+        t.sram_periphery_area_um2 *= s;
+        t.sram_port_periphery_um2 *= s;
+        t.repeater_area_um2_per_bit *= s;
+        t
+    }
+
+    /// Re-derives the model at a different supply voltage (DVFS ablation).
+    ///
+    /// Alpha-power scaling with a 0.35 V threshold: gate delay grows as
+    /// the overdrive shrinks, leakage falls roughly with V², dynamic
+    /// energy with V² (already captured by [`TechModel::dynamic_power_mw`]
+    /// reading `voltage`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is at or below the threshold voltage (no
+    /// overdrive — the circuit does not switch).
+    #[must_use]
+    pub fn at_voltage(&self, voltage: f64) -> Self {
+        const VT: f64 = 0.35;
+        assert!(voltage > VT, "supply must exceed the 0.35 V threshold");
+        let mut t = self.clone();
+        let delay_scale = (self.voltage - VT) / (voltage - VT);
+        t.voltage = voltage;
+        t.wire_delay_ps_per_mm *= delay_scale;
+        t.hop_logic_delay_ps *= delay_scale;
+        t.clocking_overhead_ps *= delay_scale;
+        t.leakage_mw_per_mm2 *= (voltage / self.voltage).powi(2);
+        t
+    }
+
+    /// Dynamic power (mW) of `cap_pf` switched at `freq_ghz` with the given
+    /// activity factor, at this model's supply voltage.
+    #[must_use]
+    pub fn dynamic_power_mw(&self, cap_pf: f64, freq_ghz: f64, activity: f64) -> f64 {
+        cap_pf * self.voltage * self.voltage * freq_ghz * activity
+    }
+
+    /// Leakage power (mW) of `area_um2` of cells.
+    #[must_use]
+    pub fn leakage_mw(&self, area_um2: f64) -> f64 {
+        area_um2 * 1e-6 * self.leakage_mw_per_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_power_units_check() {
+        let t = TechModel::cmos22();
+        // 1 pF at 1 GHz, 0.8 V, activity 1 = 0.64 mW.
+        assert!((t.dynamic_power_mw(1.0, 1.0, 1.0) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_scales_with_area() {
+        let t = TechModel::cmos22();
+        assert!((t.leakage_mw(1e6) - t.leakage_mw_per_mm2).abs() < 1e-9);
+        assert_eq!(t.leakage_mw(0.0), 0.0);
+    }
+
+    #[test]
+    fn dvfs_low_voltage_slower_but_leaner() {
+        let t08 = TechModel::cmos22();
+        let t06 = t08.at_voltage(0.6);
+        // Slower wires, lower leakage, lower dynamic power per pF·GHz.
+        assert!(t06.wire_delay_ps_per_mm > t08.wire_delay_ps_per_mm);
+        assert!(t06.leakage_mw_per_mm2 < t08.leakage_mw_per_mm2);
+        assert!(t06.dynamic_power_mw(1.0, 1.0, 1.0) < t08.dynamic_power_mw(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn dvfs_overdrive_speeds_up() {
+        let t08 = TechModel::cmos22();
+        let t10 = t08.at_voltage(1.0);
+        assert!(t10.wire_delay_ps_per_mm < t08.wire_delay_ps_per_mm);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn dvfs_below_threshold_panics() {
+        let _ = TechModel::cmos22().at_voltage(0.3);
+    }
+
+    #[test]
+    fn cmos28_is_larger_but_same_caps() {
+        let t22 = TechModel::cmos22();
+        let t28 = TechModel::cmos28();
+        assert!(t28.mac16_area_um2 > t22.mac16_area_um2);
+        assert_eq!(t28.mac16_cap_pf, t22.mac16_cap_pf);
+    }
+}

@@ -1,0 +1,132 @@
+//! Repeated-wire timing: how many NOVA routers a broadcast can traverse in
+//! one clock cycle.
+//!
+//! The NOVA NoC uses clockless repeaters (SMART-style, Krishna et al. HPCA
+//! 2013): the flit registered at the line's head ripples combinationally
+//! through every router bypass until the cycle budget is spent. The paper's
+//! place-and-route result: **at 1.5 GHz with routers placed 1 mm apart, a
+//! maximum of 10 routers can be traversed in a cycle** — every Table II
+//! configuration keeps ≤ 10 routers so broadcast stays single-cycle.
+
+use crate::TechModel;
+
+/// Propagation delay (ps) to traverse `hops` router-to-router segments of
+/// `pitch_mm` each, including per-hop bypass logic.
+#[must_use]
+pub fn traversal_delay_ps(tech: &TechModel, hops: usize, pitch_mm: f64) -> f64 {
+    hops as f64 * (tech.wire_delay_ps_per_mm * pitch_mm + tech.hop_logic_delay_ps)
+}
+
+/// Maximum hops traversable in one cycle at `freq_ghz` with `pitch_mm`
+/// router spacing.
+///
+/// # Example
+///
+/// ```
+/// use nova_synth::{timing, TechModel};
+///
+/// let tech = TechModel::cmos22();
+/// // The paper's P&R result: 10 routers at 1.5 GHz, 1 mm apart.
+/// assert_eq!(timing::max_hops_per_cycle(&tech, 1.5, 1.0), 10);
+/// ```
+#[must_use]
+pub fn max_hops_per_cycle(tech: &TechModel, freq_ghz: f64, pitch_mm: f64) -> usize {
+    if freq_ghz <= 0.0 || pitch_mm <= 0.0 {
+        return 0;
+    }
+    let period_ps = 1000.0 / freq_ghz;
+    let budget = period_ps - tech.clocking_overhead_ps;
+    if budget <= 0.0 {
+        return 0;
+    }
+    let per_hop = tech.wire_delay_ps_per_mm * pitch_mm + tech.hop_logic_delay_ps;
+    (budget / per_hop).floor() as usize
+}
+
+/// Number of cycles a broadcast needs to reach `routers` routers on the
+/// line at `freq_ghz` / `pitch_mm` (≥ 1; multi-cycle beyond the single-
+/// cycle reach, which is the scalability trade-off of §V.A).
+#[must_use]
+pub fn broadcast_cycles(tech: &TechModel, routers: usize, freq_ghz: f64, pitch_mm: f64) -> usize {
+    if routers == 0 {
+        return 0;
+    }
+    let reach = max_hops_per_cycle(tech, freq_ghz, pitch_mm).max(1);
+    routers.div_ceil(reach)
+}
+
+/// Highest clock (GHz) at which `routers` routers are still single-cycle
+/// reachable, searched on a 1 MHz grid — the "lower clock frequency"
+/// trade-off the paper mentions for >10 routers.
+#[must_use]
+pub fn max_single_cycle_freq_ghz(tech: &TechModel, routers: usize, pitch_mm: f64) -> f64 {
+    if routers == 0 {
+        return f64::INFINITY;
+    }
+    let per_hop = tech.wire_delay_ps_per_mm * pitch_mm + tech.hop_logic_delay_ps;
+    let period = routers as f64 * per_hop + tech.clocking_overhead_ps;
+    1000.0 / period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechModel {
+        TechModel::cmos22()
+    }
+
+    #[test]
+    fn paper_scalability_point() {
+        // §V.A: max 10 routers, 1 mm apart, at 1.5 GHz.
+        assert_eq!(max_hops_per_cycle(&tech(), 1.5, 1.0), 10);
+    }
+
+    #[test]
+    fn all_table2_configs_single_cycle() {
+        // REACT (10), TPU-v3 (4), TPU-v4 (8), Jetson (2) — all ≤ 10.
+        let t = tech();
+        for routers in [10usize, 4, 8, 2] {
+            assert_eq!(broadcast_cycles(&t, routers, 1.5, 1.0), 1, "{routers} routers");
+        }
+    }
+
+    #[test]
+    fn beyond_ten_routers_goes_multicycle() {
+        let t = tech();
+        assert!(broadcast_cycles(&t, 11, 1.5, 1.0) > 1);
+        assert_eq!(broadcast_cycles(&t, 20, 1.5, 1.0), 2);
+    }
+
+    #[test]
+    fn slower_clock_reaches_further() {
+        let t = tech();
+        assert!(max_hops_per_cycle(&t, 0.75, 1.0) > max_hops_per_cycle(&t, 1.5, 1.0));
+    }
+
+    #[test]
+    fn tighter_pitch_reaches_further() {
+        let t = tech();
+        assert!(max_hops_per_cycle(&t, 1.5, 0.5) > max_hops_per_cycle(&t, 1.5, 1.0));
+    }
+
+    #[test]
+    fn max_freq_consistent_with_max_hops() {
+        let t = tech();
+        let f = max_single_cycle_freq_ghz(&t, 10, 1.0);
+        assert!(f >= 1.5, "10 routers must close timing at 1.5 GHz, got {f}");
+        assert_eq!(max_hops_per_cycle(&t, f, 1.0), 10);
+        // And at slightly above, 10 hops no longer fit.
+        assert!(max_hops_per_cycle(&t, f * 1.05, 1.0) < 10);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let t = tech();
+        assert_eq!(max_hops_per_cycle(&t, 0.0, 1.0), 0);
+        assert_eq!(max_hops_per_cycle(&t, 1.5, 0.0), 0);
+        assert_eq!(broadcast_cycles(&t, 0, 1.5, 1.0), 0);
+        // Absurdly fast clock: budget goes negative.
+        assert_eq!(max_hops_per_cycle(&t, 50.0, 1.0), 0);
+    }
+}

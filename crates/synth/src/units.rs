@@ -1,0 +1,374 @@
+//! Composite vector-unit cost models: the NOVA router and the LUT-based
+//! baselines, assembled from [`crate::components`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::CostBreakdown;
+use crate::{components, TechModel};
+
+/// Width of the NOVA link: 8 slope/bias pairs × 16-bit words + 1 tag bit.
+pub const NOVA_LINK_BITS: usize = 257;
+
+/// Bytes per LUT bank: 16 `(slope, bias)` pairs × 2 words × 2 bytes
+/// (paper §V.B: "the size of each LUT bank is kept at 64 bytes").
+pub const LUT_BANK_BYTES: usize = 64;
+
+/// Which LUT baseline variant (paper §V.B models both extremes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LutSharing {
+    /// One single-ported 64 B bank per neuron (maximum redundancy).
+    PerNeuron,
+    /// One multi-ported 64 B bank per core, shared by all neurons.
+    PerCore,
+}
+
+impl LutSharing {
+    /// Display label matching the paper's Table III rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LutSharing::PerNeuron => "naive LUT (per-neuron LUT)",
+            LutSharing::PerCore => "naive LUT (per-core LUT)",
+        }
+    }
+}
+
+/// Cost of one NOVA router serving `neurons` output neurons.
+///
+/// Two clock domains: the per-neuron datapath (comparator + MAC) runs at
+/// the accelerator clock; the link (registers, wires, repeaters) runs at
+/// the NoC clock (2× for 16 breakpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NovaRouterCost {
+    /// Total cell area (µm²).
+    pub area_um2: f64,
+    /// Switched capacitance of the per-neuron datapath (pF, at core clock).
+    pub core_cap_pf: f64,
+    /// Switched capacitance of the link per broadcast cycle (pF, at NoC
+    /// clock, before the link activity factor).
+    pub noc_cap_pf: f64,
+}
+
+impl NovaRouterCost {
+    /// Power at the given core/NoC clocks (GHz) and datapath activity.
+    ///
+    /// `datapath_activity` is the fraction of cycles the neurons actually
+    /// issue approximation lookups (workload-dependent). The broadcast is
+    /// demand-driven — the mapper only injects flits when lookups are
+    /// pending — so the link's bit-level activity constant is scaled by
+    /// the same factor.
+    #[must_use]
+    pub fn power_mw(
+        &self,
+        tech: &TechModel,
+        core_ghz: f64,
+        noc_ghz: f64,
+        datapath_activity: f64,
+    ) -> f64 {
+        tech.dynamic_power_mw(self.core_cap_pf, core_ghz, datapath_activity)
+            + tech.dynamic_power_mw(self.noc_cap_pf, noc_ghz, tech.link_activity * datapath_activity)
+            + tech.leakage_mw(self.area_um2)
+    }
+}
+
+/// Cost of one LUT-based vector unit serving `neurons` output neurons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LutUnitCost {
+    /// Total cell area (µm²).
+    pub area_um2: f64,
+    /// Switched capacitance per lookup cycle (pF, at the accelerator
+    /// clock; LUT baselines have a single clock domain — paper §V.B).
+    pub cap_pf: f64,
+}
+
+impl LutUnitCost {
+    /// Power at the accelerator clock (GHz) and datapath activity.
+    #[must_use]
+    pub fn power_mw(&self, tech: &TechModel, core_ghz: f64, datapath_activity: f64) -> f64 {
+        tech.dynamic_power_mw(self.cap_pf, core_ghz, datapath_activity)
+            + tech.leakage_mw(self.area_um2)
+    }
+}
+
+/// Cost of one NOVA router (Fig 3 micro-architecture): per-neuron
+/// comparator trees and MACs, a 257-bit input register stage with bypass,
+/// clockless repeaters, and the `pitch_mm` of broadcast wire to the next
+/// router.
+///
+/// # Panics
+///
+/// Panics if `neurons == 0` or `breakpoints == 0`.
+#[must_use]
+pub fn nova_router(
+    tech: &TechModel,
+    neurons: usize,
+    breakpoints: usize,
+    pitch_mm: f64,
+) -> NovaRouterCost {
+    assert!(neurons > 0, "a router serves at least one neuron");
+    assert!(breakpoints > 0, "need at least one segment");
+    let (mac_area, mac_cap) = components::mac16(tech);
+    let (cmp_area, cmp_cap) = components::comparator_tree(tech, breakpoints);
+    let (reg_area, reg_cap) = components::register(tech, NOVA_LINK_BITS);
+    let (rep_area, wire_cap) = components::link_segment(tech, NOVA_LINK_BITS, pitch_mm);
+    let mux_area = components::bypass_mux(tech, NOVA_LINK_BITS);
+    // Small control FSM (buffer/forward select, tag compare enable).
+    let control_area = 500.0;
+
+    let area_um2 = neurons as f64 * (mac_area + cmp_area)
+        + reg_area
+        + rep_area
+        + mux_area
+        + control_area;
+    let core_cap_pf = neurons as f64 * (mac_cap + cmp_cap);
+    let noc_cap_pf = reg_cap + wire_cap;
+    NovaRouterCost { area_um2, core_cap_pf, noc_cap_pf }
+}
+
+/// Cost of one LUT-based vector unit (Fig 1 architecture) for `neurons`
+/// neurons and `breakpoints` segments, in either sharing variant.
+///
+/// Per-neuron: every neuron owns a single-ported 64 B bank.
+/// Per-core: one bank with `neurons` read ports.
+///
+/// # Panics
+///
+/// Panics if `neurons == 0` or `breakpoints == 0`.
+#[must_use]
+pub fn lut_unit(
+    tech: &TechModel,
+    neurons: usize,
+    breakpoints: usize,
+    sharing: LutSharing,
+) -> LutUnitCost {
+    assert!(neurons > 0, "a vector unit serves at least one neuron");
+    assert!(breakpoints > 0, "need at least one segment");
+    let (mac_area, mac_cap) = components::mac16(tech);
+    let (cmp_area, cmp_cap) = components::comparator_tree(tech, breakpoints);
+    let (bank_area, bank_cap, banks, accesses) = match sharing {
+        LutSharing::PerNeuron => {
+            let (a, c) = components::sram_bank(tech, LUT_BANK_BYTES, 1);
+            (a, c, neurons as f64, neurons as f64)
+        }
+        LutSharing::PerCore => {
+            let (a, c) = components::sram_bank(tech, LUT_BANK_BYTES, neurons);
+            // One bank, but every neuron's port fires each lookup cycle.
+            (a, c, 1.0, neurons as f64)
+        }
+    };
+    let area_um2 = neurons as f64 * (mac_area + cmp_area) + banks * bank_area;
+    let cap_pf = neurons as f64 * (mac_cap + cmp_cap) + accesses * bank_cap;
+    LutUnitCost { area_um2, cap_pf }
+}
+
+/// Per-component area breakdown of a NOVA router — where the µm² go
+/// (used by the Fig 6 analysis and the documentation).
+///
+/// # Panics
+///
+/// Panics if `neurons == 0` or `breakpoints == 0`.
+#[must_use]
+pub fn nova_router_breakdown(
+    tech: &TechModel,
+    neurons: usize,
+    breakpoints: usize,
+    pitch_mm: f64,
+) -> CostBreakdown {
+    assert!(neurons > 0 && breakpoints > 0);
+    let (mac_area, _) = components::mac16(tech);
+    let (cmp_area, _) = components::comparator_tree(tech, breakpoints);
+    let (reg_area, _) = components::register(tech, NOVA_LINK_BITS);
+    let (rep_area, _) = components::link_segment(tech, NOVA_LINK_BITS, pitch_mm);
+    let mut b = CostBreakdown::new("µm²");
+    b.push(format!("{neurons} × 16-bit MAC"), neurons as f64 * mac_area);
+    b.push(
+        format!("{neurons} × comparator tree ({breakpoints} bp)"),
+        neurons as f64 * cmp_area,
+    );
+    b.push("257-bit link registers", reg_area);
+    b.push("clockless repeaters", rep_area);
+    b.push("bypass mux", components::bypass_mux(tech, NOVA_LINK_BITS));
+    b.push("control FSM", 500.0);
+    b
+}
+
+/// Per-component area breakdown of a LUT vector unit.
+///
+/// # Panics
+///
+/// Panics if `neurons == 0` or `breakpoints == 0`.
+#[must_use]
+pub fn lut_unit_breakdown(
+    tech: &TechModel,
+    neurons: usize,
+    breakpoints: usize,
+    sharing: LutSharing,
+) -> CostBreakdown {
+    assert!(neurons > 0 && breakpoints > 0);
+    let (mac_area, _) = components::mac16(tech);
+    let (cmp_area, _) = components::comparator_tree(tech, breakpoints);
+    let mut b = CostBreakdown::new("µm²");
+    b.push(format!("{neurons} × 16-bit MAC"), neurons as f64 * mac_area);
+    b.push(
+        format!("{neurons} × comparator tree ({breakpoints} bp)"),
+        neurons as f64 * cmp_area,
+    );
+    match sharing {
+        LutSharing::PerNeuron => {
+            let (bank, _) = components::sram_bank(tech, LUT_BANK_BYTES, 1);
+            b.push(
+                format!("{neurons} × 64 B single-port SRAM"),
+                neurons as f64 * bank,
+            );
+        }
+        LutSharing::PerCore => {
+            let (bank, _) = components::sram_bank(tech, LUT_BANK_BYTES, neurons);
+            b.push(format!("1 × 64 B SRAM, {neurons} ports"), bank);
+        }
+    }
+    b
+}
+
+/// Cost model of the NVDLA Single Data Processor (SDP): a LUT-based
+/// activation engine with an interpolation datapath, modeled as a
+/// per-core LUT plus the SDP's fixed-function pipeline — bias-add,
+/// batch-norm and activation sub-units (≈3 MAC-equivalents per lane,
+/// nvdla.org primer) and a 257-entry interpolation table (1 KiB).
+///
+/// Unlike the overlay units, the SDP is the host's always-clocked native
+/// engine (no demand gating), so callers evaluate its power at activity 1
+/// — that asymmetry is where the paper's 37.8× Jetson power gap comes
+/// from.
+///
+/// # Panics
+///
+/// Panics if `neurons == 0`.
+#[must_use]
+pub fn nvdla_sdp(tech: &TechModel, neurons: usize) -> LutUnitCost {
+    assert!(neurons > 0);
+    let base = lut_unit(tech, neurons, 16, LutSharing::PerCore);
+    let (mac_area, mac_cap) = components::mac16(tech);
+    let (big_lut_area, big_lut_cap) = components::sram_bank(tech, 1024, 1);
+    LutUnitCost {
+        area_um2: base.area_um2 + neurons as f64 * 3.0 * mac_area + big_lut_area,
+        cap_pf: base.cap_pf + neurons as f64 * 3.0 * mac_cap + big_lut_cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechModel {
+        TechModel::cmos22()
+    }
+
+    #[test]
+    fn nova_beats_luts_on_area_at_tpu_scale() {
+        let t = tech();
+        let nova = nova_router(&t, 128, 16, 1.0);
+        let per_neuron = lut_unit(&t, 128, 16, LutSharing::PerNeuron);
+        let per_core = lut_unit(&t, 128, 16, LutSharing::PerCore);
+        assert!(nova.area_um2 < per_core.area_um2);
+        assert!(per_core.area_um2 < per_neuron.area_um2);
+        // Paper: >3× area improvement vs LUT vector units.
+        assert!(per_neuron.area_um2 / nova.area_um2 > 2.5);
+    }
+
+    #[test]
+    fn nova_beats_luts_on_power_despite_2x_clock() {
+        let t = tech();
+        let nova = nova_router(&t, 128, 16, 1.0);
+        let per_neuron = lut_unit(&t, 128, 16, LutSharing::PerNeuron);
+        let per_core = lut_unit(&t, 128, 16, LutSharing::PerCore);
+        let p_nova = nova.power_mw(&t, 1.4, 2.8, 1.0);
+        let p_pn = per_neuron.power_mw(&t, 1.4, 1.0);
+        let p_pc = per_core.power_mw(&t, 1.4, 1.0);
+        assert!(p_nova < p_pn, "NOVA {p_nova} vs per-neuron {p_pn}");
+        assert!(p_nova < p_pc, "NOVA {p_nova} vs per-core {p_pc}");
+        // Paper: per-core burns more power than per-neuron (port blow-up).
+        assert!(p_pc > p_pn);
+    }
+
+    #[test]
+    fn per_core_wins_area_loses_power_tradeoff() {
+        // The paper's stated trade-off between the two LUT extremes.
+        let t = tech();
+        for n in [32, 64, 128, 256] {
+            let pn = lut_unit(&t, n, 16, LutSharing::PerNeuron);
+            let pc = lut_unit(&t, n, 16, LutSharing::PerCore);
+            assert!(pc.area_um2 < pn.area_um2, "n={n}");
+            assert!(
+                pc.power_mw(&t, 1.4, 1.0) > pn.power_mw(&t, 1.4, 1.0),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn nova_scales_better_with_neuron_count() {
+        // Fig 6's shape: NOVA's area grows with slope (MAC+comp) only,
+        // LUTs add a bank per neuron, so the gap widens.
+        let t = tech();
+        let gap = |n: usize| {
+            lut_unit(&t, n, 16, LutSharing::PerNeuron).area_um2
+                - nova_router(&t, n, 16, 1.0).area_um2
+        };
+        assert!(gap(256) > gap(64));
+        assert!(gap(64) > gap(16));
+    }
+
+    #[test]
+    fn single_unit_matches_table4_ballpark() {
+        // Table IV: one NOVA approximator slice ≈ 898.75 µm².
+        let t = tech();
+        let r = nova_router(&t, 16, 16, 0.3);
+        let per_neuron = r.area_um2 / 16.0;
+        assert!(
+            (600.0..1_400.0).contains(&per_neuron),
+            "per-neuron slice = {per_neuron} µm²"
+        );
+    }
+
+    #[test]
+    fn sdp_dwarfs_nova_at_nvdla_scale() {
+        // Table III Jetson rows: SDP 0.1382 mm² vs NOVA 0.0276 mm² (≈5×).
+        let t = tech();
+        let sdp = nvdla_sdp(&t, 16);
+        let nova = nova_router(&t, 16, 16, 0.3);
+        let ratio = (2.0 * sdp.area_um2) / (2.0 * nova.area_um2);
+        assert!(ratio > 3.0, "SDP/NOVA area ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neuron")]
+    fn zero_neurons_panics() {
+        let _ = nova_router(&tech(), 0, 16, 1.0);
+    }
+
+    #[test]
+    fn breakdowns_sum_to_unit_totals() {
+        let t = tech();
+        let nova = nova_router(&t, 128, 16, 1.0);
+        let nb = nova_router_breakdown(&t, 128, 16, 1.0);
+        assert!((nb.total() - nova.area_um2).abs() < 1e-6);
+        for sharing in [LutSharing::PerNeuron, LutSharing::PerCore] {
+            let unit = lut_unit(&t, 128, 16, sharing);
+            let b = lut_unit_breakdown(&t, 128, 16, sharing);
+            assert!(
+                (b.total() - unit.area_um2).abs() < 1e-6,
+                "{sharing:?}: {} vs {}",
+                b.total(),
+                unit.area_um2
+            );
+        }
+    }
+
+    #[test]
+    fn nova_breakdown_dominated_by_macs_at_scale() {
+        let t = tech();
+        let b = nova_router_breakdown(&t, 256, 16, 1.0);
+        let mac_row = &b.rows[0];
+        assert!(mac_row.1 > b.total() / 2.0, "MACs dominate a big router");
+    }
+}

@@ -1,0 +1,418 @@
+//! A functional multi-head-attention encoder layer with pluggable
+//! non-linearity backends.
+//!
+//! This is the numerical end-to-end check the hardware evaluation rests
+//! on: run the *same* encoder layer once with exact floating-point
+//! non-linearities and once with the PWL fixed-point pipeline NOVA
+//! executes, and measure how far the outputs drift. Matmuls stay in f64
+//! in both runs (the paper approximates only the non-linear operators;
+//! tensor ops run on the host's MACs either way).
+
+use nova_approx::normalize::{layernorm_approx, layernorm_exact, ApproxRsqrt};
+use nova_approx::softmax::{softmax_exact, ApproxSoftmax};
+use nova_approx::{fit, Activation, ApproxError, QuantizedPwl};
+use nova_fixed::{Fixed, Rounding, Q4_12};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bert::BertConfig;
+
+/// The non-linear operators an encoder layer needs, as a strategy object.
+pub trait NonLinearBackend {
+    /// Row-wise softmax.
+    fn softmax(&self, row: &[f64]) -> Vec<f64>;
+    /// Elementwise GELU.
+    fn gelu(&self, x: f64) -> f64;
+    /// LayerNorm over a row.
+    fn layernorm(&self, row: &[f64]) -> Vec<f64>;
+    /// Backend label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Exact double-precision backend (the software gold model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBackend;
+
+impl NonLinearBackend for ExactBackend {
+    fn softmax(&self, row: &[f64]) -> Vec<f64> {
+        softmax_exact(row)
+    }
+    fn gelu(&self, x: f64) -> f64 {
+        Activation::Gelu.eval(x)
+    }
+    fn layernorm(&self, row: &[f64]) -> Vec<f64> {
+        layernorm_exact(row, 1e-5)
+    }
+    fn name(&self) -> &'static str {
+        "exact f64"
+    }
+}
+
+/// The NOVA/NN-LUT backend: every non-linearity goes through the 16-bit
+/// PWL datapath (16 breakpoints by default).
+#[derive(Debug, Clone)]
+pub struct PwlBackend {
+    softmax: ApproxSoftmax,
+    gelu: QuantizedPwl,
+    rsqrt: ApproxRsqrt,
+}
+
+impl PwlBackend {
+    /// Builds the backend with `segments` PWL segments per operator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting/quantization failures.
+    pub fn new(segments: usize) -> Result<Self, ApproxError> {
+        let r = Rounding::NearestEven;
+        let gelu = fit::fit_activation(
+            Activation::Gelu,
+            segments,
+            fit::BreakpointStrategy::GreedyRefine,
+        )?;
+        Ok(Self {
+            softmax: ApproxSoftmax::new(segments, Q4_12, r)?,
+            gelu: QuantizedPwl::from_pwl(&gelu, Q4_12, r)?,
+            rsqrt: ApproxRsqrt::new(segments, Q4_12, r)?,
+        })
+    }
+}
+
+impl NonLinearBackend for PwlBackend {
+    fn softmax(&self, row: &[f64]) -> Vec<f64> {
+        self.softmax.eval(row)
+    }
+    fn gelu(&self, x: f64) -> f64 {
+        self.gelu
+            .eval(Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
+            .to_f64()
+    }
+    fn layernorm(&self, row: &[f64]) -> Vec<f64> {
+        layernorm_approx(row, 1e-5, &self.rsqrt)
+    }
+    fn name(&self) -> &'static str {
+        "PWL fixed-point (NOVA)"
+    }
+}
+
+/// A small dense matrix, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Random matrix with entries in `±scale` (deterministic per seed).
+    #[must_use]
+    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut StdRng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = vec![0.0; self.rows * other.cols];
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[i * other.cols + j] += a * other.data[k * other.cols + j];
+                }
+            }
+        }
+        Matrix { rows: self.rows, cols: other.cols, data: out }
+    }
+
+    /// Borrowed row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+/// One transformer encoder layer with its weights.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    config: BertConfig,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    w1: Matrix,
+    w2: Matrix,
+}
+
+impl EncoderLayer {
+    /// Builds a layer with random (seeded) weights for `config`.
+    #[must_use]
+    pub fn random(config: BertConfig, seed: u64) -> Self {
+        let h = config.hidden;
+        let f = config.ffn;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Xavier-ish scale keeps activations inside the Q4.12 domain.
+        let s = (1.0 / h as f64).sqrt();
+        Self {
+            config,
+            wq: Matrix::random(h, h, s, &mut rng),
+            wk: Matrix::random(h, h, s, &mut rng),
+            wv: Matrix::random(h, h, s, &mut rng),
+            wo: Matrix::random(h, h, s, &mut rng),
+            w1: Matrix::random(h, f, s, &mut rng),
+            w2: Matrix::random(f, h, (1.0 / f as f64).sqrt(), &mut rng),
+        }
+    }
+
+    /// The layer's configuration.
+    #[must_use]
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// Forward pass over an `S×H` input with the given backend:
+    /// LN → multi-head attention → residual → LN → GELU FFN → residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `S×hidden`.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix, backend: &dyn NonLinearBackend) -> Matrix {
+        assert_eq!(x.cols, self.config.hidden, "input width must equal hidden");
+        let s = x.rows;
+        let h = self.config.hidden;
+        let heads = self.config.heads;
+        let d = self.config.head_dim();
+
+        // Pre-LN.
+        let xn = map_rows(x, |row| backend.layernorm(row));
+        let q = xn.matmul(&self.wq);
+        let k = xn.matmul(&self.wk);
+        let v = xn.matmul(&self.wv);
+
+        // Multi-head attention.
+        let scale = 1.0 / (d as f64).sqrt();
+        let mut context = Matrix { rows: s, cols: h, data: vec![0.0; s * h] };
+        for head in 0..heads {
+            let off = head * d;
+            for i in 0..s {
+                // scores_i = q_i · K^T (this head's slice), scaled.
+                let mut scores = vec![0.0; s];
+                for (j, score) in scores.iter_mut().enumerate() {
+                    let mut dot = 0.0;
+                    for c in 0..d {
+                        dot += q.data[i * h + off + c] * k.data[j * h + off + c];
+                    }
+                    *score = dot * scale;
+                }
+                let probs = backend.softmax(&scores);
+                for (j, p) in probs.iter().enumerate() {
+                    for c in 0..d {
+                        context.data[i * h + off + c] += p * v.data[j * h + off + c];
+                    }
+                }
+            }
+        }
+        let attn = context.matmul(&self.wo);
+        // Residual 1.
+        let res1 = add(x, &attn);
+
+        // Pre-LN 2 + GELU FFN.
+        let res1n = map_rows(&res1, |row| backend.layernorm(row));
+        let mut hidden = res1n.matmul(&self.w1);
+        for v in &mut hidden.data {
+            *v = backend.gelu(*v);
+        }
+        let ffn = hidden.matmul(&self.w2);
+        add(&res1, &ffn)
+    }
+}
+
+fn map_rows(m: &Matrix, f: impl Fn(&[f64]) -> Vec<f64>) -> Matrix {
+    let mut out = Matrix { rows: m.rows, cols: m.cols, data: Vec::with_capacity(m.data.len()) };
+    for i in 0..m.rows {
+        out.data.extend(f(m.row(i)));
+    }
+    out
+}
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+    Matrix {
+        rows: a.rows,
+        cols: a.cols,
+        data: a.data.iter().zip(&b.data).map(|(x, y)| x + y).collect(),
+    }
+}
+
+/// A stack of encoder layers (a whole BERT-style encoder), for studying
+/// how PWL approximation error propagates through depth.
+#[derive(Debug, Clone)]
+pub struct EncoderStack {
+    layers: Vec<EncoderLayer>,
+}
+
+impl EncoderStack {
+    /// Builds `config.layers` encoder layers with seeded random weights.
+    #[must_use]
+    pub fn random(config: BertConfig, seed: u64) -> Self {
+        let layers = (0..config.layers)
+            .map(|i| EncoderLayer::random(config, seed.wrapping_add(i as u64)))
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass through all layers.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix, backend: &dyn NonLinearBackend) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h, backend);
+        }
+        h
+    }
+
+    /// Runs both backends in lockstep and reports the maximum deviation
+    /// *after each layer* — the error-propagation profile.
+    #[must_use]
+    pub fn deviation_profile(
+        &self,
+        x: &Matrix,
+        exact: &dyn NonLinearBackend,
+        approx: &dyn NonLinearBackend,
+    ) -> Vec<f64> {
+        let mut he = x.clone();
+        let mut ha = x.clone();
+        let mut profile = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            he = layer.forward(&he, exact);
+            ha = layer.forward(&ha, approx);
+            profile.push(max_deviation(&he, &ha));
+        }
+        profile
+    }
+}
+
+/// Maximum elementwise deviation between two equally-shaped matrices.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[must_use]
+pub fn max_deviation(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!((a.rows, a.cols), (b.rows, b.cols), "shape mismatch");
+    a.data
+        .iter()
+        .zip(&b.data)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BertConfig {
+        BertConfig { name: "test", layers: 1, hidden: 32, heads: 4, ffn: 64 }
+    }
+
+    fn input(s: usize, h: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::random(s, h, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let layer = EncoderLayer::random(tiny_config(), 3);
+        let x = input(8, 32, 5);
+        let y = layer.forward(&x, &ExactBackend);
+        assert_eq!((y.rows, y.cols), (8, 32));
+        assert!(y.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pwl_backend_tracks_exact_layer_output() {
+        // The paper's Table I claim at layer granularity: the PWL backend
+        // must track the exact encoder output closely.
+        let layer = EncoderLayer::random(tiny_config(), 7);
+        let x = input(12, 32, 11);
+        let exact = layer.forward(&x, &ExactBackend);
+        let pwl = PwlBackend::new(16).unwrap();
+        let approx = layer.forward(&x, &pwl);
+        let dev = max_deviation(&exact, &approx);
+        // Output magnitudes are O(1); deviation stays small.
+        assert!(dev < 0.25, "encoder-layer deviation {dev}");
+    }
+
+    #[test]
+    fn more_segments_reduce_layer_deviation() {
+        let layer = EncoderLayer::random(tiny_config(), 9);
+        let x = input(10, 32, 13);
+        let exact = layer.forward(&x, &ExactBackend);
+        let dev = |segments: usize| {
+            let b = PwlBackend::new(segments).unwrap();
+            max_deviation(&exact, &layer.forward(&x, &b))
+        };
+        assert!(dev(16) <= dev(4) + 1e-9);
+    }
+
+    #[test]
+    fn stack_deviation_stays_bounded() {
+        // Error must not blow up exponentially with depth: residual
+        // connections and LayerNorm keep it in check. 4 layers, 16 bp.
+        let cfg = BertConfig { name: "stack", layers: 4, hidden: 32, heads: 4, ffn: 64 };
+        let stack = EncoderStack::random(cfg, 17);
+        let x = input(8, 32, 3);
+        let pwl = PwlBackend::new(16).unwrap();
+        let profile = stack.deviation_profile(&x, &ExactBackend, &pwl);
+        assert_eq!(profile.len(), 4);
+        assert!(profile[3] < 1.0, "4-layer deviation {} too large", profile[3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = EncoderLayer::random(tiny_config(), 21);
+        let b = EncoderLayer::random(tiny_config(), 21);
+        let x = input(4, 32, 1);
+        assert_eq!(a.forward(&x, &ExactBackend).data, b.forward(&x, &ExactBackend).data);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = Matrix { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
+        let b = Matrix { rows: 3, cols: 2, data: vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0] };
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_checked() {
+        let a = Matrix { rows: 1, cols: 2, data: vec![1.0, 2.0] };
+        let _ = a.matmul(&a);
+    }
+}

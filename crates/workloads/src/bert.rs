@@ -1,0 +1,241 @@
+//! BERT-family model configurations and the per-inference operation
+//! census.
+//!
+//! The census counts exactly what the evaluation needs: the matmul
+//! dimensions the systolic array executes (runtime via `nova-accel`) and
+//! the non-linear operator volumes that become approximator queries
+//! (energy via the vector-unit power models). Encoder structure follows
+//! the standard transformer block: QKV projections, per-head attention
+//! scores + softmax, context aggregation, output projection, two-layer
+//! GELU FFN, two LayerNorms.
+
+use serde::{Deserialize, Serialize};
+
+/// One matrix multiplication `M×K · K×N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatmulDims {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (reduction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl MatmulDims {
+    /// Multiply-accumulate operations in this matmul.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+/// An encoder-only transformer configuration (the five Fig 8 benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Model name as used in the paper's Fig 8.
+    pub name: &'static str,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Model (hidden) width `H`.
+    pub hidden: usize,
+    /// Attention heads `A`.
+    pub heads: usize,
+    /// Feed-forward intermediate width `F`.
+    pub ffn: usize,
+}
+
+impl BertConfig {
+    /// MobileBERT-base (Sun et al. 2020): 24 bottlenecked layers with
+    /// 512-wide blocks and 4 heads; the FFN stacks total ≈512 effective
+    /// intermediate width per layer.
+    #[must_use]
+    pub fn mobilebert_base() -> Self {
+        Self { name: "MobileBERT-base", layers: 24, hidden: 512, heads: 4, ffn: 512 }
+    }
+
+    /// MobileBERT-tiny: the 128-wide variant.
+    #[must_use]
+    pub fn mobilebert_tiny() -> Self {
+        Self { name: "MobileBERT-tiny", layers: 24, hidden: 128, heads: 4, ffn: 512 }
+    }
+
+    /// RoBERTa-base (Liu et al. 2019): the standard 12×768 encoder.
+    #[must_use]
+    pub fn roberta_base() -> Self {
+        Self { name: "RoBERTa", layers: 12, hidden: 768, heads: 12, ffn: 3072 }
+    }
+
+    /// BERT-tiny (Devlin et al. variants): 2×128.
+    #[must_use]
+    pub fn bert_tiny() -> Self {
+        Self { name: "BERT-tiny", layers: 2, hidden: 128, heads: 2, ffn: 512 }
+    }
+
+    /// BERT-mini: 4×256.
+    #[must_use]
+    pub fn bert_mini() -> Self {
+        Self { name: "BERT-mini", layers: 4, hidden: 256, heads: 4, ffn: 1024 }
+    }
+
+    /// The five Fig 8 benchmarks, in the paper's order.
+    #[must_use]
+    pub fn fig8_benchmarks() -> Vec<BertConfig> {
+        vec![
+            Self::mobilebert_base(),
+            Self::mobilebert_tiny(),
+            Self::roberta_base(),
+            Self::bert_tiny(),
+            Self::bert_mini(),
+        ]
+    }
+
+    /// Per-head dimension `H / A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads` (an invalid config).
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0, "hidden must divide by heads");
+        self.hidden / self.heads
+    }
+}
+
+/// The per-inference operation census of a config at a sequence length.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCensus {
+    /// Every matmul executed (all layers), in execution order.
+    pub matmuls: Vec<MatmulDims>,
+    /// Elements passed through softmax's `exp` (= A·S·S per layer).
+    pub softmax_elements: u64,
+    /// Softmax rows (= A·S per layer; one reciprocal query each).
+    pub softmax_rows: u64,
+    /// Elements passed through GELU (= S·F per layer).
+    pub gelu_elements: u64,
+    /// LayerNorm rows (2 per layer × S; one rsqrt query each).
+    pub layernorm_rows: u64,
+    /// Elements normalized by LayerNorm (2·S·H per layer).
+    pub layernorm_elements: u64,
+    /// Elements passed through ReLU (CNN workloads; zero for BERT-family
+    /// models, which use GELU).
+    pub relu_elements: u64,
+}
+
+impl OpCensus {
+    /// Total multiply-accumulates across all matmuls.
+    #[must_use]
+    pub fn total_matmul_macs(&self) -> u64 {
+        self.matmuls.iter().map(MatmulDims::macs).sum()
+    }
+
+    /// Total approximator queries: one per softmax element (exp), one per
+    /// softmax row (reciprocal), one per GELU/ReLU element, one per
+    /// LayerNorm row (rsqrt) — the paper's "number of approximation
+    /// queries".
+    #[must_use]
+    pub fn approximator_queries(&self) -> u64 {
+        self.softmax_elements
+            + self.softmax_rows
+            + self.gelu_elements
+            + self.layernorm_rows
+            + self.relu_elements
+    }
+}
+
+/// Expands a config into its per-inference census at `seq_len`.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0` or the config's hidden width does not divide
+/// by its head count.
+#[must_use]
+pub fn census(config: &BertConfig, seq_len: usize) -> OpCensus {
+    assert!(seq_len > 0, "sequence length must be positive");
+    let s = seq_len;
+    let h = config.hidden;
+    let a = config.heads;
+    let d = config.head_dim();
+    let f = config.ffn;
+
+    let mut ops = OpCensus::default();
+    for _ in 0..config.layers {
+        // QKV projections.
+        for _ in 0..3 {
+            ops.matmuls.push(MatmulDims { m: s, k: h, n: h });
+        }
+        // Attention scores and context per head.
+        for _ in 0..a {
+            ops.matmuls.push(MatmulDims { m: s, k: d, n: s }); // Q·Kᵀ
+            ops.matmuls.push(MatmulDims { m: s, k: s, n: d }); // P·V
+        }
+        // Output projection.
+        ops.matmuls.push(MatmulDims { m: s, k: h, n: h });
+        // FFN.
+        ops.matmuls.push(MatmulDims { m: s, k: h, n: f });
+        ops.matmuls.push(MatmulDims { m: s, k: f, n: h });
+
+        ops.softmax_elements += (a * s * s) as u64;
+        ops.softmax_rows += (a * s) as u64;
+        ops.gelu_elements += (s * f) as u64;
+        ops.layernorm_rows += (2 * s) as u64;
+        ops.layernorm_elements += (2 * s * h) as u64;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_tiny_census_hand_check() {
+        // L=2, H=128, A=2, F=512, S=16.
+        let ops = census(&BertConfig::bert_tiny(), 16);
+        // Matmuls per layer: 3 QKV + 2·A attention + 1 out + 2 FFN = 10.
+        assert_eq!(ops.matmuls.len(), 2 * (3 + 2 * 2 + 1 + 2));
+        assert_eq!(ops.softmax_elements, 2 * (2 * 16 * 16) as u64);
+        assert_eq!(ops.softmax_rows, 2 * (2 * 16) as u64);
+        assert_eq!(ops.gelu_elements, 2 * (16 * 512) as u64);
+        assert_eq!(ops.layernorm_rows, 2 * (2 * 16) as u64);
+    }
+
+    #[test]
+    fn qkv_macs_hand_check() {
+        let ops = census(&BertConfig::bert_tiny(), 16);
+        // First matmul is a QKV projection: 16×128×128.
+        assert_eq!(ops.matmuls[0].macs(), 16 * 128 * 128);
+    }
+
+    #[test]
+    fn queries_grow_quadratically_with_seq_len() {
+        let cfg = BertConfig::bert_mini();
+        let q128 = census(&cfg, 128).approximator_queries();
+        let q256 = census(&cfg, 256).approximator_queries();
+        // Softmax dominates at long sequences → superlinear growth.
+        assert!(q256 > 2 * q128);
+    }
+
+    #[test]
+    fn roberta_is_biggest_benchmark() {
+        let s = 1024;
+        let macs = |c: &BertConfig| census(c, s).total_matmul_macs();
+        let roberta = macs(&BertConfig::roberta_base());
+        for cfg in BertConfig::fig8_benchmarks() {
+            assert!(macs(&cfg) <= roberta, "{} exceeds RoBERTa", cfg.name);
+        }
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        for cfg in BertConfig::fig8_benchmarks() {
+            assert_eq!(cfg.head_dim() * cfg.heads, cfg.hidden, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn zero_seq_len_panics() {
+        let _ = census(&BertConfig::bert_tiny(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! CNN workload models: the Table I vision benchmarks as operation
+//! censuses.
+//!
+//! NVDLA-class hosts (the Jetson row of Table II) run CNNs, where the
+//! non-linear traffic is ReLU after every conv/dense layer plus one final
+//! softmax. Convolutions are counted as im2col matrix multiplies — the
+//! mapping both NVDLA's convolution core and systolic arrays use — so the
+//! same `nova-accel` runtime model covers them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bert::{MatmulDims, OpCensus};
+
+/// One CNN layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CnnLayer {
+    /// Standard convolution with ReLU: `out_c` filters of `k×k×in_c` over
+    /// an `h×w` input (stride `s`, same padding).
+    Conv {
+        /// Input height/width (square feature maps).
+        hw: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Depthwise separable convolution (MobileNet): a `k×k` depthwise pass
+    /// followed by a 1×1 pointwise conv, both with ReLU.
+    DepthwiseSeparable {
+        /// Input height/width.
+        hw: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels (of the pointwise step).
+        out_c: usize,
+        /// Depthwise kernel size.
+        k: usize,
+        /// Stride of the depthwise step.
+        stride: usize,
+    },
+    /// 2×2 max pool (no approximator traffic, halves the feature map).
+    Pool,
+    /// Fully connected layer with ReLU.
+    Dense {
+        /// Input features.
+        input: usize,
+        /// Output features.
+        output: usize,
+    },
+}
+
+/// A CNN/MLP model: a named stack of layers ending in a `classes`-way
+/// softmax.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Model name (Table I row).
+    pub name: &'static str,
+    /// Layer stack.
+    pub layers: Vec<CnnLayer>,
+    /// Classifier width (softmax classes).
+    pub classes: usize,
+}
+
+impl CnnConfig {
+    /// The MNIST MLP of Table I: 784–256–128–10.
+    #[must_use]
+    pub fn mlp_mnist() -> Self {
+        Self {
+            name: "MLP (MNIST)",
+            layers: vec![
+                CnnLayer::Dense { input: 784, output: 256 },
+                CnnLayer::Dense { input: 256, output: 128 },
+                CnnLayer::Dense { input: 128, output: 10 },
+            ],
+            classes: 10,
+        }
+    }
+
+    /// A small CIFAR-10 CNN: 2 conv blocks + classifier.
+    #[must_use]
+    pub fn cnn_cifar10() -> Self {
+        Self {
+            name: "CNN (CIFAR-10)",
+            layers: vec![
+                CnnLayer::Conv { hw: 32, in_c: 3, out_c: 32, k: 3, stride: 1 },
+                CnnLayer::Pool,
+                CnnLayer::Conv { hw: 16, in_c: 32, out_c: 64, k: 3, stride: 1 },
+                CnnLayer::Pool,
+                CnnLayer::Dense { input: 8 * 8 * 64, output: 128 },
+                CnnLayer::Dense { input: 128, output: 10 },
+            ],
+            classes: 10,
+        }
+    }
+
+    /// MobileNet v1 at CIFAR-10 resolution (32×32 input).
+    #[must_use]
+    pub fn mobilenet_v1_cifar10() -> Self {
+        let mut layers = vec![CnnLayer::Conv { hw: 32, in_c: 3, out_c: 32, k: 3, stride: 1 }];
+        // (hw, in_c, out_c, stride) per standard MobileNet-v1 schedule,
+        // scaled to the 32×32 input.
+        let blocks = [
+            (32, 32, 64, 1),
+            (32, 64, 128, 2),
+            (16, 128, 128, 1),
+            (16, 128, 256, 2),
+            (8, 256, 256, 1),
+            (8, 256, 512, 2),
+            (4, 512, 512, 1),
+            (4, 512, 512, 1),
+            (4, 512, 512, 1),
+            (4, 512, 512, 1),
+            (4, 512, 512, 1),
+            (4, 512, 1024, 2),
+            (2, 1024, 1024, 1),
+        ];
+        for (hw, in_c, out_c, stride) in blocks {
+            layers.push(CnnLayer::DepthwiseSeparable { hw, in_c, out_c, k: 3, stride });
+        }
+        layers.push(CnnLayer::Dense { input: 1024, output: 10 });
+        Self { name: "MobileNet v1 (CIFAR-10)", layers, classes: 10 }
+    }
+
+    /// VGG-16 at CIFAR-10 resolution.
+    #[must_use]
+    pub fn vgg16_cifar10() -> Self {
+        let mut layers = Vec::new();
+        let mut hw = 32;
+        let mut in_c = 3;
+        // VGG-16 conv schedule: (64,2) (128,2) (256,3) (512,3) (512,3).
+        for (out_c, reps) in [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)] {
+            for _ in 0..reps {
+                layers.push(CnnLayer::Conv { hw, in_c, out_c, k: 3, stride: 1 });
+                in_c = out_c;
+            }
+            layers.push(CnnLayer::Pool);
+            hw /= 2;
+        }
+        layers.push(CnnLayer::Dense { input: hw * hw * 512, output: 512 });
+        layers.push(CnnLayer::Dense { input: 512, output: 512 });
+        layers.push(CnnLayer::Dense { input: 512, output: 10 });
+        Self { name: "VGG-16 (CIFAR-10)", layers, classes: 10 }
+    }
+
+    /// The four vision rows of Table I.
+    #[must_use]
+    pub fn table1_models() -> Vec<CnnConfig> {
+        vec![
+            Self::mlp_mnist(),
+            Self::cnn_cifar10(),
+            Self::mobilenet_v1_cifar10(),
+            Self::vgg16_cifar10(),
+        ]
+    }
+}
+
+/// Expands a CNN into its per-inference operation census (im2col matmuls
+/// plus ReLU / final softmax approximator traffic).
+#[must_use]
+pub fn census(config: &CnnConfig) -> OpCensus {
+    let mut ops = OpCensus::default();
+    for layer in &config.layers {
+        match *layer {
+            CnnLayer::Conv { hw, in_c, out_c, k, stride } => {
+                let out_hw = hw.div_ceil(stride);
+                ops.matmuls.push(MatmulDims {
+                    m: out_hw * out_hw,
+                    k: k * k * in_c,
+                    n: out_c,
+                });
+                ops.relu_elements += (out_hw * out_hw * out_c) as u64;
+            }
+            CnnLayer::DepthwiseSeparable { hw, in_c, out_c, k, stride } => {
+                let out_hw = hw.div_ceil(stride);
+                // Depthwise: in_c independent (out_hw² × k²) · (k² × 1)
+                // matmuls — merged into one equivalent matmul with the
+                // same MAC count for the runtime model.
+                ops.matmuls.push(MatmulDims {
+                    m: out_hw * out_hw * in_c,
+                    k: k * k,
+                    n: 1,
+                });
+                ops.relu_elements += (out_hw * out_hw * in_c) as u64;
+                // Pointwise 1×1: (out_hw² × in_c) · (in_c × out_c).
+                ops.matmuls.push(MatmulDims {
+                    m: out_hw * out_hw,
+                    k: in_c,
+                    n: out_c,
+                });
+                ops.relu_elements += (out_hw * out_hw * out_c) as u64;
+            }
+            CnnLayer::Pool => {}
+            CnnLayer::Dense { input, output } => {
+                ops.matmuls.push(MatmulDims { m: 1, k: input, n: output });
+                ops.relu_elements += output as u64;
+            }
+        }
+    }
+    // Final classifier softmax: the last dense's ReLU is really a softmax;
+    // swap the accounting.
+    ops.relu_elements = ops.relu_elements.saturating_sub(config.classes as u64);
+    ops.softmax_elements += config.classes as u64;
+    ops.softmax_rows += 1;
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_census_hand_check() {
+        let ops = census(&CnnConfig::mlp_mnist());
+        assert_eq!(ops.matmuls.len(), 3);
+        assert_eq!(ops.matmuls[0].macs(), 784 * 256);
+        // ReLU after first two dense layers; classifier is softmax.
+        assert_eq!(ops.relu_elements, 256 + 128);
+        assert_eq!(ops.softmax_elements, 10);
+        assert_eq!(ops.softmax_rows, 1);
+    }
+
+    #[test]
+    fn vgg_dwarfs_the_small_cnn() {
+        let small = census(&CnnConfig::cnn_cifar10()).total_matmul_macs();
+        let vgg = census(&CnnConfig::vgg16_cifar10()).total_matmul_macs();
+        assert!(vgg > 20 * small, "VGG {vgg} vs CNN {small}");
+    }
+
+    #[test]
+    fn mobilenet_cheaper_than_vgg() {
+        let mobile = census(&CnnConfig::mobilenet_v1_cifar10()).total_matmul_macs();
+        let vgg = census(&CnnConfig::vgg16_cifar10()).total_matmul_macs();
+        assert!(mobile < vgg / 4, "MobileNet {mobile} vs VGG {vgg}");
+    }
+
+    #[test]
+    fn conv_dims_follow_im2col() {
+        let ops = census(&CnnConfig::cnn_cifar10());
+        // First conv: 32×32 out, 3×3×3 patch, 32 filters.
+        assert_eq!(ops.matmuls[0], MatmulDims { m: 1024, k: 27, n: 32 });
+    }
+
+    #[test]
+    fn queries_dominated_by_relu() {
+        let ops = census(&CnnConfig::vgg16_cifar10());
+        assert!(ops.relu_elements > 100_000);
+        assert_eq!(ops.softmax_rows, 1);
+        assert!(ops.approximator_queries() > ops.relu_elements);
+    }
+
+    #[test]
+    fn all_table1_models_have_positive_work() {
+        for m in CnnConfig::table1_models() {
+            let ops = census(&m);
+            assert!(ops.total_matmul_macs() > 0, "{}", m.name);
+            assert!(ops.approximator_queries() > 0, "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The Table I accuracy benchmarks: model descriptors.
+//!
+//! Table I reports post-approximation accuracy for six models; the
+//! reproduction's synthetic stand-ins (see [`crate::synthetic`]) mirror
+//! each model's *output structure* — class count, logit scale and
+//! difficulty — because that is what determines whether an approximated
+//! softmax flips predictions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic task family stands in for the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Image-classifier-like: well-separated classes, moderate logit
+    /// spread (MLP/CNN/MobileNet/VGG rows).
+    ImageClassification,
+    /// NLP-answer-span / sentence-classifier-like: fewer classes, sharper
+    /// logits (MobileBERT/RoBERTa rows).
+    TextClassification,
+}
+
+/// One Table I row: a model, its dataset label, and the breakpoint budget
+/// the paper used for it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableOneModel {
+    /// Model name as printed in Table I.
+    pub name: &'static str,
+    /// Dataset label as printed in Table I.
+    pub dataset: &'static str,
+    /// PWL segments used (paper: 16 everywhere except CIFAR-10 → 8).
+    pub breakpoints: usize,
+    /// Output classes of the synthetic stand-in.
+    pub classes: usize,
+    /// Logit scale (spread of the synthetic logits; larger = easier).
+    pub logit_scale: f64,
+    /// Task family.
+    pub kind: TaskKind,
+}
+
+impl TableOneModel {
+    /// The six Table I rows, in the paper's order.
+    #[must_use]
+    pub fn all() -> Vec<TableOneModel> {
+        vec![
+            TableOneModel {
+                name: "MLP",
+                dataset: "MNIST",
+                breakpoints: 16,
+                classes: 10,
+                logit_scale: 3.78,
+                kind: TaskKind::ImageClassification,
+            },
+            TableOneModel {
+                name: "CNN",
+                dataset: "CIFAR-10",
+                breakpoints: 8,
+                classes: 10,
+                logit_scale: 1.86,
+                kind: TaskKind::ImageClassification,
+            },
+            TableOneModel {
+                name: "MobileNet v1",
+                dataset: "CIFAR-10",
+                breakpoints: 8,
+                classes: 10,
+                logit_scale: 2.02,
+                kind: TaskKind::ImageClassification,
+            },
+            TableOneModel {
+                name: "VGG-16",
+                dataset: "CIFAR-10",
+                breakpoints: 8,
+                classes: 10,
+                logit_scale: 2.83,
+                kind: TaskKind::ImageClassification,
+            },
+            TableOneModel {
+                name: "MobileBERT",
+                dataset: "SQUAD",
+                breakpoints: 16,
+                classes: 2,
+                logit_scale: 1.76,
+                kind: TaskKind::TextClassification,
+            },
+            TableOneModel {
+                name: "RoBERTa",
+                dataset: "SST-2",
+                breakpoints: 16,
+                classes: 2,
+                logit_scale: 2.27,
+                kind: TaskKind::TextClassification,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_matching_paper() {
+        let rows = TableOneModel::all();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].name, "MLP");
+        assert_eq!(rows[5].name, "RoBERTa");
+        // CIFAR-10 rows use 8 breakpoints, everything else 16.
+        for r in &rows {
+            if r.dataset == "CIFAR-10" {
+                assert_eq!(r.breakpoints, 8, "{}", r.name);
+            } else {
+                assert_eq!(r.breakpoints, 16, "{}", r.name);
+            }
+        }
+    }
+}

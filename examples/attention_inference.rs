@@ -1,0 +1,67 @@
+//! A single attention head end-to-end: scores on the cycle-accurate
+//! systolic array, softmax through the NOVA-approximated fixed-point
+//! pipeline, compared against the exact floating-point reference.
+//!
+//! Run with: `cargo run --example attention_inference`
+
+use nova::engine::{evaluate, ApproximatorKind};
+use nova_accel::systolic::cycle_accurate;
+use nova_accel::AcceleratorConfig;
+use nova_approx::softmax::{softmax_exact, ApproxSoftmax};
+use nova_fixed::{Rounding, Q4_12};
+use nova_workloads::bert::{BertConfig, MatmulDims};
+
+const SEQ: usize = 12;
+const DIM: usize = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Integer Q/K matrices (small, deterministic).
+    let q: Vec<i64> = (0..SEQ * DIM).map(|i| ((i * 7) % 5) as i64 - 2).collect();
+    let kt: Vec<i64> = (0..DIM * SEQ).map(|i| ((i * 3) % 7) as i64 - 3).collect();
+
+    // 1. Scores S = Q·Kᵀ on a cycle-accurate 8×8 output-stationary array.
+    let dims = MatmulDims { m: SEQ, k: DIM, n: SEQ };
+    let run = cycle_accurate::matmul(8, 8, dims, &q, &kt);
+    println!(
+        "systolic: {}×{}×{} matmul on an 8×8 OS array took {} cycles",
+        SEQ, DIM, SEQ, run.cycles
+    );
+
+    // 2. Row-wise softmax: exact vs the NOVA PWL fixed-point pipeline
+    //    (1/√d scaling applied first, as attention does).
+    let scale = 1.0 / (DIM as f64).sqrt();
+    let unit = ApproxSoftmax::new(16, Q4_12, Rounding::NearestEven)?;
+    let mut worst = 0.0f64;
+    for r in 0..SEQ {
+        let logits: Vec<f64> = run.output[r * SEQ..(r + 1) * SEQ]
+            .iter()
+            .map(|&v| v as f64 * scale)
+            .collect();
+        let exact = softmax_exact(&logits);
+        let approx = unit.eval(&logits);
+        for (e, a) in exact.iter().zip(&approx) {
+            worst = worst.max((e - a).abs());
+        }
+        if r == 0 {
+            println!("row 0 exact  : {:?}", round3(&exact));
+            println!("row 0 approx : {:?}", round3(&approx));
+        }
+    }
+    println!("max |exact − approx| over all {} attention rows: {:.4}", SEQ, worst);
+    assert!(worst < 0.02, "16-breakpoint softmax must stay within 2e-2");
+
+    // 3. What does this cost at scale? The engine's view of BERT-mini.
+    let host = AcceleratorConfig::tpu_v3_like();
+    for kind in ApproximatorKind::fig8_contenders() {
+        let r = evaluate(&host, &BertConfig::bert_mini(), 1024, kind)?;
+        println!(
+            "{:<28} power {:>8.2} mW, energy/inference {:>8.4} mJ",
+            r.approximator, r.approximator_power_mw, r.approximator_energy_mj
+        );
+    }
+    Ok(())
+}
+
+fn round3(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

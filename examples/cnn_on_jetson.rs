@@ -1,0 +1,41 @@
+//! CNN inference on the Jetson Xavier NX: the NVDLA path of the paper
+//! (Fig 5c / Table III bottom rows). Runs the four Table I vision models
+//! through the engine with the native SDP vs the NOVA overlay.
+//!
+//! Run with: `cargo run --example cnn_on_jetson`
+
+use nova::engine::{evaluate_cnn, ApproximatorKind};
+use nova_accel::AcceleratorConfig;
+use nova_workloads::cnn::{census, CnnConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jetson = AcceleratorConfig::jetson_xavier_nx();
+    println!(
+        "Host: {} — {} NVDLA cores, {} output neurons each\n",
+        jetson.name, jetson.nova_routers, jetson.neurons_per_router
+    );
+    println!(
+        "{:<26} | {:>12} | {:>12} | {:>14} | {:>14} | {:>8}",
+        "Model", "MACs", "NL queries", "SDP E (mJ)", "NOVA E (mJ)", "SDP/NOVA"
+    );
+    for model in CnnConfig::table1_models() {
+        let ops = census(&model);
+        let sdp = evaluate_cnn(&jetson, &model, ApproximatorKind::NvdlaSdp)?;
+        let nova = evaluate_cnn(&jetson, &model, ApproximatorKind::NovaNoc)?;
+        println!(
+            "{:<26} | {:>12} | {:>12} | {:>14.6} | {:>14.6} | {:>7.1}x",
+            model.name,
+            ops.total_matmul_macs(),
+            ops.approximator_queries(),
+            sdp.approximator_energy_mj,
+            nova.approximator_energy_mj,
+            sdp.approximator_energy_mj / nova.approximator_energy_mj,
+        );
+    }
+    println!(
+        "\nThe paper reports the SDP at 48.9 mW vs NOVA at 1.29 mW on this SoC\n\
+         (37.8× power); per-inference energy follows the same ratio since the\n\
+         lookup latency is comparable."
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Edge deployment study: REACT (the paper's wearable-class host) running
+//! MobileBERT-tiny at edge sequence lengths, with the mapper's feasibility
+//! report and an energy sweep.
+//!
+//! Run with: `cargo run --example edge_deployment`
+
+use nova::engine::{evaluate, ApproximatorKind};
+use nova::{Mapper, NovaOverlay};
+use nova_accel::AcceleratorConfig;
+use nova_approx::Activation;
+use nova_synth::TechModel;
+use nova_workloads::bert::BertConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = TechModel::cmos22();
+    let react = AcceleratorConfig::react();
+    let model = BertConfig::mobilebert_tiny();
+
+    // The full attention operator set an encoder needs.
+    let ops = [Activation::Exp, Activation::Recip, Activation::Gelu, Activation::Rsqrt];
+    let plan = Mapper::paper_default().compile(
+        &ops,
+        &tech,
+        react.nova_routers,
+        react.frequency_ghz(),
+        react.router_pitch_mm,
+    )?;
+    println!(
+        "REACT mapping: NoC at {}× core clock = {:.2} GHz; SMART reach {} routers; single-cycle broadcast: {}",
+        plan.noc_clock_multiplier, plan.noc_clock_ghz, plan.reach, plan.single_cycle_broadcast
+    );
+
+    let overlay = NovaOverlay::new(&react);
+    println!(
+        "NOVA NoC hardware on REACT: {} ({}% of the die)",
+        overlay.area_power(&tech),
+        overlay
+            .area_overhead_pct(&tech)
+            .map(|p| format!("{p:.2}"))
+            .unwrap_or_default()
+    );
+
+    println!("\n{} on REACT, energy vs sequence length:", model.name);
+    println!(
+        "{:>7} | {:>12} | {:>12} | {:>12} | {:>9}",
+        "seq", "NOVA (mJ)", "per-neuron", "per-core", "PC/NOVA"
+    );
+    for seq in [32usize, 64, 128, 256, 512] {
+        let nova = evaluate(&react, &model, seq, ApproximatorKind::NovaNoc)?;
+        let pn = evaluate(&react, &model, seq, ApproximatorKind::PerNeuronLut)?;
+        let pc = evaluate(&react, &model, seq, ApproximatorKind::PerCoreLut)?;
+        println!(
+            "{seq:>7} | {:>12.5} | {:>12.5} | {:>12.5} | {:>8.2}x",
+            nova.approximator_energy_mj,
+            pn.approximator_energy_mj,
+            pc.approximator_energy_mj,
+            pc.approximator_energy_mj / nova.approximator_energy_mj,
+        );
+    }
+    println!(
+        "\nThe paper keeps REACT at seq len 128 — edge workloads — where the\n\
+         savings already dominate; softmax's quadratic query count makes the\n\
+         gap grow with sequence length."
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella crate: see the `nova` crate for the library API.

@@ -1,0 +1,106 @@
+//! Workspace-level property tests: the full mapper → overlay → unit
+//! pipeline under randomized settings.
+
+use nova::{LutVariant, LutVectorUnit, Mapper, NovaVectorUnit, SegmentedNovaUnit, VectorUnit};
+use nova_approx::Activation;
+use nova_fixed::{Fixed, Q4_12};
+use nova_noc::LineConfig;
+use nova_synth::TechModel;
+use proptest::prelude::*;
+
+fn activations() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Exp),
+        Just(Activation::Gelu),
+        Just(Activation::Sigmoid),
+        Just(Activation::Tanh),
+        Just(Activation::Silu),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any activation, segment budget, geometry and inputs: the NOVA
+    /// unit, the segmented NOVA unit and both LUT baselines agree bit for
+    /// bit, and all equal the compiled table.
+    #[test]
+    fn all_units_agree_under_random_mappings(
+        a in activations(),
+        segments in 2usize..=16,
+        routers in 1usize..=10,
+        neurons in 1usize..=6,
+        reach in 1usize..=10,
+        raws in prop::collection::vec(any::<i16>(), 1..64),
+    ) {
+        let tech = TechModel::cmos22();
+        let plan = Mapper::paper_default()
+            .with_segments(segments)
+            .compile(&[a], &tech, routers, 1.0, 1.0)
+            .unwrap();
+        let table = &plan.mappings[0].table;
+        let mut config = LineConfig::paper_default(routers, neurons);
+        config.max_hops_per_cycle = reach;
+        let inputs: Vec<Vec<Fixed>> = (0..routers)
+            .map(|r| {
+                (0..neurons)
+                    .map(|n| {
+                        let raw = raws[(r * neurons + n) % raws.len()];
+                        Fixed::from_raw(i64::from(raw), Q4_12).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut nova = NovaVectorUnit::new(config, table).unwrap();
+        let mut seg = SegmentedNovaUnit::new(config, table).unwrap();
+        let mut pn = LutVectorUnit::new(table, routers, neurons, LutVariant::PerNeuron);
+        let mut pc = LutVectorUnit::new(table, routers, neurons, LutVariant::PerCore);
+        let x = nova.lookup_batch(&inputs).unwrap();
+        prop_assert_eq!(&x, &seg.lookup_batch(&inputs).unwrap());
+        prop_assert_eq!(&x, &pn.lookup_batch(&inputs).unwrap());
+        prop_assert_eq!(&x, &pc.lookup_batch(&inputs).unwrap());
+        for (row_out, row_in) in x.iter().zip(&inputs) {
+            for (&o, &i) in row_out.iter().zip(row_in) {
+                prop_assert_eq!(o, table.eval(i));
+            }
+        }
+    }
+
+    /// The mapper's clock multiplier is exactly ⌈segments/8⌉ on the paper
+    /// link, and the plan's reach shrinks monotonically with core clock.
+    #[test]
+    fn mapper_multiplier_formula(segments in 1usize..=16, core_mhz in 100.0f64..2000.0) {
+        let tech = TechModel::cmos22();
+        let plan = Mapper::paper_default()
+            .with_segments(segments)
+            .compile(&[Activation::Tanh], &tech, 4, core_mhz / 1000.0, 1.0)
+            .unwrap();
+        prop_assert_eq!(plan.noc_clock_multiplier, segments.div_ceil(8).max(1));
+        let slower = Mapper::paper_default()
+            .with_segments(segments)
+            .compile(&[Activation::Tanh], &tech, 4, core_mhz / 2000.0, 1.0)
+            .unwrap();
+        prop_assert!(slower.reach >= plan.reach);
+    }
+
+    /// Approximation accuracy through the full mapper pipeline improves
+    /// (weakly) with the segment budget for every activation.
+    #[test]
+    fn mapper_accuracy_monotone(a in activations()) {
+        let tech = TechModel::cmos22();
+        let err = |segments: usize| {
+            let plan = Mapper::paper_default()
+                .with_segments(segments)
+                .compile(&[a], &tech, 1, 1.0, 1.0)
+                .unwrap();
+            let table = &plan.mappings[0].table;
+            let (lo, hi) = a.domain();
+            (0..200)
+                .map(|k| lo + (hi - lo) * k as f64 / 199.0)
+                .map(|x| (table.eval_f64(x) - a.eval(x)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        // Allow a little fixed-point noise between adjacent budgets.
+        prop_assert!(err(16) <= err(4) + 0.01);
+    }
+}

@@ -1,0 +1,59 @@
+//! Serde wiring tests for the data-structure types (C-SERDE):
+//! configurations and reports must be serializable so downstream tooling
+//! can persist sweep results. The dependency policy excludes format
+//! crates (serde_json etc.), so these tests verify the derive wiring via
+//! trait bounds and serde's built-in value deserializer.
+
+use nova::engine::{evaluate, ApproximatorKind, InferenceReport};
+use nova_accel::AcceleratorConfig;
+use nova_synth::{AreaPower, TechModel};
+use nova_workloads::bert::{census, BertConfig, OpCensus};
+
+/// Compile-time assertions that the report/config types implement both
+/// serde traits.
+#[test]
+fn serde_traits_present() {
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    fn assert_serialize<T: serde::Serialize>() {}
+    assert_serde::<OpCensus>();
+    assert_serde::<InferenceReport>();
+    assert_serde::<AreaPower>();
+    // Config types hold `&'static str` names: serializable, and
+    // deserializable only from static input — assert the write side.
+    assert_serialize::<AcceleratorConfig>();
+    assert_serialize::<TechModel>();
+}
+
+/// Value-level round-trip through serde's self-describing value
+/// deserializer — no external format crate needed.
+#[test]
+fn area_power_survives_value_roundtrip() {
+    use serde::de::IntoDeserializer;
+
+    let ap = AreaPower::new(1.25, 42.5);
+    let as_map: std::collections::BTreeMap<String, f64> = [
+        ("area_mm2".to_string(), ap.area_mm2),
+        ("power_mw".to_string(), ap.power_mw),
+    ]
+    .into_iter()
+    .collect();
+    let de: serde::de::value::MapDeserializer<'_, _, serde::de::value::Error> =
+        as_map.into_deserializer();
+    let back: AreaPower =
+        serde::Deserialize::deserialize(de).expect("AreaPower round-trips");
+    assert_eq!(back, ap);
+}
+
+/// The engine's reports are cloneable, comparable data (usable as golden
+/// artifacts).
+#[test]
+fn inference_report_is_data() {
+    let cfg = AcceleratorConfig::react();
+    let r = evaluate(&cfg, &BertConfig::bert_tiny(), 64, ApproximatorKind::NovaNoc)
+        .expect("valid evaluation");
+    let copy = r.clone();
+    assert_eq!(copy, r);
+    let c1 = census(&BertConfig::bert_tiny(), 64);
+    let c2 = census(&BertConfig::bert_tiny(), 64);
+    assert_eq!(c1, c2);
+}
