@@ -1,11 +1,9 @@
 //! The Table II accelerator configurations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::systolic::SystolicConfig;
 
 /// Which host accelerator family a configuration models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceleratorKind {
     /// REACT (Upadhyay et al., DAC 2022) — reconfigurable wearable-class
     /// accelerator with software-configurable NoCs.
@@ -20,7 +18,7 @@ pub enum AcceleratorKind {
 }
 
 /// One Table II row plus the attachment parameters Fig 5 implies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorConfig {
     /// Display name (Table II row label).
     pub name: &'static str,
@@ -51,6 +49,29 @@ pub struct AcceleratorConfig {
     pub default_seq_len: usize,
 }
 
+nova_serde::impl_serde_enum!(AcceleratorKind {
+    React,
+    TpuV3,
+    TpuV4,
+    JetsonNx
+});
+
+// `name` is a `&'static str` row label: serialize-only, rebuilt from the
+// named Table II constructors.
+nova_serde::impl_serialize_struct!(AcceleratorConfig {
+    name,
+    kind,
+    nova_routers,
+    neurons_per_router,
+    onchip_memory_kb,
+    frequency_mhz,
+    router_pitch_mm,
+    datapath_activity,
+    die_area_mm2,
+    systolic,
+    default_seq_len,
+});
+
 impl AcceleratorConfig {
     /// REACT: 10 routers × 256 neurons, 768 kB, 240 MHz (Table II).
     ///
@@ -68,7 +89,11 @@ impl AcceleratorConfig {
             router_pitch_mm: 1.0,
             datapath_activity: 1.0,
             die_area_mm2: Some(19.9),
-            systolic: SystolicConfig { rows: 16, cols: 16, arrays: 10 },
+            systolic: SystolicConfig {
+                rows: 16,
+                cols: 16,
+                arrays: 10,
+            },
             default_seq_len: 128,
         }
     }
@@ -86,7 +111,11 @@ impl AcceleratorConfig {
             router_pitch_mm: 1.0,
             datapath_activity: 1.0,
             die_area_mm2: None,
-            systolic: SystolicConfig { rows: 128, cols: 128, arrays: 4 },
+            systolic: SystolicConfig {
+                rows: 128,
+                cols: 128,
+                arrays: 4,
+            },
             default_seq_len: 1024,
         }
     }
@@ -104,7 +133,11 @@ impl AcceleratorConfig {
             router_pitch_mm: 1.0,
             datapath_activity: 1.0,
             die_area_mm2: None,
-            systolic: SystolicConfig { rows: 128, cols: 128, arrays: 8 },
+            systolic: SystolicConfig {
+                rows: 128,
+                cols: 128,
+                arrays: 8,
+            },
             default_seq_len: 1024,
         }
     }
@@ -125,7 +158,11 @@ impl AcceleratorConfig {
             router_pitch_mm: 0.3,
             datapath_activity: 0.1,
             die_area_mm2: None,
-            systolic: SystolicConfig { rows: 64, cols: 16, arrays: 2 },
+            systolic: SystolicConfig {
+                rows: 64,
+                cols: 16,
+                arrays: 2,
+            },
             default_seq_len: 1024,
         }
     }

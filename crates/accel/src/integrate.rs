@@ -13,13 +13,11 @@
 //! line geometry, the extra crossbar/mux hardware the host pays, and the
 //! label of the path that was replaced.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{AcceleratorConfig, AcceleratorKind};
 
 /// The extra host-side plumbing an attachment needs (mux/crossbar ports
 /// added to existing routers or output buses).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Attachment {
     /// Host name.
     pub host: &'static str,
@@ -35,6 +33,16 @@ pub struct Attachment {
     /// Which host unit the NOVA path replaces for non-linear ops.
     pub replaces: &'static str,
 }
+
+// Host/replaces are `&'static str` labels: serialize-only.
+nova_serde::impl_serialize_struct!(Attachment {
+    host,
+    routers,
+    neurons_per_router,
+    pitch_mm,
+    added_crossbar_ports,
+    replaces
+});
 
 /// Builds the Fig 5 attachment for a Table II config.
 #[must_use]

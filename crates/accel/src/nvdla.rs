@@ -27,7 +27,10 @@ impl NvdlaCoreConfig {
     /// The Jetson Xavier NX configuration (full NVDLA: 64×16).
     #[must_use]
     pub fn jetson() -> Self {
-        Self { atomic_c: 64, atomic_k: 16 }
+        Self {
+            atomic_c: 64,
+            atomic_k: 16,
+        }
     }
 }
 
@@ -149,7 +152,13 @@ mod tests {
     #[test]
     fn identity_kernel_passes_input_through() {
         // 1×1 kernel, weight 1.0, one channel: output == input.
-        let shape = ConvShape { h: 3, w: 3, in_c: 1, out_c: 1, k: 1 };
+        let shape = ConvShape {
+            h: 3,
+            w: 3,
+            in_c: 1,
+            out_c: 1,
+            k: 1,
+        };
         let input: Vec<Fixed> = (0..9).map(|i| fx(i as f64 * 0.25)).collect();
         let r = convolve(
             NvdlaCoreConfig::jetson(),
@@ -166,7 +175,13 @@ mod tests {
     fn conv_matches_reference() {
         // 2×2 kernel over 3×3 single-channel input, all weights 1.0:
         // each output is the window sum.
-        let shape = ConvShape { h: 3, w: 3, in_c: 1, out_c: 1, k: 2 };
+        let shape = ConvShape {
+            h: 3,
+            w: 3,
+            in_c: 1,
+            out_c: 1,
+            k: 2,
+        };
         let input: Vec<Fixed> = (0..9).map(|i| fx(i as f64 * 0.1)).collect();
         let weights = vec![fx(1.0); 4];
         let r = convolve(
@@ -186,7 +201,13 @@ mod tests {
     fn cycle_model_counts_atomics() {
         // 16 in-channels (< atomic-C 64 → 1 atomic), 32 out-channels
         // (2 × atomic-K 16), 3×3 kernel, 8×8 output.
-        let shape = ConvShape { h: 10, w: 10, in_c: 16, out_c: 32, k: 3 };
+        let shape = ConvShape {
+            h: 10,
+            w: 10,
+            in_c: 16,
+            out_c: 32,
+            k: 3,
+        };
         let cfg = NvdlaCoreConfig::jetson();
         let input = vec![fx(0.0); 10 * 10 * 16];
         let weights = vec![fx(0.0); 32 * 3 * 3 * 16];
@@ -198,7 +219,13 @@ mod tests {
     fn deeper_channels_cost_more_atomics() {
         let cfg = NvdlaCoreConfig::jetson();
         let mk = |in_c: usize| {
-            let shape = ConvShape { h: 4, w: 4, in_c, out_c: 16, k: 1 };
+            let shape = ConvShape {
+                h: 4,
+                w: 4,
+                in_c,
+                out_c: 16,
+                k: 1,
+            };
             convolve(
                 cfg,
                 shape,
@@ -214,7 +241,13 @@ mod tests {
 
     #[test]
     fn macs_accounting() {
-        let shape = ConvShape { h: 5, w: 5, in_c: 2, out_c: 3, k: 3 };
+        let shape = ConvShape {
+            h: 5,
+            w: 5,
+            in_c: 2,
+            out_c: 3,
+            k: 3,
+        };
         // out 3×3, 3 filters, 3×3 kernel, 2 channels.
         assert_eq!(shape.macs(), 3 * 3 * 3 * 9 * 2);
     }

@@ -64,7 +64,12 @@ impl ReactCore {
                 "all weights share one format"
             );
         }
-        Self { format, rounding, weights, stats: WsStats::default() }
+        Self {
+            format,
+            rounding,
+            weights,
+            stats: WsStats::default(),
+        }
     }
 
     /// PEs on the WS line.
@@ -115,7 +120,8 @@ impl ReactCore {
             // into the passing accumulator (modeled by a wide MAC).
             let mut mac = Mac::new(self.format);
             for (&w, &x) in row.iter().zip(inputs) {
-                mac.accumulate(w, x).expect("formats verified in constructor");
+                mac.accumulate(w, x)
+                    .expect("formats verified in constructor");
             }
             out.push(mac.read(self.rounding));
             self.stats.mac_ops += self.pes() as u64;
@@ -138,10 +144,7 @@ mod tests {
 
     #[test]
     fn weighted_sum_matches_reference() {
-        let weights = vec![
-            vec![w(0.5), w(-0.25), w(1.0)],
-            vec![w(0.1), w(0.2), w(0.3)],
-        ];
+        let weights = vec![vec![w(0.5), w(-0.25), w(1.0)], vec![w(0.1), w(0.2), w(0.3)]];
         let mut core = ReactCore::new(weights, Rounding::NearestEven);
         let inputs = [w(2.0), w(4.0), w(-1.0)];
         let sums = core.weighted_sums(&inputs);
@@ -166,7 +169,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "rectangular")]
     fn ragged_weights_rejected() {
-        let _ = ReactCore::new(vec![vec![w(1.0)], vec![w(1.0), w(2.0)]], Rounding::NearestEven);
+        let _ = ReactCore::new(
+            vec![vec![w(1.0)], vec![w(1.0), w(2.0)]],
+            Rounding::NearestEven,
+        );
     }
 
     #[test]

@@ -4,15 +4,13 @@
 //! (`systolic`) to produce the cycle counts the Fig 8 energy evaluation
 //! multiplies with the power models.
 
-use serde::{Deserialize, Serialize};
-
 use nova_workloads::bert::OpCensus;
 
 use crate::config::AcceleratorConfig;
 use crate::systolic::{analytic_cycles, Dataflow};
 
 /// Matmul runtime of one inference on one accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatmulRuntime {
     /// Total compute cycles across all matmuls (arrays already
     /// parallelized).
@@ -22,6 +20,12 @@ pub struct MatmulRuntime {
     /// Wall-clock seconds at the accelerator's core clock.
     pub seconds: f64,
 }
+
+nova_serde::impl_serde_struct!(MatmulRuntime {
+    cycles,
+    macs,
+    seconds
+});
 
 /// Computes the matmul runtime of `census` on `config` with `dataflow`.
 ///
@@ -42,7 +46,11 @@ pub fn matmul_runtime(
         .sum();
     let macs = census.total_matmul_macs();
     let seconds = cycles as f64 / (config.frequency_mhz * 1e6);
-    MatmulRuntime { cycles, macs, seconds }
+    MatmulRuntime {
+        cycles,
+        macs,
+        seconds,
+    }
 }
 
 /// Utilization: achieved MACs/cycle over the fabric's peak.
@@ -63,9 +71,16 @@ mod tests {
     #[test]
     fn runtime_positive_and_scales_with_model() {
         let tpu = AcceleratorConfig::tpu_v4_like();
-        let tiny = matmul_runtime(&tpu, &census(&BertConfig::bert_tiny(), 128), Dataflow::OutputStationary);
-        let roberta =
-            matmul_runtime(&tpu, &census(&BertConfig::roberta_base(), 128), Dataflow::OutputStationary);
+        let tiny = matmul_runtime(
+            &tpu,
+            &census(&BertConfig::bert_tiny(), 128),
+            Dataflow::OutputStationary,
+        );
+        let roberta = matmul_runtime(
+            &tpu,
+            &census(&BertConfig::roberta_base(), 128),
+            Dataflow::OutputStationary,
+        );
         assert!(tiny.cycles > 0);
         assert!(roberta.cycles > 10 * tiny.cycles);
         assert!(roberta.seconds > tiny.seconds);
@@ -74,8 +89,16 @@ mod tests {
     #[test]
     fn v4_faster_than_v3() {
         let ops = census(&BertConfig::bert_mini(), 1024);
-        let v3 = matmul_runtime(&AcceleratorConfig::tpu_v3_like(), &ops, Dataflow::OutputStationary);
-        let v4 = matmul_runtime(&AcceleratorConfig::tpu_v4_like(), &ops, Dataflow::OutputStationary);
+        let v3 = matmul_runtime(
+            &AcceleratorConfig::tpu_v3_like(),
+            &ops,
+            Dataflow::OutputStationary,
+        );
+        let v4 = matmul_runtime(
+            &AcceleratorConfig::tpu_v4_like(),
+            &ops,
+            Dataflow::OutputStationary,
+        );
         assert!(v4.cycles < v3.cycles);
         assert_eq!(v3.macs, v4.macs);
     }
@@ -92,8 +115,16 @@ mod tests {
     #[test]
     fn react_slow_clock_long_seconds() {
         let ops = census(&BertConfig::bert_tiny(), 128);
-        let react = matmul_runtime(&AcceleratorConfig::react(), &ops, Dataflow::OutputStationary);
-        let tpu = matmul_runtime(&AcceleratorConfig::tpu_v3_like(), &ops, Dataflow::OutputStationary);
+        let react = matmul_runtime(
+            &AcceleratorConfig::react(),
+            &ops,
+            Dataflow::OutputStationary,
+        );
+        let tpu = matmul_runtime(
+            &AcceleratorConfig::tpu_v3_like(),
+            &ops,
+            Dataflow::OutputStationary,
+        );
         assert!(react.seconds > tpu.seconds);
     }
 }

@@ -8,12 +8,10 @@
 //! simulator ([`cycle_accurate`]) whose cycle counts and numerical results
 //! validate the output-stationary formula exactly on small problems.
 
-use serde::{Deserialize, Serialize};
-
 use nova_workloads::bert::MatmulDims;
 
 /// A systolic compute fabric: `arrays` independent `rows × cols` grids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystolicConfig {
     /// PE rows per array.
     pub rows: usize,
@@ -22,6 +20,8 @@ pub struct SystolicConfig {
     /// Independent arrays (MXUs / cores) working in parallel.
     pub arrays: usize,
 }
+
+nova_serde::impl_serde_struct!(SystolicConfig { rows, cols, arrays });
 
 impl SystolicConfig {
     /// MAC units in one array.
@@ -32,7 +32,7 @@ impl SystolicConfig {
 }
 
 /// The mapping dataflow (SCALE-Sim's `-d` options).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// Outputs pinned to PEs; operands stream through (TPU-style for
     /// GEMM).
@@ -42,6 +42,12 @@ pub enum Dataflow {
     /// Inputs pinned; weights stream.
     InputStationary,
 }
+
+nova_serde::impl_serde_enum!(Dataflow {
+    OutputStationary,
+    WeightStationary,
+    InputStationary
+});
 
 /// Analytic cycle count for one `M×K·K×N` matmul on a single array.
 ///
@@ -126,13 +132,7 @@ pub mod cycle_accurate {
     /// Panics if operand shapes disagree with `dims` or the array is
     /// empty.
     #[must_use]
-    pub fn matmul(
-        rows: usize,
-        cols: usize,
-        dims: MatmulDims,
-        a: &[i64],
-        b: &[i64],
-    ) -> RunResult {
+    pub fn matmul(rows: usize, cols: usize, dims: MatmulDims, a: &[i64], b: &[i64]) -> RunResult {
         assert!(rows > 0 && cols > 0, "array must have PEs");
         assert_eq!(a.len(), dims.m * dims.k, "A shape mismatch");
         assert_eq!(b.len(), dims.k * dims.n, "B shape mismatch");
@@ -271,8 +271,12 @@ mod tests {
 
     #[test]
     fn cycle_accurate_validates_analytic_os_formula() {
-        for (m, k, n, r, c) in [(4, 4, 4, 4, 4), (5, 7, 6, 4, 4), (8, 3, 9, 2, 8), (1, 1, 1, 4, 4)]
-        {
+        for (m, k, n, r, c) in [
+            (4, 4, 4, 4, 4),
+            (5, 7, 6, 4, 4),
+            (8, 3, 9, 2, 8),
+            (1, 1, 1, 4, 4),
+        ] {
             let d = dims(m, k, n);
             let a = vec![1i64; m * k];
             let b = vec![1i64; k * n];
@@ -285,7 +289,8 @@ mod tests {
     #[test]
     fn os_formula_hand_check() {
         // 128×128 array, M=K=N=128: one fold of 128+128+128-2 cycles.
-        let t = analytic_cycles_one_array(128, 128, dims(128, 128, 128), Dataflow::OutputStationary);
+        let t =
+            analytic_cycles_one_array(128, 128, dims(128, 128, 128), Dataflow::OutputStationary);
         assert_eq!(t, 382);
     }
 
@@ -298,15 +303,24 @@ mod tests {
 
     #[test]
     fn arrays_divide_folds() {
-        let cfg = SystolicConfig { rows: 128, cols: 128, arrays: 8 };
-        let one = analytic_cycles_one_array(128, 128, dims(1024, 1024, 1024), Dataflow::OutputStationary);
+        let cfg = SystolicConfig {
+            rows: 128,
+            cols: 128,
+            arrays: 8,
+        };
+        let one =
+            analytic_cycles_one_array(128, 128, dims(1024, 1024, 1024), Dataflow::OutputStationary);
         let eight = analytic_cycles(&cfg, dims(1024, 1024, 1024), Dataflow::OutputStationary);
         assert_eq!(eight, one.div_ceil(8));
     }
 
     #[test]
     fn bigger_matmuls_take_longer() {
-        let cfg = SystolicConfig { rows: 64, cols: 16, arrays: 2 };
+        let cfg = SystolicConfig {
+            rows: 64,
+            cols: 16,
+            arrays: 2,
+        };
         let small = analytic_cycles(&cfg, dims(64, 64, 64), Dataflow::WeightStationary);
         let big = analytic_cycles(&cfg, dims(256, 256, 256), Dataflow::WeightStationary);
         assert!(big > 8 * small);

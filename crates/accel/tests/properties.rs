@@ -1,32 +1,38 @@
 //! Property tests: the analytic SCALE-Sim formulas against the
 //! cycle-accurate systolic simulator, plus census/runtime invariants.
+//!
+//! Checked over deterministic pseudo-random stimulus from the workspace
+//! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
+//! dependency policy.
 
 use nova_accel::config::AcceleratorConfig;
 use nova_accel::runtime::{matmul_runtime, utilization};
 use nova_accel::systolic::{analytic_cycles_one_array, cycle_accurate, Dataflow};
+use nova_fixed::rng::StdRng;
 use nova_workloads::bert::{census, BertConfig, MatmulDims};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The cycle-accurate OS array matches both the analytic cycle count
-    /// and a reference matmul for arbitrary small problems.
-    #[test]
-    fn cycle_accurate_validates_analytic(
-        m in 1usize..10,
-        k in 1usize..10,
-        n in 1usize..10,
-        r in 1usize..6,
-        c in 1usize..6,
-        seed in 0i64..1000,
-    ) {
+/// The cycle-accurate OS array matches both the analytic cycle count
+/// and a reference matmul for arbitrary small problems.
+#[test]
+fn cycle_accurate_validates_analytic() {
+    let mut rng = StdRng::seed_from_u64(0xC001);
+    for _ in 0..48 {
+        let m = rng.gen_range(1usize..10);
+        let k = rng.gen_range(1usize..10);
+        let n = rng.gen_range(1usize..10);
+        let r = rng.gen_range(1usize..6);
+        let c = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0i64..1000);
         let dims = MatmulDims { m, k, n };
-        let a: Vec<i64> = (0..m * k).map(|i| ((i as i64 * 7 + seed) % 9) - 4).collect();
-        let b: Vec<i64> = (0..k * n).map(|i| ((i as i64 * 5 + seed) % 7) - 3).collect();
+        let a: Vec<i64> = (0..m * k)
+            .map(|i| ((i as i64 * 7 + seed) % 9) - 4)
+            .collect();
+        let b: Vec<i64> = (0..k * n)
+            .map(|i| ((i as i64 * 5 + seed) % 7) - 3)
+            .collect();
         let run = cycle_accurate::matmul(r, c, dims, &a, &b);
         // Cycles match the analytic formula exactly.
-        prop_assert_eq!(
+        assert_eq!(
             run.cycles,
             analytic_cycles_one_array(r, c, dims, Dataflow::OutputStationary)
         );
@@ -37,52 +43,63 @@ proptest! {
                 for kk in 0..k {
                     s += a[i * k + kk] * b[kk * n + j];
                 }
-                prop_assert_eq!(run.output[i * n + j], s, "({}, {})", i, j);
+                assert_eq!(run.output[i * n + j], s, "({i}, {j})");
             }
         }
     }
+}
 
-    /// Analytic cycles are monotone in every matmul dimension.
-    #[test]
-    fn analytic_monotone(
-        m in 1usize..256,
-        k in 1usize..256,
-        n in 1usize..256,
-        df in prop_oneof![
-            Just(Dataflow::OutputStationary),
-            Just(Dataflow::WeightStationary),
-            Just(Dataflow::InputStationary)
-        ],
-    ) {
+/// Analytic cycles are monotone in every matmul dimension.
+#[test]
+fn analytic_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC002);
+    const DATAFLOWS: [Dataflow; 3] = [
+        Dataflow::OutputStationary,
+        Dataflow::WeightStationary,
+        Dataflow::InputStationary,
+    ];
+    for _ in 0..48 {
+        let m = rng.gen_range(1usize..256);
+        let k = rng.gen_range(1usize..256);
+        let n = rng.gen_range(1usize..256);
+        let df = DATAFLOWS[rng.gen_range(0..DATAFLOWS.len())];
         let base = analytic_cycles_one_array(32, 32, MatmulDims { m, k, n }, df);
         let bigger = analytic_cycles_one_array(32, 32, MatmulDims { m: m + 32, k, n }, df);
-        prop_assert!(bigger >= base);
+        assert!(bigger >= base);
         let bigger_k = analytic_cycles_one_array(32, 32, MatmulDims { m, k: k + 32, n }, df);
-        prop_assert!(bigger_k >= base);
+        assert!(bigger_k >= base);
     }
+}
 
-    /// Utilization is always in (0, 1] and MAC counts are dataflow-
-    /// independent.
-    #[test]
-    fn runtime_invariants(seq in 16usize..512) {
+/// Utilization is always in (0, 1] and MAC counts are dataflow-
+/// independent.
+#[test]
+fn runtime_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xC003);
+    for _ in 0..24 {
+        let seq = rng.gen_range(16usize..512);
         let cfg = AcceleratorConfig::tpu_v3_like();
         let ops = census(&BertConfig::bert_mini(), seq);
         let os = matmul_runtime(&cfg, &ops, Dataflow::OutputStationary);
         let ws = matmul_runtime(&cfg, &ops, Dataflow::WeightStationary);
-        prop_assert_eq!(os.macs, ws.macs);
+        assert_eq!(os.macs, ws.macs);
         let u = utilization(&cfg, &os);
-        prop_assert!(u > 0.0 && u <= 1.0, "utilization {}", u);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
     }
+}
 
-    /// Census scaling: doubling the sequence length at least doubles both
-    /// the MACs and the approximator queries (softmax makes them
-    /// super-linear).
-    #[test]
-    fn census_scales_superlinearly(seq in 8usize..256) {
+/// Census scaling: doubling the sequence length at least doubles both
+/// the MACs and the approximator queries (softmax makes them
+/// super-linear).
+#[test]
+fn census_scales_superlinearly() {
+    let mut rng = StdRng::seed_from_u64(0xC004);
+    for _ in 0..24 {
+        let seq = rng.gen_range(8usize..256);
         let cfg = BertConfig::bert_tiny();
         let a = census(&cfg, seq);
         let b = census(&cfg, 2 * seq);
-        prop_assert!(b.total_matmul_macs() >= 2 * a.total_matmul_macs());
-        prop_assert!(b.approximator_queries() >= 2 * a.approximator_queries());
+        assert!(b.total_matmul_macs() >= 2 * a.total_matmul_macs());
+        assert!(b.approximator_queries() >= 2 * a.approximator_queries());
     }
 }

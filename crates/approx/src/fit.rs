@@ -285,7 +285,12 @@ mod tests {
     fn sixteen_breakpoints_hit_paper_accuracy() {
         // The paper reports negligible accuracy loss at 16 breakpoints; the
         // function-level counterpart is max error well under 1% of range.
-        for a in [Activation::Sigmoid, Activation::Tanh, Activation::Gelu, Activation::Exp] {
+        for a in [
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Gelu,
+            Activation::Exp,
+        ] {
             let f = move |x: f64| a.eval(x);
             let pwl = fit_activation(a, 16, BreakpointStrategy::GreedyRefine).unwrap();
             let e = max_err(&f, &pwl);
@@ -300,8 +305,7 @@ mod tests {
             BreakpointStrategy::CurvatureQuantile,
             BreakpointStrategy::GreedyRefine,
         ] {
-            let bps =
-                place_breakpoints(&|x| (5.0 * x).sin(), (-2.0, 2.0), 16, s).unwrap();
+            let bps = place_breakpoints(&|x| (5.0 * x).sin(), (-2.0, 2.0), 16, s).unwrap();
             for w in bps.windows(2) {
                 assert!(w[0] < w[1], "{s:?}: breakpoints must strictly increase");
             }

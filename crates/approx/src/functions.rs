@@ -149,8 +149,7 @@ pub(crate) fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -190,7 +189,10 @@ mod tests {
     fn sigmoid_tanh_silu_relations() {
         for x in [-3.0, -0.5, 0.0, 0.7, 2.0] {
             let s = Activation::Sigmoid.eval(x);
-            assert!((Activation::Tanh.eval(x) - (2.0 * Activation::Sigmoid.eval(2.0 * x) - 1.0)).abs() < 1e-12);
+            assert!(
+                (Activation::Tanh.eval(x) - (2.0 * Activation::Sigmoid.eval(2.0 * x) - 1.0)).abs()
+                    < 1e-12
+            );
             assert!((Activation::Silu.eval(x) - x * s).abs() < 1e-12);
         }
     }
@@ -206,7 +208,10 @@ mod tests {
         for &a in Activation::all() {
             let (lo, hi) = a.domain();
             assert!(lo < hi, "{a}: domain must be non-empty");
-            assert!(lo >= -8.0 && hi < 8.0 || a == Activation::Exp, "{a}: fits Q4.12");
+            assert!(
+                lo >= -8.0 && hi < 8.0 || a == Activation::Exp,
+                "{a}: fits Q4.12"
+            );
         }
     }
 

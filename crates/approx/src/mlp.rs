@@ -13,8 +13,7 @@
 //! Training happens "at compile time" in the paper's flow; here it is an
 //! ordinary deterministic function of the target activation and a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nova_fixed::rng::StdRng;
 
 use crate::{Activation, ApproxError, PiecewiseLinear};
 
@@ -106,10 +105,14 @@ impl MlpApproximator {
             return Err(ApproxError::BadTrainingConfig("hidden units must be > 0"));
         }
         if config.epochs == 0 || config.samples < 2 {
-            return Err(ApproxError::BadTrainingConfig("epochs and samples must be > 0"));
+            return Err(ApproxError::BadTrainingConfig(
+                "epochs and samples must be > 0",
+            ));
         }
         if !(config.learning_rate > 0.0) {
-            return Err(ApproxError::BadTrainingConfig("learning rate must be positive"));
+            return Err(ApproxError::BadTrainingConfig(
+                "learning rate must be positive",
+            ));
         }
         let (lo, hi) = domain;
         if !(lo < hi) {
@@ -194,7 +197,14 @@ impl MlpApproximator {
             step(3 * h, g_b2, &mut b2);
         }
 
-        Ok(Self { w1, b1, w2, b2, domain, final_loss })
+        Ok(Self {
+            w1,
+            b1,
+            w2,
+            b2,
+            domain,
+            final_loss,
+        })
     }
 
     /// Evaluates the network at `x` (no clamping; the PWL extraction adds
@@ -285,16 +295,30 @@ mod tests {
     use crate::metrics;
 
     fn quick_cfg(hidden: usize) -> TrainConfig {
-        TrainConfig { hidden, epochs: 1200, samples: 128, ..TrainConfig::default() }
+        TrainConfig {
+            hidden,
+            epochs: 1200,
+            samples: 128,
+            ..TrainConfig::default()
+        }
     }
 
     #[test]
     fn config_validation() {
-        let bad = TrainConfig { hidden: 0, ..quick_cfg(1) };
+        let bad = TrainConfig {
+            hidden: 0,
+            ..quick_cfg(1)
+        };
         assert!(MlpApproximator::train(Activation::Tanh, bad).is_err());
-        let bad = TrainConfig { epochs: 0, ..quick_cfg(4) };
+        let bad = TrainConfig {
+            epochs: 0,
+            ..quick_cfg(4)
+        };
         assert!(MlpApproximator::train(Activation::Tanh, bad).is_err());
-        let bad = TrainConfig { learning_rate: 0.0, ..quick_cfg(4) };
+        let bad = TrainConfig {
+            learning_rate: 0.0,
+            ..quick_cfg(4)
+        };
         assert!(MlpApproximator::train(Activation::Tanh, bad).is_err());
     }
 
@@ -328,7 +352,12 @@ mod tests {
             // Skip points exactly at kinks where the two may disagree by
             // floating-point association order.
             let d = (pwl.eval(x) - mlp.eval(x)).abs();
-            assert!(d < 1e-9, "x={x}: pwl {} vs mlp {}", pwl.eval(x), mlp.eval(x));
+            assert!(
+                d < 1e-9,
+                "x={x}: pwl {} vs mlp {}",
+                pwl.eval(x),
+                mlp.eval(x)
+            );
         }
     }
 
@@ -343,7 +372,11 @@ mod tests {
     #[test]
     fn relu_is_learned_exactly_with_one_unit() {
         // ReLU is itself a 1-kink PWL; a 2-unit net should nail it.
-        let cfg = TrainConfig { hidden: 2, epochs: 3000, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            hidden: 2,
+            epochs: 3000,
+            ..TrainConfig::default()
+        };
         let mlp = MlpApproximator::train(Activation::Relu, cfg).unwrap();
         let report = metrics::compare(
             &|x| Activation::Relu.eval(x),

@@ -82,7 +82,7 @@ impl ApproxRsqrt {
         }
         let m = Fixed::from_raw_saturating(m_raw, self.format);
         let r = self.table.eval(m); // rsqrt(m) ∈ (0.5, 1]
-        // rsqrt(x) = rsqrt(m) · 2^{-e}
+                                    // rsqrt(x) = rsqrt(m) · 2^{-e}
         let raw = if e >= 0 {
             r.raw() >> e.min(62)
         } else {

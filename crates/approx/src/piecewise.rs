@@ -77,7 +77,12 @@ impl PiecewiseLinear {
             }
             prev = d;
         }
-        Ok(Self { breakpoints, slopes, biases, domain })
+        Ok(Self {
+            breakpoints,
+            slopes,
+            biases,
+            domain,
+        })
     }
 
     /// Fits per-segment least-squares lines to `f` over the given interior
@@ -288,8 +293,8 @@ mod tests {
 
     #[test]
     fn edges_include_domain() {
-        let pwl = PiecewiseLinear::new(vec![0.5], vec![1.0, 1.0], vec![0.0, 0.0], (0.0, 1.0))
-            .unwrap();
+        let pwl =
+            PiecewiseLinear::new(vec![0.5], vec![1.0, 1.0], vec![0.0, 0.0], (0.0, 1.0)).unwrap();
         assert_eq!(pwl.edges(), vec![0.0, 0.5, 1.0]);
     }
 }

@@ -98,7 +98,14 @@ impl QuantizedPwl {
                 pairs.push(pair);
             }
         }
-        Ok(Self { format, rounding, breakpoints, pairs, lo, hi })
+        Ok(Self {
+            format,
+            rounding,
+            breakpoints,
+            pairs,
+            lo,
+            hi,
+        })
     }
 
     /// The word format of the tables.
@@ -172,7 +179,11 @@ impl QuantizedPwl {
     /// condition — hardware cannot mix word formats).
     #[must_use]
     pub fn eval(&self, x: Fixed) -> Fixed {
-        assert_eq!(x.format(), self.format, "input word format must match table format");
+        assert_eq!(
+            x.format(),
+            self.format,
+            "input word format must match table format"
+        );
         let xc = self.clamp(x);
         let pair = self.pairs[self.lookup_address(xc)];
         pair.slope
@@ -189,7 +200,8 @@ impl QuantizedPwl {
     /// Convenience: quantize an `f64`, evaluate, return `f64`.
     #[must_use]
     pub fn eval_f64(&self, x: f64) -> f64 {
-        self.eval(Fixed::from_f64(x, self.format, self.rounding)).to_f64()
+        self.eval(Fixed::from_f64(x, self.format, self.rounding))
+            .to_f64()
     }
 }
 
@@ -200,8 +212,8 @@ mod tests {
     use nova_fixed::{Q4_12, Q6_10};
 
     fn sigmoid16() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -214,8 +226,8 @@ mod tests {
 
     #[test]
     fn eval_matches_float_pwl_within_quantization() {
-        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform).unwrap();
         let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
         for k in 0..100 {
             let x = -7.5 + 15.0 * k as f64 / 99.0;

@@ -94,12 +94,13 @@ impl ApproxSoftmax {
     /// # Errors
     ///
     /// Propagates fitting/quantization failures.
-    pub fn new(
-        segments: usize,
-        format: QFormat,
-        rounding: Rounding,
-    ) -> Result<Self, ApproxError> {
-        Self::with_strategy(segments, format, rounding, fit::BreakpointStrategy::GreedyRefine)
+    pub fn new(segments: usize, format: QFormat, rounding: Rounding) -> Result<Self, ApproxError> {
+        Self::with_strategy(
+            segments,
+            format,
+            rounding,
+            fit::BreakpointStrategy::GreedyRefine,
+        )
     }
 
     /// Like [`ApproxSoftmax::new`] with an explicit breakpoint strategy
@@ -183,8 +184,8 @@ impl ApproxSoftmax {
         }
         let m = Fixed::from_raw_saturating(m_raw, self.format);
         let recip_m = self.recip_pwl.eval(m); // 1/m in [0.5, 1]
-        // Step 5: prob_i = exp_i · recip(m) · 2^{-e} — the 2^{-e} is an
-        // exact arithmetic shift of the wide product.
+                                              // Step 5: prob_i = exp_i · recip(m) · 2^{-e} — the 2^{-e} is an
+                                              // exact arithmetic shift of the wide product.
         let frac = self.format.frac_bits() as i32;
         exps.iter()
             .map(|&num| {
@@ -242,7 +243,10 @@ mod tests {
         let approx = unit.eval(&logits);
         let exact = softmax_exact(&logits);
         let report = metrics::compare_slices(&exact, &approx);
-        assert!(report.max_abs < 0.02, "approx softmax error too large: {report}");
+        assert!(
+            report.max_abs < 0.02,
+            "approx softmax error too large: {report}"
+        );
         // Distribution still sums to ~1 despite fixed-point truncation.
         let sum: f64 = approx.iter().sum();
         assert!((sum - 1.0).abs() < 0.05, "sum = {sum}");

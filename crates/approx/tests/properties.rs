@@ -1,41 +1,56 @@
 //! Property-based tests for the approximation substrate.
+//!
+//! The dependency policy excludes proptest, so each property is checked
+//! over a deterministic pseudo-random stimulus stream drawn from the
+//! workspace PRNG (`nova_fixed::rng`): same coverage style, perfectly
+//! reproducible failures.
 
 use nova_approx::{fit, metrics, softmax, Activation, PiecewiseLinear, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
-use proptest::prelude::*;
+use nova_fixed::rng::StdRng;
+use nova_fixed::{Fixed, Rounding, Q4_12};
 
-fn activations() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::Relu),
-        Just(Activation::Gelu),
-        Just(Activation::Sigmoid),
-        Just(Activation::Tanh),
-        Just(Activation::Exp),
-        Just(Activation::Silu),
-    ]
+const ACTIVATIONS: [Activation; 6] = [
+    Activation::Relu,
+    Activation::Gelu,
+    Activation::Sigmoid,
+    Activation::Tanh,
+    Activation::Exp,
+    Activation::Silu,
+];
+
+fn pick_activation(rng: &mut StdRng) -> Activation {
+    ACTIVATIONS[rng.gen_range(0..ACTIVATIONS.len())]
 }
 
-proptest! {
-    /// segment_index is monotone non-decreasing in x.
-    #[test]
-    fn segment_index_monotone(a in activations(), xs in prop::collection::vec(-10.0f64..10.0, 2..40)) {
-        let pwl = fit::fit_activation(a, 16, fit::BreakpointStrategy::Uniform).unwrap();
-        let mut sorted = xs;
+/// segment_index is monotone non-decreasing in x.
+#[test]
+fn segment_index_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA001);
+    for _ in 0..64 {
+        let a = pick_activation(&mut rng);
+        let len = rng.gen_range(2..40usize);
+        let mut sorted: Vec<f64> = (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect();
         sorted.sort_by(f64::total_cmp);
+        let pwl = fit::fit_activation(a, 16, fit::BreakpointStrategy::Uniform).unwrap();
         let mut prev = 0usize;
         for x in sorted {
             let i = pwl.segment_index(x);
-            prop_assert!(i >= prev);
-            prop_assert!(i < pwl.segments());
+            assert!(i >= prev, "{a:?}: index regressed at x={x}");
+            assert!(i < pwl.segments());
             prev = i;
         }
     }
+}
 
-    /// PWL evaluation never exceeds the fitted function's range by more
-    /// than the fit's max error on the domain (clamping keeps out-of-domain
-    /// inputs at edge values).
-    #[test]
-    fn eval_bounded_by_fit_error(a in activations(), x in -20.0f64..20.0) {
+/// PWL evaluation never exceeds the fitted function's range by more
+/// than the fit's max error on the domain (clamping keeps out-of-domain
+/// inputs at edge values).
+#[test]
+fn eval_bounded_by_fit_error() {
+    let mut rng = StdRng::seed_from_u64(0xA002);
+    for _ in 0..24 {
+        let a = pick_activation(&mut rng);
+        let x = rng.gen_range(-20.0..20.0);
         let f = move |v: f64| a.eval(v);
         let pwl = fit::fit_activation(a, 16, fit::BreakpointStrategy::GreedyRefine).unwrap();
         let report = metrics::compare(&f, &|v| pwl.eval(v), pwl.domain(), 4000);
@@ -43,24 +58,40 @@ proptest! {
         // The scan grid can miss the true maximum by up to slope·step.
         let (lo, hi) = pwl.domain();
         let margin = 2.0 * (hi - lo) / 4000.0;
-        prop_assert!((pwl.eval(x) - f(xc)).abs() <= report.max_abs + margin);
+        assert!(
+            (pwl.eval(x) - f(xc)).abs() <= report.max_abs + margin,
+            "{a:?} at x={x}"
+        );
     }
+}
 
-    /// Quantized evaluation tracks the float PWL within a few resolution
-    /// steps (slope error is amplified by |x| <= 8).
-    #[test]
-    fn quantized_tracks_float(a in activations(), x in -8.0f64..7.99) {
+/// Quantized evaluation tracks the float PWL within a few resolution
+/// steps (slope error is amplified by |x| <= 8).
+#[test]
+fn quantized_tracks_float() {
+    let mut rng = StdRng::seed_from_u64(0xA003);
+    for _ in 0..256 {
+        let a = pick_activation(&mut rng);
+        let x = rng.gen_range(-8.0..7.99);
         let pwl = fit::fit_activation(a, 16, fit::BreakpointStrategy::Uniform).unwrap();
         let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
         let err = (q.eval_f64(x) - pwl.eval(x)).abs();
         // half-step on x, slope quantization (×|x|≤8), bias, output rounding
-        prop_assert!(err <= 20.0 * Q4_12.resolution(), "err = {err}");
+        assert!(
+            err <= 20.0 * Q4_12.resolution(),
+            "{a:?} at x={x}: err = {err}"
+        );
     }
+}
 
-    /// Quantized lookup address equals the float segment index except
-    /// within one quantization step of a breakpoint.
-    #[test]
-    fn addresses_agree_away_from_breakpoints(a in activations(), x in -7.9f64..7.9) {
+/// Quantized lookup address equals the float segment index except
+/// within one quantization step of a breakpoint.
+#[test]
+fn addresses_agree_away_from_breakpoints() {
+    let mut rng = StdRng::seed_from_u64(0xA004);
+    for _ in 0..256 {
+        let a = pick_activation(&mut rng);
+        let x = rng.gen_range(-7.9..7.9);
         let pwl = fit::fit_activation(a, 16, fit::BreakpointStrategy::Uniform).unwrap();
         let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
         let (lo, hi) = pwl.domain();
@@ -69,48 +100,65 @@ proptest! {
             .breakpoints()
             .iter()
             .any(|&d| (xc - d).abs() < 2.0 * Q4_12.resolution());
-        prop_assume!(!near_breakpoint);
-        prop_assume!(q.segments() == pwl.segments());
+        if near_breakpoint || q.segments() != pwl.segments() {
+            continue;
+        }
         let fx = Fixed::from_f64(xc, Q4_12, Rounding::NearestEven);
-        prop_assert_eq!(q.lookup_address(fx), pwl.segment_index(xc));
+        assert_eq!(
+            q.lookup_address(fx),
+            pwl.segment_index(xc),
+            "{a:?} at x={x}"
+        );
     }
+}
 
-    /// Approximated softmax stays a near-distribution: entries in [0, 1.01]
-    /// and total within 6% of 1 for moderate logits.
-    #[test]
-    fn approx_softmax_near_distribution(logits in prop::collection::vec(-4.0f64..4.0, 2..64)) {
+/// Approximated softmax stays a near-distribution: entries in [0, 1.01]
+/// and total within 6% of 1 for moderate logits.
+#[test]
+fn approx_softmax_near_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xA005);
+    for _ in 0..64 {
+        let len = rng.gen_range(2..64usize);
+        let logits: Vec<f64> = (0..len).map(|_| rng.gen_range(-4.0..4.0)).collect();
         let unit = softmax::ApproxSoftmax::new(16, Q4_12, Rounding::NearestEven).unwrap();
         let p = unit.eval(&logits);
         let sum: f64 = p.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 0.06, "sum = {sum}");
+        assert!((sum - 1.0).abs() < 0.06, "sum = {sum}");
         for &v in &p {
-            prop_assert!((-1e-9..=1.01).contains(&v));
+            assert!((-1e-9..=1.01).contains(&v));
         }
     }
+}
 
-    /// Softmax approximation error decreases (weakly) as segments grow.
-    #[test]
-    fn softmax_error_monotone_in_segments(seed in 0u64..500) {
+/// Softmax approximation error decreases (weakly) as segments grow.
+#[test]
+fn softmax_error_monotone_in_segments() {
+    for seed in (0..500).step_by(7) {
         let logits: Vec<f64> = (0..16)
             .map(|i| (((seed + i) as f64) * 0.618).sin() * 3.5)
             .collect();
         let exact = softmax::softmax_exact(&logits);
         let err = |segments: usize| {
-            let unit =
-                softmax::ApproxSoftmax::new(segments, Q4_12, Rounding::NearestEven).unwrap();
+            let unit = softmax::ApproxSoftmax::new(segments, Q4_12, Rounding::NearestEven).unwrap();
             metrics::compare_slices(&exact, &unit.eval(&logits)).max_abs
         };
-        prop_assert!(err(16) <= err(4) + 5.0 * Q4_12.resolution());
+        assert!(err(16) <= err(4) + 5.0 * Q4_12.resolution(), "seed {seed}");
     }
+}
 
-    /// Per-segment least-squares fit through arbitrary valid breakpoints
-    /// always produces a valid PWL whose eval is finite.
-    #[test]
-    fn fit_always_valid(mut bps in prop::collection::vec(-2.9f64..2.9, 0..10), x in -3.0f64..3.0) {
+/// Per-segment least-squares fit through arbitrary valid breakpoints
+/// always produces a valid PWL whose eval is finite.
+#[test]
+fn fit_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xA006);
+    for _ in 0..128 {
+        let len = rng.gen_range(0..10usize);
+        let mut bps: Vec<f64> = (0..len).map(|_| rng.gen_range(-2.9..2.9)).collect();
+        let x = rng.gen_range(-3.0..3.0);
         bps.sort_by(f64::total_cmp);
         bps.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
         let pwl = PiecewiseLinear::fit(&|v| v.tanh(), (-3.0, 3.0), &bps, 16).unwrap();
-        prop_assert!(pwl.eval(x).is_finite());
-        prop_assert_eq!(pwl.segments(), bps.len() + 1);
+        assert!(pwl.eval(x).is_finite());
+        assert_eq!(pwl.segments(), bps.len() + 1);
     }
 }

@@ -1,8 +1,10 @@
-//! End-to-end Criterion benchmarks: the cycle-accurate NoC broadcast, the
-//! LUT baselines, the systolic runtime model and the full per-inference
-//! engine.
+//! End-to-end benchmarks: the cycle-accurate NoC broadcast, the LUT
+//! baselines, the systolic runtime model and the full per-inference
+//! engine. Runs on the workspace's criterion-shaped harness
+//! (`nova_bench::harness`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_bench::harness::{black_box, BenchmarkId, Criterion};
+use nova_bench::{criterion_group, criterion_main};
 
 use nova::engine::{evaluate, ApproximatorKind};
 use nova::react_pipeline::ReactNovaPipeline;
@@ -11,16 +13,14 @@ use nova_accel::nvdla::{convolve, ConvShape, NvdlaCoreConfig};
 use nova_accel::systolic::{analytic_cycles, cycle_accurate, Dataflow, SystolicConfig};
 use nova_accel::AcceleratorConfig;
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::rng::StdRng;
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_noc::LineConfig;
 use nova_workloads::attention::{EncoderLayer, ExactBackend, Matrix, PwlBackend};
 use nova_workloads::bert::{census, BertConfig, MatmulDims};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn table() -> QuantizedPwl {
-    let pwl = fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform)
-        .unwrap();
+    let pwl = fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform).unwrap();
     QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
 }
 
@@ -60,12 +60,24 @@ fn bench_vector_units(c: &mut Criterion) {
 }
 
 fn bench_systolic(c: &mut Criterion) {
-    let cfg = SystolicConfig { rows: 128, cols: 128, arrays: 8 };
-    let dims = MatmulDims { m: 512, k: 512, n: 512 };
+    let cfg = SystolicConfig {
+        rows: 128,
+        cols: 128,
+        arrays: 8,
+    };
+    let dims = MatmulDims {
+        m: 512,
+        k: 512,
+        n: 512,
+    };
     c.bench_function("systolic/analytic_512_cubed", |b| {
         b.iter(|| analytic_cycles(black_box(&cfg), black_box(dims), Dataflow::OutputStationary))
     });
-    let small = MatmulDims { m: 16, k: 16, n: 16 };
+    let small = MatmulDims {
+        m: 16,
+        k: 16,
+        n: 16,
+    };
     let a = vec![1i64; 256];
     let bm = vec![2i64; 256];
     c.bench_function("systolic/cycle_accurate_16_cubed_on_8x8", |b| {
@@ -132,7 +144,13 @@ fn bench_react_pipeline(c: &mut Criterion) {
 }
 
 fn bench_nvdla_conv(c: &mut Criterion) {
-    let shape = ConvShape { h: 12, w: 12, in_c: 8, out_c: 16, k: 3 };
+    let shape = ConvShape {
+        h: 12,
+        w: 12,
+        in_c: 8,
+        out_c: 16,
+        k: 3,
+    };
     let input: Vec<Fixed> = (0..12 * 12 * 8)
         .map(|i| Fixed::from_f64((i as f64 * 0.07).sin(), Q4_12, Rounding::NearestEven))
         .collect();
@@ -154,14 +172,24 @@ fn bench_nvdla_conv(c: &mut Criterion) {
 }
 
 fn bench_encoder_layer(c: &mut Criterion) {
-    let cfg = BertConfig { name: "bench", layers: 1, hidden: 64, heads: 4, ffn: 128 };
+    let cfg = BertConfig {
+        name: "bench",
+        layers: 1,
+        hidden: 64,
+        heads: 4,
+        ffn: 128,
+    };
     let layer = EncoderLayer::random(cfg, 3);
     let mut rng = StdRng::seed_from_u64(1);
     let x = Matrix::random(16, 64, 1.0, &mut rng);
     let pwl = PwlBackend::new(16).unwrap();
     let mut g = c.benchmark_group("encoder_layer_16x64");
-    g.bench_function("exact_backend", |b| b.iter(|| layer.forward(black_box(&x), &ExactBackend)));
-    g.bench_function("pwl_backend", |b| b.iter(|| layer.forward(black_box(&x), &pwl)));
+    g.bench_function("exact_backend", |b| {
+        b.iter(|| layer.forward(black_box(&x), &ExactBackend))
+    });
+    g.bench_function("pwl_backend", |b| {
+        b.iter(|| layer.forward(black_box(&x), &pwl))
+    });
     g.finish();
 }
 

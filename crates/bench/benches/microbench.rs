@@ -1,18 +1,20 @@
-//! Criterion microbenchmarks for the datapath primitives: flit packing,
-//! comparator address generation, PWL evaluation (float vs fixed), softmax
-//! pipelines and breakpoint fitting.
+//! Microbenchmarks for the datapath primitives: flit packing, comparator
+//! address generation, PWL evaluation (float vs fixed), softmax pipelines
+//! and breakpoint fitting. Runs on the workspace's criterion-shaped
+//! harness (`nova_bench::harness`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_bench::harness::{black_box, BenchmarkId, Criterion};
+use nova_bench::{criterion_group, criterion_main};
 
 use nova_approx::softmax::{softmax_exact, softmax_online, ApproxSoftmax};
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_noc::comparator::Comparators;
 use nova_noc::{Flit, LinkConfig};
 
 fn table(segments: usize) -> QuantizedPwl {
-    let pwl = fit::fit_activation(Activation::Gelu, segments, fit::BreakpointStrategy::Uniform)
-        .unwrap();
+    let pwl =
+        fit::fit_activation(Activation::Gelu, segments, fit::BreakpointStrategy::Uniform).unwrap();
     QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
 }
 
@@ -44,8 +46,7 @@ fn bench_comparator(c: &mut Criterion) {
 }
 
 fn bench_pwl_eval(c: &mut Criterion) {
-    let pwl = fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform)
-        .unwrap();
+    let pwl = fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform).unwrap();
     let t = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
     let xf: Vec<f64> = (0..256).map(|i| (i as f64 * 0.43).sin() * 7.0).collect();
     let xq: Vec<Fixed> = xf
@@ -71,7 +72,9 @@ fn bench_softmax(c: &mut Criterion) {
     g.bench_function("online_normalizer", |b| {
         b.iter(|| softmax_online(black_box(&logits)))
     });
-    g.bench_function("pwl_fixed_point", |b| b.iter(|| unit.eval(black_box(&logits))));
+    g.bench_function("pwl_fixed_point", |b| {
+        b.iter(|| unit.eval(black_box(&logits)))
+    });
     g.finish();
 }
 

@@ -21,8 +21,8 @@ fn main() {
 /// Broadcast width: pairs per flit vs NoC clock multiplier and link power.
 fn broadcast_width() {
     let tech = TechModel::cmos22();
-    let pwl = fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::GreedyRefine)
-        .unwrap();
+    let pwl =
+        fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::GreedyRefine).unwrap();
     let table = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
     let mut t = Table::new(
         "Ablation — broadcast width (16 breakpoints, REACT 240 MHz)",
@@ -62,7 +62,12 @@ fn breakpoint_strategies() {
         "Ablation — breakpoint strategy (max |error|, 16 segments)",
         &["Activation", "Uniform", "CurvatureQuantile", "GreedyRefine"],
     );
-    for a in [Activation::Exp, Activation::Gelu, Activation::Sigmoid, Activation::Tanh] {
+    for a in [
+        Activation::Exp,
+        Activation::Gelu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ] {
         let err = |s: fit::BreakpointStrategy| {
             let pwl = fit::fit_activation(a, 16, s).unwrap();
             metrics::compare(&|x| a.eval(x), &|x| pwl.eval(x), a.domain(), 3000).max_abs
@@ -133,7 +138,11 @@ fn dvfs() {
 fn table_switching() {
     let mut t = Table::new(
         "Ablation — operator table switch cost (cycles, 16-entry tables)",
-        &["Approximator", "Switch cycles", "Switches per encoder layer"],
+        &[
+            "Approximator",
+            "Switch cycles",
+            "Switches per encoder layer",
+        ],
     );
     for kind in [
         ApproximatorKind::NovaNoc,

@@ -24,13 +24,12 @@ fn main() {
         // Router pitch scales with the host core's footprint (a 16-neuron
         // NVDLA core is ~0.3 mm across; a 128-neuron MXU ~1 mm).
         let pitch = (neurons as f64 / 128.0).max(0.2);
-        let nova =
-            units::nova_router(&tech, neurons, 16, pitch).power_mw(&tech, core, noc, 1.0);
+        let nova = units::nova_router(&tech, neurons, 16, pitch).power_mw(&tech, core, noc, 1.0);
         // (collected for the bar chart below)
-        let pn = units::lut_unit(&tech, neurons, 16, LutSharing::PerNeuron)
-            .power_mw(&tech, core, 1.0);
-        let pc = units::lut_unit(&tech, neurons, 16, LutSharing::PerCore)
-            .power_mw(&tech, core, 1.0);
+        let pn =
+            units::lut_unit(&tech, neurons, 16, LutSharing::PerNeuron).power_mw(&tech, core, 1.0);
+        let pc =
+            units::lut_unit(&tech, neurons, 16, LutSharing::PerCore).power_mw(&tech, core, 1.0);
         t.row(&[
             neurons.to_string(),
             format!("{nova:.2}"),

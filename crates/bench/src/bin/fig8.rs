@@ -16,7 +16,10 @@ fn main() {
     for host in &hosts {
         let seq = host.default_seq_len;
         let mut t = Table::new(
-            format!("Fig 8 — approximator energy per inference on {} (seq len {seq})", host.name),
+            format!(
+                "Fig 8 — approximator energy per inference on {} (seq len {seq})",
+                host.name
+            ),
             &[
                 "Benchmark",
                 "NOVA (mJ)",
@@ -31,9 +34,7 @@ fn main() {
         let mut ratio_pc = Vec::new();
         let mut bars: Vec<(String, f64, f64, f64)> = Vec::new();
         for model in BertConfig::fig8_benchmarks() {
-            let get = |kind| {
-                evaluate(host, &model, seq, kind).expect("valid seq len and config")
-            };
+            let get = |kind| evaluate(host, &model, seq, kind).expect("valid seq len and config");
             let nova = get(ApproximatorKind::NovaNoc);
             let pn = get(ApproximatorKind::PerNeuronLut);
             let pc = get(ApproximatorKind::PerCoreLut);

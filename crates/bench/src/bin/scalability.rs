@@ -9,7 +9,12 @@ fn main() {
 
     let mut t = Table::new(
         "§V.A — single-cycle SMART reach (routers) vs NoC clock, 1 mm pitch",
-        &["NoC clock (GHz)", "Max routers/cycle", "Cycles for 10 routers", "Cycles for 20 routers"],
+        &[
+            "NoC clock (GHz)",
+            "Max routers/cycle",
+            "Cycles for 10 routers",
+            "Cycles for 20 routers",
+        ],
     );
     for f in [0.5, 0.75, 1.0, 1.5, 2.0, 2.8, 3.0] {
         t.row(&[
@@ -28,7 +33,11 @@ fn main() {
 
     let mut t2 = Table::new(
         "Reach vs router pitch at 1.5 GHz",
-        &["Pitch (mm)", "Max routers/cycle", "Max single-cycle clock for 10 routers (GHz)"],
+        &[
+            "Pitch (mm)",
+            "Max routers/cycle",
+            "Max single-cycle clock for 10 routers (GHz)",
+        ],
     );
     for pitch in [0.3, 0.5, 1.0, 1.5, 2.0] {
         t2.row(&[

@@ -24,13 +24,19 @@ fn seq_len_sweep() {
     let model = BertConfig::bert_mini();
     let mut t = Table::new(
         "Sweep — approximator energy vs sequence length (BERT-mini on TPU v4-like)",
-        &["Seq len", "NL queries", "NOVA (mJ)", "Per-core LUT (mJ)", "NOVA overhead (%)"],
+        &[
+            "Seq len",
+            "NL queries",
+            "NOVA (mJ)",
+            "Per-core LUT (mJ)",
+            "NOVA overhead (%)",
+        ],
     );
     for seq in [64usize, 128, 256, 512, 1024, 2048] {
-        let nova = evaluate(&host, &model, seq, ApproximatorKind::NovaNoc)
-            .expect("positive seq len");
-        let pc = evaluate(&host, &model, seq, ApproximatorKind::PerCoreLut)
-            .expect("positive seq len");
+        let nova =
+            evaluate(&host, &model, seq, ApproximatorKind::NovaNoc).expect("positive seq len");
+        let pc =
+            evaluate(&host, &model, seq, ApproximatorKind::PerCoreLut).expect("positive seq len");
         t.row(&[
             seq.to_string(),
             nova.nl_queries.to_string(),
@@ -50,7 +56,13 @@ fn breakpoint_sweep() {
     let tech = TechModel::cmos22();
     let mut t = Table::new(
         "Sweep — breakpoints vs accuracy and NoC clock (GELU, REACT 240 MHz)",
-        &["Breakpoints", "Link", "Max |error|", "Flits/lookup", "NoC clock"],
+        &[
+            "Breakpoints",
+            "Link",
+            "Max |error|",
+            "Flits/lookup",
+            "NoC clock",
+        ],
     );
     for (bp, link) in [
         (4usize, LinkConfig::paper()),
@@ -77,7 +89,10 @@ fn breakpoint_sweep() {
             format!("{} bits", link.link_bits()),
             format!("{err:.2e}"),
             plan.mappings[0].schedule.flit_count().to_string(),
-            format!("{}x = {:.2} GHz", plan.noc_clock_multiplier, plan.noc_clock_ghz),
+            format!(
+                "{}x = {:.2} GHz",
+                plan.noc_clock_multiplier, plan.noc_clock_ghz
+            ),
         ]);
     }
     t.print();
@@ -92,7 +107,13 @@ fn schedule_sweep() {
     let model = BertConfig::roberta_base();
     let mut t = Table::new(
         "Sweep — serial vs pipelined layer schedule (RoBERTa)",
-        &["Host", "Seq", "Serial cycles", "Pipelined cycles", "Speedup"],
+        &[
+            "Host",
+            "Seq",
+            "Serial cycles",
+            "Pipelined cycles",
+            "Speedup",
+        ],
     );
     for host in [
         AcceleratorConfig::react(),

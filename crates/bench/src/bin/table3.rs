@@ -17,39 +17,88 @@ fn main() {
     let tech = TechModel::cmos22();
     let mut t = Table::new(
         "Table III — hardware overhead of NOVA vs LUT-based approximators",
-        &["Accelerator", "Hardware Approximator", "Area (mm²)", "Power (mW)"],
+        &[
+            "Accelerator",
+            "Hardware Approximator",
+            "Area (mm²)",
+            "Power (mW)",
+        ],
     );
 
     let paper: &[(&str, &[PaperRow])] = &[
         (
             "REACT",
             &[
-                PaperRow { approximator: "naive LUT (per-neuron LUT)", area_mm2: 6.058, power_mw: 289.08 },
-                PaperRow { approximator: "naive LUT (per-core LUT)", area_mm2: 3.226, power_mw: 292.57 },
-                PaperRow { approximator: "NOVA NoC", area_mm2: 1.817, power_mw: 117.51 },
+                PaperRow {
+                    approximator: "naive LUT (per-neuron LUT)",
+                    area_mm2: 6.058,
+                    power_mw: 289.08,
+                },
+                PaperRow {
+                    approximator: "naive LUT (per-core LUT)",
+                    area_mm2: 3.226,
+                    power_mw: 292.57,
+                },
+                PaperRow {
+                    approximator: "NOVA NoC",
+                    area_mm2: 1.817,
+                    power_mw: 117.51,
+                },
             ],
         ),
         (
             "TPU v3-like",
             &[
-                PaperRow { approximator: "naive LUT (per-neuron LUT)", area_mm2: 1.267, power_mw: 382.468 },
-                PaperRow { approximator: "naive LUT (per-core LUT)", area_mm2: 1.004, power_mw: 862.472 },
-                PaperRow { approximator: "NOVA NoC", area_mm2: 0.414, power_mw: 103.78 },
+                PaperRow {
+                    approximator: "naive LUT (per-neuron LUT)",
+                    area_mm2: 1.267,
+                    power_mw: 382.468,
+                },
+                PaperRow {
+                    approximator: "naive LUT (per-core LUT)",
+                    area_mm2: 1.004,
+                    power_mw: 862.472,
+                },
+                PaperRow {
+                    approximator: "NOVA NoC",
+                    area_mm2: 0.414,
+                    power_mw: 103.78,
+                },
             ],
         ),
         (
             "TPU v4-like",
             &[
-                PaperRow { approximator: "naive LUT (per-neuron LUT)", area_mm2: 2.534, power_mw: 764.936 },
-                PaperRow { approximator: "naive LUT (per-core LUT)", area_mm2: 2.008, power_mw: 1724.94 },
-                PaperRow { approximator: "NOVA NoC", area_mm2: 0.82, power_mw: 184.83 },
+                PaperRow {
+                    approximator: "naive LUT (per-neuron LUT)",
+                    area_mm2: 2.534,
+                    power_mw: 764.936,
+                },
+                PaperRow {
+                    approximator: "naive LUT (per-core LUT)",
+                    area_mm2: 2.008,
+                    power_mw: 1724.94,
+                },
+                PaperRow {
+                    approximator: "NOVA NoC",
+                    area_mm2: 0.82,
+                    power_mw: 184.83,
+                },
             ],
         ),
         (
             "Jetson Xavier NX",
             &[
-                PaperRow { approximator: "NVDLA SDP", area_mm2: 0.1382, power_mw: 48.867 },
-                PaperRow { approximator: "NOVA NoC", area_mm2: 0.0276, power_mw: 1.294 },
+                PaperRow {
+                    approximator: "NVDLA SDP",
+                    area_mm2: 0.1382,
+                    power_mw: 48.867,
+                },
+                PaperRow {
+                    approximator: "NOVA NoC",
+                    area_mm2: 0.0276,
+                    power_mw: 1.294,
+                },
             ],
         ),
     ];
@@ -79,8 +128,7 @@ fn main() {
                 _ => {
                     let unit = units::nvdla_sdp(&tech, cfg.neurons_per_router);
                     let area = unit.area_um2 * cfg.nova_routers as f64 * 1e-6;
-                    let power =
-                        approximator_power_mw(&tech, &cfg, ApproximatorKind::NvdlaSdp);
+                    let power = approximator_power_mw(&tech, &cfg, ApproximatorKind::NvdlaSdp);
                     (area, power)
                 }
             };
@@ -102,7 +150,9 @@ fn main() {
     println!("\n§V.C REACT area overheads (% of ~{die:.1} mm² die):");
     println!(
         "  per-neuron LUT : {:>6.2}%   (paper 31%)",
-        pct(overlay.lut_area_power(&tech, LutSharing::PerNeuron).area_mm2)
+        pct(overlay
+            .lut_area_power(&tech, LutSharing::PerNeuron)
+            .area_mm2)
     );
     println!(
         "  per-core LUT   : {:>6.2}%   (paper 19.2%)",

@@ -18,7 +18,12 @@ fn main() {
 
     let mut t = Table::new(
         "Table IV — hardware overhead of NOVA vs NACU / I-BERT",
-        &["Non-linear approximator", "Tech node", "Area (µm²)", "Power (mW)"],
+        &[
+            "Non-linear approximator",
+            "Tech node",
+            "Area (µm²)",
+            "Power (mW)",
+        ],
     );
     t.row(&[
         "NACU [literature]".into(),

@@ -20,7 +20,10 @@ fn main() {
     // Detailed phase breakdown for one layer.
     let phases = layer_timeline(&cfg, &model, seq, ApproximatorKind::NovaNoc);
     let mut t = Table::new(
-        format!("One {} encoder layer on {} (seq {seq}) — NOVA", model.name, cfg.name),
+        format!(
+            "One {} encoder layer on {} (seq {seq}) — NOVA",
+            model.name, cfg.name
+        ),
         &["Phase", "Cycles"],
     );
     for p in &phases {

@@ -15,4 +15,5 @@
 //! | `fig8` | Fig 8 — energy/inference for the BERT benchmarks |
 //! | `scalability` | §V.A — single-cycle reach vs frequency/pitch |
 
+pub mod harness;
 pub mod table;

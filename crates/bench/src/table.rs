@@ -83,7 +83,10 @@ pub fn bar_chart(title: &str, x_labels: &[String], series: &[(&str, Vec<f64>)], 
             let v = values[i];
             let bars = ((v / max) * width as f64).round().max(1.0) as usize;
             let x_cell = if j == 0 { x.as_str() } else { "" };
-            println!("{x_cell:>xw$} {label:<label_w$} {} {v:.2}", "█".repeat(bars));
+            println!(
+                "{x_cell:>xw$} {label:<label_w$} {} {v:.2}",
+                "█".repeat(bars)
+            );
         }
     }
 }

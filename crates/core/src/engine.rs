@@ -8,8 +8,6 @@
 //! identical lookup latency, their energy ratio equals their power ratio —
 //! which is exactly how the paper's 9.4× / 4.14× headline numbers arise.
 
-use serde::{Deserialize, Serialize};
-
 use nova_accel::config::AcceleratorConfig;
 use nova_accel::runtime::{matmul_runtime, MatmulRuntime};
 use nova_accel::systolic::Dataflow;
@@ -18,44 +16,12 @@ use nova_workloads::bert::{census, BertConfig, OpCensus};
 
 use crate::NovaError;
 
-/// Which approximator hardware serves the non-linear queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ApproximatorKind {
-    /// The NOVA NoC overlay.
-    NovaNoc,
-    /// Per-neuron LUT vector unit.
-    PerNeuronLut,
-    /// Per-core LUT vector unit.
-    PerCoreLut,
-    /// NVDLA's native SDP (Jetson host only).
-    NvdlaSdp,
-}
-
-impl ApproximatorKind {
-    /// Table III row label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            ApproximatorKind::NovaNoc => "NOVA NoC",
-            ApproximatorKind::PerNeuronLut => "naive LUT (per-neuron LUT)",
-            ApproximatorKind::PerCoreLut => "naive LUT (per-core LUT)",
-            ApproximatorKind::NvdlaSdp => "NVDLA SDP",
-        }
-    }
-
-    /// The three Fig 8 contenders.
-    #[must_use]
-    pub fn fig8_contenders() -> [ApproximatorKind; 3] {
-        [
-            ApproximatorKind::NovaNoc,
-            ApproximatorKind::PerNeuronLut,
-            ApproximatorKind::PerCoreLut,
-        ]
-    }
-}
+// The dispatch axis lives with the unit implementations; re-exported
+// here because the engine's cost models are keyed off the same enum.
+pub use crate::vector_unit::ApproximatorKind;
 
 /// Full per-inference report for one (host, model, approximator) triple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceReport {
     /// Host accelerator name.
     pub accelerator: String,
@@ -88,6 +54,23 @@ pub struct InferenceReport {
     pub energy_overhead_pct: f64,
 }
 
+nova_serde::impl_serde_struct!(InferenceReport {
+    accelerator,
+    model,
+    seq_len,
+    approximator,
+    matmul_cycles,
+    nl_queries,
+    nl_batches,
+    nl_cycles,
+    total_seconds,
+    approximator_power_mw,
+    approximator_energy_mj,
+    host_power_mw,
+    host_energy_mj,
+    energy_overhead_pct,
+});
+
 /// Power (mW) of `kind` on `config` at the host's clock/activity,
 /// from the calibrated 22 nm model.
 #[must_use]
@@ -113,9 +96,7 @@ pub fn approximator_power_mw(
         }
         // The SDP is the host's always-clocked native engine — no demand
         // gating, so activity 1 regardless of the attention duty cycle.
-        ApproximatorKind::NvdlaSdp => {
-            units::nvdla_sdp(tech, neurons).power_mw(tech, core, 1.0) * n
-        }
+        ApproximatorKind::NvdlaSdp => units::nvdla_sdp(tech, neurons).power_mw(tech, core, 1.0) * n,
     }
 }
 
@@ -141,7 +122,9 @@ pub fn evaluate(
     kind: ApproximatorKind,
 ) -> Result<InferenceReport, NovaError> {
     if seq_len == 0 {
-        return Err(NovaError::BatchShape("sequence length must be positive".into()));
+        return Err(NovaError::BatchShape(
+            "sequence length must be positive".into(),
+        ));
     }
     let tech = TechModel::cmos22();
     let ops = census(model, seq_len);
@@ -182,7 +165,9 @@ pub fn evaluate_census(
     let queries = ops.approximator_queries();
     let neurons = config.total_neurons() as u64;
     let batches = queries.div_ceil(neurons);
-    let nl_cycles = batches * 2; // lookup + MAC per batch, all units alike
+    // Per-batch latency of the serving hardware: 2 (lookup + MAC) for
+    // NOVA and the NN-LUT baselines, 3 for the SDP's deeper pipeline.
+    let nl_cycles = batches * kind.batch_latency_cycles();
     let freq_hz = config.frequency_mhz * 1e6;
     let nl_seconds = nl_cycles as f64 / freq_hz;
     let total_seconds = mm.seconds + nl_seconds;
@@ -206,7 +191,11 @@ pub fn evaluate_census(
         approximator_energy_mj: e_approx,
         host_power_mw: p_host,
         host_energy_mj: e_host,
-        energy_overhead_pct: if e_host > 0.0 { 100.0 * e_approx / e_host } else { 0.0 },
+        energy_overhead_pct: if e_host > 0.0 {
+            100.0 * e_approx / e_host
+        } else {
+            0.0
+        },
     })
 }
 
@@ -216,14 +205,14 @@ mod tests {
 
     #[test]
     fn nova_energy_beats_luts_everywhere() {
-        for cfg in [AcceleratorConfig::tpu_v3_like(), AcceleratorConfig::tpu_v4_like()] {
+        for cfg in [
+            AcceleratorConfig::tpu_v3_like(),
+            AcceleratorConfig::tpu_v4_like(),
+        ] {
             for model in BertConfig::fig8_benchmarks() {
-                let nova =
-                    evaluate(&cfg, &model, 1024, ApproximatorKind::NovaNoc).unwrap();
-                let pn =
-                    evaluate(&cfg, &model, 1024, ApproximatorKind::PerNeuronLut).unwrap();
-                let pc =
-                    evaluate(&cfg, &model, 1024, ApproximatorKind::PerCoreLut).unwrap();
+                let nova = evaluate(&cfg, &model, 1024, ApproximatorKind::NovaNoc).unwrap();
+                let pn = evaluate(&cfg, &model, 1024, ApproximatorKind::PerNeuronLut).unwrap();
+                let pc = evaluate(&cfg, &model, 1024, ApproximatorKind::PerCoreLut).unwrap();
                 assert!(
                     nova.approximator_energy_mj < pn.approximator_energy_mj,
                     "{} {}",
@@ -268,11 +257,29 @@ mod tests {
     #[test]
     fn queries_and_batches_consistent() {
         let cfg = AcceleratorConfig::react();
-        let r = evaluate(&cfg, &BertConfig::bert_tiny(), 128, ApproximatorKind::NovaNoc)
-            .unwrap();
+        let r = evaluate(
+            &cfg,
+            &BertConfig::bert_tiny(),
+            128,
+            ApproximatorKind::NovaNoc,
+        )
+        .unwrap();
         assert_eq!(r.nl_batches, r.nl_queries.div_ceil(2560));
         assert_eq!(r.nl_cycles, 2 * r.nl_batches);
         assert!(r.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn sdp_pays_its_deeper_pipeline() {
+        // The cost model must agree with the functional SdpVectorUnit:
+        // 3 cycles per batch vs 2 for NOVA/LUTs.
+        let cfg = AcceleratorConfig::jetson_xavier_nx();
+        let m = BertConfig::mobilebert_tiny();
+        let nova = evaluate(&cfg, &m, 128, ApproximatorKind::NovaNoc).unwrap();
+        let sdp = evaluate(&cfg, &m, 128, ApproximatorKind::NvdlaSdp).unwrap();
+        assert_eq!(nova.nl_cycles, 2 * nova.nl_batches);
+        assert_eq!(sdp.nl_cycles, 3 * sdp.nl_batches);
+        assert_eq!(sdp.nl_batches, nova.nl_batches);
     }
 
     #[test]

@@ -50,10 +50,11 @@ pub mod react_pipeline;
 pub mod timeline;
 pub mod vector_unit;
 
-pub use engine::{ApproximatorKind, InferenceReport};
+pub use engine::InferenceReport;
 pub use error::NovaError;
 pub use mapper::{Mapper, MappingPlan};
 pub use overlay::NovaOverlay;
 pub use vector_unit::{
-    LutVariant, LutVectorUnit, NovaVectorUnit, SegmentedNovaUnit, VectorUnit,
+    ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,
+    VectorUnit,
 };

@@ -120,7 +120,11 @@ impl Mapper {
             let table = QuantizedPwl::from_pwl(&pwl, self.format, self.rounding)?;
             let schedule = BroadcastSchedule::compile(&table, self.link)?;
             multiplier = multiplier.max(schedule.noc_clock_multiplier());
-            mappings.push(ActivationMapping { activation, table, schedule });
+            mappings.push(ActivationMapping {
+                activation,
+                table,
+                schedule,
+            });
         }
         let noc_clock_ghz = core_ghz * multiplier as f64;
         let reach = timing::max_hops_per_cycle(tech, noc_clock_ghz, pitch_mm);
@@ -144,8 +148,7 @@ impl Default for Mapper {
 mod tests {
     use super::*;
 
-    const ATTENTION_OPS: [Activation; 3] =
-        [Activation::Exp, Activation::Gelu, Activation::Recip];
+    const ATTENTION_OPS: [Activation; 3] = [Activation::Exp, Activation::Gelu, Activation::Recip];
 
     #[test]
     fn paper_plan_16bp_2x_clock() {
@@ -153,9 +156,15 @@ mod tests {
         let plan = Mapper::paper_default()
             .compile(&ATTENTION_OPS, &tech, 10, 0.24, 1.0)
             .unwrap();
-        assert_eq!(plan.noc_clock_multiplier, 2, "16 breakpoints → 2 flits → 2×");
+        assert_eq!(
+            plan.noc_clock_multiplier, 2,
+            "16 breakpoints → 2 flits → 2×"
+        );
         assert_eq!(plan.mappings.len(), 3);
-        assert!(plan.single_cycle_broadcast, "REACT's 10 routers fit the reach");
+        assert!(
+            plan.single_cycle_broadcast,
+            "REACT's 10 routers fit the reach"
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@ use nova_approx::QuantizedPwl;
 use nova_noc::{LineConfig, LinkConfig};
 use nova_synth::{timing, units, AreaPower, LutSharing, TechModel};
 
-use crate::{NovaError, NovaVectorUnit};
+use crate::vector_unit::{self, ApproximatorKind};
+use crate::{NovaError, NovaVectorUnit, VectorUnit};
 
 /// A NOVA NoC attached to a host accelerator: geometry from the Fig 5
 /// adapter, cost from the 22 nm model, function from the NoC simulator.
@@ -59,7 +60,8 @@ impl NovaOverlay {
         }
     }
 
-    /// Builds the functional vector unit for `table`.
+    /// Builds the functional NOVA vector unit for `table` (typed; the
+    /// NoC is what the overlay attaches).
     ///
     /// # Errors
     ///
@@ -70,7 +72,28 @@ impl NovaOverlay {
         table: &QuantizedPwl,
     ) -> Result<NovaVectorUnit, NovaError> {
         let schedule = nova_noc::BroadcastSchedule::compile(table, LinkConfig::paper())?;
-        NovaVectorUnit::new(self.line_config(tech, schedule.noc_clock_multiplier()), table)
+        NovaVectorUnit::new(
+            self.line_config(tech, schedule.noc_clock_multiplier()),
+            table,
+        )
+    }
+
+    /// Builds the functional unit for *any* approximator kind on this
+    /// host's line geometry, through the unified
+    /// [`vector_unit::build`] dispatch. (The Fig 5 attachment mirrors
+    /// the config's geometry, so this is exactly
+    /// [`vector_unit::build_for_host`] on the wrapped config.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates NoC construction errors.
+    pub fn unit(
+        &self,
+        tech: &TechModel,
+        table: &QuantizedPwl,
+        kind: ApproximatorKind,
+    ) -> Result<Box<dyn VectorUnit>, NovaError> {
+        vector_unit::build_for_host(kind, tech, &self.config, table)
     }
 
     /// Total NOVA NoC area/power on this host (all routers), at the
@@ -105,8 +128,11 @@ impl NovaOverlay {
         let n = self.attachment.routers as f64;
         AreaPower {
             area_mm2: unit.area_um2 * n * 1e-6,
-            power_mw: unit.power_mw(tech, self.config.frequency_ghz(), self.config.datapath_activity)
-                * n,
+            power_mw: unit.power_mw(
+                tech,
+                self.config.frequency_ghz(),
+                self.config.datapath_activity,
+            ) * n,
         }
     }
 
@@ -124,15 +150,15 @@ impl NovaOverlay {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Fixed, Q4_12, Rounding};
+    use nova_fixed::{Fixed, Rounding, Q4_12};
 
     fn tech() -> TechModel {
         TechModel::cmos22()
     }
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -140,7 +166,10 @@ mod tests {
     fn react_overhead_near_paper_9pct() {
         let overlay = NovaOverlay::new(&AcceleratorConfig::react());
         let pct = overlay.area_overhead_pct(&tech()).unwrap();
-        assert!((5.0..15.0).contains(&pct), "REACT overhead {pct}% (paper: 9.11%)");
+        assert!(
+            (5.0..15.0).contains(&pct),
+            "REACT overhead {pct}% (paper: 9.11%)"
+        );
     }
 
     #[test]
@@ -151,10 +180,26 @@ mod tests {
             let nova = overlay.area_power(&t);
             let pn = overlay.lut_area_power(&t, LutSharing::PerNeuron);
             let pc = overlay.lut_area_power(&t, LutSharing::PerCore);
-            assert!(nova.area_mm2 < pn.area_mm2, "{}: area vs per-neuron", cfg.name);
-            assert!(nova.area_mm2 < pc.area_mm2, "{}: area vs per-core", cfg.name);
-            assert!(nova.power_mw < pn.power_mw, "{}: power vs per-neuron", cfg.name);
-            assert!(nova.power_mw < pc.power_mw, "{}: power vs per-core", cfg.name);
+            assert!(
+                nova.area_mm2 < pn.area_mm2,
+                "{}: area vs per-neuron",
+                cfg.name
+            );
+            assert!(
+                nova.area_mm2 < pc.area_mm2,
+                "{}: area vs per-core",
+                cfg.name
+            );
+            assert!(
+                nova.power_mw < pn.power_mw,
+                "{}: power vs per-neuron",
+                cfg.name
+            );
+            assert!(
+                nova.power_mw < pc.power_mw,
+                "{}: power vs per-core",
+                cfg.name
+            );
         }
     }
 

@@ -80,7 +80,10 @@ impl ReactNovaPipeline {
             noc_cycles: outcome.stats.noc_cycles,
             total_cycles: ws_cycles + outcome.stats.core_cycle_latency,
         };
-        Ok((outcome.outputs.into_iter().next().expect("one router"), stats))
+        Ok((
+            outcome.outputs.into_iter().next().expect("one router"),
+            stats,
+        ))
     }
 
     /// The activation table in use.
@@ -94,7 +97,7 @@ impl ReactNovaPipeline {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table(a: Activation) -> QuantizedPwl {
         let pwl = fit::fit_activation(a, 16, fit::BreakpointStrategy::GreedyRefine).unwrap();

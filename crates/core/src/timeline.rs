@@ -85,7 +85,7 @@ pub fn layer_timeline(
     };
     let nl = |label: &str, queries: u64| LayerPhase {
         label: label.to_string(),
-        cycles: queries.div_ceil(neurons) * 2,
+        cycles: queries.div_ceil(neurons) * kind.batch_latency_cycles(),
         kind: PhaseKind::NonLinear { queries },
     };
     let switch = |label: &str| LayerPhase {
@@ -100,14 +100,20 @@ pub fn layer_timeline(
     phases.push(mm("K projection", MatmulDims { m: s, k: h, n: h }));
     phases.push(mm("V projection", MatmulDims { m: s, k: h, n: h }));
     for head in 0..a {
-        phases.push(mm(&format!("scores head {head}"), MatmulDims { m: s, k: d, n: s }));
+        phases.push(mm(
+            &format!("scores head {head}"),
+            MatmulDims { m: s, k: d, n: s },
+        ));
     }
     phases.push(switch("load exp table"));
     phases.push(nl("softmax exp", (a * s * s) as u64));
     phases.push(switch("load recip table"));
     phases.push(nl("softmax normalize (recip)", (a * s) as u64));
     for head in 0..a {
-        phases.push(mm(&format!("context head {head}"), MatmulDims { m: s, k: s, n: d }));
+        phases.push(mm(
+            &format!("context head {head}"),
+            MatmulDims { m: s, k: s, n: d },
+        ));
     }
     phases.push(mm("output projection", MatmulDims { m: s, k: h, n: h }));
     phases.push(switch("load rsqrt table"));
@@ -246,7 +252,10 @@ mod tests {
             .filter(|p| p.label == "GELU")
             .map(|p| p.cycles)
             .sum();
-        assert!(exp_cycles > gelu_cycles, "A·S² exp beats S·F GELU at S=1024");
+        assert!(
+            exp_cycles > gelu_cycles,
+            "A·S² exp beats S·F GELU at S=1024"
+        );
     }
 
     #[test]

@@ -6,12 +6,228 @@
 //! lookups over `(routers × neurons)` grids with bit-identical results —
 //! while each implementation reports its own latency and activity.
 
+use nova_accel::config::AcceleratorConfig;
 use nova_approx::QuantizedPwl;
 use nova_fixed::Fixed;
-use nova_lut::{PerCoreLut, PerNeuronLut};
-use nova_noc::{multiline::SegmentedNoc, sim::BroadcastSim, LineConfig};
+use nova_lut::{PerCoreLut, PerNeuronLut, SdpUnit};
+use nova_noc::{multiline::SegmentedNoc, sim::BroadcastSim, LineConfig, LinkConfig};
+use nova_synth::{timing, TechModel};
 
 use crate::NovaError;
+
+/// Per-batch lookup latency in accelerator cycles shared by NOVA and
+/// the NN-LUT baselines: one cycle for the lookup (comparator address /
+/// bank read) plus one for the MAC (paper §V.B: "NOVA's latency is
+/// identical to that of the baseline"). The NVDLA SDP's pipeline is one
+/// stage deeper — see [`ApproximatorKind::batch_latency_cycles`].
+pub const BATCH_LATENCY_CYCLES: u64 = 2;
+
+/// Which approximator hardware serves the non-linear queries.
+///
+/// This enum is the workspace's single dispatch axis: [`build`] /
+/// [`line_for_kind`] turn a kind into a functional [`VectorUnit`],
+/// [`ApproximatorKind::batch_latency_cycles`] gives its timing, and the
+/// engine's cost models key their power/energy formulas off the same
+/// variants — adding a new approximator means extending this enum and
+/// the `match`es in those few places, all discoverable from here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApproximatorKind {
+    /// The NOVA NoC overlay.
+    NovaNoc,
+    /// Per-neuron LUT vector unit.
+    PerNeuronLut,
+    /// Per-core LUT vector unit.
+    PerCoreLut,
+    /// NVDLA's native SDP (Jetson host only).
+    NvdlaSdp,
+}
+
+nova_serde::impl_serde_enum!(ApproximatorKind {
+    NovaNoc,
+    PerNeuronLut,
+    PerCoreLut,
+    NvdlaSdp
+});
+
+impl ApproximatorKind {
+    /// Table III row label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ApproximatorKind::NovaNoc => "NOVA NoC",
+            ApproximatorKind::PerNeuronLut => "naive LUT (per-neuron LUT)",
+            ApproximatorKind::PerCoreLut => "naive LUT (per-core LUT)",
+            ApproximatorKind::NvdlaSdp => "NVDLA SDP",
+        }
+    }
+
+    /// Every variant, in Table III order.
+    #[must_use]
+    pub fn all() -> [ApproximatorKind; 4] {
+        [
+            ApproximatorKind::NovaNoc,
+            ApproximatorKind::PerNeuronLut,
+            ApproximatorKind::PerCoreLut,
+            ApproximatorKind::NvdlaSdp,
+        ]
+    }
+
+    /// The three Fig 8 contenders.
+    #[must_use]
+    pub fn fig8_contenders() -> [ApproximatorKind; 3] {
+        [
+            ApproximatorKind::NovaNoc,
+            ApproximatorKind::PerNeuronLut,
+            ApproximatorKind::PerCoreLut,
+        ]
+    }
+
+    /// Per-batch lookup latency of this kind's hardware, in accelerator
+    /// cycles: NOVA and the NN-LUT baselines share the 2-cycle
+    /// lookup+MAC path; the SDP's datapath is one pipeline stage deeper
+    /// (read, interpolate, scale).
+    #[must_use]
+    pub fn batch_latency_cycles(self) -> u64 {
+        match self {
+            ApproximatorKind::NovaNoc
+            | ApproximatorKind::PerNeuronLut
+            | ApproximatorKind::PerCoreLut => BATCH_LATENCY_CYCLES,
+            ApproximatorKind::NvdlaSdp => SdpUnit::PIPELINE_STAGES,
+        }
+    }
+}
+
+/// The host-side parameters the kind → geometry dispatch needs: how
+/// many vector-unit sites the host exposes, how they are spaced, and
+/// the clock the NoC would be programmed against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostGeometry {
+    /// Vector-unit sites (NOVA routers / LUT cores) on the host.
+    pub routers: usize,
+    /// Output neurons served per site.
+    pub neurons_per_router: usize,
+    /// Host core clock (GHz).
+    pub core_ghz: f64,
+    /// Physical spacing between adjacent sites (mm).
+    pub pitch_mm: f64,
+}
+
+impl HostGeometry {
+    /// Reads the geometry off a Table II configuration.
+    #[must_use]
+    pub fn of(config: &AcceleratorConfig) -> Self {
+        Self {
+            routers: config.nova_routers,
+            neurons_per_router: config.neurons_per_router,
+            core_ghz: config.frequency_ghz(),
+            pitch_mm: config.router_pitch_mm,
+        }
+    }
+}
+
+/// Derives the line geometry `kind` needs on `host` — the one place the
+/// kind → geometry dispatch lives.
+///
+/// Only the NOVA NoC compiles a broadcast schedule (to program the NoC
+/// clock and derive the SMART reach). LUT/SDP units have no line to
+/// cover, so they get a trivially covering reach and tables too large
+/// for the link's tag space still build on LUT hardware.
+///
+/// # Errors
+///
+/// Propagates broadcast-schedule compilation errors (NOVA kind only).
+pub fn line_for_kind(
+    kind: ApproximatorKind,
+    tech: &TechModel,
+    table: &QuantizedPwl,
+    link: LinkConfig,
+    host: HostGeometry,
+) -> Result<LineConfig, NovaError> {
+    let reach = match kind {
+        ApproximatorKind::NovaNoc => {
+            let schedule = nova_noc::BroadcastSchedule::compile(table, link)?;
+            let noc_ghz = host.core_ghz * schedule.noc_clock_multiplier() as f64;
+            timing::max_hops_per_cycle(tech, noc_ghz, host.pitch_mm).max(1)
+        }
+        ApproximatorKind::PerNeuronLut
+        | ApproximatorKind::PerCoreLut
+        | ApproximatorKind::NvdlaSdp => host.routers.max(1),
+    };
+    Ok(LineConfig {
+        routers: host.routers,
+        neurons_per_router: host.neurons_per_router,
+        link,
+        max_hops_per_cycle: reach,
+    })
+}
+
+/// Builds the functional vector unit for `kind` on an explicit line
+/// geometry — the workspace's one construction point for approximator
+/// hardware.
+///
+/// The NOVA arm picks the plain line when the SMART reach covers it in
+/// one cycle and the segmented line otherwise, so callers get the
+/// paper's latency behavior without re-implementing that choice.
+///
+/// # Errors
+///
+/// Propagates NoC configuration/schedule errors.
+pub fn build(
+    kind: ApproximatorKind,
+    config: LineConfig,
+    table: &QuantizedPwl,
+) -> Result<Box<dyn VectorUnit>, NovaError> {
+    Ok(match kind {
+        ApproximatorKind::NovaNoc => {
+            if config.max_hops_per_cycle >= config.routers {
+                Box::new(NovaVectorUnit::new(config, table)?)
+            } else {
+                Box::new(SegmentedNovaUnit::new(config, table)?)
+            }
+        }
+        ApproximatorKind::PerNeuronLut => Box::new(LutVectorUnit::new(
+            table,
+            config.routers,
+            config.neurons_per_router,
+            LutVariant::PerNeuron,
+        )),
+        ApproximatorKind::PerCoreLut => Box::new(LutVectorUnit::new(
+            table,
+            config.routers,
+            config.neurons_per_router,
+            LutVariant::PerCore,
+        )),
+        ApproximatorKind::NvdlaSdp => Box::new(SdpVectorUnit::new(
+            table,
+            config.routers,
+            config.neurons_per_router,
+        )),
+    })
+}
+
+/// Builds the functional vector unit for `kind` on a Table II host: the
+/// line geometry (router count, neurons, SMART reach at the programmed
+/// NoC clock) is derived from `config` and `tech` exactly as the
+/// overlay does it.
+///
+/// # Errors
+///
+/// Propagates NoC configuration/schedule errors.
+pub fn build_for_host(
+    kind: ApproximatorKind,
+    tech: &TechModel,
+    config: &AcceleratorConfig,
+    table: &QuantizedPwl,
+) -> Result<Box<dyn VectorUnit>, NovaError> {
+    let line = line_for_kind(
+        kind,
+        tech,
+        table,
+        LinkConfig::paper(),
+        HostGeometry::of(config),
+    )?;
+    build(kind, line, table)
+}
 
 /// A batch-lookup vector unit: the functional contract shared by NOVA and
 /// the LUT baselines.
@@ -164,18 +380,30 @@ impl LutVectorUnit {
     /// Panics if `routers == 0` or `neurons == 0`.
     #[must_use]
     pub fn new(table: &QuantizedPwl, routers: usize, neurons: usize, variant: LutVariant) -> Self {
-        assert!(routers > 0 && neurons > 0, "need at least one core and neuron");
+        assert!(
+            routers > 0 && neurons > 0,
+            "need at least one core and neuron"
+        );
         let (per_neuron, per_core) = match variant {
             LutVariant::PerNeuron => (
-                (0..routers).map(|_| PerNeuronLut::new(table, neurons)).collect(),
+                (0..routers)
+                    .map(|_| PerNeuronLut::new(table, neurons))
+                    .collect(),
                 Vec::new(),
             ),
             LutVariant::PerCore => (
                 Vec::new(),
-                (0..routers).map(|_| PerCoreLut::new(table, neurons)).collect(),
+                (0..routers)
+                    .map(|_| PerCoreLut::new(table, neurons))
+                    .collect(),
             ),
         };
-        Self { variant, per_neuron, per_core, lookups: 0 }
+        Self {
+            variant,
+            per_neuron,
+            per_core,
+            lookups: 0,
+        }
     }
 }
 
@@ -213,7 +441,67 @@ impl VectorUnit for LutVectorUnit {
     }
 
     fn latency_cycles(&self) -> u64 {
-        2 // lookup + MAC (paper §V.B: same latency as NOVA)
+        BATCH_LATENCY_CYCLES // lookup + MAC (paper §V.B: same latency as NOVA)
+    }
+
+    fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+/// NVDLA's native SDP as a vector unit: one single-throughput SDP engine
+/// per core (router). Functionally identical to the table like every
+/// other unit; the cost difference lives in the synthesis model.
+#[derive(Debug, Clone)]
+pub struct SdpVectorUnit {
+    cores: Vec<SdpUnit>,
+    lookups: u64,
+}
+
+impl SdpVectorUnit {
+    /// Builds `routers` SDP engines of `neurons` lanes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0` or `neurons == 0`.
+    #[must_use]
+    pub fn new(table: &QuantizedPwl, routers: usize, neurons: usize) -> Self {
+        assert!(
+            routers > 0 && neurons > 0,
+            "need at least one core and neuron"
+        );
+        Self {
+            cores: (0..routers).map(|_| SdpUnit::new(table, neurons)).collect(),
+            lookups: 0,
+        }
+    }
+}
+
+impl VectorUnit for SdpVectorUnit {
+    fn name(&self) -> &str {
+        "NVDLA SDP"
+    }
+
+    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        if inputs.len() != self.cores.len() {
+            return Err(NovaError::BatchShape(format!(
+                "{} rows for {} cores",
+                inputs.len(),
+                self.cores.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(inputs.len());
+        for (core, xs) in self.cores.iter_mut().zip(inputs) {
+            out.push(core.lookup_batch(xs)?);
+        }
+        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
+        Ok(out)
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        // The SDP datapath is one pipeline stage deeper than the
+        // 2-cycle NN-LUT/NOVA path (read, interpolate, scale).
+        SdpUnit::PIPELINE_STAGES
     }
 
     fn lookups(&self) -> u64 {
@@ -225,11 +513,11 @@ impl VectorUnit for LutVectorUnit {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Gelu, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -314,6 +602,97 @@ mod tests {
         assert_eq!(seg.segments(), 2);
         assert!(seg.latency_cycles() < plain.latency_cycles());
         assert_eq!(seg.latency_cycles(), 2);
+    }
+
+    #[test]
+    fn factory_covers_every_kind_and_all_agree() {
+        let t = table();
+        let inputs = batch(3, 8);
+        let config = LineConfig::paper_default(3, 8);
+        let expect: Vec<Vec<Fixed>> = inputs
+            .iter()
+            .map(|row| row.iter().map(|&x| t.eval(x)).collect())
+            .collect();
+        for kind in ApproximatorKind::all() {
+            let mut unit = build(kind, config, &t).unwrap();
+            assert_eq!(
+                unit.lookup_batch(&inputs).unwrap(),
+                expect,
+                "{} diverges from the table",
+                unit.name()
+            );
+            assert_eq!(unit.lookups(), 24);
+        }
+    }
+
+    #[test]
+    fn factory_segments_nova_beyond_reach() {
+        let t = table();
+        let mut config = LineConfig::paper_default(8, 4);
+        config.max_hops_per_cycle = 5;
+        let mut unit = build(ApproximatorKind::NovaNoc, config, &t).unwrap();
+        unit.lookup_batch(&batch(8, 4)).unwrap();
+        assert_eq!(unit.name(), "NOVA NoC (segmented)");
+        assert_eq!(unit.latency_cycles(), BATCH_LATENCY_CYCLES);
+    }
+
+    #[test]
+    fn host_factory_matches_line_factory() {
+        let t = table();
+        let cfg = AcceleratorConfig::jetson_xavier_nx();
+        let tech = TechModel::cmos22();
+        let inputs = batch(cfg.nova_routers, cfg.neurons_per_router);
+        for kind in ApproximatorKind::all() {
+            let mut unit = build_for_host(kind, &tech, &cfg, &t).unwrap();
+            let out = unit.lookup_batch(&inputs).unwrap();
+            for (row_out, row_in) in out.iter().zip(&inputs) {
+                for (&o, &x) in row_out.iter().zip(row_in) {
+                    assert_eq!(o, t.eval(x), "{}", kind.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sdp_latency_reflects_deeper_pipeline() {
+        let t = table();
+        let mut unit = build(
+            ApproximatorKind::NvdlaSdp,
+            LineConfig::paper_default(2, 8),
+            &t,
+        )
+        .unwrap();
+        unit.lookup_batch(&batch(2, 8)).unwrap();
+        // Read, interpolate, scale: one stage deeper than NN-LUT/NOVA.
+        assert_eq!(unit.latency_cycles(), 3);
+        assert!(unit.latency_cycles() > BATCH_LATENCY_CYCLES);
+    }
+
+    #[test]
+    fn oversized_tables_still_build_on_lut_hardware() {
+        // 32 segments need 4 flits — beyond the paper link's 1-bit tag
+        // space — so the NoC must refuse, but LUT/SDP hardware has no
+        // broadcast line and must keep working.
+        let pwl =
+            fit::fit_activation(Activation::Gelu, 32, fit::BreakpointStrategy::Uniform).unwrap();
+        let t = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let cfg = AcceleratorConfig::react();
+        let tech = TechModel::cmos22();
+        for kind in [
+            ApproximatorKind::PerNeuronLut,
+            ApproximatorKind::PerCoreLut,
+            ApproximatorKind::NvdlaSdp,
+        ] {
+            let mut unit = build_for_host(kind, &tech, &cfg, &t)
+                .unwrap_or_else(|e| panic!("{} must build: {e}", kind.label()));
+            let inputs = batch(cfg.nova_routers, cfg.neurons_per_router);
+            let out = unit.lookup_batch(&inputs).unwrap();
+            assert_eq!(out[0][0], t.eval(inputs[0][0]));
+        }
+        assert!(
+            build_for_host(ApproximatorKind::NovaNoc, &tech, &cfg, &t).is_err(),
+            "the NoC link's tag space cannot address 4 flits"
+        );
     }
 
     #[test]

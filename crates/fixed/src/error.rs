@@ -32,7 +32,10 @@ pub enum FixedError {
 impl fmt::Display for FixedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FixedError::InvalidFormat { total_bits, frac_bits } => write!(
+            FixedError::InvalidFormat {
+                total_bits,
+                frac_bits,
+            } => write!(
                 f,
                 "invalid Q-format: {total_bits} total bits with {frac_bits} fraction bits"
             ),

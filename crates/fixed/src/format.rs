@@ -55,9 +55,15 @@ impl QFormat {
     /// remain).
     pub fn new(total_bits: u8, frac_bits: u8) -> Result<Self, FixedError> {
         if total_bits == 0 || total_bits > 32 || frac_bits >= total_bits {
-            return Err(FixedError::InvalidFormat { total_bits, frac_bits });
+            return Err(FixedError::InvalidFormat {
+                total_bits,
+                frac_bits,
+            });
         }
-        Ok(Self { total_bits, frac_bits })
+        Ok(Self {
+            total_bits,
+            frac_bits,
+        })
     }
 
     /// `const` constructor for the crate's predefined formats.
@@ -67,7 +73,10 @@ impl QFormat {
     /// Panics at compile time (const evaluation) on an invalid format.
     pub(crate) const fn const_new(total_bits: u8, frac_bits: u8) -> Self {
         assert!(total_bits > 0 && total_bits <= 32 && frac_bits < total_bits);
-        Self { total_bits, frac_bits }
+        Self {
+            total_bits,
+            frac_bits,
+        }
     }
 
     /// Word size in bits.

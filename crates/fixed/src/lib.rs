@@ -32,6 +32,7 @@
 mod error;
 mod format;
 mod mac;
+pub mod rng;
 mod value;
 mod word;
 

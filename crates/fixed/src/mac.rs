@@ -38,7 +38,11 @@ impl Mac {
     /// Creates a cleared MAC operating on words of `format`.
     #[must_use]
     pub fn new(format: QFormat) -> Self {
-        Self { format, acc: 0, ops: 0 }
+        Self {
+            format,
+            acc: 0,
+            ops: 0,
+        }
     }
 
     /// The word format of this MAC's operands and output.
@@ -99,7 +103,10 @@ impl Mac {
         if v.format() == self.format {
             Ok(())
         } else {
-            Err(FixedError::FormatMismatch { lhs: self.format, rhs: v.format() })
+            Err(FixedError::FormatMismatch {
+                lhs: self.format,
+                rhs: v.format(),
+            })
         }
     }
 }

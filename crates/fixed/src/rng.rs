@@ -1,0 +1,196 @@
+//! A tiny deterministic PRNG for seeded weights, synthetic workloads and
+//! property tests.
+//!
+//! The dependency policy keeps the workspace free of external crates, so
+//! this module stands in for `rand`: a [`StdRng`] with the same
+//! seed-and-sample surface the workspace uses (`seed_from_u64`,
+//! `gen_range`, `next_u64`). The generator is splitmix64-seeded
+//! xoshiro256**, which passes BigCrush and is more than adequate for
+//! reproducible test stimulus — it is *not* a cryptographic RNG.
+//!
+//! It lives in `nova-fixed` because this is the root crate of the
+//! workspace DAG, so every layer (approximators, workloads, benches,
+//! examples) can share one generator without a dedicated crate.
+
+use std::ops::Range;
+
+/// Deterministic xoshiro256** generator, seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Builds a generator whose whole stream is determined by `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let x = (self.next_u64() >> 11) as f64;
+        x / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample from a half-open range, like `rand`'s `gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws one uniform sample from `range`.
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // `start + u*span` can round up to exactly `end` for u close to
+        // 1 on narrow ranges; reject those draws to keep the half-open
+        // contract. Terminates: u = 0 always yields `start < end`.
+        loop {
+            let v = range.start + rng.gen_f64() * span;
+            if v < range.end {
+                return v;
+            }
+        }
+    }
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                // Debiased via rejection sampling on the top of the range.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let x = rng.next_u64();
+                    if x < zone {
+                        return range.start + (x % span) as $t;
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uint!(u64, usize, u32);
+
+impl SampleUniform for i64 {
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let x = rng.next_u64();
+            if x < zone {
+                #[allow(clippy::cast_possible_wrap)]
+                return range.start.wrapping_add((x % span) as i64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_range_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5..3.5);
+            assert!((-2.5..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_narrow_range_stays_half_open() {
+        // On a one-ULP-wide range, rounding would push draws near 1.0
+        // to exactly `end` without the rejection step.
+        let mut rng = StdRng::seed_from_u64(13);
+        let (lo, hi) = (1.0, 1.0 + f64::EPSILON);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(lo..hi);
+            assert!(x >= lo && x < hi, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn usize_range_hits_all_buckets() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn mean_is_roughly_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

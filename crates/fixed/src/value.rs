@@ -45,13 +45,19 @@ impl Fixed {
     /// One in the given format (saturated if 1.0 is out of range).
     #[must_use]
     pub fn one(format: QFormat) -> Self {
-        Self { raw: format.saturate_raw(format.scale()), format }
+        Self {
+            raw: format.saturate_raw(format.scale()),
+            format,
+        }
     }
 
     /// Quantizes `value` into `format`, saturating out-of-range inputs.
     #[must_use]
     pub fn from_f64(value: f64, format: QFormat, rounding: Rounding) -> Self {
-        Self { raw: format.quantize(value, rounding), format }
+        Self {
+            raw: format.quantize(value, rounding),
+            format,
+        }
     }
 
     /// Constructs from a raw word.
@@ -71,7 +77,10 @@ impl Fixed {
     /// Constructs from a raw word, saturating instead of failing.
     #[must_use]
     pub fn from_raw_saturating(raw: i64, format: QFormat) -> Self {
-        Self { raw: format.saturate_raw(raw), format }
+        Self {
+            raw: format.saturate_raw(raw),
+            format,
+        }
     }
 
     /// The raw two's-complement word.
@@ -203,7 +212,10 @@ impl Fixed {
         if self.format == rhs.format {
             Ok(())
         } else {
-            Err(FixedError::FormatMismatch { lhs: self.format, rhs: rhs.format })
+            Err(FixedError::FormatMismatch {
+                lhs: self.format,
+                rhs: rhs.format,
+            })
         }
     }
 }

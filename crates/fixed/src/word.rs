@@ -99,7 +99,7 @@ impl From<Word16> for u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Q4_12, Rounding};
+    use crate::{Rounding, Q4_12};
 
     #[test]
     fn roundtrip_all_sign_cases() {

@@ -1,94 +1,148 @@
 //! Property-based tests for the fixed-point substrate.
+//!
+//! Checked over deterministic pseudo-random stimulus from the workspace
+//! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
+//! dependency policy.
 
+use nova_fixed::rng::StdRng;
 use nova_fixed::{Fixed, QFormat, Rounding, Word16, Q4_12, Q6_10, Q8_8};
-use proptest::prelude::*;
 
-fn formats() -> impl Strategy<Value = QFormat> {
-    prop_oneof![Just(Q4_12), Just(Q6_10), Just(Q8_8)]
+const FORMATS: [QFormat; 3] = [Q4_12, Q6_10, Q8_8];
+
+fn pick_format(rng: &mut StdRng) -> QFormat {
+    FORMATS[rng.gen_range(0..FORMATS.len())]
 }
 
-fn raw_in(format: QFormat) -> impl Strategy<Value = i64> {
-    format.min_raw()..=format.max_raw()
+fn raw_in(rng: &mut StdRng, format: QFormat) -> i64 {
+    rng.gen_range(format.min_raw()..format.max_raw() + 1)
 }
 
-proptest! {
-    /// Quantize → to_f64 never moves by more than half a resolution step
-    /// (for in-range inputs).
-    #[test]
-    fn quantization_error_bounded(v in -7.9f64..7.9, ) {
+/// Quantize → to_f64 never moves by more than half a resolution step
+/// (for in-range inputs).
+#[test]
+fn quantization_error_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xF001);
+    for _ in 0..512 {
+        let v = rng.gen_range(-7.9..7.9);
         let f = Fixed::from_f64(v, Q4_12, Rounding::NearestEven);
-        prop_assert!((f.to_f64() - v).abs() <= Q4_12.resolution() / 2.0 + 1e-12);
+        assert!(
+            (f.to_f64() - v).abs() <= Q4_12.resolution() / 2.0 + 1e-12,
+            "v={v}"
+        );
     }
+}
 
-    /// Word16 encode/decode is lossless for any 16-bit format.
-    #[test]
-    fn word16_roundtrip(fmt in formats(), raw in any::<i16>()) {
-        let f = Fixed::from_raw(raw as i64, fmt).unwrap();
+/// Word16 encode/decode is lossless for any 16-bit format.
+#[test]
+fn word16_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xF002);
+    for _ in 0..512 {
+        let fmt = pick_format(&mut rng);
+        let raw = rng.gen_range(i64::from(i16::MIN)..i64::from(i16::MAX) + 1);
+        let f = Fixed::from_raw(raw, fmt).unwrap();
         let w = Word16::from_fixed(f).unwrap();
-        prop_assert_eq!(w.to_fixed(fmt), f);
+        assert_eq!(w.to_fixed(fmt), f);
     }
+}
 
-    /// Saturating add is commutative and never leaves the word range.
-    #[test]
-    fn add_commutative_and_in_range(a in raw_in(Q4_12), b in raw_in(Q4_12)) {
+/// Saturating add is commutative and never leaves the word range.
+#[test]
+fn add_commutative_and_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xF003);
+    for _ in 0..512 {
+        let a = raw_in(&mut rng, Q4_12);
+        let b = raw_in(&mut rng, Q4_12);
         let fa = Fixed::from_raw(a, Q4_12).unwrap();
         let fb = Fixed::from_raw(b, Q4_12).unwrap();
         let s1 = fa.saturating_add(fb).unwrap();
         let s2 = fb.saturating_add(fa).unwrap();
-        prop_assert_eq!(s1, s2);
-        prop_assert!(Q4_12.contains_raw(s1.raw()));
+        assert_eq!(s1, s2);
+        assert!(Q4_12.contains_raw(s1.raw()));
     }
+}
 
-    /// Multiplication result is within one resolution step of the real
-    /// product (when the product is in range).
-    #[test]
-    fn mul_close_to_real(a in -2.8f64..2.8, b in -2.8f64..2.8) {
+/// Multiplication result is within one resolution step of the real
+/// product (when the product is in range).
+#[test]
+fn mul_close_to_real() {
+    let mut rng = StdRng::seed_from_u64(0xF004);
+    for _ in 0..512 {
+        let a = rng.gen_range(-2.8..2.8);
+        let b = rng.gen_range(-2.8..2.8);
         let fa = Fixed::from_f64(a, Q4_12, Rounding::NearestEven);
         let fb = Fixed::from_f64(b, Q4_12, Rounding::NearestEven);
         let p = fa.saturating_mul(fb, Rounding::NearestEven).unwrap();
         let real = fa.to_f64() * fb.to_f64();
-        prop_assert!((p.to_f64() - real).abs() <= Q4_12.resolution());
+        assert!(
+            (p.to_f64() - real).abs() <= Q4_12.resolution(),
+            "a={a} b={b}"
+        );
     }
+}
 
-    /// mul_add equals mul-then-add up to one extra rounding step.
-    #[test]
-    fn mul_add_vs_two_step(a in -2.0f64..2.0, x in -2.0f64..2.0, b in -3.0f64..3.0) {
+/// mul_add equals mul-then-add up to one extra rounding step.
+#[test]
+fn mul_add_vs_two_step() {
+    let mut rng = StdRng::seed_from_u64(0xF005);
+    for _ in 0..512 {
+        let a = rng.gen_range(-2.0..2.0);
+        let x = rng.gen_range(-2.0..2.0);
+        let b = rng.gen_range(-3.0..3.0);
         let fa = Fixed::from_f64(a, Q4_12, Rounding::NearestEven);
         let fx = Fixed::from_f64(x, Q4_12, Rounding::NearestEven);
         let fb = Fixed::from_f64(b, Q4_12, Rounding::NearestEven);
         let fused = fa.mul_add(fx, fb, Rounding::NearestEven).unwrap();
         let two_step = fa
-            .saturating_mul(fx, Rounding::NearestEven).unwrap()
-            .saturating_add(fb).unwrap();
+            .saturating_mul(fx, Rounding::NearestEven)
+            .unwrap()
+            .saturating_add(fb)
+            .unwrap();
         let delta = (fused.to_f64() - two_step.to_f64()).abs();
-        prop_assert!(delta <= Q4_12.resolution());
+        assert!(delta <= Q4_12.resolution(), "a={a} x={x} b={b}");
     }
+}
 
-    /// Negation is an involution except at the most negative word.
-    #[test]
-    fn neg_involution(raw in raw_in(Q4_12)) {
-        prop_assume!(raw != Q4_12.min_raw());
+/// Negation is an involution except at the most negative word.
+#[test]
+fn neg_involution() {
+    let mut rng = StdRng::seed_from_u64(0xF006);
+    for _ in 0..512 {
+        let raw = raw_in(&mut rng, Q4_12);
+        if raw == Q4_12.min_raw() {
+            continue;
+        }
         let f = Fixed::from_raw(raw, Q4_12).unwrap();
-        prop_assert_eq!(f.saturating_neg().saturating_neg(), f);
+        assert_eq!(f.saturating_neg().saturating_neg(), f);
     }
+}
 
-    /// Ordering of fixed values matches ordering of their real values.
-    #[test]
-    fn compare_consistent_with_f64(a in raw_in(Q6_10), b in raw_in(Q6_10)) {
+/// Ordering of fixed values matches ordering of their real values.
+#[test]
+fn compare_consistent_with_f64() {
+    let mut rng = StdRng::seed_from_u64(0xF007);
+    for _ in 0..512 {
+        let a = raw_in(&mut rng, Q6_10);
+        let b = raw_in(&mut rng, Q6_10);
         let fa = Fixed::from_raw(a, Q6_10).unwrap();
         let fb = Fixed::from_raw(b, Q6_10).unwrap();
         let ord = fa.compare(fb).unwrap();
-        prop_assert_eq!(ord, fa.to_f64().partial_cmp(&fb.to_f64()).unwrap());
+        assert_eq!(ord, fa.to_f64().partial_cmp(&fb.to_f64()).unwrap());
     }
+}
 
-    /// Converting to a wider-range format and back is lossless when the
-    /// resolutions allow it (Q4.12 -> Q6.10 loses 2 bits; Q8.8 -> Q6.10 is
-    /// exact in value for in-range inputs).
-    #[test]
-    fn convert_widens_range(raw in raw_in(Q8_8)) {
+/// Converting to a wider-range format and back is lossless when the
+/// resolutions allow it (Q4.12 -> Q6.10 loses 2 bits; Q8.8 -> Q6.10 is
+/// exact in value for in-range inputs).
+#[test]
+fn convert_widens_range() {
+    let mut rng = StdRng::seed_from_u64(0xF008);
+    for _ in 0..512 {
+        let raw = raw_in(&mut rng, Q8_8);
         let f = Fixed::from_raw(raw, Q8_8).unwrap();
-        prop_assume!(f.to_f64() >= Q6_10.min_value() && f.to_f64() <= Q6_10.max_value());
+        if f.to_f64() < Q6_10.min_value() || f.to_f64() > Q6_10.max_value() {
+            continue;
+        }
         let g = f.convert(Q6_10, Rounding::NearestEven);
-        prop_assert_eq!(g.to_f64(), f.to_f64());
+        assert_eq!(g.to_f64(), f.to_f64());
     }
 }

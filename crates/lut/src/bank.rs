@@ -22,7 +22,11 @@ impl LutBank {
     #[must_use]
     pub fn from_table(table: &QuantizedPwl, read_ports: usize) -> Self {
         assert!(read_ports > 0, "a bank needs at least one read port");
-        Self { entries: table.pairs().to_vec(), read_ports, reads: 0 }
+        Self {
+            entries: table.pairs().to_vec(),
+            read_ports,
+            reads: 0,
+        }
     }
 
     /// Entries stored (= table segments).
@@ -53,7 +57,10 @@ impl LutBank {
         self.entries
             .get(address)
             .copied()
-            .ok_or(LutError::AddressOutOfRange { address, entries: self.entries.len() })
+            .ok_or(LutError::AddressOutOfRange {
+                address,
+                entries: self.entries.len(),
+            })
     }
 
     /// Cycles needed to serve `requests` simultaneous reads: reads beyond
@@ -69,11 +76,11 @@ impl LutBank {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Tanh, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Tanh, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -94,7 +101,10 @@ mod tests {
         let mut b = LutBank::from_table(&t, 1);
         assert!(matches!(
             b.read(16),
-            Err(LutError::AddressOutOfRange { address: 16, entries: 16 })
+            Err(LutError::AddressOutOfRange {
+                address: 16,
+                entries: 16
+            })
         ));
     }
 

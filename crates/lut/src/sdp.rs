@@ -30,7 +30,10 @@ impl SdpUnit {
     /// Panics if `neurons == 0`.
     #[must_use]
     pub fn new(table: &QuantizedPwl, neurons: usize) -> Self {
-        Self { inner: PerCoreLut::new(table, neurons), extra_cycles: 0 }
+        Self {
+            inner: PerCoreLut::new(table, neurons),
+            extra_cycles: 0,
+        }
     }
 
     /// Lanes served.
@@ -64,11 +67,11 @@ impl SdpUnit {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Relu, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Relu, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 

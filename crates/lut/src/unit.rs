@@ -41,7 +41,9 @@ impl PerNeuronLut {
         assert!(neurons > 0, "a vector unit serves at least one neuron");
         Self {
             table: table.clone(),
-            banks: (0..neurons).map(|_| LutBank::from_table(table, 1)).collect(),
+            banks: (0..neurons)
+                .map(|_| LutBank::from_table(table, 1))
+                .collect(),
             stats: LutStats::default(),
         }
     }
@@ -165,7 +167,10 @@ impl PerCoreLut {
 
 fn validate(table: &QuantizedPwl, neurons: usize, xs: &[Fixed]) -> Result<(), LutError> {
     if xs.len() != neurons {
-        return Err(LutError::BatchShape { neurons, got: xs.len() });
+        return Err(LutError::BatchShape {
+            neurons,
+            got: xs.len(),
+        });
     }
     if xs.iter().any(|x| x.format() != table.format()) {
         return Err(LutError::FormatMismatch);
@@ -177,17 +182,23 @@ fn validate(table: &QuantizedPwl, neurons: usize, xs: &[Fixed]) -> Result<(), Lu
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
     fn batch(n: usize, seed: f64) -> Vec<Fixed> {
         (0..n)
-            .map(|i| Fixed::from_f64((i as f64 * 0.9 + seed).sin() * 6.0, Q4_12, Rounding::NearestEven))
+            .map(|i| {
+                Fixed::from_f64(
+                    (i as f64 * 0.9 + seed).sin() * 6.0,
+                    Q4_12,
+                    Rounding::NearestEven,
+                )
+            })
             .collect()
     }
 
@@ -214,7 +225,11 @@ mod tests {
         pn.lookup_batch(&xs).unwrap();
         pc.lookup_batch(&xs).unwrap();
         assert_eq!(pn.stats().cycles, 2);
-        assert_eq!(pc.stats().cycles, 2, "fully ported bank keeps 2-cycle latency");
+        assert_eq!(
+            pc.stats().cycles,
+            2,
+            "fully ported bank keeps 2-cycle latency"
+        );
     }
 
     #[test]
@@ -250,6 +265,9 @@ mod tests {
             Err(LutError::BatchShape { neurons: 4, got: 3 })
         ));
         let wrong = vec![Fixed::zero(nova_fixed::Q6_10); 4];
-        assert!(matches!(pn.lookup_batch(&wrong), Err(LutError::FormatMismatch)));
+        assert!(matches!(
+            pn.lookup_batch(&wrong),
+            Err(LutError::FormatMismatch)
+        ));
     }
 }

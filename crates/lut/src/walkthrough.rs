@@ -62,14 +62,14 @@ pub fn fig2_walkthrough(
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     #[test]
     fn walkthrough_covers_all_eight_sections() {
         // Construct inputs that land one per section, like the figure's
         // x1..x8.
-        let pwl = fit::fit_activation(Activation::Sigmoid, 8, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Sigmoid, 8, fit::BreakpointStrategy::Uniform).unwrap();
         let table = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
         let edges = pwl.edges();
         let mut inputs = [Fixed::zero(Q4_12); 8];
@@ -79,7 +79,11 @@ mod tests {
         }
         let trace = fig2_walkthrough(&table, &inputs).unwrap();
         let addresses: Vec<usize> = trace.iter().map(|r| r.address).collect();
-        assert_eq!(addresses, vec![0, 1, 2, 3, 4, 5, 6, 7], "one PE per section");
+        assert_eq!(
+            addresses,
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            "one PE per section"
+        );
         // Each result is a_i·x_i + b_i from the addressed pair.
         for row in &trace {
             let expect = row

@@ -1,54 +1,60 @@
 //! Property tests: every LUT variant is functionally identical to the
 //! quantized table, for any table and batch.
+//!
+//! Checked over deterministic pseudo-random stimulus from the workspace
+//! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
+//! dependency policy.
 
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::rng::StdRng;
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_lut::{PerCoreLut, PerNeuronLut, SdpUnit};
-use proptest::prelude::*;
 
 fn table(segments: usize, activation: Activation) -> QuantizedPwl {
-    let pwl = fit::fit_activation(activation, segments, fit::BreakpointStrategy::Uniform)
-        .unwrap();
+    let pwl = fit::fit_activation(activation, segments, fit::BreakpointStrategy::Uniform).unwrap();
     QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
 }
 
-fn activations() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::Relu),
-        Just(Activation::Gelu),
-        Just(Activation::Sigmoid),
-        Just(Activation::Exp),
-    ]
-}
+const ACTIVATIONS: [Activation; 4] = [
+    Activation::Relu,
+    Activation::Gelu,
+    Activation::Sigmoid,
+    Activation::Exp,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Per-neuron, per-core and SDP all equal the table, bit for bit.
-    #[test]
-    fn all_variants_equal_table(
-        segments in 1usize..=16,
-        a in activations(),
-        raws in prop::collection::vec(any::<i16>(), 1..48),
-    ) {
+/// Per-neuron, per-core and SDP all equal the table, bit for bit.
+#[test]
+fn all_variants_equal_table() {
+    let mut rng = StdRng::seed_from_u64(0x1001);
+    for _ in 0..48 {
+        let segments = rng.gen_range(1usize..17);
+        let a = ACTIVATIONS[rng.gen_range(0..ACTIVATIONS.len())];
+        let len = rng.gen_range(1usize..48);
         let t = table(segments, a);
-        let xs: Vec<Fixed> = raws
-            .iter()
-            .map(|&r| Fixed::from_raw(i64::from(r), Q4_12).unwrap())
+        let xs: Vec<Fixed> = (0..len)
+            .map(|_| {
+                let raw = rng.gen_range(i64::from(i16::MIN)..i64::from(i16::MAX) + 1);
+                Fixed::from_raw(raw, Q4_12).unwrap()
+            })
             .collect();
         let expect: Vec<Fixed> = xs.iter().map(|&x| t.eval(x)).collect();
         let mut pn = PerNeuronLut::new(&t, xs.len());
         let mut pc = PerCoreLut::new(&t, xs.len());
         let mut sdp = SdpUnit::new(&t, xs.len());
-        prop_assert_eq!(pn.lookup_batch(&xs).unwrap(), expect.clone());
-        prop_assert_eq!(pc.lookup_batch(&xs).unwrap(), expect.clone());
-        prop_assert_eq!(sdp.lookup_batch(&xs).unwrap(), expect);
+        assert_eq!(pn.lookup_batch(&xs).unwrap(), expect);
+        assert_eq!(pc.lookup_batch(&xs).unwrap(), expect);
+        assert_eq!(sdp.lookup_batch(&xs).unwrap(), expect);
     }
+}
 
-    /// Stats invariants: lookups == bank reads == MAC ops after any batch
-    /// sequence; cycles are 2 per batch for fully-ported units.
-    #[test]
-    fn stats_invariants(batches in 1usize..6, neurons in 1usize..24) {
+/// Stats invariants: lookups == bank reads == MAC ops after any batch
+/// sequence; cycles are 2 per batch for fully-ported units.
+#[test]
+fn stats_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x1002);
+    for _ in 0..48 {
+        let batches = rng.gen_range(1usize..6);
+        let neurons = rng.gen_range(1usize..24);
         let t = table(16, Activation::Tanh);
         let mut pn = PerNeuronLut::new(&t, neurons);
         let mut pc = PerCoreLut::new(&t, neurons);
@@ -60,11 +66,11 @@ proptest! {
             pc.lookup_batch(&xs).unwrap();
         }
         for s in [pn.stats(), pc.stats()] {
-            prop_assert_eq!(s.batches, batches as u64);
-            prop_assert_eq!(s.lookups, (batches * neurons) as u64);
-            prop_assert_eq!(s.bank_reads, s.lookups);
-            prop_assert_eq!(s.mac_ops, s.lookups);
-            prop_assert_eq!(s.cycles, 2 * batches as u64);
+            assert_eq!(s.batches, batches as u64);
+            assert_eq!(s.lookups, (batches * neurons) as u64);
+            assert_eq!(s.bank_reads, s.lookups);
+            assert_eq!(s.mac_ops, s.lookups);
+            assert_eq!(s.cycles, 2 * batches as u64);
         }
     }
 }

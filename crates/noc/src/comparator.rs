@@ -41,7 +41,11 @@ impl Comparators {
     #[must_use]
     pub fn from_table(table: &QuantizedPwl) -> Self {
         let (lo, hi) = table.clamp_bounds();
-        Self { thresholds: table.breakpoints().to_vec(), lo, hi }
+        Self {
+            thresholds: table.breakpoints().to_vec(),
+            lo,
+            hi,
+        }
     }
 
     /// Number of thresholds (segments − 1).
@@ -83,12 +87,15 @@ impl Comparators {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation, QuantizedPwl};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table(segments: usize) -> QuantizedPwl {
-        let pwl =
-            fit::fit_activation(Activation::Sigmoid, segments, fit::BreakpointStrategy::Uniform)
-                .unwrap();
+        let pwl = fit::fit_activation(
+            Activation::Sigmoid,
+            segments,
+            fit::BreakpointStrategy::Uniform,
+        )
+        .unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 

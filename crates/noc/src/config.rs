@@ -38,7 +38,9 @@ impl LineConfig {
             return Err(NocError::BadLineConfig("need at least one router"));
         }
         if self.neurons_per_router == 0 {
-            return Err(NocError::BadLineConfig("need at least one neuron per router"));
+            return Err(NocError::BadLineConfig(
+                "need at least one neuron per router",
+            ));
         }
         if self.max_hops_per_cycle == 0 {
             return Err(NocError::BadLineConfig("hop reach must be > 0"));

@@ -106,18 +106,23 @@ pub fn inject(
         golden.push(g);
         faulty.push(f);
     }
-    Ok(FaultReport { golden, faulty, corrupted, tag_fault })
+    Ok(FaultReport {
+        golden,
+        faulty,
+        corrupted,
+        tag_fault,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Sigmoid, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -134,13 +139,19 @@ mod tests {
         let xs = inputs();
         // Flip a bit in slot 3 of flit 0 → only addresses with tag 0, slot
         // 3 (i.e. address 6) may change.
-        let fault = BitFault { flit: 0, bit: 3 * 32 + 5 };
+        let fault = BitFault {
+            flit: 0,
+            bit: 3 * 32 + 5,
+        };
         assert_eq!(fault.slot(link), Some(3));
         let report = inject(&t, link, &xs, fault).unwrap();
         assert!(!report.tag_fault);
         for &i in &report.corrupted {
             let addr = t.lookup_address(xs[i]);
-            assert_eq!(addr, 6, "input {i} with address {addr} must not be affected");
+            assert_eq!(
+                addr, 6,
+                "input {i} with address {addr} must not be affected"
+            );
         }
     }
 
@@ -177,8 +188,7 @@ mod tests {
     fn golden_results_match_table() {
         let t = table();
         let xs = inputs();
-        let report =
-            inject(&t, LinkConfig::paper(), &xs, BitFault { flit: 0, bit: 0 }).unwrap();
+        let report = inject(&t, LinkConfig::paper(), &xs, BitFault { flit: 0, bit: 0 }).unwrap();
         for (g, &x) in report.golden.iter().zip(&xs) {
             assert_eq!(*g, t.eval(x));
         }

@@ -23,7 +23,10 @@ impl LinkConfig {
     /// The paper's 257-bit link: 8 pairs + 1 tag bit.
     #[must_use]
     pub fn paper() -> Self {
-        Self { pairs_per_flit: 8, tag_bits: 1 }
+        Self {
+            pairs_per_flit: 8,
+            tag_bits: 1,
+        }
     }
 
     /// Creates a custom link.
@@ -38,7 +41,10 @@ impl LinkConfig {
         if tag_bits == 0 || tag_bits > 8 {
             return Err(NocError::BadLinkConfig("tag_bits must be in 1..=8"));
         }
-        Ok(Self { pairs_per_flit, tag_bits })
+        Ok(Self {
+            pairs_per_flit,
+            tag_bits,
+        })
     }
 
     /// Total link width in bits (data words + tag).
@@ -181,7 +187,7 @@ impl Flit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nova_fixed::{Fixed, Q4_12, Rounding};
+    use nova_fixed::{Fixed, Rounding, Q4_12};
 
     fn pair(s: f64, b: f64) -> SlopeBias {
         SlopeBias {
@@ -200,7 +206,9 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         let c = LinkConfig::paper();
-        let pairs: Vec<SlopeBias> = (0..8).map(|i| pair(0.1 * i as f64, -0.05 * i as f64)).collect();
+        let pairs: Vec<SlopeBias> = (0..8)
+            .map(|i| pair(0.1 * i as f64, -0.05 * i as f64))
+            .collect();
         let f = Flit::from_pairs(&pairs, 1, c).unwrap();
         let bytes = f.pack();
         assert_eq!(bytes.len(), 33);

@@ -52,7 +52,11 @@ impl SegmentedNoc {
                 BroadcastSim::new(seg_config, table)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { segments, split, config })
+        Ok(Self {
+            segments,
+            split,
+            config,
+        })
     }
 
     /// Number of parallel segments.
@@ -90,8 +94,7 @@ impl SegmentedNoc {
             let out = seg.run(chunk)?;
             outputs.extend(out.outputs);
             stats.noc_cycles = stats.noc_cycles.max(out.stats.noc_cycles);
-            stats.core_cycle_latency =
-                stats.core_cycle_latency.max(out.stats.core_cycle_latency);
+            stats.core_cycle_latency = stats.core_cycle_latency.max(out.stats.core_cycle_latency);
             stats.flits_injected += out.stats.flits_injected;
             stats.hops += out.stats.hops;
             stats.buffered += out.stats.buffered;
@@ -107,11 +110,11 @@ impl SegmentedNoc {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table() -> QuantizedPwl {
-        let pwl = fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform)
-            .unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform).unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 

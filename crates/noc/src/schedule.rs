@@ -53,7 +53,11 @@ impl BroadcastSchedule {
                 .collect();
             flits.push(Flit::from_pairs(&lane, tag as u8, link)?);
         }
-        Ok(Self { flits, link, segments })
+        Ok(Self {
+            flits,
+            link,
+            segments,
+        })
     }
 
     /// The flit sequence, in broadcast order.
@@ -92,12 +96,11 @@ impl BroadcastSchedule {
 mod tests {
     use super::*;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table(segments: usize) -> QuantizedPwl {
-        let pwl =
-            fit::fit_activation(Activation::Tanh, segments, fit::BreakpointStrategy::Uniform)
-                .unwrap();
+        let pwl = fit::fit_activation(Activation::Tanh, segments, fit::BreakpointStrategy::Uniform)
+            .unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -133,7 +136,13 @@ mod tests {
     #[test]
     fn thirty_two_segments_overflow_paper_tag() {
         let err = BroadcastSchedule::compile(&table(32), LinkConfig::paper()).unwrap_err();
-        assert!(matches!(err, NocError::TagOverflow { flits_needed: 4, tag_capacity: 2 }));
+        assert!(matches!(
+            err,
+            NocError::TagOverflow {
+                flits_needed: 4,
+                tag_capacity: 2
+            }
+        ));
     }
 
     #[test]

@@ -70,7 +70,12 @@ impl BroadcastSim {
         config.validate()?;
         let schedule = BroadcastSchedule::compile(table, config.link)?;
         let routers = (0..config.routers).map(|_| Router::new(table)).collect();
-        Ok(Self { config, schedule, table: table.clone(), routers })
+        Ok(Self {
+            config,
+            schedule,
+            table: table.clone(),
+            routers,
+        })
     }
 
     /// The compiled schedule (flit count, NoC multiplier).
@@ -219,12 +224,15 @@ mod tests {
     use super::*;
     use crate::LinkConfig;
     use nova_approx::{fit, Activation};
-    use nova_fixed::{Q4_12, Rounding};
+    use nova_fixed::{Rounding, Q4_12};
 
     fn table(segments: usize) -> QuantizedPwl {
-        let pwl =
-            fit::fit_activation(Activation::Sigmoid, segments, fit::BreakpointStrategy::Uniform)
-                .unwrap();
+        let pwl = fit::fit_activation(
+            Activation::Sigmoid,
+            segments,
+            fit::BreakpointStrategy::Uniform,
+        )
+        .unwrap();
         QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
     }
 
@@ -265,7 +273,10 @@ mod tests {
         assert_eq!(out.stats.flits_injected, 2);
         assert_eq!(out.stats.noc_cycles, 2);
         assert_eq!(out.stats.core_cycle_latency, 2);
-        assert_eq!(out.stats.buffered, 0, "10 routers are single-cycle reachable");
+        assert_eq!(
+            out.stats.buffered, 0,
+            "10 routers are single-cycle reachable"
+        );
     }
 
     #[test]

@@ -1,29 +1,36 @@
 //! Property-based tests: the NoC broadcast is functionally identical to a
 //! direct table lookup for every geometry and input batch.
+//!
+//! Checked over deterministic pseudo-random stimulus from the workspace
+//! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
+//! dependency policy.
 
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::rng::StdRng;
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_noc::{sim::BroadcastSim, Flit, LineConfig, LinkConfig};
-use proptest::prelude::*;
 
 fn table(segments: usize) -> QuantizedPwl {
-    let pwl = fit::fit_activation(Activation::Gelu, segments, fit::BreakpointStrategy::Uniform)
-        .unwrap();
+    let pwl =
+        fit::fit_activation(Activation::Gelu, segments, fit::BreakpointStrategy::Uniform).unwrap();
     QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn raw16(rng: &mut StdRng) -> i64 {
+    rng.gen_range(i64::from(i16::MIN)..i64::from(i16::MAX) + 1)
+}
 
-    /// NoC simulation ≡ table lookup, bit for bit, for any geometry.
-    #[test]
-    fn broadcast_equals_table(
-        segments in 1usize..=16,
-        routers in 1usize..=12,
-        neurons in 1usize..=8,
-        reach in 1usize..=10,
-        raws in prop::collection::vec(i64::from(i16::MIN)..=i64::from(i16::MAX), 1..96),
-    ) {
+/// NoC simulation ≡ table lookup, bit for bit, for any geometry.
+#[test]
+fn broadcast_equals_table() {
+    let mut rng = StdRng::seed_from_u64(0xB001);
+    for _ in 0..64 {
+        let segments = rng.gen_range(1usize..17);
+        let routers = rng.gen_range(1usize..13);
+        let neurons = rng.gen_range(1usize..9);
+        let reach = rng.gen_range(1usize..11);
+        let n_raws = rng.gen_range(1usize..96);
+        let raws: Vec<i64> = (0..n_raws).map(|_| raw16(&mut rng)).collect();
         let t = table(segments);
         let mut config = LineConfig::paper_default(routers, neurons);
         config.max_hops_per_cycle = reach;
@@ -41,59 +48,70 @@ proptest! {
         let out = sim.run(&inputs).unwrap();
         for (out_row, in_row) in out.outputs.iter().zip(&inputs) {
             for (&o, &x) in out_row.iter().zip(in_row) {
-                prop_assert_eq!(o, t.eval(x));
+                assert_eq!(o, t.eval(x));
             }
         }
     }
+}
 
-    /// NoC cycle count follows the pipeline formula:
-    /// flits + traversal_cycles − 1 (one flit injected per cycle, each
-    /// taking `traversal_cycles` to cross the line).
-    #[test]
-    fn cycle_count_formula(
-        segments in 1usize..=16,
-        routers in 1usize..=24,
-        reach in 1usize..=10,
-    ) {
+/// NoC cycle count follows the pipeline formula:
+/// flits + traversal_cycles − 1 (one flit injected per cycle, each
+/// taking `traversal_cycles` to cross the line).
+#[test]
+fn cycle_count_formula() {
+    let mut rng = StdRng::seed_from_u64(0xB002);
+    for _ in 0..64 {
+        let segments = rng.gen_range(1usize..17);
+        let routers = rng.gen_range(1usize..25);
+        let reach = rng.gen_range(1usize..11);
         let t = table(segments);
         let mut config = LineConfig::paper_default(routers, 1);
         config.max_hops_per_cycle = reach;
         let flits = t.segments().div_ceil(config.link.pairs_per_flit);
-        prop_assume!(flits <= config.link.tag_capacity());
+        if flits > config.link.tag_capacity() {
+            continue;
+        }
         let mut sim = BroadcastSim::new(config, &t).unwrap();
         let inputs = vec![vec![Fixed::zero(Q4_12)]; routers];
         let out = sim.run(&inputs).unwrap();
         let traversal = routers.div_ceil(reach) as u64;
-        prop_assert_eq!(out.stats.noc_cycles, flits as u64 + traversal - 1);
+        assert_eq!(out.stats.noc_cycles, flits as u64 + traversal - 1);
     }
+}
 
-    /// Hop count: every flit visits every router exactly once.
-    #[test]
-    fn hops_are_flits_times_routers(
-        segments in 1usize..=16,
-        routers in 1usize..=12,
-    ) {
+/// Hop count: every flit visits every router exactly once.
+#[test]
+fn hops_are_flits_times_routers() {
+    let mut rng = StdRng::seed_from_u64(0xB003);
+    for _ in 0..64 {
+        let segments = rng.gen_range(1usize..17);
+        let routers = rng.gen_range(1usize..13);
         let t = table(segments);
         let config = LineConfig::paper_default(routers, 1);
         let mut sim = BroadcastSim::new(config, &t).unwrap();
         let inputs = vec![vec![Fixed::zero(Q4_12)]; routers];
         let out = sim.run(&inputs).unwrap();
         let flits = sim.schedule().flit_count() as u64;
-        prop_assert_eq!(out.stats.hops, flits * routers as u64);
+        assert_eq!(out.stats.hops, flits * routers as u64);
     }
+}
 
-    /// Flit wire-image roundtrip for arbitrary word payloads.
-    #[test]
-    fn flit_pack_unpack(words in prop::collection::vec(any::<i16>(), 16), tag in 0u8..=1) {
+/// Flit wire-image roundtrip for arbitrary word payloads.
+#[test]
+fn flit_pack_unpack() {
+    let mut rng = StdRng::seed_from_u64(0xB004);
+    for _ in 0..64 {
+        let words: Vec<i64> = (0..16).map(|_| raw16(&mut rng)).collect();
+        let tag = rng.gen_range(0u32..2) as u8;
         let pairs: Vec<nova_approx::SlopeBias> = words
             .chunks(2)
             .map(|c| nova_approx::SlopeBias {
-                slope: Fixed::from_raw(i64::from(c[0]), Q4_12).unwrap(),
-                bias: Fixed::from_raw(i64::from(c[1]), Q4_12).unwrap(),
+                slope: Fixed::from_raw(c[0], Q4_12).unwrap(),
+                bias: Fixed::from_raw(c[1], Q4_12).unwrap(),
             })
             .collect();
         let c = LinkConfig::paper();
         let f = Flit::from_pairs(&pairs, tag, c).unwrap();
-        prop_assert_eq!(Flit::unpack(&f.pack(), c).unwrap(), f);
+        assert_eq!(Flit::unpack(&f.pack(), c).unwrap(), f);
     }
 }

@@ -1,0 +1,408 @@
+//! Dependency-free serialization for the NOVA workspace.
+//!
+//! The dependency policy forbids external crates (the build must work
+//! fully offline), so this crate supplies the small serialization core
+//! the workspace needs: a self-describing [`Value`] model, [`Serialize`]
+//! / [`Deserialize`] traits over it, a JSON text format for persisting
+//! sweep results, and `macro_rules!` impl generators that stand in for
+//! derive macros.
+//!
+//! Design notes:
+//!
+//! - [`Value`] is the interchange type: every serializable type lowers
+//!   to it and is rebuilt from it, so round-trip tests don't need a
+//!   format crate at all.
+//! - JSON is supported as *text* via [`Value::to_json`] and
+//!   [`Value::from_json`]; `T::to_json_string` / `from_json_str` are
+//!   blanket helpers on the traits.
+//! - [`impl_serde_struct!`] and [`impl_serde_enum!`] generate the two
+//!   trait impls for named-field structs and C-like enums;
+//!   [`impl_serialize_struct!`] covers write-only types (those holding
+//!   `&'static str` names that cannot be deserialized into).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod value;
+
+pub use value::Value;
+
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A map key required during deserialization was absent.
+    MissingField(String),
+    /// A value had the wrong shape (e.g. a string where a number was
+    /// expected). Carries a human-readable description.
+    TypeMismatch(String),
+    /// An enum string did not match any known variant.
+    UnknownVariant(String),
+    /// JSON text could not be parsed; carries byte offset and reason.
+    Json {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MissingField(name) => write!(f, "missing field `{name}`"),
+            Error::TypeMismatch(what) => write!(f, "type mismatch: {what}"),
+            Error::UnknownVariant(v) => write!(f, "unknown enum variant `{v}`"),
+            Error::Json { offset, reason } => {
+                write!(f, "JSON parse error at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a type to the self-describing [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+
+    /// Serializes `self` to compact JSON text.
+    fn to_json_string(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Rebuilds a type from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Parses JSON text and rebuilds `Self` from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed JSON or shape mismatch.
+    fn from_json_str(s: &str) -> Result<Self, Error> {
+        Self::from_value(&Value::from_json(s)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::TypeMismatch(format!("{raw} out of range")))
+            }
+        }
+    )+};
+}
+
+impl_serde_uint!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::U64(*self)
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64()
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = v.as_u64()?;
+        usize::try_from(raw).map_err(|_| Error::TypeMismatch(format!("{raw} out of range")))
+    }
+}
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self)
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_i64()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::TypeMismatch(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+// `&'static str` model names serialize fine; they just can't deserialize.
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq()? {
+            [a, b] => Ok((A::from_value(a)?, B::from_value(b)?)),
+            xs => Err(Error::TypeMismatch(format!(
+                "expected a pair, got sequence of {}",
+                xs.len()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impl-generator macros (stand-ins for `#[derive(Serialize, Deserialize)]`)
+// ---------------------------------------------------------------------------
+
+/// Implements [`Serialize`] + [`Deserialize`] for a named-field struct.
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// struct Report { cycles: u64, energy_mj: f64 }
+/// nova_serde::impl_serde_struct!(Report { cycles, energy_mj });
+///
+/// use nova_serde::{Deserialize, Serialize};
+/// let r = Report { cycles: 7, energy_mj: 1.5 };
+/// let back = Report::from_value(&r.to_value()).unwrap();
+/// assert_eq!(back, r);
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        $crate::impl_serialize_struct!($ty { $($field),+ });
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok(Self {
+                    $($field: v.field(stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements only [`Serialize`] for a named-field struct (for types
+/// holding `&'static str` fields, which cannot be rebuilt from data).
+#[macro_export]
+macro_rules! impl_serialize_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Map(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] + [`Deserialize`] for a C-like enum, encoding
+/// each variant as its name string.
+///
+/// ```
+/// #[derive(Debug, PartialEq, Clone, Copy)]
+/// enum Kind { NovaNoc, PerCoreLut }
+/// nova_serde::impl_serde_enum!(Kind { NovaNoc, PerCoreLut });
+///
+/// use nova_serde::{Deserialize, Serialize};
+/// assert_eq!(Kind::from_value(&Kind::NovaNoc.to_value()).unwrap(), Kind::NovaNoc);
+/// ```
+#[macro_export]
+macro_rules! impl_serde_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant => $crate::Value::Str(stringify!($variant).to_string()),)+
+                }
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                match v.as_str()? {
+                    $(s if s == stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::Error::UnknownVariant(other.to_string())),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Inner {
+        xs: Vec<f64>,
+        on: bool,
+    }
+    impl_serde_struct!(Inner { xs, on });
+
+    #[derive(Debug, PartialEq)]
+    struct Outer {
+        name: String,
+        inner: Inner,
+        count: Option<u32>,
+    }
+    impl_serde_struct!(Outer { name, inner, count });
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+    impl_serde_enum!(Mode { Fast, Slow });
+
+    fn sample() -> Outer {
+        Outer {
+            name: "bert-tiny".to_string(),
+            inner: Inner {
+                xs: vec![1.0, -2.5, 0.0],
+                on: true,
+            },
+            count: None,
+        }
+    }
+
+    #[test]
+    fn struct_value_roundtrip() {
+        let o = sample();
+        assert_eq!(Outer::from_value(&o.to_value()).unwrap(), o);
+    }
+
+    #[test]
+    fn struct_json_roundtrip() {
+        let o = sample();
+        let json = o.to_json_string();
+        assert_eq!(Outer::from_json_str(&json).unwrap(), o);
+    }
+
+    #[test]
+    fn enum_roundtrip_and_unknown_variant() {
+        assert_eq!(
+            Mode::from_value(&Mode::Slow.to_value()).unwrap(),
+            Mode::Slow
+        );
+        assert!(matches!(
+            Mode::from_value(&Value::Str("Medium".into())),
+            Err(Error::UnknownVariant(_))
+        ));
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let v = Value::Map(vec![("xs".to_string(), Value::Seq(vec![]))]);
+        assert!(matches!(Inner::from_value(&v), Err(Error::MissingField(f)) if f == "on"));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        // Integer-valued JSON numbers deserialize into f64 fields and
+        // vice versa only when lossless.
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_value(&Value::F64(4.0)).unwrap(), 4);
+        assert!(u64::from_value(&Value::F64(4.5)).is_err());
+    }
+}

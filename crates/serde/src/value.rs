@@ -1,0 +1,191 @@
+//! The self-describing interchange [`Value`] and shape accessors.
+
+use crate::{Deserialize, Error};
+
+/// A self-describing data value: the interchange model every
+/// serializable type lowers to.
+///
+/// Maps preserve insertion order (they are association lists, not hash
+/// maps) so JSON output is deterministic and diff-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (counters, cycle counts).
+    U64(u64),
+    /// Signed integer (raw fixed-point words).
+    I64(i64),
+    /// Floating point (seconds, millijoules, mm²).
+    F64(f64),
+    /// UTF-8 string (names, enum variants).
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key → value map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short name of this value's shape, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Reads this value as a `u64`, accepting lossless numeric shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] for non-numeric or lossy values.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            // 2^53: beyond this, f64 cannot represent every integer.
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= 9_007_199_254_740_992.0 => {
+                Ok(x as u64)
+            }
+            ref other => Err(Error::TypeMismatch(format!(
+                "expected unsigned integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reads this value as an `i64`, accepting lossless numeric shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] for non-numeric or lossy values.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(x) => Ok(x),
+            Value::U64(x) => {
+                i64::try_from(x).map_err(|_| Error::TypeMismatch(format!("{x} overflows i64")))
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            Value::F64(x) if x.fract() == 0.0 && x.abs() <= 9_007_199_254_740_992.0 => Ok(x as i64),
+            ref other => Err(Error::TypeMismatch(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reads this value as an `f64` (integers widen losslessly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] for non-numeric values.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(x) => Ok(x),
+            #[allow(clippy::cast_precision_loss)]
+            Value::U64(x) => Ok(x as f64),
+            #[allow(clippy::cast_precision_loss)]
+            Value::I64(x) => Ok(x as f64),
+            ref other => Err(Error::TypeMismatch(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reads this value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] for non-string values.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::TypeMismatch(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reads this value as a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] for non-sequence values.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(xs) => Ok(xs),
+            other => Err(Error::TypeMismatch(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reads this value as a map (association list).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] for non-map values.
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::TypeMismatch(format!(
+                "expected map, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up `name` in a map value (first match wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TypeMismatch`] if `self` is not a map, or
+    /// [`Error::MissingField`] when the key is absent.
+    pub fn get(&self, name: &str) -> Result<&Value, Error> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::MissingField(name.to_string()))
+    }
+
+    /// Looks up `name` in a map value and deserializes it into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::get`] and `T::from_value` failures.
+    pub fn field<T: Deserialize>(&self, name: &str) -> Result<T, Error> {
+        T::from_value(self.get(name)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_and_missing_field() {
+        let v = Value::Map(vec![("a".to_string(), Value::U64(1))]);
+        assert_eq!(v.field::<u64>("a").unwrap(), 1);
+        assert!(matches!(v.field::<u64>("b"), Err(Error::MissingField(_))));
+    }
+
+    #[test]
+    fn shape_errors_name_the_actual_kind() {
+        let err = Value::Str("x".into()).as_f64().unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch(m) if m.contains("string")));
+    }
+}

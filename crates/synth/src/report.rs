@@ -3,16 +3,16 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A paired area (mm²) and power (mW) result — one Table III cell pair.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AreaPower {
     /// Total area in mm².
     pub area_mm2: f64,
     /// Total power in mW.
     pub power_mw: f64,
 }
+
+nova_serde::impl_serde_struct!(AreaPower { area_mm2, power_mw });
 
 impl AreaPower {
     /// Creates a report from raw values.
@@ -48,7 +48,7 @@ impl fmt::Display for AreaPower {
 }
 
 /// A labeled component breakdown, used to print the per-figure tables.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CostBreakdown {
     /// Ordered `(component label, value)` rows.
     pub rows: Vec<(String, f64)>,
@@ -56,11 +56,16 @@ pub struct CostBreakdown {
     pub unit: String,
 }
 
+nova_serde::impl_serde_struct!(CostBreakdown { rows, unit });
+
 impl CostBreakdown {
     /// Creates an empty breakdown with a unit label.
     #[must_use]
     pub fn new(unit: impl Into<String>) -> Self {
-        Self { rows: Vec::new(), unit: unit.into() }
+        Self {
+            rows: Vec::new(),
+            unit: unit.into(),
+        }
     }
 
     /// Appends a row.

@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// Technology constants for the analytic area/power/timing model.
 ///
 /// All area values are µm², all capacitances are pF (so that
 /// `pF · V² · GHz = mW`), all delays are ps. The `cmos22` values are
 /// calibrated against the component totals the paper publishes (Table III,
 /// Table IV, §V.A scalability); `EXPERIMENTS.md` records the residuals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechModel {
     /// Process label, e.g. `"22nm"`.
     pub node: &'static str,
@@ -69,6 +67,34 @@ pub struct TechModel {
     /// Flop clock-to-Q plus setup overhead per cycle (ps).
     pub clocking_overhead_ps: f64,
 }
+
+// `node` is a `&'static str` process label, so the model is
+// serialize-only: it can be persisted alongside results but only
+// rebuilt from the named constructors.
+nova_serde::impl_serialize_struct!(TechModel {
+    node,
+    voltage,
+    reg_bit_area_um2,
+    reg_bit_cap_pf,
+    mac16_area_um2,
+    mac16_cap_pf,
+    comparator_area_um2,
+    comparator_cap_pf,
+    mux_bit_area_um2,
+    sram_bit_area_um2,
+    sram_port_area_factor,
+    sram_periphery_area_um2,
+    sram_port_periphery_um2,
+    sram_read_cap_pf,
+    sram_multiport_read_cap_pf,
+    wire_cap_pf_per_mm,
+    repeater_area_um2_per_bit,
+    link_activity,
+    leakage_mw_per_mm2,
+    wire_delay_ps_per_mm,
+    hop_logic_delay_ps,
+    clocking_overhead_ps,
+});
 
 impl TechModel {
     /// The calibrated commercial-22nm-like model used throughout the

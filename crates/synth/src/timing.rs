@@ -87,7 +87,11 @@ mod tests {
         // REACT (10), TPU-v3 (4), TPU-v4 (8), Jetson (2) — all ≤ 10.
         let t = tech();
         for routers in [10usize, 4, 8, 2] {
-            assert_eq!(broadcast_cycles(&t, routers, 1.5, 1.0), 1, "{routers} routers");
+            assert_eq!(
+                broadcast_cycles(&t, routers, 1.5, 1.0),
+                1,
+                "{routers} routers"
+            );
         }
     }
 

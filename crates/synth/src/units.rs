@@ -1,8 +1,6 @@
 //! Composite vector-unit cost models: the NOVA router and the LUT-based
 //! baselines, assembled from [`crate::components`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::report::CostBreakdown;
 use crate::{components, TechModel};
 
@@ -14,13 +12,15 @@ pub const NOVA_LINK_BITS: usize = 257;
 pub const LUT_BANK_BYTES: usize = 64;
 
 /// Which LUT baseline variant (paper §V.B models both extremes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LutSharing {
     /// One single-ported 64 B bank per neuron (maximum redundancy).
     PerNeuron,
     /// One multi-ported 64 B bank per core, shared by all neurons.
     PerCore,
 }
+
+nova_serde::impl_serde_enum!(LutSharing { PerNeuron, PerCore });
 
 impl LutSharing {
     /// Display label matching the paper's Table III rows.
@@ -38,7 +38,7 @@ impl LutSharing {
 /// Two clock domains: the per-neuron datapath (comparator + MAC) runs at
 /// the accelerator clock; the link (registers, wires, repeaters) runs at
 /// the NoC clock (2× for 16 breakpoints).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NovaRouterCost {
     /// Total cell area (µm²).
     pub area_um2: f64,
@@ -48,6 +48,12 @@ pub struct NovaRouterCost {
     /// clock, before the link activity factor).
     pub noc_cap_pf: f64,
 }
+
+nova_serde::impl_serde_struct!(NovaRouterCost {
+    area_um2,
+    core_cap_pf,
+    noc_cap_pf
+});
 
 impl NovaRouterCost {
     /// Power at the given core/NoC clocks (GHz) and datapath activity.
@@ -66,13 +72,17 @@ impl NovaRouterCost {
         datapath_activity: f64,
     ) -> f64 {
         tech.dynamic_power_mw(self.core_cap_pf, core_ghz, datapath_activity)
-            + tech.dynamic_power_mw(self.noc_cap_pf, noc_ghz, tech.link_activity * datapath_activity)
+            + tech.dynamic_power_mw(
+                self.noc_cap_pf,
+                noc_ghz,
+                tech.link_activity * datapath_activity,
+            )
             + tech.leakage_mw(self.area_um2)
     }
 }
 
 /// Cost of one LUT-based vector unit serving `neurons` output neurons.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LutUnitCost {
     /// Total cell area (µm²).
     pub area_um2: f64,
@@ -80,6 +90,8 @@ pub struct LutUnitCost {
     /// clock; LUT baselines have a single clock domain — paper §V.B).
     pub cap_pf: f64,
 }
+
+nova_serde::impl_serde_struct!(LutUnitCost { area_um2, cap_pf });
 
 impl LutUnitCost {
     /// Power at the accelerator clock (GHz) and datapath activity.
@@ -115,14 +127,15 @@ pub fn nova_router(
     // Small control FSM (buffer/forward select, tag compare enable).
     let control_area = 500.0;
 
-    let area_um2 = neurons as f64 * (mac_area + cmp_area)
-        + reg_area
-        + rep_area
-        + mux_area
-        + control_area;
+    let area_um2 =
+        neurons as f64 * (mac_area + cmp_area) + reg_area + rep_area + mux_area + control_area;
     let core_cap_pf = neurons as f64 * (mac_cap + cmp_cap);
     let noc_cap_pf = reg_cap + wire_cap;
-    NovaRouterCost { area_um2, core_cap_pf, noc_cap_pf }
+    NovaRouterCost {
+        area_um2,
+        core_cap_pf,
+        noc_cap_pf,
+    }
 }
 
 /// Cost of one LUT-based vector unit (Fig 1 architecture) for `neurons`

@@ -11,9 +11,8 @@
 use nova_approx::normalize::{layernorm_approx, layernorm_exact, ApproxRsqrt};
 use nova_approx::softmax::{softmax_exact, ApproxSoftmax};
 use nova_approx::{fit, Activation, ApproxError, QuantizedPwl};
+use nova_fixed::rng::StdRng;
 use nova_fixed::{Fixed, Rounding, Q4_12};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::bert::BertConfig;
 
@@ -136,7 +135,11 @@ impl Matrix {
                 }
             }
         }
-        Matrix { rows: self.rows, cols: other.cols, data: out }
+        Matrix {
+            rows: self.rows,
+            cols: other.cols,
+            data: out,
+        }
     }
 
     /// Borrowed row slice.
@@ -210,7 +213,11 @@ impl EncoderLayer {
 
         // Multi-head attention.
         let scale = 1.0 / (d as f64).sqrt();
-        let mut context = Matrix { rows: s, cols: h, data: vec![0.0; s * h] };
+        let mut context = Matrix {
+            rows: s,
+            cols: h,
+            data: vec![0.0; s * h],
+        };
         for head in 0..heads {
             let off = head * d;
             for i in 0..s {
@@ -247,7 +254,11 @@ impl EncoderLayer {
 }
 
 fn map_rows(m: &Matrix, f: impl Fn(&[f64]) -> Vec<f64>) -> Matrix {
-    let mut out = Matrix { rows: m.rows, cols: m.cols, data: Vec::with_capacity(m.data.len()) };
+    let mut out = Matrix {
+        rows: m.rows,
+        cols: m.cols,
+        data: Vec::with_capacity(m.data.len()),
+    };
     for i in 0..m.rows {
         out.data.extend(f(m.row(i)));
     }
@@ -337,7 +348,13 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> BertConfig {
-        BertConfig { name: "test", layers: 1, hidden: 32, heads: 4, ffn: 64 }
+        BertConfig {
+            name: "test",
+            layers: 1,
+            hidden: 32,
+            heads: 4,
+            ffn: 64,
+        }
     }
 
     fn input(s: usize, h: usize, seed: u64) -> Matrix {
@@ -384,13 +401,23 @@ mod tests {
     fn stack_deviation_stays_bounded() {
         // Error must not blow up exponentially with depth: residual
         // connections and LayerNorm keep it in check. 4 layers, 16 bp.
-        let cfg = BertConfig { name: "stack", layers: 4, hidden: 32, heads: 4, ffn: 64 };
+        let cfg = BertConfig {
+            name: "stack",
+            layers: 4,
+            hidden: 32,
+            heads: 4,
+            ffn: 64,
+        };
         let stack = EncoderStack::random(cfg, 17);
         let x = input(8, 32, 3);
         let pwl = PwlBackend::new(16).unwrap();
         let profile = stack.deviation_profile(&x, &ExactBackend, &pwl);
         assert_eq!(profile.len(), 4);
-        assert!(profile[3] < 1.0, "4-layer deviation {} too large", profile[3]);
+        assert!(
+            profile[3] < 1.0,
+            "4-layer deviation {} too large",
+            profile[3]
+        );
     }
 
     #[test]
@@ -398,13 +425,24 @@ mod tests {
         let a = EncoderLayer::random(tiny_config(), 21);
         let b = EncoderLayer::random(tiny_config(), 21);
         let x = input(4, 32, 1);
-        assert_eq!(a.forward(&x, &ExactBackend).data, b.forward(&x, &ExactBackend).data);
+        assert_eq!(
+            a.forward(&x, &ExactBackend).data,
+            b.forward(&x, &ExactBackend).data
+        );
     }
 
     #[test]
     fn matmul_reference() {
-        let a = Matrix { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
-        let b = Matrix { rows: 3, cols: 2, data: vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0] };
+        let a = Matrix {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
+        let b = Matrix {
+            rows: 3,
+            cols: 2,
+            data: vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+        };
         let c = a.matmul(&b);
         assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
     }
@@ -412,7 +450,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions")]
     fn matmul_shape_checked() {
-        let a = Matrix { rows: 1, cols: 2, data: vec![1.0, 2.0] };
+        let a = Matrix {
+            rows: 1,
+            cols: 2,
+            data: vec![1.0, 2.0],
+        };
         let _ = a.matmul(&a);
     }
 }

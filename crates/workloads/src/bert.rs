@@ -9,10 +9,8 @@
 //! scores + softmax, context aggregation, output projection, two-layer
 //! GELU FFN, two LayerNorms.
 
-use serde::{Deserialize, Serialize};
-
 /// One matrix multiplication `M×K · K×N`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatmulDims {
     /// Output rows.
     pub m: usize,
@@ -21,6 +19,8 @@ pub struct MatmulDims {
     /// Output columns.
     pub n: usize,
 }
+
+nova_serde::impl_serde_struct!(MatmulDims { m, k, n });
 
 impl MatmulDims {
     /// Multiply-accumulate operations in this matmul.
@@ -31,7 +31,7 @@ impl MatmulDims {
 }
 
 /// An encoder-only transformer configuration (the five Fig 8 benchmarks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BertConfig {
     /// Model name as used in the paper's Fig 8.
     pub name: &'static str,
@@ -45,37 +45,77 @@ pub struct BertConfig {
     pub ffn: usize,
 }
 
+// `name` is a `&'static str`, so configs are serialize-only: persistable
+// next to results, rebuilt from the named constructors.
+nova_serde::impl_serialize_struct!(BertConfig {
+    name,
+    layers,
+    hidden,
+    heads,
+    ffn
+});
+
 impl BertConfig {
     /// MobileBERT-base (Sun et al. 2020): 24 bottlenecked layers with
     /// 512-wide blocks and 4 heads; the FFN stacks total ≈512 effective
     /// intermediate width per layer.
     #[must_use]
     pub fn mobilebert_base() -> Self {
-        Self { name: "MobileBERT-base", layers: 24, hidden: 512, heads: 4, ffn: 512 }
+        Self {
+            name: "MobileBERT-base",
+            layers: 24,
+            hidden: 512,
+            heads: 4,
+            ffn: 512,
+        }
     }
 
     /// MobileBERT-tiny: the 128-wide variant.
     #[must_use]
     pub fn mobilebert_tiny() -> Self {
-        Self { name: "MobileBERT-tiny", layers: 24, hidden: 128, heads: 4, ffn: 512 }
+        Self {
+            name: "MobileBERT-tiny",
+            layers: 24,
+            hidden: 128,
+            heads: 4,
+            ffn: 512,
+        }
     }
 
     /// RoBERTa-base (Liu et al. 2019): the standard 12×768 encoder.
     #[must_use]
     pub fn roberta_base() -> Self {
-        Self { name: "RoBERTa", layers: 12, hidden: 768, heads: 12, ffn: 3072 }
+        Self {
+            name: "RoBERTa",
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+        }
     }
 
     /// BERT-tiny (Devlin et al. variants): 2×128.
     #[must_use]
     pub fn bert_tiny() -> Self {
-        Self { name: "BERT-tiny", layers: 2, hidden: 128, heads: 2, ffn: 512 }
+        Self {
+            name: "BERT-tiny",
+            layers: 2,
+            hidden: 128,
+            heads: 2,
+            ffn: 512,
+        }
     }
 
     /// BERT-mini: 4×256.
     #[must_use]
     pub fn bert_mini() -> Self {
-        Self { name: "BERT-mini", layers: 4, hidden: 256, heads: 4, ffn: 1024 }
+        Self {
+            name: "BERT-mini",
+            layers: 4,
+            hidden: 256,
+            heads: 4,
+            ffn: 1024,
+        }
     }
 
     /// The five Fig 8 benchmarks, in the paper's order.
@@ -103,7 +143,7 @@ impl BertConfig {
 }
 
 /// The per-inference operation census of a config at a sequence length.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct OpCensus {
     /// Every matmul executed (all layers), in execution order.
     pub matmuls: Vec<MatmulDims>,
@@ -121,6 +161,16 @@ pub struct OpCensus {
     /// models, which use GELU).
     pub relu_elements: u64,
 }
+
+nova_serde::impl_serde_struct!(OpCensus {
+    matmuls,
+    softmax_elements,
+    softmax_rows,
+    gelu_elements,
+    layernorm_rows,
+    layernorm_elements,
+    relu_elements,
+});
 
 impl OpCensus {
     /// Total multiply-accumulates across all matmuls.

@@ -7,12 +7,10 @@
 //! mapping both NVDLA's convolution core and systolic arrays use — so the
 //! same `nova-accel` runtime model covers them.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bert::{MatmulDims, OpCensus};
 
 /// One CNN layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CnnLayer {
     /// Standard convolution with ReLU: `out_c` filters of `k×k×in_c` over
     /// an `h×w` input (stride `s`, same padding).
@@ -53,9 +51,58 @@ pub enum CnnLayer {
     },
 }
 
+// Struct-variant enum: serialized as an externally-tagged map, like
+// serde's default enum representation. Serialize-only, matching
+// `CnnConfig` (whose `&'static str` name cannot be rebuilt from data).
+impl nova_serde::Serialize for CnnLayer {
+    fn to_value(&self) -> nova_serde::Value {
+        use nova_serde::Value;
+        let field = |k: &str, v: usize| (k.to_string(), Value::U64(v as u64));
+        match *self {
+            CnnLayer::Conv {
+                hw,
+                in_c,
+                out_c,
+                k,
+                stride,
+            } => Value::Map(vec![(
+                "Conv".to_string(),
+                Value::Map(vec![
+                    field("hw", hw),
+                    field("in_c", in_c),
+                    field("out_c", out_c),
+                    field("k", k),
+                    field("stride", stride),
+                ]),
+            )]),
+            CnnLayer::DepthwiseSeparable {
+                hw,
+                in_c,
+                out_c,
+                k,
+                stride,
+            } => Value::Map(vec![(
+                "DepthwiseSeparable".to_string(),
+                Value::Map(vec![
+                    field("hw", hw),
+                    field("in_c", in_c),
+                    field("out_c", out_c),
+                    field("k", k),
+                    field("stride", stride),
+                ]),
+            )]),
+            CnnLayer::Pool => Value::Str("Pool".to_string()),
+            CnnLayer::Dense { input, output } => Value::Map(vec![(
+                "Dense".to_string(),
+                Value::Map(vec![field("input", input), field("output", output)]),
+            )]),
+        }
+    }
+}
+
 /// A CNN/MLP model: a named stack of layers ending in a `classes`-way
 /// softmax.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CnnConfig {
     /// Model name (Table I row).
     pub name: &'static str,
@@ -65,6 +112,12 @@ pub struct CnnConfig {
     pub classes: usize,
 }
 
+nova_serde::impl_serialize_struct!(CnnConfig {
+    name,
+    layers,
+    classes
+});
+
 impl CnnConfig {
     /// The MNIST MLP of Table I: 784–256–128–10.
     #[must_use]
@@ -72,9 +125,18 @@ impl CnnConfig {
         Self {
             name: "MLP (MNIST)",
             layers: vec![
-                CnnLayer::Dense { input: 784, output: 256 },
-                CnnLayer::Dense { input: 256, output: 128 },
-                CnnLayer::Dense { input: 128, output: 10 },
+                CnnLayer::Dense {
+                    input: 784,
+                    output: 256,
+                },
+                CnnLayer::Dense {
+                    input: 256,
+                    output: 128,
+                },
+                CnnLayer::Dense {
+                    input: 128,
+                    output: 10,
+                },
             ],
             classes: 10,
         }
@@ -86,12 +148,30 @@ impl CnnConfig {
         Self {
             name: "CNN (CIFAR-10)",
             layers: vec![
-                CnnLayer::Conv { hw: 32, in_c: 3, out_c: 32, k: 3, stride: 1 },
+                CnnLayer::Conv {
+                    hw: 32,
+                    in_c: 3,
+                    out_c: 32,
+                    k: 3,
+                    stride: 1,
+                },
                 CnnLayer::Pool,
-                CnnLayer::Conv { hw: 16, in_c: 32, out_c: 64, k: 3, stride: 1 },
+                CnnLayer::Conv {
+                    hw: 16,
+                    in_c: 32,
+                    out_c: 64,
+                    k: 3,
+                    stride: 1,
+                },
                 CnnLayer::Pool,
-                CnnLayer::Dense { input: 8 * 8 * 64, output: 128 },
-                CnnLayer::Dense { input: 128, output: 10 },
+                CnnLayer::Dense {
+                    input: 8 * 8 * 64,
+                    output: 128,
+                },
+                CnnLayer::Dense {
+                    input: 128,
+                    output: 10,
+                },
             ],
             classes: 10,
         }
@@ -100,7 +180,13 @@ impl CnnConfig {
     /// MobileNet v1 at CIFAR-10 resolution (32×32 input).
     #[must_use]
     pub fn mobilenet_v1_cifar10() -> Self {
-        let mut layers = vec![CnnLayer::Conv { hw: 32, in_c: 3, out_c: 32, k: 3, stride: 1 }];
+        let mut layers = vec![CnnLayer::Conv {
+            hw: 32,
+            in_c: 3,
+            out_c: 32,
+            k: 3,
+            stride: 1,
+        }];
         // (hw, in_c, out_c, stride) per standard MobileNet-v1 schedule,
         // scaled to the 32×32 input.
         let blocks = [
@@ -119,10 +205,23 @@ impl CnnConfig {
             (2, 1024, 1024, 1),
         ];
         for (hw, in_c, out_c, stride) in blocks {
-            layers.push(CnnLayer::DepthwiseSeparable { hw, in_c, out_c, k: 3, stride });
+            layers.push(CnnLayer::DepthwiseSeparable {
+                hw,
+                in_c,
+                out_c,
+                k: 3,
+                stride,
+            });
         }
-        layers.push(CnnLayer::Dense { input: 1024, output: 10 });
-        Self { name: "MobileNet v1 (CIFAR-10)", layers, classes: 10 }
+        layers.push(CnnLayer::Dense {
+            input: 1024,
+            output: 10,
+        });
+        Self {
+            name: "MobileNet v1 (CIFAR-10)",
+            layers,
+            classes: 10,
+        }
     }
 
     /// VGG-16 at CIFAR-10 resolution.
@@ -134,16 +233,35 @@ impl CnnConfig {
         // VGG-16 conv schedule: (64,2) (128,2) (256,3) (512,3) (512,3).
         for (out_c, reps) in [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)] {
             for _ in 0..reps {
-                layers.push(CnnLayer::Conv { hw, in_c, out_c, k: 3, stride: 1 });
+                layers.push(CnnLayer::Conv {
+                    hw,
+                    in_c,
+                    out_c,
+                    k: 3,
+                    stride: 1,
+                });
                 in_c = out_c;
             }
             layers.push(CnnLayer::Pool);
             hw /= 2;
         }
-        layers.push(CnnLayer::Dense { input: hw * hw * 512, output: 512 });
-        layers.push(CnnLayer::Dense { input: 512, output: 512 });
-        layers.push(CnnLayer::Dense { input: 512, output: 10 });
-        Self { name: "VGG-16 (CIFAR-10)", layers, classes: 10 }
+        layers.push(CnnLayer::Dense {
+            input: hw * hw * 512,
+            output: 512,
+        });
+        layers.push(CnnLayer::Dense {
+            input: 512,
+            output: 512,
+        });
+        layers.push(CnnLayer::Dense {
+            input: 512,
+            output: 10,
+        });
+        Self {
+            name: "VGG-16 (CIFAR-10)",
+            layers,
+            classes: 10,
+        }
     }
 
     /// The four vision rows of Table I.
@@ -165,7 +283,13 @@ pub fn census(config: &CnnConfig) -> OpCensus {
     let mut ops = OpCensus::default();
     for layer in &config.layers {
         match *layer {
-            CnnLayer::Conv { hw, in_c, out_c, k, stride } => {
+            CnnLayer::Conv {
+                hw,
+                in_c,
+                out_c,
+                k,
+                stride,
+            } => {
                 let out_hw = hw.div_ceil(stride);
                 ops.matmuls.push(MatmulDims {
                     m: out_hw * out_hw,
@@ -174,7 +298,13 @@ pub fn census(config: &CnnConfig) -> OpCensus {
                 });
                 ops.relu_elements += (out_hw * out_hw * out_c) as u64;
             }
-            CnnLayer::DepthwiseSeparable { hw, in_c, out_c, k, stride } => {
+            CnnLayer::DepthwiseSeparable {
+                hw,
+                in_c,
+                out_c,
+                k,
+                stride,
+            } => {
                 let out_hw = hw.div_ceil(stride);
                 // Depthwise: in_c independent (out_hw² × k²) · (k² × 1)
                 // matmuls — merged into one equivalent matmul with the
@@ -195,7 +325,11 @@ pub fn census(config: &CnnConfig) -> OpCensus {
             }
             CnnLayer::Pool => {}
             CnnLayer::Dense { input, output } => {
-                ops.matmuls.push(MatmulDims { m: 1, k: input, n: output });
+                ops.matmuls.push(MatmulDims {
+                    m: 1,
+                    k: input,
+                    n: output,
+                });
                 ops.relu_elements += output as u64;
             }
         }
@@ -241,7 +375,14 @@ mod tests {
     fn conv_dims_follow_im2col() {
         let ops = census(&CnnConfig::cnn_cifar10());
         // First conv: 32×32 out, 3×3×3 patch, 32 filters.
-        assert_eq!(ops.matmuls[0], MatmulDims { m: 1024, k: 27, n: 32 });
+        assert_eq!(
+            ops.matmuls[0],
+            MatmulDims {
+                m: 1024,
+                k: 27,
+                n: 32
+            }
+        );
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! difficulty — because that is what determines whether an approximated
 //! softmax flips predictions.
 
-use serde::{Deserialize, Serialize};
-
 /// Which synthetic task family stands in for the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// Image-classifier-like: well-separated classes, moderate logit
     /// spread (MLP/CNN/MobileNet/VGG rows).
@@ -19,9 +17,14 @@ pub enum TaskKind {
     TextClassification,
 }
 
+nova_serde::impl_serde_enum!(TaskKind {
+    ImageClassification,
+    TextClassification
+});
+
 /// One Table I row: a model, its dataset label, and the breakpoint budget
 /// the paper used for it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TableOneModel {
     /// Model name as printed in Table I.
     pub name: &'static str,
@@ -36,6 +39,16 @@ pub struct TableOneModel {
     /// Task family.
     pub kind: TaskKind,
 }
+
+// `name`/`dataset` are `&'static str` table labels: serialize-only.
+nova_serde::impl_serialize_struct!(TableOneModel {
+    name,
+    dataset,
+    breakpoints,
+    classes,
+    logit_scale,
+    kind
+});
 
 impl TableOneModel {
     /// The six Table I rows, in the paper's order.

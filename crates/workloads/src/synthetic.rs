@@ -10,10 +10,8 @@
 //! the paper's claim, exercised through the identical hardware code path.
 
 use nova_approx::softmax::{softmax_exact, ApproxSoftmax};
+use nova_fixed::rng::StdRng;
 use nova_fixed::{Rounding, Q4_12};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::models::TableOneModel;
 
@@ -58,7 +56,7 @@ impl SyntheticTask {
 }
 
 /// One evaluated Table I row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableOneRow {
     /// Model name.
     pub name: String,
@@ -74,6 +72,15 @@ pub struct TableOneRow {
     /// (%).
     pub agreement: f64,
 }
+
+nova_serde::impl_serde_struct!(TableOneRow {
+    name,
+    dataset,
+    breakpoints,
+    accuracy_exact,
+    accuracy_approx,
+    agreement,
+});
 
 /// Evaluates one Table I model over `samples` synthetic inputs.
 ///
@@ -149,7 +156,11 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let task = SyntheticTask { classes: 10, logit_scale: 3.0, noise: 1.0 };
+        let task = SyntheticTask {
+            classes: 10,
+            logit_scale: 3.0,
+            noise: 1.0,
+        };
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(1);
         assert_eq!(task.sample(&mut a), task.sample(&mut b));
@@ -157,8 +168,14 @@ mod tests {
 
     #[test]
     fn easier_tasks_score_higher() {
-        let hard = TableOneModel { logit_scale: 1.0, ..TableOneModel::all()[0] };
-        let easy = TableOneModel { logit_scale: 6.0, ..TableOneModel::all()[0] };
+        let hard = TableOneModel {
+            logit_scale: 1.0,
+            ..TableOneModel::all()[0]
+        };
+        let easy = TableOneModel {
+            logit_scale: 6.0,
+            ..TableOneModel::all()[0]
+        };
         let rh = evaluate_model(&hard, 800, 3).unwrap();
         let re = evaluate_model(&easy, 800, 3).unwrap();
         assert!(re.accuracy_exact > rh.accuracy_exact);
@@ -170,7 +187,12 @@ mod tests {
         // delta below half a percent.
         for model in TableOneModel::all() {
             let row = evaluate_model(&model, 1000, 42).unwrap();
-            assert!(row.agreement >= 99.0, "{}: agreement {}", row.name, row.agreement);
+            assert!(
+                row.agreement >= 99.0,
+                "{}: agreement {}",
+                row.name,
+                row.agreement
+            );
             assert!(
                 (row.accuracy_exact - row.accuracy_approx).abs() <= 0.5,
                 "{}: {} vs {}",

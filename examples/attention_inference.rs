@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kt: Vec<i64> = (0..DIM * SEQ).map(|i| ((i * 3) % 7) as i64 - 3).collect();
 
     // 1. Scores S = Q·Kᵀ on a cycle-accurate 8×8 output-stationary array.
-    let dims = MatmulDims { m: SEQ, k: DIM, n: SEQ };
+    let dims = MatmulDims {
+        m: SEQ,
+        k: DIM,
+        n: SEQ,
+    };
     let run = cycle_accurate::matmul(8, 8, dims, &q, &kt);
     println!(
         "systolic: {}×{}×{} matmul on an 8×8 OS array took {} cycles",
@@ -47,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("row 0 approx : {:?}", round3(&approx));
         }
     }
-    println!("max |exact − approx| over all {} attention rows: {:.4}", SEQ, worst);
+    println!(
+        "max |exact − approx| over all {} attention rows: {:.4}",
+        SEQ, worst
+    );
     assert!(worst < 0.02, "16-breakpoint softmax must stay within 2e-2");
 
     // 3. What does this cost at scale? The engine's view of BERT-mini.

@@ -7,7 +7,7 @@
 
 use nova_approx::mlp::{MlpApproximator, TrainConfig};
 use nova_approx::{metrics, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_noc::{sim::BroadcastSim, LineConfig};
 
 /// Mish: x·tanh(softplus(x)) — an activation the paper never shipped a
@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let domain = (-6.0, 6.0);
 
     // 1. NN-LUT style: a 15-hidden-unit ReLU MLP learns the breakpoints.
-    let cfg = TrainConfig { hidden: 15, epochs: 4000, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        hidden: 15,
+        epochs: 4000,
+        ..TrainConfig::default()
+    };
     let mlp = MlpApproximator::train_fn(&mish, domain, cfg)?;
     println!("MLP trained: final MSE {:.2e}", mlp.final_loss());
 

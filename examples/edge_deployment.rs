@@ -17,7 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = BertConfig::mobilebert_tiny();
 
     // The full attention operator set an encoder needs.
-    let ops = [Activation::Exp, Activation::Recip, Activation::Gelu, Activation::Rsqrt];
+    let ops = [
+        Activation::Exp,
+        Activation::Recip,
+        Activation::Gelu,
+        Activation::Rsqrt,
+    ];
     let plan = Mapper::paper_default().compile(
         &ops,
         &tech,

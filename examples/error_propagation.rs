@@ -7,13 +7,18 @@
 //!
 //! Run with: `cargo run --release --example error_propagation`
 
+use nova_fixed::rng::StdRng;
 use nova_workloads::attention::{EncoderStack, ExactBackend, Matrix, PwlBackend};
 use nova_workloads::bert::BertConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = BertConfig { name: "study", layers: 8, hidden: 64, heads: 4, ffn: 128 };
+    let cfg = BertConfig {
+        name: "study",
+        layers: 8,
+        hidden: 64,
+        heads: 4,
+        ffn: 128,
+    };
     let stack = EncoderStack::random(cfg, 99);
     let mut rng = StdRng::seed_from_u64(5);
     let x = Matrix::random(16, cfg.hidden, 1.0, &mut rng);

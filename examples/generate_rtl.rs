@@ -9,7 +9,7 @@
 use std::fs;
 
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_noc::rtl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

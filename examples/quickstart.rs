@@ -5,17 +5,20 @@
 //! Run with: `cargo run --example quickstart`
 
 use nova::engine::{evaluate, ApproximatorKind};
-use nova::{Mapper, NovaOverlay, VectorUnit};
+use nova::{Mapper, NovaOverlay};
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_synth::TechModel;
 use nova_workloads::bert::BertConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = TechModel::cmos22();
     let host = AcceleratorConfig::tpu_v4_like();
-    println!("Host: {} ({} routers × {} neurons)", host.name, host.nova_routers, host.neurons_per_router);
+    println!(
+        "Host: {} ({} routers × {} neurons)",
+        host.name, host.nova_routers, host.neurons_per_router
+    );
 
     // 1. The mapper compiles the activation table and programs the NoC.
     let mapper = Mapper::paper_default();
@@ -35,10 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.reach,
     );
 
-    // 2. Overlay NOVA and run a batch bit-accurately through the NoC.
+    // 2. Overlay NOVA and run a batch bit-accurately through the NoC,
+    //    built through the unified ApproximatorKind dispatch.
     let overlay = NovaOverlay::new(&host);
     let table = &plan.mappings[0].table;
-    let mut unit = overlay.vector_unit(&tech, table)?;
+    let mut unit = overlay.unit(&tech, table, ApproximatorKind::NovaNoc)?;
     let inputs: Vec<Vec<Fixed>> = (0..host.nova_routers)
         .map(|r| {
             (0..host.neurons_per_router)
@@ -61,7 +65,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Cost: hardware overhead and per-inference energy.
     let ap = overlay.area_power(&tech);
     println!("NOVA NoC on {}: {ap}", host.name);
-    let report = evaluate(&host, &BertConfig::bert_tiny(), 1024, ApproximatorKind::NovaNoc)?;
+    let report = evaluate(
+        &host,
+        &BertConfig::bert_tiny(),
+        1024,
+        ApproximatorKind::NovaNoc,
+    )?;
     println!(
         "BERT-tiny @1024: {} non-linear queries, approximator energy {:.4} mJ ({:.2}% of host compute energy)",
         report.nl_queries, report.approximator_energy_mj, report.energy_overhead_pct

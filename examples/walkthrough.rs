@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example walkthrough`
 
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_lut::walkthrough::fig2_walkthrough;
 use nova_noc::{sim::BroadcastSim, LineConfig};
 

@@ -1,1 +1,59 @@
-//! Workspace umbrella crate: see the `nova` crate for the library API.
+//! Workspace umbrella crate for the NOVA (DATE 2024) reproduction.
+//!
+//! Re-exports the entire stack so downstream users can depend on one
+//! crate and reach every layer:
+//!
+//! - the top-level API ([`engine`], [`Mapper`], [`NovaOverlay`], the
+//!   [`VectorUnit`] dispatch) re-exported flat from the `nova` core
+//!   crate, and
+//! - each underlying layer under its own module name ([`fixed`],
+//!   [`approx`], [`lut`], [`noc`], [`synth`], [`accel`], [`workloads`],
+//!   [`serde`]).
+//!
+//! The repo-level `tests/` and `examples/` exercise the stack through
+//! these same public crates.
+//!
+//! ```
+//! use nova_repro::{engine, ApproximatorKind};
+//! use nova_repro::accel::AcceleratorConfig;
+//! use nova_repro::workloads::bert::BertConfig;
+//!
+//! # fn main() -> Result<(), nova_repro::NovaError> {
+//! let tpu = AcceleratorConfig::tpu_v4_like();
+//! let report = engine::evaluate(&tpu, &BertConfig::bert_tiny(), 128,
+//!                               ApproximatorKind::NovaNoc)?;
+//! assert!(report.approximator_energy_mj > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// The top of the stack, flattened: `nova_repro::engine::evaluate`,
+// `nova_repro::ApproximatorKind`, ... mirror the `nova` crate root.
+pub use nova::*;
+
+/// Fixed-point substrate (`nova-fixed`).
+pub use nova_fixed as fixed;
+
+/// Non-linear function approximators (`nova-approx`).
+pub use nova_approx as approx;
+
+/// SRAM LUT baselines (`nova-lut`).
+pub use nova_lut as lut;
+
+/// The 257-bit line NoC (`nova-noc`).
+pub use nova_noc as noc;
+
+/// 22 nm synthesis cost models (`nova-synth`).
+pub use nova_synth as synth;
+
+/// Host accelerator models (`nova-accel`).
+pub use nova_accel as accel;
+
+/// Workload censuses and functional references (`nova-workloads`).
+pub use nova_workloads as workloads;
+
+/// Dependency-free serialization layer (`nova-serde`).
+pub use nova_serde as serde;

@@ -2,10 +2,10 @@
 //! → engine, over every Table II configuration.
 
 use nova::engine::{evaluate, ApproximatorKind};
-use nova::{LutVariant, LutVectorUnit, Mapper, NovaOverlay, VectorUnit};
+use nova::{Mapper, NovaOverlay, VectorUnit};
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
-use nova_fixed::{Fixed, Q4_12, Rounding};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_synth::TechModel;
 use nova_workloads::bert::BertConfig;
 
@@ -22,8 +22,9 @@ fn batch(routers: usize, neurons: usize, seed: f64) -> Vec<Vec<Fixed>> {
         .collect()
 }
 
-/// The full pipeline on every Table II host: compile a mapping, build the
-/// NOVA unit and both LUT baselines, and verify bit-identical results.
+/// The full pipeline on every Table II host: compile a mapping, then
+/// build *every* approximator kind through the unified `VectorUnit`
+/// dispatch and verify bit-identical results across all of them.
 #[test]
 fn every_host_all_units_agree() {
     let tech = TechModel::cmos22();
@@ -39,21 +40,26 @@ fn every_host_all_units_agree() {
             .expect("paper configs must map");
         let overlay = NovaOverlay::new(&cfg);
         for mapping in &plan.mappings {
-            let mut nova = overlay
-                .vector_unit(&tech, &mapping.table)
-                .expect("overlay unit must build");
-            let mut pn = LutVectorUnit::new(
-                &mapping.table,
-                cfg.nova_routers,
-                cfg.neurons_per_router,
-                LutVariant::PerNeuron,
-            );
             let inputs = batch(cfg.nova_routers, cfg.neurons_per_router, 0.9);
-            let a = nova.lookup_batch(&inputs).expect("nova batch");
-            let b = pn.lookup_batch(&inputs).expect("lut batch");
-            assert_eq!(a, b, "{}: {} mismatch", cfg.name, mapping.activation);
+            let mut outputs = Vec::new();
+            for kind in ApproximatorKind::all() {
+                let mut unit = overlay
+                    .unit(&tech, &mapping.table, kind)
+                    .expect("dispatched unit must build");
+                outputs.push(unit.lookup_batch(&inputs).expect("batch"));
+            }
+            for (out, kind) in outputs[1..].iter().zip(&ApproximatorKind::all()[1..]) {
+                assert_eq!(
+                    *out,
+                    outputs[0],
+                    "{}: {} diverges from NOVA on {}",
+                    cfg.name,
+                    kind.label(),
+                    mapping.activation
+                );
+            }
             // Spot-check against the table itself.
-            assert_eq!(a[0][0], mapping.table.eval(inputs[0][0]));
+            assert_eq!(outputs[0][0][0], mapping.table.eval(inputs[0][0]));
         }
     }
 }
@@ -131,7 +137,13 @@ fn eight_breakpoint_ablation() {
     let cfg = AcceleratorConfig::react();
     let plan = Mapper::paper_default()
         .with_segments(8)
-        .compile(&[Activation::Sigmoid], &tech, cfg.nova_routers, cfg.frequency_ghz(), 1.0)
+        .compile(
+            &[Activation::Sigmoid],
+            &tech,
+            cfg.nova_routers,
+            cfg.frequency_ghz(),
+            1.0,
+        )
         .unwrap();
     assert_eq!(plan.noc_clock_multiplier, 1);
     let overlay = NovaOverlay::with_breakpoints(&cfg, 8);

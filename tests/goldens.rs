@@ -25,7 +25,11 @@ fn golden_table3_nova_areas() {
     ];
     for (cfg, paper, tol) in rows {
         let a = NovaOverlay::new(&cfg).area_power(&tech).area_mm2;
-        assert!(within(a, paper, tol), "{}: {a:.4} vs paper {paper}", cfg.name);
+        assert!(
+            within(a, paper, tol),
+            "{}: {a:.4} vs paper {paper}",
+            cfg.name
+        );
     }
 }
 
@@ -40,7 +44,11 @@ fn golden_table3_nova_powers() {
     ];
     for (cfg, paper, tol) in rows {
         let p = NovaOverlay::new(&cfg).area_power(&tech).power_mw;
-        assert!(within(p, paper, tol), "{}: {p:.2} vs paper {paper}", cfg.name);
+        assert!(
+            within(p, paper, tol),
+            "{}: {p:.2} vs paper {paper}",
+            cfg.name
+        );
     }
 }
 
@@ -51,9 +59,17 @@ fn golden_table3_lut_baselines_tpu() {
     let pn = overlay.lut_area_power(&tech, LutSharing::PerNeuron);
     let pc = overlay.lut_area_power(&tech, LutSharing::PerCore);
     assert!(within(pn.area_mm2, 1.267, 0.10), "pn area {}", pn.area_mm2);
-    assert!(within(pn.power_mw, 382.468, 0.10), "pn power {}", pn.power_mw);
+    assert!(
+        within(pn.power_mw, 382.468, 0.10),
+        "pn power {}",
+        pn.power_mw
+    );
     assert!(within(pc.area_mm2, 1.004, 0.10), "pc area {}", pc.area_mm2);
-    assert!(within(pc.power_mw, 862.472, 0.10), "pc power {}", pc.power_mw);
+    assert!(
+        within(pc.power_mw, 862.472, 0.10),
+        "pc power {}",
+        pc.power_mw
+    );
 }
 
 #[test]
@@ -78,7 +94,10 @@ fn golden_react_overhead_percent() {
     let pct = NovaOverlay::new(&AcceleratorConfig::react())
         .area_overhead_pct(&tech)
         .unwrap();
-    assert!(within(pct, 9.11, 0.10), "REACT overhead {pct:.2}% vs paper 9.11%");
+    assert!(
+        within(pct, 9.11, 0.10),
+        "REACT overhead {pct:.2}% vs paper 9.11%"
+    );
 }
 
 #[test]
@@ -86,16 +105,11 @@ fn golden_jetson_sdp_ratio() {
     // Paper: 37.8× power; model lands ~45× (documented in EXPERIMENTS.md).
     let tech = TechModel::cmos22();
     let cfg = AcceleratorConfig::jetson_xavier_nx();
-    let sdp = nova::engine::approximator_power_mw(
-        &tech,
-        &cfg,
-        nova::ApproximatorKind::NvdlaSdp,
-    );
-    let nova_p = nova::engine::approximator_power_mw(
-        &tech,
-        &cfg,
-        nova::ApproximatorKind::NovaNoc,
-    );
+    let sdp = nova::engine::approximator_power_mw(&tech, &cfg, nova::ApproximatorKind::NvdlaSdp);
+    let nova_p = nova::engine::approximator_power_mw(&tech, &cfg, nova::ApproximatorKind::NovaNoc);
     let ratio = sdp / nova_p;
-    assert!((20.0..80.0).contains(&ratio), "SDP/NOVA {ratio:.1} (paper 37.8)");
+    assert!(
+        (20.0..80.0).contains(&ratio),
+        "SDP/NOVA {ratio:.1} (paper 37.8)"
+    );
 }

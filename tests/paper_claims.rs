@@ -65,8 +65,14 @@ fn claim_tpu_v4_energy_ratios() {
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (pn, pc) = (avg(&pn_ratios), avg(&pc_ratios));
-    assert!((2.0..9.0).contains(&pn), "per-neuron/NOVA {pn:.2}x (paper 4.14x)");
-    assert!((4.0..20.0).contains(&pc), "per-core/NOVA {pc:.2}x (paper 9.4x)");
+    assert!(
+        (2.0..9.0).contains(&pn),
+        "per-neuron/NOVA {pn:.2}x (paper 4.14x)"
+    );
+    assert!(
+        (4.0..20.0).contains(&pc),
+        "per-core/NOVA {pc:.2}x (paper 9.4x)"
+    );
     assert!(pc > pn, "per-core must be the worse baseline");
 }
 
@@ -107,7 +113,12 @@ fn claim_table1_accuracy_preserved() {
             row.accuracy_exact,
             row.accuracy_approx
         );
-        assert!(row.agreement > 99.0, "{}: agreement {:.2}%", row.name, row.agreement);
+        assert!(
+            row.agreement > 99.0,
+            "{}: agreement {:.2}%",
+            row.name,
+            row.agreement
+        );
     }
 }
 
@@ -120,7 +131,11 @@ fn claim_react_die_overheads() {
     let overlay = NovaOverlay::new(&react);
     let die = react.die_area_mm2.unwrap();
     let nova_pct = overlay.area_overhead_pct(&tech).unwrap();
-    let pn_pct = 100.0 * overlay.lut_area_power(&tech, LutSharing::PerNeuron).area_mm2 / die;
+    let pn_pct = 100.0
+        * overlay
+            .lut_area_power(&tech, LutSharing::PerNeuron)
+            .area_mm2
+        / die;
     let pc_pct = 100.0 * overlay.lut_area_power(&tech, LutSharing::PerCore).area_mm2 / die;
     assert!(nova_pct < 15.0, "NOVA {nova_pct:.1}% (paper 9.11%)");
     assert!(pn_pct > 20.0, "per-neuron {pn_pct:.1}% (paper 31%)");

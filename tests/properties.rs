@@ -1,38 +1,45 @@
 //! Workspace-level property tests: the full mapper → overlay → unit
 //! pipeline under randomized settings.
+//!
+//! Checked over deterministic pseudo-random stimulus from the workspace
+//! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
+//! dependency policy.
 
 use nova::{LutVariant, LutVectorUnit, Mapper, NovaVectorUnit, SegmentedNovaUnit, VectorUnit};
 use nova_approx::Activation;
+use nova_fixed::rng::StdRng;
 use nova_fixed::{Fixed, Q4_12};
 use nova_noc::LineConfig;
 use nova_synth::TechModel;
-use proptest::prelude::*;
 
-fn activations() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::Exp),
-        Just(Activation::Gelu),
-        Just(Activation::Sigmoid),
-        Just(Activation::Tanh),
-        Just(Activation::Silu),
-    ]
+const ACTIVATIONS: [Activation; 5] = [
+    Activation::Exp,
+    Activation::Gelu,
+    Activation::Sigmoid,
+    Activation::Tanh,
+    Activation::Silu,
+];
+
+fn pick_activation(rng: &mut StdRng) -> Activation {
+    ACTIVATIONS[rng.gen_range(0..ACTIVATIONS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For any activation, segment budget, geometry and inputs: the NOVA
-    /// unit, the segmented NOVA unit and both LUT baselines agree bit for
-    /// bit, and all equal the compiled table.
-    #[test]
-    fn all_units_agree_under_random_mappings(
-        a in activations(),
-        segments in 2usize..=16,
-        routers in 1usize..=10,
-        neurons in 1usize..=6,
-        reach in 1usize..=10,
-        raws in prop::collection::vec(any::<i16>(), 1..64),
-    ) {
+/// For any activation, segment budget, geometry and inputs: the NOVA
+/// unit, the segmented NOVA unit and both LUT baselines agree bit for
+/// bit, and all equal the compiled table.
+#[test]
+fn all_units_agree_under_random_mappings() {
+    let mut rng = StdRng::seed_from_u64(0xD001);
+    for _ in 0..24 {
+        let a = pick_activation(&mut rng);
+        let segments = rng.gen_range(2usize..17);
+        let routers = rng.gen_range(1usize..11);
+        let neurons = rng.gen_range(1usize..7);
+        let reach = rng.gen_range(1usize..11);
+        let n_raws = rng.gen_range(1usize..64);
+        let raws: Vec<i64> = (0..n_raws)
+            .map(|_| rng.gen_range(i64::from(i16::MIN)..i64::from(i16::MAX) + 1))
+            .collect();
         let tech = TechModel::cmos22();
         let plan = Mapper::paper_default()
             .with_segments(segments)
@@ -46,7 +53,7 @@ proptest! {
                 (0..neurons)
                     .map(|n| {
                         let raw = raws[(r * neurons + n) % raws.len()];
-                        Fixed::from_raw(i64::from(raw), Q4_12).unwrap()
+                        Fixed::from_raw(raw, Q4_12).unwrap()
                     })
                     .collect()
             })
@@ -56,37 +63,44 @@ proptest! {
         let mut pn = LutVectorUnit::new(table, routers, neurons, LutVariant::PerNeuron);
         let mut pc = LutVectorUnit::new(table, routers, neurons, LutVariant::PerCore);
         let x = nova.lookup_batch(&inputs).unwrap();
-        prop_assert_eq!(&x, &seg.lookup_batch(&inputs).unwrap());
-        prop_assert_eq!(&x, &pn.lookup_batch(&inputs).unwrap());
-        prop_assert_eq!(&x, &pc.lookup_batch(&inputs).unwrap());
+        assert_eq!(x, seg.lookup_batch(&inputs).unwrap());
+        assert_eq!(x, pn.lookup_batch(&inputs).unwrap());
+        assert_eq!(x, pc.lookup_batch(&inputs).unwrap());
         for (row_out, row_in) in x.iter().zip(&inputs) {
             for (&o, &i) in row_out.iter().zip(row_in) {
-                prop_assert_eq!(o, table.eval(i));
+                assert_eq!(o, table.eval(i));
             }
         }
     }
+}
 
-    /// The mapper's clock multiplier is exactly ⌈segments/8⌉ on the paper
-    /// link, and the plan's reach shrinks monotonically with core clock.
-    #[test]
-    fn mapper_multiplier_formula(segments in 1usize..=16, core_mhz in 100.0f64..2000.0) {
+/// The mapper's clock multiplier is exactly ⌈segments/8⌉ on the paper
+/// link, and the plan's reach shrinks monotonically with core clock.
+#[test]
+fn mapper_multiplier_formula() {
+    let mut rng = StdRng::seed_from_u64(0xD002);
+    for _ in 0..24 {
+        let segments = rng.gen_range(1usize..17);
+        let core_mhz = rng.gen_range(100.0..2000.0);
         let tech = TechModel::cmos22();
         let plan = Mapper::paper_default()
             .with_segments(segments)
             .compile(&[Activation::Tanh], &tech, 4, core_mhz / 1000.0, 1.0)
             .unwrap();
-        prop_assert_eq!(plan.noc_clock_multiplier, segments.div_ceil(8).max(1));
+        assert_eq!(plan.noc_clock_multiplier, segments.div_ceil(8).max(1));
         let slower = Mapper::paper_default()
             .with_segments(segments)
             .compile(&[Activation::Tanh], &tech, 4, core_mhz / 2000.0, 1.0)
             .unwrap();
-        prop_assert!(slower.reach >= plan.reach);
+        assert!(slower.reach >= plan.reach);
     }
+}
 
-    /// Approximation accuracy through the full mapper pipeline improves
-    /// (weakly) with the segment budget for every activation.
-    #[test]
-    fn mapper_accuracy_monotone(a in activations()) {
+/// Approximation accuracy through the full mapper pipeline improves
+/// (weakly) with the segment budget for every activation.
+#[test]
+fn mapper_accuracy_monotone() {
+    for a in ACTIVATIONS {
         let tech = TechModel::cmos22();
         let err = |segments: usize| {
             let plan = Mapper::paper_default()
@@ -101,6 +115,6 @@ proptest! {
                 .fold(0.0f64, f64::max)
         };
         // Allow a little fixed-point noise between adjacent budgets.
-        prop_assert!(err(16) <= err(4) + 0.01);
+        assert!(err(16) <= err(4) + 0.01, "{a:?}");
     }
 }

@@ -1,20 +1,23 @@
-//! Serde wiring tests for the data-structure types (C-SERDE):
+//! Serialization wiring tests for the data-structure types (C-SERDE):
 //! configurations and reports must be serializable so downstream tooling
-//! can persist sweep results. The dependency policy excludes format
-//! crates (serde_json etc.), so these tests verify the derive wiring via
-//! trait bounds and serde's built-in value deserializer.
+//! can persist sweep results. The dependency policy excludes external
+//! crates, so the workspace ships its own serialization layer
+//! (`nova-serde`: a self-describing `Value` model plus a JSON text
+//! format); these tests verify the impl wiring via trait bounds, a
+//! value-level round-trip and a full JSON text round-trip.
 
 use nova::engine::{evaluate, ApproximatorKind, InferenceReport};
 use nova_accel::AcceleratorConfig;
+use nova_serde::{Deserialize, Serialize, Value};
 use nova_synth::{AreaPower, TechModel};
 use nova_workloads::bert::{census, BertConfig, OpCensus};
 
-/// Compile-time assertions that the report/config types implement both
-/// serde traits.
+/// Compile-time assertions that the report/config types implement the
+/// serialization traits.
 #[test]
 fn serde_traits_present() {
-    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-    fn assert_serialize<T: serde::Serialize>() {}
+    fn assert_serde<T: Serialize + Deserialize>() {}
+    fn assert_serialize<T: Serialize>() {}
     assert_serde::<OpCensus>();
     assert_serde::<InferenceReport>();
     assert_serde::<AreaPower>();
@@ -24,24 +27,46 @@ fn serde_traits_present() {
     assert_serialize::<TechModel>();
 }
 
-/// Value-level round-trip through serde's self-describing value
-/// deserializer — no external format crate needed.
+/// Value-level round-trip through the self-describing value model — no
+/// text format involved.
 #[test]
 fn area_power_survives_value_roundtrip() {
-    use serde::de::IntoDeserializer;
-
     let ap = AreaPower::new(1.25, 42.5);
-    let as_map: std::collections::BTreeMap<String, f64> = [
-        ("area_mm2".to_string(), ap.area_mm2),
-        ("power_mw".to_string(), ap.power_mw),
-    ]
-    .into_iter()
-    .collect();
-    let de: serde::de::value::MapDeserializer<'_, _, serde::de::value::Error> =
-        as_map.into_deserializer();
-    let back: AreaPower =
-        serde::Deserialize::deserialize(de).expect("AreaPower round-trips");
+    let as_map = Value::Map(vec![
+        ("area_mm2".to_string(), Value::F64(ap.area_mm2)),
+        ("power_mw".to_string(), Value::F64(ap.power_mw)),
+    ]);
+    let back = AreaPower::from_value(&as_map).expect("AreaPower round-trips");
     assert_eq!(back, ap);
+    // The hand-built map equals what Serialize emits.
+    assert_eq!(ap.to_value(), as_map);
+}
+
+/// Full JSON text round-trip of an engine report: serialize, re-parse,
+/// rebuild, compare — the sweep-persistence path end to end.
+#[test]
+fn inference_report_survives_json_roundtrip() {
+    let cfg = AcceleratorConfig::react();
+    let r = evaluate(
+        &cfg,
+        &BertConfig::bert_tiny(),
+        64,
+        ApproximatorKind::NovaNoc,
+    )
+    .expect("valid evaluation");
+    let json = r.to_json_string();
+    let back = InferenceReport::from_json_str(&json).expect("report re-parses");
+    assert_eq!(back, r);
+    // Sanity: the text really is JSON with the expected fields.
+    assert!(json.starts_with('{') && json.contains("\"approximator_energy_mj\""));
+}
+
+/// Censuses round-trip too (they carry the matmul list).
+#[test]
+fn census_survives_json_roundtrip() {
+    let c = census(&BertConfig::bert_mini(), 32);
+    let back = OpCensus::from_json_str(&c.to_json_string()).expect("census re-parses");
+    assert_eq!(back, c);
 }
 
 /// The engine's reports are cloneable, comparable data (usable as golden
@@ -49,8 +74,13 @@ fn area_power_survives_value_roundtrip() {
 #[test]
 fn inference_report_is_data() {
     let cfg = AcceleratorConfig::react();
-    let r = evaluate(&cfg, &BertConfig::bert_tiny(), 64, ApproximatorKind::NovaNoc)
-        .expect("valid evaluation");
+    let r = evaluate(
+        &cfg,
+        &BertConfig::bert_tiny(),
+        64,
+        ApproximatorKind::NovaNoc,
+    )
+    .expect("valid evaluation");
     let copy = r.clone();
     assert_eq!(copy, r);
     let c1 = census(&BertConfig::bert_tiny(), 64);
