@@ -1,0 +1,98 @@
+//! Serving-layer benchmarks: table-cache amortization, coalesced
+//! multi-stream serve calls, and the analytic multi-stream evaluation.
+
+use nova_bench::harness::{black_box, BenchmarkId, Criterion};
+use nova_bench::{criterion_group, criterion_main};
+
+use nova::engine::{evaluate_multi_stream, ApproximatorKind};
+use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova_accel::AcceleratorConfig;
+use nova_approx::Activation;
+use nova_fixed::{Fixed, Rounding, Q4_12};
+use nova_noc::LineConfig;
+use nova_synth::TechModel;
+use nova_workloads::bert::OpCensus;
+use nova_workloads::traffic::{query_values, TrafficMix};
+
+fn requests(streams: usize, queries: usize) -> Vec<ServingRequest> {
+    (0..streams)
+        .map(|stream| ServingRequest {
+            stream,
+            inputs: query_values(stream as u64, queries, -6.0, 6.0)
+                .into_iter()
+                .map(|x| Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_table_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_cache");
+    g.bench_function("miss_fit_gelu16", |b| {
+        b.iter(|| {
+            let mut cache = TableCache::new();
+            cache
+                .get_or_fit(black_box(TableKey::paper(Activation::Gelu)))
+                .unwrap()
+        })
+    });
+    let mut cache = TableCache::new();
+    cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    g.bench_function("hit_gelu16", |b| {
+        b.iter(|| {
+            cache
+                .get_or_fit(black_box(TableKey::paper(Activation::Gelu)))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut cache = TableCache::new();
+    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    let mut g = c.benchmark_group("serve_8x128_grid");
+    for streams in [1usize, 8, 32] {
+        let reqs = requests(streams, 200);
+        let mut engine = ServingEngine::new(
+            ApproximatorKind::PerCoreLut,
+            LineConfig::paper_default(8, 128),
+            table.clone(),
+            1,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(streams), &reqs, |b, reqs| {
+            b.iter(|| engine.serve(black_box(reqs)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_multi_stream_eval(c: &mut Criterion) {
+    let tech = TechModel::cmos22();
+    let host = AcceleratorConfig::tpu_v4_like();
+    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16)
+        .generate()
+        .into_iter()
+        .map(|r| r.census)
+        .collect();
+    c.bench_function("evaluate_multi_stream_16", |b| {
+        b.iter(|| {
+            evaluate_multi_stream(
+                &tech,
+                &host,
+                black_box(&censuses),
+                ApproximatorKind::NovaNoc,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    serving,
+    bench_table_cache,
+    bench_serve,
+    bench_multi_stream_eval
+);
+criterion_main!(serving);

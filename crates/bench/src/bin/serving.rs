@@ -1,0 +1,153 @@
+//! Serving-engine study: aggregate throughput vs. concurrent stream
+//! count, and batch occupancy vs. offered load.
+//!
+//! Two views of the same batching story:
+//!
+//! 1. **Analytic** (`engine::evaluate_multi_stream`): mixed BERT/CNN/
+//!    synthetic traffic on a TPU-v4-like host, sweeping the stream
+//!    count. Coalescing non-linear queries across streams shrinks the
+//!    batch count versus naive per-stream dispatch, so the aggregate
+//!    query service rate rises.
+//! 2. **Functional** (`serving::ServingEngine`): the cycle-accounted
+//!    engine serving seeded query bursts, sweeping offered load (queries
+//!    per request) to show occupancy approaching 100 % as the scheduler
+//!    fills tail batches with other tenants' queries.
+
+use nova::engine::{evaluate_multi_stream, ApproximatorKind};
+use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova_accel::AcceleratorConfig;
+use nova_approx::Activation;
+use nova_bench::table::Table;
+use nova_fixed::{Fixed, Rounding, Q4_12};
+use nova_synth::TechModel;
+use nova_workloads::bert::OpCensus;
+use nova_workloads::traffic::{query_values, TrafficMix};
+
+fn main() {
+    let tech = TechModel::cmos22();
+    let host = AcceleratorConfig::tpu_v4_like();
+    println!(
+        "Serving study on {} ({} routers × {} neurons = {}-query batches)\n",
+        host.name,
+        host.nova_routers,
+        host.neurons_per_router,
+        host.total_neurons()
+    );
+
+    // 1. Aggregate throughput vs. concurrent stream count (analytic).
+    let mut t = Table::new(
+        "Multi-stream serving — mixed traffic, NOVA NoC",
+        &[
+            "Streams",
+            "Requests",
+            "Queries",
+            "Batches (coalesced)",
+            "Batches (naive)",
+            "Occupancy (%)",
+            "Queries/s (coalesced)",
+            "Queries/s (naive)",
+            "NL speedup",
+            "Inferences/s",
+        ],
+    );
+    for streams in [1usize, 2, 4, 8, 16, 32] {
+        let trace = TrafficMix::paper_default(streams).generate();
+        let censuses: Vec<OpCensus> = trace.into_iter().map(|r| r.census).collect();
+        let r = evaluate_multi_stream(&tech, &host, &censuses, ApproximatorKind::NovaNoc)
+            .expect("non-empty slate");
+        t.row(&[
+            format!("{streams}"),
+            format!("{}", r.requests),
+            format!("{}", r.total_queries),
+            format!("{}", r.coalesced_batches),
+            format!("{}", r.naive_batches),
+            format!("{:.2}", r.batch_occupancy_pct),
+            format!("{:.3e}", r.queries_per_second),
+            format!("{:.3e}", r.naive_queries_per_second),
+            format!("{:.3}x", r.nl_speedup),
+            format!("{:.1}", r.inferences_per_second),
+        ]);
+    }
+    t.print();
+
+    // 2. Batch occupancy vs. offered load (functional engine).
+    let mut cache = TableCache::new();
+    let mut t = Table::new(
+        "Batch occupancy vs offered load — functional engine, 8 streams",
+        &[
+            "Queries/request",
+            "Requests",
+            "Batches",
+            "Padded slots",
+            "Occupancy (%)",
+            "Queries/s @host clock",
+            "Naive queries/s",
+        ],
+    );
+    for queries_per_request in [16usize, 64, 256, 1024, 4096] {
+        let requests = bursts(8, 4, queries_per_request);
+        let mut engine = ServingEngine::for_host(
+            ApproximatorKind::NovaNoc,
+            &tech,
+            &host,
+            &mut cache,
+            TableKey::paper(Activation::Gelu),
+            1,
+        )
+        .expect("host engine builds");
+        engine.serve(&requests).expect("well-formed requests");
+        let mut naive = ServingEngine::for_host(
+            ApproximatorKind::NovaNoc,
+            &tech,
+            &host,
+            &mut cache,
+            TableKey::paper(Activation::Gelu),
+            1,
+        )
+        .expect("host engine builds");
+        for request in &requests {
+            naive
+                .serve(std::slice::from_ref(request))
+                .expect("well-formed request");
+        }
+        let ghz = host.frequency_ghz();
+        let stats = engine.stats();
+        t.row(&[
+            format!("{queries_per_request}"),
+            format!("{}", stats.requests),
+            format!("{}", stats.batches),
+            format!("{}", stats.padded_slots),
+            format!("{:.2}", engine.occupancy_pct()),
+            format!("{:.3e}", engine.queries_per_second(ghz)),
+            format!("{:.3e}", naive.queries_per_second(ghz)),
+        ]);
+    }
+    t.print();
+    println!(
+        "Table cache after both engines per load point: {} fit(s), {} hit(s).",
+        cache.misses(),
+        cache.hits()
+    );
+    println!(
+        "\nShape check: with ≥ 8 concurrent streams the coalesced scheduler keeps\n\
+         occupancy above 90% and its aggregate queries/s beats naive per-stream\n\
+         dispatch — the paper's 2-cycle per-batch latency amortized across tenants."
+    );
+}
+
+/// Seeded query bursts: `streams × requests_per_stream` requests of
+/// `queries` GELU inputs each.
+fn bursts(streams: usize, requests_per_stream: usize, queries: usize) -> Vec<ServingRequest> {
+    let mut requests = Vec::with_capacity(streams * requests_per_stream);
+    for stream in 0..streams {
+        for burst in 0..requests_per_stream {
+            let seed = (stream * 1009 + burst) as u64;
+            let inputs = query_values(seed, queries, -6.0, 6.0)
+                .into_iter()
+                .map(|x| Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
+                .collect();
+            requests.push(ServingRequest { stream, inputs });
+        }
+    }
+    requests
+}

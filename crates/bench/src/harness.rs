@@ -9,8 +9,16 @@
 //! Results print as `name … time/iter (iters)` lines.
 //!
 //! Budgets are intentionally small (50 ms per benchmark by default) so
-//! `cargo bench` stays fast in CI; set `NOVA_BENCH_MEASURE_MS` to raise
-//! them for real measurements.
+//! `cargo bench` stays fast in CI.
+//!
+//! # Environment
+//!
+//! `NOVA_BENCH_MEASURE_MS` sets the per-benchmark measurement budget in
+//! milliseconds (warmup gets one fifth of it). Raise it for real
+//! measurements; CI sets it to 1 for smoke runs. Values are clamped to
+//! ≥ 1 ms — a zero budget would skip warmup and degenerate every
+//! benchmark to a single-iteration noise reading. Unparsable values
+//! fall back to the 50 ms default.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -22,11 +30,17 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 fn measure_budget() -> Duration {
-    let ms = std::env::var("NOVA_BENCH_MEASURE_MS")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(50);
-    Duration::from_millis(ms)
+    budget_from_ms(
+        std::env::var("NOVA_BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok()),
+    )
+}
+
+/// Clamps the measurement budget to at least 1 ms: `NOVA_BENCH_MEASURE_MS=0`
+/// would otherwise zero the warmup and measure a single unwarmed iteration.
+fn budget_from_ms(ms: Option<u64>) -> Duration {
+    Duration::from_millis(ms.unwrap_or(50).max(1))
 }
 
 /// The timing loop handed to benchmark closures.
@@ -196,6 +210,14 @@ mod tests {
         b.iter(|| black_box(41u64) + 1);
         assert!(b.iters > 0);
         assert!(b.ns_per_iter.is_finite() && b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn zero_budget_clamped_to_one_ms() {
+        assert_eq!(budget_from_ms(Some(0)), Duration::from_millis(1));
+        assert_eq!(budget_from_ms(Some(1)), Duration::from_millis(1));
+        assert_eq!(budget_from_ms(Some(250)), Duration::from_millis(250));
+        assert_eq!(budget_from_ms(None), Duration::from_millis(50));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! - [`Mapper`]: the §IV software mapper — compiles activation tables into
 //!   broadcast schedules and programs the NoC clock multiplier, checking
 //!   the SMART timing feasibility,
-//! - [`engine`]: per-inference runtime + energy (the Fig 8 evaluation).
+//! - [`engine`]: per-inference runtime + energy (the Fig 8 evaluation),
+//!   plus the multi-stream aggregate evaluation behind the serving bench,
+//! - [`serving`]: the batched multi-stream serving engine — a keyed table
+//!   cache and a scheduler that coalesces non-linear queries from many
+//!   concurrent inference streams into full vector-unit batches.
 //!
 //! # Quickstart
 //!
@@ -47,13 +51,15 @@ pub mod engine;
 pub mod mapper;
 pub mod overlay;
 pub mod react_pipeline;
+pub mod serving;
 pub mod timeline;
 pub mod vector_unit;
 
-pub use engine::InferenceReport;
+pub use engine::{InferenceReport, MultiStreamReport};
 pub use error::NovaError;
 pub use mapper::{Mapper, MappingPlan};
 pub use overlay::NovaOverlay;
+pub use serving::{ServingEngine, ServingRequest, ServingStats, TableCache, TableKey};
 pub use vector_unit::{
     ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,
     VectorUnit,

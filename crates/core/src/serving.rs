@@ -1,0 +1,657 @@
+//! The multi-stream serving layer: batched non-linear query serving for
+//! many concurrent inference streams.
+//!
+//! Single-shot evaluation (one caller, one table, one batch at a time)
+//! wastes the vector unit twice: every caller refits and requantizes its
+//! own table, and partial batches leave `(routers × neurons)` grid slots
+//! idle. This module amortizes both:
+//!
+//! - [`TableCache`] memoizes fitted+quantized tables behind an
+//!   [`Arc`], keyed by everything that determines the bits —
+//!   `(activation, breakpoints, format, rounding)` — so repeated
+//!   requests for the same operator never refit and engines can share
+//!   one table allocation.
+//! - [`ServingEngine`] owns a pool of [`VectorUnit`] workers (shards)
+//!   and a scheduler that coalesces the queries of many concurrent
+//!   streams, in arrival order, into full `(routers × neurons)` batches
+//!   before dispatch. Only the tail batch is padded (with an in-domain
+//!   value whose results are dropped on scatter), so batch occupancy
+//!   approaches 100 % as offered load grows — which is exactly what the
+//!   paper's per-batch latency model rewards: the same 2-cycle
+//!   lookup+MAC now serves `routers × neurons` queries from *different*
+//!   tenants.
+//!
+//! Results are scattered back per request bit-identically to a dedicated
+//! single-stream evaluation — batching is functionally invisible.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+//! use nova::ApproximatorKind;
+//! use nova_approx::Activation;
+//! use nova_fixed::{Fixed, Rounding, Q4_12};
+//! use nova_noc::LineConfig;
+//!
+//! # fn main() -> Result<(), nova::NovaError> {
+//! let mut cache = TableCache::new();
+//! let table = cache.get_or_fit(TableKey::paper(Activation::Gelu))?;
+//! let mut engine = ServingEngine::new(
+//!     ApproximatorKind::NovaNoc, LineConfig::paper_default(4, 8), table, 1)?;
+//! let x = Fixed::from_f64(0.5, Q4_12, Rounding::NearestEven);
+//! let outputs = engine.serve(&[ServingRequest { stream: 0, inputs: vec![x; 3] }])?;
+//! assert_eq!(outputs[0].len(), 3);
+//! assert_eq!(outputs[0][0], engine.table().eval(x));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nova_accel::config::AcceleratorConfig;
+use nova_approx::{fit, Activation, QuantizedPwl};
+use nova_fixed::{Fixed, QFormat, Rounding, Q4_12};
+use nova_noc::{LineConfig, LinkConfig};
+use nova_synth::TechModel;
+
+use crate::vector_unit::{build, line_for_kind, HostGeometry, VectorUnit};
+use crate::{ApproximatorKind, NovaError};
+
+/// Everything that determines a quantized table's bits — the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableKey {
+    /// The approximated activation.
+    pub activation: Activation,
+    /// Breakpoint count of the PWL fit.
+    pub breakpoints: usize,
+    /// Fixed-point word format.
+    pub format: QFormat,
+    /// Rounding mode for quantization and the MAC output.
+    pub rounding: Rounding,
+}
+
+impl TableKey {
+    /// The paper's defaults: 16 breakpoints in Q4.12 with round-to-
+    /// nearest-even.
+    #[must_use]
+    pub fn paper(activation: Activation) -> Self {
+        Self {
+            activation,
+            breakpoints: 16,
+            format: Q4_12,
+            rounding: Rounding::NearestEven,
+        }
+    }
+}
+
+/// A keyed cache of fitted+quantized tables.
+///
+/// Fitting a PWL and quantizing it is the expensive, data-independent
+/// prefix of every evaluation; the cache does it once per key and hands
+/// out [`Arc`] clones, so a cache hit is a pointer copy and every engine
+/// serving the same operator shares one allocation.
+#[derive(Debug, Clone, Default)]
+pub struct TableCache {
+    tables: HashMap<TableKey, Arc<QuantizedPwl>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TableCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached table for `key`, fitting and quantizing it on
+    /// first use. Hits return the *same* `Arc` (pointer-equal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PWL fitting / quantization failures.
+    pub fn get_or_fit(&mut self, key: TableKey) -> Result<Arc<QuantizedPwl>, NovaError> {
+        if let Some(table) = self.tables.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(table));
+        }
+        let pwl = fit::fit_activation(
+            key.activation,
+            key.breakpoints,
+            fit::BreakpointStrategy::Uniform,
+        )?;
+        let table = Arc::new(QuantizedPwl::from_pwl(&pwl, key.format, key.rounding)?);
+        self.misses += 1;
+        self.tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Cache hits served so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (tables fitted) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct tables held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the cache holds no tables yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// One non-linear query burst from one inference stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRequest {
+    /// Stream (tenant) id — used only for per-stream gather.
+    pub stream: usize,
+    /// Raw query values in the engine table's fixed format.
+    pub inputs: Vec<Fixed>,
+}
+
+/// Accounting of a [`ServingEngine`], accumulated across `serve` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Requests served to completion (slates that returned an error
+    /// count their dispatched batches/queries below, but no requests).
+    pub requests: u64,
+    /// Individual queries served (excludes padding).
+    pub queries: u64,
+    /// Vector-unit batches dispatched.
+    pub batches: u64,
+    /// Grid slots filled with padding (tail batches only).
+    pub padded_slots: u64,
+    /// Accumulated per-batch latency over all dispatched batches, in
+    /// accelerator cycles — the *serial* sum across the whole pool; see
+    /// [`ServingEngine::makespan_cycles`] for the concurrent-shards
+    /// view.
+    pub latency_cycles: u64,
+}
+
+nova_serde::impl_serde_struct!(ServingStats {
+    requests,
+    queries,
+    batches,
+    padded_slots,
+    latency_cycles,
+});
+
+/// The batched multi-stream serving engine.
+///
+/// Owns a pool of functionally identical [`VectorUnit`] workers (one per
+/// shard) built from one shared table, and dispatches coalesced batches
+/// round-robin across them. Because every unit kind is bit-identical to
+/// the table, shard count and batching never change results — only
+/// throughput accounting.
+pub struct ServingEngine {
+    kind: ApproximatorKind,
+    table: Arc<QuantizedPwl>,
+    workers: Vec<Box<dyn VectorUnit>>,
+    /// Accumulated batch latency per worker — shards run concurrently,
+    /// so the pool's makespan is the busiest worker's total.
+    worker_cycles: Vec<u64>,
+    routers: usize,
+    neurons: usize,
+    next_worker: usize,
+    stats: ServingStats,
+}
+
+impl std::fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("kind", &self.kind)
+            .field("shards", &self.workers.len())
+            .field("routers", &self.routers)
+            .field("neurons", &self.neurons)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingEngine {
+    /// Builds an engine with `shards` parallel workers of `kind` on
+    /// `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::BatchShape`] for `shards == 0` and
+    /// propagates unit construction failures.
+    pub fn new(
+        kind: ApproximatorKind,
+        line: LineConfig,
+        table: Arc<QuantizedPwl>,
+        shards: usize,
+    ) -> Result<Self, NovaError> {
+        if shards == 0 {
+            return Err(NovaError::BatchShape(
+                "serving engine needs at least one worker shard".into(),
+            ));
+        }
+        let workers = (0..shards)
+            .map(|_| build(kind, line, &table))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            kind,
+            table,
+            workers,
+            worker_cycles: vec![0; shards],
+            routers: line.routers,
+            neurons: line.neurons_per_router,
+            next_worker: 0,
+            stats: ServingStats::default(),
+        })
+    }
+
+    /// Builds an engine for a Table II host, pulling the table through
+    /// `cache` (so a second engine for the same key shares it) and
+    /// deriving the line geometry exactly as the overlay does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table fitting and NoC configuration failures.
+    pub fn for_host(
+        kind: ApproximatorKind,
+        tech: &TechModel,
+        config: &AcceleratorConfig,
+        cache: &mut TableCache,
+        key: TableKey,
+        shards: usize,
+    ) -> Result<Self, NovaError> {
+        let table = cache.get_or_fit(key)?;
+        let line = line_for_kind(
+            kind,
+            tech,
+            &table,
+            LinkConfig::paper(),
+            HostGeometry::of(config),
+        )?;
+        Self::new(kind, line, table, shards)
+    }
+
+    /// The approximator hardware serving this engine.
+    #[must_use]
+    pub fn kind(&self) -> ApproximatorKind {
+        self.kind
+    }
+
+    /// The shared quantized table.
+    #[must_use]
+    pub fn table(&self) -> &QuantizedPwl {
+        &self.table
+    }
+
+    /// Worker shards in the pool.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queries one full batch serves: `routers × neurons_per_router`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.routers * self.neurons
+    }
+
+    /// Accumulated accounting.
+    #[must_use]
+    pub fn stats(&self) -> ServingStats {
+        self.stats
+    }
+
+    /// Batch occupancy so far (%): queries served over grid slots
+    /// dispatched. 100 % means every dispatched batch was full.
+    #[must_use]
+    pub fn occupancy_pct(&self) -> f64 {
+        let slots = self.stats.batches * self.capacity() as u64;
+        if slots == 0 {
+            0.0
+        } else {
+            100.0 * self.stats.queries as f64 / slots as f64
+        }
+    }
+
+    /// The pool's makespan in accelerator cycles: shards serve their
+    /// batches concurrently, so the slowest (busiest) worker's
+    /// accumulated latency bounds the wall clock. With one shard this
+    /// equals [`ServingStats::latency_cycles`]; with `k` evenly loaded
+    /// shards it approaches `latency_cycles / k`.
+    #[must_use]
+    pub fn makespan_cycles(&self) -> u64 {
+        self.worker_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Aggregate query throughput so far at a `core_ghz` clock
+    /// (queries/s): queries served over the pool's parallel makespan
+    /// ([`makespan_cycles`](Self::makespan_cycles)), so adding shards
+    /// raises throughput even though per-batch latency is unchanged.
+    #[must_use]
+    pub fn queries_per_second(&self, core_ghz: f64) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            0.0
+        } else {
+            let seconds = makespan as f64 / (core_ghz * 1e9);
+            self.stats.queries as f64 / seconds
+        }
+    }
+
+    /// Serves a slate of requests from many concurrent streams.
+    ///
+    /// Queries are coalesced in arrival order (request order, then query
+    /// order within a request) into full `(routers × neurons)` batches;
+    /// the tail batch is padded with an in-domain value whose outputs
+    /// are dropped. Results come back as one output vector per request,
+    /// aligned with `requests` — bit-identical to evaluating each query
+    /// through [`QuantizedPwl::eval`] alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures (e.g. format mismatches); the batch
+    /// shape itself is constructed here and always valid. On an error
+    /// mid-slate, stats reflect exactly the batches that did dispatch
+    /// (their queries included), never the failed remainder — occupancy
+    /// and throughput stay consistent.
+    pub fn serve(&mut self, requests: &[ServingRequest]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let capacity = self.capacity();
+        let total: usize = requests.iter().map(|r| r.inputs.len()).sum();
+        let mut outputs: Vec<Vec<Fixed>> = requests
+            .iter()
+            .map(|r| Vec::with_capacity(r.inputs.len()))
+            .collect();
+        if total == 0 {
+            self.stats.requests += requests.len() as u64;
+            return Ok(outputs);
+        }
+
+        // Arrival-ordered flat queue of (request index, query value).
+        let mut queue: Vec<(usize, Fixed)> = Vec::with_capacity(total);
+        for (ri, request) in requests.iter().enumerate() {
+            queue.extend(request.inputs.iter().map(|&x| (ri, x)));
+        }
+
+        // The pad value is in-domain by construction (the lower clamp
+        // bound), so padded lanes can never fault; their outputs are
+        // simply never scattered anywhere.
+        let pad = self.table.clamp_bounds().0;
+        for chunk in queue.chunks(capacity) {
+            let mut batch = vec![vec![pad; self.neurons]; self.routers];
+            for (slot, &(_, x)) in chunk.iter().enumerate() {
+                batch[slot / self.neurons][slot % self.neurons] = x;
+            }
+            let worker = self.next_worker;
+            self.next_worker = (self.next_worker + 1) % self.workers.len();
+            let out = self.workers[worker].lookup_batch(&batch)?;
+            let latency = self.workers[worker].latency_cycles();
+            self.stats.batches += 1;
+            self.stats.queries += chunk.len() as u64;
+            self.stats.latency_cycles += latency;
+            self.worker_cycles[worker] += latency;
+            self.stats.padded_slots += (capacity - chunk.len()) as u64;
+            // Scatter real slots back to their requests; padded slots
+            // (slot >= chunk.len()) never leave this loop.
+            for (slot, &(ri, _)) in chunk.iter().enumerate() {
+                outputs[ri].push(out[slot / self.neurons][slot % self.neurons]);
+            }
+        }
+        // Only a fully served slate counts its requests: on a mid-slate
+        // error the batch/query counters above reflect dispatched work,
+        // but no request was answered in full.
+        self.stats.requests += requests.len() as u64;
+        Ok(outputs)
+    }
+}
+
+/// Gathers per-request outputs into per-stream result vectors,
+/// concatenated in arrival order — the "scatter back per stream" view of
+/// a [`ServingEngine::serve`] result.
+///
+/// # Panics
+///
+/// Panics if `outputs` is not aligned with `requests` (wrong length).
+#[must_use]
+pub fn gather_by_stream(
+    requests: &[ServingRequest],
+    outputs: &[Vec<Fixed>],
+) -> HashMap<usize, Vec<Fixed>> {
+    assert_eq!(
+        requests.len(),
+        outputs.len(),
+        "outputs must align with requests"
+    );
+    let mut streams: HashMap<usize, Vec<Fixed>> = HashMap::new();
+    for (request, out) in requests.iter().zip(outputs) {
+        streams.entry(request.stream).or_default().extend(out);
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_fixed::rng::StdRng;
+
+    fn fixed(x: f64) -> Fixed {
+        Fixed::from_f64(x, Q4_12, Rounding::NearestEven)
+    }
+
+    /// Odd-sized per-stream bursts so batches never align with request
+    /// boundaries.
+    fn requests(streams: usize, queries_per_stream: usize, seed: u64) -> Vec<ServingRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..streams)
+            .map(|stream| ServingRequest {
+                stream,
+                inputs: (0..queries_per_stream)
+                    .map(|_| fixed(rng.gen_range(-6.0..6.0)))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn engine(kind: ApproximatorKind, routers: usize, neurons: usize) -> ServingEngine {
+        let mut cache = TableCache::new();
+        let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+        ServingEngine::new(kind, LineConfig::paper_default(routers, neurons), table, 1).unwrap()
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_arc() {
+        let mut cache = TableCache::new();
+        let key = TableKey::paper(Activation::Gelu);
+        let a = cache.get_or_fit(key).unwrap();
+        let b = cache.get_or_fit(key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the allocation");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+
+        // A different key is a different table.
+        let c = cache.get_or_fit(TableKey::paper(Activation::Exp)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+
+        // Any key component change misses: same activation, other format.
+        let other = TableKey {
+            rounding: Rounding::Floor,
+            ..key
+        };
+        let d = cache.get_or_fit(other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn multi_stream_results_bit_identical_to_table_eval() {
+        // The acceptance criterion: scatter/gather through coalesced
+        // multi-tenant batches must equal a dedicated per-query eval.
+        for kind in ApproximatorKind::all() {
+            let mut eng = engine(kind, 4, 8);
+            let reqs = requests(8, 37, 1);
+            let outputs = eng.serve(&reqs).unwrap();
+            for (request, out) in reqs.iter().zip(&outputs) {
+                assert_eq!(out.len(), request.inputs.len());
+                for (&x, &y) in request.inputs.iter().zip(out) {
+                    assert_eq!(y, eng.table().eval(x), "{kind:?} stream {}", request.stream);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_stream_matches_single_stream_serving() {
+        // Serving all streams together must be bit-identical to serving
+        // each stream through its own engine.
+        let reqs = requests(6, 53, 2);
+        let mut shared = engine(ApproximatorKind::NovaNoc, 4, 8);
+        let together = shared.serve(&reqs).unwrap();
+        for (i, request) in reqs.iter().enumerate() {
+            let mut solo = engine(ApproximatorKind::NovaNoc, 4, 8);
+            let alone = solo.serve(std::slice::from_ref(request)).unwrap();
+            assert_eq!(together[i], alone[0], "stream {}", request.stream);
+        }
+    }
+
+    #[test]
+    fn tail_padding_never_leaks_into_outputs() {
+        let mut eng = engine(ApproximatorKind::PerCoreLut, 4, 8);
+        let capacity = eng.capacity();
+        // 3 streams × 11 queries = 33 queries over 32-slot batches:
+        // 2 batches, 31 padded slots.
+        let reqs = requests(3, 11, 3);
+        let outputs = eng.serve(&reqs).unwrap();
+        let produced: usize = outputs.iter().map(Vec::len).sum();
+        assert_eq!(produced, 33, "every query answered, nothing extra");
+        let stats = eng.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.queries, 33);
+        assert_eq!(stats.padded_slots, 2 * capacity as u64 - 33);
+        // And the per-stream gather sees exactly each stream's volume.
+        let by_stream = gather_by_stream(&reqs, &outputs);
+        assert_eq!(by_stream.len(), 3);
+        assert!(by_stream.values().all(|v| v.len() == 11));
+    }
+
+    #[test]
+    fn coalescing_amortizes_vs_per_request_dispatch() {
+        // 8 streams of small bursts: coalesced dispatch must beat one
+        // batch per request (the naive single-tenant pattern) on both
+        // occupancy and aggregate throughput.
+        let reqs = requests(8, 10, 4);
+        let mut coalesced = engine(ApproximatorKind::NovaNoc, 5, 8);
+        coalesced.serve(&reqs).unwrap();
+        let mut naive = engine(ApproximatorKind::NovaNoc, 5, 8);
+        for request in &reqs {
+            naive.serve(std::slice::from_ref(request)).unwrap();
+        }
+        assert_eq!(coalesced.stats().queries, naive.stats().queries);
+        assert!(coalesced.stats().batches < naive.stats().batches);
+        assert!(
+            coalesced.occupancy_pct() > 90.0,
+            "{}",
+            coalesced.occupancy_pct()
+        );
+        assert!(coalesced.queries_per_second(1.0) > naive.queries_per_second(1.0));
+    }
+
+    #[test]
+    fn sharded_pool_is_functionally_invisible() {
+        let mut cache = TableCache::new();
+        let table = cache.get_or_fit(TableKey::paper(Activation::Exp)).unwrap();
+        let line = LineConfig::paper_default(4, 8);
+        let reqs = requests(5, 29, 5);
+        let mut one =
+            ServingEngine::new(ApproximatorKind::PerNeuronLut, line, Arc::clone(&table), 1)
+                .unwrap();
+        let mut four = ServingEngine::new(ApproximatorKind::PerNeuronLut, line, table, 4).unwrap();
+        assert_eq!(four.shards(), 4);
+        assert_eq!(one.serve(&reqs).unwrap(), four.serve(&reqs).unwrap());
+        // ...but throughput-visible: 5×29 = 145 queries over 32-slot
+        // batches is 5 batches, spread 2/1/1/1 over 4 round-robin
+        // shards, so the pool's makespan is 2 batches vs 5 serially.
+        assert_eq!(one.stats().batches, 5);
+        assert_eq!(one.makespan_cycles(), one.stats().latency_cycles);
+        assert_eq!(four.makespan_cycles(), 2 * one.makespan_cycles() / 5);
+        assert!(four.queries_per_second(1.0) > 2.0 * one.queries_per_second(1.0));
+    }
+
+    #[test]
+    fn mid_slate_error_leaves_stats_consistent() {
+        // A format-mismatched request fails in the worker; stats must
+        // reflect exactly the batches that dispatched — queries included
+        // — so occupancy/throughput accounting never skews.
+        use nova_fixed::Q8_8;
+        let mut eng = engine(ApproximatorKind::PerCoreLut, 4, 8);
+        let capacity = eng.capacity() as u64;
+        let good = requests(2, 40, 6); // 80 queries = 2.5 batches
+        let mut bad = good.clone();
+        bad.push(ServingRequest {
+            stream: 9,
+            inputs: vec![Fixed::from_f64(0.5, Q8_8, Rounding::NearestEven)],
+        });
+        assert!(eng.serve(&bad).is_err());
+        let stats = eng.stats();
+        // The first two full batches dispatched; the tail batch holding
+        // the mismatched word failed and is not counted anywhere, and no
+        // request of the failed slate counts as served.
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.queries, 2 * capacity);
+        assert_eq!(stats.padded_slots, 0);
+        assert!((eng.occupancy_pct() - 100.0).abs() < 1e-12);
+        // And the engine keeps serving correctly afterwards.
+        let outputs = eng.serve(&good).unwrap();
+        assert_eq!(outputs.iter().map(Vec::len).sum::<usize>(), 80);
+        assert_eq!(eng.stats().requests, 2);
+    }
+
+    #[test]
+    fn zero_shards_rejected_and_empty_slates_are_free() {
+        let mut cache = TableCache::new();
+        let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+        let line = LineConfig::paper_default(2, 4);
+        assert!(matches!(
+            ServingEngine::new(ApproximatorKind::NovaNoc, line, Arc::clone(&table), 0),
+            Err(NovaError::BatchShape(_))
+        ));
+        let mut eng = ServingEngine::new(ApproximatorKind::NovaNoc, line, table, 1).unwrap();
+        let outputs = eng.serve(&[]).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(eng.stats().batches, 0);
+        assert_eq!(eng.occupancy_pct(), 0.0);
+    }
+
+    #[test]
+    fn for_host_shares_cached_tables_across_engines() {
+        let tech = TechModel::cmos22();
+        let host = AcceleratorConfig::tpu_v4_like();
+        let mut cache = TableCache::new();
+        let key = TableKey::paper(Activation::Gelu);
+        let a =
+            ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &mut cache, key, 1)
+                .unwrap();
+        let b = ServingEngine::for_host(
+            ApproximatorKind::PerCoreLut,
+            &tech,
+            &host,
+            &mut cache,
+            key,
+            1,
+        )
+        .unwrap();
+        assert_eq!(cache.misses(), 1, "second engine reuses the fit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(a.capacity(), host.total_neurons());
+        assert_eq!(b.capacity(), host.total_neurons());
+    }
+}

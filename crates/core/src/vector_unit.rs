@@ -229,6 +229,40 @@ pub fn build_for_host(
     build(kind, line, table)
 }
 
+/// Validates a `(routers × neurons)` batch: the row count and every
+/// row's width must match the unit's grid. Shared by all [`VectorUnit`]
+/// implementations so malformed batches — including ragged ones, where
+/// one row is narrower than `neurons_per_router` — are rejected with a
+/// uniform [`NovaError::BatchShape`] before any lookup runs or counter
+/// advances.
+///
+/// # Errors
+///
+/// Returns [`NovaError::BatchShape`] naming the offending dimension.
+pub fn validate_batch_shape(
+    inputs: &[Vec<Fixed>],
+    routers: usize,
+    neurons: usize,
+) -> Result<(), NovaError> {
+    if inputs.len() != routers {
+        return Err(NovaError::BatchShape(format!(
+            "{} rows for {routers} cores",
+            inputs.len()
+        )));
+    }
+    if let Some((r, row)) = inputs
+        .iter()
+        .enumerate()
+        .find(|(_, row)| row.len() != neurons)
+    {
+        return Err(NovaError::BatchShape(format!(
+            "row {r} has {} values for {neurons} neurons per core",
+            row.len()
+        )));
+    }
+    Ok(())
+}
+
 /// A batch-lookup vector unit: the functional contract shared by NOVA and
 /// the LUT baselines.
 pub trait VectorUnit {
@@ -243,7 +277,10 @@ pub trait VectorUnit {
     /// Implementations return [`NovaError`] for malformed batches.
     fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError>;
 
-    /// Effective per-batch latency in accelerator cycles.
+    /// Effective per-batch latency in accelerator cycles. Before the
+    /// first batch runs this is the schedule's nominal per-batch latency
+    /// (never a stale 0); afterwards it is the last batch's measured
+    /// latency.
     fn latency_cycles(&self) -> u64;
 
     /// Total lookups served so far.
@@ -265,9 +302,13 @@ impl NovaVectorUnit {
     ///
     /// Propagates NoC configuration/schedule errors.
     pub fn new(config: LineConfig, table: &QuantizedPwl) -> Result<Self, NovaError> {
+        let sim = BroadcastSim::new(config, table)?;
+        // Seed the latency with the schedule's nominal per-batch value so
+        // callers that query before the first batch don't read a stale 0.
+        let last_latency = sim.nominal_core_cycle_latency();
         Ok(Self {
-            sim: BroadcastSim::new(config, table)?,
-            last_latency: 0,
+            sim,
+            last_latency,
             lookups: 0,
         })
     }
@@ -285,6 +326,8 @@ impl VectorUnit for NovaVectorUnit {
     }
 
     fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let config = self.sim.config();
+        validate_batch_shape(inputs, config.routers, config.neurons_per_router)?;
         let outcome = self.sim.run(inputs)?;
         self.last_latency = outcome.stats.core_cycle_latency;
         self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
@@ -319,9 +362,13 @@ impl SegmentedNovaUnit {
     ///
     /// Propagates NoC configuration/schedule errors.
     pub fn new(config: LineConfig, table: &QuantizedPwl) -> Result<Self, NovaError> {
+        let noc = SegmentedNoc::new(config, table)?;
+        // As for the plain line: report the nominal schedule latency
+        // until a batch supplies a measured value.
+        let last_latency = noc.nominal_core_cycle_latency();
         Ok(Self {
-            noc: SegmentedNoc::new(config, table)?,
-            last_latency: 0,
+            noc,
+            last_latency,
             lookups: 0,
         })
     }
@@ -339,6 +386,8 @@ impl VectorUnit for SegmentedNovaUnit {
     }
 
     fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let config = self.noc.config();
+        validate_batch_shape(inputs, config.routers, config.neurons_per_router)?;
         let outcome = self.noc.run(inputs)?;
         self.last_latency = outcome.stats.core_cycle_latency;
         self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
@@ -369,6 +418,7 @@ pub struct LutVectorUnit {
     variant: LutVariant,
     per_neuron: Vec<PerNeuronLut>,
     per_core: Vec<PerCoreLut>,
+    neurons: usize,
     lookups: u64,
 }
 
@@ -402,6 +452,7 @@ impl LutVectorUnit {
             variant,
             per_neuron,
             per_core,
+            neurons,
             lookups: 0,
         }
     }
@@ -417,12 +468,7 @@ impl VectorUnit for LutVectorUnit {
 
     fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
         let cores = self.per_neuron.len().max(self.per_core.len());
-        if inputs.len() != cores {
-            return Err(NovaError::BatchShape(format!(
-                "{} rows for {cores} cores",
-                inputs.len()
-            )));
-        }
+        validate_batch_shape(inputs, cores, self.neurons)?;
         let mut out = Vec::with_capacity(inputs.len());
         match self.variant {
             LutVariant::PerNeuron => {
@@ -483,13 +529,8 @@ impl VectorUnit for SdpVectorUnit {
     }
 
     fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
-        if inputs.len() != self.cores.len() {
-            return Err(NovaError::BatchShape(format!(
-                "{} rows for {} cores",
-                inputs.len(),
-                self.cores.len()
-            )));
-        }
+        let neurons = self.cores.first().map_or(0, SdpUnit::neurons);
+        validate_batch_shape(inputs, self.cores.len(), neurons)?;
         let mut out = Vec::with_capacity(inputs.len());
         for (core, xs) in self.cores.iter_mut().zip(inputs) {
             out.push(core.lookup_batch(xs)?);
@@ -693,6 +734,56 @@ mod tests {
             build_for_host(ApproximatorKind::NovaNoc, &tech, &cfg, &t).is_err(),
             "the NoC link's tag space cannot address 4 flits"
         );
+    }
+
+    #[test]
+    fn latency_reported_before_first_batch() {
+        // Regression: `latency_cycles()` used to return a stale 0 until
+        // the first batch ran. It must report the schedule's nominal
+        // per-batch latency from construction, and that nominal value
+        // must agree with the measured one.
+        let t = table();
+        let mut plain = NovaVectorUnit::new(LineConfig::paper_default(4, 16), &t).unwrap();
+        let before = plain.latency_cycles();
+        assert!(
+            before > 0,
+            "nominal latency must be reported before any batch"
+        );
+        plain.lookup_batch(&batch(4, 16)).unwrap();
+        assert_eq!(before, plain.latency_cycles());
+
+        let mut config = LineConfig::paper_default(8, 4);
+        config.max_hops_per_cycle = 5;
+        let mut seg = SegmentedNovaUnit::new(config, &t).unwrap();
+        let before = seg.latency_cycles();
+        assert!(before > 0);
+        seg.lookup_batch(&batch(8, 4)).unwrap();
+        assert_eq!(before, seg.latency_cycles());
+    }
+
+    #[test]
+    fn ragged_batches_rejected_uniformly() {
+        // A batch with the right row count but one under-width row must
+        // be rejected with `NovaError::BatchShape` by every unit, before
+        // any lookup is counted.
+        let t = table();
+        let config = LineConfig::paper_default(3, 8);
+        let mut ragged = batch(3, 8);
+        ragged[1].pop();
+        for kind in ApproximatorKind::all() {
+            let mut unit = build(kind, config, &t).unwrap();
+            assert!(
+                matches!(unit.lookup_batch(&ragged), Err(NovaError::BatchShape(_))),
+                "{} accepted a ragged batch",
+                unit.name()
+            );
+            assert_eq!(
+                unit.lookups(),
+                0,
+                "{} counted a rejected batch",
+                unit.name()
+            );
+        }
     }
 
     #[test]

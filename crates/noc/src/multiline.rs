@@ -65,10 +65,29 @@ impl SegmentedNoc {
         self.segments.len()
     }
 
+    /// The full-line configuration (before segmentation).
+    #[must_use]
+    pub fn config(&self) -> LineConfig {
+        self.config
+    }
+
     /// Routers per segment.
     #[must_use]
     pub fn split(&self) -> &[usize] {
         &self.split
+    }
+
+    /// Per-batch broadcast latency in core cycles without running a
+    /// batch: segments broadcast concurrently, so the nominal latency is
+    /// the maximum over the per-segment nominal latencies (the widest
+    /// segment dominates).
+    #[must_use]
+    pub fn nominal_core_cycle_latency(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(BroadcastSim::nominal_core_cycle_latency)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Runs one batch across all segments in parallel. NoC cycles are the
@@ -184,6 +203,22 @@ mod tests {
         let out = noc.run(&batch(20, 1)).unwrap();
         // 2 flits per segment (16 breakpoints), 4 segments.
         assert_eq!(out.stats.flits_injected, 8);
+    }
+
+    #[test]
+    fn nominal_latency_matches_simulation() {
+        let t = table();
+        for (routers, reach) in [(8, 5), (12, 4), (20, 5), (8, 10)] {
+            let mut config = LineConfig::paper_default(routers, 2);
+            config.max_hops_per_cycle = reach;
+            let mut noc = SegmentedNoc::new(config, &t).unwrap();
+            let nominal = noc.nominal_core_cycle_latency();
+            let out = noc.run(&batch(routers, 2)).unwrap();
+            assert_eq!(
+                nominal, out.stats.core_cycle_latency,
+                "{routers} routers at reach {reach}"
+            );
+        }
     }
 
     #[test]

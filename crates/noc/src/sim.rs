@@ -90,6 +90,25 @@ impl BroadcastSim {
         self.config
     }
 
+    /// Per-batch broadcast latency in core cycles, computed without
+    /// running a batch. The broadcast is data-independent — one flit
+    /// injects per NoC cycle and every flit advances `max_hops_per_cycle`
+    /// routers per cycle — so the cycle count [`run`](Self::run) reports
+    /// is a pure function of the schedule and geometry.
+    #[must_use]
+    pub fn nominal_core_cycle_latency(&self) -> u64 {
+        let flits = self.schedule.flit_count() as u64;
+        let reach = self.config.max_hops_per_cycle as u64;
+        let span = (self.config.routers as u64).saturating_sub(1);
+        // A flit spends `ceil(span/reach)` cycles on the line (the first
+        // of which is its injection cycle), and the last flit injects on
+        // NoC cycle `flits`.
+        let travel = span.div_ceil(reach).max(1);
+        let noc_cycles = flits + travel - 1;
+        let multiplier = self.schedule.noc_clock_multiplier() as u64;
+        noc_cycles.div_ceil(multiplier) + 1 // +1: the MAC stage
+    }
+
     /// Switches the active operator table (e.g. softmax-exp → GELU between
     /// layer phases). For NOVA this is free in hardware — the next
     /// broadcast simply carries the new pairs — so the simulator just
@@ -287,6 +306,31 @@ mod tests {
         assert_eq!(out.stats.flits_injected, 1);
         assert_eq!(out.stats.noc_cycles, 1);
         assert_eq!(out.stats.core_cycle_latency, 2); // lookup + MAC
+    }
+
+    #[test]
+    fn nominal_latency_matches_simulation() {
+        // The analytic per-batch latency must agree with the simulator
+        // across flit counts, reaches and NoC clock multipliers.
+        let cases = [
+            (16, 10, 8, 10), // paper default: single-cycle reach
+            (8, 8, 4, 10),   // one flit
+            (16, 25, 2, 10), // beyond reach: multicycle traversal
+            (16, 25, 2, 4),  // shorter reach still
+            (16, 1, 4, 10),  // degenerate single-router line
+        ];
+        for (breakpoints, routers, neurons, reach) in cases {
+            let t = table(breakpoints);
+            let mut config = LineConfig::paper_default(routers, neurons);
+            config.max_hops_per_cycle = reach;
+            let mut sim = BroadcastSim::new(config, &t).unwrap();
+            let nominal = sim.nominal_core_cycle_latency();
+            let out = sim.run(&batch(routers, neurons, 0.5)).unwrap();
+            assert_eq!(
+                nominal, out.stats.core_cycle_latency,
+                "{breakpoints} breakpoints, {routers} routers, reach {reach}"
+            );
+        }
     }
 
     #[test]

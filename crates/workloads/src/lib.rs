@@ -14,6 +14,9 @@
 //!   substituted by a synthetic classification task whose logits flow
 //!   through the *identical* exact-vs-approximated softmax code path
 //!   (DESIGN.md documents the substitution).
+//! - [`traffic`]: seeded mixed-traffic generator — interleaved
+//!   BERT/CNN/synthetic request streams for the multi-stream serving
+//!   engine.
 //!
 //! # Example
 //!
@@ -34,3 +37,4 @@ pub mod bert;
 pub mod cnn;
 pub mod models;
 pub mod synthetic;
+pub mod traffic;

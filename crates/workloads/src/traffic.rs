@@ -1,0 +1,302 @@
+//! Mixed-traffic request streams for the serving engine.
+//!
+//! Production serving mixes tenants: BERT-family attention models, CNN
+//! vision models and bursty synthetic tasks arrive interleaved on many
+//! concurrent streams. This module generates that traffic
+//! deterministically from a seed: each stream carries an ordered list of
+//! inference requests drawn from a workload palette, and the global
+//! arrival order interleaves the streams with a seeded merge that
+//! preserves each stream's FIFO order — the same trace replays
+//! bit-identically for a given [`TrafficMix`].
+//!
+//! # Example
+//!
+//! ```
+//! use nova_workloads::traffic::TrafficMix;
+//!
+//! let trace = TrafficMix::paper_default(8).generate();
+//! assert_eq!(trace.len(), 8 * TrafficMix::paper_default(8).requests_per_stream);
+//! assert!(trace.iter().all(|r| r.census.approximator_queries() > 0));
+//! ```
+
+use nova_fixed::rng::StdRng;
+
+use crate::bert::{census as bert_census, BertConfig, MatmulDims, OpCensus};
+use crate::cnn::{census as cnn_census, CnnConfig};
+
+/// The workload family an inference request belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// BERT-family attention model (softmax/GELU/LayerNorm traffic).
+    Bert,
+    /// CNN/MLP vision model (ReLU traffic plus one classifier softmax).
+    Cnn,
+    /// Synthetic burst with a randomized non-linear query volume.
+    Synthetic,
+}
+
+nova_serde::impl_serde_enum!(TrafficClass {
+    Bert,
+    Cnn,
+    Synthetic
+});
+
+impl TrafficClass {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Bert => "BERT",
+            TrafficClass::Cnn => "CNN",
+            TrafficClass::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// One inference request on one stream of the generated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficRequest {
+    /// Stream (tenant) the request belongs to.
+    pub stream: usize,
+    /// Position in the global seeded arrival order.
+    pub arrival: usize,
+    /// Workload family.
+    pub class: TrafficClass,
+    /// Model name (for display).
+    pub model: String,
+    /// The request's operation census.
+    pub census: OpCensus,
+}
+
+/// Knobs of the mixed-traffic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficMix {
+    /// Concurrent inference streams (tenants).
+    pub streams: usize,
+    /// Requests issued per stream.
+    pub requests_per_stream: usize,
+    /// Sequence length of the BERT-family requests.
+    pub bert_seq_len: usize,
+    /// Trace seed: same seed, same trace.
+    pub seed: u64,
+}
+
+impl TrafficMix {
+    /// The default mix used by the serving bench and example: 4 requests
+    /// per stream at a short (edge-serving) sequence length.
+    #[must_use]
+    pub fn paper_default(streams: usize) -> Self {
+        Self {
+            streams,
+            requests_per_stream: 4,
+            bert_seq_len: 64,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Generates the trace: `streams × requests_per_stream` requests in a
+    /// seeded global arrival order that preserves each stream's FIFO
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0`, `requests_per_stream == 0` or
+    /// `bert_seq_len == 0`.
+    #[must_use]
+    pub fn generate(&self) -> Vec<TrafficRequest> {
+        assert!(
+            self.streams > 0 && self.requests_per_stream > 0,
+            "traffic needs at least one stream and one request"
+        );
+        assert!(self.bert_seq_len > 0, "sequence length must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Per-stream FIFO queues of (class, model, census).
+        let queues: Vec<Vec<(TrafficClass, String, OpCensus)>> = (0..self.streams)
+            .map(|_| {
+                (0..self.requests_per_stream)
+                    .map(|_| draw_request(&mut rng, self.bert_seq_len))
+                    .collect()
+            })
+            .collect();
+
+        // Seeded merge: each step picks one of the still-pending requests
+        // uniformly at random and pops its stream's head, so streams
+        // interleave proportionally to their remaining backlog while every
+        // stream stays in order.
+        let total = self.streams * self.requests_per_stream;
+        let mut cursors = vec![0usize; self.streams];
+        let mut trace = Vec::with_capacity(total);
+        for arrival in 0..total {
+            let remaining = total - arrival;
+            let mut pick = rng.gen_range(0..remaining);
+            let stream = (0..self.streams)
+                .find(|&s| {
+                    let left = queues[s].len() - cursors[s];
+                    if pick < left {
+                        true
+                    } else {
+                        pick -= left;
+                        false
+                    }
+                })
+                .expect("pick is within the remaining request count");
+            let (class, model, census) = queues[stream][cursors[stream]].clone();
+            cursors[stream] += 1;
+            trace.push(TrafficRequest {
+                stream,
+                arrival,
+                class,
+                model,
+                census,
+            });
+        }
+        trace
+    }
+}
+
+/// Draws one request from the workload palette.
+fn draw_request(rng: &mut StdRng, bert_seq_len: usize) -> (TrafficClass, String, OpCensus) {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let palette = [
+                BertConfig::bert_tiny(),
+                BertConfig::bert_mini(),
+                BertConfig::mobilebert_tiny(),
+            ];
+            let cfg = palette[rng.gen_range(0..palette.len())];
+            (
+                TrafficClass::Bert,
+                cfg.name.to_string(),
+                bert_census(&cfg, bert_seq_len),
+            )
+        }
+        1 => {
+            let palette = [CnnConfig::mlp_mnist(), CnnConfig::cnn_cifar10()];
+            let cfg = palette[rng.gen_range(0..palette.len())].clone();
+            let census = cnn_census(&cfg);
+            (TrafficClass::Cnn, cfg.name.to_string(), census)
+        }
+        _ => {
+            // A bursty micro-tenant: one small matmul feeding a randomized
+            // ReLU volume and a classifier softmax — deliberately far
+            // smaller than a full vector-unit batch so tail-batch
+            // coalescing across streams has something to amortize.
+            let classes = rng.gen_range(8..64usize);
+            let relu = rng.gen_range(64..4096u64);
+            let mut census = OpCensus {
+                matmuls: vec![MatmulDims {
+                    m: 1,
+                    k: 256,
+                    n: classes,
+                }],
+                ..OpCensus::default()
+            };
+            census.relu_elements = relu;
+            census.softmax_elements = classes as u64;
+            census.softmax_rows = 1;
+            (
+                TrafficClass::Synthetic,
+                format!("synthetic-{classes}c"),
+                census,
+            )
+        }
+    }
+}
+
+/// Draws `count` raw non-linear query values uniformly from `[lo, hi)`,
+/// deterministically from `seed` — the functional face of a request
+/// stream, for driving a serving engine with concrete inputs.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is non-finite.
+#[must_use]
+pub fn query_values(seed: u64, count: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let mix = TrafficMix::paper_default(6);
+        assert_eq!(mix.generate(), mix.generate());
+        let other = TrafficMix { seed: 7, ..mix };
+        assert_ne!(mix.generate(), other.generate());
+    }
+
+    #[test]
+    fn trace_covers_all_streams_and_preserves_fifo() {
+        let mix = TrafficMix {
+            streams: 8,
+            requests_per_stream: 5,
+            bert_seq_len: 32,
+            seed: 11,
+        };
+        let trace = mix.generate();
+        assert_eq!(trace.len(), 40);
+        // Arrival order is the trace order.
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.arrival, i);
+        }
+        // Every stream contributes exactly requests_per_stream, in order:
+        // the k-th request of a stream arrives before its (k+1)-th.
+        for s in 0..8 {
+            let arrivals: Vec<usize> = trace
+                .iter()
+                .filter(|r| r.stream == s)
+                .map(|r| r.arrival)
+                .collect();
+            assert_eq!(arrivals.len(), 5, "stream {s}");
+            assert!(arrivals.windows(2).all(|w| w[0] < w[1]), "stream {s}");
+        }
+    }
+
+    #[test]
+    fn trace_mixes_workload_classes() {
+        let trace = TrafficMix {
+            streams: 12,
+            requests_per_stream: 6,
+            bert_seq_len: 32,
+            seed: 3,
+        }
+        .generate();
+        for class in [
+            TrafficClass::Bert,
+            TrafficClass::Cnn,
+            TrafficClass::Synthetic,
+        ] {
+            assert!(
+                trace.iter().any(|r| r.class == class),
+                "missing {}",
+                class.label()
+            );
+        }
+        assert!(trace.iter().all(|r| r.census.approximator_queries() > 0));
+    }
+
+    #[test]
+    fn trace_interleaves_streams() {
+        // With many streams the seeded merge must actually interleave:
+        // the trace cannot be sorted by stream id.
+        let trace = TrafficMix::paper_default(8).generate();
+        let streams: Vec<usize> = trace.iter().map(|r| r.stream).collect();
+        let mut sorted = streams.clone();
+        sorted.sort_unstable();
+        assert_ne!(streams, sorted, "arrival order never interleaved");
+    }
+
+    #[test]
+    fn query_values_deterministic_and_in_range() {
+        let a = query_values(9, 1000, -8.0, 0.0);
+        let b = query_values(9, 1000, -8.0, 0.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-8.0..0.0).contains(&x)));
+        assert_ne!(a, query_values(10, 1000, -8.0, 0.0));
+    }
+}
