@@ -194,7 +194,20 @@ impl QuantizedPwl {
     /// Evaluates a whole vector through the datapath.
     #[must_use]
     pub fn eval_slice(&self, xs: &[Fixed]) -> Vec<Fixed> {
-        xs.iter().map(|&x| self.eval(x)).collect()
+        let mut out = Vec::new();
+        self.eval_into(xs, &mut out);
+        out
+    }
+
+    /// Evaluates a whole vector through the datapath into a caller-owned
+    /// buffer. `out` is cleared first, so steady-state callers (serving
+    /// hot loops that evaluate one batch after another) can reuse one
+    /// allocation across calls instead of paying a fresh `Vec` per
+    /// [`eval_slice`](Self::eval_slice).
+    pub fn eval_into(&self, xs: &[Fixed], out: &mut Vec<Fixed>) {
+        out.clear();
+        out.reserve(xs.len());
+        out.extend(xs.iter().map(|&x| self.eval(x)));
     }
 
     /// Convenience: quantize an `f64`, evaluate, return `f64`.
@@ -275,6 +288,23 @@ mod tests {
         let clamped = q.clamp(big);
         let (_, hi) = q.clamp_bounds();
         assert!(clamped.raw() <= hi.raw());
+    }
+
+    #[test]
+    fn eval_into_matches_eval_slice_and_reuses_capacity() {
+        let q = sigmoid16();
+        let xs: Vec<Fixed> = (0..100)
+            .map(|k| Fixed::from_f64(-7.5 + 0.15 * k as f64, Q4_12, Rounding::NearestEven))
+            .collect();
+        let mut out = Vec::new();
+        q.eval_into(&xs, &mut out);
+        assert_eq!(out, q.eval_slice(&xs));
+        // A second, smaller batch reuses the buffer: same result as a
+        // fresh eval, stale tail cleared, no reallocation needed.
+        let cap = out.capacity();
+        q.eval_into(&xs[..10], &mut out);
+        assert_eq!(out, q.eval_slice(&xs[..10]));
+        assert_eq!(out.capacity(), cap, "steady-state call must not realloc");
     }
 
     #[test]

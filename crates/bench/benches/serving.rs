@@ -30,13 +30,13 @@ fn bench_table_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("table_cache");
     g.bench_function("miss_fit_gelu16", |b| {
         b.iter(|| {
-            let mut cache = TableCache::new();
+            let cache = TableCache::new();
             cache
                 .get_or_fit(black_box(TableKey::paper(Activation::Gelu)))
                 .unwrap()
         })
     });
-    let mut cache = TableCache::new();
+    let cache = TableCache::new();
     cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
     g.bench_function("hit_gelu16", |b| {
         b.iter(|| {
@@ -49,7 +49,7 @@ fn bench_table_cache(c: &mut Criterion) {
 }
 
 fn bench_serve(c: &mut Criterion) {
-    let mut cache = TableCache::new();
+    let cache = TableCache::new();
     let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
     let mut g = c.benchmark_group("serve_8x128_grid");
     for streams in [1usize, 8, 32] {
@@ -62,6 +62,28 @@ fn bench_serve(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(streams), &reqs, |b, reqs| {
+            b.iter(|| engine.serve(black_box(reqs)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_worker_pool(c: &mut Criterion) {
+    // The threaded runtime end to end: same slate, 1 vs 4 shard worker
+    // threads, wall-clock measured by the harness.
+    let cache = TableCache::new();
+    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    let reqs = requests(16, 500);
+    let mut g = c.benchmark_group("serve_worker_pool_8x128");
+    for workers in [1usize, 4] {
+        let mut engine = ServingEngine::new(
+            ApproximatorKind::PerCoreLut,
+            LineConfig::paper_default(8, 128),
+            table.clone(),
+            workers,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &reqs, |b, reqs| {
             b.iter(|| engine.serve(black_box(reqs)).unwrap())
         });
     }
@@ -83,6 +105,7 @@ fn bench_multi_stream_eval(c: &mut Criterion) {
                 &host,
                 black_box(&censuses),
                 ApproximatorKind::NovaNoc,
+                4,
             )
             .unwrap()
         })
@@ -93,6 +116,7 @@ criterion_group!(
     serving,
     bench_table_cache,
     bench_serve,
+    bench_worker_pool,
     bench_multi_stream_eval
 );
 criterion_main!(serving);

@@ -1,42 +1,159 @@
-//! Serving-engine study: aggregate throughput vs. concurrent stream
-//! count, and batch occupancy vs. offered load.
+//! Serving-runtime study: throughput-vs-workers scaling, batch occupancy
+//! vs offered load, and the analytic multi-stream evaluation.
 //!
-//! Two views of the same batching story:
+//! Three views of the concurrent serving story:
 //!
 //! 1. **Analytic** (`engine::evaluate_multi_stream`): mixed BERT/CNN/
-//!    synthetic traffic on a TPU-v4-like host, sweeping the stream
-//!    count. Coalescing non-linear queries across streams shrinks the
-//!    batch count versus naive per-stream dispatch, so the aggregate
-//!    query service rate rises.
-//! 2. **Functional** (`serving::ServingEngine`): the cycle-accounted
-//!    engine serving seeded query bursts, sweeping offered load (queries
-//!    per request) to show occupancy approaching 100 % as the scheduler
-//!    fills tail batches with other tenants' queries.
+//!    synthetic traffic on a TPU-v4-like host, sweeping the stream count
+//!    and then the worker count. Coalescing shrinks the batch count
+//!    versus naive per-stream dispatch; round-robin workers shrink the
+//!    non-linear makespan without changing the energy integral.
+//! 2. **Open-loop offered load**: the seeded arrival process
+//!    (`TrafficMix::open_loop`) drives a windowed admission model —
+//!    batches dispatch when full or when the coalescing window expires —
+//!    showing occupancy approaching 100 % as offered load grows.
+//! 3. **Functional wall clock** (`serving::ServingEngine`): the real
+//!    worker-pool runtime serving seeded query bursts at 1/2/4 threads,
+//!    measuring wall-clock queries/s and checking the outputs'
+//!    checksum is bit-identical at every worker count.
+//!
+//! Flags/env:
+//!
+//! - `--json`: emit the whole study as machine-readable JSON
+//!   (`nova-serde`) instead of tables, for `BENCH_*.json` trending.
+//! - `NOVA_SERVE_WORKERS=k`: restrict the wall-clock sweep to `k`
+//!   workers (the CI determinism smoke runs k=1 and k=4 and compares
+//!   checksums).
+//! - `NOVA_SERVE_MEASURE_MS`: per-point wall-clock budget (default 300).
 
-use nova::engine::{evaluate_multi_stream, ApproximatorKind};
+use std::time::Instant;
+
+use nova::engine::{evaluate_multi_stream, ApproximatorKind, MultiStreamReport};
 use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
 use nova_bench::table::Table;
 use nova_fixed::{Fixed, Rounding, Q4_12};
+use nova_noc::LineConfig;
+use nova_serde::Serialize;
 use nova_synth::TechModel;
 use nova_workloads::bert::OpCensus;
 use nova_workloads::traffic::{query_values, TrafficMix};
 
+/// One point of the wall-clock worker-scaling sweep.
+struct ScalingPoint {
+    workers: usize,
+    serve_calls: u64,
+    queries: u64,
+    wall_seconds: f64,
+    wall_queries_per_second: f64,
+    /// Wall-clock speedup over the 1-worker point (0 when the sweep was
+    /// restricted and the 1-worker baseline was not measured).
+    speedup_vs_one_worker: f64,
+    /// Cycle-accounted throughput at a 1 GHz core clock — the
+    /// deterministic makespan view, independent of host CPU count.
+    model_queries_per_second: f64,
+    /// FNV-1a over all output words in request order — bit-identical
+    /// across worker counts by construction.
+    checksum: String,
+}
+
+nova_serde::impl_serialize_struct!(ScalingPoint {
+    workers,
+    serve_calls,
+    queries,
+    wall_seconds,
+    wall_queries_per_second,
+    speedup_vs_one_worker,
+    model_queries_per_second,
+    checksum,
+});
+
+/// One point of the open-loop offered-load sweep.
+struct OfferedLoadPoint {
+    mean_interarrival_cycles: u64,
+    offered_queries_per_kcycle: f64,
+    batches: u64,
+    padded_slots: u64,
+    occupancy_pct: f64,
+}
+
+nova_serde::impl_serialize_struct!(OfferedLoadPoint {
+    mean_interarrival_cycles,
+    offered_queries_per_kcycle,
+    batches,
+    padded_slots,
+    occupancy_pct,
+});
+
+/// The whole study, JSON-emittable for perf trending.
+struct ServingBenchReport {
+    host: String,
+    approximator: String,
+    batch_capacity: usize,
+    hardware_threads: usize,
+    streams_sweep: Vec<MultiStreamReport>,
+    worker_sweep: Vec<MultiStreamReport>,
+    offered_load: Vec<OfferedLoadPoint>,
+    scaling: Vec<ScalingPoint>,
+}
+
+nova_serde::impl_serialize_struct!(ServingBenchReport {
+    host,
+    approximator,
+    batch_capacity,
+    hardware_threads,
+    streams_sweep,
+    worker_sweep,
+    offered_load,
+    scaling,
+});
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let tech = TechModel::cmos22();
     let host = AcceleratorConfig::tpu_v4_like();
-    println!(
-        "Serving study on {} ({} routers × {} neurons = {}-query batches)\n",
-        host.name,
-        host.nova_routers,
-        host.neurons_per_router,
-        host.total_neurons()
-    );
+    if !json {
+        println!(
+            "Serving study on {} ({} routers × {} neurons = {}-query batches)\n",
+            host.name,
+            host.nova_routers,
+            host.neurons_per_router,
+            host.total_neurons()
+        );
+    }
 
-    // 1. Aggregate throughput vs. concurrent stream count (analytic).
+    let streams_sweep = streams_sweep(&tech, &host, json);
+    let worker_sweep = worker_sweep(&tech, &host, json);
+    let offered_load = offered_load_sweep(&host, json);
+    let scaling = scaling_sweep(json);
+
+    let report = ServingBenchReport {
+        host: host.name.to_string(),
+        approximator: ApproximatorKind::NovaNoc.label().to_string(),
+        batch_capacity: host.total_neurons(),
+        hardware_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        streams_sweep,
+        worker_sweep,
+        offered_load,
+        scaling,
+    };
+    if json {
+        println!("{}", report.to_json_string());
+    } else {
+        println!(
+            "\nShape check: with ≥ 8 concurrent streams the coalesced scheduler keeps\n\
+             occupancy above 90% and its aggregate queries/s beats naive per-stream\n\
+             dispatch; the worker pool divides the non-linear makespan while the\n\
+             output checksum stays bit-identical at every worker count."
+        );
+    }
+}
+
+/// Analytic: aggregate throughput vs concurrent stream count (1 worker).
+fn streams_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<MultiStreamReport> {
     let mut t = Table::new(
-        "Multi-stream serving — mixed traffic, NOVA NoC",
+        "Multi-stream serving — mixed traffic, NOVA NoC, 1 worker",
         &[
             "Streams",
             "Requests",
@@ -50,10 +167,11 @@ fn main() {
             "Inferences/s",
         ],
     );
+    let mut reports = Vec::new();
     for streams in [1usize, 2, 4, 8, 16, 32] {
         let trace = TrafficMix::paper_default(streams).generate();
         let censuses: Vec<OpCensus> = trace.into_iter().map(|r| r.census).collect();
-        let r = evaluate_multi_stream(&tech, &host, &censuses, ApproximatorKind::NovaNoc)
+        let r = evaluate_multi_stream(tech, host, &censuses, ApproximatorKind::NovaNoc, 1)
             .expect("non-empty slate");
         t.row(&[
             format!("{streams}"),
@@ -67,87 +185,268 @@ fn main() {
             format!("{:.3}x", r.nl_speedup),
             format!("{:.1}", r.inferences_per_second),
         ]);
+        reports.push(r);
     }
-    t.print();
+    if !json {
+        t.print();
+    }
+    reports
+}
 
-    // 2. Batch occupancy vs. offered load (functional engine).
-    let mut cache = TableCache::new();
+/// Analytic: non-linear makespan and throughput vs worker count at a
+/// fixed 16-stream mix — per-worker counters rolled up.
+fn worker_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<MultiStreamReport> {
+    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16)
+        .generate()
+        .into_iter()
+        .map(|r| r.census)
+        .collect();
     let mut t = Table::new(
-        "Batch occupancy vs offered load — functional engine, 8 streams",
+        "Worker-pool scaling — 16 streams, NOVA NoC (analytic makespan)",
         &[
-            "Queries/request",
-            "Requests",
+            "Workers",
+            "Batches",
+            "NL cycles (serial)",
+            "NL makespan",
+            "Queries/s",
+            "Speedup",
+            "Energy (mJ)",
+        ],
+    );
+    let mut reports = Vec::new();
+    let mut base_qps = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let r = evaluate_multi_stream(tech, host, &censuses, ApproximatorKind::NovaNoc, workers)
+            .expect("non-empty slate");
+        if workers == 1 {
+            base_qps = r.queries_per_second;
+        }
+        t.row(&[
+            format!("{workers}"),
+            format!("{}", r.coalesced_batches),
+            format!("{}", r.nl_cycles),
+            format!("{}", r.makespan_nl_cycles),
+            format!("{:.3e}", r.queries_per_second),
+            format!("{:.2}x", r.queries_per_second / base_qps),
+            format!("{:.4}", r.approximator_energy_mj),
+        ]);
+        reports.push(r);
+    }
+    if !json {
+        t.print();
+    }
+    reports
+}
+
+/// Open-loop offered-load sweep: seeded interarrival gaps drive a
+/// windowed admission model — a batch dispatches when full, or when the
+/// oldest pending query has waited out the coalescing window.
+fn offered_load_sweep(host: &AcceleratorConfig, json: bool) -> Vec<OfferedLoadPoint> {
+    const STREAMS: usize = 8;
+    /// Coalescing window: how long admission will hold a partial batch
+    /// open waiting for more arrivals, in host cycles.
+    const WINDOW_CYCLES: u64 = 100_000;
+    let capacity = host.total_neurons() as u64;
+    let mut t = Table::new(
+        "Batch occupancy vs offered load — open-loop arrivals, 8 streams",
+        &[
+            "Mean gap (cycles)",
+            "Offered (q/kcycle)",
             "Batches",
             "Padded slots",
             "Occupancy (%)",
-            "Queries/s @host clock",
-            "Naive queries/s",
         ],
     );
-    for queries_per_request in [16usize, 64, 256, 1024, 4096] {
-        let requests = bursts(8, 4, queries_per_request);
-        let mut engine = ServingEngine::for_host(
-            ApproximatorKind::NovaNoc,
-            &tech,
-            &host,
-            &mut cache,
-            TableKey::paper(Activation::Gelu),
-            1,
-        )
-        .expect("host engine builds");
-        engine.serve(&requests).expect("well-formed requests");
-        let mut naive = ServingEngine::for_host(
-            ApproximatorKind::NovaNoc,
-            &tech,
-            &host,
-            &mut cache,
-            TableKey::paper(Activation::Gelu),
-            1,
-        )
-        .expect("host engine builds");
-        for request in &requests {
-            naive
-                .serve(std::slice::from_ref(request))
-                .expect("well-formed request");
+    let mut points = Vec::new();
+    for mean_gap in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+        let trace = TrafficMix::open_loop(STREAMS, mean_gap).generate();
+        let horizon = trace.last().expect("non-empty trace").arrival_cycle.max(1);
+        let total_queries: u64 = trace.iter().map(|r| r.census.approximator_queries()).sum();
+        let mut batches = 0u64;
+        let mut padded = 0u64;
+        let mut pending = 0u64;
+        let mut oldest_pending_arrival = 0u64;
+        for request in &trace {
+            // Window expiry: the oldest pending query gives up on
+            // coalescing before this request arrives — dispatch partial.
+            if pending > 0 && request.arrival_cycle > oldest_pending_arrival + WINDOW_CYCLES {
+                batches += 1;
+                padded += capacity - pending;
+                pending = 0;
+            }
+            if pending == 0 {
+                oldest_pending_arrival = request.arrival_cycle;
+            }
+            pending += request.census.approximator_queries();
+            // Full batches dispatch immediately.
+            let full = pending / capacity;
+            batches += full;
+            pending %= capacity;
+            if full > 0 {
+                // Everything older went out in the full batches, so any
+                // remainder is this request's tail: its window restarts.
+                oldest_pending_arrival = request.arrival_cycle;
+            }
         }
-        let ghz = host.frequency_ghz();
-        let stats = engine.stats();
+        if pending > 0 {
+            batches += 1;
+            padded += capacity - pending;
+        }
+        let point = OfferedLoadPoint {
+            mean_interarrival_cycles: mean_gap,
+            offered_queries_per_kcycle: total_queries as f64 * 1e3 / horizon as f64,
+            batches,
+            padded_slots: padded,
+            occupancy_pct: 100.0 * total_queries as f64 / (batches * capacity) as f64,
+        };
         t.row(&[
-            format!("{queries_per_request}"),
-            format!("{}", stats.requests),
-            format!("{}", stats.batches),
-            format!("{}", stats.padded_slots),
-            format!("{:.2}", engine.occupancy_pct()),
-            format!("{:.3e}", engine.queries_per_second(ghz)),
-            format!("{:.3e}", naive.queries_per_second(ghz)),
+            format!("{mean_gap}"),
+            format!("{:.2}", point.offered_queries_per_kcycle),
+            format!("{}", point.batches),
+            format!("{}", point.padded_slots),
+            format!("{:.2}", point.occupancy_pct),
         ]);
+        points.push(point);
     }
-    t.print();
-    println!(
-        "Table cache after both engines per load point: {} fit(s), {} hit(s).",
-        cache.misses(),
-        cache.hits()
-    );
-    println!(
-        "\nShape check: with ≥ 8 concurrent streams the coalesced scheduler keeps\n\
-         occupancy above 90% and its aggregate queries/s beats naive per-stream\n\
-         dispatch — the paper's 2-cycle per-batch latency amortized across tenants."
-    );
+    if !json {
+        t.print();
+    }
+    points
 }
 
-/// Seeded query bursts: `streams × requests_per_stream` requests of
-/// `queries` GELU inputs each.
-fn bursts(streams: usize, requests_per_stream: usize, queries: usize) -> Vec<ServingRequest> {
-    let mut requests = Vec::with_capacity(streams * requests_per_stream);
-    for stream in 0..streams {
-        for burst in 0..requests_per_stream {
-            let seed = (stream * 1009 + burst) as u64;
-            let inputs = query_values(seed, queries, -6.0, 6.0)
+/// Functional wall clock: the real thread pool serving seeded bursts,
+/// swept over worker counts, with a determinism checksum.
+fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
+    let worker_counts: Vec<usize> = match std::env::var("NOVA_SERVE_WORKERS") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&w| w > 0)
+            .expect("NOVA_SERVE_WORKERS must be a positive integer")],
+        Err(_) => vec![1, 2, 4],
+    };
+    let budget_ms: u64 = std::env::var("NOVA_SERVE_MEASURE_MS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(300)
+        .max(1);
+    let cache = TableCache::new();
+    let table = cache
+        .get_or_fit(TableKey::paper(Activation::Gelu))
+        .expect("paper table fits");
+    // 16 streams × 2000 queries over a 8×128 grid: 32_000 queries per
+    // serve call in 32 coalesced 1024-slot batches.
+    let requests: Vec<ServingRequest> = (0..16)
+        .map(|stream| ServingRequest {
+            stream,
+            inputs: query_values(stream as u64, 2000, -6.0, 6.0)
                 .into_iter()
                 .map(|x| Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
-                .collect();
-            requests.push(ServingRequest { stream, inputs });
+                .collect(),
+        })
+        .collect();
+    let queries_per_call: u64 = requests.iter().map(|r| r.inputs.len() as u64).sum();
+    let line = LineConfig::paper_default(8, 128);
+
+    let mut t = Table::new(
+        "Wall-clock worker scaling — PerCoreLut, 8×128 grid, 16 streams",
+        &[
+            "Workers",
+            "Serve calls",
+            "Queries",
+            "Wall (s)",
+            "Queries/s (wall)",
+            "Speedup",
+            "Queries/s (model @1GHz)",
+            "Checksum",
+        ],
+    );
+    let mut points = Vec::new();
+    let mut base_wall_qps = 0.0;
+    for &workers in &worker_counts {
+        let mut engine = ServingEngine::new(
+            ApproximatorKind::PerCoreLut,
+            line,
+            std::sync::Arc::clone(&table),
+            workers,
+        )
+        .expect("engine builds");
+        // The determinism probe: one serve call, checksummed in request
+        // order. Identical for every worker count.
+        let outputs = engine.serve(&requests).expect("well-formed requests");
+        let checksum = fnv1a_outputs(&outputs);
+        // The throughput loop: serve until the budget elapses. The
+        // probe above is outside the timed window, so it counts toward
+        // neither `calls` nor `wall`.
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed().as_millis() < u128::from(budget_ms) {
+            engine.serve(&requests).expect("well-formed requests");
+            calls += 1;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let queries = calls * queries_per_call;
+        let wall_qps = queries as f64 / wall;
+        if points.is_empty() {
+            base_wall_qps = wall_qps;
+        }
+        let speedup = if worker_counts[0] == 1 {
+            wall_qps / base_wall_qps
+        } else {
+            0.0
+        };
+        let point = ScalingPoint {
+            workers,
+            serve_calls: calls,
+            queries,
+            wall_seconds: wall,
+            wall_queries_per_second: wall_qps,
+            speedup_vs_one_worker: speedup,
+            model_queries_per_second: engine.queries_per_second(1.0),
+            checksum: format!("{checksum:#018x}"),
+        };
+        t.row(&[
+            format!("{workers}"),
+            format!("{calls}"),
+            format!("{queries}"),
+            format!("{wall:.3}"),
+            format!("{wall_qps:.3e}"),
+            if speedup > 0.0 {
+                format!("{speedup:.2}x")
+            } else {
+                "-".to_string()
+            },
+            format!("{:.3e}", point.model_queries_per_second),
+            point.checksum.clone(),
+        ]);
+        points.push(point);
+    }
+    if !json {
+        t.print();
+        // The line the CI determinism smoke greps: same checksum for
+        // every NOVA_SERVE_WORKERS value, or the run is nondeterministic.
+        for point in &points {
+            println!(
+                "serve checksum [{} worker(s)]: {}",
+                point.workers, point.checksum
+            );
         }
     }
-    requests
+    points
+}
+
+/// FNV-1a over every output word in request order: a stable, order-
+/// sensitive digest of a serve call's results.
+fn fnv1a_outputs(outputs: &[Vec<Fixed>]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for out in outputs {
+        for y in out {
+            for byte in y.raw().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    hash
 }

@@ -217,6 +217,8 @@ pub struct MultiStreamReport {
     pub approximator: String,
     /// Inference requests in the slate (across all streams).
     pub requests: usize,
+    /// Shard workers serving the coalesced batches concurrently.
+    pub workers: usize,
     /// Non-linear queries summed over all requests.
     pub total_queries: u64,
     /// Vector-unit batches with cross-request coalescing.
@@ -226,8 +228,17 @@ pub struct MultiStreamReport {
     pub naive_batches: u64,
     /// Occupancy of the coalesced batches (%).
     pub batch_occupancy_pct: f64,
-    /// Non-linear cycles with coalescing.
+    /// Non-linear cycles with coalescing — the *serial* sum over all
+    /// batches, independent of the worker count.
     pub nl_cycles: u64,
+    /// Per-worker accumulated non-linear cycles under round-robin batch
+    /// dispatch — the counters the aggregate view below is gathered
+    /// from. One entry per worker.
+    pub worker_nl_cycles: Vec<u64>,
+    /// The worker pool's non-linear makespan: the busiest worker's
+    /// accumulated cycles. Equals `nl_cycles` for one worker and
+    /// approaches `nl_cycles / workers` for an evenly loaded pool.
+    pub makespan_nl_cycles: u64,
     /// Non-linear cycles under naive per-request dispatch.
     pub naive_nl_cycles: u64,
     /// Matmul time over all requests, serialized on the host fabric (s).
@@ -252,11 +263,14 @@ nova_serde::impl_serde_struct!(MultiStreamReport {
     accelerator,
     approximator,
     requests,
+    workers,
     total_queries,
     coalesced_batches,
     naive_batches,
     batch_occupancy_pct,
     nl_cycles,
+    worker_nl_cycles,
+    makespan_nl_cycles,
     naive_nl_cycles,
     matmul_seconds,
     total_seconds,
@@ -271,23 +285,36 @@ nova_serde::impl_serde_struct!(MultiStreamReport {
 /// Evaluates a slate of inference requests (one census each, from any
 /// number of concurrent streams) sharing `kind` on `config`: non-linear
 /// queries are coalesced across requests into full `(routers × neurons)`
-/// batches, matmuls serialize on the host fabric, and the report carries
+/// batches, dispatched round-robin over `workers` concurrent shard
+/// workers (the analytic counterpart of the serving runtime's thread
+/// pool), matmuls serialize on the host fabric, and the report carries
 /// aggregate throughput (inferences/s, queries/s) plus batch occupancy —
 /// versus naive dispatch, where each request's batches run alone with
-/// their own padded tails.
+/// their own padded tails on a single worker.
+///
+/// Aggregate numbers are gathered from the per-worker cycle counters:
+/// the non-linear wall time is the pool's makespan (the busiest
+/// worker), so `workers = 1` reproduces the serial accounting exactly.
 ///
 /// # Errors
 ///
-/// Returns [`NovaError::BatchShape`] for an empty request slate.
+/// Returns [`NovaError::BatchShape`] for an empty request slate or
+/// `workers == 0`.
 pub fn evaluate_multi_stream(
     tech: &TechModel,
     config: &AcceleratorConfig,
     requests: &[OpCensus],
     kind: ApproximatorKind,
+    workers: usize,
 ) -> Result<MultiStreamReport, NovaError> {
     if requests.is_empty() {
         return Err(NovaError::BatchShape(
             "multi-stream evaluation needs at least one request".into(),
+        ));
+    }
+    if workers == 0 {
+        return Err(NovaError::BatchShape(
+            "multi-stream evaluation needs at least one worker".into(),
         ));
     }
     let capacity = config.total_neurons() as u64;
@@ -299,9 +326,23 @@ pub fn evaluate_multi_stream(
         .sum();
     let latency = kind.batch_latency_cycles();
     let nl_cycles = coalesced_batches * latency;
+    // Round-robin the coalesced batches over the worker pool, exactly as
+    // the serving runtime's admission stage does, and gather the
+    // aggregate from the per-worker counters.
+    let worker_nl_cycles: Vec<u64> = (0..workers as u64)
+        .map(|w| {
+            let batches = (coalesced_batches + workers as u64 - 1 - w) / workers as u64;
+            batches * latency
+        })
+        .collect();
+    let makespan_nl_cycles = worker_nl_cycles.iter().copied().max().unwrap_or(0);
     let naive_nl_cycles = naive_batches * latency;
     let freq_hz = config.frequency_mhz * 1e6;
-    let nl_seconds = nl_cycles as f64 / freq_hz;
+    // Wall time is bounded by the busiest worker; energy is not — every
+    // batch burns one unit's power for its latency wherever it runs, so
+    // the energy integral follows the *serial* cycle sum.
+    let nl_seconds = makespan_nl_cycles as f64 / freq_hz;
+    let serial_nl_seconds = nl_cycles as f64 / freq_hz;
     let naive_nl_seconds = naive_nl_cycles as f64 / freq_hz;
     let matmul_seconds: f64 = requests
         .iter()
@@ -320,6 +361,7 @@ pub fn evaluate_multi_stream(
         accelerator: config.name.to_string(),
         approximator: kind.label().to_string(),
         requests: requests.len(),
+        workers,
         total_queries,
         coalesced_batches,
         naive_batches,
@@ -329,6 +371,8 @@ pub fn evaluate_multi_stream(
             100.0 * total_queries as f64 / (coalesced_batches * capacity) as f64
         },
         nl_cycles,
+        worker_nl_cycles,
+        makespan_nl_cycles,
         naive_nl_cycles,
         matmul_seconds,
         total_seconds,
@@ -344,7 +388,7 @@ pub fn evaluate_multi_stream(
         } else {
             1.0
         },
-        approximator_energy_mj: p_approx * nl_seconds,
+        approximator_energy_mj: p_approx * serial_nl_seconds,
         naive_approximator_energy_mj: p_approx * naive_nl_seconds,
     })
 }
@@ -464,7 +508,8 @@ mod tests {
         let trace = nova_workloads::traffic::TrafficMix::paper_default(8).generate();
         assert!(trace.iter().map(|r| r.stream).max().unwrap() + 1 >= 8);
         let requests: Vec<OpCensus> = trace.into_iter().map(|r| r.census).collect();
-        let r = evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc).unwrap();
+        let r =
+            evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, 1).unwrap();
         assert!(r.requests >= 8);
         assert!(
             r.batch_occupancy_pct > 90.0,
@@ -488,6 +533,7 @@ mod tests {
             &cfg,
             std::slice::from_ref(&ops),
             ApproximatorKind::NovaNoc,
+            1,
         )
         .unwrap();
         assert_eq!(r.coalesced_batches, r.naive_batches);
@@ -507,11 +553,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_stream_worker_pool_scales_makespan_not_energy() {
+        // The analytic counterpart of the serving runtime's thread pool:
+        // aggregate stats come from per-worker counters, the makespan is
+        // the busiest worker, wall-clock throughput scales with workers,
+        // and the energy integral (serial batch·cycles) does not change.
+        let tech = TechModel::cmos22();
+        let cfg = AcceleratorConfig::tpu_v4_like();
+        let requests: Vec<OpCensus> = nova_workloads::traffic::TrafficMix::paper_default(16)
+            .generate()
+            .into_iter()
+            .map(|r| r.census)
+            .collect();
+        let one =
+            evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, 1).unwrap();
+        let four =
+            evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, 4).unwrap();
+        assert_eq!(one.workers, 1);
+        assert_eq!(one.worker_nl_cycles, vec![one.nl_cycles]);
+        assert_eq!(one.makespan_nl_cycles, one.nl_cycles);
+        assert_eq!(four.workers, 4);
+        assert_eq!(four.worker_nl_cycles.len(), 4);
+        assert_eq!(
+            four.worker_nl_cycles.iter().sum::<u64>(),
+            four.nl_cycles,
+            "per-worker counters must add up to the serial sum"
+        );
+        assert_eq!(
+            four.makespan_nl_cycles,
+            *four.worker_nl_cycles.iter().max().unwrap()
+        );
+        // Round-robin over plenty of batches: ≥ 1.5× wall-clock scaling
+        // at 4 workers (the serving acceptance shape), same energy.
+        assert!(four.coalesced_batches >= 4);
+        assert!(
+            four.queries_per_second >= 1.5 * one.queries_per_second,
+            "4 workers {} q/s vs 1 worker {} q/s",
+            four.queries_per_second,
+            one.queries_per_second
+        );
+        assert!((four.approximator_energy_mj - one.approximator_energy_mj).abs() < 1e-12);
+        assert_eq!(four.nl_cycles, one.nl_cycles);
+        assert!(four.total_seconds < one.total_seconds);
+    }
+
+    #[test]
     fn multi_stream_empty_slate_rejected() {
         let tech = TechModel::cmos22();
         let cfg = AcceleratorConfig::tpu_v4_like();
         assert!(matches!(
-            evaluate_multi_stream(&tech, &cfg, &[], ApproximatorKind::NovaNoc),
+            evaluate_multi_stream(&tech, &cfg, &[], ApproximatorKind::NovaNoc, 1),
+            Err(NovaError::BatchShape(_))
+        ));
+        let ops = census(&BertConfig::bert_tiny(), 128);
+        assert!(matches!(
+            evaluate_multi_stream(
+                &tech,
+                &cfg,
+                std::slice::from_ref(&ops),
+                ApproximatorKind::NovaNoc,
+                0
+            ),
             Err(NovaError::BatchShape(_))
         ));
     }

@@ -22,6 +22,8 @@ pub enum NovaError {
     },
     /// Batch shape did not match the overlay geometry.
     BatchShape(String),
+    /// Serving runtime failure (e.g. a worker thread could not spawn).
+    Runtime(String),
 }
 
 impl fmt::Display for NovaError {
@@ -35,6 +37,7 @@ impl fmt::Display for NovaError {
                 "mapping infeasible: {routers} routers exceed single-cycle reach {reach}"
             ),
             NovaError::BatchShape(msg) => write!(f, "batch shape error: {msg}"),
+            NovaError::Runtime(msg) => write!(f, "serving runtime error: {msg}"),
         }
     }
 }

@@ -22,9 +22,12 @@
 //!   the SMART timing feasibility,
 //! - [`engine`]: per-inference runtime + energy (the Fig 8 evaluation),
 //!   plus the multi-stream aggregate evaluation behind the serving bench,
-//! - [`serving`]: the batched multi-stream serving engine — a keyed table
-//!   cache and a scheduler that coalesces non-linear queries from many
-//!   concurrent inference streams into full vector-unit batches.
+//! - [`serving`]: the concurrent multi-stream serving runtime — a
+//!   thread-shared keyed table cache and a worker-pool pipeline
+//!   (admission → coalesce → shard worker threads → reorder/scatter)
+//!   that packs non-linear queries from many concurrent inference
+//!   streams into full vector-unit batches, bit-identically to
+//!   sequential evaluation for any worker count.
 //!
 //! # Quickstart
 //!
@@ -59,7 +62,7 @@ pub use engine::{InferenceReport, MultiStreamReport};
 pub use error::NovaError;
 pub use mapper::{Mapper, MappingPlan};
 pub use overlay::NovaOverlay;
-pub use serving::{ServingEngine, ServingRequest, ServingStats, TableCache, TableKey};
+pub use serving::{ServingEngine, ServingRequest, ServingStats, TableCache, TableKey, WorkerLoad};
 pub use vector_unit::{
     ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,
     VectorUnit,

@@ -1,28 +1,54 @@
-//! The multi-stream serving layer: batched non-linear query serving for
-//! many concurrent inference streams.
+//! The multi-stream serving layer: a concurrent worker-pool runtime for
+//! batched non-linear query serving across many inference streams.
 //!
 //! Single-shot evaluation (one caller, one table, one batch at a time)
 //! wastes the vector unit twice: every caller refits and requantizes its
 //! own table, and partial batches leave `(routers × neurons)` grid slots
-//! idle. This module amortizes both:
+//! idle. This module amortizes both — and since PR 3 it does so on a
+//! real multi-threaded pipeline instead of a synchronous loop:
 //!
 //! - [`TableCache`] memoizes fitted+quantized tables behind an
 //!   [`Arc`], keyed by everything that determines the bits —
-//!   `(activation, breakpoints, format, rounding)` — so repeated
-//!   requests for the same operator never refit and engines can share
-//!   one table allocation.
-//! - [`ServingEngine`] owns a pool of [`VectorUnit`] workers (shards)
-//!   and a scheduler that coalesces the queries of many concurrent
-//!   streams, in arrival order, into full `(routers × neurons)` batches
-//!   before dispatch. Only the tail batch is padded (with an in-domain
-//!   value whose results are dropped on scatter), so batch occupancy
-//!   approaches 100 % as offered load grows — which is exactly what the
-//!   paper's per-batch latency model rewards: the same 2-cycle
-//!   lookup+MAC now serves `routers × neurons` queries from *different*
-//!   tenants.
+//!   `(activation, breakpoints, format, rounding)`. The cache is an
+//!   interior-mutability design (`RwLock` map behind a shared handle):
+//!   `get_or_fit` takes `&self`, clones share one store, and two threads
+//!   racing to fit the same key converge on a single table allocation
+//!   (the loser's fit is discarded and counted in
+//!   [`TableCache::lost_races`]).
+//! - [`ServingEngine`] is a three-stage concurrent runtime built only on
+//!   `std`:
+//!   1. an **admission/coalescing** stage that packs the queries of many
+//!      concurrent streams, in arrival order, into full
+//!      `(routers × neurons)` batches and feeds them to shard workers
+//!      over *bounded* `mpsc` channels — a worker that falls behind
+//!      exerts backpressure on admission instead of queueing unboundedly;
+//!   2. a pool of **shard workers**, each a real [`std::thread`] owning
+//!      its own `Box<dyn VectorUnit>` (the trait is `Send`), receiving
+//!      sequence-numbered batches round-robin and evaluating them in
+//!      parallel;
+//!   3. a **reorder/scatter** stage that reassembles completed batches
+//!      by sequence number and scatters results back per request, so the
+//!      parallel output is bit-identical to the sequential path for any
+//!      worker count.
 //!
-//! Results are scattered back per request bit-identically to a dedicated
-//! single-stream evaluation — batching is functionally invisible.
+//! Only the tail batch is padded (with an in-domain value whose results
+//! are dropped on scatter), so batch occupancy approaches 100 % as
+//! offered load grows — which is exactly what the paper's per-batch
+//! latency model rewards: the same 2-cycle lookup+MAC now serves
+//! `routers × neurons` queries from *different* tenants, on as many
+//! shards as the host exposes.
+//!
+//! Aggregate accounting ([`ServingEngine::stats`]) is gathered from
+//! per-worker counters ([`ServingEngine::worker_loads`]): each shard
+//! tracks its own batches, queries and accumulated latency, and the
+//! pool's makespan is the busiest shard's total.
+//!
+//! # Error semantics
+//!
+//! A slate is dispatched batch-by-batch to the pool; every batch that
+//! evaluates successfully is counted in the per-worker counters, and on
+//! failure `serve` returns the *lowest-sequence* error — deterministic
+//! regardless of worker timing. A failed slate counts no requests.
 //!
 //! # Example
 //!
@@ -35,10 +61,11 @@
 //! use nova_noc::LineConfig;
 //!
 //! # fn main() -> Result<(), nova::NovaError> {
-//! let mut cache = TableCache::new();
+//! let cache = TableCache::new();
 //! let table = cache.get_or_fit(TableKey::paper(Activation::Gelu))?;
+//! // Two shard workers: two OS threads, each owning a NOVA NoC unit.
 //! let mut engine = ServingEngine::new(
-//!     ApproximatorKind::NovaNoc, LineConfig::paper_default(4, 8), table, 1)?;
+//!     ApproximatorKind::NovaNoc, LineConfig::paper_default(4, 8), table, 2)?;
 //! let x = Fixed::from_f64(0.5, Q4_12, Rounding::NearestEven);
 //! let outputs = engine.serve(&[ServingRequest { stream: 0, inputs: vec![x; 3] }])?;
 //! assert_eq!(outputs[0].len(), 3);
@@ -48,7 +75,10 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
 
 use nova_accel::config::AcceleratorConfig;
 use nova_approx::{fit, Activation, QuantizedPwl};
@@ -56,7 +86,7 @@ use nova_fixed::{Fixed, QFormat, Rounding, Q4_12};
 use nova_noc::{LineConfig, LinkConfig};
 use nova_synth::TechModel;
 
-use crate::vector_unit::{build, line_for_kind, HostGeometry, VectorUnit};
+use crate::vector_unit::{build, line_for_kind, HostGeometry};
 use crate::{ApproximatorKind, NovaError};
 
 /// Everything that determines a quantized table's bits — the cache key.
@@ -86,17 +116,33 @@ impl TableKey {
     }
 }
 
-/// A keyed cache of fitted+quantized tables.
+/// Shared state behind a [`TableCache`] handle.
+#[derive(Debug, Default)]
+struct CacheInner {
+    tables: RwLock<HashMap<TableKey, Arc<QuantizedPwl>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    lost_races: AtomicU64,
+}
+
+/// A keyed, thread-shared cache of fitted+quantized tables.
 ///
 /// Fitting a PWL and quantizing it is the expensive, data-independent
 /// prefix of every evaluation; the cache does it once per key and hands
 /// out [`Arc`] clones, so a cache hit is a pointer copy and every engine
 /// serving the same operator shares one allocation.
+///
+/// The cache itself is a cheap shared handle: [`Clone`] clones the
+/// handle, not the store, so engines and worker threads observe one
+/// cache. [`get_or_fit`](Self::get_or_fit) takes `&self` — lookups take
+/// a read lock, and a miss fits *outside* any lock before taking the
+/// write lock to insert. When two threads race to fit the same key, the
+/// insert path detects the lost race, discards the duplicate fit and
+/// returns the winner's [`Arc`], so all callers converge on one table
+/// allocation.
 #[derive(Debug, Clone, Default)]
 pub struct TableCache {
-    tables: HashMap<TableKey, Arc<QuantizedPwl>>,
-    hits: u64,
-    misses: u64,
+    inner: Arc<CacheInner>,
 }
 
 impl TableCache {
@@ -107,49 +153,88 @@ impl TableCache {
     }
 
     /// Returns the cached table for `key`, fitting and quantizing it on
-    /// first use. Hits return the *same* `Arc` (pointer-equal).
+    /// first use. Hits return the *same* `Arc` (pointer-equal) — even
+    /// when concurrent callers raced to fit the key.
     ///
     /// # Errors
     ///
     /// Propagates PWL fitting / quantization failures.
-    pub fn get_or_fit(&mut self, key: TableKey) -> Result<Arc<QuantizedPwl>, NovaError> {
-        if let Some(table) = self.tables.get(&key) {
-            self.hits += 1;
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock was poisoned (a fitter thread panicked).
+    pub fn get_or_fit(&self, key: TableKey) -> Result<Arc<QuantizedPwl>, NovaError> {
+        if let Some(table) = self
+            .inner
+            .tables
+            .read()
+            .expect("table cache lock poisoned")
+            .get(&key)
+        {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(table));
         }
+        // Miss: fit outside any lock so concurrent fitters of *different*
+        // keys never serialize on the expensive part.
         let pwl = fit::fit_activation(
             key.activation,
             key.breakpoints,
             fit::BreakpointStrategy::Uniform,
         )?;
         let table = Arc::new(QuantizedPwl::from_pwl(&pwl, key.format, key.rounding)?);
-        self.misses += 1;
-        self.tables.insert(key, Arc::clone(&table));
+        let mut tables = self
+            .inner
+            .tables
+            .write()
+            .expect("table cache lock poisoned");
+        if let Some(winner) = tables.get(&key) {
+            // Lost the race: another thread fitted and inserted the same
+            // key while we fitted. Converge on its allocation.
+            self.inner.lost_races.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(winner));
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        tables.insert(key, Arc::clone(&table));
         Ok(table)
     }
 
-    /// Cache hits served so far.
+    /// Cache hits served so far (fast-path read hits).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.inner.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (tables fitted) so far.
+    /// Cache misses (tables fitted and inserted) so far.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fits discarded after losing an insert race to a concurrent fitter
+    /// of the same key. Always 0 under single-threaded use.
+    #[must_use]
+    pub fn lost_races(&self) -> u64 {
+        self.inner.lost_races.load(Ordering::Relaxed)
     }
 
     /// Distinct tables held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock was poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.inner
+            .tables
+            .read()
+            .expect("table cache lock poisoned")
+            .len()
     }
 
     /// Whether the cache holds no tables yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.len() == 0
     }
 }
 
@@ -163,6 +248,10 @@ pub struct ServingRequest {
 }
 
 /// Accounting of a [`ServingEngine`], accumulated across `serve` calls.
+///
+/// Assembled by [`ServingEngine::stats`] from the per-worker counters
+/// ([`ServingEngine::worker_loads`]): `queries`, `batches` and
+/// `latency_cycles` are sums over the shard workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServingStats {
     /// Requests served to completion (slates that returned an error
@@ -189,45 +278,92 @@ nova_serde::impl_serde_struct!(ServingStats {
     latency_cycles,
 });
 
-/// The batched multi-stream serving engine.
+/// Per-shard-worker accounting: what one worker thread served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerLoad {
+    /// Batches this worker evaluated successfully.
+    pub batches: u64,
+    /// Real (non-padded) queries in those batches.
+    pub queries: u64,
+    /// Accumulated per-batch latency, in accelerator cycles.
+    pub cycles: u64,
+}
+
+nova_serde::impl_serde_struct!(WorkerLoad {
+    batches,
+    queries,
+    cycles,
+});
+
+/// A sequence-numbered batch on its way to a shard worker.
+struct BatchJob {
+    seq: usize,
+    batch: Vec<Vec<Fixed>>,
+}
+
+/// A completed batch on its way back to the reorder stage.
+struct BatchDone {
+    seq: usize,
+    worker: usize,
+    latency: u64,
+    result: Result<Vec<Vec<Fixed>>, NovaError>,
+}
+
+/// Bounded depth of each worker's feed channel: admission blocks once a
+/// shard is this many batches behind, so a slow worker backpressures the
+/// coalescing stage instead of queueing the whole slate.
+const WORKER_FEED_DEPTH: usize = 2;
+
+/// The concurrent multi-stream serving engine.
 ///
-/// Owns a pool of functionally identical [`VectorUnit`] workers (one per
-/// shard) built from one shared table, and dispatches coalesced batches
-/// round-robin across them. Because every unit kind is bit-identical to
-/// the table, shard count and batching never change results — only
+/// Owns a pool of shard worker *threads* — one per shard, each holding a
+/// functionally identical `Box<dyn VectorUnit>` built from one shared
+/// table — plus the admission and reorder stages that feed them (see the
+/// [module docs](self) for the pipeline). Because every unit kind is
+/// bit-identical to the table and batches are reassembled by sequence
+/// number, shard count and threading never change results — only
 /// throughput accounting.
 pub struct ServingEngine {
     kind: ApproximatorKind,
     table: Arc<QuantizedPwl>,
-    workers: Vec<Box<dyn VectorUnit>>,
-    /// Accumulated batch latency per worker — shards run concurrently,
-    /// so the pool's makespan is the busiest worker's total.
-    worker_cycles: Vec<u64>,
     routers: usize,
     neurons: usize,
+    /// Bounded feed channel per shard worker (round-robin by sequence).
+    feeds: Vec<SyncSender<BatchJob>>,
+    /// Completion channel shared by all workers.
+    done_rx: Receiver<BatchDone>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-worker counters; aggregate stats are derived from these.
+    loads: Vec<WorkerLoad>,
+    /// Round-robin cursor, persistent across `serve` calls so repeated
+    /// small slates still spread over every shard.
     next_worker: usize,
-    stats: ServingStats,
+    requests_served: u64,
+    padded_slots: u64,
 }
 
 impl std::fmt::Debug for ServingEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServingEngine")
             .field("kind", &self.kind)
-            .field("shards", &self.workers.len())
+            .field("shards", &self.feeds.len())
             .field("routers", &self.routers)
             .field("neurons", &self.neurons)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
 impl ServingEngine {
-    /// Builds an engine with `shards` parallel workers of `kind` on
-    /// `line`.
+    /// Builds an engine with `shards` parallel worker threads of `kind`
+    /// on `line`. Every worker owns its own vector unit; all units are
+    /// built (and any construction error surfaced) before any thread
+    /// spawns.
     ///
     /// # Errors
     ///
-    /// Returns [`NovaError::BatchShape`] for `shards == 0` and
+    /// Returns [`NovaError::BatchShape`] for `shards == 0`,
+    /// [`NovaError::Runtime`] if a worker thread cannot spawn, and
     /// propagates unit construction failures.
     pub fn new(
         kind: ApproximatorKind,
@@ -240,18 +376,55 @@ impl ServingEngine {
                 "serving engine needs at least one worker shard".into(),
             ));
         }
-        let workers = (0..shards)
+        let units = (0..shards)
             .map(|_| build(kind, line, &table))
             .collect::<Result<Vec<_>, _>>()?;
+        let (done_tx, done_rx) = mpsc::channel::<BatchDone>();
+        let mut feeds = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (id, mut unit) in units.into_iter().enumerate() {
+            let (feed_tx, feed_rx) = mpsc::sync_channel::<BatchJob>(WORKER_FEED_DEPTH);
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("nova-serve-{id}"))
+                .spawn(move || {
+                    // The worker loop: exits when the engine drops its
+                    // feed sender (or the reorder stage hung up).
+                    while let Ok(job) = feed_rx.recv() {
+                        let result = unit.lookup_batch(&job.batch);
+                        let latency = unit.latency_cycles();
+                        if done
+                            .send(BatchDone {
+                                seq: job.seq,
+                                worker: id,
+                                latency,
+                                result,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                })
+                .map_err(|e| NovaError::Runtime(format!("spawning shard worker {id}: {e}")))?;
+            feeds.push(feed_tx);
+            handles.push(handle);
+        }
+        // Workers hold the only completion senders: if every worker dies,
+        // the reorder stage sees a disconnect instead of hanging.
+        drop(done_tx);
         Ok(Self {
             kind,
             table,
-            workers,
-            worker_cycles: vec![0; shards],
             routers: line.routers,
             neurons: line.neurons_per_router,
+            feeds,
+            done_rx,
+            handles,
+            loads: vec![WorkerLoad::default(); shards],
             next_worker: 0,
-            stats: ServingStats::default(),
+            requests_served: 0,
+            padded_slots: 0,
         })
     }
 
@@ -266,7 +439,7 @@ impl ServingEngine {
         kind: ApproximatorKind,
         tech: &TechModel,
         config: &AcceleratorConfig,
-        cache: &mut TableCache,
+        cache: &TableCache,
         key: TableKey,
         shards: usize,
     ) -> Result<Self, NovaError> {
@@ -293,10 +466,10 @@ impl ServingEngine {
         &self.table
     }
 
-    /// Worker shards in the pool.
+    /// Worker shards (threads) in the pool.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.workers.len()
+        self.feeds.len()
     }
 
     /// Queries one full batch serves: `routers × neurons_per_router`.
@@ -305,21 +478,39 @@ impl ServingEngine {
         self.routers * self.neurons
     }
 
-    /// Accumulated accounting.
+    /// Accumulated accounting, assembled from the per-worker counters.
     #[must_use]
     pub fn stats(&self) -> ServingStats {
-        self.stats
+        let mut stats = ServingStats {
+            requests: self.requests_served,
+            padded_slots: self.padded_slots,
+            ..ServingStats::default()
+        };
+        for load in &self.loads {
+            stats.batches += load.batches;
+            stats.queries += load.queries;
+            stats.latency_cycles += load.cycles;
+        }
+        stats
+    }
+
+    /// Per-worker accounting: what each shard thread served so far.
+    #[must_use]
+    pub fn worker_loads(&self) -> &[WorkerLoad] {
+        &self.loads
     }
 
     /// Batch occupancy so far (%): queries served over grid slots
-    /// dispatched. 100 % means every dispatched batch was full.
+    /// dispatched. 100 % means every dispatched batch was full; before
+    /// the first `serve` call (zero batches) this is 0, not NaN.
     #[must_use]
     pub fn occupancy_pct(&self) -> f64 {
-        let slots = self.stats.batches * self.capacity() as u64;
+        let stats = self.stats();
+        let slots = stats.batches * self.capacity() as u64;
         if slots == 0 {
             0.0
         } else {
-            100.0 * self.stats.queries as f64 / slots as f64
+            100.0 * stats.queries as f64 / slots as f64
         }
     }
 
@@ -327,16 +518,18 @@ impl ServingEngine {
     /// batches concurrently, so the slowest (busiest) worker's
     /// accumulated latency bounds the wall clock. With one shard this
     /// equals [`ServingStats::latency_cycles`]; with `k` evenly loaded
-    /// shards it approaches `latency_cycles / k`.
+    /// shards it approaches `latency_cycles / k`. Zero before the first
+    /// `serve` call.
     #[must_use]
     pub fn makespan_cycles(&self) -> u64 {
-        self.worker_cycles.iter().copied().max().unwrap_or(0)
+        self.loads.iter().map(|l| l.cycles).max().unwrap_or(0)
     }
 
     /// Aggregate query throughput so far at a `core_ghz` clock
     /// (queries/s): queries served over the pool's parallel makespan
     /// ([`makespan_cycles`](Self::makespan_cycles)), so adding shards
     /// raises throughput even though per-batch latency is unchanged.
+    /// Zero (not NaN) before the first `serve` call.
     #[must_use]
     pub fn queries_per_second(&self, core_ghz: f64) -> f64 {
         let makespan = self.makespan_cycles();
@@ -344,35 +537,49 @@ impl ServingEngine {
             0.0
         } else {
             let seconds = makespan as f64 / (core_ghz * 1e9);
-            self.stats.queries as f64 / seconds
+            self.stats().queries as f64 / seconds
         }
     }
 
-    /// Serves a slate of requests from many concurrent streams.
+    /// Serves a slate of requests from many concurrent streams through
+    /// the worker pool.
     ///
-    /// Queries are coalesced in arrival order (request order, then query
-    /// order within a request) into full `(routers × neurons)` batches;
-    /// the tail batch is padded with an in-domain value whose outputs
-    /// are dropped. Results come back as one output vector per request,
-    /// aligned with `requests` — bit-identical to evaluating each query
-    /// through [`QuantizedPwl::eval`] alone.
+    /// The admission stage coalesces queries in arrival order (request
+    /// order, then query order within a request) into full
+    /// `(routers × neurons)` batches — only the tail batch is padded,
+    /// with an in-domain value whose outputs are dropped — and feeds
+    /// them round-robin to the shard workers over bounded channels
+    /// (backpressure, not unbounded queueing). The reorder stage then
+    /// reassembles completed batches by sequence number and scatters
+    /// results back per request, aligned with `requests` —
+    /// bit-identical to evaluating each query through
+    /// [`QuantizedPwl::eval`] alone, for any worker count.
     ///
     /// # Errors
     ///
     /// Propagates worker failures (e.g. format mismatches); the batch
-    /// shape itself is constructed here and always valid. On an error
-    /// mid-slate, stats reflect exactly the batches that did dispatch
-    /// (their queries included), never the failed remainder — occupancy
-    /// and throughput stay consistent.
+    /// shape itself is constructed here and always valid. The whole
+    /// slate is dispatched before results are judged, so on failure the
+    /// per-worker counters reflect exactly the batches that evaluated
+    /// successfully (their queries included) — never the failed ones —
+    /// and the error returned is the lowest-sequence failure, making
+    /// the outcome deterministic for any worker count. A failed slate
+    /// counts no requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker thread died (a unit panic — a bug, not
+    /// a data condition; malformed inputs surface as `Err` instead).
     pub fn serve(&mut self, requests: &[ServingRequest]) -> Result<Vec<Vec<Fixed>>, NovaError> {
         let capacity = self.capacity();
+        let shards = self.feeds.len();
         let total: usize = requests.iter().map(|r| r.inputs.len()).sum();
         let mut outputs: Vec<Vec<Fixed>> = requests
             .iter()
             .map(|r| Vec::with_capacity(r.inputs.len()))
             .collect();
         if total == 0 {
-            self.stats.requests += requests.len() as u64;
+            self.requests_served += requests.len() as u64;
             return Ok(outputs);
         }
 
@@ -382,35 +589,127 @@ impl ServingEngine {
             queue.extend(request.inputs.iter().map(|&x| (ri, x)));
         }
 
+        // ---- Admission: pack and feed sequence-numbered batches. ----
         // The pad value is in-domain by construction (the lower clamp
         // bound), so padded lanes can never fault; their outputs are
         // simply never scattered anywhere.
         let pad = self.table.clamp_bounds().0;
-        for chunk in queue.chunks(capacity) {
+        let batches = total.div_ceil(capacity);
+        let mut done: Vec<Option<BatchDone>> =
+            std::iter::repeat_with(|| None).take(batches).collect();
+        let mut received = 0usize;
+        for (seq, chunk) in queue.chunks(capacity).enumerate() {
             let mut batch = vec![vec![pad; self.neurons]; self.routers];
             for (slot, &(_, x)) in chunk.iter().enumerate() {
                 batch[slot / self.neurons][slot % self.neurons] = x;
             }
-            let worker = self.next_worker;
-            self.next_worker = (self.next_worker + 1) % self.workers.len();
-            let out = self.workers[worker].lookup_batch(&batch)?;
-            let latency = self.workers[worker].latency_cycles();
-            self.stats.batches += 1;
-            self.stats.queries += chunk.len() as u64;
-            self.stats.latency_cycles += latency;
-            self.worker_cycles[worker] += latency;
-            self.stats.padded_slots += (capacity - chunk.len()) as u64;
-            // Scatter real slots back to their requests; padded slots
-            // (slot >= chunk.len()) never leave this loop.
-            for (slot, &(ri, _)) in chunk.iter().enumerate() {
-                outputs[ri].push(out[slot / self.neurons][slot % self.neurons]);
+            // Drain finished batches opportunistically so the completion
+            // channel stays small while admission is still feeding.
+            while let Ok(d) = self.done_rx.try_recv() {
+                let seq = d.seq;
+                done[seq] = Some(d);
+                received += 1;
+            }
+            // Round-robin dispatch from the persistent cursor; blocks
+            // (backpressure) once the target worker is
+            // `WORKER_FEED_DEPTH` batches behind.
+            self.feeds[(self.next_worker + seq) % shards]
+                .send(BatchJob { seq, batch })
+                .expect("shard worker thread died mid-slate");
+        }
+        self.next_worker = (self.next_worker + batches) % shards;
+        while received < batches {
+            let d = self
+                .done_rx
+                .recv()
+                .expect("shard worker thread died mid-slate");
+            let seq = d.seq;
+            done[seq] = Some(d);
+            received += 1;
+        }
+
+        // ---- Reorder/scatter: walk completions in sequence order. ----
+        let mut failure: Option<NovaError> = None;
+        for (seq, chunk) in queue.chunks(capacity).enumerate() {
+            let d = done[seq].take().expect("every dispatched batch completed");
+            match d.result {
+                Ok(out) => {
+                    let load = &mut self.loads[d.worker];
+                    load.batches += 1;
+                    load.queries += chunk.len() as u64;
+                    load.cycles += d.latency;
+                    self.padded_slots += (capacity - chunk.len()) as u64;
+                    if failure.is_none() {
+                        for (slot, &(ri, _)) in chunk.iter().enumerate() {
+                            outputs[ri].push(out[slot / self.neurons][slot % self.neurons]);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
             }
         }
-        // Only a fully served slate counts its requests: on a mid-slate
-        // error the batch/query counters above reflect dispatched work,
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        // Only a fully served slate counts its requests: on an error the
+        // batch/query counters above reflect the work that evaluated,
         // but no request was answered in full.
-        self.stats.requests += requests.len() as u64;
+        self.requests_served += requests.len() as u64;
         Ok(outputs)
+    }
+
+    /// The sequential reference path: evaluates `requests` through the
+    /// shared table alone, batch by batch, reusing two scratch buffers
+    /// across batches (via [`QuantizedPwl::eval_into`]) instead of
+    /// allocating per batch. [`serve`](Self::serve) must be
+    /// bit-identical to this for any worker count — the determinism
+    /// tests and the CI checksum smoke assert exactly that.
+    ///
+    /// Does not touch the worker pool or any counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input word is not in the table's format (the same
+    /// wiring-bug condition as [`QuantizedPwl::eval`]).
+    #[must_use]
+    pub fn serve_reference(&self, requests: &[ServingRequest]) -> Vec<Vec<Fixed>> {
+        let capacity = self.capacity();
+        let mut outputs: Vec<Vec<Fixed>> = requests
+            .iter()
+            .map(|r| Vec::with_capacity(r.inputs.len()))
+            .collect();
+        let mut queue: Vec<(usize, Fixed)> = Vec::new();
+        for (ri, request) in requests.iter().enumerate() {
+            queue.extend(request.inputs.iter().map(|&x| (ri, x)));
+        }
+        // Steady-state batches reuse these two buffers — no per-batch
+        // allocation in the hot loop.
+        let mut values: Vec<Fixed> = Vec::with_capacity(capacity);
+        let mut results: Vec<Fixed> = Vec::with_capacity(capacity);
+        for chunk in queue.chunks(capacity) {
+            values.clear();
+            values.extend(chunk.iter().map(|&(_, x)| x));
+            self.table.eval_into(&values, &mut results);
+            for (&(ri, _), &y) in chunk.iter().zip(&results) {
+                outputs[ri].push(y);
+            }
+        }
+        outputs
+    }
+}
+
+impl Drop for ServingEngine {
+    fn drop(&mut self) {
+        // Hang up the feed channels so worker loops exit, then reap the
+        // threads. Completions still in flight are dropped with done_rx.
+        self.feeds.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -462,14 +761,29 @@ mod tests {
     }
 
     fn engine(kind: ApproximatorKind, routers: usize, neurons: usize) -> ServingEngine {
-        let mut cache = TableCache::new();
+        engine_with_workers(kind, routers, neurons, 1)
+    }
+
+    fn engine_with_workers(
+        kind: ApproximatorKind,
+        routers: usize,
+        neurons: usize,
+        workers: usize,
+    ) -> ServingEngine {
+        let cache = TableCache::new();
         let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
-        ServingEngine::new(kind, LineConfig::paper_default(routers, neurons), table, 1).unwrap()
+        ServingEngine::new(
+            kind,
+            LineConfig::paper_default(routers, neurons),
+            table,
+            workers,
+        )
+        .unwrap()
     }
 
     #[test]
     fn cache_hits_return_the_same_arc() {
-        let mut cache = TableCache::new();
+        let cache = TableCache::new();
         let key = TableKey::paper(Activation::Gelu);
         let a = cache.get_or_fit(key).unwrap();
         let b = cache.get_or_fit(key).unwrap();
@@ -489,6 +803,41 @@ mod tests {
         let d = cache.get_or_fit(other).unwrap();
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.lost_races(), 0, "no concurrency, no races");
+    }
+
+    #[test]
+    fn cache_clones_share_one_store_across_threads() {
+        // The interior-mutability contract: clones are handles onto one
+        // store, `get_or_fit` needs only `&self`, and concurrent fitters
+        // of the same key converge on a single Arc. With threads racing,
+        // every fit beyond the winner's is either a read hit or a lost
+        // race — never a second inserted table.
+        let cache = TableCache::new();
+        let key = TableKey::paper(Activation::Gelu);
+        let fitters = 4;
+        let tables: Vec<Arc<QuantizedPwl>> = std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..fitters)
+                .map(|_| {
+                    let cache = cache.clone();
+                    scope.spawn(move || cache.get_or_fit(key).unwrap())
+                })
+                .collect();
+            threads.into_iter().map(|t| t.join().unwrap()).collect()
+        });
+        for table in &tables {
+            assert!(
+                Arc::ptr_eq(&tables[0], table),
+                "all threads must share one allocation"
+            );
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1, "exactly one fit won the insert");
+        assert_eq!(
+            cache.hits() + cache.misses() + cache.lost_races(),
+            fitters as u64,
+            "every call accounted exactly once"
+        );
     }
 
     #[test]
@@ -519,6 +868,33 @@ mod tests {
             let mut solo = engine(ApproximatorKind::NovaNoc, 4, 8);
             let alone = solo.serve(std::slice::from_ref(request)).unwrap();
             assert_eq!(together[i], alone[0], "stream {}", request.stream);
+        }
+    }
+
+    #[test]
+    fn parallel_serve_bit_identical_across_worker_counts() {
+        // The tentpole determinism property, seeded and property-style:
+        // for every approximator kind, worker count, shard geometry and
+        // ragged tail shape, the threaded pool's output must be
+        // bit-identical to the sequential reference (and therefore to
+        // every other worker count). Ragged tails are guaranteed by
+        // query counts that are coprime to the batch capacities.
+        for (seed, (routers, neurons)) in [(11u64, (4usize, 8usize)), (12, (3, 5))] {
+            for kind in ApproximatorKind::all() {
+                for queries_per_stream in [1usize, 7, 61] {
+                    let reqs = requests(5, queries_per_stream, seed);
+                    let reference = engine(kind, routers, neurons).serve_reference(&reqs);
+                    for workers in [1usize, 2, 4] {
+                        let mut eng = engine_with_workers(kind, routers, neurons, workers);
+                        let outputs = eng.serve(&reqs).unwrap();
+                        assert_eq!(
+                            outputs, reference,
+                            "{kind:?} diverged: {workers} workers, \
+                             {routers}x{neurons} grid, {queries_per_stream} q/stream"
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -566,7 +942,7 @@ mod tests {
 
     #[test]
     fn sharded_pool_is_functionally_invisible() {
-        let mut cache = TableCache::new();
+        let cache = TableCache::new();
         let table = cache.get_or_fit(TableKey::paper(Activation::Exp)).unwrap();
         let line = LineConfig::paper_default(4, 8);
         let reqs = requests(5, 29, 5);
@@ -586,38 +962,94 @@ mod tests {
     }
 
     #[test]
-    fn mid_slate_error_leaves_stats_consistent() {
-        // A format-mismatched request fails in the worker; stats must
-        // reflect exactly the batches that dispatched — queries included
-        // — so occupancy/throughput accounting never skews.
-        use nova_fixed::Q8_8;
-        let mut eng = engine(ApproximatorKind::PerCoreLut, 4, 8);
-        let capacity = eng.capacity() as u64;
-        let good = requests(2, 40, 6); // 80 queries = 2.5 batches
-        let mut bad = good.clone();
-        bad.push(ServingRequest {
-            stream: 9,
-            inputs: vec![Fixed::from_f64(0.5, Q8_8, Rounding::NearestEven)],
-        });
-        assert!(eng.serve(&bad).is_err());
+    fn worker_loads_aggregate_to_engine_stats() {
+        // Aggregate stats are *derived from* per-worker counters, and
+        // round-robin admission spreads batches across every shard.
+        let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 4, 8, 3);
+        // 7 batches over 3 workers: 3/2/2.
+        let reqs = requests(7, 32, 8);
+        eng.serve(&reqs).unwrap();
+        let loads = eng.worker_loads().to_vec();
+        assert_eq!(loads.len(), 3);
+        assert!(loads.iter().all(|l| l.batches > 0), "{loads:?}");
         let stats = eng.stats();
-        // The first two full batches dispatched; the tail batch holding
-        // the mismatched word failed and is not counted anywhere, and no
-        // request of the failed slate counts as served.
-        assert_eq!(stats.requests, 0);
-        assert_eq!(stats.batches, 2);
-        assert_eq!(stats.queries, 2 * capacity);
-        assert_eq!(stats.padded_slots, 0);
-        assert!((eng.occupancy_pct() - 100.0).abs() < 1e-12);
-        // And the engine keeps serving correctly afterwards.
-        let outputs = eng.serve(&good).unwrap();
-        assert_eq!(outputs.iter().map(Vec::len).sum::<usize>(), 80);
-        assert_eq!(eng.stats().requests, 2);
+        assert_eq!(stats.batches, loads.iter().map(|l| l.batches).sum::<u64>());
+        assert_eq!(stats.queries, loads.iter().map(|l| l.queries).sum::<u64>());
+        assert_eq!(
+            stats.latency_cycles,
+            loads.iter().map(|l| l.cycles).sum::<u64>()
+        );
+        assert_eq!(
+            eng.makespan_cycles(),
+            loads.iter().map(|l| l.cycles).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn round_robin_cursor_persists_across_serve_calls() {
+        // Regression: the low-load steady state — repeated slates that
+        // each fit in one batch — must still spread over every shard,
+        // not land on worker 0 forever.
+        let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 2, 4, 3);
+        for _ in 0..6 {
+            eng.serve(&requests(1, 5, 10)).unwrap(); // 5 queries = 1 batch
+        }
+        let loads = eng.worker_loads();
+        assert!(
+            loads.iter().all(|l| l.batches == 2),
+            "6 single-batch slates over 3 shards must spread 2/2/2: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn backpressure_survives_slates_far_deeper_than_the_feed_channels() {
+        // A slate hundreds of batches deep forces admission to block on
+        // the bounded feeds many times over; everything must still come
+        // back in order and bit-identical.
+        let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 2, 4, 2);
+        let reqs = requests(4, 1000, 9); // 4000 queries / 8-slot batches = 500 batches
+        let outputs = eng.serve(&reqs).unwrap();
+        assert_eq!(outputs, eng.serve_reference(&reqs));
+        assert_eq!(eng.stats().batches, 500);
+    }
+
+    #[test]
+    fn mid_slate_error_leaves_stats_consistent() {
+        // A format-mismatched request fails in the worker; the counters
+        // must reflect exactly the batches that evaluated successfully —
+        // queries included — so occupancy/throughput accounting never
+        // skews, and the same error must surface for any worker count.
+        use nova_fixed::Q8_8;
+        for workers in [1usize, 3] {
+            let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 4, 8, workers);
+            let capacity = eng.capacity() as u64;
+            let good = requests(2, 40, 6); // 80 queries = 2.5 batches
+            let mut bad = good.clone();
+            bad.push(ServingRequest {
+                stream: 9,
+                inputs: vec![Fixed::from_f64(0.5, Q8_8, Rounding::NearestEven)],
+            });
+            assert!(eng.serve(&bad).is_err());
+            let stats = eng.stats();
+            // The first two full batches evaluated; the tail batch
+            // holding the mismatched word failed and is not counted
+            // anywhere, and no request of the failed slate counts as
+            // served.
+            assert_eq!(stats.requests, 0, "{workers} workers");
+            assert_eq!(stats.batches, 2);
+            assert_eq!(stats.queries, 2 * capacity);
+            assert_eq!(stats.padded_slots, 0);
+            assert!((eng.occupancy_pct() - 100.0).abs() < 1e-12);
+            // And the engine keeps serving correctly afterwards.
+            let outputs = eng.serve(&good).unwrap();
+            assert_eq!(outputs.iter().map(Vec::len).sum::<usize>(), 80);
+            assert_eq!(eng.stats().requests, 2);
+        }
     }
 
     #[test]
     fn zero_shards_rejected_and_empty_slates_are_free() {
-        let mut cache = TableCache::new();
+        let cache = TableCache::new();
         let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
         let line = LineConfig::paper_default(2, 4);
         assert!(matches!(
@@ -628,27 +1060,37 @@ mod tests {
         let outputs = eng.serve(&[]).unwrap();
         assert!(outputs.is_empty());
         assert_eq!(eng.stats().batches, 0);
+    }
+
+    #[test]
+    fn zero_batch_state_reports_zeros_not_nan() {
+        // Regression (satellite): before the first `serve` call every
+        // rate/occupancy accessor must return a plain 0 — never NaN,
+        // infinity or garbage from a 0/0.
+        let eng = engine_with_workers(ApproximatorKind::NovaNoc, 2, 4, 2);
+        assert_eq!(eng.stats(), ServingStats::default());
         assert_eq!(eng.occupancy_pct(), 0.0);
+        assert_eq!(eng.makespan_cycles(), 0);
+        assert_eq!(eng.queries_per_second(1.0), 0.0);
+        assert!(eng.occupancy_pct().is_finite());
+        assert!(eng.queries_per_second(1.0).is_finite());
+        // An empty slate must not disturb that.
+        let mut eng = eng;
+        eng.serve(&[]).unwrap();
+        assert_eq!(eng.occupancy_pct(), 0.0);
+        assert_eq!(eng.queries_per_second(1.0), 0.0);
     }
 
     #[test]
     fn for_host_shares_cached_tables_across_engines() {
         let tech = TechModel::cmos22();
         let host = AcceleratorConfig::tpu_v4_like();
-        let mut cache = TableCache::new();
+        let cache = TableCache::new();
         let key = TableKey::paper(Activation::Gelu);
-        let a =
-            ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &mut cache, key, 1)
-                .unwrap();
-        let b = ServingEngine::for_host(
-            ApproximatorKind::PerCoreLut,
-            &tech,
-            &host,
-            &mut cache,
-            key,
-            1,
-        )
-        .unwrap();
+        let a = ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &cache, key, 1)
+            .unwrap();
+        let b = ServingEngine::for_host(ApproximatorKind::PerCoreLut, &tech, &host, &cache, key, 1)
+            .unwrap();
         assert_eq!(cache.misses(), 1, "second engine reuses the fit");
         assert_eq!(cache.hits(), 1);
         assert_eq!(a.capacity(), host.total_neurons());

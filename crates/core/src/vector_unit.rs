@@ -265,7 +265,12 @@ pub fn validate_batch_shape(
 
 /// A batch-lookup vector unit: the functional contract shared by NOVA and
 /// the LUT baselines.
-pub trait VectorUnit {
+///
+/// The trait is `Send` so a `Box<dyn VectorUnit>` can be moved into a
+/// worker thread — the serving runtime gives each shard worker its own
+/// unit and feeds it batches over a channel. Implementations are plain
+/// owned data (simulator state, LUT banks), so this costs nothing.
+pub trait VectorUnit: Send {
     /// Display name (matches the Table III row labels).
     fn name(&self) -> &str;
 
@@ -798,5 +803,29 @@ mod tests {
         let a = units[0].lookup_batch(&inputs).unwrap();
         let b = units[1].lookup_batch(&inputs).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trait_objects_move_into_worker_threads() {
+        // The `Send` supertrait end to end: every kind's boxed unit can
+        // be moved into a `std::thread` worker and evaluate there with
+        // results identical to the table — the contract the serving
+        // worker pool is built on.
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn VectorUnit>();
+        let t = table();
+        let inputs = batch(3, 8);
+        for kind in ApproximatorKind::all() {
+            let mut unit = build(kind, LineConfig::paper_default(3, 8), &t).unwrap();
+            let batch_for_thread = inputs.clone();
+            let out = std::thread::spawn(move || unit.lookup_batch(&batch_for_thread).unwrap())
+                .join()
+                .unwrap();
+            for (row_out, row_in) in out.iter().zip(&inputs) {
+                for (&o, &x) in row_out.iter().zip(row_in) {
+                    assert_eq!(o, t.eval(x), "{}", kind.label());
+                }
+            }
+        }
     }
 }

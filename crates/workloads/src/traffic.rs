@@ -9,6 +9,14 @@
 //! preserves each stream's FIFO order — the same trace replays
 //! bit-identically for a given [`TrafficMix`].
 //!
+//! Traffic is an **open-loop arrival process**: every request carries an
+//! [`arrival_cycle`](TrafficRequest::arrival_cycle) stamped from seeded
+//! interarrival gaps (mean [`TrafficMix::mean_interarrival_cycles`]), so
+//! a serving bench can sweep *offered load* — queries per cycle pushed
+//! at the engine regardless of how fast it drains them — instead of
+//! replaying a pre-materialized burst. A mean of 0 degenerates to the
+//! closed-loop burst (everything arrives at cycle 0).
+//!
 //! # Example
 //!
 //! ```
@@ -60,6 +68,10 @@ pub struct TrafficRequest {
     pub stream: usize,
     /// Position in the global seeded arrival order.
     pub arrival: usize,
+    /// Host-clock cycle the request arrives at — the open-loop arrival
+    /// process: cumulative seeded interarrival gaps, nondecreasing in
+    /// arrival order. All zero for a closed-loop (burst) mix.
+    pub arrival_cycle: u64,
     /// Workload family.
     pub class: TrafficClass,
     /// Model name (for display).
@@ -77,20 +89,37 @@ pub struct TrafficMix {
     pub requests_per_stream: usize,
     /// Sequence length of the BERT-family requests.
     pub bert_seq_len: usize,
+    /// Mean gap between consecutive arrivals, in host-clock cycles —
+    /// the open-loop offered-load knob (smaller gap = higher load).
+    /// 0 means closed-loop: the whole slate arrives at cycle 0.
+    pub mean_interarrival_cycles: u64,
     /// Trace seed: same seed, same trace.
     pub seed: u64,
 }
 
 impl TrafficMix {
     /// The default mix used by the serving bench and example: 4 requests
-    /// per stream at a short (edge-serving) sequence length.
+    /// per stream at a short (edge-serving) sequence length, arriving as
+    /// a closed-loop burst.
     #[must_use]
     pub fn paper_default(streams: usize) -> Self {
         Self {
             streams,
             requests_per_stream: 4,
             bert_seq_len: 64,
+            mean_interarrival_cycles: 0,
             seed: 0x5EED,
+        }
+    }
+
+    /// An open-loop variant of [`paper_default`](Self::paper_default):
+    /// the same workload palette, arriving with seeded interarrival gaps
+    /// of the given mean — the knob an offered-load sweep turns.
+    #[must_use]
+    pub fn open_loop(streams: usize, mean_interarrival_cycles: u64) -> Self {
+        Self {
+            mean_interarrival_cycles,
+            ..Self::paper_default(streams)
         }
     }
 
@@ -125,6 +154,12 @@ impl TrafficMix {
         // interleave proportionally to their remaining backlog while every
         // stream stays in order.
         let total = self.streams * self.requests_per_stream;
+        // Interarrival gaps come from their own seeded generator so the
+        // offered-load knob never perturbs the workload draw or the
+        // merge order: the same seed serves the same requests in the
+        // same order at every load point.
+        let mut gap_rng = StdRng::seed_from_u64(self.seed ^ 0xA881_11A1_C0FF_EE00);
+        let mut clock = 0u64;
         let mut cursors = vec![0usize; self.streams];
         let mut trace = Vec::with_capacity(total);
         for arrival in 0..total {
@@ -143,9 +178,16 @@ impl TrafficMix {
                 .expect("pick is within the remaining request count");
             let (class, model, census) = queues[stream][cursors[stream]].clone();
             cursors[stream] += 1;
+            // Uniform gaps on [0, 2·mean] have the requested mean; the
+            // first request arrives at cycle 0 so every trace starts
+            // immediately.
+            if arrival > 0 && self.mean_interarrival_cycles > 0 {
+                clock += gap_rng.gen_range(0..2 * self.mean_interarrival_cycles + 1);
+            }
             trace.push(TrafficRequest {
                 stream,
                 arrival,
+                arrival_cycle: clock,
                 class,
                 model,
                 census,
@@ -236,6 +278,7 @@ mod tests {
             streams: 8,
             requests_per_stream: 5,
             bert_seq_len: 32,
+            mean_interarrival_cycles: 0,
             seed: 11,
         };
         let trace = mix.generate();
@@ -263,6 +306,7 @@ mod tests {
             streams: 12,
             requests_per_stream: 6,
             bert_seq_len: 32,
+            mean_interarrival_cycles: 0,
             seed: 3,
         }
         .generate();
@@ -289,6 +333,44 @@ mod tests {
         let mut sorted = streams.clone();
         sorted.sort_unstable();
         assert_ne!(streams, sorted, "arrival order never interleaved");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_seeded_monotone_and_load_invariant() {
+        let lo = TrafficMix::open_loop(6, 5_000);
+        let hi = TrafficMix {
+            mean_interarrival_cycles: 50,
+            ..lo
+        };
+        let (a, b) = (lo.generate(), lo.generate());
+        assert_eq!(a, b, "open-loop trace must replay bit-identically");
+        // Arrival cycles are nondecreasing in arrival order, start at 0,
+        // and actually spread out (not all equal).
+        assert_eq!(a[0].arrival_cycle, 0);
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].arrival_cycle <= w[1].arrival_cycle));
+        assert!(a.last().unwrap().arrival_cycle > 0);
+        // The mean gap lands near the knob (uniform on [0, 2·mean]).
+        let n = a.len() as u64;
+        let mean = a.last().unwrap().arrival_cycle / (n - 1);
+        assert!(
+            (2_500..=7_500).contains(&mean),
+            "observed mean gap {mean} for requested 5000"
+        );
+        // Turning the load knob rescales time but must not change what
+        // is served or in which order.
+        let c = hi.generate();
+        assert!(c.last().unwrap().arrival_cycle < a.last().unwrap().arrival_cycle);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(
+                (x.stream, x.arrival, &x.census),
+                (y.stream, y.arrival, &y.census)
+            );
+        }
+        // Closed-loop (mean 0) pins every arrival to cycle 0.
+        let burst = TrafficMix::paper_default(6).generate();
+        assert!(burst.iter().all(|r| r.arrival_cycle == 0));
     }
 
     #[test]

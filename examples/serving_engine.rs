@@ -1,11 +1,13 @@
 //! Multi-stream serving: batch non-linear queries from many concurrent
-//! inference streams through one shared NOVA vector unit.
+//! inference streams through a pool of worker threads sharing one table.
 //!
-//! Walks the full serving path: a keyed table cache (fit once, share the
-//! `Arc`), a `ServingEngine` coalescing eight tenants' GELU bursts into
-//! full `(routers × neurons)` batches, per-stream scatter/gather that is
-//! bit-identical to dedicated evaluation, and the analytic multi-stream
-//! report over a seeded mixed BERT/CNN/synthetic trace.
+//! Walks the full serving path: a thread-shared keyed table cache (fit
+//! once, share the `Arc`), a `ServingEngine` whose admission stage
+//! coalesces eight tenants' GELU bursts into full `(routers × neurons)`
+//! batches and feeds them to four shard worker threads over bounded
+//! channels, reorder/scatter that is bit-identical to dedicated
+//! sequential evaluation, and the analytic multi-stream report (with
+//! worker-pool makespan) over a seeded mixed BERT/CNN/synthetic trace.
 //!
 //! Run with: `cargo run --example serving_engine`
 
@@ -28,8 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 1. The table cache: the GELU fit happens once; the second request
-    //    (and every engine) shares the same Arc'd table.
-    let mut cache = TableCache::new();
+    //    (and every engine, on any thread — `get_or_fit` is `&self`)
+    //    shares the same Arc'd table.
+    let cache = TableCache::new();
     let key = TableKey::paper(Activation::Gelu);
     let table = cache.get_or_fit(key)?;
     let again = cache.get_or_fit(key)?;
@@ -52,13 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let mut engine =
-        ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &mut cache, key, 1)?;
+        ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &cache, key, 4)?;
     let outputs = engine.serve(&requests)?;
 
-    // 3. Scatter/gather is bit-identical to a dedicated evaluation.
+    // 3. Reorder/scatter is bit-identical to a dedicated sequential
+    //    evaluation — four worker threads are functionally invisible.
+    assert_eq!(outputs, engine.serve_reference(&requests));
     for (request, out) in requests.iter().zip(&outputs) {
         for (&x, &y) in request.inputs.iter().zip(out) {
-            assert_eq!(y, engine.table().eval(x), "batching must be invisible");
+            assert_eq!(y, engine.table().eval(x), "threading must be invisible");
         }
     }
     let by_stream = gather_by_stream(&requests, &outputs);
@@ -74,6 +79,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.queries_per_second(host.frequency_ghz()),
         by_stream.len()
     );
+    let loads = engine.worker_loads();
+    println!(
+        "Worker pool: {} shard threads served {:?} batches each; makespan {} cycles \
+         vs {} serial",
+        engine.shards(),
+        loads.iter().map(|l| l.batches).collect::<Vec<_>>(),
+        engine.makespan_cycles(),
+        stats.latency_cycles
+    );
 
     // 4. The analytic view over a seeded mixed-traffic trace.
     let censuses: Vec<OpCensus> = TrafficMix::paper_default(8)
@@ -81,16 +95,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .map(|r| r.census)
         .collect();
-    let report = evaluate_multi_stream(&tech, &host, &censuses, ApproximatorKind::NovaNoc)?;
+    let report = evaluate_multi_stream(&tech, &host, &censuses, ApproximatorKind::NovaNoc, 4)?;
     println!(
-        "\nMixed traffic (8 streams, {} requests): {} queries → {} batches vs {} naive \
-         (occupancy {:.2}%, NL speedup {:.3}x, {:.1} inferences/s)",
+        "\nMixed traffic (8 streams, {} requests, {} workers): {} queries → {} batches \
+         vs {} naive (occupancy {:.2}%, NL speedup {:.3}x, NL makespan {} of {} serial \
+         cycles, {:.1} inferences/s)",
         report.requests,
+        report.workers,
         report.total_queries,
         report.coalesced_batches,
         report.naive_batches,
         report.batch_occupancy_pct,
         report.nl_speedup,
+        report.makespan_nl_cycles,
+        report.nl_cycles,
         report.inferences_per_second
     );
     Ok(())
