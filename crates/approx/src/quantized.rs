@@ -48,7 +48,19 @@ pub struct QuantizedPwl {
     /// Clamp bounds in the fixed format.
     lo: Fixed,
     hi: Fixed,
+    /// Dense comparator-address table: entry `raw - lo.raw()` holds the
+    /// segment address for that clamped raw word, so the eval hot loop
+    /// replaces a binary search with one indexed load. Empty when the
+    /// clamped raw span exceeds [`DENSE_ADDR_MAX_ENTRIES`] (wide
+    /// formats), in which case lookup falls back to `partition_point`.
+    addr_table: Vec<u32>,
 }
+
+/// Size cap on the dense segment-address table, in entries: any 16-bit
+/// format's full raw span (65 536 words) fits, while 24/32-bit formats
+/// fall back to the comparator-tree binary search rather than pay a
+/// multi-megabyte table per fitted function.
+pub const DENSE_ADDR_MAX_ENTRIES: usize = 1 << 16;
 
 impl QuantizedPwl {
     /// Quantizes a real-valued PWL function into hardware tables.
@@ -98,6 +110,7 @@ impl QuantizedPwl {
                 pairs.push(pair);
             }
         }
+        let addr_table = build_addr_table(&breakpoints, lo, hi);
         Ok(Self {
             format,
             rounding,
@@ -105,6 +118,7 @@ impl QuantizedPwl {
             pairs,
             lo,
             hi,
+            addr_table,
         })
     }
 
@@ -166,12 +180,43 @@ impl QuantizedPwl {
     /// within the flit.
     #[must_use]
     pub fn lookup_address(&self, x: Fixed) -> usize {
-        let x = self.clamp(x);
-        self.breakpoints.partition_point(|d| d.raw() <= x.raw())
+        self.lookup_address_clamped(self.clamp(x))
+    }
+
+    /// The lookup address for a word that is *already clamped* to the
+    /// function domain — the batch-eval fast path: one dense-table load
+    /// (or, for wide formats past the table cap, one binary search)
+    /// without re-clamping.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or return an arbitrary in-range address) if `xc` is not
+    /// the output of [`clamp`](Self::clamp) — callers own the clamp.
+    #[must_use]
+    pub fn lookup_address_clamped(&self, xc: Fixed) -> usize {
+        debug_assert!(
+            xc.raw() >= self.lo.raw() && xc.raw() <= self.hi.raw(),
+            "lookup_address_clamped needs a clamped word"
+        );
+        if self.addr_table.is_empty() {
+            self.breakpoints.partition_point(|d| d.raw() <= xc.raw())
+        } else {
+            self.addr_table[(xc.raw() - self.lo.raw()) as usize] as usize
+        }
+    }
+
+    /// Entries in the dense segment-address table — 0 when the format's
+    /// clamped span exceeds [`DENSE_ADDR_MAX_ENTRIES`] and lookups fall
+    /// back to binary search.
+    #[must_use]
+    pub fn dense_address_entries(&self) -> usize {
+        self.addr_table.len()
     }
 
     /// Full datapath evaluation: clamp → comparator address → pair select →
-    /// fused MAC with a single output rounding.
+    /// fused MAC with a single output rounding. The clamp happens exactly
+    /// once — the address lookup consumes the already-saturated word, as
+    /// the comparator front-end does in hardware.
     ///
     /// # Panics
     ///
@@ -184,14 +229,24 @@ impl QuantizedPwl {
             self.format,
             "input word format must match table format"
         );
-        let xc = self.clamp(x);
-        let pair = self.pairs[self.lookup_address(xc)];
+        self.eval_clamped(self.clamp(x))
+    }
+
+    /// The format-checked, clamped core of [`eval`](Self::eval): pair
+    /// select through the dense address table plus the fused MAC.
+    #[inline]
+    fn eval_clamped(&self, xc: Fixed) -> Fixed {
+        let pair = self.pairs[self.lookup_address_clamped(xc)];
         pair.slope
             .mul_add(xc, pair.bias, self.rounding)
-            .expect("formats verified equal above")
+            .expect("formats verified equal by the caller")
     }
 
     /// Evaluates a whole vector through the datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word is not in the table's format.
     #[must_use]
     pub fn eval_slice(&self, xs: &[Fixed]) -> Vec<Fixed> {
         let mut out = Vec::new();
@@ -204,10 +259,42 @@ impl QuantizedPwl {
     /// hot loops that evaluate one batch after another) can reuse one
     /// allocation across calls instead of paying a fresh `Vec` per
     /// [`eval_slice`](Self::eval_slice).
+    ///
+    /// This is the branch-light batch path: the format check runs as one
+    /// pass over the batch instead of per element, and the loop itself is
+    /// clamp-once + dense-table address + MAC — no assert, no re-clamp,
+    /// no binary search per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word is not in the table's format (checked up front,
+    /// before any evaluation).
     pub fn eval_into(&self, xs: &[Fixed], out: &mut Vec<Fixed>) {
+        assert!(
+            xs.iter().all(|x| x.format() == self.format),
+            "input word format must match table format"
+        );
         out.clear();
         out.reserve(xs.len());
-        out.extend(xs.iter().map(|&x| self.eval(x)));
+        out.extend(xs.iter().map(|&x| self.eval_clamped(self.clamp(x))));
+    }
+
+    /// Evaluates a slice *in place* over an output slice of equal length —
+    /// the zero-copy core the flat batch pipeline drives. Same format
+    /// contract (and single up-front check) as [`eval_into`](Self::eval_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != xs.len()` or any word is format-mismatched.
+    pub fn eval_to_slice(&self, xs: &[Fixed], out: &mut [Fixed]) {
+        assert_eq!(xs.len(), out.len(), "output slice must match input length");
+        assert!(
+            xs.iter().all(|x| x.format() == self.format),
+            "input word format must match table format"
+        );
+        for (&x, slot) in xs.iter().zip(out) {
+            *slot = self.eval_clamped(self.clamp(x));
+        }
     }
 
     /// Convenience: quantize an `f64`, evaluate, return `f64`.
@@ -216,6 +303,28 @@ impl QuantizedPwl {
         self.eval(Fixed::from_f64(x, self.format, self.rounding))
             .to_f64()
     }
+}
+
+/// Precomputes the dense segment-address table over the clamped raw span
+/// `[lo, hi]`: one `u32` address per raw word, produced by a single
+/// monotone sweep over the (strictly increasing) thresholds. Returns an
+/// empty table when the span exceeds [`DENSE_ADDR_MAX_ENTRIES`].
+fn build_addr_table(breakpoints: &[Fixed], lo: Fixed, hi: Fixed) -> Vec<u32> {
+    let span = (hi.raw() - lo.raw()) as u128 + 1;
+    if span > DENSE_ADDR_MAX_ENTRIES as u128 {
+        return Vec::new();
+    }
+    let span = span as usize;
+    let mut table = Vec::with_capacity(span);
+    let mut addr = 0usize;
+    for offset in 0..span {
+        let raw = lo.raw() + offset as i64;
+        while addr < breakpoints.len() && breakpoints[addr].raw() <= raw {
+            addr += 1;
+        }
+        table.push(addr as u32);
+    }
+    table
 }
 
 #[cfg(test)]
@@ -313,5 +422,81 @@ mod tests {
         let q = sigmoid16();
         let wrong = Fixed::zero(Q6_10);
         let _ = q.eval(wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "format")]
+    fn mixed_format_batch_panics_before_evaluating() {
+        let q = sigmoid16();
+        let xs = vec![Fixed::zero(Q4_12), Fixed::zero(Q6_10)];
+        let mut out = Vec::new();
+        q.eval_into(&xs, &mut out);
+    }
+
+    #[test]
+    fn dense_address_table_matches_partition_point_for_every_raw_word() {
+        // The tentpole bit-identity proof: for every raw word a 16-bit
+        // format can hold, the direct-indexed address equals the
+        // comparator tree's binary search, and eval agrees with a
+        // from-scratch clamp + partition_point + MAC datapath.
+        for activation in [Activation::Sigmoid, Activation::Gelu, Activation::Exp] {
+            for segments in [4usize, 16] {
+                let pwl =
+                    fit::fit_activation(activation, segments, fit::BreakpointStrategy::Uniform)
+                        .unwrap();
+                let q = QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap();
+                let (lo, hi) = q.clamp_bounds();
+                assert_eq!(
+                    q.dense_address_entries(),
+                    (hi.raw() - lo.raw()) as usize + 1,
+                    "16-bit span must be dense-indexed"
+                );
+                for raw in Q4_12.min_raw()..=Q4_12.max_raw() {
+                    let x = Fixed::from_raw(raw, Q4_12).unwrap();
+                    let xc = q.clamp(x);
+                    let reference = q.breakpoints().partition_point(|d| d.raw() <= xc.raw());
+                    assert_eq!(
+                        q.lookup_address(x),
+                        reference,
+                        "{activation:?}/{segments}: raw {raw}"
+                    );
+                    let pair = q.pairs()[reference];
+                    let expect = pair.slope.mul_add(xc, pair.bias, q.rounding()).unwrap();
+                    assert_eq!(q.eval(x), expect, "{activation:?}/{segments}: raw {raw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_formats_fall_back_to_binary_search() {
+        // At 20 fraction bits tanh's clamped domain spans ~2^23 raw
+        // values — past the dense-table cap, so the table must stay empty
+        // and lookups must still agree with partition_point on sampled
+        // words.
+        let wide = QFormat::new(24, 20).unwrap();
+        let pwl =
+            fit::fit_activation(Activation::Tanh, 16, fit::BreakpointStrategy::Uniform).unwrap();
+        let q = QuantizedPwl::from_pwl(&pwl, wide, Rounding::NearestEven).unwrap();
+        assert_eq!(q.dense_address_entries(), 0, "wide span must not be dense");
+        for raw in (wide.min_raw()..wide.max_raw()).step_by(65_537) {
+            let x = Fixed::from_raw(raw, wide).unwrap();
+            let xc = q.clamp(x);
+            assert_eq!(
+                q.lookup_address(x),
+                q.breakpoints().partition_point(|d| d.raw() <= xc.raw())
+            );
+        }
+    }
+
+    #[test]
+    fn eval_to_slice_matches_eval_slice() {
+        let q = sigmoid16();
+        let xs: Vec<Fixed> = (0..257)
+            .map(|k| Fixed::from_f64(-8.0 + 0.0625 * k as f64, Q4_12, Rounding::NearestEven))
+            .collect();
+        let mut out = vec![Fixed::zero(Q4_12); xs.len()];
+        q.eval_to_slice(&xs, &mut out);
+        assert_eq!(out, q.eval_slice(&xs));
     }
 }

@@ -62,6 +62,31 @@ fn bench_pwl_eval(c: &mut Criterion) {
     c.bench_function("pwl/reference_gelu_x256", |b| {
         b.iter(|| xf.iter().map(|&x| Activation::Gelu.eval(x)).sum::<f64>())
     });
+    // The flat-pipeline eval ablation: per-element binary-search address
+    // generation (the retired path) vs the dense direct-index table
+    // behind `eval`/`eval_into`.
+    c.bench_function("pwl/eval_binary_search_x256", |b| {
+        b.iter(|| {
+            xq.iter()
+                .map(|&x| {
+                    let xc = t.clamp(x);
+                    let addr = t.breakpoints().partition_point(|d| d.raw() <= xc.raw());
+                    let pair = t.pairs()[addr];
+                    pair.slope
+                        .mul_add(xc, pair.bias, t.rounding())
+                        .unwrap()
+                        .raw()
+                })
+                .sum::<i64>()
+        })
+    });
+    let mut out = Vec::new();
+    c.bench_function("pwl/eval_direct_index_into_x256", |b| {
+        b.iter(|| {
+            t.eval_into(black_box(&xq), &mut out);
+            black_box(out.last().copied())
+        })
+    });
 }
 
 fn bench_softmax(c: &mut Criterion) {

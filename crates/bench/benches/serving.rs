@@ -6,22 +6,29 @@ use nova_bench::{criterion_group, criterion_main};
 
 use nova::engine::{evaluate_multi_stream, ApproximatorKind};
 use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova::vector_unit::build;
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
-use nova_fixed::{Fixed, Rounding, Q4_12};
+use nova_fixed::{Fixed, FixedBatch, Rounding, Q4_12};
 use nova_noc::LineConfig;
 use nova_synth::TechModel;
 use nova_workloads::bert::OpCensus;
-use nova_workloads::traffic::{query_values, TrafficMix};
+use nova_workloads::traffic::{query_words_into, TrafficMix};
 
 fn requests(streams: usize, queries: usize) -> Vec<ServingRequest> {
     (0..streams)
-        .map(|stream| ServingRequest {
-            stream,
-            inputs: query_values(stream as u64, queries, -6.0, 6.0)
-                .into_iter()
-                .map(|x| Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
-                .collect(),
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                stream as u64,
+                queries,
+                -6.0,
+                6.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest { stream, inputs }
         })
         .collect()
 }
@@ -93,11 +100,7 @@ fn bench_worker_pool(c: &mut Criterion) {
 fn bench_multi_stream_eval(c: &mut Criterion) {
     let tech = TechModel::cmos22();
     let host = AcceleratorConfig::tpu_v4_like();
-    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16)
-        .generate()
-        .into_iter()
-        .map(|r| r.census)
-        .collect();
+    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16).census_slate();
     c.bench_function("evaluate_multi_stream_16", |b| {
         b.iter(|| {
             evaluate_multi_stream(
@@ -112,11 +115,57 @@ fn bench_multi_stream_eval(c: &mut Criterion) {
     });
 }
 
+fn bench_flat_vs_nested(c: &mut Criterion) {
+    // The tentpole microbench: one full 8×128 batch through a vector
+    // unit as nested Vec<Vec<_>> (per-batch allocations + shim round
+    // trip) vs one contiguous FixedBatch into a recycled output buffer
+    // (allocation-free).
+    let cache = TableCache::new();
+    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    let mut words = Vec::new();
+    query_words_into(
+        3,
+        8 * 128,
+        -6.0,
+        6.0,
+        Q4_12,
+        Rounding::NearestEven,
+        &mut words,
+    );
+    let nested: Vec<Vec<Fixed>> = words.chunks(128).map(<[Fixed]>::to_vec).collect();
+    let mut flat = FixedBatch::new(8, 128, Fixed::zero(Q4_12));
+    flat.as_mut_slice().copy_from_slice(&words);
+    let line = LineConfig::paper_default(8, 128);
+    let mut g = c.benchmark_group("lookup_batch_8x128");
+    for kind in [ApproximatorKind::PerCoreLut, ApproximatorKind::NovaNoc] {
+        let mut unit = build(kind, line, &table).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}/nested")),
+            &nested,
+            |b, nested| b.iter(|| unit.lookup_batch(black_box(nested)).unwrap()),
+        );
+        let mut unit = build(kind, line, &table).unwrap();
+        let mut out = FixedBatch::empty();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}/flat_into")),
+            &flat,
+            |b, flat| {
+                b.iter(|| {
+                    unit.lookup_batch_into(black_box(flat), &mut out).unwrap();
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     serving,
     bench_table_cache,
     bench_serve,
     bench_worker_pool,
-    bench_multi_stream_eval
+    bench_multi_stream_eval,
+    bench_flat_vs_nested
 );
 criterion_main!(serving);

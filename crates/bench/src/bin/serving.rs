@@ -1,7 +1,8 @@
 //! Serving-runtime study: throughput-vs-workers scaling, batch occupancy
-//! vs offered load, and the analytic multi-stream evaluation.
+//! vs offered load, the analytic multi-stream evaluation, and the flat
+//! zero-copy datapath microbenchmarks.
 //!
-//! Three views of the concurrent serving story:
+//! Four views of the concurrent serving story:
 //!
 //! 1. **Analytic** (`engine::evaluate_multi_stream`): mixed BERT/CNN/
 //!    synthetic traffic on a TPU-v4-like host, sweeping the stream count
@@ -16,6 +17,11 @@
 //!    worker-pool runtime serving seeded query bursts at 1/2/4 threads,
 //!    measuring wall-clock queries/s and checking the outputs'
 //!    checksum is bit-identical at every worker count.
+//! 4. **Flat datapath** (`flat_path`): nested `Vec<Vec<_>>` batches vs
+//!    contiguous `FixedBatch` + `lookup_batch_into`, and binary-search
+//!    vs direct-indexed table eval — with a checksum proving the flat
+//!    serve path is bit-identical to the sequential reference (the CI
+//!    smoke compares the two printed checksum lines).
 //!
 //! Flags/env:
 //!
@@ -30,15 +36,16 @@ use std::time::Instant;
 
 use nova::engine::{evaluate_multi_stream, ApproximatorKind, MultiStreamReport};
 use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova::vector_unit::build;
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
 use nova_bench::table::Table;
-use nova_fixed::{Fixed, Rounding, Q4_12};
+use nova_fixed::{Fixed, FixedBatch, Rounding, Q4_12};
 use nova_noc::LineConfig;
 use nova_serde::Serialize;
 use nova_synth::TechModel;
 use nova_workloads::bert::OpCensus;
-use nova_workloads::traffic::{query_values, TrafficMix};
+use nova_workloads::traffic::{query_words_into, TrafficMix};
 
 /// One point of the wall-clock worker-scaling sweep.
 struct ScalingPoint {
@@ -86,6 +93,42 @@ nova_serde::impl_serialize_struct!(OfferedLoadPoint {
     occupancy_pct,
 });
 
+/// The flat-datapath microbenchmarks: nested vs contiguous batches and
+/// binary-search vs direct-indexed eval, plus the flat-vs-reference
+/// bit-identity checksums (the CI gate).
+struct FlatPathBench {
+    grid: String,
+    batch_slots: usize,
+    nested_ns_per_batch: f64,
+    flat_ns_per_batch: f64,
+    /// Nested time over flat time — > 1 means the flat path wins.
+    flat_speedup: f64,
+    binary_search_eval_ns_per_query: f64,
+    direct_index_eval_ns_per_query: f64,
+    /// Binary-search time over direct-index time — > 1 means the dense
+    /// table wins.
+    direct_index_speedup: f64,
+    /// Buffer pairs the engine minted over the steady-state probe — the
+    /// allocation-free invariant (stays at its warmup value).
+    buffers_created: u64,
+    flat_checksum: String,
+    reference_checksum: String,
+}
+
+nova_serde::impl_serialize_struct!(FlatPathBench {
+    grid,
+    batch_slots,
+    nested_ns_per_batch,
+    flat_ns_per_batch,
+    flat_speedup,
+    binary_search_eval_ns_per_query,
+    direct_index_eval_ns_per_query,
+    direct_index_speedup,
+    buffers_created,
+    flat_checksum,
+    reference_checksum,
+});
+
 /// The whole study, JSON-emittable for perf trending.
 struct ServingBenchReport {
     host: String,
@@ -96,6 +139,7 @@ struct ServingBenchReport {
     worker_sweep: Vec<MultiStreamReport>,
     offered_load: Vec<OfferedLoadPoint>,
     scaling: Vec<ScalingPoint>,
+    flat_path: FlatPathBench,
 }
 
 nova_serde::impl_serialize_struct!(ServingBenchReport {
@@ -107,6 +151,7 @@ nova_serde::impl_serialize_struct!(ServingBenchReport {
     worker_sweep,
     offered_load,
     scaling,
+    flat_path,
 });
 
 fn main() {
@@ -127,6 +172,7 @@ fn main() {
     let worker_sweep = worker_sweep(&tech, &host, json);
     let offered_load = offered_load_sweep(&host, json);
     let scaling = scaling_sweep(json);
+    let flat_path = flat_path_bench(json);
 
     let report = ServingBenchReport {
         host: host.name.to_string(),
@@ -137,6 +183,7 @@ fn main() {
         worker_sweep,
         offered_load,
         scaling,
+        flat_path,
     };
     if json {
         println!("{}", report.to_json_string());
@@ -145,9 +192,32 @@ fn main() {
             "\nShape check: with ≥ 8 concurrent streams the coalesced scheduler keeps\n\
              occupancy above 90% and its aggregate queries/s beats naive per-stream\n\
              dispatch; the worker pool divides the non-linear makespan while the\n\
-             output checksum stays bit-identical at every worker count."
+             output checksum stays bit-identical at every worker count, and the\n\
+             flat FixedBatch + direct-index path beats nested + binary search."
         );
     }
+}
+
+/// Per-point measurement budget (ms) shared by the wall-clock sections.
+fn measure_budget_ms() -> u64 {
+    std::env::var("NOVA_SERVE_MEASURE_MS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(300)
+        .max(1)
+}
+
+/// Times `routine` for ~`budget_ms` after one warmup call; returns
+/// nanoseconds per iteration.
+fn time_ns_per_iter(budget_ms: u64, mut routine: impl FnMut()) -> f64 {
+    routine(); // warmup
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < u128::from(budget_ms) {
+        routine();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
 }
 
 /// Analytic: aggregate throughput vs concurrent stream count (1 worker).
@@ -169,8 +239,7 @@ fn streams_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<
     );
     let mut reports = Vec::new();
     for streams in [1usize, 2, 4, 8, 16, 32] {
-        let trace = TrafficMix::paper_default(streams).generate();
-        let censuses: Vec<OpCensus> = trace.into_iter().map(|r| r.census).collect();
+        let censuses: Vec<OpCensus> = TrafficMix::paper_default(streams).census_slate();
         let r = evaluate_multi_stream(tech, host, &censuses, ApproximatorKind::NovaNoc, 1)
             .expect("non-empty slate");
         t.row(&[
@@ -196,11 +265,7 @@ fn streams_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<
 /// Analytic: non-linear makespan and throughput vs worker count at a
 /// fixed 16-stream mix — per-worker counters rolled up.
 fn worker_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<MultiStreamReport> {
-    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16)
-        .generate()
-        .into_iter()
-        .map(|r| r.census)
-        .collect();
+    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16).census_slate();
     let mut t = Table::new(
         "Worker-pool scaling — 16 streams, NOVA NoC (analytic makespan)",
         &[
@@ -326,24 +391,27 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
             .expect("NOVA_SERVE_WORKERS must be a positive integer")],
         Err(_) => vec![1, 2, 4],
     };
-    let budget_ms: u64 = std::env::var("NOVA_SERVE_MEASURE_MS")
-        .ok()
-        .and_then(|s| s.trim().parse().ok())
-        .unwrap_or(300)
-        .max(1);
+    let budget_ms = measure_budget_ms();
     let cache = TableCache::new();
     let table = cache
         .get_or_fit(TableKey::paper(Activation::Gelu))
         .expect("paper table fits");
     // 16 streams × 2000 queries over a 8×128 grid: 32_000 queries per
-    // serve call in 32 coalesced 1024-slot batches.
+    // serve call in 32 coalesced 1024-slot batches. Queries extract
+    // straight into fixed-point words — no intermediate f64 vector.
     let requests: Vec<ServingRequest> = (0..16)
-        .map(|stream| ServingRequest {
-            stream,
-            inputs: query_values(stream as u64, 2000, -6.0, 6.0)
-                .into_iter()
-                .map(|x| Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
-                .collect(),
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                stream as u64,
+                2000,
+                -6.0,
+                6.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest { stream, inputs }
         })
         .collect();
     let queries_per_call: u64 = requests.iter().map(|r| r.inputs.len() as u64).sum();
@@ -434,6 +502,151 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
         }
     }
     points
+}
+
+/// The flat-datapath study: contiguous `FixedBatch` + `lookup_batch_into`
+/// vs nested `Vec<Vec<_>>` batches on a real vector unit, direct-indexed
+/// vs binary-search table eval, and the flat-vs-reference bit-identity
+/// checksums the CI smoke compares.
+fn flat_path_bench(json: bool) -> FlatPathBench {
+    const ROUTERS: usize = 8;
+    const NEURONS: usize = 128;
+    let budget_ms = measure_budget_ms();
+    let cache = TableCache::new();
+    let table = cache
+        .get_or_fit(TableKey::paper(Activation::Gelu))
+        .expect("paper table fits");
+
+    // One full grid of seeded queries, in both representations.
+    let mut words = Vec::new();
+    query_words_into(
+        7,
+        ROUTERS * NEURONS,
+        -6.0,
+        6.0,
+        Q4_12,
+        Rounding::NearestEven,
+        &mut words,
+    );
+    let nested: Vec<Vec<Fixed>> = words.chunks(NEURONS).map(<[Fixed]>::to_vec).collect();
+    let mut flat = FixedBatch::new(ROUTERS, NEURONS, Fixed::zero(Q4_12));
+    flat.as_mut_slice().copy_from_slice(&words);
+
+    let line = LineConfig::paper_default(ROUTERS, NEURONS);
+    let mut unit = build(ApproximatorKind::PerCoreLut, line, &table).expect("unit builds");
+    let nested_ns = time_ns_per_iter(budget_ms, || {
+        std::hint::black_box(unit.lookup_batch(std::hint::black_box(&nested)).unwrap());
+    });
+    let mut out = FixedBatch::empty();
+    let flat_ns = time_ns_per_iter(budget_ms, || {
+        unit.lookup_batch_into(std::hint::black_box(&flat), &mut out)
+            .unwrap();
+        std::hint::black_box(&out);
+    });
+
+    // Table eval: the retired per-element path (format assert + clamp +
+    // re-clamping binary-search address + MAC) vs the dense-table batch
+    // path (`eval_into`).
+    let n = words.len() as f64;
+    let binary_ns = time_ns_per_iter(budget_ms, || {
+        let mut acc = 0i64;
+        for &x in std::hint::black_box(&words) {
+            assert_eq!(x.format(), table.format(), "format check per element");
+            let xc = table.clamp(x);
+            let addr = {
+                let xcc = table.clamp(xc); // the legacy double clamp
+                table
+                    .breakpoints()
+                    .partition_point(|d| d.raw() <= xcc.raw())
+            };
+            let pair = table.pairs()[addr];
+            acc ^= pair
+                .slope
+                .mul_add(xc, pair.bias, table.rounding())
+                .unwrap()
+                .raw();
+        }
+        std::hint::black_box(acc);
+    }) / n;
+    let mut eval_out = Vec::new();
+    let direct_ns = time_ns_per_iter(budget_ms, || {
+        table.eval_into(std::hint::black_box(&words), &mut eval_out);
+        std::hint::black_box(&eval_out);
+    }) / n;
+
+    // Bit-identity gate: the flat engine pipeline vs the sequential
+    // reference, on a multi-stream probe slate with a ragged tail.
+    let probe: Vec<ServingRequest> = (0..5)
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                100 + stream as u64,
+                777,
+                -6.0,
+                6.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest { stream, inputs }
+        })
+        .collect();
+    let mut engine = ServingEngine::new(
+        ApproximatorKind::PerCoreLut,
+        line,
+        std::sync::Arc::clone(&table),
+        2,
+    )
+    .expect("engine builds");
+    let flat_outputs = engine.serve(&probe).expect("well-formed probe");
+    // Steady-state probe: more slates must not mint buffers.
+    for _ in 0..3 {
+        engine.serve(&probe).expect("well-formed probe");
+    }
+    let reference_outputs = engine.serve_reference(&probe);
+    let bench = FlatPathBench {
+        grid: format!("{ROUTERS}x{NEURONS}"),
+        batch_slots: ROUTERS * NEURONS,
+        nested_ns_per_batch: nested_ns,
+        flat_ns_per_batch: flat_ns,
+        flat_speedup: nested_ns / flat_ns,
+        binary_search_eval_ns_per_query: binary_ns,
+        direct_index_eval_ns_per_query: direct_ns,
+        direct_index_speedup: binary_ns / direct_ns,
+        buffers_created: engine.buffers_created(),
+        flat_checksum: format!("{:#018x}", fnv1a_outputs(&flat_outputs)),
+        reference_checksum: format!("{:#018x}", fnv1a_outputs(&reference_outputs)),
+    };
+    if !json {
+        let mut t = Table::new(
+            "Flat zero-copy datapath — PerCoreLut, 8×128 grid",
+            &["Path", "ns/batch", "ns/query (eval)", "Speedup"],
+        );
+        t.row(&[
+            "nested + binary search".into(),
+            format!("{nested_ns:.0}"),
+            format!("{binary_ns:.2}"),
+            "1.00x".into(),
+        ]);
+        t.row(&[
+            "flat + direct index".into(),
+            format!("{flat_ns:.0}"),
+            format!("{direct_ns:.2}"),
+            format!(
+                "{:.2}x batch / {:.2}x eval",
+                bench.flat_speedup, bench.direct_index_speedup
+            ),
+        ]);
+        t.print();
+        // The lines the CI flat-vs-reference smoke greps.
+        println!("flat serve checksum: {}", bench.flat_checksum);
+        println!("reference serve checksum: {}", bench.reference_checksum);
+        println!(
+            "steady-state buffer pairs minted: {} (constant across slates)",
+            bench.buffers_created
+        );
+    }
+    bench
 }
 
 /// FNV-1a over every output word in request order: a stable, order-

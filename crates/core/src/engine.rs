@@ -296,6 +296,14 @@ nova_serde::impl_serde_struct!(MultiStreamReport {
 /// the non-linear wall time is the pool's makespan (the busiest
 /// worker), so `workers = 1` reproduces the serial accounting exactly.
 ///
+/// This is the *analytic* twin of [`crate::serving::ServingEngine`]: it
+/// counts queries and batch slots without materializing values, and its
+/// `capacity = routers × neurons` accounting is exactly the flat
+/// [`nova_fixed::FixedBatch`] slot layout the functional pipeline packs
+/// (slate census totals here = grid slots there). Callers holding a
+/// seeded trace get the census slate without cloning request records via
+/// `nova_workloads::traffic::TrafficMix::census_slate`.
+///
 /// # Errors
 ///
 /// Returns [`NovaError::BatchShape`] for an empty request slate or

@@ -61,6 +61,7 @@ pub mod vector_unit;
 pub use engine::{InferenceReport, MultiStreamReport};
 pub use error::NovaError;
 pub use mapper::{Mapper, MappingPlan};
+pub use nova_fixed::FixedBatch;
 pub use overlay::NovaOverlay;
 pub use serving::{ServingEngine, ServingRequest, ServingStats, TableCache, TableKey, WorkerLoad};
 pub use vector_unit::{

@@ -31,6 +31,14 @@
 //!      parallel output is bit-identical to the sequential path for any
 //!      worker count.
 //!
+//! Since PR 4 the data plane is **flat and zero-copy**: batches travel as
+//! contiguous [`nova_fixed::FixedBatch`] grids evaluated through
+//! [`VectorUnit::lookup_batch_into`], jobs carry recyclable
+//! input/output buffer pairs, and completions return those pairs to an
+//! engine-owned pool — once the pipeline has warmed up, steady-state
+//! serving performs zero per-batch heap allocations
+//! ([`ServingEngine::buffers_created`] stays constant).
+//!
 //! Only the tail batch is padded (with an in-domain value whose results
 //! are dropped on scatter), so batch occupancy approaches 100 % as
 //! offered load grows — which is exactly what the paper's per-batch
@@ -82,7 +90,7 @@ use std::thread::JoinHandle;
 
 use nova_accel::config::AcceleratorConfig;
 use nova_approx::{fit, Activation, QuantizedPwl};
-use nova_fixed::{Fixed, QFormat, Rounding, Q4_12};
+use nova_fixed::{Fixed, FixedBatch, QFormat, Rounding, Q4_12};
 use nova_noc::{LineConfig, LinkConfig};
 use nova_synth::TechModel;
 
@@ -295,18 +303,24 @@ nova_serde::impl_serde_struct!(WorkerLoad {
     cycles,
 });
 
-/// A sequence-numbered batch on its way to a shard worker.
+/// A sequence-numbered batch on its way to a shard worker: one flat
+/// input grid plus the recyclable output buffer the worker writes into.
 struct BatchJob {
     seq: usize,
-    batch: Vec<Vec<Fixed>>,
+    inputs: FixedBatch,
+    out: FixedBatch,
 }
 
-/// A completed batch on its way back to the reorder stage.
+/// A completed batch on its way back to the reorder stage. Both buffers
+/// ride along so the engine can return them to its recycling pool after
+/// scatter — on success *and* on failure.
 struct BatchDone {
     seq: usize,
     worker: usize,
     latency: u64,
-    result: Result<Vec<Vec<Fixed>>, NovaError>,
+    inputs: FixedBatch,
+    out: FixedBatch,
+    result: Result<(), NovaError>,
 }
 
 /// Bounded depth of each worker's feed channel: admission blocks once a
@@ -340,6 +354,18 @@ pub struct ServingEngine {
     next_worker: usize,
     requests_served: u64,
     padded_slots: u64,
+    /// Recycling pool of `(inputs, outputs)` batch-buffer pairs. Jobs pop
+    /// a pair on admission and completions return it after scatter, so a
+    /// steady-state serve loop performs zero per-batch heap allocations.
+    spare: Vec<(FixedBatch, FixedBatch)>,
+    /// Buffer pairs minted because the pool ran dry — grows while the
+    /// pipeline warms up, then stays constant (the allocation-free
+    /// steady-state invariant the recycling test asserts).
+    buffers_created: u64,
+    /// Arrival-queue scratch, reused across `serve` calls.
+    queue: Vec<(usize, Fixed)>,
+    /// Reorder-stage scratch, reused across `serve` calls.
+    reorder: Vec<Option<BatchDone>>,
 }
 
 impl std::fmt::Debug for ServingEngine {
@@ -389,15 +415,24 @@ impl ServingEngine {
                 .name(format!("nova-serve-{id}"))
                 .spawn(move || {
                     // The worker loop: exits when the engine drops its
-                    // feed sender (or the reorder stage hung up).
+                    // feed sender (or the reorder stage hung up). The
+                    // flat buffers travel with the job and back with the
+                    // completion — the worker itself allocates nothing.
                     while let Ok(job) = feed_rx.recv() {
-                        let result = unit.lookup_batch(&job.batch);
+                        let BatchJob {
+                            seq,
+                            inputs,
+                            mut out,
+                        } = job;
+                        let result = unit.lookup_batch_into(&inputs, &mut out);
                         let latency = unit.latency_cycles();
                         if done
                             .send(BatchDone {
-                                seq: job.seq,
+                                seq,
                                 worker: id,
                                 latency,
+                                inputs,
+                                out,
                                 result,
                             })
                             .is_err()
@@ -425,6 +460,10 @@ impl ServingEngine {
             next_worker: 0,
             requests_served: 0,
             padded_slots: 0,
+            spare: Vec::new(),
+            buffers_created: 0,
+            queue: Vec::new(),
+            reorder: Vec::new(),
         })
     }
 
@@ -498,6 +537,24 @@ impl ServingEngine {
     #[must_use]
     pub fn worker_loads(&self) -> &[WorkerLoad] {
         &self.loads
+    }
+
+    /// Batch-buffer pairs minted since construction. Grows while the
+    /// recycling pool warms up (first slate, or a deeper slate than any
+    /// before), then stays constant: a steady-state serve loop pops every
+    /// buffer from the pool and returns it after scatter, performing zero
+    /// per-batch heap allocations. The capacity-stability test pins this
+    /// invariant.
+    #[must_use]
+    pub fn buffers_created(&self) -> u64 {
+        self.buffers_created
+    }
+
+    /// Buffer pairs currently parked in the recycling pool (all of them,
+    /// between `serve` calls).
+    #[must_use]
+    pub fn buffer_pool_len(&self) -> usize {
+        self.spare.len()
     }
 
     /// Batch occupancy so far (%): queries served over grid slots
@@ -583,8 +640,11 @@ impl ServingEngine {
             return Ok(outputs);
         }
 
-        // Arrival-ordered flat queue of (request index, query value).
-        let mut queue: Vec<(usize, Fixed)> = Vec::with_capacity(total);
+        // Arrival-ordered flat queue of (request index, query value) —
+        // engine-owned scratch whose allocation persists across calls.
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
+        queue.reserve(total);
         for (ri, request) in requests.iter().enumerate() {
             queue.extend(request.inputs.iter().map(|&x| (ri, x)));
         }
@@ -592,17 +652,39 @@ impl ServingEngine {
         // ---- Admission: pack and feed sequence-numbered batches. ----
         // The pad value is in-domain by construction (the lower clamp
         // bound), so padded lanes can never fault; their outputs are
-        // simply never scattered anywhere.
+        // simply never scattered anywhere. Batch buffers come from the
+        // recycling pool: once the pipeline has warmed up, admission
+        // performs zero per-batch heap allocations.
         let pad = self.table.clamp_bounds().0;
         let batches = total.div_ceil(capacity);
-        let mut done: Vec<Option<BatchDone>> =
-            std::iter::repeat_with(|| None).take(batches).collect();
+        let mut done = std::mem::take(&mut self.reorder);
+        done.clear();
+        done.resize_with(batches, || None);
         let mut received = 0usize;
         for (seq, chunk) in queue.chunks(capacity).enumerate() {
-            let mut batch = vec![vec![pad; self.neurons]; self.routers];
-            for (slot, &(_, x)) in chunk.iter().enumerate() {
-                batch[slot / self.neurons][slot % self.neurons] = x;
+            let (mut inputs, out) = match self.spare.pop() {
+                Some(pair) => pair,
+                None => {
+                    self.buffers_created += 1;
+                    (
+                        FixedBatch::new(self.routers, self.neurons, pad),
+                        FixedBatch::new(self.routers, self.neurons, pad),
+                    )
+                }
+            };
+            // Pool-recycled buffers already carry the engine grid; only a
+            // freshly minted (or foreign) buffer needs reshaping.
+            if inputs.dims() != (self.routers, self.neurons) {
+                inputs.reset(self.routers, self.neurons, pad);
             }
+            // Row-major copy into the flat grid: payload into the prefix,
+            // pad only the tail slots (none, for a full batch).
+            let slots = inputs.as_mut_slice();
+            slots[..chunk.len()]
+                .iter_mut()
+                .zip(chunk)
+                .for_each(|(slot, &(_, x))| *slot = x);
+            slots[chunk.len()..].fill(pad);
             // Drain finished batches opportunistically so the completion
             // channel stays small while admission is still feeding.
             while let Ok(d) = self.done_rx.try_recv() {
@@ -614,7 +696,7 @@ impl ServingEngine {
             // (backpressure) once the target worker is
             // `WORKER_FEED_DEPTH` batches behind.
             self.feeds[(self.next_worker + seq) % shards]
-                .send(BatchJob { seq, batch })
+                .send(BatchJob { seq, inputs, out })
                 .expect("shard worker thread died mid-slate");
         }
         self.next_worker = (self.next_worker + batches) % shards;
@@ -632,16 +714,27 @@ impl ServingEngine {
         let mut failure: Option<NovaError> = None;
         for (seq, chunk) in queue.chunks(capacity).enumerate() {
             let d = done[seq].take().expect("every dispatched batch completed");
-            match d.result {
-                Ok(out) => {
-                    let load = &mut self.loads[d.worker];
+            let BatchDone {
+                worker,
+                latency,
+                inputs,
+                out,
+                result,
+                ..
+            } = d;
+            match result {
+                Ok(()) => {
+                    let load = &mut self.loads[worker];
                     load.batches += 1;
                     load.queries += chunk.len() as u64;
-                    load.cycles += d.latency;
+                    load.cycles += latency;
                     self.padded_slots += (capacity - chunk.len()) as u64;
                     if failure.is_none() {
-                        for (slot, &(ri, _)) in chunk.iter().enumerate() {
-                            outputs[ri].push(out[slot / self.neurons][slot % self.neurons]);
+                        // Flat scatter: slot k of the grid is query k of
+                        // the chunk — no row arithmetic, one indexed copy.
+                        let flat = out.as_slice();
+                        for (&(ri, _), &y) in chunk.iter().zip(flat) {
+                            outputs[ri].push(y);
                         }
                     }
                 }
@@ -651,7 +744,12 @@ impl ServingEngine {
                     }
                 }
             }
+            // Success or failure, the buffers return to the pool.
+            self.spare.push((inputs, out));
         }
+        queue.clear();
+        self.queue = queue;
+        self.reorder = done;
         if let Some(e) = failure {
             return Err(e);
         }
@@ -1045,6 +1143,46 @@ mod tests {
             assert_eq!(outputs.iter().map(Vec::len).sum::<usize>(), 80);
             assert_eq!(eng.stats().requests, 2);
         }
+    }
+
+    #[test]
+    fn steady_state_serving_is_allocation_free() {
+        // The tentpole acceptance criterion, asserted as a capacity-
+        // stability test: after the first slate warms the recycling pool,
+        // repeated slates of the same depth mint no new buffer pairs and
+        // never grow a recycled buffer's capacity — i.e. the per-batch
+        // hot path touches the allocator zero times.
+        let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 4, 8, 2);
+        let reqs = requests(6, 37, 21); // 222 queries / 32-slot grid = 7 batches
+        let reference = eng.serve_reference(&reqs);
+        assert_eq!(eng.serve(&reqs).unwrap(), reference);
+        let minted = eng.buffers_created();
+        let pool = eng.buffer_pool_len();
+        assert_eq!(minted, pool as u64, "every minted pair returns to the pool");
+        assert!(minted >= 1);
+        for _ in 0..5 {
+            assert_eq!(eng.serve(&reqs).unwrap(), reference);
+            assert_eq!(
+                eng.buffers_created(),
+                minted,
+                "steady state must not mint buffers"
+            );
+            assert_eq!(eng.buffer_pool_len(), pool);
+        }
+        // A shallower slate reuses the same pool; a failed slate returns
+        // its buffers too.
+        assert_eq!(eng.serve(&requests(1, 5, 22)).unwrap().len(), 1);
+        assert_eq!(eng.buffers_created(), minted);
+        use nova_fixed::Q8_8;
+        let mut bad = requests(1, 5, 23);
+        bad[0].inputs[0] = Fixed::from_f64(0.5, Q8_8, Rounding::NearestEven);
+        assert!(eng.serve(&bad).is_err());
+        assert_eq!(
+            eng.buffers_created(),
+            minted,
+            "errors must not leak buffers"
+        );
+        assert_eq!(eng.buffer_pool_len(), pool);
     }
 
     #[test]

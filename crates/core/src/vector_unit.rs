@@ -8,7 +8,7 @@
 
 use nova_accel::config::AcceleratorConfig;
 use nova_approx::QuantizedPwl;
-use nova_fixed::Fixed;
+use nova_fixed::{Fixed, FixedBatch};
 use nova_lut::{PerCoreLut, PerNeuronLut, SdpUnit};
 use nova_noc::{multiline::SegmentedNoc, sim::BroadcastSim, LineConfig, LinkConfig};
 use nova_synth::{timing, TechModel};
@@ -263,8 +263,38 @@ pub fn validate_batch_shape(
     Ok(())
 }
 
+/// Validates a flat [`FixedBatch`] against a unit's `(routers × neurons)`
+/// grid — the flat-path twin of [`validate_batch_shape`], shared by all
+/// [`VectorUnit`] implementations so malformed batches are rejected with
+/// a uniform [`NovaError::BatchShape`] before any lookup runs or counter
+/// advances.
+///
+/// # Errors
+///
+/// Returns [`NovaError::BatchShape`] naming the offending dimension.
+pub fn validate_flat_shape(
+    inputs: &FixedBatch,
+    routers: usize,
+    neurons: usize,
+) -> Result<(), NovaError> {
+    if inputs.dims() != (routers, neurons) {
+        let (r, n) = inputs.dims();
+        return Err(NovaError::BatchShape(format!(
+            "{r}×{n} batch for a {routers}×{neurons} grid"
+        )));
+    }
+    Ok(())
+}
+
 /// A batch-lookup vector unit: the functional contract shared by NOVA and
 /// the LUT baselines.
+///
+/// The primitive operation is the *flat* path
+/// [`lookup_batch_into`](Self::lookup_batch_into): one contiguous
+/// [`FixedBatch`] in, results written into a caller-recycled
+/// [`FixedBatch`] out, with no allocation on the steady-state path. The
+/// nested [`lookup_batch`](Self::lookup_batch) survives as a provided
+/// compatibility shim that round-trips through flat buffers.
 ///
 /// The trait is `Send` so a `Box<dyn VectorUnit>` can be moved into a
 /// worker thread — the serving runtime gives each shard worker its own
@@ -274,13 +304,44 @@ pub trait VectorUnit: Send {
     /// Display name (matches the Table III row labels).
     fn name(&self) -> &str;
 
-    /// Evaluates one batch: `inputs[r][n]` → approximated outputs with the
-    /// same shape. Results must be bit-identical to the quantized table.
+    /// Evaluates one flat batch: slot `r * neurons + n` of `inputs` →
+    /// the same slot of `out`, bit-identical to the quantized table.
+    ///
+    /// `out` is reshaped to the unit's grid by the implementation
+    /// (contents discarded, allocation reused), so callers recycle one
+    /// buffer across batches and the steady state is allocation-free.
     ///
     /// # Errors
     ///
-    /// Implementations return [`NovaError`] for malformed batches.
-    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError>;
+    /// Implementations return [`NovaError::BatchShape`] when `inputs`
+    /// does not match the unit's grid (no counter advances), and
+    /// propagate format mismatches.
+    fn lookup_batch_into(
+        &mut self,
+        inputs: &FixedBatch,
+        out: &mut FixedBatch,
+    ) -> Result<(), NovaError>;
+
+    /// Evaluates one nested batch: `inputs[r][n]` → approximated outputs
+    /// with the same shape. Compatibility shim over
+    /// [`lookup_batch_into`](Self::lookup_batch_into) — it pays a
+    /// flatten/reshape round trip, so hot loops should hold
+    /// [`FixedBatch`] buffers instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::BatchShape`] for ragged or mis-shaped
+    /// batches; propagates unit errors otherwise.
+    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        // Raggedness has no flat representation; reject it here with the
+        // same error the nested validators used, before any counter moves.
+        let neurons = inputs.first().map_or(0, Vec::len);
+        validate_batch_shape(inputs, inputs.len(), neurons)?;
+        let flat = FixedBatch::from_rows(inputs).expect("raggedness rejected above");
+        let mut out = FixedBatch::empty();
+        self.lookup_batch_into(&flat, &mut out)?;
+        Ok(out.to_rows())
+    }
 
     /// Effective per-batch latency in accelerator cycles. Before the
     /// first batch runs this is the schedule's nominal per-batch latency
@@ -330,13 +391,22 @@ impl VectorUnit for NovaVectorUnit {
         "NOVA NoC"
     }
 
-    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+    fn lookup_batch_into(
+        &mut self,
+        inputs: &FixedBatch,
+        out: &mut FixedBatch,
+    ) -> Result<(), NovaError> {
         let config = self.sim.config();
-        validate_batch_shape(inputs, config.routers, config.neurons_per_router)?;
-        let outcome = self.sim.run(inputs)?;
-        self.last_latency = outcome.stats.core_cycle_latency;
-        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
-        Ok(outcome.outputs)
+        validate_flat_shape(inputs, config.routers, config.neurons_per_router)?;
+        out.reset(
+            config.routers,
+            config.neurons_per_router,
+            Fixed::zero(self.sim.table().format()),
+        );
+        let stats = self.sim.run_flat(inputs.as_slice(), out.as_mut_slice())?;
+        self.last_latency = stats.core_cycle_latency;
+        self.lookups += inputs.len() as u64;
+        Ok(())
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -390,13 +460,22 @@ impl VectorUnit for SegmentedNovaUnit {
         "NOVA NoC (segmented)"
     }
 
-    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+    fn lookup_batch_into(
+        &mut self,
+        inputs: &FixedBatch,
+        out: &mut FixedBatch,
+    ) -> Result<(), NovaError> {
         let config = self.noc.config();
-        validate_batch_shape(inputs, config.routers, config.neurons_per_router)?;
-        let outcome = self.noc.run(inputs)?;
-        self.last_latency = outcome.stats.core_cycle_latency;
-        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
-        Ok(outcome.outputs)
+        validate_flat_shape(inputs, config.routers, config.neurons_per_router)?;
+        out.reset(
+            config.routers,
+            config.neurons_per_router,
+            Fixed::zero(self.noc.table().format()),
+        );
+        let stats = self.noc.run_flat(inputs.as_slice(), out.as_mut_slice())?;
+        self.last_latency = stats.core_cycle_latency;
+        self.lookups += inputs.len() as u64;
+        Ok(())
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -424,6 +503,7 @@ pub struct LutVectorUnit {
     per_neuron: Vec<PerNeuronLut>,
     per_core: Vec<PerCoreLut>,
     neurons: usize,
+    format: nova_fixed::QFormat,
     lookups: u64,
 }
 
@@ -458,6 +538,7 @@ impl LutVectorUnit {
             per_neuron,
             per_core,
             neurons,
+            format: table.format(),
             lookups: 0,
         }
     }
@@ -471,24 +552,28 @@ impl VectorUnit for LutVectorUnit {
         }
     }
 
-    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+    fn lookup_batch_into(
+        &mut self,
+        inputs: &FixedBatch,
+        out: &mut FixedBatch,
+    ) -> Result<(), NovaError> {
         let cores = self.per_neuron.len().max(self.per_core.len());
-        validate_batch_shape(inputs, cores, self.neurons)?;
-        let mut out = Vec::with_capacity(inputs.len());
+        validate_flat_shape(inputs, cores, self.neurons)?;
+        out.reset(cores, self.neurons, Fixed::zero(self.format));
         match self.variant {
             LutVariant::PerNeuron => {
-                for (unit, xs) in self.per_neuron.iter_mut().zip(inputs) {
-                    out.push(unit.lookup_batch(xs)?);
+                for (r, unit) in self.per_neuron.iter_mut().enumerate() {
+                    unit.lookup_into(inputs.row(r), out.row_mut(r))?;
                 }
             }
             LutVariant::PerCore => {
-                for (unit, xs) in self.per_core.iter_mut().zip(inputs) {
-                    out.push(unit.lookup_batch(xs)?);
+                for (r, unit) in self.per_core.iter_mut().enumerate() {
+                    unit.lookup_into(inputs.row(r), out.row_mut(r))?;
                 }
             }
         }
-        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
-        Ok(out)
+        self.lookups += inputs.len() as u64;
+        Ok(())
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -506,6 +591,11 @@ impl VectorUnit for LutVectorUnit {
 #[derive(Debug, Clone)]
 pub struct SdpVectorUnit {
     cores: Vec<SdpUnit>,
+    /// Lanes per core, cached at construction (identical across cores by
+    /// construction) so the per-batch hot path never re-derives it from
+    /// `cores.first()`.
+    neurons: usize,
+    format: nova_fixed::QFormat,
     lookups: u64,
 }
 
@@ -523,6 +613,8 @@ impl SdpVectorUnit {
         );
         Self {
             cores: (0..routers).map(|_| SdpUnit::new(table, neurons)).collect(),
+            neurons,
+            format: table.format(),
             lookups: 0,
         }
     }
@@ -533,15 +625,18 @@ impl VectorUnit for SdpVectorUnit {
         "NVDLA SDP"
     }
 
-    fn lookup_batch(&mut self, inputs: &[Vec<Fixed>]) -> Result<Vec<Vec<Fixed>>, NovaError> {
-        let neurons = self.cores.first().map_or(0, SdpUnit::neurons);
-        validate_batch_shape(inputs, self.cores.len(), neurons)?;
-        let mut out = Vec::with_capacity(inputs.len());
-        for (core, xs) in self.cores.iter_mut().zip(inputs) {
-            out.push(core.lookup_batch(xs)?);
+    fn lookup_batch_into(
+        &mut self,
+        inputs: &FixedBatch,
+        out: &mut FixedBatch,
+    ) -> Result<(), NovaError> {
+        validate_flat_shape(inputs, self.cores.len(), self.neurons)?;
+        out.reset(self.cores.len(), self.neurons, Fixed::zero(self.format));
+        for (r, core) in self.cores.iter_mut().enumerate() {
+            core.lookup_into(inputs.row(r), out.row_mut(r))?;
         }
-        self.lookups += inputs.iter().map(Vec::len).sum::<usize>() as u64;
-        Ok(out)
+        self.lookups += inputs.len() as u64;
+        Ok(())
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -788,6 +883,68 @@ mod tests {
                 "{} counted a rejected batch",
                 unit.name()
             );
+        }
+    }
+
+    #[test]
+    fn flat_path_bit_identical_to_nested_for_every_kind() {
+        // The tentpole contract: `lookup_batch_into` over one contiguous
+        // buffer produces exactly the words the legacy nested path (and
+        // the table) produce, for every approximator kind.
+        let t = table();
+        let inputs = batch(4, 16);
+        let flat = FixedBatch::from_rows(&inputs).unwrap();
+        let config = LineConfig::paper_default(4, 16);
+        for kind in ApproximatorKind::all() {
+            let mut nested_unit = build(kind, config, &t).unwrap();
+            let mut flat_unit = build(kind, config, &t).unwrap();
+            let nested = nested_unit.lookup_batch(&inputs).unwrap();
+            let mut out = FixedBatch::empty();
+            flat_unit.lookup_batch_into(&flat, &mut out).unwrap();
+            assert_eq!(out.to_rows(), nested, "{}", kind.label());
+            assert_eq!(flat_unit.lookups(), 64, "{}", kind.label());
+            for (r, row) in inputs.iter().enumerate() {
+                for (n, &x) in row.iter().enumerate() {
+                    assert_eq!(out.row(r)[n], t.eval(x), "{}", kind.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_output_buffer_is_recycled_without_reallocation() {
+        // The zero-copy contract: a reused output buffer reaches a steady
+        // state where repeated batches never grow its allocation.
+        let t = table();
+        for kind in ApproximatorKind::all() {
+            let mut unit = build(kind, LineConfig::paper_default(3, 8), &t).unwrap();
+            let flat = FixedBatch::from_rows(&batch(3, 8)).unwrap();
+            let mut out = FixedBatch::empty();
+            unit.lookup_batch_into(&flat, &mut out).unwrap();
+            let cap = out.capacity();
+            for _ in 0..4 {
+                unit.lookup_batch_into(&flat, &mut out).unwrap();
+                assert_eq!(out.capacity(), cap, "{} reallocated", unit.name());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_shape_mismatch_rejected_before_counters_move() {
+        let t = table();
+        let wrong = FixedBatch::from_rows(&batch(2, 8)).unwrap();
+        for kind in ApproximatorKind::all() {
+            let mut unit = build(kind, LineConfig::paper_default(3, 8), &t).unwrap();
+            let mut out = FixedBatch::empty();
+            assert!(
+                matches!(
+                    unit.lookup_batch_into(&wrong, &mut out),
+                    Err(NovaError::BatchShape(_))
+                ),
+                "{} accepted a mis-shaped flat batch",
+                unit.name()
+            );
+            assert_eq!(unit.lookups(), 0, "{}", unit.name());
         }
     }
 

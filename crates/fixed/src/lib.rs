@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod error;
 mod format;
 mod mac;
@@ -36,6 +37,7 @@ pub mod rng;
 mod value;
 mod word;
 
+pub use batch::FixedBatch;
 pub use error::FixedError;
 pub use format::{QFormat, Rounding};
 pub use mac::Mac;

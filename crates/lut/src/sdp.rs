@@ -61,6 +61,19 @@ impl SdpUnit {
         self.extra_cycles += Self::PIPELINE_STAGES - 2;
         Ok(out)
     }
+
+    /// The zero-copy batch path through the SDP pipeline: results land in
+    /// `out` in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying batch validation errors.
+    pub fn lookup_into(&mut self, xs: &[Fixed], out: &mut [Fixed]) -> Result<(), LutError> {
+        self.inner.lookup_into(xs, out)?;
+        // One extra stage vs the 2-cycle NN-LUT pipeline.
+        self.extra_cycles += Self::PIPELINE_STAGES - 2;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -69,24 +69,43 @@ impl PerNeuronLut {
     /// Returns [`LutError::BatchShape`] / [`LutError::FormatMismatch`] for
     /// malformed batches.
     pub fn lookup_batch(&mut self, xs: &[Fixed]) -> Result<Vec<Fixed>, LutError> {
+        let mut out = xs.to_vec();
+        self.lookup_into(xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// The zero-copy batch lookup: writes each neuron's approximated
+    /// value into `out` in place. Validation (shape + one format pass) is
+    /// hoisted out of the loop; the loop itself is clamp-once +
+    /// direct-index address + bank read + MAC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::BatchShape`] / [`LutError::FormatMismatch`] for
+    /// malformed batches (including an `out` of the wrong width).
+    pub fn lookup_into(&mut self, xs: &[Fixed], out: &mut [Fixed]) -> Result<(), LutError> {
         validate(&self.table, self.banks.len(), xs)?;
-        let mut out = Vec::with_capacity(xs.len());
-        for (bank, &x) in self.banks.iter_mut().zip(xs) {
+        if out.len() != xs.len() {
+            return Err(LutError::BatchShape {
+                neurons: xs.len(),
+                got: out.len(),
+            });
+        }
+        for ((bank, &x), slot) in self.banks.iter_mut().zip(xs).zip(out) {
             let xc = self.table.clamp(x);
-            let addr = self.table.lookup_address(xc);
+            let addr = self.table.lookup_address_clamped(xc);
             let pair = bank.read(addr)?;
-            out.push(
-                pair.slope
-                    .mul_add(xc, pair.bias, self.table.rounding())
-                    .expect("validated formats"),
-            );
+            *slot = pair
+                .slope
+                .mul_add(xc, pair.bias, self.table.rounding())
+                .expect("validated formats");
         }
         self.stats.batches += 1;
         self.stats.lookups += xs.len() as u64;
         self.stats.bank_reads += xs.len() as u64;
         self.stats.mac_ops += xs.len() as u64;
         self.stats.cycles += 2; // lookup + MAC, fully parallel banks
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -143,25 +162,43 @@ impl PerCoreLut {
     /// Returns [`LutError::BatchShape`] / [`LutError::FormatMismatch`] for
     /// malformed batches.
     pub fn lookup_batch(&mut self, xs: &[Fixed]) -> Result<Vec<Fixed>, LutError> {
+        let mut out = xs.to_vec();
+        self.lookup_into(xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// The zero-copy batch lookup through the shared multi-ported bank:
+    /// writes results into `out` in place, with validation hoisted out of
+    /// the clamp-once + direct-index loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::BatchShape`] / [`LutError::FormatMismatch`] for
+    /// malformed batches (including an `out` of the wrong width).
+    pub fn lookup_into(&mut self, xs: &[Fixed], out: &mut [Fixed]) -> Result<(), LutError> {
         validate(&self.table, self.neurons, xs)?;
-        let mut out = Vec::with_capacity(xs.len());
+        if out.len() != xs.len() {
+            return Err(LutError::BatchShape {
+                neurons: xs.len(),
+                got: out.len(),
+            });
+        }
         let lookup_cycles = self.bank.cycles_for(xs.len());
-        for &x in xs {
+        for (&x, slot) in xs.iter().zip(out) {
             let xc = self.table.clamp(x);
-            let addr = self.table.lookup_address(xc);
+            let addr = self.table.lookup_address_clamped(xc);
             let pair = self.bank.read(addr)?;
-            out.push(
-                pair.slope
-                    .mul_add(xc, pair.bias, self.table.rounding())
-                    .expect("validated formats"),
-            );
+            *slot = pair
+                .slope
+                .mul_add(xc, pair.bias, self.table.rounding())
+                .expect("validated formats");
         }
         self.stats.batches += 1;
         self.stats.lookups += xs.len() as u64;
         self.stats.bank_reads += xs.len() as u64;
         self.stats.mac_ops += xs.len() as u64;
         self.stats.cycles += lookup_cycles as u64 + 1;
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -77,6 +77,16 @@ impl SegmentedNoc {
         &self.split
     }
 
+    /// The quantized table the segments are programmed with.
+    ///
+    /// # Panics
+    ///
+    /// Never — construction guarantees at least one segment.
+    #[must_use]
+    pub fn table(&self) -> &QuantizedPwl {
+        self.segments[0].table()
+    }
+
     /// Per-batch broadcast latency in core cycles without running a
     /// batch: segments broadcast concurrently, so the nominal latency is
     /// the maximum over the per-segment nominal latencies (the widest
@@ -94,34 +104,54 @@ impl SegmentedNoc {
     /// *maximum* over segments (they operate concurrently); activity
     /// counters are summed.
     ///
+    /// Compatibility wrapper over [`run_flat`](Self::run_flat) — hot
+    /// loops should hold flat buffers and call `run_flat` directly.
+    ///
     /// # Errors
     ///
     /// Same shape/format validation as [`BroadcastSim::run`].
     pub fn run(&mut self, inputs: &[Vec<Fixed>]) -> Result<Outcome, NocError> {
-        if inputs.len() != self.config.routers {
+        let config = self.config;
+        crate::sim::run_nested_via_flat(config, inputs, |flat, out| self.run_flat(flat, out))
+    }
+
+    /// Runs one batch over flat row-major buffers (slot
+    /// `r * neurons + n`), each segment broadcasting over its contiguous
+    /// row range in place — the zero-copy hot path, with no per-batch
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same shape/format validation as [`BroadcastSim::run_flat`].
+    pub fn run_flat(
+        &mut self,
+        inputs: &[Fixed],
+        outputs: &mut [Fixed],
+    ) -> Result<SimStats, NocError> {
+        let neurons = self.config.neurons_per_router;
+        let slots = self.config.routers * neurons;
+        if inputs.len() != slots || outputs.len() != slots {
             return Err(NocError::InputShape {
                 routers: self.config.routers,
-                neurons: self.config.neurons_per_router,
-                got: (inputs.len(), inputs.first().map_or(0, Vec::len)),
+                neurons,
+                got: (inputs.len(), outputs.len()),
             });
         }
-        let mut outputs = Vec::with_capacity(inputs.len());
         let mut stats = SimStats::default();
         let mut offset = 0;
         for (seg, &routers) in self.segments.iter_mut().zip(&self.split) {
-            let chunk = &inputs[offset..offset + routers];
-            let out = seg.run(chunk)?;
-            outputs.extend(out.outputs);
-            stats.noc_cycles = stats.noc_cycles.max(out.stats.noc_cycles);
-            stats.core_cycle_latency = stats.core_cycle_latency.max(out.stats.core_cycle_latency);
-            stats.flits_injected += out.stats.flits_injected;
-            stats.hops += out.stats.hops;
-            stats.buffered += out.stats.buffered;
-            stats.pairs_latched += out.stats.pairs_latched;
-            stats.mac_ops += out.stats.mac_ops;
-            offset += routers;
+            let end = offset + routers * neurons;
+            let s = seg.run_flat(&inputs[offset..end], &mut outputs[offset..end])?;
+            stats.noc_cycles = stats.noc_cycles.max(s.noc_cycles);
+            stats.core_cycle_latency = stats.core_cycle_latency.max(s.core_cycle_latency);
+            stats.flits_injected += s.flits_injected;
+            stats.hops += s.hops;
+            stats.buffered += s.buffered;
+            stats.pairs_latched += s.pairs_latched;
+            stats.mac_ops += s.mac_ops;
+            offset = end;
         }
-        Ok(Outcome { outputs, stats })
+        Ok(stats)
     }
 }
 

@@ -57,6 +57,12 @@ pub struct BroadcastSim {
     schedule: BroadcastSchedule,
     table: QuantizedPwl,
     routers: Vec<Router>,
+    /// In-flight flit scratch `(schedule index, next router)`, reused
+    /// across batches so the steady-state broadcast loop never touches
+    /// the allocator. Always empty between [`run`](Self::run) calls.
+    in_flight: Vec<(usize, usize)>,
+    /// Double-buffer partner of `in_flight` (same lifecycle).
+    flying_scratch: Vec<(usize, usize)>,
 }
 
 impl BroadcastSim {
@@ -75,7 +81,15 @@ impl BroadcastSim {
             schedule,
             table: table.clone(),
             routers,
+            in_flight: Vec::new(),
+            flying_scratch: Vec::new(),
         })
+    }
+
+    /// The quantized table the line is programmed with.
+    #[must_use]
+    pub fn table(&self) -> &QuantizedPwl {
+        &self.table
     }
 
     /// The compiled schedule (flit count, NoC multiplier).
@@ -130,23 +144,51 @@ impl BroadcastSim {
     /// Runs one batch: `inputs[r][n]` is the PE output of neuron `n` at
     /// router `r`. Returns per-neuron approximated values plus stats.
     ///
+    /// Compatibility wrapper over [`run_flat`](Self::run_flat) — it pays
+    /// one flatten/reshape round trip, so hot loops should hold flat
+    /// buffers and call `run_flat` directly.
+    ///
     /// # Errors
     ///
     /// - [`NocError::InputShape`] if the batch shape mismatches the line,
     /// - [`NocError::FormatMismatch`] if any word uses the wrong Q-format.
     pub fn run(&mut self, inputs: &[Vec<Fixed>]) -> Result<Outcome, NocError> {
-        self.validate_inputs(inputs)?;
+        let config = self.config;
+        run_nested_via_flat(config, inputs, |flat, out| self.run_flat(flat, out))
+    }
+
+    /// Runs one batch over flat row-major buffers: slot `r * neurons + n`
+    /// of `inputs` is the PE output of neuron `n` at router `r`, and the
+    /// approximated value lands in the same slot of `outputs`. This is
+    /// the zero-copy hot path — router registers and the in-flight flit
+    /// list are reused across batches, so a steady-state batch loop
+    /// performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// - [`NocError::InputShape`] if either buffer is not exactly
+    ///   `routers × neurons_per_router` slots,
+    /// - [`NocError::FormatMismatch`] if any word uses the wrong Q-format.
+    pub fn run_flat(
+        &mut self,
+        inputs: &[Fixed],
+        outputs: &mut [Fixed],
+    ) -> Result<SimStats, NocError> {
+        self.validate_flat(inputs, outputs.len())?;
         let flits = self.schedule.flit_count();
         let reach = self.config.max_hops_per_cycle;
-        let routers = self.config.routers;
+        let neurons = self.config.neurons_per_router;
 
         // Comparator stage (parallel across routers, before broadcast).
-        for (router, xs) in self.routers.iter_mut().zip(inputs) {
+        for (router, xs) in self.routers.iter_mut().zip(inputs.chunks(neurons.max(1))) {
             router.load_inputs(xs);
         }
 
-        // In-flight flits: (schedule index, next router to visit).
-        let mut in_flight: Vec<(usize, usize)> = Vec::new();
+        // In-flight flits: (schedule index, next router to visit). The
+        // scratch vectors live on `self` purely for capacity reuse; both
+        // are empty outside this call.
+        let mut in_flight = std::mem::take(&mut self.in_flight);
+        let mut still_flying = std::mem::take(&mut self.flying_scratch);
         let mut injected = 0usize;
         let mut stats = SimStats::default();
         let mut cycle: u64 = 0;
@@ -156,9 +198,17 @@ impl BroadcastSim {
             // Advance flits already on the line (ahead of today's
             // injection, preserving order; no two flits can collide since
             // they all move `reach` hops per cycle).
-            let mut still_flying = Vec::new();
+            still_flying.clear();
             for (fi, pos) in in_flight.drain(..) {
-                let (next, parked) = self.fly(fi, pos, reach, &mut stats);
+                let (next, parked) = fly(
+                    &self.schedule,
+                    &self.table,
+                    &mut self.routers,
+                    fi,
+                    pos,
+                    reach,
+                    &mut stats,
+                );
                 if parked {
                     still_flying.push((fi, next));
                 }
@@ -168,19 +218,35 @@ impl BroadcastSim {
                 let fi = injected;
                 injected += 1;
                 stats.flits_injected += 1;
-                let (next, parked) = self.fly(fi, 0, reach, &mut stats);
+                let (next, parked) = fly(
+                    &self.schedule,
+                    &self.table,
+                    &mut self.routers,
+                    fi,
+                    0,
+                    reach,
+                    &mut stats,
+                );
                 if parked {
                     still_flying.push((fi, next));
                 }
             }
-            in_flight = still_flying;
+            std::mem::swap(&mut in_flight, &mut still_flying);
         }
         stats.noc_cycles = cycle;
+        in_flight.clear();
+        still_flying.clear();
+        self.in_flight = in_flight;
+        self.flying_scratch = still_flying;
 
-        // MAC stage: one core cycle after the last latch.
-        let mut outputs = Vec::with_capacity(routers);
-        for router in &mut self.routers {
-            outputs.push(router.compute()?);
+        // MAC stage: one core cycle after the last latch, written into
+        // the caller's buffer in place.
+        for (router, row) in self
+            .routers
+            .iter_mut()
+            .zip(outputs.chunks_mut(neurons.max(1)))
+        {
+            router.compute_into(row)?;
         }
         for router in &self.routers {
             stats.pairs_latched += router.stats.pairs_latched;
@@ -188,53 +254,87 @@ impl BroadcastSim {
         }
         let multiplier = self.schedule.noc_clock_multiplier() as u64;
         stats.core_cycle_latency = cycle.div_ceil(multiplier) + 1;
-        Ok(Outcome { outputs, stats })
+        Ok(stats)
     }
 
-    /// Propagates flit `fi` starting at router `pos` for up to `reach`
-    /// hops. Returns `(next position, parked?)`.
-    fn fly(&mut self, fi: usize, pos: usize, reach: usize, stats: &mut SimStats) -> (usize, bool) {
-        let flits = self.schedule.flit_count();
-        let routers = self.config.routers;
-        let flit = self.schedule.flits()[fi].clone();
-        let mut p = pos;
-        let mut hops = 0usize;
-        while p < routers && hops < reach {
-            self.routers[p].snoop(&flit, flits, &self.table);
-            p += 1;
-            hops += 1;
+    fn validate_flat(&self, inputs: &[Fixed], out_len: usize) -> Result<(), NocError> {
+        let slots = self.config.routers * self.config.neurons_per_router;
+        if inputs.len() != slots || out_len != slots {
+            return Err(NocError::InputShape {
+                routers: self.config.routers,
+                neurons: self.config.neurons_per_router,
+                got: (inputs.len(), out_len),
+            });
         }
-        stats.hops += hops as u64;
-        if p < routers {
-            // Parked in router p's east input register.
-            self.routers[p].buffer();
-            stats.buffered += 1;
-            (p, true)
-        } else {
-            (p, false)
-        }
-    }
-
-    fn validate_inputs(&self, inputs: &[Vec<Fixed>]) -> Result<(), NocError> {
-        let shape_err = |got| NocError::InputShape {
-            routers: self.config.routers,
-            neurons: self.config.neurons_per_router,
-            got,
-        };
-        if inputs.len() != self.config.routers {
-            return Err(shape_err((inputs.len(), 0)));
-        }
-        for row in inputs {
-            if row.len() != self.config.neurons_per_router {
-                return Err(shape_err((inputs.len(), row.len())));
-            }
-            for x in row {
-                if x.format() != self.table.format() {
-                    return Err(NocError::FormatMismatch);
-                }
-            }
+        if inputs.iter().any(|x| x.format() != self.table.format()) {
+            return Err(NocError::FormatMismatch);
         }
         Ok(())
+    }
+}
+
+/// The shared nested-batch compatibility shim: validates row shapes
+/// (reporting the offending row's width), flattens, runs the flat path
+/// and reshapes the result — used by both [`BroadcastSim::run`] and
+/// `SegmentedNoc::run` so their diagnostics cannot drift.
+pub(crate) fn run_nested_via_flat(
+    config: LineConfig,
+    inputs: &[Vec<Fixed>],
+    run_flat: impl FnOnce(&[Fixed], &mut [Fixed]) -> Result<SimStats, NocError>,
+) -> Result<Outcome, NocError> {
+    let shape_err = |got| NocError::InputShape {
+        routers: config.routers,
+        neurons: config.neurons_per_router,
+        got,
+    };
+    if inputs.len() != config.routers {
+        return Err(shape_err((inputs.len(), 0)));
+    }
+    for row in inputs {
+        if row.len() != config.neurons_per_router {
+            return Err(shape_err((inputs.len(), row.len())));
+        }
+    }
+    let flat: Vec<Fixed> = inputs.iter().flatten().copied().collect();
+    let mut out = flat.clone();
+    let stats = run_flat(&flat, &mut out)?;
+    let outputs = out
+        .chunks(config.neurons_per_router.max(1))
+        .map(<[Fixed]>::to_vec)
+        .collect();
+    Ok(Outcome { outputs, stats })
+}
+
+/// Propagates flit `fi` starting at router `pos` for up to `reach` hops.
+/// Returns `(next position, parked?)`. Free function so the schedule's
+/// flit can be *borrowed* while the routers mutate — the hot loop snoops
+/// without cloning the flit's word vector.
+fn fly(
+    schedule: &BroadcastSchedule,
+    table: &QuantizedPwl,
+    routers: &mut [Router],
+    fi: usize,
+    pos: usize,
+    reach: usize,
+    stats: &mut SimStats,
+) -> (usize, bool) {
+    let flits = schedule.flit_count();
+    let flit = &schedule.flits()[fi];
+    let mut p = pos;
+    let mut hops = 0usize;
+    while p < routers.len() && hops < reach {
+        routers[p].snoop(flit, flits, table);
+        p += 1;
+        hops += 1;
+    }
+    stats.hops += hops as u64;
+    if p < routers.len() {
+        // Parked in router p's east input register.
+        routers[p].buffer();
+        stats.buffered += 1;
+        (p, true)
+    } else {
+        (p, false)
     }
 }
 

@@ -14,11 +14,11 @@
 use nova_repro::accel::AcceleratorConfig;
 use nova_repro::approx::Activation;
 use nova_repro::engine::{evaluate_multi_stream, ApproximatorKind};
-use nova_repro::fixed::{Fixed, Rounding, Q4_12};
+use nova_repro::fixed::{Rounding, Q4_12};
 use nova_repro::serving::{gather_by_stream, ServingEngine, ServingRequest, TableCache, TableKey};
 use nova_repro::synth::TechModel;
 use nova_repro::workloads::bert::OpCensus;
-use nova_repro::workloads::traffic::{query_values, TrafficMix};
+use nova_repro::workloads::traffic::{query_words_into, TrafficMix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = TechModel::cmos22();
@@ -44,14 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Eight concurrent streams, each with a small GELU burst — far
-    //    below one batch on its own.
+    //    below one batch on its own. Queries are extracted straight into
+    //    fixed-point words (no intermediate f64 vector).
     let requests: Vec<ServingRequest> = (0..8)
-        .map(|stream| ServingRequest {
-            stream,
-            inputs: query_values(stream as u64, 300, -6.0, 6.0)
-                .into_iter()
-                .map(|x| Fixed::from_f64(x, Q4_12, Rounding::NearestEven))
-                .collect(),
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                stream as u64,
+                300,
+                -6.0,
+                6.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest { stream, inputs }
         })
         .collect();
     let mut engine =
@@ -90,11 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. The analytic view over a seeded mixed-traffic trace.
-    let censuses: Vec<OpCensus> = TrafficMix::paper_default(8)
-        .generate()
-        .into_iter()
-        .map(|r| r.census)
-        .collect();
+    let censuses: Vec<OpCensus> = TrafficMix::paper_default(8).census_slate();
     let report = evaluate_multi_stream(&tech, &host, &censuses, ApproximatorKind::NovaNoc, 4)?;
     println!(
         "\nMixed traffic (8 streams, {} requests, {} workers): {} queries → {} batches \

@@ -5,10 +5,15 @@
 //! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
 //! dependency policy.
 
-use nova::{LutVariant, LutVectorUnit, Mapper, NovaVectorUnit, SegmentedNovaUnit, VectorUnit};
+use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova::vector_unit::build;
+use nova::{
+    ApproximatorKind, FixedBatch, LutVariant, LutVectorUnit, Mapper, NovaVectorUnit,
+    SegmentedNovaUnit, VectorUnit,
+};
 use nova_approx::Activation;
 use nova_fixed::rng::StdRng;
-use nova_fixed::{Fixed, Q4_12};
+use nova_fixed::{Fixed, Rounding, Q4_12};
 use nova_noc::LineConfig;
 use nova_synth::TechModel;
 
@@ -69,6 +74,100 @@ fn all_units_agree_under_random_mappings() {
         for (row_out, row_in) in x.iter().zip(&inputs) {
             for (&o, &i) in row_out.iter().zip(row_in) {
                 assert_eq!(o, table.eval(i));
+            }
+        }
+    }
+}
+
+/// The flat zero-copy pipeline is functionally invisible: for every
+/// approximator kind, random geometry and random inputs, the
+/// `FixedBatch` + `lookup_batch_into` path is bit-identical to the
+/// legacy nested path, and recycled output buffers stay bit-exact
+/// across reuse.
+#[test]
+fn flat_path_bit_identical_to_nested_for_all_kinds_under_random_geometries() {
+    let mut rng = StdRng::seed_from_u64(0xF1A7);
+    let cache = TableCache::new();
+    for round in 0..12 {
+        let activation = pick_activation(&mut rng);
+        let routers = rng.gen_range(1usize..9);
+        let neurons = rng.gen_range(1usize..17);
+        let table = cache
+            .get_or_fit(TableKey::paper(activation))
+            .expect("paper keys fit");
+        let config = LineConfig::paper_default(routers, neurons);
+        let inputs: Vec<Vec<Fixed>> = (0..routers)
+            .map(|_| {
+                (0..neurons)
+                    .map(|_| {
+                        Fixed::from_f64(rng.gen_range(-8.0..8.0), Q4_12, Rounding::NearestEven)
+                    })
+                    .collect()
+            })
+            .collect();
+        let flat = FixedBatch::from_rows(&inputs).expect("rectangular by construction");
+        let mut out = FixedBatch::empty();
+        for kind in ApproximatorKind::all() {
+            let mut nested_unit = build(kind, config, &table).unwrap();
+            let mut flat_unit = build(kind, config, &table).unwrap();
+            let nested = nested_unit.lookup_batch(&inputs).unwrap();
+            // Reuse one output buffer across kinds and rounds — recycling
+            // must never leak a previous batch's words.
+            flat_unit.lookup_batch_into(&flat, &mut out).unwrap();
+            assert_eq!(
+                out.to_rows(),
+                nested,
+                "round {round}: {} diverged on a {routers}x{neurons} grid",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Serving through the flat pipeline is bit-identical to the sequential
+/// reference for every kind × shard geometry × ragged tail shape (query
+/// totals chosen coprime to the batch capacity so tail batches are
+/// genuinely partial), and steady-state repeats mint no buffers.
+#[test]
+fn flat_serving_bit_identical_across_kinds_geometries_and_ragged_tails() {
+    let mut rng = StdRng::seed_from_u64(0xF1A8);
+    let cache = TableCache::new();
+    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    for (routers, neurons) in [(2usize, 5usize), (4, 8)] {
+        for queries_per_stream in [1usize, 13, 61] {
+            let requests: Vec<ServingRequest> = (0..3)
+                .map(|stream| ServingRequest {
+                    stream,
+                    inputs: (0..queries_per_stream)
+                        .map(|_| {
+                            Fixed::from_f64(rng.gen_range(-6.0..6.0), Q4_12, Rounding::NearestEven)
+                        })
+                        .collect(),
+                })
+                .collect();
+            for kind in ApproximatorKind::all() {
+                let mut engine = ServingEngine::new(
+                    kind,
+                    LineConfig::paper_default(routers, neurons),
+                    std::sync::Arc::clone(&table),
+                    2,
+                )
+                .unwrap();
+                let reference = engine.serve_reference(&requests);
+                assert_eq!(
+                    engine.serve(&requests).unwrap(),
+                    reference,
+                    "{} diverged: {routers}x{neurons}, {queries_per_stream} q/stream",
+                    kind.label()
+                );
+                let minted = engine.buffers_created();
+                assert_eq!(engine.serve(&requests).unwrap(), reference);
+                assert_eq!(
+                    engine.buffers_created(),
+                    minted,
+                    "steady state minted buffers for {}",
+                    kind.label()
+                );
             }
         }
     }
