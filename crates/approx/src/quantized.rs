@@ -122,6 +122,21 @@ impl QuantizedPwl {
         })
     }
 
+    /// Overwrites this table with `other`'s contents, reusing this
+    /// table's heap allocations where capacities allow (the
+    /// `Vec::clone_from` path) — the allocation-light re-program a
+    /// serving-time table switch wants, in contrast to `clone()` which
+    /// always mints fresh vectors.
+    pub fn copy_from(&mut self, other: &QuantizedPwl) {
+        self.format = other.format;
+        self.rounding = other.rounding;
+        self.breakpoints.clone_from(&other.breakpoints);
+        self.pairs.clone_from(&other.pairs);
+        self.lo = other.lo;
+        self.hi = other.hi;
+        self.addr_table.clone_from(&other.addr_table);
+    }
+
     /// The word format of the tables.
     #[must_use]
     pub fn format(&self) -> QFormat {

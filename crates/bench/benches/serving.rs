@@ -1,5 +1,6 @@
 //! Serving-layer benchmarks: table-cache amortization, coalesced
-//! multi-stream serve calls, and the analytic multi-stream evaluation.
+//! multi-stream serve calls, mixed-activation table switching, and the
+//! analytic multi-stream evaluation.
 
 use nova_bench::harness::{black_box, BenchmarkId, Criterion};
 use nova_bench::{criterion_group, criterion_main};
@@ -12,8 +13,11 @@ use nova_approx::Activation;
 use nova_fixed::{Fixed, FixedBatch, Rounding, Q4_12};
 use nova_noc::LineConfig;
 use nova_synth::TechModel;
-use nova_workloads::bert::OpCensus;
 use nova_workloads::traffic::{query_words_into, TrafficMix};
+
+fn gelu() -> TableKey {
+    TableKey::paper(Activation::Gelu)
+}
 
 fn requests(streams: usize, queries: usize) -> Vec<ServingRequest> {
     (0..streams)
@@ -28,9 +32,37 @@ fn requests(streams: usize, queries: usize) -> Vec<ServingRequest> {
                 Rounding::NearestEven,
                 &mut inputs,
             );
-            ServingRequest { stream, inputs }
+            ServingRequest::new(stream, gelu(), inputs)
         })
         .collect()
+}
+
+/// As [`requests`], but odd streams are tagged with the softmax-exp
+/// table — the 2-activation tenancy mix.
+fn mixed_requests(streams: usize, queries: usize) -> Vec<ServingRequest> {
+    let exp = TableKey::paper(Activation::Exp);
+    let mut reqs = requests(streams, queries);
+    for r in &mut reqs {
+        if r.stream % 2 == 1 {
+            r.activation = exp;
+        }
+    }
+    reqs
+}
+
+fn engine(
+    cache: &TableCache,
+    kind: ApproximatorKind,
+    keys: &[TableKey],
+    workers: usize,
+) -> ServingEngine {
+    ServingEngine::builder(kind)
+        .line(LineConfig::paper_default(8, 128))
+        .cache(cache)
+        .tables(keys.iter().copied())
+        .shards(workers)
+        .build()
+        .unwrap()
 }
 
 fn bench_table_cache(c: &mut Criterion) {
@@ -38,36 +70,23 @@ fn bench_table_cache(c: &mut Criterion) {
     g.bench_function("miss_fit_gelu16", |b| {
         b.iter(|| {
             let cache = TableCache::new();
-            cache
-                .get_or_fit(black_box(TableKey::paper(Activation::Gelu)))
-                .unwrap()
+            cache.get_or_fit(black_box(gelu())).unwrap()
         })
     });
     let cache = TableCache::new();
-    cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    cache.get_or_fit(gelu()).unwrap();
     g.bench_function("hit_gelu16", |b| {
-        b.iter(|| {
-            cache
-                .get_or_fit(black_box(TableKey::paper(Activation::Gelu)))
-                .unwrap()
-        })
+        b.iter(|| cache.get_or_fit(black_box(gelu())).unwrap())
     });
     g.finish();
 }
 
 fn bench_serve(c: &mut Criterion) {
     let cache = TableCache::new();
-    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
     let mut g = c.benchmark_group("serve_8x128_grid");
     for streams in [1usize, 8, 32] {
         let reqs = requests(streams, 200);
-        let mut engine = ServingEngine::new(
-            ApproximatorKind::PerCoreLut,
-            LineConfig::paper_default(8, 128),
-            table.clone(),
-            1,
-        )
-        .unwrap();
+        let mut engine = engine(&cache, ApproximatorKind::PerCoreLut, &[gelu()], 1);
         g.bench_with_input(BenchmarkId::from_parameter(streams), &reqs, |b, reqs| {
             b.iter(|| engine.serve(black_box(reqs)).unwrap())
         });
@@ -79,17 +98,10 @@ fn bench_worker_pool(c: &mut Criterion) {
     // The threaded runtime end to end: same slate, 1 vs 4 shard worker
     // threads, wall-clock measured by the harness.
     let cache = TableCache::new();
-    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
     let reqs = requests(16, 500);
     let mut g = c.benchmark_group("serve_worker_pool_8x128");
     for workers in [1usize, 4] {
-        let mut engine = ServingEngine::new(
-            ApproximatorKind::PerCoreLut,
-            LineConfig::paper_default(8, 128),
-            table.clone(),
-            workers,
-        )
-        .unwrap();
+        let mut engine = engine(&cache, ApproximatorKind::PerCoreLut, &[gelu()], workers);
         g.bench_with_input(BenchmarkId::from_parameter(workers), &reqs, |b, reqs| {
             b.iter(|| engine.serve(black_box(reqs)).unwrap())
         });
@@ -97,16 +109,43 @@ fn bench_worker_pool(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_table_switching(c: &mut Criterion) {
+    // Mixed GELU+exp tenancy vs single-table tenancy on the same query
+    // volume: the wall-clock cost of the per-run `switch_table`
+    // re-programs the v2 admission stage schedules (the *modeled* stall
+    // cycles land in `ServingStats::switch_cycles`, not wall time).
+    let cache = TableCache::new();
+    let keys = [gelu(), TableKey::paper(Activation::Exp)];
+    let single = requests(8, 400);
+    let mixed = mixed_requests(8, 400);
+    let mut g = c.benchmark_group("serve_mixed_activations_8x128");
+    for kind in [ApproximatorKind::NovaNoc, ApproximatorKind::PerCoreLut] {
+        let mut eng = engine(&cache, kind, &keys, 2);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}/single")),
+            &single,
+            |b, reqs| b.iter(|| eng.serve(black_box(reqs)).unwrap()),
+        );
+        let mut eng = engine(&cache, kind, &keys, 2);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}/mixed")),
+            &mixed,
+            |b, reqs| b.iter(|| eng.serve(black_box(reqs)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
 fn bench_multi_stream_eval(c: &mut Criterion) {
     let tech = TechModel::cmos22();
     let host = AcceleratorConfig::tpu_v4_like();
-    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16).census_slate();
-    c.bench_function("evaluate_multi_stream_16", |b| {
+    let slate = TrafficMix::mixed_activations(16).census_slate();
+    c.bench_function("evaluate_multi_stream_16_mixed", |b| {
         b.iter(|| {
             evaluate_multi_stream(
                 &tech,
                 &host,
-                black_box(&censuses),
+                black_box(&slate),
                 ApproximatorKind::NovaNoc,
                 4,
             )
@@ -116,12 +155,12 @@ fn bench_multi_stream_eval(c: &mut Criterion) {
 }
 
 fn bench_flat_vs_nested(c: &mut Criterion) {
-    // The tentpole microbench: one full 8×128 batch through a vector
+    // The PR 4 microbench: one full 8×128 batch through a vector
     // unit as nested Vec<Vec<_>> (per-batch allocations + shim round
     // trip) vs one contiguous FixedBatch into a recycled output buffer
     // (allocation-free).
     let cache = TableCache::new();
-    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    let table = cache.get_or_fit(gelu()).unwrap();
     let mut words = Vec::new();
     query_words_into(
         3,
@@ -165,6 +204,7 @@ criterion_group!(
     bench_table_cache,
     bench_serve,
     bench_worker_pool,
+    bench_table_switching,
     bench_multi_stream_eval,
     bench_flat_vs_nested
 );

@@ -1,8 +1,9 @@
 //! Serving-runtime study: throughput-vs-workers scaling, batch occupancy
-//! vs offered load, the analytic multi-stream evaluation, and the flat
+//! vs offered load, the analytic multi-stream evaluation, per-kind
+//! table-switch penalties under mixed-activation tenancy, and the flat
 //! zero-copy datapath microbenchmarks.
 //!
-//! Four views of the concurrent serving story:
+//! Five views of the concurrent serving story:
 //!
 //! 1. **Analytic** (`engine::evaluate_multi_stream`): mixed BERT/CNN/
 //!    synthetic traffic on a TPU-v4-like host, sweeping the stream count
@@ -14,10 +15,19 @@
 //!    batches dispatch when full or when the coalescing window expires —
 //!    showing occupancy approaching 100 % as offered load grows.
 //! 3. **Functional wall clock** (`serving::ServingEngine`): the real
-//!    worker-pool runtime serving seeded query bursts at 1/2/4 threads,
-//!    measuring wall-clock queries/s and checking the outputs'
-//!    checksum is bit-identical at every worker count.
-//! 4. **Flat datapath** (`flat_path`): nested `Vec<Vec<_>>` batches vs
+//!    worker-pool runtime serving seeded *mixed-activation* (GELU + exp)
+//!    query bursts at 1/2/4 threads, measuring wall-clock queries/s and
+//!    checking the outputs' checksum is bit-identical at every worker
+//!    count and activation interleaving. Wall-clock speedup is only
+//!    meaningful when `hardware_threads` (recorded in the JSON) exceeds
+//!    the worker count — on a single-core runner extra shard threads
+//!    can only add overhead, and the deterministic
+//!    `model_queries_per_second` column carries the scaling story.
+//! 4. **Table-switch penalty** (`table_switch`): the same 2-activation
+//!    trace served by every `ApproximatorKind` — NOVA's makespan stays
+//!    flat (switches are free broadcasts) while LUT/SDP engines pay
+//!    `table_switch_cycles` of bank rewrites between activation runs.
+//! 5. **Flat datapath** (`flat_path`): nested `Vec<Vec<_>>` batches vs
 //!    contiguous `FixedBatch` + `lookup_batch_into`, and binary-search
 //!    vs direct-indexed table eval — with a checksum proving the flat
 //!    serve path is bit-identical to the sequential reference (the CI
@@ -44,7 +54,6 @@ use nova_fixed::{Fixed, FixedBatch, Rounding, Q4_12};
 use nova_noc::LineConfig;
 use nova_serde::Serialize;
 use nova_synth::TechModel;
-use nova_workloads::bert::OpCensus;
 use nova_workloads::traffic::{query_words_into, TrafficMix};
 
 /// One point of the wall-clock worker-scaling sweep.
@@ -93,6 +102,41 @@ nova_serde::impl_serialize_struct!(OfferedLoadPoint {
     occupancy_pct,
 });
 
+/// One row of the per-kind table-switch penalty study: the same
+/// 2-activation (GELU + softmax-exp) mixed trace served by each
+/// approximator kind.
+struct TableSwitchPoint {
+    kind: String,
+    batches: u64,
+    table_switches: u64,
+    switch_cycles: u64,
+    /// Busiest worker's batch-latency cycles alone (no switch stalls).
+    batch_makespan_cycles: u64,
+    /// Busiest worker's total cycles, switch stalls included — what
+    /// `ServingEngine::makespan_cycles` reports.
+    makespan_cycles: u64,
+    /// `100 · (makespan - batch_makespan) / batch_makespan` — ≈ 0 for
+    /// NOVA, growing for LUT/SDP hardware.
+    switch_overhead_pct: f64,
+    /// Cycle-accounted throughput at 1 GHz, switch stalls included.
+    model_queries_per_second: f64,
+    /// FNV-1a over the outputs — identical across kinds (all units are
+    /// bit-identical to the tables).
+    checksum: String,
+}
+
+nova_serde::impl_serialize_struct!(TableSwitchPoint {
+    kind,
+    batches,
+    table_switches,
+    switch_cycles,
+    batch_makespan_cycles,
+    makespan_cycles,
+    switch_overhead_pct,
+    model_queries_per_second,
+    checksum,
+});
+
 /// The flat-datapath microbenchmarks: nested vs contiguous batches and
 /// binary-search vs direct-indexed eval, plus the flat-vs-reference
 /// bit-identity checksums (the CI gate).
@@ -139,6 +183,7 @@ struct ServingBenchReport {
     worker_sweep: Vec<MultiStreamReport>,
     offered_load: Vec<OfferedLoadPoint>,
     scaling: Vec<ScalingPoint>,
+    table_switch: Vec<TableSwitchPoint>,
     flat_path: FlatPathBench,
 }
 
@@ -151,6 +196,7 @@ nova_serde::impl_serialize_struct!(ServingBenchReport {
     worker_sweep,
     offered_load,
     scaling,
+    table_switch,
     flat_path,
 });
 
@@ -172,6 +218,7 @@ fn main() {
     let worker_sweep = worker_sweep(&tech, &host, json);
     let offered_load = offered_load_sweep(&host, json);
     let scaling = scaling_sweep(json);
+    let table_switch = table_switch_sweep(json);
     let flat_path = flat_path_bench(json);
 
     let report = ServingBenchReport {
@@ -183,6 +230,7 @@ fn main() {
         worker_sweep,
         offered_load,
         scaling,
+        table_switch,
         flat_path,
     };
     if json {
@@ -239,7 +287,7 @@ fn streams_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<
     );
     let mut reports = Vec::new();
     for streams in [1usize, 2, 4, 8, 16, 32] {
-        let censuses: Vec<OpCensus> = TrafficMix::paper_default(streams).census_slate();
+        let censuses = TrafficMix::paper_default(streams).census_slate();
         let r = evaluate_multi_stream(tech, host, &censuses, ApproximatorKind::NovaNoc, 1)
             .expect("non-empty slate");
         t.row(&[
@@ -265,7 +313,7 @@ fn streams_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<
 /// Analytic: non-linear makespan and throughput vs worker count at a
 /// fixed 16-stream mix — per-worker counters rolled up.
 fn worker_sweep(tech: &TechModel, host: &AcceleratorConfig, json: bool) -> Vec<MultiStreamReport> {
-    let censuses: Vec<OpCensus> = TrafficMix::paper_default(16).census_slate();
+    let censuses = TrafficMix::paper_default(16).census_slate();
     let mut t = Table::new(
         "Worker-pool scaling — 16 streams, NOVA NoC (analytic makespan)",
         &[
@@ -393,11 +441,12 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
     };
     let budget_ms = measure_budget_ms();
     let cache = TableCache::new();
-    let table = cache
-        .get_or_fit(TableKey::paper(Activation::Gelu))
-        .expect("paper table fits");
+    let gelu = TableKey::paper(Activation::Gelu);
+    let exp = TableKey::paper(Activation::Exp);
     // 16 streams × 2000 queries over a 8×128 grid: 32_000 queries per
-    // serve call in 32 coalesced 1024-slot batches. Queries extract
+    // serve call in 32 coalesced 1024-slot batches — even streams on the
+    // GELU table, odd streams on softmax-exp, so the determinism
+    // checksum also gates mixed-activation tenancy. Queries extract
     // straight into fixed-point words — no intermediate f64 vector.
     let requests: Vec<ServingRequest> = (0..16)
         .map(|stream| {
@@ -411,14 +460,14 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
                 Rounding::NearestEven,
                 &mut inputs,
             );
-            ServingRequest { stream, inputs }
+            ServingRequest::new(stream, if stream % 2 == 0 { gelu } else { exp }, inputs)
         })
         .collect();
     let queries_per_call: u64 = requests.iter().map(|r| r.inputs.len() as u64).sum();
     let line = LineConfig::paper_default(8, 128);
 
     let mut t = Table::new(
-        "Wall-clock worker scaling — PerCoreLut, 8×128 grid, 16 streams",
+        "Wall-clock worker scaling — PerCoreLut, 8×128 grid, 16 streams (GELU+exp mix)",
         &[
             "Workers",
             "Serve calls",
@@ -433,13 +482,13 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
     let mut points = Vec::new();
     let mut base_wall_qps = 0.0;
     for &workers in &worker_counts {
-        let mut engine = ServingEngine::new(
-            ApproximatorKind::PerCoreLut,
-            line,
-            std::sync::Arc::clone(&table),
-            workers,
-        )
-        .expect("engine builds");
+        let mut engine = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+            .line(line)
+            .cache(&cache)
+            .tables([gelu, exp])
+            .shards(workers)
+            .build()
+            .expect("engine builds");
         // The determinism probe: one serve call, checksummed in request
         // order. Identical for every worker count.
         let outputs = engine.serve(&requests).expect("well-formed requests");
@@ -500,6 +549,125 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
                 point.workers, point.checksum
             );
         }
+    }
+    points
+}
+
+/// The table-switch penalty study: every approximator kind serves the
+/// same mixed GELU+exp trace (interleaved tenants, repeated slates so
+/// workers keep re-programming); NOVA's makespan stays the pure batch
+/// latency while LUT/SDP makespans grow by `table_switch_cycles` per
+/// re-program.
+fn table_switch_sweep(json: bool) -> Vec<TableSwitchPoint> {
+    const ROUTERS: usize = 4;
+    const NEURONS: usize = 32;
+    let cache = TableCache::new();
+    let gelu = TableKey::paper(Activation::Gelu);
+    let exp = TableKey::paper(Activation::Exp);
+    // 8 tenants × 333 queries, alternating activation per stream, served
+    // 4 times: every worker switches tables on every slate after the
+    // first run warms its programmed table.
+    let requests: Vec<ServingRequest> = (0..8)
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                40 + stream as u64,
+                333,
+                -6.0,
+                6.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest::new(stream, if stream % 2 == 0 { gelu } else { exp }, inputs)
+        })
+        .collect();
+    let mut t = Table::new(
+        "Table-switch penalty — 2-activation mixed trace, 4×32 grid, 2 workers",
+        &[
+            "Kind",
+            "Batches",
+            "Switches",
+            "Switch cycles",
+            "Makespan (batch)",
+            "Makespan (total)",
+            "Overhead (%)",
+            "Queries/s (model @1GHz)",
+        ],
+    );
+    let mut points = Vec::new();
+    for kind in ApproximatorKind::all() {
+        let mut engine = ServingEngine::builder(kind)
+            .line(LineConfig::paper_default(ROUTERS, NEURONS))
+            .cache(&cache)
+            .tables([gelu, exp])
+            .shards(2)
+            .build()
+            .expect("engine builds");
+        let outputs = engine.serve(&requests).expect("well-formed trace");
+        assert_eq!(
+            outputs,
+            engine.serve_reference(&requests),
+            "{kind:?} mixed-activation serve must match the reference"
+        );
+        let checksum = fnv1a_outputs(&outputs);
+        for _ in 0..3 {
+            engine.serve(&requests).expect("well-formed trace");
+        }
+        let stats = engine.stats();
+        let batch_makespan = engine
+            .worker_loads()
+            .iter()
+            .map(|l| l.cycles)
+            .max()
+            .unwrap_or(0);
+        let makespan = engine.makespan_cycles();
+        let point = TableSwitchPoint {
+            kind: format!("{kind:?}"),
+            batches: stats.batches,
+            table_switches: stats.table_switches,
+            switch_cycles: stats.switch_cycles,
+            batch_makespan_cycles: batch_makespan,
+            makespan_cycles: makespan,
+            switch_overhead_pct: if batch_makespan == 0 {
+                0.0
+            } else {
+                100.0 * (makespan - batch_makespan) as f64 / batch_makespan as f64
+            },
+            model_queries_per_second: engine.queries_per_second(1.0),
+            checksum: format!("{checksum:#018x}"),
+        };
+        t.row(&[
+            point.kind.clone(),
+            format!("{}", point.batches),
+            format!("{}", point.table_switches),
+            format!("{}", point.switch_cycles),
+            format!("{}", point.batch_makespan_cycles),
+            format!("{}", point.makespan_cycles),
+            format!("{:.2}", point.switch_overhead_pct),
+            format!("{:.3e}", point.model_queries_per_second),
+        ]);
+        points.push(point);
+    }
+    // The headline shape the paper claims: re-programming is free on the
+    // broadcast NoC and a real stall everywhere else.
+    let nova = &points[0];
+    assert_eq!(nova.switch_cycles, 0, "NOVA switches must be free");
+    assert_eq!(nova.makespan_cycles, nova.batch_makespan_cycles);
+    assert!(
+        points[1..].iter().all(|p| p.switch_cycles > 0),
+        "LUT/SDP kinds must pay switch stalls"
+    );
+    if !json {
+        t.print();
+        println!(
+            "table-switch overhead: NOVA {:.2}% vs worst baseline {:.2}%",
+            nova.switch_overhead_pct,
+            points[1..]
+                .iter()
+                .map(|p| p.switch_overhead_pct)
+                .fold(0.0f64, f64::max)
+        );
     }
     points
 }
@@ -588,16 +756,16 @@ fn flat_path_bench(json: bool) -> FlatPathBench {
                 Rounding::NearestEven,
                 &mut inputs,
             );
-            ServingRequest { stream, inputs }
+            ServingRequest::new(stream, TableKey::paper(Activation::Gelu), inputs)
         })
         .collect();
-    let mut engine = ServingEngine::new(
-        ApproximatorKind::PerCoreLut,
-        line,
-        std::sync::Arc::clone(&table),
-        2,
-    )
-    .expect("engine builds");
+    let mut engine = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+        .line(line)
+        .cache(&cache)
+        .table(TableKey::paper(Activation::Gelu))
+        .shards(2)
+        .build()
+        .expect("engine builds");
     let flat_outputs = engine.serve(&probe).expect("well-formed probe");
     // Steady-state probe: more slates must not mint buffers.
     for _ in 0..3 {

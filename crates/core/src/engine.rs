@@ -11,9 +11,11 @@
 use nova_accel::config::AcceleratorConfig;
 use nova_accel::runtime::{matmul_runtime, MatmulRuntime};
 use nova_accel::systolic::Dataflow;
+use nova_approx::Activation;
 use nova_synth::{units, LutSharing, TechModel};
 use nova_workloads::bert::{census, BertConfig, OpCensus};
 
+use crate::timeline::table_switch_cycles;
 use crate::NovaError;
 
 // The dispatch axis lives with the unit implementations; re-exported
@@ -219,6 +221,9 @@ pub struct MultiStreamReport {
     pub requests: usize,
     /// Shard workers serving the coalesced batches concurrently.
     pub workers: usize,
+    /// Distinct activation tables the slate touches (batches coalesce
+    /// only within one table's run).
+    pub activations: usize,
     /// Non-linear queries summed over all requests.
     pub total_queries: u64,
     /// Vector-unit batches with cross-request coalescing.
@@ -235,11 +240,29 @@ pub struct MultiStreamReport {
     /// dispatch — the counters the aggregate view below is gathered
     /// from. One entry per worker.
     pub worker_nl_cycles: Vec<u64>,
+    /// Per-worker accumulated table-switch stall cycles under the same
+    /// round-robin dispatch: a worker switches whenever consecutive
+    /// batches it serves belong to different activation tables. All
+    /// zeros for the NOVA NoC.
+    pub worker_switch_cycles: Vec<u64>,
+    /// Activation-table switches summed over the pool.
+    pub table_switches: u64,
+    /// Table-switch stall cycles summed over the pool
+    /// ([`crate::timeline::table_switch_cycles`] per switch).
+    pub switch_cycles: u64,
     /// The worker pool's non-linear makespan: the busiest worker's
-    /// accumulated cycles. Equals `nl_cycles` for one worker and
-    /// approaches `nl_cycles / workers` for an evenly loaded pool.
+    /// accumulated batch *plus switch* cycles. Equals
+    /// `nl_cycles + switch_cycles` for one worker and approaches that
+    /// sum over `workers` for an evenly loaded pool.
     pub makespan_nl_cycles: u64,
-    /// Non-linear cycles under naive per-request dispatch.
+    /// Table switches a naive single-worker dispatcher pays: one at
+    /// every activation boundary of the arrival order (no run grouping
+    /// to amortize them).
+    pub naive_table_switches: u64,
+    /// Non-linear cycles under naive per-request dispatch: batch latency
+    /// plus the switch stall at every arrival-order activation boundary
+    /// — the same stall model as the coalesced path, so the comparison
+    /// is symmetric.
     pub naive_nl_cycles: u64,
     /// Matmul time over all requests, serialized on the host fabric (s).
     pub matmul_seconds: f64,
@@ -251,7 +274,9 @@ pub struct MultiStreamReport {
     pub queries_per_second: f64,
     /// Non-linear service rate under naive dispatch (queries/s).
     pub naive_queries_per_second: f64,
-    /// `naive_nl_cycles / nl_cycles` — what coalescing buys.
+    /// `naive_nl_cycles` over the coalesced single-worker cost
+    /// (`nl_cycles` plus one switch stall per run transition) — what
+    /// coalescing buys, switch stalls counted on both sides.
     pub nl_speedup: f64,
     /// Approximator energy for the slate with coalescing (mJ).
     pub approximator_energy_mj: f64,
@@ -264,13 +289,18 @@ nova_serde::impl_serde_struct!(MultiStreamReport {
     approximator,
     requests,
     workers,
+    activations,
     total_queries,
     coalesced_batches,
     naive_batches,
     batch_occupancy_pct,
     nl_cycles,
     worker_nl_cycles,
+    worker_switch_cycles,
+    table_switches,
+    switch_cycles,
     makespan_nl_cycles,
+    naive_table_switches,
     naive_nl_cycles,
     matmul_seconds,
     total_seconds,
@@ -282,19 +312,35 @@ nova_serde::impl_serde_struct!(MultiStreamReport {
     naive_approximator_energy_mj,
 });
 
-/// Evaluates a slate of inference requests (one census each, from any
-/// number of concurrent streams) sharing `kind` on `config`: non-linear
-/// queries are coalesced across requests into full `(routers × neurons)`
-/// batches, dispatched round-robin over `workers` concurrent shard
-/// workers (the analytic counterpart of the serving runtime's thread
-/// pool), matmuls serialize on the host fabric, and the report carries
-/// aggregate throughput (inferences/s, queries/s) plus batch occupancy —
-/// versus naive dispatch, where each request's batches run alone with
-/// their own padded tails on a single worker.
+/// PWL entries of the paper's activation tables — the analytic model's
+/// per-switch rewrite volume (matches `timeline::layer_timeline`).
+const PAPER_TABLE_ENTRIES: u64 = 16;
+
+/// Evaluates a mixed-activation slate of inference requests (one
+/// `(activation, census)` pair each, from any number of concurrent
+/// streams) sharing `kind` on `config`: non-linear queries are coalesced
+/// across requests into full `(routers × neurons)` batches *within each
+/// activation's run* (runs in first-appearance order, exactly like the
+/// functional engine's admission stage), dispatched round-robin over
+/// `workers` concurrent shard workers, matmuls serialize on the host
+/// fabric, and the report carries aggregate throughput (inferences/s,
+/// queries/s) plus batch occupancy — versus naive dispatch, where each
+/// request's batches run alone with their own padded tails on a single
+/// worker.
 ///
 /// Aggregate numbers are gathered from the per-worker cycle counters:
-/// the non-linear wall time is the pool's makespan (the busiest
-/// worker), so `workers = 1` reproduces the serial accounting exactly.
+/// the non-linear wall time is the pool's makespan (the busiest worker,
+/// **table-switch stalls included** — a worker switches whenever
+/// consecutive batches it serves belong to different activations, at
+/// [`crate::timeline::table_switch_cycles`] per switch: free for the
+/// NOVA NoC, a real bank rewrite for LUT/SDP hardware), so `workers = 1`
+/// with a single activation reproduces the serial accounting exactly.
+/// The model has no table registry, so workers are taken as
+/// pre-programmed with the *slate's first* activation; a functional
+/// engine pre-programs with its first *registered* table instead, so
+/// absolute switch counts can differ by up to one switch per worker
+/// when a slate opens with a different activation than the engine
+/// default.
 ///
 /// This is the *analytic* twin of [`crate::serving::ServingEngine`]: it
 /// counts queries and batch slots without materializing values, and its
@@ -311,7 +357,7 @@ nova_serde::impl_serde_struct!(MultiStreamReport {
 pub fn evaluate_multi_stream(
     tech: &TechModel,
     config: &AcceleratorConfig,
-    requests: &[OpCensus],
+    requests: &[(Activation, OpCensus)],
     kind: ApproximatorKind,
     workers: usize,
 ) -> Result<MultiStreamReport, NovaError> {
@@ -326,25 +372,69 @@ pub fn evaluate_multi_stream(
         ));
     }
     let capacity = config.total_neurons() as u64;
-    let total_queries: u64 = requests.iter().map(OpCensus::approximator_queries).sum();
-    let coalesced_batches = total_queries.div_ceil(capacity);
+    let total_queries: u64 = requests.iter().map(|(_, s)| s.approximator_queries()).sum();
+    // Group queries into per-activation runs, in first-appearance order
+    // — coalescing never crosses a table boundary, exactly like the
+    // functional admission stage.
+    let mut run_activations: Vec<Activation> = Vec::new();
+    let mut run_queries: Vec<u64> = Vec::new();
+    for (activation, census) in requests {
+        match run_activations.iter().position(|a| a == activation) {
+            Some(i) => run_queries[i] += census.approximator_queries(),
+            None => {
+                run_activations.push(*activation);
+                run_queries.push(census.approximator_queries());
+            }
+        }
+    }
+    let coalesced_batches: u64 = run_queries.iter().map(|q| q.div_ceil(capacity)).sum();
     let naive_batches: u64 = requests
         .iter()
-        .map(|s| s.approximator_queries().div_ceil(capacity))
+        .map(|(_, s)| s.approximator_queries().div_ceil(capacity))
         .sum();
     let latency = kind.batch_latency_cycles();
     let nl_cycles = coalesced_batches * latency;
-    // Round-robin the coalesced batches over the worker pool, exactly as
-    // the serving runtime's admission stage does, and gather the
-    // aggregate from the per-worker counters.
-    let worker_nl_cycles: Vec<u64> = (0..workers as u64)
-        .map(|w| {
-            let batches = (coalesced_batches + workers as u64 - 1 - w) / workers as u64;
-            batches * latency
-        })
-        .collect();
-    let makespan_nl_cycles = worker_nl_cycles.iter().copied().max().unwrap_or(0);
-    let naive_nl_cycles = naive_batches * latency;
+    // Round-robin the run-ordered batches over the worker pool, exactly
+    // as the serving runtime's admission stage does — tracking which
+    // activation each worker has loaded (all pre-programmed with the
+    // first run's table) — and gather the aggregate from the per-worker
+    // counters.
+    let switch_stall = table_switch_cycles(kind, PAPER_TABLE_ENTRIES);
+    let mut worker_nl_cycles = vec![0u64; workers];
+    let mut worker_switch_cycles = vec![0u64; workers];
+    let mut worker_current = vec![run_activations[0]; workers];
+    let mut table_switches = 0u64;
+    let mut seq = 0u64;
+    for (run, &activation) in run_activations.iter().enumerate() {
+        for _ in 0..run_queries[run].div_ceil(capacity) {
+            let w = usize::try_from(seq % workers as u64).expect("workers fit usize");
+            if worker_current[w] != activation {
+                worker_current[w] = activation;
+                worker_switch_cycles[w] += switch_stall;
+                table_switches += 1;
+            }
+            worker_nl_cycles[w] += latency;
+            seq += 1;
+        }
+    }
+    let switch_cycles: u64 = worker_switch_cycles.iter().sum();
+    let makespan_nl_cycles = worker_nl_cycles
+        .iter()
+        .zip(&worker_switch_cycles)
+        .map(|(&c, &s)| c + s)
+        .max()
+        .unwrap_or(0);
+    // The naive single-worker dispatcher pays the same stall model,
+    // symmetric with the coalesced path: pre-programmed with the first
+    // request's table, it switches at every activation boundary of the
+    // arrival order — run grouping is exactly what it lacks.
+    let naive_table_switches = requests.windows(2).filter(|w| w[0].0 != w[1].0).count() as u64;
+    let naive_nl_cycles = naive_batches * latency + naive_table_switches * switch_stall;
+    // The coalesced path's single-worker equivalent for the speedup
+    // ratio: one switch per run transition, however many workers the
+    // report models (per-pool switch counts scale with workers, which
+    // would skew a serial-vs-serial comparison).
+    let coalesced_serial_cycles = nl_cycles + (run_activations.len() as u64 - 1) * switch_stall;
     let freq_hz = config.frequency_mhz * 1e6;
     // Wall time is bounded by the busiest worker; energy is not — every
     // batch burns one unit's power for its latency wherever it runs, so
@@ -352,9 +442,12 @@ pub fn evaluate_multi_stream(
     let nl_seconds = makespan_nl_cycles as f64 / freq_hz;
     let serial_nl_seconds = nl_cycles as f64 / freq_hz;
     let naive_nl_seconds = naive_nl_cycles as f64 / freq_hz;
+    // Energy integrates lookup activity only, on both sides — switch
+    // stalls cost wall time, not datapath switching energy here.
+    let naive_lookup_seconds = (naive_batches * latency) as f64 / freq_hz;
     let matmul_seconds: f64 = requests
         .iter()
-        .map(|s| matmul_runtime(config, s, Dataflow::OutputStationary).seconds)
+        .map(|(_, s)| matmul_runtime(config, s, Dataflow::OutputStationary).seconds)
         .sum();
     let total_seconds = matmul_seconds + nl_seconds;
     let p_approx = approximator_power_mw(tech, config, kind);
@@ -370,6 +463,7 @@ pub fn evaluate_multi_stream(
         approximator: kind.label().to_string(),
         requests: requests.len(),
         workers,
+        activations: run_activations.len(),
         total_queries,
         coalesced_batches,
         naive_batches,
@@ -380,7 +474,11 @@ pub fn evaluate_multi_stream(
         },
         nl_cycles,
         worker_nl_cycles,
+        worker_switch_cycles,
+        table_switches,
+        switch_cycles,
         makespan_nl_cycles,
+        naive_table_switches,
         naive_nl_cycles,
         matmul_seconds,
         total_seconds,
@@ -391,13 +489,13 @@ pub fn evaluate_multi_stream(
         },
         queries_per_second: rate(nl_seconds),
         naive_queries_per_second: rate(naive_nl_seconds),
-        nl_speedup: if nl_cycles > 0 {
-            naive_nl_cycles as f64 / nl_cycles as f64
+        nl_speedup: if coalesced_serial_cycles > 0 {
+            naive_nl_cycles as f64 / coalesced_serial_cycles as f64
         } else {
             1.0
         },
         approximator_energy_mj: p_approx * serial_nl_seconds,
-        naive_approximator_energy_mj: p_approx * naive_nl_seconds,
+        naive_approximator_energy_mj: p_approx * naive_lookup_seconds,
     })
 }
 
@@ -515,10 +613,15 @@ mod tests {
         let cfg = AcceleratorConfig::tpu_v4_like();
         let trace = nova_workloads::traffic::TrafficMix::paper_default(8).generate();
         assert!(trace.iter().map(|r| r.stream).max().unwrap() + 1 >= 8);
-        let requests: Vec<OpCensus> = trace.into_iter().map(|r| r.census).collect();
+        let requests: Vec<(Activation, OpCensus)> = trace
+            .into_iter()
+            .map(|r| (r.activation, r.census))
+            .collect();
         let r =
             evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, 1).unwrap();
         assert!(r.requests >= 8);
+        assert_eq!(r.activations, 1);
+        assert_eq!((r.table_switches, r.switch_cycles), (0, 0));
         assert!(
             r.batch_occupancy_pct > 90.0,
             "occupancy {}",
@@ -536,14 +639,8 @@ mod tests {
         let tech = TechModel::cmos22();
         let cfg = AcceleratorConfig::tpu_v4_like();
         let ops = census(&BertConfig::bert_tiny(), 128);
-        let r = evaluate_multi_stream(
-            &tech,
-            &cfg,
-            std::slice::from_ref(&ops),
-            ApproximatorKind::NovaNoc,
-            1,
-        )
-        .unwrap();
+        let slate = [(Activation::Gelu, ops.clone())];
+        let r = evaluate_multi_stream(&tech, &cfg, &slate, ApproximatorKind::NovaNoc, 1).unwrap();
         assert_eq!(r.coalesced_batches, r.naive_batches);
         assert!((r.nl_speedup - 1.0).abs() < 1e-12);
         // And it agrees with the single-shot engine's accounting.
@@ -568,11 +665,7 @@ mod tests {
         // and the energy integral (serial batch·cycles) does not change.
         let tech = TechModel::cmos22();
         let cfg = AcceleratorConfig::tpu_v4_like();
-        let requests: Vec<OpCensus> = nova_workloads::traffic::TrafficMix::paper_default(16)
-            .generate()
-            .into_iter()
-            .map(|r| r.census)
-            .collect();
+        let requests = nova_workloads::traffic::TrafficMix::paper_default(16).census_slate();
         let one =
             evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, 1).unwrap();
         let four =
@@ -613,17 +706,91 @@ mod tests {
             evaluate_multi_stream(&tech, &cfg, &[], ApproximatorKind::NovaNoc, 1),
             Err(NovaError::BatchShape(_))
         ));
-        let ops = census(&BertConfig::bert_tiny(), 128);
+        let slate = [(Activation::Gelu, census(&BertConfig::bert_tiny(), 128))];
         assert!(matches!(
-            evaluate_multi_stream(
-                &tech,
-                &cfg,
-                std::slice::from_ref(&ops),
-                ApproximatorKind::NovaNoc,
-                0
-            ),
+            evaluate_multi_stream(&tech, &cfg, &slate, ApproximatorKind::NovaNoc, 0),
             Err(NovaError::BatchShape(_))
         ));
+    }
+
+    #[test]
+    fn multi_stream_mixed_activations_charge_switch_stalls() {
+        // The analytic table-switch model mirrors the functional engine:
+        // a 2-activation slate coalesces per run, every worker that
+        // serves both runs switches once, and the makespan grows by the
+        // per-kind stall — 0 for NOVA, `entries` per switch for LUT
+        // banks, more for the SDP.
+        let tech = TechModel::cmos22();
+        let cfg = AcceleratorConfig::tpu_v4_like();
+        let requests = nova_workloads::traffic::TrafficMix::mixed_activations(16).census_slate();
+        assert!(requests.iter().any(|(a, _)| *a == Activation::Exp));
+        for workers in [1usize, 4] {
+            let nova =
+                evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, workers)
+                    .unwrap();
+            let lut = evaluate_multi_stream(
+                &tech,
+                &cfg,
+                &requests,
+                ApproximatorKind::PerNeuronLut,
+                workers,
+            )
+            .unwrap();
+            let sdp =
+                evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NvdlaSdp, workers)
+                    .unwrap();
+            assert_eq!(nova.activations, 2);
+            // Same dispatch pattern → same switch count for every kind.
+            assert!(nova.table_switches > 0);
+            assert_eq!(nova.table_switches, lut.table_switches);
+            assert_eq!(lut.table_switches, sdp.table_switches);
+            // NOVA re-programs for free; the baselines stall.
+            assert_eq!(nova.switch_cycles, 0, "{workers} workers");
+            assert_eq!(
+                nova.makespan_nl_cycles,
+                nova.coalesced_batches.div_ceil(workers as u64)
+                    * ApproximatorKind::NovaNoc.batch_latency_cycles(),
+                "NOVA's mixed-tenancy makespan is pure batch latency"
+            );
+            assert!(lut.switch_cycles > 0);
+            assert!(sdp.switch_cycles > lut.switch_cycles, "SDP rewrites more");
+            let lut_batch_makespan = lut.worker_nl_cycles.iter().copied().max().unwrap();
+            assert!(
+                lut.makespan_nl_cycles > lut_batch_makespan,
+                "LUT makespan must include switch stalls"
+            );
+            assert_eq!(
+                lut.switch_cycles,
+                lut.worker_switch_cycles.iter().sum::<u64>()
+            );
+            // The naive baseline pays the same stall model — a switch at
+            // every arrival-order activation boundary, far more than the
+            // run-grouped coalesced path — so the comparison is
+            // symmetric and run grouping is what nl_speedup rewards.
+            assert!(
+                lut.naive_table_switches > lut.activations as u64,
+                "interleaved arrivals must out-switch run grouping \
+                 ({} naive switches)",
+                lut.naive_table_switches
+            );
+            assert_eq!(nova.naive_table_switches, lut.naive_table_switches);
+            assert_eq!(
+                lut.naive_nl_cycles,
+                lut.naive_batches * ApproximatorKind::PerNeuronLut.batch_latency_cycles()
+                    + lut.naive_table_switches
+                        * table_switch_cycles(ApproximatorKind::PerNeuronLut, 16),
+                "naive cycles include the switch stalls"
+            );
+            assert_eq!(
+                nova.naive_nl_cycles,
+                nova.naive_batches * ApproximatorKind::NovaNoc.batch_latency_cycles(),
+                "NOVA's naive path pays no stall either"
+            );
+        }
+        // And the run-grouped coalescing still beats naive dispatch.
+        let r =
+            evaluate_multi_stream(&tech, &cfg, &requests, ApproximatorKind::NovaNoc, 1).unwrap();
+        assert!(r.coalesced_batches < r.naive_batches);
     }
 
     #[test]

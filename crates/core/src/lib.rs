@@ -22,12 +22,16 @@
 //!   the SMART timing feasibility,
 //! - [`engine`]: per-inference runtime + energy (the Fig 8 evaluation),
 //!   plus the multi-stream aggregate evaluation behind the serving bench,
-//! - [`serving`]: the concurrent multi-stream serving runtime — a
-//!   thread-shared keyed table cache and a worker-pool pipeline
-//!   (admission → coalesce → shard worker threads → reorder/scatter)
-//!   that packs non-linear queries from many concurrent inference
-//!   streams into full vector-unit batches, bit-identically to
-//!   sequential evaluation for any worker count.
+//! - [`serving`]: the concurrent multi-tenant serving runtime — a
+//!   thread-shared keyed table cache and a builder-configured
+//!   worker-pool pipeline (admission → per-activation coalescing →
+//!   shard worker threads with [`VectorUnit::switch_table`]
+//!   re-programming → reorder/scatter) that packs activation-tagged
+//!   non-linear queries from many concurrent inference streams into
+//!   full vector-unit batches, bit-identically to sequential
+//!   evaluation for any worker count and activation interleaving, with
+//!   a blocking `serve` and a non-blocking `submit`/`try_poll`/`drain`
+//!   session surface.
 //!
 //! # Quickstart
 //!
@@ -63,7 +67,10 @@ pub use error::NovaError;
 pub use mapper::{Mapper, MappingPlan};
 pub use nova_fixed::FixedBatch;
 pub use overlay::NovaOverlay;
-pub use serving::{ServingEngine, ServingRequest, ServingStats, TableCache, TableKey, WorkerLoad};
+pub use serving::{
+    EngineBuilder, ServingConfig, ServingEngine, ServingRequest, ServingStats, TableCache,
+    TableKey, Ticket, WorkerLoad,
+};
 pub use vector_unit::{
     ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,
     VectorUnit,

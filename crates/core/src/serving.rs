@@ -1,5 +1,6 @@
-//! The multi-stream serving layer: a concurrent worker-pool runtime for
-//! batched non-linear query serving across many inference streams.
+//! The multi-tenant serving layer: a builder-configured concurrent
+//! worker-pool runtime for batched non-linear query serving across many
+//! inference streams and many activation tables.
 //!
 //! Single-shot evaluation (one caller, one table, one batch at a time)
 //! wastes the vector unit twice: every caller refits and requantizes its
@@ -18,20 +19,52 @@
 //! - [`ServingEngine`] is a three-stage concurrent runtime built only on
 //!   `std`:
 //!   1. an **admission/coalescing** stage that packs the queries of many
-//!      concurrent streams, in arrival order, into full
-//!      `(routers × neurons)` batches and feeds them to shard workers
-//!      over *bounded* `mpsc` channels — a worker that falls behind
-//!      exerts backpressure on admission instead of queueing unboundedly;
+//!      concurrent streams, in arrival order *per activation table*,
+//!      into full `(routers × neurons)` batches and feeds them to shard
+//!      workers over *bounded* `mpsc` channels — a worker that falls
+//!      behind exerts backpressure on admission instead of queueing
+//!      unboundedly;
 //!   2. a pool of **shard workers**, each a real [`std::thread`] owning
 //!      its own `Box<dyn VectorUnit>` (the trait is `Send`), receiving
-//!      sequence-numbered batches round-robin and evaluating them in
+//!      sequence-numbered batches round-robin, re-programming the unit
+//!      via [`VectorUnit::switch_table`] whenever a batch carries a
+//!      different activation than the one currently loaded (free on
+//!      NOVA, a real bank-rewrite stall on LUT/SDP hardware — see
+//!      [`crate::timeline::table_switch_cycles`]), and evaluating in
 //!      parallel;
 //!   3. a **reorder/scatter** stage that reassembles completed batches
 //!      by sequence number and scatters results back per request, so the
 //!      parallel output is bit-identical to the sequential path for any
-//!      worker count.
+//!      worker count and any activation interleaving.
 //!
-//! Since PR 4 the data plane is **flat and zero-copy**: batches travel as
+//! # Multi-tenant configuration
+//!
+//! Engines are configured through a typed [`ServingConfig`] assembled by
+//! [`EngineBuilder`] ([`ServingEngine::builder`]): geometry via
+//! [`line`](EngineBuilder::line) or [`host`](EngineBuilder::host), any
+//! number of resident activation tables via
+//! [`table`](EngineBuilder::table) / [`tables`](EngineBuilder::tables)
+//! (fitted through a shared [`cache`](EngineBuilder::cache)), and the
+//! worker count via [`shards`](EngineBuilder::shards). Every
+//! [`ServingRequest`] carries an `activation: TableKey` tag naming the
+//! resident table that serves it; [`ServingStats`] / [`WorkerLoad`]
+//! account the resulting table switches, so makespan and queries/s
+//! honestly include the switch stalls the paper's broadcast NoC avoids.
+//!
+//! # Sessions
+//!
+//! Beyond blocking [`serve`](ServingEngine::serve), the engine exposes a
+//! non-blocking session surface: [`submit`](ServingEngine::submit)
+//! enqueues a slate and returns a [`Ticket`],
+//! [`try_poll`](ServingEngine::try_poll) collects a finished ticket
+//! without blocking, [`wait`](ServingEngine::wait) parks until one
+//! specific ticket is done (no spinning), and
+//! [`drain`](ServingEngine::drain) blocks until every in-flight ticket
+//! is done. `serve` itself is a thin submit-then-wait wrapper, so both
+//! surfaces share one data plane (and one bit-identity guarantee
+//! against [`serve_reference`](ServingEngine::serve_reference)).
+//!
+//! The data plane is **flat and zero-copy** (PR 4): batches travel as
 //! contiguous [`nova_fixed::FixedBatch`] grids evaluated through
 //! [`VectorUnit::lookup_batch_into`], jobs carry recyclable
 //! input/output buffer pairs, and completions return those pairs to an
@@ -39,29 +72,27 @@
 //! serving performs zero per-batch heap allocations
 //! ([`ServingEngine::buffers_created`] stays constant).
 //!
-//! Only the tail batch is padded (with an in-domain value whose results
-//! are dropped on scatter), so batch occupancy approaches 100 % as
-//! offered load grows — which is exactly what the paper's per-batch
-//! latency model rewards: the same 2-cycle lookup+MAC now serves
-//! `routers × neurons` queries from *different* tenants, on as many
-//! shards as the host exposes.
-//!
-//! Aggregate accounting ([`ServingEngine::stats`]) is gathered from
-//! per-worker counters ([`ServingEngine::worker_loads`]): each shard
-//! tracks its own batches, queries and accumulated latency, and the
-//! pool's makespan is the busiest shard's total.
+//! Only each activation run's tail batch is padded (with an in-domain
+//! value whose results are dropped on scatter), so batch occupancy
+//! approaches 100 % as offered load grows — which is exactly what the
+//! paper's per-batch latency model rewards: the same 2-cycle lookup+MAC
+//! now serves `routers × neurons` queries from *different* tenants, on
+//! as many shards as the host exposes.
 //!
 //! # Error semantics
 //!
-//! A slate is dispatched batch-by-batch to the pool; every batch that
-//! evaluates successfully is counted in the per-worker counters, and on
-//! failure `serve` returns the *lowest-sequence* error — deterministic
-//! regardless of worker timing. A failed slate counts no requests.
+//! A slate whose requests name a non-resident activation is rejected up
+//! front (nothing dispatches). Otherwise the slate is dispatched
+//! batch-by-batch to the pool; every batch that evaluates successfully
+//! is counted in the per-worker counters, and on failure the slate's
+//! result is the *lowest-sequence* error — deterministic regardless of
+//! worker timing. A failed slate counts no requests. A worker that
+//! panics mid-batch is caught in the worker loop and surfaces as
+//! [`NovaError::Runtime`] instead of hanging the reorder stage.
 //!
 //! # Example
 //!
 //! ```
-//! use std::sync::Arc;
 //! use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
 //! use nova::ApproximatorKind;
 //! use nova_approx::Activation;
@@ -70,21 +101,51 @@
 //!
 //! # fn main() -> Result<(), nova::NovaError> {
 //! let cache = TableCache::new();
-//! let table = cache.get_or_fit(TableKey::paper(Activation::Gelu))?;
-//! // Two shard workers: two OS threads, each owning a NOVA NoC unit.
-//! let mut engine = ServingEngine::new(
-//!     ApproximatorKind::NovaNoc, LineConfig::paper_default(4, 8), table, 2)?;
+//! let gelu = TableKey::paper(Activation::Gelu);
+//! let exp = TableKey::paper(Activation::Exp);
+//! // Two shard workers (two OS threads), two resident activation tables.
+//! let mut engine = ServingEngine::builder(ApproximatorKind::NovaNoc)
+//!     .line(LineConfig::paper_default(4, 8))
+//!     .cache(&cache)
+//!     .tables([gelu, exp])
+//!     .shards(2)
+//!     .build()?;
 //! let x = Fixed::from_f64(0.5, Q4_12, Rounding::NearestEven);
-//! let outputs = engine.serve(&[ServingRequest { stream: 0, inputs: vec![x; 3] }])?;
-//! assert_eq!(outputs[0].len(), 3);
+//! // Blocking: one mixed-activation slate.
+//! let outputs = engine.serve(&[
+//!     ServingRequest::new(0, gelu, vec![x; 3]),
+//!     ServingRequest::new(1, exp, vec![x; 2]),
+//! ])?;
 //! assert_eq!(outputs[0][0], engine.table().eval(x));
+//! // Non-blocking session: submit now, poll or drain later.
+//! let ticket = engine.submit(&[ServingRequest::new(0, exp, vec![x; 5])])?;
+//! let results = engine.drain();
+//! assert_eq!(results[0].0, ticket);
+//! assert_eq!(results[0].1.as_ref().unwrap()[0].len(), 5);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the v1 constructors
+//!
+//! The v1 surface — `ServingEngine::new(kind, line, table, shards)`, the
+//! 6-positional-argument `for_host`, and untagged `ServingRequest`
+//! literals — is deprecated but kept as thin shims for one release:
+//!
+//! - `ServingEngine::new(kind, line, table, shards)` →
+//!   `ServingEngine::builder(kind).line(line).cache(&cache).table(key)
+//!   .shards(shards).build()`. The shim runs in *legacy single-table
+//!   mode*: every activation tag resolves to the one provided table, so
+//!   v1 behavior is unchanged.
+//! - `ServingEngine::for_host(kind, tech, config, cache, key, shards)` →
+//!   `ServingEngine::builder(kind).host(tech, config).cache(&cache)
+//!   .table(key).shards(shards).build()`.
+//! - `ServingRequest { stream, inputs }` → tag the activation:
+//!   `ServingRequest::new(stream, TableKey::paper(activation), inputs)`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 
@@ -94,7 +155,7 @@ use nova_fixed::{Fixed, FixedBatch, QFormat, Rounding, Q4_12};
 use nova_noc::{LineConfig, LinkConfig};
 use nova_synth::TechModel;
 
-use crate::vector_unit::{build, line_for_kind, HostGeometry};
+use crate::vector_unit::{build, line_for_kind, HostGeometry, VectorUnit};
 use crate::{ApproximatorKind, NovaError};
 
 /// Everything that determines a quantized table's bits — the cache key.
@@ -251,15 +312,202 @@ impl TableCache {
 pub struct ServingRequest {
     /// Stream (tenant) id — used only for per-stream gather.
     pub stream: usize,
-    /// Raw query values in the engine table's fixed format.
+    /// Which resident activation table serves this burst.
+    pub activation: TableKey,
+    /// Raw query values in that table's fixed format.
     pub inputs: Vec<Fixed>,
+}
+
+impl ServingRequest {
+    /// A tagged request: `stream`'s burst of `inputs` through the
+    /// resident table for `activation`.
+    #[must_use]
+    pub fn new(stream: usize, activation: TableKey, inputs: Vec<Fixed>) -> Self {
+        Self {
+            stream,
+            activation,
+            inputs,
+        }
+    }
+}
+
+/// The typed configuration an engine is built from — what the
+/// [`EngineBuilder`] assembles and [`ServingEngine::config`] reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// The approximator hardware every shard worker instantiates.
+    pub kind: ApproximatorKind,
+    /// Line geometry: `(routers × neurons_per_router)` is the batch
+    /// capacity, and the NOVA arm derives its SMART reach from it.
+    pub line: LineConfig,
+    /// Worker shards (OS threads) in the pool.
+    pub shards: usize,
+    /// Resident activation tables, in registration order; the first is
+    /// the default every worker is pre-programmed with.
+    pub tables: Vec<TableKey>,
+}
+
+impl ServingConfig {
+    /// Checks the structural invariants every engine needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::BatchShape`] for `shards == 0` or an empty
+    /// table set.
+    pub fn validate(&self) -> Result<(), NovaError> {
+        if self.shards == 0 {
+            return Err(NovaError::BatchShape(
+                "serving engine needs at least one worker shard".into(),
+            ));
+        }
+        if self.tables.is_empty() {
+            return Err(NovaError::BatchShape(
+                "serving engine needs at least one resident activation table".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`ServingEngine`] from named parts instead of positional
+/// arguments: geometry ([`line`](Self::line) or [`host`](Self::host)),
+/// resident activation tables ([`table`](Self::table) /
+/// [`tables`](Self::tables), fitted through an optional shared
+/// [`cache`](Self::cache)) and the worker count
+/// ([`shards`](Self::shards), default 1).
+#[derive(Debug)]
+pub struct EngineBuilder<'a> {
+    kind: ApproximatorKind,
+    line: Option<LineConfig>,
+    host: Option<(&'a TechModel, &'a AcceleratorConfig)>,
+    shards: usize,
+    tables: Vec<TableKey>,
+    cache: Option<&'a TableCache>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    fn new(kind: ApproximatorKind) -> Self {
+        Self {
+            kind,
+            line: None,
+            host: None,
+            shards: 1,
+            tables: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// Explicit line geometry (`routers × neurons` grid plus link/reach).
+    /// Overrides [`host`](Self::host) if both are given.
+    #[must_use]
+    pub fn line(mut self, line: LineConfig) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Derives the line geometry from a Table II host at build time,
+    /// exactly as the overlay does (the NOVA arm compiles the first
+    /// table's broadcast schedule to program the NoC clock and reach).
+    #[must_use]
+    pub fn host(mut self, tech: &'a TechModel, host: &'a AcceleratorConfig) -> Self {
+        self.host = Some((tech, host));
+        self
+    }
+
+    /// Worker shards (OS threads) in the pool. Defaults to 1.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Registers one resident activation table.
+    #[must_use]
+    pub fn table(mut self, key: TableKey) -> Self {
+        self.tables.push(key);
+        self
+    }
+
+    /// Registers several resident activation tables at once.
+    #[must_use]
+    pub fn tables(mut self, keys: impl IntoIterator<Item = TableKey>) -> Self {
+        self.tables.extend(keys);
+        self
+    }
+
+    /// Fits the registered tables through a shared cache, so a second
+    /// engine for the same keys reuses the same `Arc`'d tables. Without
+    /// this the builder fits into a private cache.
+    #[must_use]
+    pub fn cache(mut self, cache: &'a TableCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Fits the tables, resolves the geometry and spawns the worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::BatchShape`] when no table or no geometry
+    /// was configured (or `shards == 0`), and propagates table fitting /
+    /// unit construction / thread spawn failures.
+    pub fn build(self) -> Result<ServingEngine, NovaError> {
+        if self.tables.is_empty() {
+            return Err(NovaError::BatchShape(
+                "engine builder needs at least one activation table: call .table(key) or .tables([..])"
+                    .into(),
+            ));
+        }
+        // Duplicate keys collapse onto one resident table.
+        let mut keys: Vec<TableKey> = Vec::with_capacity(self.tables.len());
+        for key in self.tables {
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        let local_cache;
+        let cache = match self.cache {
+            Some(cache) => cache,
+            None => {
+                local_cache = TableCache::new();
+                &local_cache
+            }
+        };
+        let tables = keys
+            .iter()
+            .map(|&key| Ok((key, cache.get_or_fit(key)?)))
+            .collect::<Result<Vec<_>, NovaError>>()?;
+        let line = match (self.line, self.host) {
+            (Some(line), _) => line,
+            (None, Some((tech, host))) => line_for_kind(
+                self.kind,
+                tech,
+                &tables[0].1,
+                LinkConfig::paper(),
+                HostGeometry::of(host),
+            )?,
+            (None, None) => return Err(NovaError::BatchShape(
+                "engine builder needs a geometry: call .line(config) or .host(tech, accelerator)"
+                    .into(),
+            )),
+        };
+        let config = ServingConfig {
+            kind: self.kind,
+            line,
+            shards: self.shards,
+            tables: keys,
+        };
+        ServingEngine::from_config_parts(config, tables, false)
+    }
 }
 
 /// Accounting of a [`ServingEngine`], accumulated across `serve` calls.
 ///
 /// Assembled by [`ServingEngine::stats`] from the per-worker counters
-/// ([`ServingEngine::worker_loads`]): `queries`, `batches` and
-/// `latency_cycles` are sums over the shard workers.
+/// ([`ServingEngine::worker_loads`]): `queries`, `batches`,
+/// `latency_cycles` and the table-switch counters are sums over the
+/// shard workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServingStats {
     /// Requests served to completion (slates that returned an error
@@ -276,6 +524,13 @@ pub struct ServingStats {
     /// [`ServingEngine::makespan_cycles`] for the concurrent-shards
     /// view.
     pub latency_cycles: u64,
+    /// Activation-table re-programs performed by the workers (a batch
+    /// whose activation differs from the one its worker had loaded).
+    pub table_switches: u64,
+    /// Accumulated stall cycles those switches cost — 0 on the NOVA NoC
+    /// (the table lives on the wire), `entries` per switch on LUT banks,
+    /// more on the SDP ([`crate::timeline::table_switch_cycles`]).
+    pub switch_cycles: u64,
 }
 
 nova_serde::impl_serde_struct!(ServingStats {
@@ -284,6 +539,8 @@ nova_serde::impl_serde_struct!(ServingStats {
     batches,
     padded_slots,
     latency_cycles,
+    table_switches,
+    switch_cycles,
 });
 
 /// Per-shard-worker accounting: what one worker thread served.
@@ -295,18 +552,27 @@ pub struct WorkerLoad {
     pub queries: u64,
     /// Accumulated per-batch latency, in accelerator cycles.
     pub cycles: u64,
+    /// Activation-table re-programs this worker performed.
+    pub table_switches: u64,
+    /// Stall cycles those re-programs cost this worker.
+    pub switch_cycles: u64,
 }
 
 nova_serde::impl_serde_struct!(WorkerLoad {
     batches,
     queries,
     cycles,
+    table_switches,
+    switch_cycles,
 });
 
 /// A sequence-numbered batch on its way to a shard worker: one flat
-/// input grid plus the recyclable output buffer the worker writes into.
+/// input grid, the activation table serving it, and the recyclable
+/// output buffer the worker writes into.
 struct BatchJob {
-    seq: usize,
+    seq: u64,
+    key: TableKey,
+    table: Arc<QuantizedPwl>,
     inputs: FixedBatch,
     out: FixedBatch,
 }
@@ -315,12 +581,55 @@ struct BatchJob {
 /// ride along so the engine can return them to its recycling pool after
 /// scatter — on success *and* on failure.
 struct BatchDone {
-    seq: usize,
+    seq: u64,
     worker: usize,
     latency: u64,
+    table_switches: u64,
+    switch_cycles: u64,
     inputs: FixedBatch,
     out: FixedBatch,
     result: Result<(), NovaError>,
+}
+
+/// One slate's results: per-request output vectors, aligned with the
+/// submitted `requests`.
+pub type SlateOutputs = Vec<Vec<Fixed>>;
+
+/// A drained ticket paired with its slate's outcome — what
+/// [`ServingEngine::drain`] yields per in-flight submission.
+pub type DrainedTicket = (Ticket, Result<SlateOutputs, NovaError>);
+
+/// A handle to one submitted slate, returned by
+/// [`ServingEngine::submit`] and redeemed through
+/// [`try_poll`](ServingEngine::try_poll) /
+/// [`drain`](ServingEngine::drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The ticket's engine-unique id (monotonically increasing per
+    /// submit).
+    #[must_use]
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// Book-keeping of one in-flight submitted slate.
+struct TicketState {
+    id: u64,
+    /// Global sequence number of the slate's first batch.
+    base_seq: u64,
+    /// `(start, len)` of each batch's payload within `queue`.
+    chunks: Vec<(usize, usize)>,
+    /// Dispatch-ordered `(request index, query value)` payload, grouped
+    /// by activation run.
+    queue: Vec<(usize, Fixed)>,
+    /// Per-request output skeleton, filled at finalize.
+    outputs: Vec<Vec<Fixed>>,
+    request_count: usize,
+    received: usize,
+    completions: Vec<Option<BatchDone>>,
 }
 
 /// Bounded depth of each worker's feed channel: admission blocks once a
@@ -328,18 +637,25 @@ struct BatchDone {
 /// coalescing stage instead of queueing the whole slate.
 const WORKER_FEED_DEPTH: usize = 2;
 
-/// The concurrent multi-stream serving engine.
+/// The concurrent multi-tenant serving engine.
 ///
 /// Owns a pool of shard worker *threads* — one per shard, each holding a
-/// functionally identical `Box<dyn VectorUnit>` built from one shared
-/// table — plus the admission and reorder stages that feed them (see the
-/// [module docs](self) for the pipeline). Because every unit kind is
-/// bit-identical to the table and batches are reassembled by sequence
-/// number, shard count and threading never change results — only
-/// throughput accounting.
+/// functionally identical `Box<dyn VectorUnit>` pre-programmed with the
+/// first resident table — plus the admission and reorder stages that
+/// feed them (see the [module docs](self) for the pipeline). Because
+/// every unit kind is bit-identical to its table and batches are
+/// reassembled by sequence number, shard count and threading never
+/// change results — only throughput accounting.
+///
+/// Built via [`ServingEngine::builder`].
 pub struct ServingEngine {
-    kind: ApproximatorKind,
-    table: Arc<QuantizedPwl>,
+    config: ServingConfig,
+    /// Resident tables in registration order; index 0 is the default
+    /// every worker starts programmed with.
+    tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
+    /// v1-shim mode: every activation tag resolves to the sole resident
+    /// table (see the module docs' migration note).
+    legacy_single_table: bool,
     routers: usize,
     neurons: usize,
     /// Bounded feed channel per shard worker (round-robin by sequence).
@@ -349,9 +665,6 @@ pub struct ServingEngine {
     handles: Vec<JoinHandle<()>>,
     /// Per-worker counters; aggregate stats are derived from these.
     loads: Vec<WorkerLoad>,
-    /// Round-robin cursor, persistent across `serve` calls so repeated
-    /// small slates still spread over every shard.
-    next_worker: usize,
     requests_served: u64,
     padded_slots: u64,
     /// Recycling pool of `(inputs, outputs)` batch-buffer pairs. Jobs pop
@@ -362,49 +675,161 @@ pub struct ServingEngine {
     /// pipeline warms up, then stays constant (the allocation-free
     /// steady-state invariant the recycling test asserts).
     buffers_created: u64,
-    /// Arrival-queue scratch, reused across `serve` calls.
-    queue: Vec<(usize, Fixed)>,
-    /// Reorder-stage scratch, reused across `serve` calls.
-    reorder: Vec<Option<BatchDone>>,
+    /// Global batch sequence counter; also drives round-robin worker
+    /// assignment (`seq % shards`), so repeated small slates still
+    /// spread over every shard.
+    next_seq: u64,
+    next_ticket: u64,
+    /// Jobs admitted but not yet handed to a worker (the non-blocking
+    /// surface keeps them here while the bounded feeds are full).
+    pending: VecDeque<BatchJob>,
+    /// In-flight tickets, ordered by `base_seq` (= submit order).
+    inflight: Vec<TicketState>,
+    /// Recycled arrival-queue scratch vectors.
+    spare_queues: Vec<Vec<(usize, Fixed)>>,
+    /// Recycled reorder scratch vectors.
+    spare_reorder: Vec<Vec<Option<BatchDone>>>,
+    /// Latched fatal runtime failure (a dead worker pool): every later
+    /// call fails fast instead of deadlocking.
+    poisoned: Option<String>,
 }
 
 impl std::fmt::Debug for ServingEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServingEngine")
-            .field("kind", &self.kind)
+            .field("kind", &self.config.kind)
             .field("shards", &self.feeds.len())
             .field("routers", &self.routers)
             .field("neurons", &self.neurons)
+            .field("tables", &self.config.tables)
+            .field("in_flight", &self.inflight.len())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
+/// Renders a caught panic payload for the `NovaError::Runtime` message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
 impl ServingEngine {
-    /// Builds an engine with `shards` parallel worker threads of `kind`
-    /// on `line`. Every worker owns its own vector unit; all units are
-    /// built (and any construction error surfaced) before any thread
-    /// spawns.
+    /// Starts configuring an engine for `kind` — see [`EngineBuilder`].
+    #[must_use]
+    pub fn builder<'a>(kind: ApproximatorKind) -> EngineBuilder<'a> {
+        EngineBuilder::new(kind)
+    }
+
+    /// v1 positional constructor. Runs in legacy single-table mode:
+    /// every request's activation tag resolves to `table`.
     ///
     /// # Errors
     ///
-    /// Returns [`NovaError::BatchShape`] for `shards == 0`,
-    /// [`NovaError::Runtime`] if a worker thread cannot spawn, and
-    /// propagates unit construction failures.
+    /// As [`EngineBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServingEngine::builder(kind).line(line).cache(&cache).table(key).shards(n).build(); \
+                see the module docs' migration note"
+    )]
     pub fn new(
         kind: ApproximatorKind,
         line: LineConfig,
         table: Arc<QuantizedPwl>,
         shards: usize,
     ) -> Result<Self, NovaError> {
-        if shards == 0 {
-            return Err(NovaError::BatchShape(
-                "serving engine needs at least one worker shard".into(),
-            ));
-        }
-        let units = (0..shards)
-            .map(|_| build(kind, line, &table))
+        // Best-effort key for an anonymous table: the quantization
+        // parameters are read off the table, the activation is unknown —
+        // which is why the shim resolves *every* tag to this table.
+        let key = TableKey {
+            activation: Activation::Gelu,
+            breakpoints: table.segments(),
+            format: table.format(),
+            rounding: table.rounding(),
+        };
+        let config = ServingConfig {
+            kind,
+            line,
+            shards,
+            tables: vec![key],
+        };
+        Self::from_config_parts(config, vec![(key, table)], true)
+    }
+
+    /// v1 positional host constructor.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServingEngine::builder(kind).host(tech, config).cache(&cache).table(key).shards(n).build(); \
+                see the module docs' migration note"
+    )]
+    pub fn for_host(
+        kind: ApproximatorKind,
+        tech: &TechModel,
+        config: &AcceleratorConfig,
+        cache: &TableCache,
+        key: TableKey,
+        shards: usize,
+    ) -> Result<Self, NovaError> {
+        Self::builder(kind)
+            .host(tech, config)
+            .cache(cache)
+            .table(key)
+            .shards(shards)
+            .build()
+    }
+
+    /// Builds the per-shard units from the default table and spawns the
+    /// pool.
+    fn from_config_parts(
+        config: ServingConfig,
+        tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
+        legacy_single_table: bool,
+    ) -> Result<Self, NovaError> {
+        config.validate()?;
+        let units = (0..config.shards)
+            .map(|_| build(config.kind, config.line, &tables[0].1))
             .collect::<Result<Vec<_>, _>>()?;
+        // Every resident table must actually be servable by this kind on
+        // this line — switch a throwaway probe unit through all of them
+        // so an unswitchable table (e.g. one whose broadcast schedule
+        // the NoC link cannot address) fails construction, not a slate
+        // mid-serve. This keeps the "non-resident tags are rejected
+        // before anything dispatches" contract honest: a table the
+        // builder accepted can always be switched to. Only the NOVA NoC
+        // has a fallible switch (schedule compilation); LUT/SDP bank
+        // rewrites cannot fail, so those kinds skip the probe unit.
+        if tables.len() > 1 && config.kind == ApproximatorKind::NovaNoc {
+            let mut probe = build(config.kind, config.line, &tables[0].1)?;
+            for (key, table) in &tables[1..] {
+                probe.switch_table(table).map_err(|e| {
+                    NovaError::Runtime(format!(
+                        "activation table {:?}/{} breakpoints cannot be served by this \
+                         engine's {:?} hardware: {e}",
+                        key.activation, key.breakpoints, config.kind
+                    ))
+                })?;
+            }
+        }
+        Self::from_units(config, tables, legacy_single_table, units)
+    }
+
+    /// Spawns the worker pool around pre-built units (also the test seam
+    /// for injecting misbehaving units).
+    fn from_units(
+        config: ServingConfig,
+        tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
+        legacy_single_table: bool,
+        units: Vec<Box<dyn VectorUnit>>,
+    ) -> Result<Self, NovaError> {
+        let shards = units.len();
+        let initial_key = tables[0].0;
         let (done_tx, done_rx) = mpsc::channel::<BatchDone>();
         let mut feeds = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
@@ -418,19 +843,54 @@ impl ServingEngine {
                     // feed sender (or the reorder stage hung up). The
                     // flat buffers travel with the job and back with the
                     // completion — the worker itself allocates nothing.
+                    // A batch whose activation differs from the loaded
+                    // one re-programs the unit first and reports the
+                    // stall; a panicking unit is caught and surfaced as
+                    // a Runtime error instead of killing the thread.
+                    let mut current = Some(initial_key);
                     while let Ok(job) = feed_rx.recv() {
                         let BatchJob {
                             seq,
+                            key,
+                            table,
                             inputs,
                             mut out,
                         } = job;
-                        let result = unit.lookup_batch_into(&inputs, &mut out);
+                        let mut table_switches = 0u64;
+                        let mut switch_cycles = 0u64;
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if current != Some(key) {
+                                    switch_cycles = unit.switch_table(&table)?;
+                                    table_switches = 1;
+                                    current = Some(key);
+                                }
+                                unit.lookup_batch_into(&inputs, &mut out)
+                            }));
+                        let result = match outcome {
+                            Ok(result) => result,
+                            Err(payload) => {
+                                // The panic may have left the unit
+                                // half-mutated (AssertUnwindSafe waives
+                                // the compiler's protection): forget the
+                                // programmed table so the next batch
+                                // re-programs unconditionally instead of
+                                // trusting corrupted banks.
+                                current = None;
+                                Err(NovaError::Runtime(format!(
+                                    "shard worker {id} panicked serving batch {seq}: {}",
+                                    panic_message(payload.as_ref())
+                                )))
+                            }
+                        };
                         let latency = unit.latency_cycles();
                         if done
                             .send(BatchDone {
                                 seq,
                                 worker: id,
                                 latency,
+                                table_switches,
+                                switch_cycles,
                                 inputs,
                                 out,
                                 result,
@@ -448,61 +908,62 @@ impl ServingEngine {
         // Workers hold the only completion senders: if every worker dies,
         // the reorder stage sees a disconnect instead of hanging.
         drop(done_tx);
+        let routers = config.line.routers;
+        let neurons = config.line.neurons_per_router;
         Ok(Self {
-            kind,
-            table,
-            routers: line.routers,
-            neurons: line.neurons_per_router,
+            config,
+            tables,
+            legacy_single_table,
+            routers,
+            neurons,
             feeds,
             done_rx,
             handles,
             loads: vec![WorkerLoad::default(); shards],
-            next_worker: 0,
             requests_served: 0,
             padded_slots: 0,
             spare: Vec::new(),
             buffers_created: 0,
-            queue: Vec::new(),
-            reorder: Vec::new(),
+            next_seq: 0,
+            next_ticket: 0,
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            spare_queues: Vec::new(),
+            spare_reorder: Vec::new(),
+            poisoned: None,
         })
     }
 
-    /// Builds an engine for a Table II host, pulling the table through
-    /// `cache` (so a second engine for the same key shares it) and
-    /// deriving the line geometry exactly as the overlay does.
-    ///
-    /// # Errors
-    ///
-    /// Propagates table fitting and NoC configuration failures.
-    pub fn for_host(
-        kind: ApproximatorKind,
-        tech: &TechModel,
-        config: &AcceleratorConfig,
-        cache: &TableCache,
-        key: TableKey,
-        shards: usize,
-    ) -> Result<Self, NovaError> {
-        let table = cache.get_or_fit(key)?;
-        let line = line_for_kind(
-            kind,
-            tech,
-            &table,
-            LinkConfig::paper(),
-            HostGeometry::of(config),
-        )?;
-        Self::new(kind, line, table, shards)
+    /// The typed configuration this engine was built from.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
     }
 
     /// The approximator hardware serving this engine.
     #[must_use]
     pub fn kind(&self) -> ApproximatorKind {
-        self.kind
+        self.config.kind
     }
 
-    /// The shared quantized table.
+    /// The default (first-registered) quantized table — the one every
+    /// worker is pre-programmed with.
     #[must_use]
     pub fn table(&self) -> &QuantizedPwl {
-        &self.table
+        &self.tables[0].1
+    }
+
+    /// The resident activation tables, in registration order.
+    #[must_use]
+    pub fn tables(&self) -> &[(TableKey, Arc<QuantizedPwl>)] {
+        &self.tables
+    }
+
+    /// The resident table for `key`, honoring legacy single-table
+    /// fallback. `None` when the engine does not serve that activation.
+    #[must_use]
+    pub fn table_for(&self, key: TableKey) -> Option<&Arc<QuantizedPwl>> {
+        self.resolve(key).ok().map(|i| &self.tables[i].1)
     }
 
     /// Worker shards (threads) in the pool.
@@ -517,6 +978,12 @@ impl ServingEngine {
         self.routers * self.neurons
     }
 
+    /// Tickets submitted but not yet collected.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// Accumulated accounting, assembled from the per-worker counters.
     #[must_use]
     pub fn stats(&self) -> ServingStats {
@@ -529,6 +996,8 @@ impl ServingEngine {
             stats.batches += load.batches;
             stats.queries += load.queries;
             stats.latency_cycles += load.cycles;
+            stats.table_switches += load.table_switches;
+            stats.switch_cycles += load.switch_cycles;
         }
         stats
     }
@@ -573,20 +1042,28 @@ impl ServingEngine {
 
     /// The pool's makespan in accelerator cycles: shards serve their
     /// batches concurrently, so the slowest (busiest) worker's
-    /// accumulated latency bounds the wall clock. With one shard this
-    /// equals [`ServingStats::latency_cycles`]; with `k` evenly loaded
-    /// shards it approaches `latency_cycles / k`. Zero before the first
-    /// `serve` call.
+    /// accumulated latency — batch latency *plus table-switch stalls* —
+    /// bounds the wall clock. With one shard and no switches this equals
+    /// [`ServingStats::latency_cycles`]; with `k` evenly loaded shards
+    /// it approaches `latency_cycles / k`. Zero before the first `serve`
+    /// call.
     #[must_use]
     pub fn makespan_cycles(&self) -> u64 {
-        self.loads.iter().map(|l| l.cycles).max().unwrap_or(0)
+        self.loads
+            .iter()
+            .map(|l| l.cycles + l.switch_cycles)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Aggregate query throughput so far at a `core_ghz` clock
     /// (queries/s): queries served over the pool's parallel makespan
-    /// ([`makespan_cycles`](Self::makespan_cycles)), so adding shards
-    /// raises throughput even though per-batch latency is unchanged.
-    /// Zero (not NaN) before the first `serve` call.
+    /// ([`makespan_cycles`](Self::makespan_cycles), switch stalls
+    /// included), so adding shards raises throughput even though
+    /// per-batch latency is unchanged — and a LUT engine that keeps
+    /// re-programming banks honestly reports less throughput than the
+    /// switch-free NOVA NoC. Zero (not NaN) before the first `serve`
+    /// call.
     #[must_use]
     pub fn queries_per_second(&self, core_ghz: f64) -> f64 {
         let makespan = self.makespan_cycles();
@@ -598,142 +1075,402 @@ impl ServingEngine {
         }
     }
 
+    /// Resolves an activation tag to a resident-table index.
+    fn resolve(&self, key: TableKey) -> Result<usize, NovaError> {
+        if let Some(i) = self.tables.iter().position(|(k, _)| *k == key) {
+            return Ok(i);
+        }
+        if self.legacy_single_table {
+            return Ok(0);
+        }
+        Err(NovaError::Runtime(format!(
+            "activation table {:?}/{} breakpoints is not resident in this engine \
+             (resident: {:?}); register it via EngineBuilder::table/tables",
+            key.activation, key.breakpoints, self.config.tables
+        )))
+    }
+
+    fn check_poisoned(&self) -> Result<(), NovaError> {
+        match &self.poisoned {
+            Some(msg) => Err(NovaError::Runtime(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Latches a fatal pool failure and returns it as an error.
+    fn poison(&mut self, what: &str) -> NovaError {
+        let msg = format!("serving engine poisoned: {what}");
+        self.poisoned = Some(msg.clone());
+        NovaError::Runtime(msg)
+    }
+
     /// Serves a slate of requests from many concurrent streams through
-    /// the worker pool.
+    /// the worker pool, blocking until every batch is back.
     ///
-    /// The admission stage coalesces queries in arrival order (request
-    /// order, then query order within a request) into full
-    /// `(routers × neurons)` batches — only the tail batch is padded,
-    /// with an in-domain value whose outputs are dropped — and feeds
-    /// them round-robin to the shard workers over bounded channels
-    /// (backpressure, not unbounded queueing). The reorder stage then
-    /// reassembles completed batches by sequence number and scatters
-    /// results back per request, aligned with `requests` —
-    /// bit-identical to evaluating each query through
-    /// [`QuantizedPwl::eval`] alone, for any worker count.
+    /// The admission stage coalesces queries in arrival order *per
+    /// activation table* (activation runs in first-appearance order;
+    /// request order, then query order, within each run) into full
+    /// `(routers × neurons)` batches — only each run's tail batch is
+    /// padded, with an in-domain value whose outputs are dropped — and
+    /// feeds them round-robin to the shard workers over bounded channels
+    /// (backpressure, not unbounded queueing). Workers re-program their
+    /// unit between runs of different activations, charging the
+    /// per-kind switch stall to [`WorkerLoad::switch_cycles`]. The
+    /// reorder stage then reassembles completed batches by sequence
+    /// number and scatters results back per request, aligned with
+    /// `requests` — bit-identical to evaluating each query through its
+    /// table's [`QuantizedPwl::eval`] alone, for any worker count and
+    /// any activation interleaving.
+    ///
+    /// Equivalent to [`submit`](Self::submit) followed by blocking
+    /// collection of the returned ticket.
     ///
     /// # Errors
     ///
-    /// Propagates worker failures (e.g. format mismatches); the batch
-    /// shape itself is constructed here and always valid. The whole
-    /// slate is dispatched before results are judged, so on failure the
-    /// per-worker counters reflect exactly the batches that evaluated
-    /// successfully (their queries included) — never the failed ones —
-    /// and the error returned is the lowest-sequence failure, making
-    /// the outcome deterministic for any worker count. A failed slate
-    /// counts no requests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a shard worker thread died (a unit panic — a bug, not
-    /// a data condition; malformed inputs surface as `Err` instead).
+    /// Rejects slates naming a non-resident activation up front (nothing
+    /// dispatches). Otherwise propagates worker failures (e.g. format
+    /// mismatches); the whole slate is dispatched before results are
+    /// judged, so on failure the per-worker counters reflect exactly the
+    /// batches that evaluated successfully (their queries included) —
+    /// never the failed ones — and the error returned is the
+    /// lowest-sequence failure, making the outcome deterministic for any
+    /// worker count. A failed slate counts no requests.
     pub fn serve(&mut self, requests: &[ServingRequest]) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let ticket = self.submit(requests)?;
+        self.wait_ticket(ticket.0)
+    }
+
+    /// Admits a slate without blocking: packs it into sequence-numbered
+    /// batch jobs (grouped into per-activation runs), queues them toward
+    /// the worker pool, and returns a [`Ticket`] to collect later via
+    /// [`try_poll`](Self::try_poll) or [`drain`](Self::drain). Already-
+    /// submitted work keeps flowing to the workers while the caller does
+    /// other things between calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::Runtime`] when a request names an activation
+    /// with no resident table (nothing is dispatched), or when the
+    /// engine was poisoned by a dead worker pool.
+    pub fn submit(&mut self, requests: &[ServingRequest]) -> Result<Ticket, NovaError> {
+        self.check_poisoned()?;
         let capacity = self.capacity();
-        let shards = self.feeds.len();
-        let total: usize = requests.iter().map(|r| r.inputs.len()).sum();
-        let mut outputs: Vec<Vec<Fixed>> = requests
+        // Resolve every tag up front: a slate naming a non-resident
+        // activation is rejected before any buffer or counter moves.
+        let mut table_of = Vec::with_capacity(requests.len());
+        for request in requests {
+            table_of.push(self.resolve(request.activation)?);
+        }
+        // Group requests into per-table runs, in first-appearance order.
+        let mut group_of_table: Vec<Option<usize>> = vec![None; self.tables.len()];
+        let mut group_tables: Vec<usize> = Vec::new();
+        let mut group_sizes: Vec<usize> = Vec::new();
+        for (ri, request) in requests.iter().enumerate() {
+            let ti = table_of[ri];
+            let g = *group_of_table[ti].get_or_insert_with(|| {
+                group_tables.push(ti);
+                group_sizes.push(0);
+                group_tables.len() - 1
+            });
+            group_sizes[g] += request.inputs.len();
+        }
+        let total: usize = group_sizes.iter().sum();
+        let outputs: Vec<Vec<Fixed>> = requests
             .iter()
             .map(|r| Vec::with_capacity(r.inputs.len()))
             .collect();
-        if total == 0 {
-            self.requests_served += requests.len() as u64;
-            return Ok(outputs);
-        }
-
-        // Arrival-ordered flat queue of (request index, query value) —
-        // engine-owned scratch whose allocation persists across calls.
-        let mut queue = std::mem::take(&mut self.queue);
+        // Arrival-ordered payload, grouped by activation run — recycled
+        // scratch, so steady-state submission does not allocate it.
+        let mut queue = self.spare_queues.pop().unwrap_or_default();
         queue.clear();
         queue.reserve(total);
-        for (ri, request) in requests.iter().enumerate() {
-            queue.extend(request.inputs.iter().map(|&x| (ri, x)));
-        }
-
-        // ---- Admission: pack and feed sequence-numbered batches. ----
-        // The pad value is in-domain by construction (the lower clamp
-        // bound), so padded lanes can never fault; their outputs are
-        // simply never scattered anywhere. Batch buffers come from the
-        // recycling pool: once the pipeline has warmed up, admission
-        // performs zero per-batch heap allocations.
-        let pad = self.table.clamp_bounds().0;
-        let batches = total.div_ceil(capacity);
-        let mut done = std::mem::take(&mut self.reorder);
-        done.clear();
-        done.resize_with(batches, || None);
-        let mut received = 0usize;
-        for (seq, chunk) in queue.chunks(capacity).enumerate() {
-            let (mut inputs, out) = match self.spare.pop() {
-                Some(pair) => pair,
-                None => {
-                    self.buffers_created += 1;
-                    (
-                        FixedBatch::new(self.routers, self.neurons, pad),
-                        FixedBatch::new(self.routers, self.neurons, pad),
-                    )
+        for &ti in &group_tables {
+            for (ri, request) in requests.iter().enumerate() {
+                if table_of[ri] == ti {
+                    queue.extend(request.inputs.iter().map(|&x| (ri, x)));
                 }
-            };
-            // Pool-recycled buffers already carry the engine grid; only a
-            // freshly minted (or foreign) buffer needs reshaping.
-            if inputs.dims() != (self.routers, self.neurons) {
-                inputs.reset(self.routers, self.neurons, pad);
             }
-            // Row-major copy into the flat grid: payload into the prefix,
-            // pad only the tail slots (none, for a full batch).
-            let slots = inputs.as_mut_slice();
-            slots[..chunk.len()]
-                .iter_mut()
-                .zip(chunk)
-                .for_each(|(slot, &(_, x))| *slot = x);
-            slots[chunk.len()..].fill(pad);
-            // Drain finished batches opportunistically so the completion
-            // channel stays small while admission is still feeding.
-            while let Ok(d) = self.done_rx.try_recv() {
-                let seq = d.seq;
-                done[seq] = Some(d);
-                received += 1;
+        }
+        // Pack each run into batches. The pad value is in-domain for the
+        // run's table by construction (the lower clamp bound), so padded
+        // lanes can never fault; their outputs are simply never
+        // scattered anywhere. Batch buffers come from the recycling
+        // pool: once the pipeline has warmed up, admission performs zero
+        // per-batch heap allocations.
+        let group_meta: Vec<(TableKey, Arc<QuantizedPwl>, Fixed)> = group_tables
+            .iter()
+            .map(|&ti| {
+                let (key, table) = &self.tables[ti];
+                (*key, Arc::clone(table), table.clamp_bounds().0)
+            })
+            .collect();
+        let base_seq = self.next_seq;
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for (g, (key, table, pad)) in group_meta.iter().enumerate() {
+            let end = start + group_sizes[g];
+            let mut pos = start;
+            while pos < end {
+                let len = (end - pos).min(capacity);
+                let (mut inputs, out) = match self.spare.pop() {
+                    Some(pair) => pair,
+                    None => {
+                        self.buffers_created += 1;
+                        (
+                            FixedBatch::new(self.routers, self.neurons, *pad),
+                            FixedBatch::new(self.routers, self.neurons, *pad),
+                        )
+                    }
+                };
+                // Pool-recycled buffers already carry the engine grid;
+                // only a freshly minted (or foreign) buffer reshapes.
+                if inputs.dims() != (self.routers, self.neurons) {
+                    inputs.reset(self.routers, self.neurons, *pad);
+                }
+                let slots = inputs.as_mut_slice();
+                slots[..len]
+                    .iter_mut()
+                    .zip(&queue[pos..pos + len])
+                    .for_each(|(slot, &(_, x))| *slot = x);
+                slots[len..].fill(*pad);
+                chunks.push((pos, len));
+                self.pending.push_back(BatchJob {
+                    seq: self.next_seq,
+                    key: *key,
+                    table: Arc::clone(table),
+                    inputs,
+                    out,
+                });
+                self.next_seq += 1;
+                pos += len;
             }
-            // Round-robin dispatch from the persistent cursor; blocks
-            // (backpressure) once the target worker is
-            // `WORKER_FEED_DEPTH` batches behind.
-            self.feeds[(self.next_worker + seq) % shards]
-                .send(BatchJob { seq, inputs, out })
-                .expect("shard worker thread died mid-slate");
+            start = end;
         }
-        self.next_worker = (self.next_worker + batches) % shards;
-        while received < batches {
-            let d = self
-                .done_rx
-                .recv()
-                .expect("shard worker thread died mid-slate");
-            let seq = d.seq;
-            done[seq] = Some(d);
-            received += 1;
+        let mut completions = self.spare_reorder.pop().unwrap_or_default();
+        completions.clear();
+        completions.resize_with(chunks.len(), || None);
+        let id = self.next_ticket;
+        self.next_ticket += 1;
+        self.inflight.push(TicketState {
+            id,
+            base_seq,
+            chunks,
+            queue,
+            outputs,
+            request_count: requests.len(),
+            received: 0,
+            completions,
+        });
+        if let Err(e) = self.pump() {
+            // The pool died mid-admission: the caller gets the error,
+            // never the ticket — unregister the orphaned state (it was
+            // pushed last) so `drain`/`in_flight` don't report a
+            // submission the caller has no handle to.
+            self.inflight.pop();
+            return Err(e);
         }
+        Ok(Ticket(id))
+    }
 
-        // ---- Reorder/scatter: walk completions in sequence order. ----
+    /// Blocks until `ticket` finishes and returns its result — the
+    /// single-ticket blocking collector ([`serve`](Self::serve) is
+    /// submit + wait). Unlike spinning on
+    /// [`try_poll`](Self::try_poll), this parks on worker completions,
+    /// so waiting burns no CPU. Other in-flight tickets keep making
+    /// progress while this one is waited on.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_poll`](Self::try_poll): the ticket's lowest-sequence
+    /// batch failure, an unknown/already-collected ticket, or the
+    /// latched poison error.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        self.wait_ticket(ticket.0)
+    }
+
+    /// Collects `ticket` if it has finished, without blocking. `Ok(None)`
+    /// means its batches are still in flight (the call still pumps the
+    /// pipeline, so repeated polling makes progress).
+    ///
+    /// # Errors
+    ///
+    /// Returns the ticket's lowest-sequence batch failure once it
+    /// finishes (the ticket is consumed), [`NovaError::Runtime`] for an
+    /// unknown or already-collected ticket, and the latched poison error
+    /// if the worker pool died.
+    pub fn try_poll(&mut self, ticket: Ticket) -> Result<Option<Vec<Vec<Fixed>>>, NovaError> {
+        self.check_poisoned()?;
+        self.pump()?;
+        let idx = self
+            .inflight
+            .iter()
+            .position(|t| t.id == ticket.0)
+            .ok_or_else(|| {
+                NovaError::Runtime(format!("unknown or already-collected ticket #{}", ticket.0))
+            })?;
+        if self.inflight[idx].received < self.inflight[idx].chunks.len() {
+            return Ok(None);
+        }
+        let state = self.inflight.remove(idx);
+        self.finalize(state).map(Some)
+    }
+
+    /// Blocks until every in-flight ticket has finished and returns
+    /// their results in submit order. The engine is fully idle
+    /// afterwards ([`in_flight`](Self::in_flight) is 0).
+    pub fn drain(&mut self) -> Vec<DrainedTicket> {
+        let mut results = Vec::with_capacity(self.inflight.len());
+        while let Some(id) = self.inflight.first().map(|t| t.id) {
+            let result = self.wait_ticket(id);
+            results.push((Ticket(id), result));
+            if let Some(msg) = self.poisoned.clone() {
+                // The pool is gone: the remaining tickets can never
+                // complete — fail them deterministically. The ticket
+                // whose wait hit the poison is still in `inflight`
+                // (poison-path errors don't consume it) and was already
+                // reported above, so it is skipped here: one result per
+                // submission.
+                for state in self.inflight.drain(..) {
+                    if state.id == id {
+                        continue;
+                    }
+                    results.push((Ticket(state.id), Err(NovaError::Runtime(msg.clone()))));
+                }
+                break;
+            }
+        }
+        results
+    }
+
+    /// Drains completions and feeds pending jobs without ever blocking:
+    /// the non-blocking half of the pipeline shared by `submit`,
+    /// `try_poll` and the blocking wait loop.
+    fn pump(&mut self) -> Result<(), NovaError> {
+        loop {
+            match self.done_rx.try_recv() {
+                Ok(done) => self.route(done),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    return Err(self.poison("every shard worker exited"))
+                }
+            }
+        }
+        let shards = self.feeds.len();
+        while let Some(job) = self.pending.pop_front() {
+            // Jobs go out strictly in sequence order (stopping at the
+            // first full feed), so each worker's per-batch table-switch
+            // pattern is deterministic for a given worker count.
+            let worker = usize::try_from(job.seq % shards as u64).expect("shards fit usize");
+            match self.feeds[worker].try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(job)) => {
+                    self.pending.push_front(job);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(self.poison(&format!("shard worker {worker} died")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Files one completion with its in-flight ticket.
+    fn route(&mut self, done: BatchDone) {
+        let idx = self
+            .inflight
+            .partition_point(|t| t.base_seq + t.chunks.len() as u64 <= done.seq);
+        let ticket = &mut self.inflight[idx];
+        let local = usize::try_from(done.seq - ticket.base_seq).expect("local index fits");
+        debug_assert!(ticket.completions[local].is_none(), "duplicate completion");
+        ticket.completions[local] = Some(done);
+        ticket.received += 1;
+    }
+
+    /// Blocks until ticket `id` finishes, then finalizes it.
+    fn wait_ticket(&mut self, id: u64) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        loop {
+            self.check_poisoned()?;
+            self.pump()?;
+            let idx = self
+                .inflight
+                .iter()
+                .position(|t| t.id == id)
+                .ok_or_else(|| {
+                    NovaError::Runtime(format!("unknown or already-collected ticket #{id}"))
+                })?;
+            if self.inflight[idx].received == self.inflight[idx].chunks.len() {
+                let state = self.inflight.remove(idx);
+                return self.finalize(state);
+            }
+            // Make blocking progress: push one job (waiting out a full
+            // feed — the workers always drain, completions are
+            // unbounded) or wait for one completion.
+            if let Some(job) = self.pending.pop_front() {
+                let worker =
+                    usize::try_from(job.seq % self.feeds.len() as u64).expect("fits usize");
+                if self.feeds[worker].send(job).is_err() {
+                    return Err(self.poison(&format!("shard worker {worker} died")));
+                }
+            } else {
+                match self.done_rx.recv() {
+                    Ok(done) => self.route(done),
+                    Err(_) => return Err(self.poison("every shard worker exited")),
+                }
+            }
+        }
+    }
+
+    /// Reorder/scatter for one finished ticket: walk its completions in
+    /// sequence order, roll the per-worker counters, scatter outputs and
+    /// return every buffer to the pool — success or failure.
+    fn finalize(&mut self, state: TicketState) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let TicketState {
+            chunks,
+            mut queue,
+            mut outputs,
+            mut completions,
+            request_count,
+            ..
+        } = state;
+        let capacity = self.capacity();
         let mut failure: Option<NovaError> = None;
-        for (seq, chunk) in queue.chunks(capacity).enumerate() {
-            let d = done[seq].take().expect("every dispatched batch completed");
+        for (local, &(start, len)) in chunks.iter().enumerate() {
+            let done = completions[local]
+                .take()
+                .expect("every dispatched batch completed");
             let BatchDone {
                 worker,
                 latency,
+                table_switches,
+                switch_cycles,
                 inputs,
                 out,
                 result,
                 ..
-            } = d;
+            } = done;
+            // A switch the worker performed really re-programmed the
+            // unit — later batches of that activation won't switch again
+            // — so the ledger counts it even when the batch's own lookup
+            // then failed (only the batch/query counters are conditional
+            // on success).
+            {
+                let load = &mut self.loads[worker];
+                load.table_switches += table_switches;
+                load.switch_cycles += switch_cycles;
+            }
             match result {
                 Ok(()) => {
                     let load = &mut self.loads[worker];
                     load.batches += 1;
-                    load.queries += chunk.len() as u64;
+                    load.queries += len as u64;
                     load.cycles += latency;
-                    self.padded_slots += (capacity - chunk.len()) as u64;
+                    self.padded_slots += (capacity - len) as u64;
                     if failure.is_none() {
                         // Flat scatter: slot k of the grid is query k of
                         // the chunk — no row arithmetic, one indexed copy.
                         let flat = out.as_slice();
-                        for (&(ri, _), &y) in chunk.iter().zip(flat) {
+                        for (&(ri, _), &y) in queue[start..start + len].iter().zip(flat) {
                             outputs[ri].push(y);
                         }
                     }
@@ -748,62 +1485,56 @@ impl ServingEngine {
             self.spare.push((inputs, out));
         }
         queue.clear();
-        self.queue = queue;
-        self.reorder = done;
+        self.spare_queues.push(queue);
+        completions.clear();
+        self.spare_reorder.push(completions);
         if let Some(e) = failure {
             return Err(e);
         }
         // Only a fully served slate counts its requests: on an error the
         // batch/query counters above reflect the work that evaluated,
         // but no request was answered in full.
-        self.requests_served += requests.len() as u64;
+        self.requests_served += request_count as u64;
         Ok(outputs)
     }
 
-    /// The sequential reference path: evaluates `requests` through the
-    /// shared table alone, batch by batch, reusing two scratch buffers
-    /// across batches (via [`QuantizedPwl::eval_into`]) instead of
-    /// allocating per batch. [`serve`](Self::serve) must be
-    /// bit-identical to this for any worker count — the determinism
-    /// tests and the CI checksum smoke assert exactly that.
+    /// The sequential reference path: evaluates each request through its
+    /// activation's resident table alone (via the buffer-reusing
+    /// [`QuantizedPwl::eval_into`]), with no batching, threading or
+    /// switch accounting. [`serve`](Self::serve) must be bit-identical
+    /// to this for any worker count and any activation interleaving —
+    /// the determinism tests and the CI checksum smoke assert exactly
+    /// that.
     ///
     /// Does not touch the worker pool or any counter.
     ///
     /// # Panics
     ///
-    /// Panics if an input word is not in the table's format (the same
-    /// wiring-bug condition as [`QuantizedPwl::eval`]).
+    /// Panics if a request names a non-resident activation or an input
+    /// word is not in its table's format (the same wiring-bug conditions
+    /// `serve` reports as errors).
     #[must_use]
     pub fn serve_reference(&self, requests: &[ServingRequest]) -> Vec<Vec<Fixed>> {
-        let capacity = self.capacity();
-        let mut outputs: Vec<Vec<Fixed>> = requests
+        requests
             .iter()
-            .map(|r| Vec::with_capacity(r.inputs.len()))
-            .collect();
-        let mut queue: Vec<(usize, Fixed)> = Vec::new();
-        for (ri, request) in requests.iter().enumerate() {
-            queue.extend(request.inputs.iter().map(|&x| (ri, x)));
-        }
-        // Steady-state batches reuse these two buffers — no per-batch
-        // allocation in the hot loop.
-        let mut values: Vec<Fixed> = Vec::with_capacity(capacity);
-        let mut results: Vec<Fixed> = Vec::with_capacity(capacity);
-        for chunk in queue.chunks(capacity) {
-            values.clear();
-            values.extend(chunk.iter().map(|&(_, x)| x));
-            self.table.eval_into(&values, &mut results);
-            for (&(ri, _), &y) in chunk.iter().zip(&results) {
-                outputs[ri].push(y);
-            }
-        }
-        outputs
+            .map(|request| {
+                let ti = self
+                    .resolve(request.activation)
+                    .expect("activation table resident");
+                let mut out = Vec::with_capacity(request.inputs.len());
+                self.tables[ti].1.eval_into(&request.inputs, &mut out);
+                out
+            })
+            .collect()
     }
 }
 
 impl Drop for ServingEngine {
     fn drop(&mut self) {
-        // Hang up the feed channels so worker loops exit, then reap the
-        // threads. Completions still in flight are dropped with done_rx.
+        // Hang up the feed channels so worker loops exit (they first
+        // drain any queued jobs — sends to the dropped completion
+        // receiver then fail, which breaks their loops), then reap the
+        // threads. Jobs still pending in the engine are simply dropped.
         self.feeds.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -844,13 +1575,41 @@ mod tests {
         Fixed::from_f64(x, Q4_12, Rounding::NearestEven)
     }
 
+    fn gelu_key() -> TableKey {
+        TableKey::paper(Activation::Gelu)
+    }
+
+    fn exp_key() -> TableKey {
+        TableKey::paper(Activation::Exp)
+    }
+
     /// Odd-sized per-stream bursts so batches never align with request
-    /// boundaries.
+    /// boundaries. All tagged with the paper GELU table.
     fn requests(streams: usize, queries_per_stream: usize, seed: u64) -> Vec<ServingRequest> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..streams)
             .map(|stream| ServingRequest {
                 stream,
+                activation: gelu_key(),
+                inputs: (0..queries_per_stream)
+                    .map(|_| fixed(rng.gen_range(-6.0..6.0)))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Mixed-tenancy slate: even streams hit GELU, odd streams hit the
+    /// softmax-exp table, interleaved in arrival order.
+    fn mixed_requests(streams: usize, queries_per_stream: usize, seed: u64) -> Vec<ServingRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..streams)
+            .map(|stream| ServingRequest {
+                stream,
+                activation: if stream % 2 == 0 {
+                    gelu_key()
+                } else {
+                    exp_key()
+                },
                 inputs: (0..queries_per_stream)
                     .map(|_| fixed(rng.gen_range(-6.0..6.0)))
                     .collect(),
@@ -868,28 +1627,41 @@ mod tests {
         neurons: usize,
         workers: usize,
     ) -> ServingEngine {
-        let cache = TableCache::new();
-        let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
-        ServingEngine::new(
-            kind,
-            LineConfig::paper_default(routers, neurons),
-            table,
-            workers,
-        )
-        .unwrap()
+        ServingEngine::builder(kind)
+            .line(LineConfig::paper_default(routers, neurons))
+            .table(gelu_key())
+            .shards(workers)
+            .build()
+            .unwrap()
+    }
+
+    fn mixed_engine(
+        kind: ApproximatorKind,
+        routers: usize,
+        neurons: usize,
+        workers: usize,
+        cache: &TableCache,
+    ) -> ServingEngine {
+        ServingEngine::builder(kind)
+            .line(LineConfig::paper_default(routers, neurons))
+            .cache(cache)
+            .tables([gelu_key(), exp_key()])
+            .shards(workers)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn cache_hits_return_the_same_arc() {
         let cache = TableCache::new();
-        let key = TableKey::paper(Activation::Gelu);
+        let key = gelu_key();
         let a = cache.get_or_fit(key).unwrap();
         let b = cache.get_or_fit(key).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "hit must share the allocation");
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
 
         // A different key is a different table.
-        let c = cache.get_or_fit(TableKey::paper(Activation::Exp)).unwrap();
+        let c = cache.get_or_fit(exp_key()).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
 
@@ -912,7 +1684,7 @@ mod tests {
         // every fit beyond the winner's is either a read hit or a lost
         // race — never a second inserted table.
         let cache = TableCache::new();
-        let key = TableKey::paper(Activation::Gelu);
+        let key = gelu_key();
         let fitters = 4;
         let tables: Vec<Arc<QuantizedPwl>> = std::thread::scope(|scope| {
             let threads: Vec<_> = (0..fitters)
@@ -936,6 +1708,143 @@ mod tests {
             fitters as u64,
             "every call accounted exactly once"
         );
+    }
+
+    #[test]
+    fn cache_default_and_engine_debug_render() {
+        // Satellite: `TableCache` is `Default`-constructible and
+        // `ServingEngine` renders a useful `Debug` for error messages.
+        let cache = TableCache::default();
+        assert!(cache.is_empty());
+        let eng = engine(ApproximatorKind::NovaNoc, 2, 4);
+        let dbg = format!("{eng:?}");
+        assert!(
+            dbg.contains("ServingEngine")
+                && dbg.contains("NovaNoc")
+                && dbg.contains("tables")
+                && dbg.contains("in_flight"),
+            "{dbg}"
+        );
+    }
+
+    #[test]
+    fn builder_validates_tables_geometry_and_shards() {
+        assert!(matches!(
+            ServingEngine::builder(ApproximatorKind::NovaNoc)
+                .line(LineConfig::paper_default(2, 4))
+                .build(),
+            Err(NovaError::BatchShape(_))
+        ));
+        assert!(matches!(
+            ServingEngine::builder(ApproximatorKind::NovaNoc)
+                .table(gelu_key())
+                .build(),
+            Err(NovaError::BatchShape(_))
+        ));
+        assert!(matches!(
+            ServingEngine::builder(ApproximatorKind::NovaNoc)
+                .line(LineConfig::paper_default(2, 4))
+                .table(gelu_key())
+                .shards(0)
+                .build(),
+            Err(NovaError::BatchShape(_))
+        ));
+        // Duplicate keys collapse onto one resident table.
+        let eng = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+            .line(LineConfig::paper_default(2, 4))
+            .tables([gelu_key(), gelu_key(), exp_key()])
+            .build()
+            .unwrap();
+        assert_eq!(eng.tables().len(), 2);
+        assert_eq!(eng.config().tables, vec![gelu_key(), exp_key()]);
+        assert_eq!(eng.config().shards, 1);
+    }
+
+    #[test]
+    fn builder_rejects_tables_the_hardware_cannot_switch_to() {
+        // A 32-segment table needs more flits than the paper link's tag
+        // space addresses: registering it on a NOVA engine must fail at
+        // build time (the up-front-rejection contract), not poison a
+        // slate mid-serve. LUT hardware has no broadcast line and must
+        // keep accepting the same pair of tables.
+        let cache = TableCache::new();
+        let big = TableKey {
+            breakpoints: 32,
+            ..gelu_key()
+        };
+        let build = |kind| {
+            ServingEngine::builder(kind)
+                .line(LineConfig::paper_default(2, 4))
+                .cache(&cache)
+                .tables([gelu_key(), big])
+                .build()
+        };
+        let err = build(ApproximatorKind::NovaNoc).unwrap_err();
+        assert!(
+            matches!(&err, NovaError::Runtime(msg) if msg.contains("cannot be served")),
+            "{err:?}"
+        );
+        assert!(build(ApproximatorKind::PerCoreLut).is_ok());
+    }
+
+    #[test]
+    fn builder_shares_cached_tables_across_engines() {
+        let tech = TechModel::cmos22();
+        let host = AcceleratorConfig::tpu_v4_like();
+        let cache = TableCache::new();
+        let a = ServingEngine::builder(ApproximatorKind::NovaNoc)
+            .host(&tech, &host)
+            .cache(&cache)
+            .table(gelu_key())
+            .build()
+            .unwrap();
+        let b = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+            .host(&tech, &host)
+            .cache(&cache)
+            .table(gelu_key())
+            .build()
+            .unwrap();
+        assert_eq!(cache.misses(), 1, "second engine reuses the fit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(a.capacity(), host.total_neurons());
+        assert_eq!(b.capacity(), host.total_neurons());
+        assert!(Arc::ptr_eq(&a.tables()[0].1, &b.tables()[0].1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn v1_constructor_shims_still_serve() {
+        // The migration contract: the positional constructors keep
+        // working for one release. `new` runs in legacy single-table
+        // mode, so any activation tag resolves to the provided table.
+        let cache = TableCache::new();
+        let table = cache.get_or_fit(gelu_key()).unwrap();
+        let mut eng = ServingEngine::new(
+            ApproximatorKind::PerCoreLut,
+            LineConfig::paper_default(2, 4),
+            Arc::clone(&table),
+            1,
+        )
+        .unwrap();
+        let x = fixed(0.5);
+        let reqs = vec![ServingRequest::new(0, exp_key(), vec![x; 3])];
+        let outputs = eng.serve(&reqs).unwrap();
+        assert_eq!(outputs[0][0], table.eval(x), "legacy tag falls back");
+        assert_eq!(eng.stats().table_switches, 0, "one table, no switches");
+        assert!(eng.table_for(exp_key()).is_some(), "legacy fallback");
+
+        let tech = TechModel::cmos22();
+        let host = AcceleratorConfig::tpu_v4_like();
+        let eng2 = ServingEngine::for_host(
+            ApproximatorKind::NovaNoc,
+            &tech,
+            &host,
+            &cache,
+            gelu_key(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(eng2.capacity(), host.total_neurons());
     }
 
     #[test]
@@ -997,6 +1906,147 @@ mod tests {
     }
 
     #[test]
+    fn mixed_activation_serving_bit_identical_and_charges_switch_stalls() {
+        // The PR 5 acceptance criterion: mixed GELU+exp tenancy is
+        // bit-identical to the multi-table reference across worker
+        // counts {1,2,4} × all four kinds, and the reported makespan
+        // grows by the table-switch stalls for LUT/SDP hardware while
+        // staying unchanged (switches are free) for the NOVA NoC.
+        let cache = TableCache::new();
+        for kind in ApproximatorKind::all() {
+            // 4 streams × 21 queries on a 2×4 grid: 6 GELU + 6 exp
+            // batches, so every worker serves both activations.
+            let reqs = mixed_requests(4, 21, 7);
+            let reference = mixed_engine(kind, 2, 4, 1, &cache).serve_reference(&reqs);
+            for workers in [1usize, 2, 4] {
+                let mut eng = mixed_engine(kind, 2, 4, workers, &cache);
+                let outputs = eng.serve(&reqs).unwrap();
+                assert_eq!(outputs, reference, "{kind:?} diverged at {workers} workers");
+                let stats = eng.stats();
+                assert!(stats.table_switches > 0, "{kind:?}: no switch happened");
+                let busiest_batch_cycles =
+                    eng.worker_loads().iter().map(|l| l.cycles).max().unwrap();
+                if kind == ApproximatorKind::NovaNoc {
+                    assert_eq!(stats.switch_cycles, 0, "NOVA re-programs for free");
+                    assert_eq!(
+                        eng.makespan_cycles(),
+                        busiest_batch_cycles,
+                        "NOVA makespan must not grow under mixed tenancy"
+                    );
+                } else {
+                    assert!(stats.switch_cycles > 0, "{kind:?} must pay bank rewrites");
+                    assert!(
+                        eng.makespan_cycles() > busiest_batch_cycles,
+                        "{kind:?} makespan must include switch stalls"
+                    );
+                }
+                // The switch ledger is consistent between views.
+                assert_eq!(
+                    stats.table_switches,
+                    eng.worker_loads()
+                        .iter()
+                        .map(|l| l.table_switches)
+                        .sum::<u64>()
+                );
+                assert_eq!(
+                    stats.switch_cycles,
+                    eng.worker_loads()
+                        .iter()
+                        .map(|l| l.switch_cycles)
+                        .sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_activation_runs_minimize_switches() {
+        // Admission coalesces per-activation runs: a 1-worker engine
+        // serving an interleaved GELU/exp slate must switch at most
+        // (activations per serve call) times, not once per request.
+        let cache = TableCache::new();
+        let mut eng = mixed_engine(ApproximatorKind::PerCoreLut, 2, 4, 1, &cache);
+        let reqs = mixed_requests(8, 9, 13); // interleaved tags in arrival order
+        eng.serve(&reqs).unwrap();
+        // GELU run first (worker pre-programmed with it), then one
+        // switch into the exp run.
+        assert_eq!(eng.stats().table_switches, 1);
+        // Serving again switches back to GELU and into exp once more.
+        eng.serve(&reqs).unwrap();
+        assert_eq!(eng.stats().table_switches, 3);
+    }
+
+    #[test]
+    fn non_resident_activation_is_rejected_before_dispatch() {
+        let mut eng = engine(ApproximatorKind::PerCoreLut, 2, 4);
+        let bad = vec![
+            ServingRequest::new(0, gelu_key(), vec![fixed(0.1); 3]),
+            ServingRequest::new(1, TableKey::paper(Activation::Tanh), vec![fixed(0.2); 3]),
+        ];
+        assert!(matches!(eng.serve(&bad), Err(NovaError::Runtime(_))));
+        assert_eq!(eng.stats(), ServingStats::default(), "nothing dispatched");
+        assert_eq!(eng.buffer_pool_len(), 0, "no buffer moved");
+        assert_eq!(eng.in_flight(), 0, "no ticket admitted");
+        assert!(eng.table_for(TableKey::paper(Activation::Tanh)).is_none());
+        // The engine still serves well-tagged slates afterwards.
+        assert_eq!(eng.serve(&bad[..1]).unwrap()[0].len(), 3);
+    }
+
+    #[test]
+    fn session_tickets_overlap_and_match_the_reference() {
+        let cache = TableCache::new();
+        let mut eng = mixed_engine(ApproximatorKind::PerCoreLut, 2, 4, 2, &cache);
+        let slate_a = mixed_requests(3, 17, 41);
+        let slate_b = requests(2, 23, 42);
+        let ref_a = eng.serve_reference(&slate_a);
+        let ref_b = eng.serve_reference(&slate_b);
+        let ticket_a = eng.submit(&slate_a).unwrap();
+        let ticket_b = eng.submit(&slate_b).unwrap();
+        assert_ne!(ticket_a, ticket_b);
+        assert_eq!(eng.in_flight(), 2);
+        // Collect out of submit order: poll B first.
+        let out_b = loop {
+            if let Some(out) = eng.try_poll(ticket_b).unwrap() {
+                break out;
+            }
+        };
+        assert_eq!(out_b, ref_b);
+        // Drain what's left — exactly ticket A, in submit order.
+        let drained = eng.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, ticket_a);
+        assert_eq!(drained[0].1.as_ref().unwrap(), &ref_a);
+        assert_eq!(eng.in_flight(), 0);
+        // A collected ticket cannot be redeemed twice.
+        assert!(eng.try_poll(ticket_b).is_err());
+        // Single-ticket blocking wait: parks on completions (no
+        // spinning) and is consumed exactly once.
+        let ticket_c = eng.submit(&slate_b).unwrap();
+        assert_eq!(eng.wait(ticket_c).unwrap(), ref_b);
+        assert!(eng.wait(ticket_c).is_err(), "already collected");
+        // The blocking wrapper shares the same plane and counters.
+        assert_eq!(eng.serve(&slate_a).unwrap(), ref_a);
+        assert_eq!(
+            eng.stats().requests,
+            (slate_a.len() * 2 + slate_b.len() * 2) as u64
+        );
+    }
+
+    #[test]
+    fn empty_submissions_complete_immediately() {
+        let mut eng = engine(ApproximatorKind::NovaNoc, 2, 4);
+        let ticket = eng.submit(&[]).unwrap();
+        assert_eq!(eng.try_poll(ticket).unwrap(), Some(Vec::new()));
+        // A zero-query (but non-empty) slate also completes at once and
+        // aligns its outputs with the requests.
+        let hollow = vec![ServingRequest::new(3, gelu_key(), Vec::new())];
+        let ticket = eng.submit(&hollow).unwrap();
+        assert_eq!(eng.try_poll(ticket).unwrap(), Some(vec![Vec::new()]));
+        assert_eq!(eng.stats().batches, 0);
+        assert_eq!(eng.stats().requests, 1);
+    }
+
+    #[test]
     fn tail_padding_never_leaks_into_outputs() {
         let mut eng = engine(ApproximatorKind::PerCoreLut, 4, 8);
         let capacity = eng.capacity();
@@ -1041,13 +2091,27 @@ mod tests {
     #[test]
     fn sharded_pool_is_functionally_invisible() {
         let cache = TableCache::new();
-        let table = cache.get_or_fit(TableKey::paper(Activation::Exp)).unwrap();
-        let line = LineConfig::paper_default(4, 8);
-        let reqs = requests(5, 29, 5);
-        let mut one =
-            ServingEngine::new(ApproximatorKind::PerNeuronLut, line, Arc::clone(&table), 1)
-                .unwrap();
-        let mut four = ServingEngine::new(ApproximatorKind::PerNeuronLut, line, table, 4).unwrap();
+        let reqs = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..5)
+                .map(|stream| ServingRequest {
+                    stream,
+                    activation: exp_key(),
+                    inputs: (0..29).map(|_| fixed(rng.gen_range(-6.0..6.0))).collect(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let build = |workers| {
+            ServingEngine::builder(ApproximatorKind::PerNeuronLut)
+                .line(LineConfig::paper_default(4, 8))
+                .cache(&cache)
+                .table(exp_key())
+                .shards(workers)
+                .build()
+                .unwrap()
+        };
+        let mut one = build(1);
+        let mut four = build(4);
         assert_eq!(four.shards(), 4);
         assert_eq!(one.serve(&reqs).unwrap(), four.serve(&reqs).unwrap());
         // ...but throughput-visible: 5×29 = 145 queries over 32-slot
@@ -1079,7 +2143,11 @@ mod tests {
         );
         assert_eq!(
             eng.makespan_cycles(),
-            loads.iter().map(|l| l.cycles).max().unwrap()
+            loads
+                .iter()
+                .map(|l| l.cycles + l.switch_cycles)
+                .max()
+                .unwrap()
         );
     }
 
@@ -1125,6 +2193,7 @@ mod tests {
             let mut bad = good.clone();
             bad.push(ServingRequest {
                 stream: 9,
+                activation: gelu_key(),
                 inputs: vec![Fixed::from_f64(0.5, Q8_8, Rounding::NearestEven)],
             });
             assert!(eng.serve(&bad).is_err());
@@ -1147,11 +2216,12 @@ mod tests {
 
     #[test]
     fn steady_state_serving_is_allocation_free() {
-        // The tentpole acceptance criterion, asserted as a capacity-
+        // The PR 4 acceptance criterion, asserted as a capacity-
         // stability test: after the first slate warms the recycling pool,
         // repeated slates of the same depth mint no new buffer pairs and
         // never grow a recycled buffer's capacity — i.e. the per-batch
-        // hot path touches the allocator zero times.
+        // hot path touches the allocator zero times. Still true through
+        // the session-based submit/wait plane.
         let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 4, 8, 2);
         let reqs = requests(6, 37, 21); // 222 queries / 32-slot grid = 7 batches
         let reference = eng.serve_reference(&reqs);
@@ -1186,25 +2256,10 @@ mod tests {
     }
 
     #[test]
-    fn zero_shards_rejected_and_empty_slates_are_free() {
-        let cache = TableCache::new();
-        let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
-        let line = LineConfig::paper_default(2, 4);
-        assert!(matches!(
-            ServingEngine::new(ApproximatorKind::NovaNoc, line, Arc::clone(&table), 0),
-            Err(NovaError::BatchShape(_))
-        ));
-        let mut eng = ServingEngine::new(ApproximatorKind::NovaNoc, line, table, 1).unwrap();
-        let outputs = eng.serve(&[]).unwrap();
-        assert!(outputs.is_empty());
-        assert_eq!(eng.stats().batches, 0);
-    }
-
-    #[test]
     fn zero_batch_state_reports_zeros_not_nan() {
-        // Regression (satellite): before the first `serve` call every
-        // rate/occupancy accessor must return a plain 0 — never NaN,
-        // infinity or garbage from a 0/0.
+        // Regression: before the first `serve` call every rate/occupancy
+        // accessor must return a plain 0 — never NaN, infinity or
+        // garbage from a 0/0.
         let eng = engine_with_workers(ApproximatorKind::NovaNoc, 2, 4, 2);
         assert_eq!(eng.stats(), ServingStats::default());
         assert_eq!(eng.occupancy_pct(), 0.0);
@@ -1220,18 +2275,95 @@ mod tests {
     }
 
     #[test]
-    fn for_host_shares_cached_tables_across_engines() {
-        let tech = TechModel::cmos22();
-        let host = AcceleratorConfig::tpu_v4_like();
+    fn dropping_an_engine_with_jobs_in_flight_joins_cleanly() {
+        // Satellite: shutdown with work still queued (in the bounded
+        // feeds *and* in the engine-side pending queue) must hang up the
+        // feeds, let the workers drain and exit, and join them — no
+        // deadlock, no panic.
+        let mut eng = engine_with_workers(ApproximatorKind::PerCoreLut, 2, 4, 2);
+        let reqs = requests(4, 500, 17); // 250 batches, mostly still pending
+        let ticket = eng.submit(&reqs).unwrap();
+        assert!(eng.in_flight() > 0);
+        let _ = ticket;
+        drop(eng);
+    }
+
+    /// A deliberately broken unit for the worker-panic test.
+    struct PanickingUnit;
+
+    impl VectorUnit for PanickingUnit {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+
+        fn lookup_batch_into(
+            &mut self,
+            _inputs: &FixedBatch,
+            _out: &mut FixedBatch,
+        ) -> Result<(), NovaError> {
+            panic!("injected unit failure")
+        }
+
+        fn switch_table(&mut self, _table: &QuantizedPwl) -> Result<u64, NovaError> {
+            Ok(0)
+        }
+
+        fn latency_cycles(&self) -> u64 {
+            0
+        }
+
+        fn lookups(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_runtime_error_not_a_hang() {
+        // Satellite: a panicking unit must not kill the worker thread or
+        // hang the reorder stage — the panic is caught in the worker
+        // loop and comes back as `NovaError::Runtime`.
         let cache = TableCache::new();
-        let key = TableKey::paper(Activation::Gelu);
-        let a = ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &cache, key, 1)
+        let key = gelu_key();
+        let table = cache.get_or_fit(key).unwrap();
+        let config = ServingConfig {
+            kind: ApproximatorKind::PerCoreLut,
+            line: LineConfig::paper_default(2, 4),
+            shards: 2,
+            tables: vec![key],
+        };
+        let units: Vec<Box<dyn VectorUnit>> =
+            vec![Box::new(PanickingUnit), Box::new(PanickingUnit)];
+        let mut eng = ServingEngine::from_units(config, vec![(key, table)], false, units).unwrap();
+        let err = eng.serve(&requests(2, 10, 30)).unwrap_err();
+        assert!(
+            matches!(&err, NovaError::Runtime(msg) if msg.contains("panicked")),
+            "{err:?}"
+        );
+        assert_eq!(eng.stats().batches, 0, "panicked batches count nothing");
+        // The pool survived the panic: the engine still answers (with
+        // the same per-batch error), it does not hang or poison.
+        assert!(eng.serve(&requests(1, 3, 31)).is_err());
+        assert!(eng.in_flight() == 0);
+    }
+
+    #[test]
+    fn zero_shards_rejected_and_empty_slates_are_free() {
+        let line = LineConfig::paper_default(2, 4);
+        assert!(matches!(
+            ServingEngine::builder(ApproximatorKind::NovaNoc)
+                .line(line)
+                .table(gelu_key())
+                .shards(0)
+                .build(),
+            Err(NovaError::BatchShape(_))
+        ));
+        let mut eng = ServingEngine::builder(ApproximatorKind::NovaNoc)
+            .line(line)
+            .table(gelu_key())
+            .build()
             .unwrap();
-        let b = ServingEngine::for_host(ApproximatorKind::PerCoreLut, &tech, &host, &cache, key, 1)
-            .unwrap();
-        assert_eq!(cache.misses(), 1, "second engine reuses the fit");
-        assert_eq!(cache.hits(), 1);
-        assert_eq!(a.capacity(), host.total_neurons());
-        assert_eq!(b.capacity(), host.total_neurons());
+        let outputs = eng.serve(&[]).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(eng.stats().batches, 0);
     }
 }

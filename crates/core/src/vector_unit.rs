@@ -13,6 +13,7 @@ use nova_lut::{PerCoreLut, PerNeuronLut, SdpUnit};
 use nova_noc::{multiline::SegmentedNoc, sim::BroadcastSim, LineConfig, LinkConfig};
 use nova_synth::{timing, TechModel};
 
+use crate::timeline::table_switch_cycles;
 use crate::NovaError;
 
 /// Per-batch lookup latency in accelerator cycles shared by NOVA and
@@ -343,6 +344,23 @@ pub trait VectorUnit: Send {
         Ok(out.to_rows())
     }
 
+    /// Re-programs the unit to serve `table`, returning the stall the
+    /// switch costs in accelerator cycles —
+    /// [`crate::timeline::table_switch_cycles`] of the unit's kind and
+    /// the table's segment count. The NOVA NoC stores nothing (the next
+    /// broadcast simply carries the next table's pairs), so its switch is
+    /// free; LUT banks pay one cycle per entry and the SDP's larger
+    /// interpolation tables proportionally more. After a successful
+    /// switch the unit is bit-identical to the new table; lookup
+    /// counters are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-programming failures (e.g. a NoC schedule that
+    /// cannot address the new table); on error the old table stays
+    /// active.
+    fn switch_table(&mut self, table: &QuantizedPwl) -> Result<u64, NovaError>;
+
     /// Effective per-batch latency in accelerator cycles. Before the
     /// first batch runs this is the schedule's nominal per-batch latency
     /// (never a stale 0); afterwards it is the last batch's measured
@@ -407,6 +425,19 @@ impl VectorUnit for NovaVectorUnit {
         self.last_latency = stats.core_cycle_latency;
         self.lookups += inputs.len() as u64;
         Ok(())
+    }
+
+    fn switch_table(&mut self, table: &QuantizedPwl) -> Result<u64, NovaError> {
+        // The table lives on the wire: re-programming is a new broadcast
+        // schedule, which the simulator compiles at construction. Only on
+        // success does the new simulator replace the old one.
+        let sim = BroadcastSim::new(self.sim.config(), table)?;
+        self.last_latency = sim.nominal_core_cycle_latency();
+        self.sim = sim;
+        Ok(table_switch_cycles(
+            ApproximatorKind::NovaNoc,
+            table.segments() as u64,
+        ))
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -476,6 +507,16 @@ impl VectorUnit for SegmentedNovaUnit {
         self.last_latency = stats.core_cycle_latency;
         self.lookups += inputs.len() as u64;
         Ok(())
+    }
+
+    fn switch_table(&mut self, table: &QuantizedPwl) -> Result<u64, NovaError> {
+        let noc = SegmentedNoc::new(self.noc.config(), table)?;
+        self.last_latency = noc.nominal_core_cycle_latency();
+        self.noc = noc;
+        Ok(table_switch_cycles(
+            ApproximatorKind::NovaNoc,
+            table.segments() as u64,
+        ))
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -576,6 +617,30 @@ impl VectorUnit for LutVectorUnit {
         Ok(())
     }
 
+    fn switch_table(&mut self, table: &QuantizedPwl) -> Result<u64, NovaError> {
+        // Every bank is rewritten: one cycle per entry with a single
+        // write port (shared or not, the rewrite serializes per bank
+        // set). The rewrite happens in place — bank allocations are
+        // reused, so a serving worker's run-boundary switch stays off
+        // the allocator's hot path.
+        let kind = match self.variant {
+            LutVariant::PerNeuron => {
+                for core in &mut self.per_neuron {
+                    core.reprogram(table);
+                }
+                ApproximatorKind::PerNeuronLut
+            }
+            LutVariant::PerCore => {
+                for core in &mut self.per_core {
+                    core.reprogram(table);
+                }
+                ApproximatorKind::PerCoreLut
+            }
+        };
+        self.format = table.format();
+        Ok(table_switch_cycles(kind, table.segments() as u64))
+    }
+
     fn latency_cycles(&self) -> u64 {
         BATCH_LATENCY_CYCLES // lookup + MAC (paper §V.B: same latency as NOVA)
     }
@@ -637,6 +702,19 @@ impl VectorUnit for SdpVectorUnit {
         }
         self.lookups += inputs.len() as u64;
         Ok(())
+    }
+
+    fn switch_table(&mut self, table: &QuantizedPwl) -> Result<u64, NovaError> {
+        // In-place interpolation-table rewrite per core: allocations
+        // reused, activity counters preserved.
+        for core in &mut self.cores {
+            core.reprogram(table);
+        }
+        self.format = table.format();
+        Ok(table_switch_cycles(
+            ApproximatorKind::NvdlaSdp,
+            table.segments() as u64,
+        ))
     }
 
     fn latency_cycles(&self) -> u64 {
@@ -946,6 +1024,69 @@ mod tests {
             );
             assert_eq!(unit.lookups(), 0, "{}", unit.name());
         }
+    }
+
+    #[test]
+    fn switch_table_reprograms_every_kind_bit_identically() {
+        // The multi-tenant serving contract: after `switch_table` the
+        // unit serves the *new* table bit for bit, lookup counters are
+        // preserved, and the stall cost matches the timeline model —
+        // 0 for NOVA (the table lives on the wire), `entries` cycles for
+        // LUT banks, `entries × 16` for the SDP.
+        let gelu = table();
+        let exp_pwl =
+            fit::fit_activation(Activation::Exp, 16, fit::BreakpointStrategy::Uniform).unwrap();
+        let exp = QuantizedPwl::from_pwl(&exp_pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let inputs = batch(3, 8);
+        let config = LineConfig::paper_default(3, 8);
+        for kind in ApproximatorKind::all() {
+            let mut unit = build(kind, config, &gelu).unwrap();
+            unit.lookup_batch(&inputs).unwrap();
+            let lookups_before = unit.lookups();
+            let cost = unit.switch_table(&exp).unwrap();
+            assert_eq!(
+                cost,
+                table_switch_cycles(kind, exp.segments() as u64),
+                "{}",
+                kind.label()
+            );
+            assert_eq!(unit.lookups(), lookups_before, "{}", kind.label());
+            let out = unit.lookup_batch(&inputs).unwrap();
+            for (row_out, row_in) in out.iter().zip(&inputs) {
+                for (&o, &x) in row_out.iter().zip(row_in) {
+                    assert_eq!(o, exp.eval(x), "{} serves the old table", kind.label());
+                }
+            }
+        }
+        // The cost asymmetry the serving stats surface: free on NOVA,
+        // linear on LUTs, heaviest on the SDP.
+        let entries = exp.segments() as u64;
+        assert_eq!(table_switch_cycles(ApproximatorKind::NovaNoc, entries), 0);
+        assert!(
+            table_switch_cycles(ApproximatorKind::NvdlaSdp, entries)
+                > table_switch_cycles(ApproximatorKind::PerCoreLut, entries)
+        );
+    }
+
+    #[test]
+    fn failed_switch_keeps_the_old_table_active() {
+        // A 32-segment table needs more flits than the paper link's tag
+        // space addresses: the NOVA NoC must refuse the switch and keep
+        // serving the old table.
+        let gelu = table();
+        let big_pwl =
+            fit::fit_activation(Activation::Gelu, 32, fit::BreakpointStrategy::Uniform).unwrap();
+        let big = QuantizedPwl::from_pwl(&big_pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let inputs = batch(2, 4);
+        let mut unit = build(
+            ApproximatorKind::NovaNoc,
+            LineConfig::paper_default(2, 4),
+            &gelu,
+        )
+        .unwrap();
+        assert!(unit.switch_table(&big).is_err());
+        let out = unit.lookup_batch(&inputs).unwrap();
+        assert_eq!(out[0][0], gelu.eval(inputs[0][0]));
     }
 
     #[test]

@@ -29,6 +29,16 @@ impl LutBank {
         }
     }
 
+    /// Rewrites every entry from a new table in place — the SRAM bank
+    /// reload a table switch models. Reuses the bank's allocation (no
+    /// heap traffic when the new table has no more segments than the
+    /// bank's capacity) and preserves the read counter: the bank is the
+    /// same hardware, serving a new operator.
+    pub fn reprogram(&mut self, table: &QuantizedPwl) {
+        self.entries.clear();
+        self.entries.extend_from_slice(table.pairs());
+    }
+
     /// Entries stored (= table segments).
     #[must_use]
     pub fn entries(&self) -> usize {

@@ -36,6 +36,12 @@ impl SdpUnit {
         }
     }
 
+    /// Re-programs the SDP's interpolation table in place (allocation
+    /// reused, activity counters preserved).
+    pub fn reprogram(&mut self, table: &QuantizedPwl) {
+        self.inner.reprogram(table);
+    }
+
     /// Lanes served.
     #[must_use]
     pub fn neurons(&self) -> usize {

@@ -48,6 +48,17 @@ impl PerNeuronLut {
         }
     }
 
+    /// Re-programs the unit to serve a new table, rewriting every
+    /// neuron's private bank in place (allocations reused, activity
+    /// counters preserved) — the hot-loop-friendly form of rebuilding
+    /// the unit that a serving-time table switch uses.
+    pub fn reprogram(&mut self, table: &QuantizedPwl) {
+        self.table.copy_from(table);
+        for bank in &mut self.banks {
+            bank.reprogram(table);
+        }
+    }
+
     /// Neurons served.
     #[must_use]
     pub fn neurons(&self) -> usize {
@@ -135,6 +146,13 @@ impl PerCoreLut {
             neurons,
             stats: LutStats::default(),
         }
+    }
+
+    /// Re-programs the unit to serve a new table, rewriting the shared
+    /// bank in place (allocation reused, activity counters preserved).
+    pub fn reprogram(&mut self, table: &QuantizedPwl) {
+        self.table.copy_from(table);
+        self.bank.reprogram(table);
     }
 
     /// Neurons served.
@@ -237,6 +255,32 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    #[test]
+    fn reprogram_switches_tables_in_place_and_keeps_counters() {
+        let sigmoid = table();
+        let tanh_pwl =
+            fit::fit_activation(Activation::Tanh, 16, fit::BreakpointStrategy::Uniform).unwrap();
+        let tanh = QuantizedPwl::from_pwl(&tanh_pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let xs = batch(8, 0.7);
+        let mut pn = PerNeuronLut::new(&sigmoid, 8);
+        let mut pc = PerCoreLut::new(&sigmoid, 8);
+        pn.lookup_batch(&xs).unwrap();
+        pc.lookup_batch(&xs).unwrap();
+        let (pn_stats, pc_stats) = (pn.stats(), pc.stats());
+        pn.reprogram(&tanh);
+        pc.reprogram(&tanh);
+        // Same hardware, new operator: counters survive the rewrite...
+        assert_eq!(pn.stats(), pn_stats);
+        assert_eq!(pc.stats(), pc_stats);
+        // ...and lookups are now bit-identical to the new table.
+        let a = pn.lookup_batch(&xs).unwrap();
+        let b = pc.lookup_batch(&xs).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(a[i], tanh.eval(x));
+            assert_eq!(b[i], tanh.eval(x));
+        }
     }
 
     #[test]

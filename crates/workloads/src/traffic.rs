@@ -27,6 +27,7 @@
 //! assert!(trace.iter().all(|r| r.census.approximator_queries() > 0));
 //! ```
 
+use nova_approx::Activation;
 use nova_fixed::rng::StdRng;
 use nova_fixed::{Fixed, QFormat, Rounding};
 
@@ -77,6 +78,10 @@ pub struct TrafficRequest {
     pub class: TrafficClass,
     /// Model name (for display).
     pub model: String,
+    /// Which activation table this tenant's non-linear queries hit —
+    /// assigned per stream from [`TrafficMix::activations`], so a
+    /// multi-table serving engine sees a deterministic tenancy mix.
+    pub activation: Activation,
     /// The request's operation census.
     pub census: OpCensus,
 }
@@ -94,6 +99,11 @@ pub struct TrafficMix {
     /// the open-loop offered-load knob (smaller gap = higher load).
     /// 0 means closed-loop: the whole slate arrives at cycle 0.
     pub mean_interarrival_cycles: u64,
+    /// Activation tables the tenants hit, assigned round-robin per
+    /// stream (`stream % activations.len()`): a single-entry palette is
+    /// the classic one-table mix, `[Gelu, Exp]` models GELU tenants
+    /// interleaved with softmax-exp tenants. Must be non-empty.
+    pub activations: &'static [Activation],
     /// Trace seed: same seed, same trace.
     pub seed: u64,
 }
@@ -109,6 +119,7 @@ impl TrafficMix {
             requests_per_stream: 4,
             bert_seq_len: 64,
             mean_interarrival_cycles: 0,
+            activations: &[Activation::Gelu],
             seed: 0x5EED,
         }
     }
@@ -124,18 +135,34 @@ impl TrafficMix {
         }
     }
 
-    /// The trace's operation censuses alone, in arrival order — the
-    /// slate shape `engine::evaluate_multi_stream` consumes. One
-    /// generation, one allocation; callers that only need the analytic
-    /// view skip materializing (and then cloning out of) the full
+    /// A 2-activation tenancy mix: even streams hit the GELU table, odd
+    /// streams the softmax-exp table — the trace the table-switch bench
+    /// serves, where NOVA stays flat and LUT/SDP engines pay bank
+    /// rewrites between activation runs.
+    #[must_use]
+    pub fn mixed_activations(streams: usize) -> Self {
+        Self {
+            activations: &[Activation::Gelu, Activation::Exp],
+            ..Self::paper_default(streams)
+        }
+    }
+
+    /// The trace's per-request `(activation, census)` pairs alone, in
+    /// arrival order — the mixed-activation slate shape
+    /// `engine::evaluate_multi_stream` consumes. One generation, one
+    /// allocation; callers that only need the analytic view skip
+    /// materializing (and then cloning out of) the full
     /// [`TrafficRequest`] records.
     ///
     /// # Panics
     ///
     /// As [`generate`](Self::generate).
     #[must_use]
-    pub fn census_slate(&self) -> Vec<OpCensus> {
-        self.generate().into_iter().map(|r| r.census).collect()
+    pub fn census_slate(&self) -> Vec<(Activation, OpCensus)> {
+        self.generate()
+            .into_iter()
+            .map(|r| (r.activation, r.census))
+            .collect()
     }
 
     /// Generates the trace: `streams × requests_per_stream` requests in a
@@ -153,6 +180,10 @@ impl TrafficMix {
             "traffic needs at least one stream and one request"
         );
         assert!(self.bert_seq_len > 0, "sequence length must be positive");
+        assert!(
+            !self.activations.is_empty(),
+            "traffic needs at least one activation table"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Per-stream FIFO queues of (class, model, census).
@@ -205,6 +236,10 @@ impl TrafficMix {
                 arrival_cycle: clock,
                 class,
                 model,
+                // Per-stream assignment: a tenant's queries always hit
+                // the same table, and the load knob / seed never change
+                // who hits what.
+                activation: self.activations[stream % self.activations.len()],
                 census,
             });
         }
@@ -320,6 +355,7 @@ mod tests {
             requests_per_stream: 5,
             bert_seq_len: 32,
             mean_interarrival_cycles: 0,
+            activations: &[Activation::Gelu],
             seed: 11,
         };
         let trace = mix.generate();
@@ -348,6 +384,7 @@ mod tests {
             requests_per_stream: 6,
             bert_seq_len: 32,
             mean_interarrival_cycles: 0,
+            activations: &[Activation::Gelu],
             seed: 3,
         }
         .generate();
@@ -443,7 +480,39 @@ mod tests {
     #[test]
     fn census_slate_matches_generated_trace() {
         let mix = TrafficMix::paper_default(5);
-        let from_trace: Vec<OpCensus> = mix.generate().into_iter().map(|r| r.census).collect();
+        let from_trace: Vec<(Activation, OpCensus)> = mix
+            .generate()
+            .into_iter()
+            .map(|r| (r.activation, r.census))
+            .collect();
         assert_eq!(mix.census_slate(), from_trace);
+        assert!(
+            from_trace.iter().all(|(a, _)| *a == Activation::Gelu),
+            "single-entry palette assigns one table everywhere"
+        );
+    }
+
+    #[test]
+    fn activation_assignment_is_per_stream_and_load_invariant() {
+        let mix = TrafficMix::mixed_activations(6);
+        let trace = mix.generate();
+        for r in &trace {
+            let expect = if r.stream % 2 == 0 {
+                Activation::Gelu
+            } else {
+                Activation::Exp
+            };
+            assert_eq!(r.activation, expect, "stream {}", r.stream);
+        }
+        // Both tables actually appear, and the tenancy palette changes
+        // neither the workload draw nor the merge order.
+        assert!(trace.iter().any(|r| r.activation == Activation::Exp));
+        let plain = TrafficMix::paper_default(6).generate();
+        for (a, b) in trace.iter().zip(&plain) {
+            assert_eq!(
+                (a.stream, a.arrival, &a.census),
+                (b.stream, b.arrival, &b.census)
+            );
+        }
     }
 }

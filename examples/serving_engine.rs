@@ -1,13 +1,18 @@
-//! Multi-stream serving: batch non-linear queries from many concurrent
-//! inference streams through a pool of worker threads sharing one table.
+//! Multi-tenant serving: batch non-linear queries from many concurrent
+//! inference streams — across *multiple activation tables* — through a
+//! pool of worker threads.
 //!
-//! Walks the full serving path: a thread-shared keyed table cache (fit
-//! once, share the `Arc`), a `ServingEngine` whose admission stage
-//! coalesces eight tenants' GELU bursts into full `(routers × neurons)`
-//! batches and feeds them to four shard worker threads over bounded
-//! channels, reorder/scatter that is bit-identical to dedicated
-//! sequential evaluation, and the analytic multi-stream report (with
-//! worker-pool makespan) over a seeded mixed BERT/CNN/synthetic trace.
+//! Walks the full v2 serving path: a thread-shared keyed table cache
+//! (fit once, share the `Arc`), a builder-configured `ServingEngine`
+//! with two resident tables (GELU + softmax-exp) whose admission stage
+//! coalesces eight tenants' bursts into full `(routers × neurons)`
+//! batches per activation run and feeds them to four shard worker
+//! threads over bounded channels, workers re-programming their unit
+//! between runs (`VectorUnit::switch_table` — free on NOVA, a bank
+//! rewrite on LUT/SDP), reorder/scatter that is bit-identical to
+//! dedicated sequential evaluation, the non-blocking session surface
+//! (`submit` → `try_poll`/`drain`), and the analytic multi-stream
+//! report over a seeded mixed-activation BERT/CNN/synthetic trace.
 //!
 //! Run with: `cargo run --example serving_engine`
 
@@ -17,7 +22,6 @@ use nova_repro::engine::{evaluate_multi_stream, ApproximatorKind};
 use nova_repro::fixed::{Rounding, Q4_12};
 use nova_repro::serving::{gather_by_stream, ServingEngine, ServingRequest, TableCache, TableKey};
 use nova_repro::synth::TechModel;
-use nova_repro::workloads::bert::OpCensus;
 use nova_repro::workloads::traffic::{query_words_into, TrafficMix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,13 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         host.total_neurons()
     );
 
-    // 1. The table cache: the GELU fit happens once; the second request
-    //    (and every engine, on any thread — `get_or_fit` is `&self`)
-    //    shares the same Arc'd table.
+    // 1. The table cache: the GELU and exp fits happen once; every
+    //    engine (and any thread — `get_or_fit` is `&self`) shares the
+    //    same Arc'd tables.
     let cache = TableCache::new();
-    let key = TableKey::paper(Activation::Gelu);
-    let table = cache.get_or_fit(key)?;
-    let again = cache.get_or_fit(key)?;
+    let gelu = TableKey::paper(Activation::Gelu);
+    let exp = TableKey::paper(Activation::Exp);
+    let table = cache.get_or_fit(gelu)?;
+    let again = cache.get_or_fit(gelu)?;
     println!(
         "Table cache: {} fit(s), {} hit(s), shared allocation: {}",
         cache.misses(),
@@ -43,8 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::sync::Arc::ptr_eq(&table, &again)
     );
 
-    // 2. Eight concurrent streams, each with a small GELU burst — far
-    //    below one batch on its own. Queries are extracted straight into
+    // 2. Eight concurrent tenants, each with a small burst — far below
+    //    one batch on its own. Even streams hit the GELU table, odd
+    //    streams the softmax-exp table, so the engine really is
+    //    multi-tenant across activations. Queries extract straight into
     //    fixed-point words (no intermediate f64 vector).
     let requests: Vec<ServingRequest> = (0..8)
         .map(|stream| {
@@ -58,19 +65,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Rounding::NearestEven,
                 &mut inputs,
             );
-            ServingRequest { stream, inputs }
+            ServingRequest::new(stream, if stream % 2 == 0 { gelu } else { exp }, inputs)
         })
         .collect();
-    let mut engine =
-        ServingEngine::for_host(ApproximatorKind::NovaNoc, &tech, &host, &cache, key, 4)?;
+    // The v2 builder replaces the positional constructors: geometry from
+    // the host, tables by key through the shared cache, 4 shard workers.
+    let mut engine = ServingEngine::builder(ApproximatorKind::NovaNoc)
+        .host(&tech, &host)
+        .cache(&cache)
+        .tables([gelu, exp])
+        .shards(4)
+        .build()?;
     let outputs = engine.serve(&requests)?;
 
     // 3. Reorder/scatter is bit-identical to a dedicated sequential
-    //    evaluation — four worker threads are functionally invisible.
+    //    evaluation — four worker threads and two interleaved activation
+    //    tables are functionally invisible.
     assert_eq!(outputs, engine.serve_reference(&requests));
     for (request, out) in requests.iter().zip(&outputs) {
+        let table = engine
+            .table_for(request.activation)
+            .expect("resident table");
         for (&x, &y) in request.inputs.iter().zip(out) {
-            assert_eq!(y, engine.table().eval(x), "threading must be invisible");
+            assert_eq!(y, table.eval(x), "threading must be invisible");
         }
     }
     let by_stream = gather_by_stream(&requests, &outputs);
@@ -88,28 +105,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let loads = engine.worker_loads();
     println!(
-        "Worker pool: {} shard threads served {:?} batches each; makespan {} cycles \
-         vs {} serial",
+        "Worker pool: {} shard threads served {:?} batches each; {} table switch(es) \
+         cost {} cycle(s) on NOVA; makespan {} cycles vs {} serial",
         engine.shards(),
         loads.iter().map(|l| l.batches).collect::<Vec<_>>(),
+        stats.table_switches,
+        stats.switch_cycles,
         engine.makespan_cycles(),
         stats.latency_cycles
     );
 
-    // 4. The analytic view over a seeded mixed-traffic trace.
-    let censuses: Vec<OpCensus> = TrafficMix::paper_default(8).census_slate();
-    let report = evaluate_multi_stream(&tech, &host, &censuses, ApproximatorKind::NovaNoc, 4)?;
+    // 4. The non-blocking session surface: submit two slates, check the
+    //    second without blocking, then block on it (no spinning — `wait`
+    //    parks on worker completions), then drain the rest.
+    let early = engine.submit(&requests[..4])?;
+    let late = engine.submit(&requests[4..])?;
+    let late_result = match engine.try_poll(late)? {
+        Some(out) => out, // already finished between submits
+        None => engine.wait(late)?,
+    };
+    assert_eq!(late_result, engine.serve_reference(&requests[4..]));
+    let drained = engine.drain();
+    assert_eq!(drained.len(), 1);
+    assert_eq!(drained[0].0, early);
+    assert_eq!(
+        drained[0].1.as_ref().expect("ticket served"),
+        &engine.serve_reference(&requests[..4])
+    );
     println!(
-        "\nMixed traffic (8 streams, {} requests, {} workers): {} queries → {} batches \
-         vs {} naive (occupancy {:.2}%, NL speedup {:.3}x, NL makespan {} of {} serial \
-         cycles, {:.1} inferences/s)",
+        "Session surface: submitted 2 tickets, polled #{} early, drained #{} — \
+         {} tickets left in flight",
+        late.id(),
+        early.id(),
+        engine.in_flight()
+    );
+
+    // 5. The analytic view over a seeded mixed-activation traffic trace.
+    let slate = TrafficMix::mixed_activations(8).census_slate();
+    let report = evaluate_multi_stream(&tech, &host, &slate, ApproximatorKind::NovaNoc, 4)?;
+    println!(
+        "\nMixed traffic (8 streams, {} requests, {} activations, {} workers): {} queries \
+         → {} batches vs {} naive (occupancy {:.2}%, NL speedup {:.3}x, {} switches for \
+         {} stall cycles, NL makespan {} of {} serial cycles, {:.1} inferences/s)",
         report.requests,
+        report.activations,
         report.workers,
         report.total_queries,
         report.coalesced_batches,
         report.naive_batches,
         report.batch_occupancy_pct,
         report.nl_speedup,
+        report.table_switches,
+        report.switch_cycles,
         report.makespan_nl_cycles,
         report.nl_cycles,
         report.inferences_per_second

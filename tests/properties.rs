@@ -127,32 +127,44 @@ fn flat_path_bit_identical_to_nested_for_all_kinds_under_random_geometries() {
 /// Serving through the flat pipeline is bit-identical to the sequential
 /// reference for every kind × shard geometry × ragged tail shape (query
 /// totals chosen coprime to the batch capacity so tail batches are
-/// genuinely partial), and steady-state repeats mint no buffers.
+/// genuinely partial) × activation tenancy mix — and steady-state
+/// repeats mint no buffers, even though multi-table slates keep
+/// re-programming the workers' units between activation runs.
 #[test]
 fn flat_serving_bit_identical_across_kinds_geometries_and_ragged_tails() {
     let mut rng = StdRng::seed_from_u64(0xF1A8);
     let cache = TableCache::new();
-    let table = cache.get_or_fit(TableKey::paper(Activation::Gelu)).unwrap();
+    let gelu = TableKey::paper(Activation::Gelu);
+    let exp = TableKey::paper(Activation::Exp);
     for (routers, neurons) in [(2usize, 5usize), (4, 8)] {
         for queries_per_stream in [1usize, 13, 61] {
+            // Streams 0/2 hit the GELU table, stream 1 the exp table —
+            // a genuinely mixed-activation slate in arrival order.
             let requests: Vec<ServingRequest> = (0..3)
-                .map(|stream| ServingRequest {
-                    stream,
-                    inputs: (0..queries_per_stream)
-                        .map(|_| {
-                            Fixed::from_f64(rng.gen_range(-6.0..6.0), Q4_12, Rounding::NearestEven)
-                        })
-                        .collect(),
+                .map(|stream| {
+                    ServingRequest::new(
+                        stream,
+                        if stream % 2 == 0 { gelu } else { exp },
+                        (0..queries_per_stream)
+                            .map(|_| {
+                                Fixed::from_f64(
+                                    rng.gen_range(-6.0..6.0),
+                                    Q4_12,
+                                    Rounding::NearestEven,
+                                )
+                            })
+                            .collect(),
+                    )
                 })
                 .collect();
             for kind in ApproximatorKind::all() {
-                let mut engine = ServingEngine::new(
-                    kind,
-                    LineConfig::paper_default(routers, neurons),
-                    std::sync::Arc::clone(&table),
-                    2,
-                )
-                .unwrap();
+                let mut engine = ServingEngine::builder(kind)
+                    .line(LineConfig::paper_default(routers, neurons))
+                    .cache(&cache)
+                    .tables([gelu, exp])
+                    .shards(2)
+                    .build()
+                    .unwrap();
                 let reference = engine.serve_reference(&requests);
                 assert_eq!(
                     engine.serve(&requests).unwrap(),
@@ -166,6 +178,12 @@ fn flat_serving_bit_identical_across_kinds_geometries_and_ragged_tails() {
                     engine.buffers_created(),
                     minted,
                     "steady state minted buffers for {}",
+                    kind.label()
+                );
+                assert_eq!(
+                    engine.stats().table_switches > 0,
+                    queries_per_stream > 0,
+                    "mixed tenancy must re-program {} workers",
                     kind.label()
                 );
             }
