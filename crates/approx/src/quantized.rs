@@ -275,10 +275,10 @@ impl QuantizedPwl {
     /// allocation across calls instead of paying a fresh `Vec` per
     /// [`eval_slice`](Self::eval_slice).
     ///
-    /// This is the branch-light batch path: the format check runs as one
-    /// pass over the batch instead of per element, and the loop itself is
-    /// clamp-once + dense-table address + MAC — no assert, no re-clamp,
-    /// no binary search per element.
+    /// This is the branch-free batch path: the format check runs as one
+    /// pass over the batch instead of per element, and the loop itself
+    /// is a `max`/`min` raw-word clamp + dense-table address + raw fused
+    /// MAC — no assert, no compare-chain clamp, no per-element `Result`.
     ///
     /// # Panics
     ///
@@ -290,8 +290,8 @@ impl QuantizedPwl {
             "input word format must match table format"
         );
         out.clear();
-        out.reserve(xs.len());
-        out.extend(xs.iter().map(|&x| self.eval_clamped(self.clamp(x))));
+        out.resize(xs.len(), Fixed::zero(self.format));
+        self.eval_to_slice_unchecked(xs, out);
     }
 
     /// Evaluates a slice *in place* over an output slice of equal length —
@@ -307,8 +307,52 @@ impl QuantizedPwl {
             xs.iter().all(|x| x.format() == self.format),
             "input word format must match table format"
         );
-        for (&x, slot) in xs.iter().zip(out) {
-            *slot = self.eval_clamped(self.clamp(x));
+        self.eval_to_slice_unchecked(xs, out);
+    }
+
+    /// The hot loop shared by the batch paths. Callers have already
+    /// verified every word's format, so each element is a branch-free
+    /// `max`/`min` clamp on the raw word, one address lookup and one raw
+    /// fused MAC ([`Fixed::mul_add_raw`]) — bit-identical to the scalar
+    /// clamp → [`eval_clamped`](Self::eval_clamped) datapath, which the
+    /// full-raw-word sweep test pins.
+    fn eval_to_slice_unchecked(&self, xs: &[Fixed], out: &mut [Fixed]) {
+        let lo = self.lo.raw();
+        let hi = self.hi.raw();
+        if self.addr_table.is_empty() {
+            // Wide formats past the dense-table cap: comparator-tree
+            // binary search per element, clamp still branch-free.
+            for (&x, slot) in xs.iter().zip(out) {
+                let craw = x.raw().max(lo).min(hi);
+                let addr = self.breakpoints.partition_point(|d| d.raw() <= craw);
+                let pair = self.pairs[addr];
+                *slot = Fixed::from_raw_saturating(
+                    Fixed::mul_add_raw(
+                        pair.slope.raw(),
+                        craw,
+                        pair.bias.raw(),
+                        self.format,
+                        self.rounding,
+                    ),
+                    self.format,
+                );
+            }
+        } else {
+            for (&x, slot) in xs.iter().zip(out) {
+                let craw = x.raw().max(lo).min(hi);
+                let addr = self.addr_table[(craw - lo) as usize] as usize;
+                let pair = self.pairs[addr];
+                *slot = Fixed::from_raw_saturating(
+                    Fixed::mul_add_raw(
+                        pair.slope.raw(),
+                        craw,
+                        pair.bias.raw(),
+                        self.format,
+                        self.rounding,
+                    ),
+                    self.format,
+                );
+            }
         }
     }
 
@@ -479,6 +523,19 @@ mod tests {
                     let expect = pair.slope.mul_add(xc, pair.bias, q.rounding()).unwrap();
                     assert_eq!(q.eval(x), expect, "{activation:?}/{segments}: raw {raw}");
                 }
+                // The branch-free batch paths (hoisted format check,
+                // `max`/`min` raw clamp, raw fused MAC) must agree with
+                // scalar eval over the same full-raw-word sweep.
+                let xs: Vec<Fixed> = (Q4_12.min_raw()..=Q4_12.max_raw())
+                    .map(|raw| Fixed::from_raw(raw, Q4_12).unwrap())
+                    .collect();
+                let scalar: Vec<Fixed> = xs.iter().map(|&x| q.eval(x)).collect();
+                let mut batched = Vec::new();
+                q.eval_into(&xs, &mut batched);
+                assert_eq!(batched, scalar, "{activation:?}/{segments}: eval_into");
+                let mut sliced = vec![Fixed::zero(Q4_12); xs.len()];
+                q.eval_to_slice(&xs, &mut sliced);
+                assert_eq!(sliced, scalar, "{activation:?}/{segments}: eval_to_slice");
             }
         }
     }
@@ -501,6 +558,17 @@ mod tests {
                 q.lookup_address(x),
                 q.breakpoints().partition_point(|d| d.raw() <= xc.raw())
             );
+        }
+        // The batch paths' binary-search branch must agree with scalar
+        // eval too.
+        let xs: Vec<Fixed> = (wide.min_raw()..wide.max_raw())
+            .step_by(65_537)
+            .map(|raw| Fixed::from_raw(raw, wide).unwrap())
+            .collect();
+        let mut out = vec![Fixed::zero(wide); xs.len()];
+        q.eval_to_slice(&xs, &mut out);
+        for (&x, &y) in xs.iter().zip(&out) {
+            assert_eq!(y, q.eval(x));
         }
     }
 

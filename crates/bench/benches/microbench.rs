@@ -80,6 +80,25 @@ fn bench_pwl_eval(c: &mut Criterion) {
                 .sum::<i64>()
         })
     });
+    // The branch-free-clamp ablation: the retired per-element batch body
+    // (compare-chain clamp via `clamp()`, `Result`-returning MAC) vs the
+    // shipped `eval_into` loop below (hoisted format check, `max`/`min`
+    // raw clamp, raw fused MAC) — before/after ns/query for the clamp
+    // rework, bit-identical by the full-raw-word sweep test.
+    c.bench_function("pwl/eval_branchy_clamp_into_x256", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            assert!(xq.iter().all(|x| x.format() == t.format()));
+            out.clear();
+            out.reserve(xq.len());
+            out.extend(xq.iter().map(|&x| {
+                let xc = t.clamp(x);
+                let pair = t.pairs()[t.lookup_address_clamped(xc)];
+                pair.slope.mul_add(xc, pair.bias, t.rounding()).unwrap()
+            }));
+            black_box(out.last().copied())
+        })
+    });
     let mut out = Vec::new();
     c.bench_function("pwl/eval_direct_index_into_x256", |b| {
         b.iter(|| {

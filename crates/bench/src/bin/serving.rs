@@ -16,13 +16,18 @@
 //!    showing occupancy approaching 100 % as offered load grows.
 //! 3. **Functional wall clock** (`serving::ServingEngine`): the real
 //!    worker-pool runtime serving seeded *mixed-activation* (GELU + exp)
-//!    query bursts at 1/2/4 threads, measuring wall-clock queries/s and
-//!    checking the outputs' checksum is bit-identical at every worker
-//!    count and activation interleaving. Wall-clock speedup is only
-//!    meaningful when `hardware_threads` (recorded in the JSON) exceeds
-//!    the worker count — on a single-core runner extra shard threads
-//!    can only add overhead, and the deterministic
-//!    `model_queries_per_second` column carries the scaling story.
+//!    query bursts at 1/2/4 threads in **fixed-work** mode — every
+//!    worker count serves the identical slate the identical number of
+//!    times, so wall-second ratios are honest speedups — with a
+//!    per-stage breakdown (admit / worker busy / finalize) from the
+//!    engine's ledger and a checksum proving outputs are bit-identical
+//!    at every worker count and activation interleaving. Wall-clock
+//!    speedup is only meaningful when `hardware_threads` (recorded in
+//!    the JSON) covers the worker count — on a single-core runner extra
+//!    shard threads can only add overhead, so the speedup assertions
+//!    arm only at ≥ 4 hardware threads and the deterministic
+//!    `model_queries_per_second` column carries the scaling story
+//!    everywhere else.
 //! 4. **Table-switch penalty** (`table_switch`): the same 2-activation
 //!    trace served by every `ApproximatorKind` — NOVA's makespan stays
 //!    flat (switches are free broadcasts) while LUT/SDP engines pay
@@ -41,6 +46,12 @@
 //!   workers (the CI determinism smoke runs k=1 and k=4 and compares
 //!   checksums).
 //! - `NOVA_SERVE_MEASURE_MS`: per-point wall-clock budget (default 300).
+//!   In fixed-work mode the budget sizes the *calibrated* serve-call
+//!   count at the first sweep point; later points reuse that count.
+//! - `NOVA_SERVE_CALLS=n`: pin the fixed-work serve-call count directly,
+//!   bypassing calibration (for reproducible cross-run comparisons).
+//! - `NOVA_SERVE_STRICT_SCALING=1`: upgrade the 2.5× 4-worker speedup
+//!   target from a printed verdict to a hard assertion.
 
 use std::time::Instant;
 
@@ -56,19 +67,29 @@ use nova_serde::Serialize;
 use nova_synth::TechModel;
 use nova_workloads::traffic::{query_words_into, TrafficMix};
 
-/// One point of the wall-clock worker-scaling sweep.
+/// One point of the fixed-work wall-clock worker-scaling sweep: every
+/// worker count serves the *same* slate the *same* number of times, so
+/// `wall_seconds` ratios are directly comparable.
 struct ScalingPoint {
     workers: usize,
     serve_calls: u64,
     queries: u64,
     wall_seconds: f64,
     wall_queries_per_second: f64,
-    /// Wall-clock speedup over the 1-worker point (0 when the sweep was
+    /// Fixed-work wall-clock speedup over the 1-worker point — the
+    /// 1-worker wall over this point's wall (0 when the sweep was
     /// restricted and the 1-worker baseline was not measured).
     speedup_vs_one_worker: f64,
     /// Cycle-accounted throughput at a 1 GHz core clock — the
     /// deterministic makespan view, independent of host CPU count.
     model_queries_per_second: f64,
+    /// Per-stage attribution of the timed window (admission packing on
+    /// the caller thread, summed and busiest-worker evaluation time on
+    /// the pool, finalize bookkeeping on the caller thread), in ns.
+    admit_ns: u64,
+    worker_busy_ns: u64,
+    worker_busy_max_ns: u64,
+    finalize_ns: u64,
     /// FNV-1a over all output words in request order — bit-identical
     /// across worker counts by construction.
     checksum: String,
@@ -82,6 +103,10 @@ nova_serde::impl_serialize_struct!(ScalingPoint {
     wall_queries_per_second,
     speedup_vs_one_worker,
     model_queries_per_second,
+    admit_ns,
+    worker_busy_ns,
+    worker_busy_max_ns,
+    finalize_ns,
     checksum,
 });
 
@@ -428,7 +453,11 @@ fn offered_load_sweep(host: &AcceleratorConfig, json: bool) -> Vec<OfferedLoadPo
 }
 
 /// Functional wall clock: the real thread pool serving seeded bursts,
-/// swept over worker counts, with a determinism checksum.
+/// swept over worker counts in **fixed-work** mode — every worker count
+/// serves the identical slate the identical number of times (calibrated
+/// once from the baseline point, or pinned via `NOVA_SERVE_CALLS`), so
+/// wall-second ratios are honest speedups, with a determinism checksum
+/// and a per-stage time breakdown from the engine's ledger.
 fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
     let worker_counts: Vec<usize> = match std::env::var("NOVA_SERVE_WORKERS") {
         Ok(s) => vec![s
@@ -440,6 +469,13 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
         Err(_) => vec![1, 2, 4],
     };
     let budget_ms = measure_budget_ms();
+    let pinned_calls: Option<u64> = std::env::var("NOVA_SERVE_CALLS").ok().map(|s| {
+        s.trim()
+            .parse()
+            .ok()
+            .filter(|&c| c > 0)
+            .expect("NOVA_SERVE_CALLS must be a positive integer")
+    });
     let cache = TableCache::new();
     let gelu = TableKey::paper(Activation::Gelu);
     let exp = TableKey::paper(Activation::Exp);
@@ -467,7 +503,7 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
     let line = LineConfig::paper_default(8, 128);
 
     let mut t = Table::new(
-        "Wall-clock worker scaling — PerCoreLut, 8×128 grid, 16 streams (GELU+exp mix)",
+        "Fixed-work worker scaling — PerCoreLut, 8×128 grid, 16 streams (GELU+exp mix)",
         &[
             "Workers",
             "Serve calls",
@@ -475,12 +511,19 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
             "Wall (s)",
             "Queries/s (wall)",
             "Speedup",
+            "Admit (ms)",
+            "Busy max (ms)",
+            "Finalize (ms)",
             "Queries/s (model @1GHz)",
             "Checksum",
         ],
     );
-    let mut points = Vec::new();
-    let mut base_wall_qps = 0.0;
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    // Fixed-work calibration: the first point picks a serve-call count
+    // that fills the budget, and every later point reuses it verbatim —
+    // identical queries at every worker count.
+    let mut serve_calls = pinned_calls;
+    let mut base_wall = 0.0f64;
     for &workers in &worker_counts {
         let mut engine = ServingEngine::builder(ApproximatorKind::PerCoreLut)
             .line(line)
@@ -490,26 +533,40 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
             .build()
             .expect("engine builds");
         // The determinism probe: one serve call, checksummed in request
-        // order. Identical for every worker count.
+        // order. Identical for every worker count. Also the warmup (it
+        // mints the steady-state buffer pool) and, on the first point,
+        // the calibration sample for the fixed-work call count.
+        let probe_start = Instant::now();
         let outputs = engine.serve(&requests).expect("well-formed requests");
+        let probe_seconds = probe_start.elapsed().as_secs_f64();
         let checksum = fnv1a_outputs(&outputs);
-        // The throughput loop: serve until the budget elapses. The
-        // probe above is outside the timed window, so it counts toward
-        // neither `calls` nor `wall`.
+        let calls = *serve_calls.get_or_insert_with(|| {
+            ((budget_ms as f64 / 1e3 / probe_seconds.max(1e-9)) as u64).clamp(1, 100_000)
+        });
+        // The timed window: exactly `calls` identical slates. The probe
+        // above is outside it, so the stage ledger is snapshotted here.
+        let stage_before = engine.stage_times();
         let start = Instant::now();
-        let mut calls = 0u64;
-        while start.elapsed().as_millis() < u128::from(budget_ms) {
+        for _ in 0..calls {
             engine.serve(&requests).expect("well-formed requests");
-            calls += 1;
         }
         let wall = start.elapsed().as_secs_f64();
+        let stage = {
+            let after = engine.stage_times();
+            nova::StageTimes {
+                admit_ns: after.admit_ns - stage_before.admit_ns,
+                worker_busy_ns: after.worker_busy_ns - stage_before.worker_busy_ns,
+                worker_busy_max_ns: after.worker_busy_max_ns - stage_before.worker_busy_max_ns,
+                finalize_ns: after.finalize_ns - stage_before.finalize_ns,
+            }
+        };
         let queries = calls * queries_per_call;
         let wall_qps = queries as f64 / wall;
         if points.is_empty() {
-            base_wall_qps = wall_qps;
+            base_wall = wall;
         }
         let speedup = if worker_counts[0] == 1 {
-            wall_qps / base_wall_qps
+            base_wall / wall
         } else {
             0.0
         };
@@ -521,6 +578,10 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
             wall_queries_per_second: wall_qps,
             speedup_vs_one_worker: speedup,
             model_queries_per_second: engine.queries_per_second(1.0),
+            admit_ns: stage.admit_ns,
+            worker_busy_ns: stage.worker_busy_ns,
+            worker_busy_max_ns: stage.worker_busy_max_ns,
+            finalize_ns: stage.finalize_ns,
             checksum: format!("{checksum:#018x}"),
         };
         t.row(&[
@@ -534,11 +595,20 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
             } else {
                 "-".to_string()
             },
+            format!("{:.1}", stage.admit_ns as f64 / 1e6),
+            format!("{:.1}", stage.worker_busy_max_ns as f64 / 1e6),
+            format!("{:.1}", stage.finalize_ns as f64 / 1e6),
             format!("{:.3e}", point.model_queries_per_second),
             point.checksum.clone(),
         ]);
         points.push(point);
     }
+    // Bit-identity across worker counts is a hard invariant, not a
+    // statistic: every point in this run must hash identically.
+    assert!(
+        points.iter().all(|p| p.checksum == points[0].checksum),
+        "serve checksums diverged across worker counts"
+    );
     if !json {
         t.print();
         // The line the CI determinism smoke greps: same checksum for
@@ -550,7 +620,49 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
             );
         }
     }
+    scaling_verdict(&points, json);
     points
+}
+
+/// Judges the fixed-work sweep against the scaling targets. The wall
+/// clock only has room to improve when the host actually has spare
+/// cores, so the hard floor (speedup > 1 at 4 workers) applies when
+/// `available_parallelism ≥ 4`; the 2.5× design target upgrades from a
+/// printed verdict to an assertion under `NOVA_SERVE_STRICT_SCALING=1`.
+fn scaling_verdict(points: &[ScalingPoint], json: bool) {
+    let four = points
+        .iter()
+        .find(|p| p.workers == 4 && p.speedup_vs_one_worker > 0.0);
+    let Some(four) = four else {
+        return; // restricted sweep: no measured 1-worker baseline
+    };
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup = four.speedup_vs_one_worker;
+    if !json {
+        println!(
+            "fixed-work speedup at 4 workers: {speedup:.2}x (target 2.5x) on {threads} hardware thread(s){}",
+            if threads < 4 {
+                " — under-provisioned host, wall-clock verdict not meaningful"
+            } else if speedup >= 2.5 {
+                " — target met"
+            } else {
+                " — target missed"
+            }
+        );
+    }
+    if threads >= 4 {
+        assert!(
+            speedup > 1.0,
+            "4-worker fixed-work speedup {speedup:.2}x must beat the 1-worker baseline \
+             on a {threads}-thread host"
+        );
+    }
+    if std::env::var("NOVA_SERVE_STRICT_SCALING").is_ok_and(|v| v.trim() == "1") {
+        assert!(
+            speedup >= 2.5,
+            "NOVA_SERVE_STRICT_SCALING: 4-worker fixed-work speedup {speedup:.2}x < 2.5x target"
+        );
+    }
 }
 
 /// The table-switch penalty study: every approximator kind serves the

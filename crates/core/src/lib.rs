@@ -24,9 +24,10 @@
 //!   plus the multi-stream aggregate evaluation behind the serving bench,
 //! - [`serving`]: the concurrent multi-tenant serving runtime — a
 //!   thread-shared keyed table cache and a builder-configured
-//!   worker-pool pipeline (admission → per-activation coalescing →
-//!   shard worker threads with [`VectorUnit::switch_table`]
-//!   re-programming → reorder/scatter) that packs activation-tagged
+//!   worker-pool pipeline (admission → per-activation coalescing into
+//!   fat work units → shard worker threads over [`spsc`] rings with
+//!   [`VectorUnit::switch_table`] re-programming → direct result
+//!   scatter with watermark completion) that packs activation-tagged
 //!   non-linear queries from many concurrent inference streams into
 //!   full vector-unit batches, bit-identically to sequential
 //!   evaluation for any worker count and activation interleaving, with
@@ -49,7 +50,13 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied, not forbidden: the serving data plane's SPSC rings
+// ([`spsc`]) and its direct result scatter ([`serving`]) are the two
+// audited carve-outs — lock-free cross-thread handoff has no safe
+// std-only spelling. Every `unsafe` block sits behind a module- or
+// item-level `allow` with a SAFETY argument; the rest of the crate (and
+// every other workspace crate) still refuses unsafe outright.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -59,6 +66,7 @@ pub mod mapper;
 pub mod overlay;
 pub mod react_pipeline;
 pub mod serving;
+pub mod spsc;
 pub mod timeline;
 pub mod vector_unit;
 
@@ -68,8 +76,8 @@ pub use mapper::{Mapper, MappingPlan};
 pub use nova_fixed::FixedBatch;
 pub use overlay::NovaOverlay;
 pub use serving::{
-    EngineBuilder, ServingConfig, ServingEngine, ServingRequest, ServingStats, TableCache,
-    TableKey, Ticket, WorkerLoad,
+    EngineBuilder, ServingConfig, ServingEngine, ServingRequest, ServingStats, StageTimes,
+    TableCache, TableKey, Ticket, WorkerLoad,
 };
 pub use vector_unit::{
     ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,

@@ -17,25 +17,44 @@
 //!   (the loser's fit is discarded and counted in
 //!   [`TableCache::lost_races`]).
 //! - [`ServingEngine`] is a three-stage concurrent runtime built only on
-//!   `std`:
+//!   `std` (since PR 6, on lock-free [`crate::spsc`] rings instead of
+//!   `mpsc` channels):
 //!   1. an **admission/coalescing** stage that packs the queries of many
 //!      concurrent streams, in arrival order *per activation table*,
-//!      into full `(routers × neurons)` batches and feeds them to shard
-//!      workers over *bounded* `mpsc` channels — a worker that falls
-//!      behind exerts backpressure on admission instead of queueing
-//!      unboundedly;
+//!      into full `(routers × neurons)` batches, gathers runs of up to
+//!      `K` same-activation batches into one *fat work unit* (`K`
+//!      adapts to the run depth: deep slates amortize the hop over many
+//!      batches, a one-batch slate still dispatches immediately), and
+//!      feeds units to shard workers over fixed-capacity SPSC rings —
+//!      a worker that falls behind exerts backpressure on admission
+//!      instead of queueing unboundedly;
 //!   2. a pool of **shard workers**, each a real [`std::thread`] owning
 //!      its own `Box<dyn VectorUnit>` (the trait is `Send`), receiving
-//!      sequence-numbered batches round-robin, re-programming the unit
-//!      via [`VectorUnit::switch_table`] whenever a batch carries a
+//!      sequence-numbered work units round-robin, re-programming the
+//!      unit via [`VectorUnit::switch_table`] whenever a unit carries a
 //!      different activation than the one currently loaded (free on
 //!      NOVA, a real bank-rewrite stall on LUT/SDP hardware — see
-//!      [`crate::timeline::table_switch_cycles`]), and evaluating in
-//!      parallel;
-//!   3. a **reorder/scatter** stage that reassembles completed batches
-//!      by sequence number and scatters results back per request, so the
-//!      parallel output is bit-identical to the sequential path for any
+//!      [`crate::timeline::table_switch_cycles`]), evaluating in
+//!      parallel, and **scattering results directly** into the
+//!      submitting ticket's pre-sized output rows;
+//!   3. a **watermark completion** stage on the engine thread that
+//!      counts each ticket's finished units off a per-shard completion
+//!      ring and rolls the counters — it never re-touches a result row,
+//!      because the workers already wrote every output word in place,
+//!      yet the output is bit-identical to the sequential path for any
 //!      worker count and any activation interleaving.
+//!
+//! # Parking, not spinning
+//!
+//! Every blocking edge parks its thread instead of burning a core: an
+//! idle worker parks on its feed ring's Dekker flag and is unparked by
+//! the engine's next push; a blocked [`wait`](ServingEngine::wait) arms
+//! a shared [`crate::spsc::Doorbell`], re-checks the rings, and parks
+//! until some worker's completion push rings it. Completion pushes can
+//! never block: admission caps each shard's in-flight units at its
+//! completion ring's capacity, so a worker always finds a free slot —
+//! which is also what makes engine shutdown (close feeds, join
+//! workers) deadlock-free by construction.
 //!
 //! # Multi-tenant configuration
 //!
@@ -66,11 +85,15 @@
 //!
 //! The data plane is **flat and zero-copy** (PR 4): batches travel as
 //! contiguous [`nova_fixed::FixedBatch`] grids evaluated through
-//! [`VectorUnit::lookup_batch_into`], jobs carry recyclable
-//! input/output buffer pairs, and completions return those pairs to an
-//! engine-owned pool — once the pipeline has warmed up, steady-state
-//! serving performs zero per-batch heap allocations
-//! ([`ServingEngine::buffers_created`] stays constant).
+//! [`VectorUnit::lookup_batch_into`], work units carry recyclable input
+//! buffers (each worker owns one long-lived output scratch), and
+//! completions return the inputs to an engine-owned pool — once the
+//! pipeline has warmed up, steady-state serving performs zero per-batch
+//! heap allocations ([`ServingEngine::buffers_created`] stays
+//! constant). Wall-clock stage attribution (admission, per-worker busy
+//! time, finalize) is exposed via [`ServingEngine::stage_times`] so the
+//! scaling bench can attribute regressions to a stage instead of
+//! guessing.
 //!
 //! Only each activation run's tail batch is padded (with an in-domain
 //! value whose results are dropped on scatter), so batch occupancy
@@ -145,9 +168,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use nova_accel::config::AcceleratorConfig;
 use nova_approx::{fit, Activation, QuantizedPwl};
@@ -155,6 +178,7 @@ use nova_fixed::{Fixed, FixedBatch, QFormat, Rounding, Q4_12};
 use nova_noc::{LineConfig, LinkConfig};
 use nova_synth::TechModel;
 
+use crate::spsc::{self, Doorbell, PushError};
 use crate::vector_unit::{build, line_for_kind, HostGeometry, VectorUnit};
 use crate::{ApproximatorKind, NovaError};
 
@@ -383,6 +407,7 @@ pub struct EngineBuilder<'a> {
     shards: usize,
     tables: Vec<TableKey>,
     cache: Option<&'a TableCache>,
+    unit_cap: usize,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -394,6 +419,7 @@ impl<'a> EngineBuilder<'a> {
             shards: 1,
             tables: Vec::new(),
             cache: None,
+            unit_cap: MAX_UNIT_BATCHES,
         }
     }
 
@@ -418,6 +444,17 @@ impl<'a> EngineBuilder<'a> {
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Caps the adaptive run length `K`: how many coalesced
+    /// same-activation batches admission may pack into one work unit.
+    /// Deep slates fatten units toward this cap (amortizing ring hops
+    /// and sequence bookkeeping); shallow slates always thin out to one
+    /// batch per unit regardless. Clamped to at least 1; defaults to 8.
+    #[must_use]
+    pub fn max_batches_per_unit(mut self, k: usize) -> Self {
+        self.unit_cap = k.max(1);
         self
     }
 
@@ -498,7 +535,7 @@ impl<'a> EngineBuilder<'a> {
             shards: self.shards,
             tables: keys,
         };
-        ServingEngine::from_config_parts(config, tables, false)
+        ServingEngine::from_config_parts(config, tables, false, self.unit_cap)
     }
 }
 
@@ -517,6 +554,10 @@ pub struct ServingStats {
     pub queries: u64,
     /// Vector-unit batches dispatched.
     pub batches: u64,
+    /// Work units dispatched to the pool — each packs a run of up to
+    /// `K` same-activation batches, so `jobs <= batches` and the gap is
+    /// the channel traffic the fat-unit admission saved.
+    pub jobs: u64,
     /// Grid slots filled with padding (tail batches only).
     pub padded_slots: u64,
     /// Accumulated per-batch latency over all dispatched batches, in
@@ -537,6 +578,7 @@ nova_serde::impl_serde_struct!(ServingStats {
     requests,
     queries,
     batches,
+    jobs,
     padded_slots,
     latency_cycles,
     table_switches,
@@ -546,6 +588,8 @@ nova_serde::impl_serde_struct!(ServingStats {
 /// Per-shard-worker accounting: what one worker thread served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WorkerLoad {
+    /// Work units this worker completed (runs of coalesced batches).
+    pub jobs: u64,
     /// Batches this worker evaluated successfully.
     pub batches: u64,
     /// Real (non-padded) queries in those batches.
@@ -556,38 +600,126 @@ pub struct WorkerLoad {
     pub table_switches: u64,
     /// Stall cycles those re-programs cost this worker.
     pub switch_cycles: u64,
+    /// Wall-clock nanoseconds spent processing work units (switch +
+    /// eval + scatter), for the bench's per-stage breakdown.
+    pub busy_ns: u64,
 }
 
 nova_serde::impl_serde_struct!(WorkerLoad {
+    jobs,
     batches,
     queries,
     cycles,
     table_switches,
     switch_cycles,
+    busy_ns,
 });
 
-/// A sequence-numbered batch on its way to a shard worker: one flat
-/// input grid, the activation table serving it, and the recyclable
-/// output buffer the worker writes into.
-struct BatchJob {
+/// Wall-clock pipeline-stage attribution, accumulated since
+/// construction — see [`ServingEngine::stage_times`].
+///
+/// `admit_ns` and `finalize_ns` are spent on the *caller's* thread;
+/// worker busy time runs concurrently on the pool, so the stage sums do
+/// not add up to elapsed wall time — they attribute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimes {
+    /// Nanoseconds the caller thread spent in admission: resolving
+    /// tags, packing batches, building work units.
+    pub admit_ns: u64,
+    /// Sum over all workers of nanoseconds spent processing work units.
+    pub worker_busy_ns: u64,
+    /// The busiest single worker's processing nanoseconds — the pool's
+    /// wall-clock critical path.
+    pub worker_busy_max_ns: u64,
+    /// Nanoseconds the caller thread spent finalizing finished tickets
+    /// (watermark bookkeeping; results were already scattered in
+    /// place by the workers).
+    pub finalize_ns: u64,
+}
+
+nova_serde::impl_serde_struct!(StageTimes {
+    admit_ns,
+    worker_busy_ns,
+    worker_busy_max_ns,
+    finalize_ns,
+});
+
+/// Where one query's output word lands: a raw pointer into the
+/// submitting ticket's pre-sized per-request output row.
+///
+/// The pointee is a slot of a `Vec<Fixed>` inside
+/// `TicketState::outputs`. Admission sizes every row to its final
+/// length *before* taking these pointers and never resizes a row while
+/// its ticket is in flight, and moving `TicketState` (or the `inflight`
+/// vector it lives in) moves only `Vec` headers — the heap rows the
+/// pointers target stay put. The sequence ledger guarantees exclusive
+/// access: each slot belongs to exactly one packed batch, and the
+/// engine only reads the rows after every unit of the ticket has
+/// completed (a `SeqCst` completion-ring crossing orders the worker's
+/// writes before the engine's reads).
+#[derive(Clone, Copy)]
+struct OutSlot(*mut Fixed);
+
+// SAFETY: an `OutSlot` is a plain address; the exclusivity and
+// lifetime argument above is what makes sending it to a worker sound.
+#[allow(unsafe_code)]
+unsafe impl Send for OutSlot {}
+
+/// One coalesced batch inside a work unit: a full (possibly
+/// tail-padded) input grid plus the scatter map for its `len` real
+/// queries.
+struct PackedBatch {
+    /// Recyclable flat input grid (pool-owned between flights).
+    inputs: FixedBatch,
+    /// Real (non-padded) queries in the grid's leading slots.
+    len: usize,
+    /// `len` output slots, one per real query, in grid-slot order. The
+    /// pointees live in the ticket's `scatter` vector, which admission
+    /// reserves to its exact final length before taking this pointer
+    /// (no mid-submit reallocation) and which outlives every flight of
+    /// the ticket's units.
+    dst: *const OutSlot,
+}
+
+// SAFETY: `dst` is only dereferenced by the worker a unit is routed
+// to, while the owning ticket is in flight — see `OutSlot`.
+#[allow(unsafe_code)]
+unsafe impl Send for PackedBatch {}
+
+/// A fat work unit: a sequence-numbered run of up to
+/// [`MAX_UNIT_BATCHES`] same-activation batches. One ring hop, one
+/// (at most) table switch, and one completion serve the whole run —
+/// that amortization is what makes the pool a wall-clock win for
+/// batches that cost ~2 model cycles each.
+struct WorkUnit {
     seq: u64,
     key: TableKey,
     table: Arc<QuantizedPwl>,
-    inputs: FixedBatch,
-    out: FixedBatch,
+    batches: Vec<PackedBatch>,
 }
 
-/// A completed batch on its way back to the reorder stage. Both buffers
-/// ride along so the engine can return them to its recycling pool after
-/// scatter — on success *and* on failure.
-struct BatchDone {
+/// Completion of one work unit: pre-aggregated counters (the results
+/// themselves were scattered in place by the worker) plus the batch
+/// shells riding back for recycling.
+struct UnitDone {
     seq: u64,
     worker: usize,
+    /// Batches (and their real queries) that evaluated successfully —
+    /// within a unit, later batches still run after one fails, exactly
+    /// like the per-batch pipeline did.
+    batches_ok: u64,
+    queries_ok: u64,
+    /// Summed per-batch latency of the successful batches, in cycles.
     latency: u64,
+    /// Padded tail slots of the successful batches.
+    padded: u64,
     table_switches: u64,
     switch_cycles: u64,
-    inputs: FixedBatch,
-    out: FixedBatch,
+    /// Wall nanoseconds this unit kept the worker busy.
+    busy_ns: u64,
+    /// The unit's batches (input buffers inside), back for the pool.
+    recycled: Vec<PackedBatch>,
+    /// `Ok`, or the unit's first (lowest-batch) failure.
     result: Result<(), NovaError>,
 }
 
@@ -618,24 +750,60 @@ impl Ticket {
 /// Book-keeping of one in-flight submitted slate.
 struct TicketState {
     id: u64,
-    /// Global sequence number of the slate's first batch.
+    /// Global sequence number of the slate's first work unit.
     base_seq: u64,
-    /// `(start, len)` of each batch's payload within `queue`.
-    chunks: Vec<(usize, usize)>,
-    /// Dispatch-ordered `(request index, query value)` payload, grouped
-    /// by activation run.
-    queue: Vec<(usize, Fixed)>,
-    /// Per-request output skeleton, filled at finalize.
+    /// Work units dispatched for this slate.
+    jobs: usize,
+    /// Units completed so far; the ticket finishes at `jobs` (the
+    /// watermark — no per-row reorder work happens here).
+    received: usize,
+    /// The scatter surface: one [`OutSlot`] per dispatched query, in
+    /// dispatch order. In-flight `PackedBatch::dst` pointers alias into
+    /// this vector, so it must stay untouched (not even pushed to)
+    /// until every unit has completed.
+    scatter: Vec<OutSlot>,
+    /// Per-request output rows, pre-sized to their final lengths at
+    /// admission; workers write the result words in place.
     outputs: Vec<Vec<Fixed>>,
     request_count: usize,
-    received: usize,
-    completions: Vec<Option<BatchDone>>,
+    /// Lowest-sequence unit failure, if any — deterministic for any
+    /// worker timing because sequence order is submission order.
+    failure: Option<(u64, NovaError)>,
 }
 
-/// Bounded depth of each worker's feed channel: admission blocks once a
-/// shard is this many batches behind, so a slow worker backpressures the
-/// coalescing stage instead of queueing the whole slate.
+/// Depth of each worker's feed ring, in work units: admission stalls a
+/// shard that is this many units behind, so a slow worker
+/// backpressures the coalescing stage instead of queueing the whole
+/// slate.
 const WORKER_FEED_DEPTH: usize = 2;
+
+/// Depth of each worker's completion ring — and, by the same number,
+/// the per-shard in-flight cap admission enforces. Because at most
+/// this many units are ever sent-but-uncollected per shard, a worker's
+/// completion push always finds a free slot: completion is
+/// *non-blocking by invariant*, which is what lets shutdown close the
+/// feeds and join workers without first draining completions.
+const WORKER_DONE_DEPTH: usize = 4;
+
+/// Hard cap on batches per work unit. Admission adapts the run length
+/// `K` between 1 and this (see the builder's
+/// [`max_batches_per_unit`](EngineBuilder::max_batches_per_unit)): fat
+/// units amortize ring hops and sequence bookkeeping under deep
+/// slates, while a shallow slate still dispatches one batch per unit
+/// so tail latency and shard spread are unhurt at low load.
+const MAX_UNIT_BATCHES: usize = 8;
+
+/// One shard's engine-side plumbing: the two SPSC rings to/from its
+/// worker thread, the in-flight unit count that caps completion-ring
+/// occupancy, and the join handle.
+struct ShardLink {
+    feed: spsc::Producer<WorkUnit>,
+    done: spsc::Consumer<UnitDone>,
+    /// Units pushed to `feed` whose completions have not been popped
+    /// from `done` yet. Admission keeps this `< WORKER_DONE_DEPTH`.
+    outstanding: usize,
+    handle: Option<JoinHandle<()>>,
+}
 
 /// The concurrent multi-tenant serving engine.
 ///
@@ -658,39 +826,49 @@ pub struct ServingEngine {
     legacy_single_table: bool,
     routers: usize,
     neurons: usize,
-    /// Bounded feed channel per shard worker (round-robin by sequence).
-    feeds: Vec<SyncSender<BatchJob>>,
-    /// Completion channel shared by all workers.
-    done_rx: Receiver<BatchDone>,
-    handles: Vec<JoinHandle<()>>,
+    /// Per-shard ring plumbing (round-robin by unit sequence).
+    shards: Vec<ShardLink>,
+    /// The engine thread's wakeup latch: workers ring it after every
+    /// completion push, blocking waits arm → re-check → park on it.
+    doorbell: Arc<Doorbell>,
     /// Per-worker counters; aggregate stats are derived from these.
     loads: Vec<WorkerLoad>,
     requests_served: u64,
     padded_slots: u64,
-    /// Recycling pool of `(inputs, outputs)` batch-buffer pairs. Jobs pop
-    /// a pair on admission and completions return it after scatter, so a
-    /// steady-state serve loop performs zero per-batch heap allocations.
-    spare: Vec<(FixedBatch, FixedBatch)>,
-    /// Buffer pairs minted because the pool ran dry — grows while the
+    /// Recycling pool of flat input batch buffers. Admission pops one
+    /// per packed batch and completions return them, so a steady-state
+    /// serve loop performs zero per-batch heap allocations. (Output
+    /// scratch lives with each worker; results scatter straight into
+    /// ticket rows.)
+    spare_inputs: Vec<FixedBatch>,
+    /// Recycled `WorkUnit::batches` shells (capacity-keeping).
+    spare_units: Vec<Vec<PackedBatch>>,
+    /// Recycled ticket scatter surfaces (capacity-keeping).
+    spare_scatter: Vec<Vec<OutSlot>>,
+    /// Input buffers minted because the pool ran dry — grows while the
     /// pipeline warms up, then stays constant (the allocation-free
     /// steady-state invariant the recycling test asserts).
     buffers_created: u64,
-    /// Global batch sequence counter; also drives round-robin worker
-    /// assignment (`seq % shards`), so repeated small slates still
-    /// spread over every shard.
+    /// Global work-unit sequence counter; also drives round-robin
+    /// worker assignment (`seq % shards`), so repeated small slates
+    /// still spread over every shard.
     next_seq: u64,
     next_ticket: u64,
-    /// Jobs admitted but not yet handed to a worker (the non-blocking
-    /// surface keeps them here while the bounded feeds are full).
-    pending: VecDeque<BatchJob>,
+    /// Units admitted but not yet handed to a worker (the non-blocking
+    /// surface keeps them here while the feed rings are full).
+    pending: VecDeque<WorkUnit>,
     /// In-flight tickets, ordered by `base_seq` (= submit order).
     inflight: Vec<TicketState>,
-    /// Recycled arrival-queue scratch vectors.
-    spare_queues: Vec<Vec<(usize, Fixed)>>,
-    /// Recycled reorder scratch vectors.
-    spare_reorder: Vec<Vec<Option<BatchDone>>>,
+    /// Caps adaptive `K` (batches per work unit); builder-configurable.
+    unit_cap: usize,
+    /// Caller-thread nanoseconds spent in admission, cumulative.
+    admit_ns: u64,
+    /// Caller-thread nanoseconds spent finalizing tickets, cumulative.
+    finalize_ns: u64,
     /// Latched fatal runtime failure (a dead worker pool): every later
-    /// call fails fast instead of deadlocking.
+    /// call fails fast instead of deadlocking. Latching also tears the
+    /// pool down, so no worker can still hold scatter pointers into
+    /// ticket state the caller may drop.
     poisoned: Option<String>,
 }
 
@@ -698,7 +876,7 @@ impl std::fmt::Debug for ServingEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServingEngine")
             .field("kind", &self.config.kind)
-            .field("shards", &self.feeds.len())
+            .field("shards", &self.shards.len())
             .field("routers", &self.routers)
             .field("neurons", &self.neurons)
             .field("tables", &self.config.tables)
@@ -756,7 +934,7 @@ impl ServingEngine {
             shards,
             tables: vec![key],
         };
-        Self::from_config_parts(config, vec![(key, table)], true)
+        Self::from_config_parts(config, vec![(key, table)], true, MAX_UNIT_BATCHES)
     }
 
     /// v1 positional host constructor.
@@ -791,6 +969,7 @@ impl ServingEngine {
         config: ServingConfig,
         tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
         legacy_single_table: bool,
+        unit_cap: usize,
     ) -> Result<Self, NovaError> {
         config.validate()?;
         let units = (0..config.shards)
@@ -817,7 +996,7 @@ impl ServingEngine {
                 })?;
             }
         }
-        Self::from_units(config, tables, legacy_single_table, units)
+        Self::from_units(config, tables, legacy_single_table, unit_cap, units)
     }
 
     /// Spawns the worker pool around pre-built units (also the test seam
@@ -826,88 +1005,184 @@ impl ServingEngine {
         config: ServingConfig,
         tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
         legacy_single_table: bool,
+        unit_cap: usize,
         units: Vec<Box<dyn VectorUnit>>,
     ) -> Result<Self, NovaError> {
         let shards = units.len();
         let initial_key = tables[0].0;
-        let (done_tx, done_rx) = mpsc::channel::<BatchDone>();
-        let mut feeds = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
+        let doorbell = Arc::new(Doorbell::new());
+        let mut links = Vec::with_capacity(shards);
         for (id, mut unit) in units.into_iter().enumerate() {
-            let (feed_tx, feed_rx) = mpsc::sync_channel::<BatchJob>(WORKER_FEED_DEPTH);
-            let done = done_tx.clone();
+            let (feed_tx, feed_rx) = spsc::ring::<WorkUnit>(WORKER_FEED_DEPTH);
+            let (done_tx, done_rx) = spsc::ring::<UnitDone>(WORKER_DONE_DEPTH);
+            let bell = Arc::clone(&doorbell);
             let handle = std::thread::Builder::new()
                 .name(format!("nova-serve-{id}"))
                 .spawn(move || {
-                    // The worker loop: exits when the engine drops its
-                    // feed sender (or the reorder stage hung up). The
-                    // flat buffers travel with the job and back with the
-                    // completion — the worker itself allocates nothing.
-                    // A batch whose activation differs from the loaded
-                    // one re-programs the unit first and reports the
-                    // stall; a panicking unit is caught and surfaced as
-                    // a Runtime error instead of killing the thread.
+                    // The worker loop: parks (not spins) on an empty
+                    // feed ring and exits once the engine closes it and
+                    // the ring has drained. Each work unit carries a run
+                    // of same-activation batches: at most one table
+                    // switch, then per-batch evaluate + scatter, then a
+                    // single pre-aggregated completion — so the ring
+                    // traffic is amortized over the whole run. A
+                    // panicking unit is caught and surfaced as a Runtime
+                    // error instead of killing the thread.
                     let mut current = Some(initial_key);
-                    while let Ok(job) = feed_rx.recv() {
-                        let BatchJob {
+                    // Worker-owned output scratch: results are scattered
+                    // straight to their ticket slots, so no output
+                    // buffer ever rides the rings.
+                    let mut scratch = FixedBatch::empty();
+                    'serve: loop {
+                        let work = loop {
+                            if let Some(u) = feed_rx.try_pop() {
+                                break u;
+                            }
+                            if feed_rx.is_closed() {
+                                // Re-pop after observing the close: the
+                                // engine's pushes happen before it, so a
+                                // miss now means dry forever.
+                                match feed_rx.try_pop() {
+                                    Some(u) => break u,
+                                    None => break 'serve,
+                                }
+                            }
+                            feed_rx.begin_park();
+                            if let Some(u) = feed_rx.try_pop() {
+                                feed_rx.end_park();
+                                break u;
+                            }
+                            if feed_rx.is_closed() {
+                                feed_rx.end_park();
+                                match feed_rx.try_pop() {
+                                    Some(u) => break u,
+                                    None => break 'serve,
+                                }
+                            }
+                            std::thread::park();
+                            feed_rx.end_park();
+                        };
+                        let WorkUnit {
                             seq,
                             key,
                             table,
-                            inputs,
-                            mut out,
-                        } = job;
+                            batches,
+                        } = work;
+                        let started = Instant::now();
+                        let mut batches_ok = 0u64;
+                        let mut queries_ok = 0u64;
+                        let mut latency = 0u64;
+                        let mut padded = 0u64;
                         let mut table_switches = 0u64;
                         let mut switch_cycles = 0u64;
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                if current != Some(key) {
-                                    switch_cycles = unit.switch_table(&table)?;
-                                    table_switches = 1;
-                                    current = Some(key);
+                        let mut result: Result<(), NovaError> = Ok(());
+                        for pb in &batches {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if current != Some(key) {
+                                        switch_cycles += unit.switch_table(&table)?;
+                                        table_switches += 1;
+                                        current = Some(key);
+                                    }
+                                    unit.lookup_batch_into(&pb.inputs, &mut scratch)
+                                }));
+                            match outcome {
+                                Ok(Ok(())) => {
+                                    latency += unit.latency_cycles();
+                                    batches_ok += 1;
+                                    queries_ok += pb.len as u64;
+                                    padded += (pb.inputs.capacity() - pb.len) as u64;
+                                    // SAFETY: `pb.dst` points at `pb.len`
+                                    // `OutSlot`s inside the owning
+                                    // ticket's scatter vector, each
+                                    // naming a distinct slot of a
+                                    // pre-sized output row; both outlive
+                                    // this flight (the engine joins the
+                                    // pool before dropping in-flight
+                                    // tickets) and nothing else touches
+                                    // these slots until the completion
+                                    // below is routed — see `OutSlot`.
+                                    #[allow(unsafe_code)]
+                                    unsafe {
+                                        let words = scratch.as_slice();
+                                        for (k, &y) in words[..pb.len].iter().enumerate() {
+                                            *(*pb.dst.add(k)).0 = y;
+                                        }
+                                    }
                                 }
-                                unit.lookup_batch_into(&inputs, &mut out)
-                            }));
-                        let result = match outcome {
-                            Ok(result) => result,
-                            Err(payload) => {
-                                // The panic may have left the unit
-                                // half-mutated (AssertUnwindSafe waives
-                                // the compiler's protection): forget the
-                                // programmed table so the next batch
-                                // re-programs unconditionally instead of
-                                // trusting corrupted banks.
-                                current = None;
-                                Err(NovaError::Runtime(format!(
-                                    "shard worker {id} panicked serving batch {seq}: {}",
-                                    panic_message(payload.as_ref())
-                                )))
+                                Ok(Err(e)) => {
+                                    // Keep the run's first (lowest-batch)
+                                    // failure; later batches still run,
+                                    // exactly like the per-batch pipeline
+                                    // did.
+                                    if result.is_ok() {
+                                        result = Err(e);
+                                    }
+                                }
+                                Err(payload) => {
+                                    // The panic may have left the unit
+                                    // half-mutated (AssertUnwindSafe
+                                    // waives the compiler's protection):
+                                    // forget the programmed table so the
+                                    // next batch re-programs
+                                    // unconditionally instead of trusting
+                                    // corrupted banks.
+                                    current = None;
+                                    if result.is_ok() {
+                                        result = Err(NovaError::Runtime(format!(
+                                            "shard worker {id} panicked serving work unit {seq}: {}",
+                                            panic_message(payload.as_ref())
+                                        )));
+                                    }
+                                }
                             }
-                        };
-                        let latency = unit.latency_cycles();
-                        if done
-                            .send(BatchDone {
-                                seq,
-                                worker: id,
-                                latency,
-                                table_switches,
-                                switch_cycles,
-                                inputs,
-                                out,
-                                result,
-                            })
-                            .is_err()
-                        {
-                            break;
                         }
+                        let busy_ns =
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let mut done = UnitDone {
+                            seq,
+                            worker: id,
+                            batches_ok,
+                            queries_ok,
+                            latency,
+                            padded,
+                            table_switches,
+                            switch_cycles,
+                            busy_ns,
+                            recycled: batches,
+                            result,
+                        };
+                        loop {
+                            match done_tx.try_push(done) {
+                                Ok(()) => break,
+                                Err(PushError::Full(back)) => {
+                                    // Unreachable by the outstanding-cap
+                                    // invariant (admission never has more
+                                    // than the ring's capacity in flight
+                                    // per shard); yield rather than wedge
+                                    // if it is ever violated.
+                                    debug_assert!(
+                                        false,
+                                        "completion ring full despite the outstanding cap"
+                                    );
+                                    done = back;
+                                    std::thread::yield_now();
+                                }
+                                // The engine is gone; nobody will read.
+                                Err(PushError::Closed(_)) => return,
+                            }
+                        }
+                        bell.ring();
                     }
                 })
                 .map_err(|e| NovaError::Runtime(format!("spawning shard worker {id}: {e}")))?;
-            feeds.push(feed_tx);
-            handles.push(handle);
+            links.push(ShardLink {
+                feed: feed_tx,
+                done: done_rx,
+                outstanding: 0,
+                handle: Some(handle),
+            });
         }
-        // Workers hold the only completion senders: if every worker dies,
-        // the reorder stage sees a disconnect instead of hanging.
-        drop(done_tx);
         let routers = config.line.routers;
         let neurons = config.line.neurons_per_router;
         Ok(Self {
@@ -916,20 +1191,22 @@ impl ServingEngine {
             legacy_single_table,
             routers,
             neurons,
-            feeds,
-            done_rx,
-            handles,
+            shards: links,
+            doorbell,
             loads: vec![WorkerLoad::default(); shards],
             requests_served: 0,
             padded_slots: 0,
-            spare: Vec::new(),
+            spare_inputs: Vec::new(),
+            spare_units: Vec::new(),
+            spare_scatter: Vec::new(),
             buffers_created: 0,
             next_seq: 0,
             next_ticket: 0,
             pending: VecDeque::new(),
             inflight: Vec::new(),
-            spare_queues: Vec::new(),
-            spare_reorder: Vec::new(),
+            unit_cap: unit_cap.max(1),
+            admit_ns: 0,
+            finalize_ns: 0,
             poisoned: None,
         })
     }
@@ -969,7 +1246,7 @@ impl ServingEngine {
     /// Worker shards (threads) in the pool.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.feeds.len()
+        self.shards.len()
     }
 
     /// Queries one full batch serves: `routers × neurons_per_router`.
@@ -993,6 +1270,7 @@ impl ServingEngine {
             ..ServingStats::default()
         };
         for load in &self.loads {
+            stats.jobs += load.jobs;
             stats.batches += load.batches;
             stats.queries += load.queries;
             stats.latency_cycles += load.cycles;
@@ -1008,22 +1286,42 @@ impl ServingEngine {
         &self.loads
     }
 
-    /// Batch-buffer pairs minted since construction. Grows while the
+    /// Input batch buffers minted since construction. Grows while the
     /// recycling pool warms up (first slate, or a deeper slate than any
     /// before), then stays constant: a steady-state serve loop pops every
-    /// buffer from the pool and returns it after scatter, performing zero
-    /// per-batch heap allocations. The capacity-stability test pins this
-    /// invariant.
+    /// buffer from the pool and the completions return it, performing
+    /// zero per-batch heap allocations. The capacity-stability test pins
+    /// this invariant.
     #[must_use]
     pub fn buffers_created(&self) -> u64 {
         self.buffers_created
     }
 
-    /// Buffer pairs currently parked in the recycling pool (all of them,
-    /// between `serve` calls).
+    /// Input buffers currently parked in the recycling pool (all of
+    /// them, between `serve` calls).
     #[must_use]
     pub fn buffer_pool_len(&self) -> usize {
-        self.spare.len()
+        self.spare_inputs.len()
+    }
+
+    /// Wall-clock attribution of where serving time has gone since
+    /// construction: caller-thread admission and finalization, plus the
+    /// pool's summed and busiest-single-worker processing time. The
+    /// worker time runs concurrently with the caller, so the stages do
+    /// not sum to elapsed wall time — `worker_busy_max_ns` is the pool's
+    /// critical path.
+    #[must_use]
+    pub fn stage_times(&self) -> StageTimes {
+        let mut times = StageTimes {
+            admit_ns: self.admit_ns,
+            finalize_ns: self.finalize_ns,
+            ..StageTimes::default()
+        };
+        for load in &self.loads {
+            times.worker_busy_ns += load.busy_ns;
+            times.worker_busy_max_ns = times.worker_busy_max_ns.max(load.busy_ns);
+        }
+        times
     }
 
     /// Batch occupancy so far (%): queries served over grid slots
@@ -1098,10 +1396,33 @@ impl ServingEngine {
     }
 
     /// Latches a fatal pool failure and returns it as an error.
+    ///
+    /// Poisoning also tears the pool down (close feeds, join workers):
+    /// in-flight work units hold raw scatter pointers into ticket state
+    /// the caller may drop once it sees the error, so no worker may
+    /// outlive the latch.
     fn poison(&mut self, what: &str) -> NovaError {
         let msg = format!("serving engine poisoned: {what}");
         self.poisoned = Some(msg.clone());
+        self.shutdown_pool();
         NovaError::Runtime(msg)
+    }
+
+    /// Closes every feed ring and reaps the worker threads. Workers
+    /// drain (and serve) what was already in their feed before exiting;
+    /// their completion pushes always fit by the outstanding-cap
+    /// invariant, so this never deadlocks. Units still queued in
+    /// `pending` are simply dropped — their scatter pointers are never
+    /// dereferenced.
+    fn shutdown_pool(&mut self) {
+        for link in &self.shards {
+            link.feed.close();
+        }
+        for link in &mut self.shards {
+            if let Some(handle) = link.handle.take() {
+                let _ = handle.join();
+            }
+        }
     }
 
     /// Serves a slate of requests from many concurrent streams through
@@ -1111,16 +1432,18 @@ impl ServingEngine {
     /// activation table* (activation runs in first-appearance order;
     /// request order, then query order, within each run) into full
     /// `(routers × neurons)` batches — only each run's tail batch is
-    /// padded, with an in-domain value whose outputs are dropped — and
-    /// feeds them round-robin to the shard workers over bounded channels
-    /// (backpressure, not unbounded queueing). Workers re-program their
-    /// unit between runs of different activations, charging the
-    /// per-kind switch stall to [`WorkerLoad::switch_cycles`]. The
-    /// reorder stage then reassembles completed batches by sequence
-    /// number and scatters results back per request, aligned with
+    /// padded, with an in-domain value whose outputs are dropped —
+    /// packs runs of up to `K` same-activation batches into fat work
+    /// units, and feeds those round-robin to the shard workers over
+    /// fixed-depth SPSC rings (backpressure, not unbounded queueing).
+    /// Workers re-program their unit between runs of different
+    /// activations, charging the per-kind switch stall to
+    /// [`WorkerLoad::switch_cycles`], and scatter each result word
+    /// straight into its request's output row; completion is then just
+    /// a watermark advance, and the assembled outputs align with
     /// `requests` — bit-identical to evaluating each query through its
-    /// table's [`QuantizedPwl::eval`] alone, for any worker count and
-    /// any activation interleaving.
+    /// table's [`QuantizedPwl::eval`] alone, for any worker count, any
+    /// run length and any activation interleaving.
     ///
     /// Equivalent to [`submit`](Self::submit) followed by blocking
     /// collection of the returned ticket.
@@ -1141,11 +1464,11 @@ impl ServingEngine {
     }
 
     /// Admits a slate without blocking: packs it into sequence-numbered
-    /// batch jobs (grouped into per-activation runs), queues them toward
-    /// the worker pool, and returns a [`Ticket`] to collect later via
-    /// [`try_poll`](Self::try_poll) or [`drain`](Self::drain). Already-
-    /// submitted work keeps flowing to the workers while the caller does
-    /// other things between calls.
+    /// work units (runs of coalesced same-activation batches), queues
+    /// them toward the worker pool, and returns a [`Ticket`] to collect
+    /// later via [`try_poll`](Self::try_poll) or
+    /// [`drain`](Self::drain). Already-submitted work keeps flowing to
+    /// the workers while the caller does other things between calls.
     ///
     /// # Errors
     ///
@@ -1154,7 +1477,9 @@ impl ServingEngine {
     /// engine was poisoned by a dead worker pool.
     pub fn submit(&mut self, requests: &[ServingRequest]) -> Result<Ticket, NovaError> {
         self.check_poisoned()?;
+        let started = Instant::now();
         let capacity = self.capacity();
+        let nshards = self.shards.len();
         // Resolve every tag up front: a slate naming a non-resident
         // activation is rejected before any buffer or counter moves.
         let mut table_of = Vec::with_capacity(requests.len());
@@ -1175,28 +1500,6 @@ impl ServingEngine {
             group_sizes[g] += request.inputs.len();
         }
         let total: usize = group_sizes.iter().sum();
-        let outputs: Vec<Vec<Fixed>> = requests
-            .iter()
-            .map(|r| Vec::with_capacity(r.inputs.len()))
-            .collect();
-        // Arrival-ordered payload, grouped by activation run — recycled
-        // scratch, so steady-state submission does not allocate it.
-        let mut queue = self.spare_queues.pop().unwrap_or_default();
-        queue.clear();
-        queue.reserve(total);
-        for &ti in &group_tables {
-            for (ri, request) in requests.iter().enumerate() {
-                if table_of[ri] == ti {
-                    queue.extend(request.inputs.iter().map(|&x| (ri, x)));
-                }
-            }
-        }
-        // Pack each run into batches. The pad value is in-domain for the
-        // run's table by construction (the lower clamp bound), so padded
-        // lanes can never fault; their outputs are simply never
-        // scattered anywhere. Batch buffers come from the recycling
-        // pool: once the pipeline has warmed up, admission performs zero
-        // per-batch heap allocations.
         let group_meta: Vec<(TableKey, Arc<QuantizedPwl>, Fixed)> = group_tables
             .iter()
             .map(|&ti| {
@@ -1204,72 +1507,157 @@ impl ServingEngine {
                 (*key, Arc::clone(table), table.clamp_bounds().0)
             })
             .collect();
+        // Pre-size every output row to its final length (the fill value
+        // is the row's table pad, overwritten wherever evaluation
+        // succeeds): workers scatter result words straight into these
+        // rows, so a row must never grow — or move its heap — while the
+        // ticket is in flight.
+        let mut outputs: Vec<Vec<Fixed>> = requests
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| {
+                let g = group_of_table[table_of[ri]].expect("request's table was grouped");
+                vec![group_meta[g].2; r.inputs.len()]
+            })
+            .collect();
+        // The scatter surface: reserved to its exact final length up
+        // front, so the base pointer below stays valid for every
+        // in-flight `PackedBatch::dst` derived from it.
+        let mut scatter = self.spare_scatter.pop().unwrap_or_default();
+        scatter.clear();
+        scatter.reserve(total);
+        let scatter_base: *const OutSlot = scatter.as_ptr();
         let base_seq = self.next_seq;
-        let mut chunks: Vec<(usize, usize)> = Vec::new();
-        let mut start = 0usize;
-        for (g, (key, table, pad)) in group_meta.iter().enumerate() {
-            let end = start + group_sizes[g];
-            let mut pos = start;
-            while pos < end {
-                let len = (end - pos).min(capacity);
-                let (mut inputs, out) = match self.spare.pop() {
-                    Some(pair) => pair,
-                    None => {
-                        self.buffers_created += 1;
-                        (
-                            FixedBatch::new(self.routers, self.neurons, *pad),
-                            FixedBatch::new(self.routers, self.neurons, *pad),
-                        )
-                    }
-                };
-                // Pool-recycled buffers already carry the engine grid;
-                // only a freshly minted (or foreign) buffer reshapes.
-                if inputs.dims() != (self.routers, self.neurons) {
-                    inputs.reset(self.routers, self.neurons, *pad);
+        let mut jobs = 0usize;
+        // Pack each run into batches and seal runs of up to K batches
+        // into work units. The pad value is in-domain for the run's
+        // table by construction (the lower clamp bound), so padded lanes
+        // can never fault; their outputs are simply never scattered
+        // anywhere. Input buffers and unit shells come from the
+        // recycling pools: once the pipeline has warmed up, admission
+        // performs no per-batch heap allocation.
+        for (g, &ti) in group_tables.iter().enumerate() {
+            let (key, table, pad) = &group_meta[g];
+            let run_queries = group_sizes[g];
+            if run_queries == 0 {
+                continue;
+            }
+            let run_batches = run_queries.div_ceil(capacity);
+            // Adaptive K: a run deep enough to keep every shard at least
+            // two units busy fattens its units (amortizing ring hops and
+            // bookkeeping), a shallow one stays at one batch per unit so
+            // tail latency and shard spread are unhurt at low load.
+            let k = run_batches
+                .div_ceil(2 * nshards.max(1))
+                .clamp(1, self.unit_cap);
+            let mut unit_batches = self.spare_units.pop().unwrap_or_default();
+            let mut inputs = self.checkout_inputs(*pad);
+            let mut batch_len = 0usize;
+            let mut batch_start = scatter.len();
+            let mut packed = 0usize;
+            for (ri, request) in requests.iter().enumerate() {
+                if table_of[ri] != ti {
+                    continue;
                 }
-                let slots = inputs.as_mut_slice();
-                slots[..len]
-                    .iter_mut()
-                    .zip(&queue[pos..pos + len])
-                    .for_each(|(slot, &(_, x))| *slot = x);
-                slots[len..].fill(*pad);
-                chunks.push((pos, len));
-                self.pending.push_back(BatchJob {
+                let row = &mut outputs[ri];
+                for (qi, &x) in request.inputs.iter().enumerate() {
+                    inputs.as_mut_slice()[batch_len] = x;
+                    scatter.push(OutSlot(&mut row[qi]));
+                    batch_len += 1;
+                    if batch_len == capacity {
+                        unit_batches.push(PackedBatch {
+                            inputs: std::mem::replace(&mut inputs, FixedBatch::empty()),
+                            len: batch_len,
+                            dst: scatter_base.wrapping_add(batch_start),
+                        });
+                        packed += 1;
+                        batch_len = 0;
+                        batch_start = scatter.len();
+                        if unit_batches.len() == k {
+                            self.pending.push_back(WorkUnit {
+                                seq: self.next_seq,
+                                key: *key,
+                                table: Arc::clone(table),
+                                batches: std::mem::take(&mut unit_batches),
+                            });
+                            self.next_seq += 1;
+                            jobs += 1;
+                            if packed < run_batches {
+                                unit_batches = self.spare_units.pop().unwrap_or_default();
+                            }
+                        }
+                        if packed < run_batches {
+                            inputs = self.checkout_inputs(*pad);
+                        }
+                    }
+                }
+            }
+            if batch_len > 0 {
+                // The run's ragged tail: pad the unused slots in-domain.
+                inputs.as_mut_slice()[batch_len..].fill(*pad);
+                unit_batches.push(PackedBatch {
+                    inputs,
+                    len: batch_len,
+                    dst: scatter_base.wrapping_add(batch_start),
+                });
+            }
+            if unit_batches.is_empty() {
+                if unit_batches.capacity() > 0 {
+                    self.spare_units.push(unit_batches);
+                }
+            } else {
+                self.pending.push_back(WorkUnit {
                     seq: self.next_seq,
                     key: *key,
                     table: Arc::clone(table),
-                    inputs,
-                    out,
+                    batches: unit_batches,
                 });
                 self.next_seq += 1;
-                pos += len;
+                jobs += 1;
             }
-            start = end;
         }
-        let mut completions = self.spare_reorder.pop().unwrap_or_default();
-        completions.clear();
-        completions.resize_with(chunks.len(), || None);
         let id = self.next_ticket;
         self.next_ticket += 1;
         self.inflight.push(TicketState {
             id,
             base_seq,
-            chunks,
-            queue,
+            jobs,
+            received: 0,
+            scatter,
             outputs,
             request_count: requests.len(),
-            received: 0,
-            completions,
+            failure: None,
         });
+        self.admit_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if let Err(e) = self.pump() {
-            // The pool died mid-admission: the caller gets the error,
-            // never the ticket — unregister the orphaned state (it was
-            // pushed last) so `drain`/`in_flight` don't report a
-            // submission the caller has no handle to.
+            // The pool died mid-admission (and was torn down by the
+            // poison latch, so no worker holds this slate's scatter
+            // pointers): the caller gets the error, never the ticket —
+            // unregister the orphaned state (it was pushed last) so
+            // `drain`/`in_flight` don't report a submission the caller
+            // has no handle to.
             self.inflight.pop();
             return Err(e);
         }
         Ok(Ticket(id))
+    }
+
+    /// Pops a recycled input buffer (minting one if the pool is dry) and
+    /// guarantees it carries the engine grid.
+    fn checkout_inputs(&mut self, pad: Fixed) -> FixedBatch {
+        let mut inputs = match self.spare_inputs.pop() {
+            Some(buf) => buf,
+            None => {
+                self.buffers_created += 1;
+                FixedBatch::new(self.routers, self.neurons, pad)
+            }
+        };
+        // Pool-recycled buffers already carry the engine grid; only a
+        // freshly minted (or foreign) buffer reshapes.
+        if inputs.dims() != (self.routers, self.neurons) {
+            inputs.reset(self.routers, self.neurons, pad);
+        }
+        inputs
     }
 
     /// Blocks until `ticket` finishes and returns its result — the
@@ -1308,7 +1696,7 @@ impl ServingEngine {
             .ok_or_else(|| {
                 NovaError::Runtime(format!("unknown or already-collected ticket #{}", ticket.0))
             })?;
-        if self.inflight[idx].received < self.inflight[idx].chunks.len() {
+        if self.inflight[idx].received < self.inflight[idx].jobs {
             return Ok(None);
         }
         let state = self.inflight.remove(idx);
@@ -1342,32 +1730,42 @@ impl ServingEngine {
         results
     }
 
-    /// Drains completions and feeds pending jobs without ever blocking:
-    /// the non-blocking half of the pipeline shared by `submit`,
-    /// `try_poll` and the blocking wait loop.
+    /// Drains completions and feeds pending work units without ever
+    /// blocking: the non-blocking half of the pipeline shared by
+    /// `submit`, `try_poll` and the blocking wait loop.
     fn pump(&mut self) -> Result<(), NovaError> {
-        loop {
-            match self.done_rx.try_recv() {
-                Ok(done) => self.route(done),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    return Err(self.poison("every shard worker exited"))
-                }
+        for s in 0..self.shards.len() {
+            while let Some(done) = self.shards[s].done.try_pop() {
+                self.route(done);
+            }
+            // A closed (and now drained) completion ring means its
+            // worker thread died outside the catch — unit panics are
+            // caught and reported, so this is a wiring failure.
+            if self.shards[s].done.is_closed() {
+                return Err(self.poison(&format!("shard worker {s} died")));
             }
         }
-        let shards = self.feeds.len();
-        while let Some(job) = self.pending.pop_front() {
-            // Jobs go out strictly in sequence order (stopping at the
-            // first full feed), so each worker's per-batch table-switch
-            // pattern is deterministic for a given worker count.
-            let worker = usize::try_from(job.seq % shards as u64).expect("shards fit usize");
-            match self.feeds[worker].try_send(job) {
-                Ok(()) => {}
-                Err(TrySendError::Full(job)) => {
-                    self.pending.push_front(job);
+        let nshards = self.shards.len();
+        while let Some(unit) = self.pending.pop_front() {
+            // Units go out strictly in sequence order (stopping at the
+            // first saturated shard), so each worker's table-switch
+            // pattern is deterministic for a given worker count. The
+            // outstanding cap keeps every shard's completion ring from
+            // ever filling — that is what makes worker completion
+            // pushes non-blocking by invariant.
+            let worker = usize::try_from(unit.seq % nshards as u64).expect("shards fit usize");
+            let link = &mut self.shards[worker];
+            if link.outstanding >= WORKER_DONE_DEPTH || link.feed.is_full() {
+                self.pending.push_front(unit);
+                break;
+            }
+            match link.feed.try_push(unit) {
+                Ok(()) => link.outstanding += 1,
+                Err(PushError::Full(unit)) => {
+                    self.pending.push_front(unit);
                     break;
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(PushError::Closed(_)) => {
                     return Err(self.poison(&format!("shard worker {worker} died")));
                 }
             }
@@ -1375,19 +1773,90 @@ impl ServingEngine {
         Ok(())
     }
 
-    /// Files one completion with its in-flight ticket.
-    fn route(&mut self, done: BatchDone) {
+    /// Files one completion with its in-flight ticket: rolls the
+    /// pre-aggregated counters into the worker's load, recycles the
+    /// unit's buffers and advances the ticket's watermark. (The result
+    /// words were already scattered in place by the worker.)
+    fn route(&mut self, done: UnitDone) {
+        let UnitDone {
+            seq,
+            worker,
+            batches_ok,
+            queries_ok,
+            latency,
+            padded,
+            table_switches,
+            switch_cycles,
+            busy_ns,
+            recycled,
+            result,
+        } = done;
+        self.shards[worker].outstanding -= 1;
+        // A switch the worker performed really re-programmed the unit —
+        // later runs of that activation won't switch again — so the
+        // ledger counts it even when the run's lookups then failed (only
+        // the batch/query counters are conditional on success).
+        {
+            let load = &mut self.loads[worker];
+            load.jobs += 1;
+            load.batches += batches_ok;
+            load.queries += queries_ok;
+            load.cycles += latency;
+            load.table_switches += table_switches;
+            load.switch_cycles += switch_cycles;
+            load.busy_ns += busy_ns;
+        }
+        self.padded_slots += padded;
+        // Success or failure, the buffers return to the pools.
+        let mut shell = recycled;
+        for pb in shell.drain(..) {
+            self.spare_inputs.push(pb.inputs);
+        }
+        self.spare_units.push(shell);
         let idx = self
             .inflight
-            .partition_point(|t| t.base_seq + t.chunks.len() as u64 <= done.seq);
+            .partition_point(|t| t.base_seq + t.jobs as u64 <= seq);
         let ticket = &mut self.inflight[idx];
-        let local = usize::try_from(done.seq - ticket.base_seq).expect("local index fits");
-        debug_assert!(ticket.completions[local].is_none(), "duplicate completion");
-        ticket.completions[local] = Some(done);
+        if let Err(e) = result {
+            // Keep the lowest-sequence failure: sequence order is
+            // submission order, so the reported error is deterministic
+            // for any worker count and timing.
+            match &ticket.failure {
+                Some((first, _)) if *first <= seq => {}
+                _ => ticket.failure = Some((seq, e)),
+            }
+        }
         ticket.received += 1;
     }
 
-    /// Blocks until ticket `id` finishes, then finalizes it.
+    /// True when `pump` could make progress right now: a completion is
+    /// waiting (or a worker died), or the head pending unit's shard can
+    /// accept it. The blocking wait only parks when this is false —
+    /// progress then requires a worker to push a completion, and every
+    /// such push rings the doorbell.
+    fn progress_ready(&self) -> bool {
+        if self
+            .shards
+            .iter()
+            .any(|link| !link.done.is_empty() || link.done.is_closed())
+        {
+            return true;
+        }
+        match self.pending.front() {
+            Some(unit) => {
+                let worker =
+                    usize::try_from(unit.seq % self.shards.len() as u64).expect("fits usize");
+                let link = &self.shards[worker];
+                link.feed.is_closed()
+                    || (link.outstanding < WORKER_DONE_DEPTH && !link.feed.is_full())
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until ticket `id` finishes, then finalizes it. Parks on
+    /// the doorbell while the pool works — the arm → re-check → park
+    /// protocol (see [`Doorbell`]) closes the missed-wakeup race.
     fn wait_ticket(&mut self, id: u64) -> Result<Vec<Vec<Fixed>>, NovaError> {
         loop {
             self.check_poisoned()?;
@@ -1399,103 +1868,53 @@ impl ServingEngine {
                 .ok_or_else(|| {
                     NovaError::Runtime(format!("unknown or already-collected ticket #{id}"))
                 })?;
-            if self.inflight[idx].received == self.inflight[idx].chunks.len() {
+            if self.inflight[idx].received == self.inflight[idx].jobs {
                 let state = self.inflight.remove(idx);
                 return self.finalize(state);
             }
-            // Make blocking progress: push one job (waiting out a full
-            // feed — the workers always drain, completions are
-            // unbounded) or wait for one completion.
-            if let Some(job) = self.pending.pop_front() {
-                let worker =
-                    usize::try_from(job.seq % self.feeds.len() as u64).expect("fits usize");
-                if self.feeds[worker].send(job).is_err() {
-                    return Err(self.poison(&format!("shard worker {worker} died")));
-                }
-            } else {
-                match self.done_rx.recv() {
-                    Ok(done) => self.route(done),
-                    Err(_) => return Err(self.poison("every shard worker exited")),
-                }
+            // An unfinished ticket either has units in flight (their
+            // completions ring the doorbell) or units pending behind a
+            // saturated shard (that shard has completions coming, which
+            // also ring) — so parking here can always be woken.
+            self.doorbell.arm();
+            if self.progress_ready() {
+                self.doorbell.disarm();
+                continue;
             }
+            std::thread::park();
+            self.doorbell.disarm();
         }
     }
 
-    /// Reorder/scatter for one finished ticket: walk its completions in
-    /// sequence order, roll the per-worker counters, scatter outputs and
-    /// return every buffer to the pool — success or failure.
+    /// Completion bookkeeping for one finished ticket — a watermark
+    /// advance, not a reorder: the workers already scattered every
+    /// result word into the pre-sized output rows, so all that is left
+    /// is recycling the scatter surface and judging the slate.
     fn finalize(&mut self, state: TicketState) -> Result<Vec<Vec<Fixed>>, NovaError> {
+        let started = Instant::now();
         let TicketState {
-            chunks,
-            mut queue,
-            mut outputs,
-            mut completions,
+            mut scatter,
+            outputs,
             request_count,
+            failure,
             ..
         } = state;
-        let capacity = self.capacity();
-        let mut failure: Option<NovaError> = None;
-        for (local, &(start, len)) in chunks.iter().enumerate() {
-            let done = completions[local]
-                .take()
-                .expect("every dispatched batch completed");
-            let BatchDone {
-                worker,
-                latency,
-                table_switches,
-                switch_cycles,
-                inputs,
-                out,
-                result,
-                ..
-            } = done;
-            // A switch the worker performed really re-programmed the
-            // unit — later batches of that activation won't switch again
-            // — so the ledger counts it even when the batch's own lookup
-            // then failed (only the batch/query counters are conditional
-            // on success).
-            {
-                let load = &mut self.loads[worker];
-                load.table_switches += table_switches;
-                load.switch_cycles += switch_cycles;
+        // Every unit has completed: no live `PackedBatch::dst` aliases
+        // the scatter surface any more, so it can be recycled.
+        scatter.clear();
+        self.spare_scatter.push(scatter);
+        let verdict = match failure {
+            Some((_, e)) => Err(e),
+            None => {
+                // Only a fully served slate counts its requests: on an
+                // error the batch/query counters reflect the work that
+                // evaluated, but no request was answered in full.
+                self.requests_served += request_count as u64;
+                Ok(outputs)
             }
-            match result {
-                Ok(()) => {
-                    let load = &mut self.loads[worker];
-                    load.batches += 1;
-                    load.queries += len as u64;
-                    load.cycles += latency;
-                    self.padded_slots += (capacity - len) as u64;
-                    if failure.is_none() {
-                        // Flat scatter: slot k of the grid is query k of
-                        // the chunk — no row arithmetic, one indexed copy.
-                        let flat = out.as_slice();
-                        for (&(ri, _), &y) in queue[start..start + len].iter().zip(flat) {
-                            outputs[ri].push(y);
-                        }
-                    }
-                }
-                Err(e) => {
-                    if failure.is_none() {
-                        failure = Some(e);
-                    }
-                }
-            }
-            // Success or failure, the buffers return to the pool.
-            self.spare.push((inputs, out));
-        }
-        queue.clear();
-        self.spare_queues.push(queue);
-        completions.clear();
-        self.spare_reorder.push(completions);
-        if let Some(e) = failure {
-            return Err(e);
-        }
-        // Only a fully served slate counts its requests: on an error the
-        // batch/query counters above reflect the work that evaluated,
-        // but no request was answered in full.
-        self.requests_served += request_count as u64;
-        Ok(outputs)
+        };
+        self.finalize_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        verdict
     }
 
     /// The sequential reference path: evaluates each request through its
@@ -1531,14 +1950,13 @@ impl ServingEngine {
 
 impl Drop for ServingEngine {
     fn drop(&mut self) {
-        // Hang up the feed channels so worker loops exit (they first
-        // drain any queued jobs — sends to the dropped completion
-        // receiver then fail, which breaks their loops), then reap the
-        // threads. Jobs still pending in the engine are simply dropped.
-        self.feeds.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        // Close the feed rings so worker loops exit (they first drain —
+        // and serve — any queued units; the completion pushes fit by the
+        // outstanding-cap invariant), then reap the threads *before* the
+        // in-flight ticket states drop: live workers hold raw scatter
+        // pointers into them. Units still pending in the engine are
+        // simply dropped.
+        self.shutdown_pool();
     }
 }
 
@@ -2333,7 +2751,9 @@ mod tests {
         };
         let units: Vec<Box<dyn VectorUnit>> =
             vec![Box::new(PanickingUnit), Box::new(PanickingUnit)];
-        let mut eng = ServingEngine::from_units(config, vec![(key, table)], false, units).unwrap();
+        let mut eng =
+            ServingEngine::from_units(config, vec![(key, table)], false, MAX_UNIT_BATCHES, units)
+                .unwrap();
         let err = eng.serve(&requests(2, 10, 30)).unwrap_err();
         assert!(
             matches!(&err, NovaError::Runtime(msg) if msg.contains("panicked")),

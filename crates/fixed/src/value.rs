@@ -169,13 +169,28 @@ impl Fixed {
     pub fn mul_add(self, x: Self, b: Self, rounding: Rounding) -> Result<Self, FixedError> {
         self.check_format(x)?;
         self.check_format(b)?;
-        let frac = self.format.frac_bits();
-        let wide = self.raw * x.raw + (b.raw << frac);
-        let raw = shift_round(wide, frac, rounding);
         Ok(Self {
-            raw: self.format.saturate_raw(raw),
+            raw: Self::mul_add_raw(self.raw, x.raw, b.raw, self.format, rounding),
             format: self.format,
         })
+    }
+
+    /// The raw-word core of [`mul_add`](Self::mul_add): computes the
+    /// saturated output word of `slope·x + bias` for words already known
+    /// to share `format`. This is the datapath batch loops drive after
+    /// hoisting the format check out of the loop — `mul_add` itself
+    /// delegates here, so the two are bit-identical by construction.
+    #[must_use]
+    pub fn mul_add_raw(
+        slope_raw: i64,
+        x_raw: i64,
+        bias_raw: i64,
+        format: QFormat,
+        rounding: Rounding,
+    ) -> i64 {
+        let frac = format.frac_bits();
+        let wide = slope_raw * x_raw + (bias_raw << frac);
+        format.saturate_raw(shift_round(wide, frac, rounding))
     }
 
     /// Saturating negation (`-min_raw` saturates to `max_raw`).
