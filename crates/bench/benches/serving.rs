@@ -6,7 +6,7 @@ use nova_bench::harness::{black_box, BenchmarkId, Criterion};
 use nova_bench::{criterion_group, criterion_main};
 
 use nova::engine::{evaluate_multi_stream, ApproximatorKind};
-use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova::serving::{Plan, ServingEngine, ServingRequest, TableCache, TableKey};
 use nova::vector_unit::build;
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
@@ -44,7 +44,7 @@ fn mixed_requests(streams: usize, queries: usize) -> Vec<ServingRequest> {
     let mut reqs = requests(streams, queries);
     for r in &mut reqs {
         if r.stream % 2 == 1 {
-            r.activation = exp;
+            r.plan = exp.into();
         }
     }
     reqs
@@ -136,6 +136,45 @@ fn bench_table_switching(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fused_softmax(c: &mut Criterion) {
+    // The op-graph path end to end: ragged attention rows served as
+    // fused exp → reduce → recip → scale plans, free-switching NOVA vs
+    // the per-core LUT that re-programs twice per batch.
+    let cache = TableCache::new();
+    let plan = Plan::fused_softmax(Q4_12, Rounding::NearestEven);
+    let reqs: Vec<ServingRequest> = (0..32)
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                stream as u64,
+                64 + stream * 7 % 192,
+                -4.0,
+                4.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest::new(stream, plan.clone(), inputs)
+        })
+        .collect();
+    let mut g = c.benchmark_group("serve_fused_softmax_8x128");
+    for kind in [ApproximatorKind::NovaNoc, ApproximatorKind::PerCoreLut] {
+        let mut eng = ServingEngine::builder(kind)
+            .line(LineConfig::paper_default(8, 128))
+            .cache(&cache)
+            .plan(&plan)
+            .shards(2)
+            .build()
+            .unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &reqs,
+            |b, reqs| b.iter(|| eng.serve(black_box(reqs)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
 fn bench_multi_stream_eval(c: &mut Criterion) {
     let tech = TechModel::cmos22();
     let host = AcceleratorConfig::tpu_v4_like();
@@ -205,6 +244,7 @@ criterion_group!(
     bench_serve,
     bench_worker_pool,
     bench_table_switching,
+    bench_fused_softmax,
     bench_multi_stream_eval,
     bench_flat_vs_nested
 );

@@ -499,6 +499,167 @@ pub fn evaluate_multi_stream(
     })
 }
 
+/// The analytic view of a fused-softmax trace served as op-graph plans.
+///
+/// Mirrors [`evaluate_multi_stream`]'s relationship to the single-table
+/// runtime: it counts batches, lookups and switch stalls without
+/// materializing values, with the exact packing discipline the
+/// functional engine uses for fused plans (row-aligned — an attention
+/// row never splits across batches, because the reduce stages span it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedSoftmaxReport {
+    /// Host accelerator name.
+    pub accelerator: String,
+    /// Approximator kind label.
+    pub approximator: String,
+    /// Concurrent shard workers modeled.
+    pub workers: usize,
+    /// Attention rows served (zero-width rows excluded).
+    pub rows: u64,
+    /// Total softmax lanes (the sum of row widths).
+    pub total_queries: u64,
+    /// Row-aligned batches packed.
+    pub batches: u64,
+    /// Slot occupancy of those batches (row alignment pads more than
+    /// the single-table packer's ragged tails).
+    pub batch_occupancy_pct: f64,
+    /// Serial lookup cycles: every batch runs the exp *and* the
+    /// reciprocal table (two lookup passes).
+    pub nl_cycles: u64,
+    /// Table re-programs across the pool: two per batch (exp, recip),
+    /// minus the boot batch per worker whose exp table is preloaded.
+    pub table_switches: u64,
+    /// Stall cycles those switches cost — the op-graph headline: zero
+    /// on the NOVA NoC, strictly positive on LUT/SDP hardware.
+    pub switch_cycles: u64,
+    /// `switch_cycles` as a percentage of `nl_cycles` — the per-layer
+    /// switch overhead on the fused trace.
+    pub switch_overhead_pct: f64,
+    /// Busiest worker's cycles, lookups + switch stalls.
+    pub makespan_nl_cycles: u64,
+    /// Softmax lanes per second at the host clock, over the makespan.
+    pub queries_per_second: f64,
+}
+
+nova_serde::impl_serde_struct!(FusedSoftmaxReport {
+    accelerator,
+    approximator,
+    workers,
+    rows,
+    total_queries,
+    batches,
+    batch_occupancy_pct,
+    nl_cycles,
+    table_switches,
+    switch_cycles,
+    switch_overhead_pct,
+    makespan_nl_cycles,
+    queries_per_second
+});
+
+/// Evaluates a fused-softmax trace — one entry per attention row, the
+/// row's lane width — served as op-graph plans of `kind` on `config`:
+/// rows pack row-aligned into `(routers × neurons)`-slot batches, every
+/// batch runs two lookup passes (softmax-exp, then reciprocal) with a
+/// table switch before each pass the worker's loaded table doesn't
+/// match, and batches round-robin over `workers` shards exactly like
+/// the functional admission stage. Workers boot with the exp table
+/// loaded (the plan's first lookup), so the first batch on each worker
+/// switches once and every later batch twice.
+///
+/// This is the analytic twin of serving
+/// `nova_workloads::traffic::TrafficMix::fused_rows_slate` through a
+/// [`crate::serving::Plan::fused_softmax`]-registered engine.
+///
+/// # Errors
+///
+/// Returns [`NovaError::BatchShape`] for an empty row slate (or one
+/// with only zero-width rows), `workers == 0`, or a row wider than the
+/// batch capacity (the functional engine rejects those up front — the
+/// reduce stages cannot span batches).
+pub fn evaluate_fused_softmax(
+    config: &AcceleratorConfig,
+    rows: &[u64],
+    kind: ApproximatorKind,
+    workers: usize,
+) -> Result<FusedSoftmaxReport, NovaError> {
+    if workers == 0 {
+        return Err(NovaError::BatchShape(
+            "fused-softmax evaluation needs at least one worker".into(),
+        ));
+    }
+    let capacity = config.total_neurons() as u64;
+    let mut row_count = 0u64;
+    let mut total_queries = 0u64;
+    let mut batches = 0u64;
+    let mut fill = 0u64;
+    for &width in rows {
+        if width == 0 {
+            continue;
+        }
+        if width > capacity {
+            return Err(NovaError::BatchShape(format!(
+                "fused-softmax row of {width} lanes exceeds the batch capacity {capacity}: \
+                 the in-engine reduction cannot span batches"
+            )));
+        }
+        if fill + width > capacity {
+            batches += 1;
+            fill = 0;
+        }
+        fill += width;
+        row_count += 1;
+        total_queries += width;
+    }
+    batches += u64::from(fill > 0);
+    if batches == 0 {
+        return Err(NovaError::BatchShape(
+            "fused-softmax evaluation needs at least one non-empty row".into(),
+        ));
+    }
+    let latency = kind.batch_latency_cycles();
+    // Two lookup passes per batch: the exp table over the scores, the
+    // reciprocal table over the broadcast denominators.
+    let nl_cycles = batches * 2 * latency;
+    let switch_stall = table_switch_cycles(kind, PAPER_TABLE_ENTRIES);
+    let mut worker_cycles = vec![0u64; workers];
+    let mut worker_booted = vec![false; workers];
+    let mut table_switches = 0u64;
+    let mut switch_cycles = 0u64;
+    for seq in 0..batches {
+        let w = usize::try_from(seq % workers as u64).expect("workers fit usize");
+        // Boot batch: exp is preloaded, only the recip switch pays.
+        // Every later batch re-programs exp *and* recip.
+        let switches = if worker_booted[w] { 2 } else { 1 };
+        worker_booted[w] = true;
+        table_switches += switches;
+        switch_cycles += switches * switch_stall;
+        worker_cycles[w] += 2 * latency + switches * switch_stall;
+    }
+    let makespan_nl_cycles = worker_cycles.iter().copied().max().unwrap_or(0);
+    let freq_hz = config.frequency_mhz * 1e6;
+    let seconds = makespan_nl_cycles as f64 / freq_hz;
+    Ok(FusedSoftmaxReport {
+        accelerator: config.name.to_string(),
+        approximator: kind.label().to_string(),
+        workers,
+        rows: row_count,
+        total_queries,
+        batches,
+        batch_occupancy_pct: 100.0 * total_queries as f64 / (batches * capacity) as f64,
+        nl_cycles,
+        table_switches,
+        switch_cycles,
+        switch_overhead_pct: 100.0 * switch_cycles as f64 / nl_cycles as f64,
+        makespan_nl_cycles,
+        queries_per_second: if seconds > 0.0 {
+            total_queries as f64 / seconds
+        } else {
+            0.0
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -800,5 +961,73 @@ mod tests {
         let nova = evaluate(&cfg, &m, 128, ApproximatorKind::NovaNoc).unwrap();
         let sdp = evaluate(&cfg, &m, 128, ApproximatorKind::NvdlaSdp).unwrap();
         assert!(sdp.approximator_power_mw > 3.0 * nova.approximator_power_mw);
+    }
+
+    #[test]
+    fn fused_softmax_model_packs_row_aligned_and_charges_double_switches() {
+        let cfg = AcceleratorConfig::tpu_v4_like();
+        let capacity = cfg.total_neurons() as u64;
+        // Three rows that force a seal (two fit, the third spills) plus
+        // a zero-width row that must be skipped.
+        let rows = [capacity - 4, 3, capacity, 0];
+        let r = evaluate_fused_softmax(&cfg, &rows, ApproximatorKind::NovaNoc, 1).unwrap();
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.batches, 2, "row-aligned packing: [cap-4, 3], [cap]");
+        assert_eq!(r.total_queries, 2 * capacity - 1);
+        assert_eq!(
+            r.nl_cycles,
+            2 * 2 * ApproximatorKind::NovaNoc.batch_latency_cycles(),
+            "two lookup passes per batch"
+        );
+        // Boot batch switches once (exp preloaded), the second twice.
+        assert_eq!(r.table_switches, 3);
+        assert_eq!(r.switch_cycles, 0);
+        assert_eq!(r.switch_overhead_pct, 0.0, "NOVA's fused trace is free");
+        // The same trace on LUT/SDP hardware pays strictly positive
+        // overhead — the op-graph acceptance criterion.
+        let lut = evaluate_fused_softmax(&cfg, &rows, ApproximatorKind::PerCoreLut, 1).unwrap();
+        let sdp = evaluate_fused_softmax(&cfg, &rows, ApproximatorKind::NvdlaSdp, 1).unwrap();
+        assert_eq!(lut.table_switches, 3, "same dispatch, same switches");
+        assert!(lut.switch_overhead_pct > 0.0);
+        assert!(sdp.switch_overhead_pct > lut.switch_overhead_pct);
+        assert!(
+            lut.makespan_nl_cycles > lut.nl_cycles - 1,
+            "stalls included"
+        );
+        // Workers split the makespan but boot one exp table each.
+        let two = evaluate_fused_softmax(&cfg, &rows, ApproximatorKind::PerCoreLut, 2).unwrap();
+        assert_eq!(two.table_switches, 2, "each worker boots with exp");
+        assert!(two.makespan_nl_cycles < lut.makespan_nl_cycles);
+    }
+
+    #[test]
+    fn fused_softmax_model_rejects_bad_slates() {
+        let cfg = AcceleratorConfig::tpu_v4_like();
+        let capacity = cfg.total_neurons() as u64;
+        for (rows, workers) in [
+            (vec![4u64], 0usize),
+            (vec![], 1),
+            (vec![0], 1),
+            (vec![capacity + 1], 1),
+        ] {
+            assert!(
+                matches!(
+                    evaluate_fused_softmax(&cfg, &rows, ApproximatorKind::NovaNoc, workers),
+                    Err(NovaError::BatchShape(_))
+                ),
+                "{rows:?} x{workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_trace_from_traffic_mix_evaluates() {
+        let rows = nova_workloads::traffic::TrafficMix::fused_attention(8).fused_rows_slate();
+        assert!(!rows.is_empty());
+        let cfg = AcceleratorConfig::tpu_v4_like();
+        let r = evaluate_fused_softmax(&cfg, &rows, ApproximatorKind::NovaNoc, 4).unwrap();
+        assert_eq!(r.rows, rows.len() as u64);
+        assert!(r.batch_occupancy_pct > 0.0 && r.batch_occupancy_pct <= 100.0);
+        assert!(r.queries_per_second > 0.0);
     }
 }

@@ -1,0 +1,267 @@
+//! Engine-backed fused softmax: routes `nova_workloads::attention`
+//! softmax scoring through the [`ServingEngine`] as fused op-graph
+//! plans.
+//!
+//! [`EngineSoftmax`] owns a plan-registered engine and implements
+//! [`SoftmaxOffload`]: each attention score row is quantized to the
+//! plan's word format, served as a fused-plan request
+//! (exp → row reduce → reciprocal → scale, executed by the worker pool
+//! with a table switch between the exp and reciprocal stages — free on
+//! the NOVA NoC, a bank rewrite on LUT/SDP hardware), and decoded back
+//! to `f64`. Plugged into
+//! [`PwlBackend::with_softmax_offload`](nova_workloads::attention::PwlBackend::with_softmax_offload),
+//! an encoder layer's attention runs its softmax on the modeled
+//! approximator hardware while matmuls, GELU and LayerNorm stay on the
+//! host datapath.
+//!
+//! The engine path quantizes scores *before* the row max-subtract (the
+//! reduce runs in the fixed-point raw domain, as the hardware would),
+//! where [`nova_approx::softmax::ApproxSoftmax`] subtracts in `f64`
+//! first — so the two disagree by quantization noise, and both track
+//! the exact softmax within the paper's error envelope. Bit-exactness
+//! is pinned against [`ServingEngine::serve_reference`], not against
+//! `ApproxSoftmax`.
+
+use std::cell::RefCell;
+
+use nova_fixed::{Fixed, QFormat, Rounding, Q4_12};
+use nova_noc::LineConfig;
+use nova_workloads::attention::SoftmaxOffload;
+
+use crate::error::NovaError;
+use crate::serving::{Plan, ServingEngine, ServingRequest, ServingStats, TableCache};
+use crate::vector_unit::ApproximatorKind;
+
+/// A fused-softmax evaluator backed by a [`ServingEngine`]: the bridge
+/// that lets the functional attention workload score through the
+/// op-graph serving plane.
+///
+/// Interior mutability (`RefCell`) adapts the engine's `&mut` serving
+/// surface to the `&self` backend trait; the type is single-threaded by
+/// construction (the engine's worker pool still runs concurrently
+/// underneath).
+pub struct EngineSoftmax {
+    engine: RefCell<ServingEngine>,
+    plan: Plan,
+    format: QFormat,
+    rounding: Rounding,
+}
+
+impl EngineSoftmax {
+    /// Builds a fused-softmax engine of `kind` on `line` with the paper
+    /// word format (Q4.12, round-to-nearest-even), fitting the exp and
+    /// reciprocal tables through `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table fitting and engine construction failures.
+    pub fn new(
+        kind: ApproximatorKind,
+        line: LineConfig,
+        cache: &TableCache,
+    ) -> Result<Self, NovaError> {
+        Self::with_format(kind, line, cache, Q4_12, Rounding::NearestEven)
+    }
+
+    /// As [`new`](Self::new) with an explicit word format and rounding
+    /// for the plan's tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table fitting and engine construction failures.
+    pub fn with_format(
+        kind: ApproximatorKind,
+        line: LineConfig,
+        cache: &TableCache,
+        format: QFormat,
+        rounding: Rounding,
+    ) -> Result<Self, NovaError> {
+        let plan = Plan::fused_softmax(format, rounding);
+        let engine = ServingEngine::builder(kind)
+            .line(line)
+            .cache(cache)
+            .plan(&plan)
+            .build()?;
+        Ok(Self {
+            engine: RefCell::new(engine),
+            plan,
+            format,
+            rounding,
+        })
+    }
+
+    /// The fused plan every row is served with.
+    #[must_use]
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Widest attention row the engine can reduce over (its batch
+    /// capacity — fused rows never split across batches).
+    #[must_use]
+    pub fn max_row(&self) -> usize {
+        self.engine.borrow().capacity()
+    }
+
+    /// Serves a whole slate of score rows in one engine call — one
+    /// fused-plan request per row, coalesced row-aligned into shared
+    /// batches. The batched face [`softmax_row`](SoftmaxOffload) is the
+    /// per-row shim of.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServingEngine::serve`] — notably a row wider than
+    /// [`max_row`](Self::max_row).
+    pub fn softmax_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, NovaError> {
+        let requests: Vec<ServingRequest> = rows
+            .iter()
+            .enumerate()
+            .map(|(stream, row)| {
+                ServingRequest::new(
+                    stream,
+                    self.plan.clone(),
+                    row.iter()
+                        .map(|&x| Fixed::from_f64(x, self.format, self.rounding))
+                        .collect(),
+                )
+            })
+            .collect();
+        let outputs = self.engine.borrow_mut().serve(&requests)?;
+        Ok(outputs
+            .iter()
+            .map(|row| row.iter().map(|x| x.to_f64()).collect())
+            .collect())
+    }
+
+    /// Cumulative serving statistics — including the table-switch
+    /// ledger the op-graph bench reads (every fused batch re-programs
+    /// exp → recip; zero stall cycles on NOVA, real rewrites on
+    /// LUT/SDP).
+    #[must_use]
+    pub fn stats(&self) -> ServingStats {
+        self.engine.borrow().stats()
+    }
+}
+
+impl SoftmaxOffload for EngineSoftmax {
+    /// # Panics
+    ///
+    /// Panics if the row is wider than [`max_row`](Self::max_row) or
+    /// the engine's worker pool died — wiring bugs; the fallible
+    /// batched surface is [`softmax_rows`](Self::softmax_rows).
+    fn softmax_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = self
+            .softmax_rows(std::slice::from_ref(&row.to_vec()))
+            .expect("fused softmax row serves");
+        out.pop().expect("one row in, one row out")
+    }
+
+    fn label(&self) -> &'static str {
+        "engine-fused softmax (op-graph)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_approx::softmax::softmax_exact;
+    use nova_fixed::rng::StdRng;
+    use nova_workloads::attention::{
+        max_deviation, EncoderLayer, ExactBackend, Matrix, NonLinearBackend, PwlBackend,
+    };
+    use nova_workloads::bert::BertConfig;
+
+    #[test]
+    fn engine_softmax_tracks_exact_within_paper_envelope() {
+        let cache = TableCache::new();
+        let mut rng = StdRng::seed_from_u64(0xE5);
+        for kind in ApproximatorKind::all() {
+            let soft = EngineSoftmax::new(kind, LineConfig::paper_default(2, 8), &cache).unwrap();
+            for width in [1usize, 3, 8, 13] {
+                let row: Vec<f64> = (0..width).map(|_| rng.gen_range(-4.0..4.0)).collect();
+                let got = soft.softmax_row(&row);
+                let exact = softmax_exact(&row);
+                assert_eq!(got.len(), width);
+                let sum: f64 = got.iter().sum();
+                assert!((sum - 1.0).abs() < 0.05, "{kind:?}: sums to {sum}");
+                for (g, e) in got.iter().zip(&exact) {
+                    assert!(
+                        (g - e).abs() < 0.05,
+                        "{kind:?} width {width}: {g} vs exact {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_per_row_serving() {
+        let cache = TableCache::new();
+        let soft = EngineSoftmax::new(
+            ApproximatorKind::NovaNoc,
+            LineConfig::paper_default(2, 8),
+            &cache,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0xBA7);
+        let rows: Vec<Vec<f64>> = [5usize, 9, 1, 16]
+            .iter()
+            .map(|&w| (0..w).map(|_| rng.gen_range(-3.0..3.0)).collect())
+            .collect();
+        let batched = soft.softmax_rows(&rows).unwrap();
+        for (row, expect) in rows.iter().zip(&batched) {
+            assert_eq!(&soft.softmax_row(row), expect);
+        }
+    }
+
+    #[test]
+    fn encoder_attention_through_the_engine_tracks_exact() {
+        // The tentpole integration: an encoder layer scoring through
+        // the serving engine's fused plans stays within the PWL error
+        // envelope of the exact layer, and the engine's switch ledger
+        // shows the attention really ran on it — for free on NOVA.
+        let config = BertConfig {
+            name: "fused-test",
+            layers: 1,
+            hidden: 32,
+            heads: 4,
+            ffn: 64,
+        };
+        let layer = EncoderLayer::random(config, 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Matrix::random(12, 32, 1.0, &mut rng);
+        let exact = layer.forward(&x, &ExactBackend);
+        let cache = TableCache::new();
+        let soft = EngineSoftmax::new(
+            ApproximatorKind::NovaNoc,
+            LineConfig::paper_default(2, 8),
+            &cache,
+        )
+        .unwrap();
+        let backend = PwlBackend::new(16).unwrap().with_softmax_offload(&soft);
+        assert_eq!(backend.name(), "engine-fused softmax (op-graph)");
+        let fused = layer.forward(&x, &backend);
+        let dev = max_deviation(&exact, &fused);
+        assert!(dev < 0.25, "encoder-layer deviation {dev}");
+        let stats = soft.stats();
+        assert!(stats.requests > 0, "attention never reached the engine");
+        assert!(stats.table_switches > 0, "fused plans must re-program");
+        assert_eq!(stats.switch_cycles, 0, "NOVA switches are free");
+    }
+
+    #[test]
+    fn oversized_rows_error_on_the_batched_surface() {
+        let cache = TableCache::new();
+        let soft = EngineSoftmax::new(
+            ApproximatorKind::NovaNoc,
+            LineConfig::paper_default(2, 4),
+            &cache,
+        )
+        .unwrap();
+        let wide = vec![vec![0.0; soft.max_row() + 1]];
+        assert!(matches!(
+            soft.softmax_rows(&wide),
+            Err(NovaError::BatchShape(_))
+        ));
+    }
+}

@@ -62,6 +62,7 @@
 mod error;
 
 pub mod engine;
+pub mod fused;
 pub mod mapper;
 pub mod overlay;
 pub mod react_pipeline;
@@ -70,14 +71,15 @@ pub mod spsc;
 pub mod timeline;
 pub mod vector_unit;
 
-pub use engine::{InferenceReport, MultiStreamReport};
+pub use engine::{FusedSoftmaxReport, InferenceReport, MultiStreamReport};
 pub use error::NovaError;
+pub use fused::EngineSoftmax;
 pub use mapper::{Mapper, MappingPlan};
 pub use nova_fixed::FixedBatch;
 pub use overlay::NovaOverlay;
 pub use serving::{
-    EngineBuilder, ServingConfig, ServingEngine, ServingRequest, ServingStats, StageTimes,
-    TableCache, TableKey, Ticket, WorkerLoad,
+    EngineBuilder, Plan, PlanStage, ServingConfig, ServingEngine, ServingRequest, ServingStats,
+    StageTimes, TableCache, TableKey, Ticket, WorkerLoad,
 };
 pub use vector_unit::{
     ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,

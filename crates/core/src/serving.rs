@@ -56,19 +56,29 @@
 //! which is also what makes engine shutdown (close feeds, join
 //! workers) deadlock-free by construction.
 //!
-//! # Multi-tenant configuration
+//! # Multi-tenant configuration and op-graph plans
 //!
 //! Engines are configured through a typed [`ServingConfig`] assembled by
 //! [`EngineBuilder`] ([`ServingEngine::builder`]): geometry via
 //! [`line`](EngineBuilder::line) or [`host`](EngineBuilder::host), any
 //! number of resident activation tables via
-//! [`table`](EngineBuilder::table) / [`tables`](EngineBuilder::tables)
-//! (fitted through a shared [`cache`](EngineBuilder::cache)), and the
-//! worker count via [`shards`](EngineBuilder::shards). Every
-//! [`ServingRequest`] carries an `activation: TableKey` tag naming the
-//! resident table that serves it; [`ServingStats`] / [`WorkerLoad`]
-//! account the resulting table switches, so makespan and queries/s
-//! honestly include the switch stalls the paper's broadcast NoC avoids.
+//! [`table`](EngineBuilder::table) / [`tables`](EngineBuilder::tables) /
+//! [`plan`](EngineBuilder::plan) (fitted through a shared
+//! [`cache`](EngineBuilder::cache)), and the worker count via
+//! [`shards`](EngineBuilder::shards). Every [`ServingRequest`] carries a
+//! [`Plan`] — an ordered op graph of [`PlanStage`]s, each either a table
+//! lookup ([`TableKey`]) or an in-engine elementwise/reduce step (row
+//! max-subtract, denominator sum + range reduction, reciprocal scale).
+//! A plain activation burst is the trivial one-stage lookup plan
+//! (`TableKey` converts `Into<Plan>`), so single-table callers migrate
+//! mechanically; [`Plan::fused_softmax`] chains the paper's
+//! exp → reduce → reciprocal-scale softmax datapath through two
+//! resident tables with zero host round-trips between stages.
+//! [`ServingStats`] / [`WorkerLoad`] account the resulting table
+//! switches, so makespan and queries/s honestly include the switch
+//! stalls the paper's broadcast NoC avoids — and a fused plan's
+//! per-batch exp → recip switch pattern is exactly where NOVA's
+//! zero-cost switch pays off.
 //!
 //! # Sessions
 //!
@@ -104,8 +114,10 @@
 //!
 //! # Error semantics
 //!
-//! A slate whose requests name a non-resident activation is rejected up
-//! front (nothing dispatches). Otherwise the slate is dispatched
+//! A slate whose requests name a non-resident activation, carry a
+//! malformed plan (see [`Plan::validate`]), or reduce over a row wider
+//! than the engine's batch capacity is rejected up front (nothing
+//! dispatches). Otherwise the slate is dispatched
 //! batch-by-batch to the pool; every batch that evaluates successfully
 //! is counted in the per-worker counters, and on failure the slate's
 //! result is the *lowest-sequence* error — deterministic regardless of
@@ -116,7 +128,7 @@
 //! # Example
 //!
 //! ```
-//! use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+//! use nova::serving::{Plan, ServingEngine, ServingRequest, TableCache, TableKey};
 //! use nova::ApproximatorKind;
 //! use nova_approx::Activation;
 //! use nova_fixed::{Fixed, Rounding, Q4_12};
@@ -145,26 +157,35 @@
 //! let results = engine.drain();
 //! assert_eq!(results[0].0, ticket);
 //! assert_eq!(results[0].1.as_ref().unwrap()[0].len(), 5);
+//! // Fused op-graph plan: the paper's softmax datapath as one request —
+//! // max-subtract, PWL exp, denominator range-reduce, PWL reciprocal,
+//! // exact shift-scale — executed stage-by-stage inside the workers.
+//! let softmax = Plan::fused_softmax(Q4_12, Rounding::NearestEven);
+//! let mut fused = ServingEngine::builder(ApproximatorKind::NovaNoc)
+//!     .line(LineConfig::paper_default(4, 8))
+//!     .cache(&cache)
+//!     .plan(&softmax)
+//!     .build()?;
+//! let probs = fused.serve(&[ServingRequest::new(0, softmax, vec![x; 4])])?;
+//! assert_eq!(probs[0].len(), 4);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! # Migrating from the v1 constructors
+//! # Migrating from tagged requests to plans
 //!
-//! The v1 surface — `ServingEngine::new(kind, line, table, shards)`, the
-//! 6-positional-argument `for_host`, and untagged `ServingRequest`
-//! literals — is deprecated but kept as thin shims for one release:
+//! PR 7 replaced the single `activation: TableKey` tag on
+//! [`ServingRequest`] with an op-graph [`Plan`] and removed the PR 5
+//! v1 positional constructors ("kept for one release"). The mapping is
+//! mechanical:
 //!
-//! - `ServingEngine::new(kind, line, table, shards)` →
-//!   `ServingEngine::builder(kind).line(line).cache(&cache).table(key)
-//!   .shards(shards).build()`. The shim runs in *legacy single-table
-//!   mode*: every activation tag resolves to the one provided table, so
-//!   v1 behavior is unchanged.
-//! - `ServingEngine::for_host(kind, tech, config, cache, key, shards)` →
-//!   `ServingEngine::builder(kind).host(tech, config).cache(&cache)
-//!   .table(key).shards(shards).build()`.
-//! - `ServingRequest { stream, inputs }` → tag the activation:
-//!   `ServingRequest::new(stream, TableKey::paper(activation), inputs)`.
+//! | tagged surface (≤ PR 6) | op-graph surface |
+//! |---|---|
+//! | `ServingRequest::new(s, key, xs)` | unchanged — `TableKey` converts `Into<Plan>` |
+//! | `ServingRequest { activation: key, .. }` | `ServingRequest { plan: key.into(), .. }` |
+//! | hand-rolled softmax around single lookups | `ServingRequest::new(s, Plan::fused_softmax(fmt, rnd), xs)` |
+//! | `ServingEngine::new(kind, line, table, shards)` | `builder(kind).line(line).cache(&c).table(key).shards(n).build()` |
+//! | `ServingEngine::for_host(kind, tech, cfg, &c, key, n)` | `builder(kind).host(tech, cfg).cache(&c).table(key).shards(n).build()` |
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -206,6 +227,192 @@ impl TableKey {
             format: Q4_12,
             rounding: Rounding::NearestEven,
         }
+    }
+}
+
+/// One stage of an op-graph [`Plan`]: a resident-table lookup or an
+/// in-engine elementwise/reduce step executed between lookups.
+///
+/// The row ops implement the paper's softmax decomposition (see
+/// [`nova_approx::softmax`]): every step other than the two PWL lookups
+/// is exact integer arithmetic over the request's row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanStage {
+    /// Evaluate every lane through the resident table for this key
+    /// (re-programming the worker's unit if a different table is
+    /// loaded).
+    Lookup(TableKey),
+    /// Exact row max-subtract in the raw domain: each lane becomes
+    /// `x - max(row)` (saturating), so a following `exp` lookup sees
+    /// the softmax-normalized domain `[-8, 0]`.
+    MaxSubtract,
+    /// Reduce the row to its denominator `Σ max(lane, 0)`, range-reduce
+    /// it to `m · 2^e` with `m ∈ [1, 2)`, latch the pre-reduce lanes as
+    /// numerators, and broadcast `m` into every lane (feeding a
+    /// reciprocal lookup). An all-zero row latches the uniform
+    /// fallback for the matching [`RangeScale`](Self::RangeScale).
+    SumRangeReduce,
+    /// Scale each latched numerator by the looked-up `1/m` and the
+    /// exact shift `2^{-e}` from the preceding
+    /// [`SumRangeReduce`](Self::SumRangeReduce) — the final softmax
+    /// probabilities in the word format.
+    RangeScale,
+}
+
+/// An ordered op-graph plan: what one [`ServingRequest`] asks the
+/// engine to execute over its inputs.
+///
+/// The trivial plan is a single [`PlanStage::Lookup`] — exactly the old
+/// tagged-request behavior, and what `TableKey: Into<Plan>` builds.
+/// Multi-stage ("fused") plans run entirely inside the shard workers,
+/// ping-ponging between scratch batches; their reduce stages operate on
+/// each request's row, so a fused request's inputs must fit one
+/// `(routers × neurons)` batch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Plan {
+    stages: Vec<PlanStage>,
+}
+
+impl Plan {
+    /// A plan from explicit stages. Validated at admission (or eagerly
+    /// via [`validate`](Self::validate)).
+    #[must_use]
+    pub fn new(stages: impl IntoIterator<Item = PlanStage>) -> Self {
+        Self {
+            stages: stages.into_iter().collect(),
+        }
+    }
+
+    /// The trivial one-stage plan: a single table lookup.
+    #[must_use]
+    pub fn lookup(key: TableKey) -> Self {
+        Self {
+            stages: vec![PlanStage::Lookup(key)],
+        }
+    }
+
+    /// The paper's fused softmax datapath as one plan: row max-subtract,
+    /// PWL `exp` lookup, denominator sum + range reduction, PWL
+    /// reciprocal lookup, exact reciprocal-scale. Both tables use the
+    /// paper's 16 breakpoints in the given word format; register them
+    /// via [`EngineBuilder::plan`].
+    ///
+    /// Numerically this is [`nova_approx::softmax::ApproxSoftmax`]'s
+    /// datapath with the max subtraction performed on the already
+    /// quantized words (the engine receives `Fixed` inputs, not `f64`
+    /// logits).
+    #[must_use]
+    pub fn fused_softmax(format: QFormat, rounding: Rounding) -> Self {
+        let table = |activation| TableKey {
+            activation,
+            breakpoints: 16,
+            format,
+            rounding,
+        };
+        Self::new([
+            PlanStage::MaxSubtract,
+            PlanStage::Lookup(table(Activation::Exp)),
+            PlanStage::SumRangeReduce,
+            PlanStage::Lookup(table(Activation::Recip)),
+            PlanStage::RangeScale,
+        ])
+    }
+
+    /// The stages, in execution order.
+    #[must_use]
+    pub fn stages(&self) -> &[PlanStage] {
+        &self.stages
+    }
+
+    /// `Some(key)` when this is the trivial one-lookup plan.
+    #[must_use]
+    pub fn single_lookup(&self) -> Option<TableKey> {
+        match self.stages[..] {
+            [PlanStage::Lookup(key)] => Some(key),
+            _ => None,
+        }
+    }
+
+    /// True for multi-stage (fused) plans.
+    #[must_use]
+    pub fn is_fused(&self) -> bool {
+        self.stages.len() > 1
+    }
+
+    /// Every table key the plan looks up, in stage order.
+    pub fn table_keys(&self) -> impl Iterator<Item = TableKey> + '_ {
+        self.stages.iter().filter_map(|stage| match stage {
+            PlanStage::Lookup(key) => Some(*key),
+            _ => None,
+        })
+    }
+
+    /// The word format and rounding the plan's row ops run in — the
+    /// first lookup's. `None` for a (malformed) plan with no lookup.
+    #[must_use]
+    pub fn word_format(&self) -> Option<(QFormat, Rounding)> {
+        self.table_keys()
+            .next()
+            .map(|key| (key.format, key.rounding))
+    }
+
+    /// Checks the structural invariants the engine relies on: at least
+    /// one stage, at least one lookup, all lookups in one word format,
+    /// and every [`PlanStage::RangeScale`] preceded by a
+    /// [`PlanStage::SumRangeReduce`] that latched its numerators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::BatchShape`] describing the violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), NovaError> {
+        if self.stages.is_empty() {
+            return Err(NovaError::BatchShape(
+                "an op-graph plan needs at least one stage".into(),
+            ));
+        }
+        let Some((format, rounding)) = self.word_format() else {
+            return Err(NovaError::BatchShape(
+                "an op-graph plan needs at least one table lookup stage".into(),
+            ));
+        };
+        for key in self.table_keys() {
+            if key.format != format || key.rounding != rounding {
+                return Err(NovaError::BatchShape(format!(
+                    "op-graph plan mixes word formats: {:?}/{:?} vs {:?}/{:?} — all \
+                     lookups in one plan must share format and rounding",
+                    format, rounding, key.format, key.rounding
+                )));
+            }
+        }
+        let mut reduced = false;
+        for stage in &self.stages {
+            match stage {
+                PlanStage::SumRangeReduce => reduced = true,
+                PlanStage::RangeScale if !reduced => {
+                    return Err(NovaError::BatchShape(
+                        "op-graph plan scales before any SumRangeReduce latched \
+                         numerators"
+                            .into(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<TableKey> for Plan {
+    /// A tagged request is the trivial one-stage lookup plan.
+    fn from(key: TableKey) -> Self {
+        Self::lookup(key)
+    }
+}
+
+impl From<&Plan> for Plan {
+    fn from(plan: &Plan) -> Self {
+        plan.clone()
     }
 }
 
@@ -336,20 +543,24 @@ impl TableCache {
 pub struct ServingRequest {
     /// Stream (tenant) id — used only for per-stream gather.
     pub stream: usize,
-    /// Which resident activation table serves this burst.
-    pub activation: TableKey,
-    /// Raw query values in that table's fixed format.
+    /// The op graph serving this burst: a one-stage lookup plan for
+    /// plain activation serving, or a fused multi-stage pipeline (e.g.
+    /// [`Plan::fused_softmax`]).
+    pub plan: Plan,
+    /// Raw query values in the plan's word format. A fused plan treats
+    /// them as one row (its reduce stages span the whole burst), so
+    /// they must fit one `(routers × neurons)` batch.
     pub inputs: Vec<Fixed>,
 }
 
 impl ServingRequest {
-    /// A tagged request: `stream`'s burst of `inputs` through the
-    /// resident table for `activation`.
+    /// A request: `stream`'s burst of `inputs` through `plan` — pass a
+    /// bare [`TableKey`] for the trivial single-lookup plan.
     #[must_use]
-    pub fn new(stream: usize, activation: TableKey, inputs: Vec<Fixed>) -> Self {
+    pub fn new(stream: usize, plan: impl Into<Plan>, inputs: Vec<Fixed>) -> Self {
         Self {
             stream,
-            activation,
+            plan: plan.into(),
             inputs,
         }
     }
@@ -472,6 +683,15 @@ impl<'a> EngineBuilder<'a> {
         self
     }
 
+    /// Registers every table a plan looks up, so requests carrying it
+    /// (or any plan over the same keys) admit without a resident-table
+    /// miss. Row-op stages need no registration.
+    #[must_use]
+    pub fn plan(mut self, plan: &Plan) -> Self {
+        self.tables.extend(plan.table_keys());
+        self
+    }
+
     /// Fits the registered tables through a shared cache, so a second
     /// engine for the same keys reuses the same `Arc`'d tables. Without
     /// this the builder fits into a private cache.
@@ -535,7 +755,7 @@ impl<'a> EngineBuilder<'a> {
             shards: self.shards,
             tables: keys,
         };
-        ServingEngine::from_config_parts(config, tables, false, self.unit_cap)
+        ServingEngine::from_config_parts(config, tables, self.unit_cap)
     }
 }
 
@@ -665,6 +885,94 @@ struct OutSlot(*mut Fixed);
 #[allow(unsafe_code)]
 unsafe impl Send for OutSlot {}
 
+/// One stage of a [`CompiledPlan`]: a [`PlanStage`] with its lookup
+/// resolved to the resident table's `Arc`, so workers never touch the
+/// engine's table list.
+enum StageOp {
+    Lookup {
+        key: TableKey,
+        table: Arc<QuantizedPwl>,
+    },
+    MaxSubtract,
+    SumRangeReduce,
+    RangeScale,
+}
+
+/// A validated, table-resolved plan — what admission memoizes per
+/// [`Plan`] and work units carry to the workers.
+struct CompiledPlan {
+    stages: Vec<StageOp>,
+    /// The word format/rounding of the plan's row ops (the first
+    /// lookup's).
+    format: QFormat,
+    rounding: Rounding,
+    /// In-domain pad value for tail slots: the first lookup table's
+    /// lower clamp bound (padded lanes can never fault; their outputs
+    /// are never scattered).
+    pad: Fixed,
+    /// Lookup stages per batch — each costs one
+    /// [`VectorUnit::latency_cycles`] charge on success.
+    lookups: u64,
+}
+
+impl CompiledPlan {
+    /// The single-stage fast path: the trivial lookup plan's key+table.
+    fn single_lookup(&self) -> Option<(&TableKey, &Arc<QuantizedPwl>)> {
+        match &self.stages[..] {
+            [StageOp::Lookup { key, table }] => Some((key, table)),
+            _ => None,
+        }
+    }
+}
+
+/// Exact row max-subtract in the raw domain — [`PlanStage::MaxSubtract`]
+/// as executed by both the workers and the sequential reference.
+fn row_max_subtract(row: &mut [Fixed], format: QFormat) {
+    let Some(max) = row.iter().map(|x| x.raw()).max() else {
+        return;
+    };
+    for x in row {
+        *x = Fixed::from_raw_saturating(x.raw() - max, format);
+    }
+}
+
+/// The denominator reduce of [`PlanStage::SumRangeReduce`]:
+/// `Σ max(lane, 0)` split into `m · 2^e` with `m ∈ [scale, 2·scale)`
+/// raw — i.e. `m ∈ [1, 2)`. `None` for an all-zero row (the uniform
+/// fallback). Bit-exact to `ApproxSoftmax::eval`'s steps 3–4.
+fn row_sum_range_reduce(row: &[Fixed], format: QFormat) -> Option<(i64, i32)> {
+    let sum: i64 = row.iter().map(|x| x.raw().max(0)).sum();
+    if sum == 0 {
+        return None;
+    }
+    let scale = format.scale();
+    let mut e: i32 = 0;
+    let mut m_raw = sum;
+    while m_raw >= 2 * scale {
+        m_raw >>= 1;
+        e += 1;
+    }
+    while m_raw < scale {
+        m_raw <<= 1;
+        e -= 1;
+    }
+    Some((m_raw, e))
+}
+
+/// One lane of [`PlanStage::RangeScale`]: latched numerator times the
+/// looked-up `1/m`, shifted by the exact `2^{-(frac + e)}` — bit-exact
+/// to `ApproxSoftmax::eval`'s step 5.
+fn range_scale_lane(num_raw: i64, recip_m: Fixed, e: i32, format: QFormat) -> Fixed {
+    let wide = num_raw.max(0) * recip_m.raw();
+    let shift = i32::from(format.frac_bits()) + e;
+    let raw = if shift >= 0 {
+        wide >> shift
+    } else {
+        wide << (-shift).min(62)
+    };
+    Fixed::from_raw_saturating(raw, format)
+}
+
 /// One coalesced batch inside a work unit: a full (possibly
 /// tail-padded) input grid plus the scatter map for its `len` real
 /// queries.
@@ -673,6 +981,11 @@ struct PackedBatch {
     inputs: FixedBatch,
     /// Real (non-padded) queries in the grid's leading slots.
     len: usize,
+    /// Fused plans only: each packed request's `(start, len)` row
+    /// within the grid — reduce stages operate per row. Empty (and
+    /// allocation-free) for single-lookup plans, whose stages are
+    /// row-agnostic.
+    rows: Vec<(usize, usize)>,
     /// `len` output slots, one per real query, in grid-slot order. The
     /// pointees live in the ticket's `scatter` vector, which admission
     /// reserves to its exact final length before taking this pointer
@@ -687,14 +1000,13 @@ struct PackedBatch {
 unsafe impl Send for PackedBatch {}
 
 /// A fat work unit: a sequence-numbered run of up to
-/// [`MAX_UNIT_BATCHES`] same-activation batches. One ring hop, one
-/// (at most) table switch, and one completion serve the whole run —
-/// that amortization is what makes the pool a wall-clock win for
+/// [`MAX_UNIT_BATCHES`] same-plan batches. One ring hop, one (at most)
+/// table switch per lookup stage, and one completion serve the whole
+/// run — that amortization is what makes the pool a wall-clock win for
 /// batches that cost ~2 model cycles each.
 struct WorkUnit {
     seq: u64,
-    key: TableKey,
-    table: Arc<QuantizedPwl>,
+    plan: Arc<CompiledPlan>,
     batches: Vec<PackedBatch>,
 }
 
@@ -821,9 +1133,11 @@ pub struct ServingEngine {
     /// Resident tables in registration order; index 0 is the default
     /// every worker starts programmed with.
     tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
-    /// v1-shim mode: every activation tag resolves to the sole resident
-    /// table (see the module docs' migration note).
-    legacy_single_table: bool,
+    /// Memoized compiled plans: one table-resolved `Arc` per distinct
+    /// [`Plan`] ever admitted, so re-submitting a plan never re-walks
+    /// the table list and admission can group requests by pointer
+    /// identity.
+    programs: HashMap<Plan, Arc<CompiledPlan>>,
     routers: usize,
     neurons: usize,
     /// Per-shard ring plumbing (round-robin by unit sequence).
@@ -843,6 +1157,9 @@ pub struct ServingEngine {
     spare_inputs: Vec<FixedBatch>,
     /// Recycled `WorkUnit::batches` shells (capacity-keeping).
     spare_units: Vec<Vec<PackedBatch>>,
+    /// Recycled `PackedBatch::rows` maps (capacity-keeping; fused
+    /// plans only — single-lookup batches carry an empty map).
+    spare_rows: Vec<Vec<(usize, usize)>>,
     /// Recycled ticket scatter surfaces (capacity-keeping).
     spare_scatter: Vec<Vec<OutSlot>>,
     /// Input buffers minted because the pool ran dry — grows while the
@@ -902,73 +1219,11 @@ impl ServingEngine {
         EngineBuilder::new(kind)
     }
 
-    /// v1 positional constructor. Runs in legacy single-table mode:
-    /// every request's activation tag resolves to `table`.
-    ///
-    /// # Errors
-    ///
-    /// As [`EngineBuilder::build`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ServingEngine::builder(kind).line(line).cache(&cache).table(key).shards(n).build(); \
-                see the module docs' migration note"
-    )]
-    pub fn new(
-        kind: ApproximatorKind,
-        line: LineConfig,
-        table: Arc<QuantizedPwl>,
-        shards: usize,
-    ) -> Result<Self, NovaError> {
-        // Best-effort key for an anonymous table: the quantization
-        // parameters are read off the table, the activation is unknown —
-        // which is why the shim resolves *every* tag to this table.
-        let key = TableKey {
-            activation: Activation::Gelu,
-            breakpoints: table.segments(),
-            format: table.format(),
-            rounding: table.rounding(),
-        };
-        let config = ServingConfig {
-            kind,
-            line,
-            shards,
-            tables: vec![key],
-        };
-        Self::from_config_parts(config, vec![(key, table)], true, MAX_UNIT_BATCHES)
-    }
-
-    /// v1 positional host constructor.
-    ///
-    /// # Errors
-    ///
-    /// As [`EngineBuilder::build`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ServingEngine::builder(kind).host(tech, config).cache(&cache).table(key).shards(n).build(); \
-                see the module docs' migration note"
-    )]
-    pub fn for_host(
-        kind: ApproximatorKind,
-        tech: &TechModel,
-        config: &AcceleratorConfig,
-        cache: &TableCache,
-        key: TableKey,
-        shards: usize,
-    ) -> Result<Self, NovaError> {
-        Self::builder(kind)
-            .host(tech, config)
-            .cache(cache)
-            .table(key)
-            .shards(shards)
-            .build()
-    }
-
     /// Builds the per-shard units from the default table and spawns the
     /// pool.
     fn from_config_parts(
         config: ServingConfig,
         tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
-        legacy_single_table: bool,
         unit_cap: usize,
     ) -> Result<Self, NovaError> {
         config.validate()?;
@@ -996,7 +1251,7 @@ impl ServingEngine {
                 })?;
             }
         }
-        Self::from_units(config, tables, legacy_single_table, unit_cap, units)
+        Self::from_units(config, tables, unit_cap, units)
     }
 
     /// Spawns the worker pool around pre-built units (also the test seam
@@ -1004,7 +1259,6 @@ impl ServingEngine {
     fn from_units(
         config: ServingConfig,
         tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
-        legacy_single_table: bool,
         unit_cap: usize,
         units: Vec<Box<dyn VectorUnit>>,
     ) -> Result<Self, NovaError> {
@@ -1022,17 +1276,24 @@ impl ServingEngine {
                     // The worker loop: parks (not spins) on an empty
                     // feed ring and exits once the engine closes it and
                     // the ring has drained. Each work unit carries a run
-                    // of same-activation batches: at most one table
-                    // switch, then per-batch evaluate + scatter, then a
-                    // single pre-aggregated completion — so the ring
-                    // traffic is amortized over the whole run. A
-                    // panicking unit is caught and surfaced as a Runtime
-                    // error instead of killing the thread.
+                    // of same-plan batches: at most one table switch per
+                    // lookup stage, then per-batch stage execution +
+                    // scatter, then a single pre-aggregated completion —
+                    // so the ring traffic is amortized over the whole
+                    // run. A panicking unit is caught and surfaced as a
+                    // Runtime error instead of killing the thread.
                     let mut current = Some(initial_key);
-                    // Worker-owned output scratch: results are scattered
-                    // straight to their ticket slots, so no output
-                    // buffer ever rides the rings.
+                    // Worker-owned scratch: `scratch` always holds the
+                    // newest stage output (results are scattered from it
+                    // straight to ticket slots, so no output buffer ever
+                    // rides the rings); `pong` is the ping-pong partner
+                    // for chained lookups; `latch`/`row_exps` carry the
+                    // numerators and per-row exponents between a
+                    // SumRangeReduce and its RangeScale.
                     let mut scratch = FixedBatch::empty();
+                    let mut pong = FixedBatch::empty();
+                    let mut latch: Vec<i64> = Vec::new();
+                    let mut row_exps: Vec<Option<i32>> = Vec::new();
                     'serve: loop {
                         let work = loop {
                             if let Some(u) = feed_rx.try_pop() {
@@ -1062,12 +1323,7 @@ impl ServingEngine {
                             std::thread::park();
                             feed_rx.end_park();
                         };
-                        let WorkUnit {
-                            seq,
-                            key,
-                            table,
-                            batches,
-                        } = work;
+                        let WorkUnit { seq, plan, batches } = work;
                         let started = Instant::now();
                         let mut batches_ok = 0u64;
                         let mut queries_ok = 0u64;
@@ -1079,16 +1335,130 @@ impl ServingEngine {
                         for pb in &batches {
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    if current != Some(key) {
-                                        switch_cycles += unit.switch_table(&table)?;
-                                        table_switches += 1;
-                                        current = Some(key);
+                                    if let Some((key, table)) = plan.single_lookup() {
+                                        // Trivial one-lookup plan: the
+                                        // pre-plan fast path, byte for
+                                        // byte.
+                                        if current != Some(*key) {
+                                            switch_cycles += unit.switch_table(table)?;
+                                            table_switches += 1;
+                                            current = Some(*key);
+                                        }
+                                        return unit.lookup_batch_into(&pb.inputs, &mut scratch);
                                     }
-                                    unit.lookup_batch_into(&pb.inputs, &mut scratch)
+                                    // Fused plan: run the stage sequence,
+                                    // ping-ponging lookups through the
+                                    // two scratch grids and mutating row
+                                    // ops in place. `first` marks that
+                                    // the next stage still reads the
+                                    // packed inputs.
+                                    let mut first = true;
+                                    for op in &plan.stages {
+                                        match op {
+                                            StageOp::Lookup { key, table } => {
+                                                if current != Some(*key) {
+                                                    switch_cycles += unit.switch_table(table)?;
+                                                    table_switches += 1;
+                                                    current = Some(*key);
+                                                }
+                                                if first {
+                                                    unit.lookup_batch_into(
+                                                        &pb.inputs,
+                                                        &mut scratch,
+                                                    )?;
+                                                    first = false;
+                                                } else {
+                                                    unit.lookup_batch_into(&scratch, &mut pong)?;
+                                                    std::mem::swap(&mut scratch, &mut pong);
+                                                }
+                                            }
+                                            StageOp::MaxSubtract => {
+                                                if first {
+                                                    scratch.copy_from(&pb.inputs);
+                                                    first = false;
+                                                }
+                                                let lanes = scratch.as_mut_slice();
+                                                for &(start, len) in &pb.rows {
+                                                    row_max_subtract(
+                                                        &mut lanes[start..start + len],
+                                                        plan.format,
+                                                    );
+                                                }
+                                            }
+                                            StageOp::SumRangeReduce => {
+                                                if first {
+                                                    scratch.copy_from(&pb.inputs);
+                                                    first = false;
+                                                }
+                                                latch.clear();
+                                                latch.extend(
+                                                    scratch.as_slice().iter().map(|x| x.raw()),
+                                                );
+                                                row_exps.clear();
+                                                let lanes = scratch.as_mut_slice();
+                                                for &(start, len) in &pb.rows {
+                                                    let red = row_sum_range_reduce(
+                                                        &lanes[start..start + len],
+                                                        plan.format,
+                                                    );
+                                                    // Zero-sum rows broadcast an
+                                                    // in-domain placeholder; their
+                                                    // RangeScale overwrites every
+                                                    // lane with the uniform
+                                                    // fallback.
+                                                    let m_raw = red
+                                                        .map_or(plan.format.scale(), |(m, _)| m);
+                                                    let m = Fixed::from_raw_saturating(
+                                                        m_raw,
+                                                        plan.format,
+                                                    );
+                                                    lanes[start..start + len].fill(m);
+                                                    row_exps.push(red.map(|(_, e)| e));
+                                                }
+                                            }
+                                            StageOp::RangeScale => {
+                                                if first {
+                                                    scratch.copy_from(&pb.inputs);
+                                                    first = false;
+                                                }
+                                                let lanes = scratch.as_mut_slice();
+                                                for (ri, &(start, len)) in
+                                                    pb.rows.iter().enumerate()
+                                                {
+                                                    match row_exps.get(ri).copied().flatten() {
+                                                        Some(e) => {
+                                                            for k in start..start + len {
+                                                                lanes[k] = range_scale_lane(
+                                                                    latch[k],
+                                                                    lanes[k],
+                                                                    e,
+                                                                    plan.format,
+                                                                );
+                                                            }
+                                                        }
+                                                        None => {
+                                                            // All numerators quantized
+                                                            // to zero: uniform, the same
+                                                            // divider-by-zero guard as
+                                                            // `ApproxSoftmax::eval`.
+                                                            let uniform = Fixed::from_f64(
+                                                                1.0 / len as f64,
+                                                                plan.format,
+                                                                plan.rounding,
+                                                            );
+                                                            lanes[start..start + len]
+                                                                .fill(uniform);
+                                                        }
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                    Ok(())
                                 }));
                             match outcome {
                                 Ok(Ok(())) => {
-                                    latency += unit.latency_cycles();
+                                    latency += plan.lookups * unit.latency_cycles();
                                     batches_ok += 1;
                                     queries_ok += pb.len as u64;
                                     padded += (pb.inputs.capacity() - pb.len) as u64;
@@ -1188,7 +1558,7 @@ impl ServingEngine {
         Ok(Self {
             config,
             tables,
-            legacy_single_table,
+            programs: HashMap::new(),
             routers,
             neurons,
             shards: links,
@@ -1198,6 +1568,7 @@ impl ServingEngine {
             padded_slots: 0,
             spare_inputs: Vec::new(),
             spare_units: Vec::new(),
+            spare_rows: Vec::new(),
             spare_scatter: Vec::new(),
             buffers_created: 0,
             next_seq: 0,
@@ -1236,8 +1607,8 @@ impl ServingEngine {
         &self.tables
     }
 
-    /// The resident table for `key`, honoring legacy single-table
-    /// fallback. `None` when the engine does not serve that activation.
+    /// The resident table for `key`; `None` when the engine does not
+    /// serve that activation.
     #[must_use]
     pub fn table_for(&self, key: TableKey) -> Option<&Arc<QuantizedPwl>> {
         self.resolve(key).ok().map(|i| &self.tables[i].1)
@@ -1378,14 +1749,51 @@ impl ServingEngine {
         if let Some(i) = self.tables.iter().position(|(k, _)| *k == key) {
             return Ok(i);
         }
-        if self.legacy_single_table {
-            return Ok(0);
-        }
         Err(NovaError::Runtime(format!(
             "activation table {:?}/{} breakpoints is not resident in this engine \
-             (resident: {:?}); register it via EngineBuilder::table/tables",
+             (resident: {:?}); register it via EngineBuilder::table/tables/plan",
             key.activation, key.breakpoints, self.config.tables
         )))
+    }
+
+    /// Validates `plan` and resolves its lookups against the resident
+    /// tables, memoizing the result so admission groups repeat plans by
+    /// pointer identity.
+    fn compile_plan(&mut self, plan: &Plan) -> Result<Arc<CompiledPlan>, NovaError> {
+        if let Some(compiled) = self.programs.get(plan) {
+            return Ok(Arc::clone(compiled));
+        }
+        plan.validate()?;
+        let (format, rounding) = plan
+            .word_format()
+            .expect("validated plans have a lookup stage");
+        let mut stages = Vec::with_capacity(plan.stages().len());
+        let mut pad = None;
+        let mut lookups = 0u64;
+        for stage in plan.stages() {
+            stages.push(match *stage {
+                PlanStage::Lookup(key) => {
+                    let table = Arc::clone(&self.tables[self.resolve(key)?].1);
+                    if pad.is_none() {
+                        pad = Some(table.clamp_bounds().0);
+                    }
+                    lookups += 1;
+                    StageOp::Lookup { key, table }
+                }
+                PlanStage::MaxSubtract => StageOp::MaxSubtract,
+                PlanStage::SumRangeReduce => StageOp::SumRangeReduce,
+                PlanStage::RangeScale => StageOp::RangeScale,
+            });
+        }
+        let compiled = Arc::new(CompiledPlan {
+            stages,
+            format,
+            rounding,
+            pad: pad.expect("validated plans have a lookup stage"),
+            lookups,
+        });
+        self.programs.insert(plan.clone(), Arc::clone(&compiled));
+        Ok(compiled)
     }
 
     fn check_poisoned(&self) -> Result<(), NovaError> {
@@ -1480,45 +1888,57 @@ impl ServingEngine {
         let started = Instant::now();
         let capacity = self.capacity();
         let nshards = self.shards.len();
-        // Resolve every tag up front: a slate naming a non-resident
-        // activation is rejected before any buffer or counter moves.
-        let mut table_of = Vec::with_capacity(requests.len());
+        // Compile every plan up front: a slate naming a non-resident
+        // activation, carrying a malformed plan, or reducing over a row
+        // wider than one batch is rejected before any buffer or counter
+        // moves. (Plan compilation mutates only the memo cache, which
+        // is invisible to accounting.)
+        let mut plan_of: Vec<Arc<CompiledPlan>> = Vec::with_capacity(requests.len());
         for request in requests {
-            table_of.push(self.resolve(request.activation)?);
+            let compiled = self.compile_plan(&request.plan)?;
+            if compiled.single_lookup().is_none() && request.inputs.len() > capacity {
+                return Err(NovaError::BatchShape(format!(
+                    "fused-plan request of {} queries exceeds the engine's batch \
+                     capacity {capacity} (routers × neurons): reduce stages span a \
+                     request's whole row, so it must fit one batch",
+                    request.inputs.len(),
+                )));
+            }
+            plan_of.push(compiled);
         }
-        // Group requests into per-table runs, in first-appearance order.
-        let mut group_of_table: Vec<Option<usize>> = vec![None; self.tables.len()];
-        let mut group_tables: Vec<usize> = Vec::new();
+        // Group requests into per-plan runs, in first-appearance order.
+        // Plan memoization makes equal plans pointer-equal, so the
+        // grouping (and therefore the packing, sequence numbering and
+        // checksums) of single-lookup slates is exactly the per-table
+        // grouping of the tagged-request surface.
+        let mut group_of: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut group_plans: Vec<Arc<CompiledPlan>> = Vec::new();
         let mut group_sizes: Vec<usize> = Vec::new();
         for (ri, request) in requests.iter().enumerate() {
-            let ti = table_of[ri];
-            let g = *group_of_table[ti].get_or_insert_with(|| {
-                group_tables.push(ti);
-                group_sizes.push(0);
-                group_tables.len() - 1
-            });
+            let g = match group_plans
+                .iter()
+                .position(|p| Arc::ptr_eq(p, &plan_of[ri]))
+            {
+                Some(g) => g,
+                None => {
+                    group_plans.push(Arc::clone(&plan_of[ri]));
+                    group_sizes.push(0);
+                    group_plans.len() - 1
+                }
+            };
             group_sizes[g] += request.inputs.len();
+            group_of.push(g);
         }
         let total: usize = group_sizes.iter().sum();
-        let group_meta: Vec<(TableKey, Arc<QuantizedPwl>, Fixed)> = group_tables
-            .iter()
-            .map(|&ti| {
-                let (key, table) = &self.tables[ti];
-                (*key, Arc::clone(table), table.clamp_bounds().0)
-            })
-            .collect();
         // Pre-size every output row to its final length (the fill value
-        // is the row's table pad, overwritten wherever evaluation
-        // succeeds): workers scatter result words straight into these
-        // rows, so a row must never grow — or move its heap — while the
-        // ticket is in flight.
+        // is the plan's pad, overwritten wherever evaluation succeeds):
+        // workers scatter result words straight into these rows, so a
+        // row must never grow — or move its heap — while the ticket is
+        // in flight.
         let mut outputs: Vec<Vec<Fixed>> = requests
             .iter()
             .enumerate()
-            .map(|(ri, r)| {
-                let g = group_of_table[table_of[ri]].expect("request's table was grouped");
-                vec![group_meta[g].2; r.inputs.len()]
-            })
+            .map(|(ri, r)| vec![group_plans[group_of[ri]].pad; r.inputs.len()])
             .collect();
         // The scatter surface: reserved to its exact final length up
         // front, so the base pointer below stays valid for every
@@ -1530,19 +1950,43 @@ impl ServingEngine {
         let base_seq = self.next_seq;
         let mut jobs = 0usize;
         // Pack each run into batches and seal runs of up to K batches
-        // into work units. The pad value is in-domain for the run's
-        // table by construction (the lower clamp bound), so padded lanes
-        // can never fault; their outputs are simply never scattered
-        // anywhere. Input buffers and unit shells come from the
-        // recycling pools: once the pipeline has warmed up, admission
-        // performs no per-batch heap allocation.
-        for (g, &ti) in group_tables.iter().enumerate() {
-            let (key, table, pad) = &group_meta[g];
+        // into work units. The pad value is in-domain for the plan's
+        // first lookup table by construction (the lower clamp bound),
+        // so padded lanes can never fault; their outputs are simply
+        // never scattered anywhere. Single-lookup runs pack
+        // query-continuously (requests split across batches freely);
+        // fused runs pack row-aligned — a request's row never splits,
+        // because the reduce stages span it. Input buffers, row maps
+        // and unit shells come from the recycling pools: once the
+        // pipeline has warmed up, admission performs no per-batch heap
+        // allocation.
+        for g in 0..group_plans.len() {
+            let plan = Arc::clone(&group_plans[g]);
             let run_queries = group_sizes[g];
             if run_queries == 0 {
                 continue;
             }
-            let run_batches = run_queries.div_ceil(capacity);
+            let fused = plan.single_lookup().is_none();
+            let pad = plan.pad;
+            let run_batches = if fused {
+                // Row-aligned dry run: count the batches the packing
+                // below will produce, for the adaptive K only.
+                let mut batches = 0usize;
+                let mut fill = 0usize;
+                for (ri, request) in requests.iter().enumerate() {
+                    if group_of[ri] != g || request.inputs.is_empty() {
+                        continue;
+                    }
+                    if fill + request.inputs.len() > capacity {
+                        batches += 1;
+                        fill = 0;
+                    }
+                    fill += request.inputs.len();
+                }
+                batches + usize::from(fill > 0)
+            } else {
+                run_queries.div_ceil(capacity)
+            };
             // Adaptive K: a run deep enough to keep every shard at least
             // two units busy fattens its units (amortizing ring hops and
             // bookkeeping), a shallow one stays at one batch per unit so
@@ -1551,12 +1995,57 @@ impl ServingEngine {
                 .div_ceil(2 * nshards.max(1))
                 .clamp(1, self.unit_cap);
             let mut unit_batches = self.spare_units.pop().unwrap_or_default();
-            let mut inputs = self.checkout_inputs(*pad);
+            let mut inputs = self.checkout_inputs(pad);
+            let mut rows = if fused {
+                self.checkout_rows()
+            } else {
+                Vec::new()
+            };
             let mut batch_len = 0usize;
             let mut batch_start = scatter.len();
             let mut packed = 0usize;
             for (ri, request) in requests.iter().enumerate() {
-                if table_of[ri] != ti {
+                if group_of[ri] != g {
+                    continue;
+                }
+                if fused {
+                    if request.inputs.is_empty() {
+                        continue;
+                    }
+                    if batch_len + request.inputs.len() > capacity {
+                        // Seal the row-aligned batch: pad its tail
+                        // in-domain. (A follow-up row is guaranteed, so
+                        // the fresh checkouts below are always used.)
+                        inputs.as_mut_slice()[batch_len..].fill(pad);
+                        unit_batches.push(PackedBatch {
+                            inputs: std::mem::replace(&mut inputs, FixedBatch::empty()),
+                            len: batch_len,
+                            rows: std::mem::take(&mut rows),
+                            dst: scatter_base.wrapping_add(batch_start),
+                        });
+                        packed += 1;
+                        batch_len = 0;
+                        batch_start = scatter.len();
+                        if unit_batches.len() == k {
+                            self.pending.push_back(WorkUnit {
+                                seq: self.next_seq,
+                                plan: Arc::clone(&plan),
+                                batches: std::mem::take(&mut unit_batches),
+                            });
+                            self.next_seq += 1;
+                            jobs += 1;
+                            unit_batches = self.spare_units.pop().unwrap_or_default();
+                        }
+                        inputs = self.checkout_inputs(pad);
+                        rows = self.checkout_rows();
+                    }
+                    let row = &mut outputs[ri];
+                    rows.push((batch_len, request.inputs.len()));
+                    for (qi, &x) in request.inputs.iter().enumerate() {
+                        inputs.as_mut_slice()[batch_len] = x;
+                        scatter.push(OutSlot(&mut row[qi]));
+                        batch_len += 1;
+                    }
                     continue;
                 }
                 let row = &mut outputs[ri];
@@ -1568,6 +2057,7 @@ impl ServingEngine {
                         unit_batches.push(PackedBatch {
                             inputs: std::mem::replace(&mut inputs, FixedBatch::empty()),
                             len: batch_len,
+                            rows: Vec::new(),
                             dst: scatter_base.wrapping_add(batch_start),
                         });
                         packed += 1;
@@ -1576,8 +2066,7 @@ impl ServingEngine {
                         if unit_batches.len() == k {
                             self.pending.push_back(WorkUnit {
                                 seq: self.next_seq,
-                                key: *key,
-                                table: Arc::clone(table),
+                                plan: Arc::clone(&plan),
                                 batches: std::mem::take(&mut unit_batches),
                             });
                             self.next_seq += 1;
@@ -1587,17 +2076,18 @@ impl ServingEngine {
                             }
                         }
                         if packed < run_batches {
-                            inputs = self.checkout_inputs(*pad);
+                            inputs = self.checkout_inputs(pad);
                         }
                     }
                 }
             }
             if batch_len > 0 {
                 // The run's ragged tail: pad the unused slots in-domain.
-                inputs.as_mut_slice()[batch_len..].fill(*pad);
+                inputs.as_mut_slice()[batch_len..].fill(pad);
                 unit_batches.push(PackedBatch {
                     inputs,
                     len: batch_len,
+                    rows,
                     dst: scatter_base.wrapping_add(batch_start),
                 });
             }
@@ -1608,8 +2098,7 @@ impl ServingEngine {
             } else {
                 self.pending.push_back(WorkUnit {
                     seq: self.next_seq,
-                    key: *key,
-                    table: Arc::clone(table),
+                    plan,
                     batches: unit_batches,
                 });
                 self.next_seq += 1;
@@ -1658,6 +2147,13 @@ impl ServingEngine {
             inputs.reset(self.routers, self.neurons, pad);
         }
         inputs
+    }
+
+    /// Pops a recycled row map for a fused batch (minting one if the
+    /// pool is dry). Row maps are tiny, but recycling them keeps the
+    /// fused steady state allocation-free like the single-lookup path.
+    fn checkout_rows(&mut self) -> Vec<(usize, usize)> {
+        self.spare_rows.pop().unwrap_or_default()
     }
 
     /// Blocks until `ticket` finishes and returns its result — the
@@ -1811,6 +2307,11 @@ impl ServingEngine {
         let mut shell = recycled;
         for pb in shell.drain(..) {
             self.spare_inputs.push(pb.inputs);
+            let mut rows = pb.rows;
+            if rows.capacity() > 0 {
+                rows.clear();
+                self.spare_rows.push(rows);
+            }
         }
         self.spare_units.push(shell);
         let idx = self
@@ -1917,32 +2418,72 @@ impl ServingEngine {
         verdict
     }
 
-    /// The sequential reference path: evaluates each request through its
-    /// activation's resident table alone (via the buffer-reusing
-    /// [`QuantizedPwl::eval_into`]), with no batching, threading or
-    /// switch accounting. [`serve`](Self::serve) must be bit-identical
-    /// to this for any worker count and any activation interleaving —
-    /// the determinism tests and the CI checksum smoke assert exactly
-    /// that.
+    /// The sequential reference path: a plain op-graph interpreter that
+    /// walks each request's [`Plan`] stage by stage — table lookups via
+    /// the resident [`QuantizedPwl`] tables (the buffer-reusing
+    /// [`QuantizedPwl::eval_into`]), reduce stages via the exact same
+    /// raw-domain helpers the workers run — with no batching, threading
+    /// or switch accounting. [`serve`](Self::serve) must be
+    /// bit-identical to this for any worker count, any activation
+    /// interleaving and any plan shape — the determinism tests and the
+    /// CI checksum smokes (flat and fused) assert exactly that.
     ///
     /// Does not touch the worker pool or any counter.
     ///
     /// # Panics
     ///
-    /// Panics if a request names a non-resident activation or an input
-    /// word is not in its table's format (the same wiring-bug conditions
-    /// `serve` reports as errors).
+    /// Panics if a request carries a malformed plan, names a
+    /// non-resident activation, or an input word is not in its table's
+    /// format (the same wiring-bug conditions `serve` reports as
+    /// errors).
     #[must_use]
     pub fn serve_reference(&self, requests: &[ServingRequest]) -> Vec<Vec<Fixed>> {
         requests
             .iter()
             .map(|request| {
-                let ti = self
-                    .resolve(request.activation)
-                    .expect("activation table resident");
-                let mut out = Vec::with_capacity(request.inputs.len());
-                self.tables[ti].1.eval_into(&request.inputs, &mut out);
-                out
+                request.plan.validate().expect("plan well-formed");
+                let (format, rounding) =
+                    request.plan.word_format().expect("validated plans look up");
+                let mut cur = request.inputs.clone();
+                let mut scratch = Vec::with_capacity(cur.len());
+                // Reduce-stage carry: per-lane numerators latched at the
+                // denominator reduction, and the range exponent (`None`
+                // marks the all-zero row that falls back to uniform).
+                let mut latch: Vec<i64> = Vec::new();
+                let mut row_exp: Option<i32> = None;
+                for stage in request.plan.stages() {
+                    match stage {
+                        PlanStage::Lookup(key) => {
+                            let ti = self.resolve(*key).expect("plan table resident");
+                            self.tables[ti].1.eval_into(&cur, &mut scratch);
+                            std::mem::swap(&mut cur, &mut scratch);
+                        }
+                        PlanStage::MaxSubtract => row_max_subtract(&mut cur, format),
+                        PlanStage::SumRangeReduce => {
+                            latch.clear();
+                            latch.extend(cur.iter().map(|x| x.raw()));
+                            let red = row_sum_range_reduce(&cur, format);
+                            let m_raw = red.map_or(format.scale(), |(m, _)| m);
+                            let m = Fixed::from_raw_saturating(m_raw, format);
+                            cur.iter_mut().for_each(|x| *x = m);
+                            row_exp = red.map(|(_, e)| e);
+                        }
+                        PlanStage::RangeScale => match row_exp {
+                            Some(e) => {
+                                for (k, x) in cur.iter_mut().enumerate() {
+                                    *x = range_scale_lane(latch[k], *x, e, format);
+                                }
+                            }
+                            None if cur.is_empty() => {}
+                            None => {
+                                let n = cur.len();
+                                let uniform = Fixed::from_f64(1.0 / n as f64, format, rounding);
+                                cur.iter_mut().for_each(|x| *x = uniform);
+                            }
+                        },
+                    }
+                }
+                cur
             })
             .collect()
     }
@@ -2008,7 +2549,7 @@ mod tests {
         (0..streams)
             .map(|stream| ServingRequest {
                 stream,
-                activation: gelu_key(),
+                plan: gelu_key().into(),
                 inputs: (0..queries_per_stream)
                     .map(|_| fixed(rng.gen_range(-6.0..6.0)))
                     .collect(),
@@ -2023,10 +2564,10 @@ mod tests {
         (0..streams)
             .map(|stream| ServingRequest {
                 stream,
-                activation: if stream % 2 == 0 {
-                    gelu_key()
+                plan: if stream % 2 == 0 {
+                    gelu_key().into()
                 } else {
-                    exp_key()
+                    exp_key().into()
                 },
                 inputs: (0..queries_per_stream)
                     .map(|_| fixed(rng.gen_range(-6.0..6.0)))
@@ -2230,39 +2771,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn v1_constructor_shims_still_serve() {
-        // The migration contract: the positional constructors keep
-        // working for one release. `new` runs in legacy single-table
-        // mode, so any activation tag resolves to the provided table.
+    fn tagged_requests_migrate_to_one_stage_plans() {
+        // The migration contract: a bare `TableKey` converts into the
+        // trivial one-stage plan, so PR-5-era tagged callers move
+        // mechanically (`key` → `key.into()`) and serve bit-identically
+        // to an explicit `Plan::lookup`.
         let cache = TableCache::new();
         let table = cache.get_or_fit(gelu_key()).unwrap();
-        let mut eng = ServingEngine::new(
-            ApproximatorKind::PerCoreLut,
-            LineConfig::paper_default(2, 4),
-            Arc::clone(&table),
-            1,
-        )
-        .unwrap();
+        let mut eng = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+            .line(LineConfig::paper_default(2, 4))
+            .cache(&cache)
+            .table(gelu_key())
+            .build()
+            .unwrap();
         let x = fixed(0.5);
-        let reqs = vec![ServingRequest::new(0, exp_key(), vec![x; 3])];
-        let outputs = eng.serve(&reqs).unwrap();
-        assert_eq!(outputs[0][0], table.eval(x), "legacy tag falls back");
+        let tagged = vec![ServingRequest::new(0, gelu_key(), vec![x; 3])];
+        let explicit = vec![ServingRequest::new(0, Plan::lookup(gelu_key()), vec![x; 3])];
+        assert_eq!(tagged[0].plan, explicit[0].plan);
+        assert_eq!(tagged[0].plan.single_lookup(), Some(gelu_key()));
+        let outputs = eng.serve(&tagged).unwrap();
+        assert_eq!(outputs, eng.serve(&explicit).unwrap());
+        assert_eq!(outputs[0][0], table.eval(x));
         assert_eq!(eng.stats().table_switches, 0, "one table, no switches");
-        assert!(eng.table_for(exp_key()).is_some(), "legacy fallback");
-
-        let tech = TechModel::cmos22();
-        let host = AcceleratorConfig::tpu_v4_like();
-        let eng2 = ServingEngine::for_host(
-            ApproximatorKind::NovaNoc,
-            &tech,
-            &host,
-            &cache,
-            gelu_key(),
-            1,
-        )
-        .unwrap();
-        assert_eq!(eng2.capacity(), host.total_neurons());
     }
 
     #[test]
@@ -2514,7 +3044,7 @@ mod tests {
             (0..5)
                 .map(|stream| ServingRequest {
                     stream,
-                    activation: exp_key(),
+                    plan: exp_key().into(),
                     inputs: (0..29).map(|_| fixed(rng.gen_range(-6.0..6.0))).collect(),
                 })
                 .collect::<Vec<_>>()
@@ -2611,7 +3141,7 @@ mod tests {
             let mut bad = good.clone();
             bad.push(ServingRequest {
                 stream: 9,
-                activation: gelu_key(),
+                plan: gelu_key().into(),
                 inputs: vec![Fixed::from_f64(0.5, Q8_8, Rounding::NearestEven)],
             });
             assert!(eng.serve(&bad).is_err());
@@ -2752,8 +3282,7 @@ mod tests {
         let units: Vec<Box<dyn VectorUnit>> =
             vec![Box::new(PanickingUnit), Box::new(PanickingUnit)];
         let mut eng =
-            ServingEngine::from_units(config, vec![(key, table)], false, MAX_UNIT_BATCHES, units)
-                .unwrap();
+            ServingEngine::from_units(config, vec![(key, table)], MAX_UNIT_BATCHES, units).unwrap();
         let err = eng.serve(&requests(2, 10, 30)).unwrap_err();
         assert!(
             matches!(&err, NovaError::Runtime(msg) if msg.contains("panicked")),
@@ -2785,5 +3314,237 @@ mod tests {
         let outputs = eng.serve(&[]).unwrap();
         assert!(outputs.is_empty());
         assert_eq!(eng.stats().batches, 0);
+    }
+
+    fn softmax_plan() -> Plan {
+        Plan::fused_softmax(Q4_12, Rounding::NearestEven)
+    }
+
+    /// Ragged attention-style slate: one fused-softmax row per request,
+    /// each with its own width.
+    fn fused_requests(widths: &[usize], seed: u64) -> Vec<ServingRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        widths
+            .iter()
+            .enumerate()
+            .map(|(stream, &w)| {
+                ServingRequest::new(
+                    stream,
+                    softmax_plan(),
+                    (0..w).map(|_| fixed(rng.gen_range(-4.0..4.0))).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_softmax_bit_identical_across_kinds_and_workers() {
+        // The tentpole acceptance gate in miniature: a fused
+        // exp → reduce → recip → scale plan served through the pool is
+        // bit-identical to the sequential op-graph interpreter for every
+        // approximator kind × worker count, rows stay whole across
+        // batches, empty rows ride along, and the fused steady state
+        // mints no buffers.
+        let cache = TableCache::new();
+        let plan = softmax_plan();
+        // Capacity is 8 (2×4): widths share batches, fill one exactly,
+        // and include an empty row.
+        let widths = [7usize, 3, 8, 1, 0, 5, 8, 2, 6, 4];
+        let reqs = fused_requests(&widths, 0xF05);
+        for kind in ApproximatorKind::all() {
+            for workers in [1usize, 2, 4] {
+                let mut eng = ServingEngine::builder(kind)
+                    .line(LineConfig::paper_default(2, 4))
+                    .cache(&cache)
+                    .plan(&plan)
+                    .shards(workers)
+                    .build()
+                    .unwrap();
+                let label = format!("{} w={workers}", kind.label());
+                let reference = eng.serve_reference(&reqs);
+                assert_eq!(eng.serve(&reqs).unwrap(), reference, "{label}");
+                let minted = eng.buffers_created();
+                assert_eq!(eng.serve(&reqs).unwrap(), reference, "{label}");
+                assert_eq!(
+                    eng.buffers_created(),
+                    minted,
+                    "fused steady state minted buffers: {label}"
+                );
+                // Sanity beyond bit-identity: every non-empty row is a
+                // probability vector (within PWL + fixed-point noise).
+                for (out, &w) in reference.iter().zip(&widths) {
+                    assert_eq!(out.len(), w, "{label}");
+                    if w == 0 {
+                        continue;
+                    }
+                    let sum: f64 = out.iter().map(|x| x.to_f64()).sum();
+                    assert!(
+                        (sum - 1.0).abs() < 0.1,
+                        "{label}: width-{w} row sums to {sum}"
+                    );
+                    assert!(out.iter().all(|x| x.to_f64() >= 0.0), "{label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_single_and_fused_slates_serve_together() {
+        // Plans group independently in arrival order: a slate mixing
+        // plain GELU lookups with fused softmax rows serves
+        // bit-identically to the reference, on one worker and several.
+        let cache = TableCache::new();
+        let plan = softmax_plan();
+        let mut rng = StdRng::seed_from_u64(0x50F7);
+        let mut reqs = Vec::new();
+        for stream in 0..6 {
+            if stream % 2 == 0 {
+                reqs.push(ServingRequest::new(
+                    stream,
+                    gelu_key(),
+                    (0..13).map(|_| fixed(rng.gen_range(-6.0..6.0))).collect(),
+                ));
+            } else {
+                reqs.push(ServingRequest::new(
+                    stream,
+                    plan.clone(),
+                    (0..5).map(|_| fixed(rng.gen_range(-4.0..4.0))).collect(),
+                ));
+            }
+        }
+        for workers in [1usize, 3] {
+            let mut eng = ServingEngine::builder(ApproximatorKind::NovaNoc)
+                .line(LineConfig::paper_default(2, 4))
+                .cache(&cache)
+                .table(gelu_key())
+                .plan(&plan)
+                .shards(workers)
+                .build()
+                .unwrap();
+            let reference = eng.serve_reference(&reqs);
+            assert_eq!(eng.serve(&reqs).unwrap(), reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn fused_plan_switch_ledger_nova_free_baselines_paying() {
+        // The headline economics: every fused batch re-programs the unit
+        // twice (exp, then recip) except the boot batch whose exp table
+        // is already loaded — free on the NOVA NoC, strictly positive
+        // stall cycles on the LUT banks and the SDP.
+        let cache = TableCache::new();
+        let plan = softmax_plan();
+        let reqs = fused_requests(&[7, 5, 8, 3, 6, 2], 0xAB);
+        let mut stalls = Vec::new();
+        for kind in ApproximatorKind::all() {
+            let mut eng = ServingEngine::builder(kind)
+                .line(LineConfig::paper_default(2, 4))
+                .cache(&cache)
+                .plan(&plan)
+                .build()
+                .unwrap();
+            eng.serve(&reqs).unwrap();
+            let stats = eng.stats();
+            assert!(stats.batches > 1, "{}", kind.label());
+            assert_eq!(
+                stats.table_switches,
+                2 * stats.batches - 1,
+                "{}: two lookups per batch, boot table preloaded",
+                kind.label()
+            );
+            stalls.push((kind, stats.switch_cycles));
+        }
+        for (kind, cycles) in stalls {
+            if kind == ApproximatorKind::NovaNoc {
+                assert_eq!(cycles, 0, "NOVA switches are free");
+            } else {
+                assert!(cycles > 0, "{} switches must stall", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_plans_and_oversized_fused_rows_rejected_up_front() {
+        use nova_fixed::Q8_8;
+        let cache = TableCache::new();
+        let plan = softmax_plan();
+        let mut eng = ServingEngine::builder(ApproximatorKind::NovaNoc)
+            .line(LineConfig::paper_default(2, 4))
+            .cache(&cache)
+            .plan(&plan)
+            .build()
+            .unwrap();
+        // A fused row wider than the batch capacity cannot reduce
+        // in-engine: rejected before anything is dispatched.
+        let wide = vec![ServingRequest::new(
+            0,
+            plan.clone(),
+            vec![fixed(0.1); eng.capacity() + 1],
+        )];
+        assert!(matches!(eng.serve(&wide), Err(NovaError::BatchShape(_))));
+        // Malformed plans fail validation and admission alike: empty,
+        // lookup-free, scale before any reduction, mixed word formats.
+        let mismatched = TableKey {
+            format: Q8_8,
+            ..gelu_key()
+        };
+        for bad in [
+            Plan::new([]),
+            Plan::new([PlanStage::MaxSubtract]),
+            Plan::new([PlanStage::RangeScale, PlanStage::Lookup(gelu_key())]),
+            Plan::new([PlanStage::Lookup(gelu_key()), PlanStage::Lookup(mismatched)]),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+            let reqs = vec![ServingRequest::new(0, bad.clone(), vec![fixed(0.0)])];
+            assert!(
+                matches!(eng.serve(&reqs), Err(NovaError::BatchShape(_))),
+                "{bad:?}"
+            );
+        }
+        // The engine still serves after every rejection.
+        assert!(eng.serve(&fused_requests(&[3], 1)).is_ok());
+        assert_eq!(eng.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_denominator_rows_fall_back_to_uniform() {
+        // A custom plan whose numerators can all quantize to zero (GELU
+        // of strongly negative inputs) exercises the uniform fallback —
+        // identically on the pool and the reference interpreter.
+        let cache = TableCache::new();
+        let recip = TableKey {
+            activation: Activation::Recip,
+            ..gelu_key()
+        };
+        let plan = Plan::new([
+            PlanStage::Lookup(gelu_key()),
+            PlanStage::SumRangeReduce,
+            PlanStage::Lookup(recip),
+            PlanStage::RangeScale,
+        ]);
+        assert!(plan.validate().is_ok());
+        let mut eng = ServingEngine::builder(ApproximatorKind::NovaNoc)
+            .line(LineConfig::paper_default(2, 4))
+            .cache(&cache)
+            .plan(&plan)
+            .build()
+            .unwrap();
+        // Precondition: the compiled GELU table maps -6.0 to a
+        // non-positive word, so the denominator really is zero.
+        let gelu_table = eng.table_for(gelu_key()).expect("resident");
+        assert!(gelu_table.eval(fixed(-6.0)).raw() <= 0, "precondition");
+        let reqs = vec![
+            ServingRequest::new(0, plan.clone(), vec![fixed(-6.0); 4]),
+            ServingRequest::new(1, plan.clone(), vec![fixed(1.0); 3]),
+        ];
+        let reference = eng.serve_reference(&reqs);
+        let outputs = eng.serve(&reqs).unwrap();
+        assert_eq!(outputs, reference);
+        let quarter = Fixed::from_f64(0.25, Q4_12, Rounding::NearestEven);
+        assert!(
+            outputs[0].iter().all(|&x| x == quarter),
+            "zero-sum row must be uniform: {:?}",
+            outputs[0]
+        );
     }
 }

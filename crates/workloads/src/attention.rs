@@ -94,6 +94,54 @@ impl NonLinearBackend for PwlBackend {
     }
 }
 
+/// A row-softmax evaluator living outside this crate — e.g. a serving
+/// engine executing the fused softmax op-graph plan
+/// (exp → row reduce → reciprocal → scale) on approximator hardware.
+/// This crate cannot depend on the engine (the dependency runs the
+/// other way), so the engine plugs in through this object instead.
+pub trait SoftmaxOffload {
+    /// Evaluates softmax over one attention score row.
+    fn softmax_row(&self, row: &[f64]) -> Vec<f64>;
+    /// Label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// A [`PwlBackend`] whose softmax rows are offloaded to an external
+/// evaluator (GELU and LayerNorm stay on the local PWL datapath) — the
+/// backend that routes an encoder layer's attention scoring through a
+/// serving engine as fused op-graph plans.
+pub struct OffloadSoftmaxBackend<'a> {
+    inner: PwlBackend,
+    offload: &'a dyn SoftmaxOffload,
+}
+
+impl PwlBackend {
+    /// Routes this backend's softmax through `offload`, keeping the
+    /// local PWL GELU and LayerNorm datapaths.
+    #[must_use]
+    pub fn with_softmax_offload(self, offload: &dyn SoftmaxOffload) -> OffloadSoftmaxBackend<'_> {
+        OffloadSoftmaxBackend {
+            inner: self,
+            offload,
+        }
+    }
+}
+
+impl NonLinearBackend for OffloadSoftmaxBackend<'_> {
+    fn softmax(&self, row: &[f64]) -> Vec<f64> {
+        self.offload.softmax_row(row)
+    }
+    fn gelu(&self, x: f64) -> f64 {
+        self.inner.gelu(x)
+    }
+    fn layernorm(&self, row: &[f64]) -> Vec<f64> {
+        self.inner.layernorm(row)
+    }
+    fn name(&self) -> &'static str {
+        self.offload.label()
+    }
+}
+
 /// A small dense matrix, row-major.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {

@@ -63,6 +63,40 @@ impl TrafficClass {
     }
 }
 
+/// The non-linear operation class a tenant's queries request: a plain
+/// single-table lookup, or the fused softmax op-graph pipeline
+/// (exp → row reduce → reciprocal → scale) a plan-aware serving engine
+/// executes end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficOp {
+    /// A single-table lookup run against one activation.
+    Lookup(Activation),
+    /// The fused softmax pipeline (served as one op-graph plan).
+    FusedSoftmax,
+}
+
+impl TrafficOp {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficOp::Lookup(a) => a.name(),
+            TrafficOp::FusedSoftmax => "fused-softmax",
+        }
+    }
+
+    /// The activation table the op's *first* lookup stage hits — the
+    /// table tag legacy single-table consumers see. The fused pipeline
+    /// opens with its softmax-exp lookup.
+    #[must_use]
+    pub fn table_activation(self) -> Activation {
+        match self {
+            TrafficOp::Lookup(a) => a,
+            TrafficOp::FusedSoftmax => Activation::Exp,
+        }
+    }
+}
+
 /// One inference request on one stream of the generated trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrafficRequest {
@@ -78,9 +112,13 @@ pub struct TrafficRequest {
     pub class: TrafficClass,
     /// Model name (for display).
     pub model: String,
-    /// Which activation table this tenant's non-linear queries hit —
-    /// assigned per stream from [`TrafficMix::activations`], so a
-    /// multi-table serving engine sees a deterministic tenancy mix.
+    /// The non-linear op class this tenant's queries request — assigned
+    /// per stream from [`TrafficMix::ops`], so a plan-aware serving
+    /// engine sees a deterministic tenancy mix.
+    pub op: TrafficOp,
+    /// Which activation table this tenant's queries hit first — derived
+    /// from [`op`](Self::op) ([`TrafficOp::table_activation`]), kept for
+    /// single-table consumers like `census_slate`.
     pub activation: Activation,
     /// The request's operation census.
     pub census: OpCensus,
@@ -99,11 +137,14 @@ pub struct TrafficMix {
     /// the open-loop offered-load knob (smaller gap = higher load).
     /// 0 means closed-loop: the whole slate arrives at cycle 0.
     pub mean_interarrival_cycles: u64,
-    /// Activation tables the tenants hit, assigned round-robin per
-    /// stream (`stream % activations.len()`): a single-entry palette is
-    /// the classic one-table mix, `[Gelu, Exp]` models GELU tenants
-    /// interleaved with softmax-exp tenants. Must be non-empty.
-    pub activations: &'static [Activation],
+    /// Non-linear ops the tenants request, assigned round-robin per
+    /// stream (`stream % ops.len()`): a single-entry palette is the
+    /// classic one-table mix, `[Lookup(Gelu), Lookup(Exp)]` models GELU
+    /// tenants interleaved with softmax-exp tenants, and
+    /// [`TrafficOp::FusedSoftmax`] entries emit pipeline tenants whose
+    /// attention rows a plan-aware engine serves as fused op-graph
+    /// plans. Must be non-empty.
+    pub ops: &'static [TrafficOp],
     /// Trace seed: same seed, same trace.
     pub seed: u64,
 }
@@ -119,7 +160,7 @@ impl TrafficMix {
             requests_per_stream: 4,
             bert_seq_len: 64,
             mean_interarrival_cycles: 0,
-            activations: &[Activation::Gelu],
+            ops: &[TrafficOp::Lookup(Activation::Gelu)],
             seed: 0x5EED,
         }
     }
@@ -142,7 +183,23 @@ impl TrafficMix {
     #[must_use]
     pub fn mixed_activations(streams: usize) -> Self {
         Self {
-            activations: &[Activation::Gelu, Activation::Exp],
+            ops: &[
+                TrafficOp::Lookup(Activation::Gelu),
+                TrafficOp::Lookup(Activation::Exp),
+            ],
+            ..Self::paper_default(streams)
+        }
+    }
+
+    /// A fused-attention tenancy mix: even streams are GELU lookup
+    /// tenants, odd streams request the fused softmax pipeline — the
+    /// trace the op-graph bench serves, where every fused batch
+    /// re-programs the unit between the exp and reciprocal tables
+    /// (free on NOVA, a bank rewrite on LUT/SDP).
+    #[must_use]
+    pub fn fused_attention(streams: usize) -> Self {
+        Self {
+            ops: &[TrafficOp::Lookup(Activation::Gelu), TrafficOp::FusedSoftmax],
             ..Self::paper_default(streams)
         }
     }
@@ -165,6 +222,32 @@ impl TrafficMix {
             .collect()
     }
 
+    /// The trace's fused-softmax row widths, in arrival order: every
+    /// [`TrafficOp::FusedSoftmax`] tenant request contributes its
+    /// census's softmax rows (each `softmax_elements / softmax_rows`
+    /// lanes wide — the attention row an op-graph plan reduces over).
+    /// The slate `engine::evaluate_fused_softmax` consumes; empty when
+    /// the palette has no fused tenants.
+    ///
+    /// # Panics
+    ///
+    /// As [`generate`](Self::generate).
+    #[must_use]
+    pub fn fused_rows_slate(&self) -> Vec<u64> {
+        let mut rows = Vec::new();
+        for r in self.generate() {
+            if r.op != TrafficOp::FusedSoftmax || r.census.softmax_rows == 0 {
+                continue;
+            }
+            let width = r.census.softmax_elements / r.census.softmax_rows;
+            if width == 0 {
+                continue;
+            }
+            rows.extend(std::iter::repeat_n(width, r.census.softmax_rows as usize));
+        }
+        rows
+    }
+
     /// Generates the trace: `streams × requests_per_stream` requests in a
     /// seeded global arrival order that preserves each stream's FIFO
     /// order.
@@ -180,10 +263,7 @@ impl TrafficMix {
             "traffic needs at least one stream and one request"
         );
         assert!(self.bert_seq_len > 0, "sequence length must be positive");
-        assert!(
-            !self.activations.is_empty(),
-            "traffic needs at least one activation table"
-        );
+        assert!(!self.ops.is_empty(), "traffic needs at least one op class");
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Per-stream FIFO queues of (class, model, census).
@@ -230,16 +310,18 @@ impl TrafficMix {
             if arrival > 0 && self.mean_interarrival_cycles > 0 {
                 clock += gap_rng.gen_range(0..2 * self.mean_interarrival_cycles + 1);
             }
+            // Per-stream assignment: a tenant's queries always request
+            // the same op, and the load knob / seed never change who
+            // requests what.
+            let op = self.ops[stream % self.ops.len()];
             trace.push(TrafficRequest {
                 stream,
                 arrival,
                 arrival_cycle: clock,
                 class,
                 model,
-                // Per-stream assignment: a tenant's queries always hit
-                // the same table, and the load knob / seed never change
-                // who hits what.
-                activation: self.activations[stream % self.activations.len()],
+                op,
+                activation: op.table_activation(),
                 census,
             });
         }
@@ -355,7 +437,7 @@ mod tests {
             requests_per_stream: 5,
             bert_seq_len: 32,
             mean_interarrival_cycles: 0,
-            activations: &[Activation::Gelu],
+            ops: &[TrafficOp::Lookup(Activation::Gelu)],
             seed: 11,
         };
         let trace = mix.generate();
@@ -384,7 +466,7 @@ mod tests {
             requests_per_stream: 6,
             bert_seq_len: 32,
             mean_interarrival_cycles: 0,
-            activations: &[Activation::Gelu],
+            ops: &[TrafficOp::Lookup(Activation::Gelu)],
             seed: 3,
         }
         .generate();
@@ -514,5 +596,50 @@ mod tests {
                 (b.stream, b.arrival, &b.census)
             );
         }
+    }
+
+    #[test]
+    fn fused_attention_mix_tags_odd_streams_as_pipeline_tenants() {
+        let mix = TrafficMix::fused_attention(6);
+        let trace = mix.generate();
+        for r in &trace {
+            let expect = if r.stream % 2 == 0 {
+                TrafficOp::Lookup(Activation::Gelu)
+            } else {
+                TrafficOp::FusedSoftmax
+            };
+            assert_eq!(r.op, expect, "stream {}", r.stream);
+            // The derived table tag points at the fused plan's opening
+            // exp lookup for pipeline tenants.
+            assert_eq!(r.activation, r.op.table_activation());
+        }
+        assert!(trace.iter().any(|r| r.op == TrafficOp::FusedSoftmax));
+        // The op palette changes neither the workload draw nor the
+        // merge order.
+        let plain = TrafficMix::paper_default(6).generate();
+        for (a, b) in trace.iter().zip(&plain) {
+            assert_eq!(
+                (a.stream, a.arrival, &a.census),
+                (b.stream, b.arrival, &b.census)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_rows_slate_matches_fused_tenants_census() {
+        let mix = TrafficMix::fused_attention(4);
+        let trace = mix.generate();
+        let rows = mix.fused_rows_slate();
+        let expect_rows: u64 = trace
+            .iter()
+            .filter(|r| r.op == TrafficOp::FusedSoftmax)
+            .map(|r| r.census.softmax_rows)
+            .sum();
+        assert_eq!(rows.len() as u64, expect_rows);
+        assert!(!rows.is_empty(), "fused mix must emit attention rows");
+        assert!(rows.iter().all(|&w| w > 0));
+        // Deterministic per seed, and empty for lookup-only palettes.
+        assert_eq!(rows, mix.fused_rows_slate());
+        assert!(TrafficMix::paper_default(4).fused_rows_slate().is_empty());
     }
 }

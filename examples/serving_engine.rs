@@ -83,9 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    tables are functionally invisible.
     assert_eq!(outputs, engine.serve_reference(&requests));
     for (request, out) in requests.iter().zip(&outputs) {
-        let table = engine
-            .table_for(request.activation)
-            .expect("resident table");
+        let key = request.plan.single_lookup().expect("one-stage plan");
+        let table = engine.table_for(key).expect("resident table");
         for (&x, &y) in request.inputs.iter().zip(out) {
             assert_eq!(y, table.eval(x), "threading must be invisible");
         }

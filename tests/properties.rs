@@ -5,7 +5,7 @@
 //! PRNG (`nova_fixed::rng`) instead of proptest, per the no-external-
 //! dependency policy.
 
-use nova::serving::{ServingEngine, ServingRequest, TableCache, TableKey};
+use nova::serving::{Plan, ServingEngine, ServingRequest, TableCache, TableKey};
 use nova::vector_unit::build;
 use nova::{
     ApproximatorKind, FixedBatch, LutVariant, LutVectorUnit, Mapper, NovaVectorUnit,
@@ -249,6 +249,74 @@ fn fat_units_bit_identical_across_workers_kinds_and_unit_caps() {
                 } else if workers == 1 {
                     // Three-batch runs on one shard must coalesce.
                     assert!(stats.jobs < stats.batches, "runs never packed: {label}");
+                }
+            }
+        }
+    }
+}
+
+/// Op-graph plans are functionally invisible too: for every approximator
+/// kind × worker count {1, 2, 4} × seeded ragged slate — fused softmax
+/// rows (including empty and full-batch-width ones) interleaved with
+/// single-lookup tenants — the worker pool serves bit-identically to
+/// the sequential op-graph interpreter, steady-state repeats mint no
+/// buffers, and every non-empty fused row comes back normalized.
+#[test]
+fn fused_plans_bit_identical_across_workers_kinds_and_ragged_slates() {
+    let mut rng = StdRng::seed_from_u64(0xF5ED);
+    let cache = TableCache::new();
+    let gelu = TableKey::paper(Activation::Gelu);
+    let softmax = Plan::fused_softmax(Q4_12, Rounding::NearestEven);
+    // 2×5 grid (capacity 10): fused rows up to the full batch width, so
+    // row-aligned packing keeps sealing genuinely partial batches.
+    let (routers, neurons) = (2usize, 5usize);
+    let capacity = routers * neurons;
+    for round in 0..3 {
+        let requests: Vec<ServingRequest> = (0..9)
+            .map(|stream| {
+                let fused = stream % 3 != 0;
+                let width = if fused {
+                    rng.gen_range(0usize..capacity + 1)
+                } else {
+                    rng.gen_range(1usize..24)
+                };
+                let inputs: Vec<Fixed> = (0..width)
+                    .map(|_| {
+                        Fixed::from_f64(rng.gen_range(-6.0..6.0), Q4_12, Rounding::NearestEven)
+                    })
+                    .collect();
+                if fused {
+                    ServingRequest::new(stream, softmax.clone(), inputs)
+                } else {
+                    ServingRequest::new(stream, gelu, inputs)
+                }
+            })
+            .collect();
+        for kind in ApproximatorKind::all() {
+            for workers in [1usize, 2, 4] {
+                let mut engine = ServingEngine::builder(kind)
+                    .line(LineConfig::paper_default(routers, neurons))
+                    .cache(&cache)
+                    .table(gelu)
+                    .plan(&softmax)
+                    .shards(workers)
+                    .build()
+                    .unwrap();
+                let label = format!("{} w={workers} round={round}", kind.label());
+                let reference = engine.serve_reference(&requests);
+                assert_eq!(engine.serve(&requests).unwrap(), reference, "{label}");
+                let minted = engine.buffers_created();
+                assert_eq!(engine.serve(&requests).unwrap(), reference, "{label}");
+                assert_eq!(
+                    engine.buffers_created(),
+                    minted,
+                    "steady state minted buffers: {label}"
+                );
+                for (request, out) in requests.iter().zip(&reference) {
+                    if request.plan.single_lookup().is_none() && !out.is_empty() {
+                        let sum: f64 = out.iter().map(|y| y.to_f64()).sum();
+                        assert!((sum - 1.0).abs() < 0.1, "{label}: fused row sums to {sum}");
+                    }
                 }
             }
         }
