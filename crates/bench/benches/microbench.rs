@@ -99,11 +99,47 @@ fn bench_pwl_eval(c: &mut Criterion) {
             black_box(out.last().copied())
         })
     });
+    // The AoS-gather ablation: what the dense direct-index loop compiled
+    // to before the table went structure-of-arrays — raw clamp and raw
+    // fused MAC, but the `(slope, bias)` fetch is a 32-byte `SlopeBias`
+    // gather dragging both `Fixed` format tags through the hot loop.
+    // Kept as the before/after baseline for the SoA rows below.
+    c.bench_function("pwl/eval_aos_gather_into_x256", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            assert!(xq.iter().all(|x| x.format() == t.format()));
+            out.clear();
+            out.reserve(xq.len());
+            out.extend(xq.iter().map(|&x| {
+                let xc = t.clamp(x);
+                let pair = t.pairs()[t.lookup_address_clamped(xc)];
+                let raw = Fixed::mul_add_raw(
+                    pair.slope.raw(),
+                    xc.raw(),
+                    pair.bias.raw(),
+                    t.format(),
+                    t.rounding(),
+                );
+                Fixed::from_raw_saturating(raw, t.format())
+            }));
+            black_box(out.last().copied())
+        })
+    });
+    // The shipped SoA raw-word kernel, through both entry points: the
+    // growable-Vec wrapper (`eval_into`) and the preallocated-slice hot
+    // path (`eval_to_slice`) the LUT units and the flat NoC path call.
     let mut out = Vec::new();
     c.bench_function("pwl/eval_direct_index_into_x256", |b| {
         b.iter(|| {
             t.eval_into(black_box(&xq), &mut out);
             black_box(out.last().copied())
+        })
+    });
+    let mut out_slice = vec![Fixed::zero(Q4_12); xq.len()];
+    c.bench_function("pwl/eval_soa_to_slice_x256", |b| {
+        b.iter(|| {
+            t.eval_to_slice(black_box(&xq), &mut out_slice);
+            black_box(out_slice.last().copied())
         })
     });
 }

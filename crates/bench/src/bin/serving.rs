@@ -33,8 +33,11 @@
 //!    flat (switches are free broadcasts) while LUT/SDP engines pay
 //!    `table_switch_cycles` of bank rewrites between activation runs.
 //! 5. **Flat datapath** (`flat_path`): nested `Vec<Vec<_>>` batches vs
-//!    contiguous `FixedBatch` + `lookup_batch_into`, and binary-search
-//!    vs direct-indexed table eval — with a checksum proving the flat
+//!    contiguous `FixedBatch` + `lookup_batch_into`; the three eval
+//!    kernel generations (per-element binary search → AoS direct index
+//!    → the shipped SoA raw-word kernel, all bit-identical by the
+//!    full-raw-word sweep test); the NoC sim's analytic flat fast path
+//!    vs its flit-level reference — with a checksum proving the flat
 //!    serve path is bit-identical to the sequential reference (the CI
 //!    smoke compares the two printed checksum lines).
 //! 6. **Op-graph plans** (`op_graph`): the fused-softmax pipeline
@@ -187,9 +190,10 @@ nova_serde::impl_serialize_struct!(TableSwitchPoint {
     checksum,
 });
 
-/// The flat-datapath microbenchmarks: nested vs contiguous batches and
-/// binary-search vs direct-indexed eval, plus the flat-vs-reference
-/// bit-identity checksums (the CI gate).
+/// The flat-datapath microbenchmarks: nested vs contiguous batches, the
+/// eval-kernel generations (binary search → AoS direct index → SoA
+/// raw-word), the NoC-sim flat fast path vs its flit-level reference,
+/// plus the flat-vs-reference bit-identity checksums (the CI gate).
 struct FlatPathBench {
     grid: String,
     batch_slots: usize,
@@ -198,10 +202,29 @@ struct FlatPathBench {
     /// Nested time over flat time — > 1 means the flat path wins.
     flat_speedup: f64,
     binary_search_eval_ns_per_query: f64,
+    /// The retired AoS loop: dense address lookup, then a 32-byte
+    /// `SlopeBias` gather per query. Kept measured so the SoA speedup
+    /// stays an apples-to-apples before/after.
     direct_index_eval_ns_per_query: f64,
-    /// Binary-search time over direct-index time — > 1 means the dense
-    /// table wins.
+    /// Binary-search time over AoS direct-index time — > 1 means the
+    /// dense table wins.
     direct_index_speedup: f64,
+    /// The shipped SoA raw-word kernel (`eval_into` over parallel
+    /// `slopes_raw`/`biases_raw` arrays) — the CI perf gate asserts this
+    /// stays at or below `direct_index_eval_ns_per_query`.
+    soa_eval_ns_per_query: f64,
+    /// AoS direct-index time over SoA time — > 1 means SoA wins.
+    soa_speedup: f64,
+    /// Whether the benched paper table takes the dense-address path —
+    /// must be `true`, else every eval row above silently measures the
+    /// binary-search fallback (the CI gate asserts it).
+    uses_dense_address: bool,
+    /// The cycle-accurate flit-level NoC simulation (`run_flat_reference`)
+    /// vs the analytic SoA fast path (`run_flat`), same grid.
+    noc_reference_ns_per_query: f64,
+    noc_flat_ns_per_query: f64,
+    /// Reference time over fast-path time — > 1 means the fast path wins.
+    noc_flat_speedup: f64,
     /// Buffer pairs the engine minted over the steady-state probe — the
     /// allocation-free invariant (stays at its warmup value).
     buffers_created: u64,
@@ -218,6 +241,12 @@ nova_serde::impl_serialize_struct!(FlatPathBench {
     binary_search_eval_ns_per_query,
     direct_index_eval_ns_per_query,
     direct_index_speedup,
+    soa_eval_ns_per_query,
+    soa_speedup,
+    uses_dense_address,
+    noc_reference_ns_per_query,
+    noc_flat_ns_per_query,
+    noc_flat_speedup,
     buffers_created,
     flat_checksum,
     reference_checksum,
@@ -985,9 +1014,12 @@ fn flat_path_bench(json: bool) -> FlatPathBench {
         std::hint::black_box(&out);
     });
 
-    // Table eval: the retired per-element path (format assert + clamp +
-    // re-clamping binary-search address + MAC) vs the dense-table batch
-    // path (`eval_into`).
+    // Table eval, three kernel generations: the retired per-element path
+    // (format assert + clamp + re-clamping binary-search address + MAC),
+    // the retired AoS direct-index loop (dense address, then a 32-byte
+    // `SlopeBias` gather per query), and the shipped SoA raw-word batch
+    // kernel (`eval_into`). All three are bit-identical by the
+    // full-raw-word sweep test; only the layout differs.
     let n = words.len() as f64;
     let binary_ns = time_ns_per_iter(budget_ms, || {
         let mut acc = 0i64;
@@ -1009,10 +1041,47 @@ fn flat_path_bench(json: bool) -> FlatPathBench {
         }
         std::hint::black_box(acc);
     }) / n;
-    let mut eval_out = Vec::new();
     let direct_ns = time_ns_per_iter(budget_ms, || {
+        let mut acc = 0i64;
+        assert!(
+            words.iter().all(|x| x.format() == table.format()),
+            "hoisted format check"
+        );
+        for &x in std::hint::black_box(&words) {
+            let xc = table.clamp(x);
+            let pair = table.pairs()[table.lookup_address_clamped(xc)];
+            acc ^= Fixed::mul_add_raw(
+                pair.slope.raw(),
+                xc.raw(),
+                pair.bias.raw(),
+                table.format(),
+                table.rounding(),
+            );
+        }
+        std::hint::black_box(acc);
+    }) / n;
+    let mut eval_out = Vec::new();
+    let soa_ns = time_ns_per_iter(budget_ms, || {
         table.eval_into(std::hint::black_box(&words), &mut eval_out);
         std::hint::black_box(&eval_out);
+    }) / n;
+
+    // The NoC simulation's flat path: the analytic SoA fast path
+    // (`run_flat`) vs the cycle-accurate flit-level reference it is
+    // tested bit-identical against, on the same 8×128 NOVA line.
+    let mut sim = nova_noc::sim::BroadcastSim::new(line, &table).expect("sim builds");
+    let mut sim_out = vec![Fixed::zero(Q4_12); words.len()];
+    let noc_reference_ns = time_ns_per_iter(budget_ms, || {
+        let stats = sim
+            .run_flat_reference(std::hint::black_box(&words), &mut sim_out)
+            .expect("well-formed batch");
+        std::hint::black_box((&sim_out, stats));
+    }) / n;
+    let noc_flat_ns = time_ns_per_iter(budget_ms, || {
+        let stats = sim
+            .run_flat(std::hint::black_box(&words), &mut sim_out)
+            .expect("well-formed batch");
+        std::hint::black_box((&sim_out, stats));
     }) / n;
 
     // Bit-identity gate: the flat engine pipeline vs the sequential
@@ -1054,6 +1123,12 @@ fn flat_path_bench(json: bool) -> FlatPathBench {
         binary_search_eval_ns_per_query: binary_ns,
         direct_index_eval_ns_per_query: direct_ns,
         direct_index_speedup: binary_ns / direct_ns,
+        soa_eval_ns_per_query: soa_ns,
+        soa_speedup: direct_ns / soa_ns,
+        uses_dense_address: table.uses_dense_address(),
+        noc_reference_ns_per_query: noc_reference_ns,
+        noc_flat_ns_per_query: noc_flat_ns,
+        noc_flat_speedup: noc_reference_ns / noc_flat_ns,
         buffers_created: engine.buffers_created(),
         flat_checksum: format!("{:#018x}", fnv1a_outputs(&flat_outputs)),
         reference_checksum: format!("{:#018x}", fnv1a_outputs(&reference_outputs)),
@@ -1070,7 +1145,7 @@ fn flat_path_bench(json: bool) -> FlatPathBench {
             "1.00x".into(),
         ]);
         t.row(&[
-            "flat + direct index".into(),
+            "flat + AoS direct index".into(),
             format!("{flat_ns:.0}"),
             format!("{direct_ns:.2}"),
             format!(
@@ -1078,7 +1153,34 @@ fn flat_path_bench(json: bool) -> FlatPathBench {
                 bench.flat_speedup, bench.direct_index_speedup
             ),
         ]);
+        t.row(&[
+            "flat + SoA raw-word".into(),
+            format!("{flat_ns:.0}"),
+            format!("{soa_ns:.2}"),
+            format!("{:.2}x eval vs AoS", bench.soa_speedup),
+        ]);
         t.print();
+        println!(
+            "dense-address eval path: {} (span {} entries, cap {})",
+            bench.uses_dense_address,
+            table.dense_address_entries(),
+            nova_approx::DENSE_ADDR_MAX_ENTRIES
+        );
+        let mut noc = Table::new(
+            "NoC sim flat path — BroadcastSim, 8×128 grid",
+            &["Path", "ns/query", "Speedup"],
+        );
+        noc.row(&[
+            "flit-level reference".into(),
+            format!("{noc_reference_ns:.2}"),
+            "1.00x".into(),
+        ]);
+        noc.row(&[
+            "analytic SoA fast path".into(),
+            format!("{noc_flat_ns:.2}"),
+            format!("{:.2}x", bench.noc_flat_speedup),
+        ]);
+        noc.print();
         // The lines the CI flat-vs-reference smoke greps.
         println!("flat serve checksum: {}", bench.flat_checksum);
         println!("reference serve checksum: {}", bench.reference_checksum);

@@ -80,12 +80,14 @@ impl QFormat {
     }
 
     /// Word size in bits.
+    #[inline]
     #[must_use]
     pub fn total_bits(self) -> u8 {
         self.total_bits
     }
 
     /// Number of fraction bits.
+    #[inline]
     #[must_use]
     pub fn frac_bits(self) -> u8 {
         self.frac_bits
@@ -104,18 +106,21 @@ impl QFormat {
     }
 
     /// The scaling factor `2^frac_bits`.
+    #[inline]
     #[must_use]
     pub fn scale(self) -> i64 {
         1i64 << self.frac_bits
     }
 
     /// Largest raw word value (`2^(total_bits-1) - 1`).
+    #[inline]
     #[must_use]
     pub fn max_raw(self) -> i64 {
         (1i64 << (self.total_bits - 1)) - 1
     }
 
     /// Smallest (most negative) raw word value (`-2^(total_bits-1)`).
+    #[inline]
     #[must_use]
     pub fn min_raw(self) -> i64 {
         -(1i64 << (self.total_bits - 1))
@@ -156,12 +161,14 @@ impl QFormat {
     }
 
     /// Clamps a raw (possibly wide) integer into this format's word range.
+    #[inline]
     #[must_use]
     pub fn saturate_raw(self, raw: i64) -> i64 {
         raw.clamp(self.min_raw(), self.max_raw())
     }
 
     /// True if `raw` fits in the word without saturation.
+    #[inline]
     #[must_use]
     pub fn contains_raw(self, raw: i64) -> bool {
         raw >= self.min_raw() && raw <= self.max_raw()

@@ -1,3 +1,4 @@
+use crate::value::shift_round;
 use crate::{Fixed, FixedError, QFormat, Rounding};
 
 /// A hardware-style multiply-accumulate unit with a wide internal
@@ -78,11 +79,13 @@ impl Mac {
     }
 
     /// Quantizes the accumulator to an output word (saturating) without
-    /// clearing it.
+    /// clearing it. The rounding step is the same `shift_round` the fused
+    /// MAC ([`Fixed::mul_add_raw`]) uses, so reading a one-product
+    /// accumulator is bit-identical to the fused path by construction.
     #[must_use]
     pub fn read(&self, rounding: Rounding) -> Fixed {
         let frac = self.format.frac_bits();
-        let shifted = shift_round_i64(self.acc, frac, rounding);
+        let shifted = shift_round(self.acc, frac, rounding);
         Fixed::from_raw_saturating(shifted, self.format)
     }
 
@@ -107,32 +110,6 @@ impl Mac {
                 lhs: self.format,
                 rhs: v.format(),
             })
-        }
-    }
-}
-
-fn shift_round_i64(wide: i64, frac: u8, rounding: Rounding) -> i64 {
-    if frac == 0 {
-        return wide;
-    }
-    let floor = wide >> frac;
-    let rem = wide - (floor << frac);
-    let half = 1i64 << (frac - 1);
-    match rounding {
-        Rounding::Floor => floor,
-        Rounding::NearestAway => {
-            if rem >= half && wide >= 0 || rem > half {
-                floor + 1
-            } else {
-                floor
-            }
-        }
-        Rounding::NearestEven => {
-            if rem > half || (rem == half && floor & 1 == 1) {
-                floor + 1
-            } else {
-                floor
-            }
         }
     }
 }

@@ -75,6 +75,7 @@ impl Fixed {
     }
 
     /// Constructs from a raw word, saturating instead of failing.
+    #[inline]
     #[must_use]
     pub fn from_raw_saturating(raw: i64, format: QFormat) -> Self {
         Self {
@@ -84,12 +85,14 @@ impl Fixed {
     }
 
     /// The raw two's-complement word.
+    #[inline]
     #[must_use]
     pub fn raw(self) -> i64 {
         self.raw
     }
 
     /// The value's format.
+    #[inline]
     #[must_use]
     pub fn format(self) -> QFormat {
         self.format
@@ -180,6 +183,12 @@ impl Fixed {
     /// to share `format`. This is the datapath batch loops drive after
     /// hoisting the format check out of the loop — `mul_add` itself
     /// delegates here, so the two are bit-identical by construction.
+    ///
+    /// `#[inline]` matters: without it (and without LTO) this call would
+    /// stay an opaque cross-crate function in the batch kernels' inner
+    /// loops, blocking constant-folding of `format`/`rounding` and any
+    /// autovectorization downstream.
+    #[inline]
     #[must_use]
     pub fn mul_add_raw(
         slope_raw: i64,
@@ -242,41 +251,36 @@ impl fmt::Display for Fixed {
 }
 
 /// Arithmetic right shift by `frac` bits with the requested rounding of the
-/// dropped fraction.
-fn shift_round(wide: i64, frac: u8, rounding: Rounding) -> i64 {
+/// dropped fraction. Shared by [`Fixed::mul_add_raw`] and the [`Mac`]
+/// accumulator read-out (`crate::mac`), so the fused-MAC batch kernels and
+/// the accumulator model cannot drift apart.
+///
+/// The rounding increment is computed as a boolean rather than selected by
+/// nested branches: once a caller's `rounding` is a known constant (every
+/// batch kernel hoists it), the whole body reduces to shift/compare/add
+/// with no data-dependent branch, which is what lets LLVM vectorize the
+/// loops driving it.
+///
+/// [`Mac`]: crate::Mac
+#[inline]
+pub(crate) fn shift_round(wide: i64, frac: u8, rounding: Rounding) -> i64 {
     if frac == 0 {
         return wide;
     }
     let floor = wide >> frac;
+    // `floor` rounds toward -inf, so `rem` is the dropped fraction in
+    // `[0, 2^frac)` regardless of sign.
     let rem = wide - (floor << frac);
     let half = 1i64 << (frac - 1);
-    match rounding {
-        Rounding::Floor => floor,
-        Rounding::NearestAway => {
-            if wide >= 0 {
-                if rem >= half {
-                    floor + 1
-                } else {
-                    floor
-                }
-            } else if rem > half {
-                floor + 1
-            } else {
-                floor
-            }
-        }
-        Rounding::NearestEven => match rem.cmp(&half) {
-            Ordering::Less => floor,
-            Ordering::Greater => floor + 1,
-            Ordering::Equal => {
-                if floor & 1 == 0 {
-                    floor
-                } else {
-                    floor + 1
-                }
-            }
-        },
-    }
+    let bump = match rounding {
+        Rounding::Floor => false,
+        // Ties away from zero: toward +inf for non-negative values (the
+        // dropped fraction is measured from floor, so "away" is up), and
+        // toward -inf (stay at floor) for negative ones.
+        Rounding::NearestAway => rem > half || (rem == half && wide >= 0),
+        Rounding::NearestEven => rem > half || (rem == half && floor & 1 == 1),
+    };
+    floor + i64::from(bump)
 }
 
 #[cfg(test)]

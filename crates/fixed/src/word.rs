@@ -39,6 +39,17 @@ impl Word16 {
 
     /// Encodes a fixed-point value into a 16-bit word.
     ///
+    /// For every format of at most 16 bits the `from_fixed` →
+    /// [`to_fixed`](Self::to_fixed) round trip is exact on *every* raw
+    /// word: truncation to 16 bits is lossless because the format bounds
+    /// the word, and decoding sign-extends the same bits back. This is
+    /// the invariant the NoC broadcast fast path rests on — a compiled
+    /// schedule's wire-decoded `(slope, bias)` pairs are bit-identical to
+    /// the table they were packed from, so evaluating through the table
+    /// directly is bit-identical to evaluating through the wire (wider
+    /// formats cannot compile a schedule at all; they fail here first).
+    /// The exhaustive round-trip test pins this.
+    ///
     /// # Errors
     ///
     /// Returns [`FixedError::InvalidFormat`] if the value's format is wider
@@ -115,6 +126,20 @@ mod tests {
         let f = Fixed::from_raw(-1, Q4_12).unwrap();
         let w = Word16::from_fixed(f).unwrap();
         assert_eq!(w.bits(), 0xffff);
+    }
+
+    #[test]
+    fn roundtrip_exact_for_every_raw_word_of_16_bit_formats() {
+        // The wire-exactness invariant behind the NoC eval fast path:
+        // every raw word of a ≤ 16-bit format survives the wire
+        // unchanged, for both a full-width and a narrower format.
+        for format in [Q4_12, crate::QFormat::new(12, 8).unwrap()] {
+            for raw in format.min_raw()..=format.max_raw() {
+                let f = Fixed::from_raw(raw, format).unwrap();
+                let w = Word16::from_fixed(f).unwrap();
+                assert_eq!(w.to_fixed(format), f, "raw {raw} in {format}");
+            }
+        }
     }
 
     #[test]

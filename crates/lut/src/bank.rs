@@ -73,6 +73,15 @@ impl LutBank {
             })
     }
 
+    /// Accounts for `reads` entry reads served in bulk — the batch fast
+    /// path's accounting twin of calling [`read`](Self::read) that many
+    /// times. The data itself comes from the table's SoA kernel (which
+    /// this bank mirrors bit-for-bit by construction and re-programming),
+    /// so only the activity counter needs to move.
+    pub fn record_reads(&mut self, reads: u64) {
+        self.reads += reads;
+    }
+
     /// Cycles needed to serve `requests` simultaneous reads: reads beyond
     /// the port count serialize (relevant only for hypothetical
     /// under-ported configs; the paper's per-core banks are fully ported).

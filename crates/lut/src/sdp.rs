@@ -5,7 +5,9 @@
 //! Table III Jetson comparison it behaves functionally like a per-core LUT
 //! with a deeper pipeline (3 stages: table read, interpolate, scale), so
 //! its latency is one cycle worse than the 2-cycle NN-LUT pipeline while
-//! results stay bit-identical to the quantized table.
+//! results stay bit-identical to the quantized table. Data-wise it
+//! inherits [`PerCoreLut`]'s SoA batch fast path; only the cycle
+//! accounting differs.
 
 use nova_approx::QuantizedPwl;
 use nova_fixed::Fixed;

@@ -87,8 +87,13 @@ impl PerNeuronLut {
 
     /// The zero-copy batch lookup: writes each neuron's approximated
     /// value into `out` in place. Validation (shape + one format pass) is
-    /// hoisted out of the loop; the loop itself is clamp-once +
-    /// direct-index address + bank read + MAC.
+    /// hoisted out of the loop; the data itself runs through the table's
+    /// SoA batch kernel ([`QuantizedPwl::eval_to_slice_unchecked`]) in
+    /// one call — legal because every neuron's private bank mirrors
+    /// `self.table` bit-for-bit (they are loaded from it on construction
+    /// and rewritten from it on [`reprogram`](Self::reprogram)), so the
+    /// kernel's output is exactly what per-bank read + MAC would produce.
+    /// Each bank still records its one architectural read per batch.
     ///
     /// # Errors
     ///
@@ -102,14 +107,9 @@ impl PerNeuronLut {
                 got: out.len(),
             });
         }
-        for ((bank, &x), slot) in self.banks.iter_mut().zip(xs).zip(out) {
-            let xc = self.table.clamp(x);
-            let addr = self.table.lookup_address_clamped(xc);
-            let pair = bank.read(addr)?;
-            *slot = pair
-                .slope
-                .mul_add(xc, pair.bias, self.table.rounding())
-                .expect("validated formats");
+        self.table.eval_to_slice_unchecked(xs, out);
+        for bank in &mut self.banks {
+            bank.record_reads(1);
         }
         self.stats.batches += 1;
         self.stats.lookups += xs.len() as u64;
@@ -187,7 +187,11 @@ impl PerCoreLut {
 
     /// The zero-copy batch lookup through the shared multi-ported bank:
     /// writes results into `out` in place, with validation hoisted out of
-    /// the clamp-once + direct-index loop.
+    /// the loop. As with [`PerNeuronLut::lookup_into`], the data runs
+    /// through the table's SoA batch kernel — the shared bank mirrors
+    /// `self.table` bit-for-bit by construction and re-programming — and
+    /// the bank records one read per neuron (all on its many ports), as
+    /// the per-element path did.
     ///
     /// # Errors
     ///
@@ -202,15 +206,8 @@ impl PerCoreLut {
             });
         }
         let lookup_cycles = self.bank.cycles_for(xs.len());
-        for (&x, slot) in xs.iter().zip(out) {
-            let xc = self.table.clamp(x);
-            let addr = self.table.lookup_address_clamped(xc);
-            let pair = self.bank.read(addr)?;
-            *slot = pair
-                .slope
-                .mul_add(xc, pair.bias, self.table.rounding())
-                .expect("validated formats");
-        }
+        self.table.eval_to_slice_unchecked(xs, out);
+        self.bank.record_reads(xs.len() as u64);
         self.stats.batches += 1;
         self.stats.lookups += xs.len() as u64;
         self.stats.bank_reads += xs.len() as u64;

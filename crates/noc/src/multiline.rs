@@ -128,6 +128,32 @@ impl SegmentedNoc {
         inputs: &[Fixed],
         outputs: &mut [Fixed],
     ) -> Result<SimStats, NocError> {
+        self.run_flat_with(inputs, outputs, BroadcastSim::run_flat)
+    }
+
+    /// [`run_flat`](Self::run_flat) through every segment's cycle-accurate
+    /// flit-level reference ([`BroadcastSim::run_flat_reference`]) instead
+    /// of the analytic SoA fast path — the executable specification the
+    /// fast path is tested against, and the baseline its speedup is
+    /// benched against.
+    ///
+    /// # Errors
+    ///
+    /// Same shape/format validation as [`BroadcastSim::run_flat`].
+    pub fn run_flat_reference(
+        &mut self,
+        inputs: &[Fixed],
+        outputs: &mut [Fixed],
+    ) -> Result<SimStats, NocError> {
+        self.run_flat_with(inputs, outputs, BroadcastSim::run_flat_reference)
+    }
+
+    fn run_flat_with(
+        &mut self,
+        inputs: &[Fixed],
+        outputs: &mut [Fixed],
+        mut run: impl FnMut(&mut BroadcastSim, &[Fixed], &mut [Fixed]) -> Result<SimStats, NocError>,
+    ) -> Result<SimStats, NocError> {
         let neurons = self.config.neurons_per_router;
         let slots = self.config.routers * neurons;
         if inputs.len() != slots || outputs.len() != slots {
@@ -141,7 +167,7 @@ impl SegmentedNoc {
         let mut offset = 0;
         for (seg, &routers) in self.segments.iter_mut().zip(&self.split) {
             let end = offset + routers * neurons;
-            let s = seg.run_flat(&inputs[offset..end], &mut outputs[offset..end])?;
+            let s = run(seg, &inputs[offset..end], &mut outputs[offset..end])?;
             stats.noc_cycles = stats.noc_cycles.max(s.noc_cycles);
             stats.core_cycle_latency = stats.core_cycle_latency.max(s.core_cycle_latency);
             stats.flits_injected += s.flits_injected;
@@ -248,6 +274,29 @@ mod tests {
                 nominal, out.stats.core_cycle_latency,
                 "{routers} routers at reach {reach}"
             );
+        }
+    }
+
+    #[test]
+    fn segmented_fast_path_matches_reference() {
+        // The segmented NoC inherits the analytic fast path per segment;
+        // it must agree with the flit-level reference on outputs and
+        // merged stats, including the uneven-final-segment split.
+        let t = table();
+        for (routers, neurons, reach) in [(8, 4, 5), (12, 3, 4), (20, 1, 5)] {
+            let mut config = LineConfig::paper_default(routers, neurons);
+            config.max_hops_per_cycle = reach;
+            let mut fast = SegmentedNoc::new(config, &t).unwrap();
+            let mut reference = SegmentedNoc::new(config, &t).unwrap();
+            let inputs: Vec<Fixed> = batch(routers, neurons).into_iter().flatten().collect();
+            let mut out_fast = vec![Fixed::zero(Q4_12); inputs.len()];
+            let mut out_ref = out_fast.clone();
+            for _ in 0..2 {
+                let sf = fast.run_flat(&inputs, &mut out_fast).unwrap();
+                let sr = reference.run_flat_reference(&inputs, &mut out_ref).unwrap();
+                assert_eq!(out_fast, out_ref, "{routers}r/{neurons}n reach {reach}");
+                assert_eq!(sf, sr, "{routers}r/{neurons}n reach {reach}");
+            }
         }
     }
 

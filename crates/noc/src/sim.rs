@@ -160,9 +160,24 @@ impl BroadcastSim {
     /// Runs one batch over flat row-major buffers: slot `r * neurons + n`
     /// of `inputs` is the PE output of neuron `n` at router `r`, and the
     /// approximated value lands in the same slot of `outputs`. This is
-    /// the zero-copy hot path — router registers and the in-flight flit
-    /// list are reused across batches, so a steady-state batch loop
-    /// performs no heap allocation.
+    /// the zero-copy hot path, and it does *not* walk flits router by
+    /// router:
+    ///
+    /// - **Data.** The wire is exact: a compiled schedule's `Word16`
+    ///   round trip is lossless for every ≤ 16-bit format (wider formats
+    ///   cannot compile a schedule at all), so the pairs every router
+    ///   latches are bit-identical to the table — and the whole grid can
+    ///   run through the table's SoA batch kernel
+    ///   ([`QuantizedPwl::eval_to_slice_unchecked`]) in one call.
+    /// - **Timing/activity.** The broadcast is data-independent (see
+    ///   [`nominal_core_cycle_latency`](Self::nominal_core_cycle_latency)),
+    ///   so every [`SimStats`] field and every router counter is a closed
+    ///   form of the schedule and geometry.
+    ///
+    /// Equality of outputs, batch stats and per-router counters with the
+    /// flit-level simulation is pinned against
+    /// [`run_flat_reference`](Self::run_flat_reference) across geometries
+    /// and batches.
     ///
     /// # Errors
     ///
@@ -170,6 +185,62 @@ impl BroadcastSim {
     ///   `routers × neurons_per_router` slots,
     /// - [`NocError::FormatMismatch`] if any word uses the wrong Q-format.
     pub fn run_flat(
+        &mut self,
+        inputs: &[Fixed],
+        outputs: &mut [Fixed],
+    ) -> Result<SimStats, NocError> {
+        self.validate_flat(inputs, outputs.len())?;
+        // Functional stage: one SoA kernel call over the whole grid.
+        self.table.eval_to_slice_unchecked(inputs, outputs);
+
+        // Timing/activity stage. Each flit occupies the line for
+        // `1 + parks` cycles, parking at every reach boundary (positions
+        // k·reach < routers, k ≥ 1 — there are ceil(routers/reach) − 1 of
+        // them), and one flit injects per cycle, so the last flit retires
+        // on cycle `flits + parks`. Every router snoops every flit; each
+        // neuron latches exactly one pair and fires one MAC per batch.
+        let flits = self.schedule.flit_count() as u64;
+        let reach = self.config.max_hops_per_cycle as u64;
+        let routers = self.config.routers as u64;
+        let neurons = self.config.neurons_per_router as u64;
+        let parks = routers.div_ceil(reach).saturating_sub(1);
+        let mut stats = SimStats {
+            noc_cycles: flits + parks,
+            flits_injected: flits,
+            hops: flits * routers,
+            buffered: flits * parks,
+            ..SimStats::default()
+        };
+        for (r, router) in self.routers.iter_mut().enumerate() {
+            router.stats.flits_seen += flits;
+            router.stats.pairs_latched += neurons;
+            router.stats.mac_ops += neurons;
+            if r > 0 && r as u64 % reach == 0 {
+                router.stats.flits_buffered += flits;
+            }
+            // Batch stats sum the routers' *cumulative* latch/MAC
+            // counters, exactly as the reference loop reports them.
+            stats.pairs_latched += router.stats.pairs_latched;
+            stats.mac_ops += router.stats.mac_ops;
+        }
+        let multiplier = self.schedule.noc_clock_multiplier() as u64;
+        stats.core_cycle_latency = stats.noc_cycles.div_ceil(multiplier) + 1;
+        Ok(stats)
+    }
+
+    /// The cycle-accurate flit-level simulation `run_flat` is an analytic
+    /// fast path for: injects one schedule flit per NoC cycle, flies it
+    /// through up to `reach` router bypasses, parks it at reach
+    /// boundaries, snoops and latches per router, then fires every
+    /// router's MAC stage. Kept as the executable specification — the
+    /// equivalence test drives both paths over the same batches and
+    /// demands identical outputs, batch stats and router counters — and
+    /// for microbenching the fast path's speedup.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run_flat`](Self::run_flat).
+    pub fn run_flat_reference(
         &mut self,
         inputs: &[Fixed],
         outputs: &mut [Fixed],
@@ -461,6 +532,50 @@ mod tests {
         assert_eq!(out.stats.hops, 4, "one flit × four routers");
         assert_eq!(out.stats.pairs_latched, 8);
         assert_eq!(out.stats.mac_ops, 8);
+    }
+
+    #[test]
+    fn flat_fast_path_matches_cycle_accurate_reference() {
+        // The analytic fast path must be indistinguishable from the
+        // flit-level simulation: same outputs, same batch stats, same
+        // per-router cumulative counters — across geometries (within
+        // reach, beyond reach, boundary-aligned, degenerate single
+        // router) and across consecutive batches (router counters
+        // accumulate; the analytics must track that).
+        let cases = [
+            (16, 10, 8, 10), // paper default: single-cycle reach
+            (8, 8, 4, 10),   // one flit
+            (16, 25, 2, 10), // beyond reach
+            (16, 25, 2, 4),  // many parks per flit
+            (16, 20, 3, 5),  // router count a multiple of the reach
+            (16, 21, 3, 10), // one router past two reach spans
+            (16, 1, 4, 10),  // degenerate single-router line
+        ];
+        for (breakpoints, routers, neurons, reach) in cases {
+            let t = table(breakpoints);
+            let mut config = LineConfig::paper_default(routers, neurons);
+            config.max_hops_per_cycle = reach;
+            let mut fast = BroadcastSim::new(config, &t).unwrap();
+            let mut reference = BroadcastSim::new(config, &t).unwrap();
+            for round in 0..3 {
+                let inputs: Vec<Fixed> = batch(routers, neurons, round as f64 * 0.3)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let mut out_fast = vec![Fixed::zero(Q4_12); inputs.len()];
+                let mut out_ref = out_fast.clone();
+                let sf = fast.run_flat(&inputs, &mut out_fast).unwrap();
+                let sr = reference.run_flat_reference(&inputs, &mut out_ref).unwrap();
+                let label = format!(
+                    "{breakpoints} breakpoints, {routers} routers, reach {reach}, round {round}"
+                );
+                assert_eq!(out_fast, out_ref, "outputs: {label}");
+                assert_eq!(sf, sr, "batch stats: {label}");
+                for (r, (a, b)) in fast.routers.iter().zip(&reference.routers).enumerate() {
+                    assert_eq!(a.stats, b.stats, "router {r} counters: {label}");
+                }
+            }
+        }
     }
 
     #[test]
