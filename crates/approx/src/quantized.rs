@@ -193,6 +193,75 @@ impl QuantizedPwl {
         self.addr_table.clone_from(&other.addr_table);
     }
 
+    /// Rebuilds a table from its raw serialized words — the warm-start
+    /// snapshot codec ([`slopes_raw`](Self::slopes_raw) /
+    /// [`biases_raw`](Self::biases_raw) plus raw breakpoints and clamp
+    /// bounds). Every derived structure (the AoS pair view, the SoA
+    /// mirrors, the dense address table) is reconstructed, so a restored
+    /// table is indistinguishable from — and compares equal to — the
+    /// [`from_pwl`](Self::from_pwl) original it was snapshotted from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::TableShape`] if the pair arrays disagree or
+    /// don't hold exactly one more entry than the breakpoint list,
+    /// [`ApproxError::BadDomain`] for an empty or inverted clamp range,
+    /// [`ApproxError::BadBreakpoints`] unless the thresholds are strictly
+    /// increasing and strictly inside the clamp bounds, and a fixed-point
+    /// error if any raw word does not fit `format`.
+    pub fn from_raw_parts(
+        format: QFormat,
+        rounding: Rounding,
+        lo_raw: i64,
+        hi_raw: i64,
+        breakpoints_raw: &[i64],
+        slopes_raw: &[i64],
+        biases_raw: &[i64],
+    ) -> Result<Self, ApproxError> {
+        if slopes_raw.len() != biases_raw.len() || slopes_raw.len() != breakpoints_raw.len() + 1 {
+            return Err(ApproxError::TableShape {
+                slopes: slopes_raw.len(),
+                biases: biases_raw.len(),
+                breakpoints: breakpoints_raw.len(),
+            });
+        }
+        let lo = Fixed::from_raw(lo_raw, format)?;
+        let hi = Fixed::from_raw(hi_raw, format)?;
+        if lo_raw >= hi_raw {
+            return Err(ApproxError::BadDomain {
+                lo: lo.to_f64(),
+                hi: hi.to_f64(),
+            });
+        }
+        let mut breakpoints: Vec<Fixed> = Vec::with_capacity(breakpoints_raw.len());
+        for &raw in breakpoints_raw {
+            let increasing = breakpoints.last().is_none_or(|p| p.raw() < raw);
+            if !increasing || raw <= lo_raw || raw >= hi_raw {
+                return Err(ApproxError::BadBreakpoints);
+            }
+            breakpoints.push(Fixed::from_raw(raw, format)?);
+        }
+        let mut pairs: Vec<SlopeBias> = Vec::with_capacity(slopes_raw.len());
+        for (&s, &b) in slopes_raw.iter().zip(biases_raw) {
+            pairs.push(SlopeBias {
+                slope: Fixed::from_raw(s, format)?,
+                bias: Fixed::from_raw(b, format)?,
+            });
+        }
+        let addr_table = build_addr_table(&breakpoints, lo, hi);
+        Ok(Self {
+            format,
+            rounding,
+            breakpoints,
+            pairs,
+            slopes_raw: slopes_raw.to_vec(),
+            biases_raw: biases_raw.to_vec(),
+            lo,
+            hi,
+            addr_table,
+        })
+    }
+
     /// The word format of the tables.
     #[must_use]
     pub fn format(&self) -> QFormat {
@@ -228,6 +297,21 @@ impl QuantizedPwl {
     #[must_use]
     pub fn clamp_bounds(&self) -> (Fixed, Fixed) {
         (self.lo, self.hi)
+    }
+
+    /// The SoA mirror of the segment slopes as raw format words, in
+    /// segment order — the view a warm-start snapshot serializes and
+    /// [`from_raw_parts`](Self::from_raw_parts) consumes.
+    #[must_use]
+    pub fn slopes_raw(&self) -> &[i64] {
+        &self.slopes_raw
+    }
+
+    /// The SoA mirror of the segment biases as raw format words (see
+    /// [`slopes_raw`](Self::slopes_raw)).
+    #[must_use]
+    pub fn biases_raw(&self) -> &[i64] {
+        &self.biases_raw
     }
 
     /// Clamps an input word to the function domain (the saturating
@@ -543,6 +627,80 @@ mod tests {
         let q = sigmoid16();
         assert_eq!(q.segments(), 16);
         assert_eq!(q.breakpoints().len(), 15);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_a_fitted_table() {
+        let q = sigmoid16();
+        let (lo, hi) = q.clamp_bounds();
+        let bp_raw: Vec<i64> = q.breakpoints().iter().map(|b| b.raw()).collect();
+        let r = QuantizedPwl::from_raw_parts(
+            q.format(),
+            q.rounding(),
+            lo.raw(),
+            hi.raw(),
+            &bp_raw,
+            q.slopes_raw(),
+            q.biases_raw(),
+        )
+        .unwrap();
+        // Raw-word identical, derived structures rebuilt in lockstep.
+        assert_eq!(r, q);
+        assert_eq!(r.uses_dense_address(), q.uses_dense_address());
+        for raw in (Q4_12.min_raw()..=Q4_12.max_raw()).step_by(97) {
+            let x = Fixed::from_raw(raw, Q4_12).unwrap();
+            assert_eq!(r.eval(x), q.eval(x));
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_snapshots() {
+        let q = sigmoid16();
+        let (lo, hi) = q.clamp_bounds();
+        let bp_raw: Vec<i64> = q.breakpoints().iter().map(|b| b.raw()).collect();
+        let parts = |bp: &[i64], slopes: &[i64], biases: &[i64], lo: i64, hi: i64| {
+            QuantizedPwl::from_raw_parts(q.format(), q.rounding(), lo, hi, bp, slopes, biases)
+        };
+        // Pair arrays out of step with the breakpoint list.
+        assert!(matches!(
+            parts(
+                &bp_raw,
+                &q.slopes_raw()[1..],
+                q.biases_raw(),
+                lo.raw(),
+                hi.raw()
+            ),
+            Err(ApproxError::TableShape { .. })
+        ));
+        // Inverted clamp range.
+        assert!(matches!(
+            parts(&bp_raw, q.slopes_raw(), q.biases_raw(), hi.raw(), lo.raw()),
+            Err(ApproxError::BadDomain { .. })
+        ));
+        // Non-increasing thresholds.
+        let mut shuffled = bp_raw.clone();
+        shuffled.swap(0, 1);
+        assert!(matches!(
+            parts(
+                &shuffled,
+                q.slopes_raw(),
+                q.biases_raw(),
+                lo.raw(),
+                hi.raw()
+            ),
+            Err(ApproxError::BadBreakpoints)
+        ));
+        // A threshold sitting on the clamp edge.
+        let mut edged = bp_raw.clone();
+        edged[0] = lo.raw();
+        assert!(matches!(
+            parts(&edged, q.slopes_raw(), q.biases_raw(), lo.raw(), hi.raw()),
+            Err(ApproxError::BadBreakpoints)
+        ));
+        // A raw word outside the format.
+        let mut wide = bp_raw.clone();
+        wide[0] = i64::from(i32::MAX);
+        assert!(parts(&wide, q.slopes_raw(), q.biases_raw(), lo.raw(), hi.raw()).is_err());
     }
 
     #[test]

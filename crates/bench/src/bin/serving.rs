@@ -72,7 +72,9 @@ use nova::engine::{
     evaluate_fused_softmax, evaluate_multi_stream, ApproximatorKind, FusedSoftmaxReport,
     MultiStreamReport,
 };
-use nova::serving::{Plan, ServingEngine, ServingRequest, TableCache, TableKey};
+use nova::serving::{
+    FaultInjector, FaultPolicy, Plan, ServingEngine, ServingRequest, TableCache, TableKey,
+};
 use nova::vector_unit::build;
 use nova_accel::AcceleratorConfig;
 use nova_approx::Activation;
@@ -333,6 +335,46 @@ nova_serde::impl_serialize_struct!(OpGraphSection {
     determinism,
 });
 
+/// Degraded-mode serving: the same fixed-work slate on the healthy
+/// 4-shard pool and on the pool after a fault quarantined one shard,
+/// plus the requeue cost the ledger attributed to the fault handling.
+struct DegradedSection {
+    /// Shards at build time (healthy pool size).
+    workers: usize,
+    /// Shards quarantined by the injected fault (the sweep injects 1).
+    quarantined_shards: u64,
+    /// In-flight units bounced back and re-run on healthy shards.
+    requeued_units: u64,
+    /// `100 × quarantined / workers` as the engine reports it.
+    degraded_capacity_pct: f64,
+    /// Engine-attributed quarantine + requeue cost (ns) for the fault
+    /// serve — feed close, worker join, and unit re-admission.
+    requeue_latency_ns: u64,
+    /// Fixed-work wall-clock throughput of the healthy pool.
+    healthy_queries_per_second: f64,
+    /// The same fixed work on the quarantined (3-survivor) pool.
+    degraded_queries_per_second: f64,
+    /// `degraded / healthy` — expected near the capacity ratio when the
+    /// host has a hardware thread per worker, near 1.0 when it doesn't.
+    throughput_ratio: f64,
+    /// Output digests: the degraded serve must stay bit-identical.
+    healthy_checksum: String,
+    degraded_checksum: String,
+}
+
+nova_serde::impl_serialize_struct!(DegradedSection {
+    workers,
+    quarantined_shards,
+    requeued_units,
+    degraded_capacity_pct,
+    requeue_latency_ns,
+    healthy_queries_per_second,
+    degraded_queries_per_second,
+    throughput_ratio,
+    healthy_checksum,
+    degraded_checksum,
+});
+
 /// The whole study, JSON-emittable for perf trending.
 struct ServingBenchReport {
     host: String,
@@ -346,6 +388,7 @@ struct ServingBenchReport {
     table_switch: Vec<TableSwitchPoint>,
     flat_path: FlatPathBench,
     op_graph: OpGraphSection,
+    degraded: DegradedSection,
 }
 
 nova_serde::impl_serialize_struct!(ServingBenchReport {
@@ -360,6 +403,7 @@ nova_serde::impl_serialize_struct!(ServingBenchReport {
     table_switch,
     flat_path,
     op_graph,
+    degraded,
 });
 
 fn main() {
@@ -383,6 +427,7 @@ fn main() {
     let table_switch = table_switch_sweep(json);
     let flat_path = flat_path_bench(json);
     let op_graph = op_graph_section(&host, json);
+    let degraded = degraded_section(json);
 
     let report = ServingBenchReport {
         host: host.name.to_string(),
@@ -396,6 +441,7 @@ fn main() {
         table_switch,
         flat_path,
         op_graph,
+        degraded,
     };
     if json {
         println!("{}", report.to_json_string());
@@ -697,6 +743,7 @@ fn scaling_sweep(json: bool) -> Vec<ScalingPoint> {
                 worker_busy_ns: after.worker_busy_ns - stage_before.worker_busy_ns,
                 worker_busy_max_ns: after.worker_busy_max_ns - stage_before.worker_busy_max_ns,
                 finalize_ns: after.finalize_ns - stage_before.finalize_ns,
+                requeue_ns: after.requeue_ns - stage_before.requeue_ns,
             }
         };
         let queries = calls * queries_per_call;
@@ -853,6 +900,147 @@ fn scaling_verdict(points: &[ScalingPoint], json: bool) {
             "NOVA_SERVE_STRICT_SCALING: 4-worker fixed-work speedup {speedup:.2}x < 2.5x target"
         );
     }
+}
+
+/// Degraded-mode study: one injected bit-flip fault quarantines a shard
+/// mid-slate, then the same fixed work runs on the healthy 4-shard pool
+/// and on the 3-survivor pool — degraded throughput, the requeue cost
+/// the engine attributed, and the bit-identity of the faulted slate.
+fn degraded_section(json: bool) -> DegradedSection {
+    const WORKERS: usize = 4;
+    let budget_ms = measure_budget_ms();
+    let cache = TableCache::new();
+    let gelu = TableKey::paper(Activation::Gelu);
+    let exp = TableKey::paper(Activation::Exp);
+    let line = LineConfig::paper_default(8, 128);
+    // The scaling sweep's mixed-tenancy shape at a lighter weight: 16
+    // streams × 500 queries per serve call.
+    let requests: Vec<ServingRequest> = (0..16)
+        .map(|stream| {
+            let mut inputs = Vec::new();
+            query_words_into(
+                80 + stream as u64,
+                500,
+                -6.0,
+                6.0,
+                Q4_12,
+                Rounding::NearestEven,
+                &mut inputs,
+            );
+            ServingRequest::new(stream, if stream % 2 == 0 { gelu } else { exp }, inputs)
+        })
+        .collect();
+    let queries_per_call: u64 = requests.iter().map(|r| r.inputs.len() as u64).sum();
+
+    // Healthy baseline: probe (warmup + checksum + calibration), then
+    // the fixed-work timed window.
+    let mut healthy = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+        .line(line)
+        .cache(&cache)
+        .tables([gelu, exp])
+        .shards(WORKERS)
+        .build()
+        .expect("engine builds");
+    let probe_start = Instant::now();
+    let outputs = healthy.serve(&requests).expect("well-formed requests");
+    let probe_seconds = probe_start.elapsed().as_secs_f64();
+    let healthy_checksum = fnv1a_outputs(&outputs);
+    let calls = ((budget_ms as f64 / 1e3 / probe_seconds.max(1e-9)) as u64).clamp(1, 100_000);
+    let start = Instant::now();
+    for _ in 0..calls {
+        healthy.serve(&requests).expect("well-formed requests");
+    }
+    let healthy_qps = (calls * queries_per_call) as f64 / start.elapsed().as_secs_f64();
+
+    // The fault serve: shard 0's second lookup evaluation comes back
+    // with a flipped output bit, the canary trips, the shard is
+    // quarantined and its in-flight units re-run on the survivors.
+    let mut degraded = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+        .line(line)
+        .cache(&cache)
+        .tables([gelu, exp])
+        .shards(WORKERS)
+        .fault_check(FaultPolicy::new().inject(0, FaultInjector::bit_flip(1, 9)))
+        .build()
+        .expect("engine builds");
+    let outputs = degraded
+        .serve(&requests)
+        .expect("degraded slate completes on the survivors");
+    let degraded_checksum = fnv1a_outputs(&outputs);
+    let stats = degraded.stats();
+    let requeue_latency_ns = degraded.stage_times().requeue_ns;
+    assert_eq!(
+        degraded_checksum, healthy_checksum,
+        "quarantined serve diverged from the healthy digest"
+    );
+    assert_eq!(stats.quarantined_shards, 1, "exactly one shard quarantined");
+    // The same fixed work on the quarantined pool (3 survivors).
+    let start = Instant::now();
+    for _ in 0..calls {
+        degraded.serve(&requests).expect("well-formed requests");
+    }
+    let degraded_qps = (calls * queries_per_call) as f64 / start.elapsed().as_secs_f64();
+
+    let section = DegradedSection {
+        workers: WORKERS,
+        quarantined_shards: stats.quarantined_shards,
+        requeued_units: stats.requeued_units,
+        degraded_capacity_pct: stats.degraded_capacity_pct,
+        requeue_latency_ns,
+        healthy_queries_per_second: healthy_qps,
+        degraded_queries_per_second: degraded_qps,
+        throughput_ratio: degraded_qps / healthy_qps,
+        healthy_checksum: format!("{healthy_checksum:#018x}"),
+        degraded_checksum: format!("{degraded_checksum:#018x}"),
+    };
+    if !json {
+        let mut t = Table::new(
+            "Degraded-mode serving — 1 of 4 shards quarantined, 8×128 grid, 16 streams",
+            &[
+                "Pool",
+                "Shards",
+                "Serve calls",
+                "Queries/s (wall)",
+                "Requeued units",
+                "Requeue (ns)",
+                "Checksum",
+            ],
+        );
+        t.row(&[
+            "healthy".into(),
+            format!("{WORKERS}"),
+            format!("{calls}"),
+            format!("{healthy_qps:.3e}"),
+            "0".into(),
+            "0".into(),
+            section.healthy_checksum.clone(),
+        ]);
+        t.row(&[
+            "quarantined".into(),
+            format!("{}", WORKERS as u64 - section.quarantined_shards),
+            format!("{calls}"),
+            format!("{degraded_qps:.3e}"),
+            format!("{}", section.requeued_units),
+            format!("{requeue_latency_ns}"),
+            section.degraded_checksum.clone(),
+        ]);
+        t.print();
+        // The lines the CI degraded smoke greps.
+        println!(
+            "degraded serve checksum equal: {} [{} quarantined of {WORKERS}]",
+            section.degraded_checksum == section.healthy_checksum,
+            section.quarantined_shards
+        );
+        println!(
+            "degraded capacity: {:.1}% lost, requeued {} unit(s), requeue latency {} ns, \
+             throughput ratio {:.2}",
+            section.degraded_capacity_pct,
+            section.requeued_units,
+            requeue_latency_ns,
+            section.throughput_ratio
+        );
+    }
+    section
 }
 
 /// The table-switch penalty study: every approximator kind serves the

@@ -78,8 +78,9 @@ pub use mapper::{Mapper, MappingPlan};
 pub use nova_fixed::FixedBatch;
 pub use overlay::NovaOverlay;
 pub use serving::{
-    EngineBuilder, Plan, PlanStage, ServingConfig, ServingEngine, ServingRequest, ServingStats,
-    StageTimes, TableCache, TableKey, Ticket, WorkerLoad,
+    EngineBuilder, FaultInjector, FaultPolicy, InjectedFault, Plan, PlanStage, ServingConfig,
+    ServingEngine, ServingRequest, ServingStats, StageTimes, TableCache, TableKey, Ticket,
+    WorkerLoad,
 };
 pub use vector_unit::{
     ApproximatorKind, LutVariant, LutVectorUnit, NovaVectorUnit, SdpVectorUnit, SegmentedNovaUnit,

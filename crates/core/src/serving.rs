@@ -123,7 +123,53 @@
 //! result is the *lowest-sequence* error — deterministic regardless of
 //! worker timing. A failed slate counts no requests. A worker that
 //! panics mid-batch is caught in the worker loop and surfaces as
-//! [`NovaError::Runtime`] instead of hanging the reorder stage.
+//! [`NovaError::Runtime`] instead of hanging the reorder stage —
+//! unless the engine was armed with a [`FaultPolicy`], in which case a
+//! panic is treated as a *shard* fault (quarantine + requeue, below)
+//! rather than a slate failure. Deterministic data errors (a format
+//! mismatch, a malformed batch) stay slate failures either way:
+//! re-running them on another shard would fail identically.
+//!
+//! # Fault tolerance & warm start
+//!
+//! The paper's NoC-broadcast engine is modeled down to its failure
+//! modes ([`nova_noc::fault`] injects bit flips on broadcast links);
+//! this layer decides what the *runtime* does when such a fault lands
+//! mid-traffic. Arming detection is one builder knob —
+//! [`fault_check`](EngineBuilder::fault_check) with a [`FaultPolicy`] —
+//! and the lifecycle is:
+//!
+//! 1. **detect** — after every lookup-stage evaluation, the armed
+//!    worker re-evaluates a small *canary* slice of the batch through
+//!    the scalar architectural path ([`QuantizedPwl::eval`]) and
+//!    compares words; a mismatch, an injected [`InjectedFault`], or a
+//!    caught panic is a shard-fault verdict (the whole work unit is
+//!    condemned — a faulty shard's half-written scatter output is
+//!    untrusted);
+//! 2. **quarantine** — the engine closes the shard's feed ring, joins
+//!    the retired worker (deadlock-free: the completion ring holds the
+//!    full outstanding cap), and removes the shard from the healthy
+//!    routing set; the worker meanwhile hands every in-flight unit
+//!    back *whole* (batches and plan intact, zero counters) over its
+//!    completion ring;
+//! 3. **requeue** — each handed-back unit is re-admitted to the
+//!    healthy shards. Scatter is idempotent (workers write result
+//!    words through per-slot pointers), so the healthy re-run lands
+//!    bit-identically and the slate completes equal to
+//!    [`serve_reference`](ServingEngine::serve_reference) as long as
+//!    one healthy shard remains; only when the last shard is
+//!    quarantined does the engine poison. The ledger counts requeued
+//!    units once (the healthy run) and attributes the quarantine cost
+//!    to [`StageTimes::requeue_ns`];
+//!    [`ServingStats::quarantined_shards`] / `requeued_units` /
+//!    `degraded_capacity_pct` report the degradation.
+//!
+//! Orthogonally, [`TableCache::snapshot`] serializes every fitted
+//! table to a [`nova_serde::Value`] (raw slope/bias/breakpoint words —
+//! no refit, no float round-trip) and
+//! [`TableCache::restore`] rebuilds them raw-word-identically, so a
+//! restarted daemon warm-starts instead of refitting every tenant's
+//! table. The `nova-table-cache/v1` layout is pinned by a golden file.
 //!
 //! # Example
 //!
@@ -197,7 +243,10 @@ use nova_accel::config::AcceleratorConfig;
 use nova_approx::{fit, Activation, QuantizedPwl};
 use nova_fixed::{Fixed, FixedBatch, QFormat, Rounding, Q4_12};
 use nova_noc::{LineConfig, LinkConfig};
+use nova_serde::Value;
 use nova_synth::TechModel;
+
+pub use nova_noc::fault::{FaultInjector, InjectedFault};
 
 use crate::spsc::{self, Doorbell, PushError};
 use crate::vector_unit::{build, line_for_kind, HostGeometry, VectorUnit};
@@ -456,19 +505,21 @@ impl TableCache {
     /// first use. Hits return the *same* `Arc` (pointer-equal) — even
     /// when concurrent callers raced to fit the key.
     ///
+    /// A panicked fitter thread cannot take the cache down with it: the
+    /// map is only ever mutated under the write lock *after* a fit
+    /// completed, so a poisoned lock still guards a valid map — both
+    /// lock sites recover the guard instead of propagating the poison,
+    /// and every other engine sharing the cache keeps serving.
+    ///
     /// # Errors
     ///
     /// Propagates PWL fitting / quantization failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock was poisoned (a fitter thread panicked).
     pub fn get_or_fit(&self, key: TableKey) -> Result<Arc<QuantizedPwl>, NovaError> {
         if let Some(table) = self
             .inner
             .tables
             .read()
-            .expect("table cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
@@ -486,7 +537,7 @@ impl TableCache {
             .inner
             .tables
             .write()
-            .expect("table cache lock poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(winner) = tables.get(&key) {
             // Lost the race: another thread fitted and inserted the same
             // key while we fitted. Converge on its allocation.
@@ -518,16 +569,12 @@ impl TableCache {
     }
 
     /// Distinct tables held.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock was poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
         self.inner
             .tables
             .read()
-            .expect("table cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
     }
 
@@ -536,6 +583,239 @@ impl TableCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serializes every resident table into a warm-start snapshot: a
+    /// [`Value`] tree (render it with [`Value::to_json`]) holding each
+    /// table's [`TableKey`] plus its exact raw words — clamp bounds,
+    /// quantized breakpoints, and the `slopes_raw`/`biases_raw` SoA
+    /// mirrors. [`restore`](Self::restore) rebuilds every derived
+    /// structure from these words, so a daemon restart skips refitting
+    /// and still serves bit-identical results.
+    ///
+    /// The layout is **stable** (`"nova-table-cache/v1"`, entries sorted
+    /// by key, pinned by a golden file in the repo tests): snapshots
+    /// taken today stay restorable by later releases.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let tables = self
+            .inner
+            .tables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut entries: Vec<(TableKey, Arc<QuantizedPwl>)> =
+            tables.iter().map(|(k, t)| (*k, Arc::clone(t))).collect();
+        drop(tables);
+        // HashMap iteration order is arbitrary: sort on the key so equal
+        // caches serialize byte-identically (the golden-file contract).
+        entries.sort_by_key(|(k, _)| {
+            (
+                activation_name(k.activation),
+                k.breakpoints,
+                k.format.total_bits(),
+                k.format.frac_bits(),
+                rounding_name(k.rounding),
+            )
+        });
+        let tables = entries
+            .into_iter()
+            .map(|(key, table)| {
+                let (lo, hi) = table.clamp_bounds();
+                let raw_seq =
+                    |raws: &[i64]| Value::Seq(raws.iter().map(|&r| Value::I64(r)).collect());
+                let bp_raw: Vec<i64> = table.breakpoints().iter().map(|b| b.raw()).collect();
+                Value::Map(vec![
+                    (
+                        "activation".into(),
+                        Value::Str(activation_name(key.activation).into()),
+                    ),
+                    ("breakpoints".into(), Value::U64(key.breakpoints as u64)),
+                    (
+                        "total_bits".into(),
+                        Value::U64(u64::from(key.format.total_bits())),
+                    ),
+                    (
+                        "frac_bits".into(),
+                        Value::U64(u64::from(key.format.frac_bits())),
+                    ),
+                    (
+                        "rounding".into(),
+                        Value::Str(rounding_name(key.rounding).into()),
+                    ),
+                    ("lo_raw".into(), Value::I64(lo.raw())),
+                    ("hi_raw".into(), Value::I64(hi.raw())),
+                    ("breakpoints_raw".into(), raw_seq(&bp_raw)),
+                    ("slopes_raw".into(), raw_seq(table.slopes_raw())),
+                    ("biases_raw".into(), raw_seq(table.biases_raw())),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("format".into(), Value::Str(SNAPSHOT_FORMAT.into())),
+            ("tables".into(), Value::Seq(tables)),
+        ])
+    }
+
+    /// Rebuilds tables from a [`snapshot`](Self::snapshot) and inserts
+    /// them, returning how many were inserted. Keys already resident are
+    /// left untouched (their live `Arc`s win), and the hit/miss/lost-race
+    /// counters don't move — a warm start is not a cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NovaError::Runtime`] for an unrecognized snapshot format
+    /// tag or a structurally malformed tree, and propagates raw-word
+    /// validation failures from [`QuantizedPwl::from_raw_parts`] —
+    /// nothing is inserted unless the whole snapshot decodes.
+    pub fn restore(&self, snapshot: &Value) -> Result<usize, NovaError> {
+        let bad = |what: &str| NovaError::Runtime(format!("table cache snapshot: {what}"));
+        let format_tag = snapshot
+            .get("format")
+            .and_then(Value::as_str)
+            .map_err(|e| bad(&format!("missing format tag: {e}")))?;
+        if format_tag != SNAPSHOT_FORMAT {
+            return Err(bad(&format!(
+                "unrecognized format {format_tag:?} (expected {SNAPSHOT_FORMAT:?})"
+            )));
+        }
+        let entries = snapshot
+            .get("tables")
+            .and_then(Value::as_seq)
+            .map_err(|e| bad(&format!("missing tables sequence: {e}")))?;
+        let mut decoded: Vec<(TableKey, QuantizedPwl)> = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let str_field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .map_err(|e| bad(&format!("table entry field {name}: {e}")))
+            };
+            let u64_field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Value::as_u64)
+                    .map_err(|e| bad(&format!("table entry field {name}: {e}")))
+            };
+            let i64_field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Value::as_i64)
+                    .map_err(|e| bad(&format!("table entry field {name}: {e}")))
+            };
+            let raw_field = |name: &str| -> Result<Vec<i64>, NovaError> {
+                entry
+                    .get(name)
+                    .and_then(Value::as_seq)
+                    .map_err(|e| bad(&format!("table entry field {name}: {e}")))?
+                    .iter()
+                    .map(|v| {
+                        v.as_i64()
+                            .map_err(|e| bad(&format!("non-integer word in {name}: {e}")))
+                    })
+                    .collect()
+            };
+            let activation_str = str_field("activation")?;
+            let activation = activation_from_name(activation_str)
+                .ok_or_else(|| bad(&format!("unknown activation {activation_str:?}")))?;
+            let rounding_str = str_field("rounding")?;
+            let rounding = rounding_from_name(rounding_str)
+                .ok_or_else(|| bad(&format!("unknown rounding {rounding_str:?}")))?;
+            let total_bits = u8::try_from(u64_field("total_bits")?)
+                .map_err(|_| bad("total_bits out of range"))?;
+            let frac_bits =
+                u8::try_from(u64_field("frac_bits")?).map_err(|_| bad("frac_bits out of range"))?;
+            let format = QFormat::new(total_bits, frac_bits)
+                .map_err(|e| bad(&format!("bad word format: {e}")))?;
+            let key = TableKey {
+                activation,
+                breakpoints: usize::try_from(u64_field("breakpoints")?)
+                    .map_err(|_| bad("breakpoint count out of range"))?,
+                format,
+                rounding,
+            };
+            let table = QuantizedPwl::from_raw_parts(
+                format,
+                rounding,
+                i64_field("lo_raw")?,
+                i64_field("hi_raw")?,
+                &raw_field("breakpoints_raw")?,
+                &raw_field("slopes_raw")?,
+                &raw_field("biases_raw")?,
+            )
+            .map_err(|e| bad(&format!("table {activation_str}: {e}")))?;
+            decoded.push((key, table));
+        }
+        let mut tables = self
+            .inner
+            .tables
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut inserted = 0usize;
+        for (key, table) in decoded {
+            if let std::collections::hash_map::Entry::Vacant(slot) = tables.entry(key) {
+                slot.insert(Arc::new(table));
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
+}
+
+/// Version tag of the [`TableCache::snapshot`] wire layout. Bump only
+/// with a migration path: the golden-file test pins the `v1` bytes.
+const SNAPSHOT_FORMAT: &str = "nova-table-cache/v1";
+
+/// Stable serialized name of an [`Activation`]. The golden-file test
+/// pins every current name, so a variant rename (which would change its
+/// snapshot encoding) fails CI instead of silently orphaning old
+/// snapshots.
+fn activation_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::Gelu => "gelu",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Tanh => "tanh",
+        Activation::Exp => "exp",
+        Activation::Erf => "erf",
+        Activation::Silu => "silu",
+        Activation::Softplus => "softplus",
+        Activation::Recip => "recip",
+        Activation::Rsqrt => "rsqrt",
+        Activation::Sqrt => "sqrt",
+        // `Activation` is non-exhaustive: a variant added without a
+        // snapshot name serializes as "unknown", which `restore`
+        // rejects — loud at load time rather than corrupt on disk.
+        _ => "unknown",
+    }
+}
+
+fn activation_from_name(name: &str) -> Option<Activation> {
+    if name == "unknown" {
+        return None;
+    }
+    Activation::all()
+        .iter()
+        .copied()
+        .find(|&a| activation_name(a) == name)
+}
+
+/// Stable serialized name of a [`Rounding`] mode (see
+/// [`activation_name`]).
+fn rounding_name(r: Rounding) -> &'static str {
+    match r {
+        Rounding::NearestEven => "nearest-even",
+        Rounding::NearestAway => "nearest-away",
+        Rounding::Floor => "floor",
+    }
+}
+
+fn rounding_from_name(name: &str) -> Option<Rounding> {
+    [
+        Rounding::NearestEven,
+        Rounding::NearestAway,
+        Rounding::Floor,
+    ]
+    .into_iter()
+    .find(|&r| rounding_name(r) == name)
 }
 
 /// One non-linear query burst from one inference stream.
@@ -604,12 +884,80 @@ impl ServingConfig {
     }
 }
 
+/// Arms per-shard fault detection on a [`ServingEngine`] — the
+/// [`EngineBuilder::fault_check`] knob.
+///
+/// With a policy armed, every shard worker re-evaluates a small *canary
+/// slice* of each lookup batch through the architectural scalar path
+/// ([`QuantizedPwl::eval`]) and compares it against the SoA batch
+/// kernel's words. A mismatch — or any panic caught inside the worker's
+/// unwind boundary — is treated as **shard failure**: the shard is
+/// quarantined (feed ring closed, worker retired) and its in-flight
+/// work units are requeued to the surviving shards, so the slate still
+/// completes bit-identical to
+/// [`serve_reference`](ServingEngine::serve_reference). Only when the
+/// last healthy shard fails does the engine poison.
+///
+/// Deterministic chaos is driven through [`inject`](Self::inject): a
+/// [`FaultInjector`] rides on a chosen shard and corrupts one output
+/// word (or panics) after a configured number of lookup evaluations.
+///
+/// Detection coverage follows the canary width: an injected bit flip
+/// lands in lane 0, which every canary width ≥ 1 covers; real upsets
+/// outside the canary lanes are the same residual risk a sampled
+/// checker has in hardware.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    canary_slots: usize,
+    injectors: Vec<(usize, FaultInjector)>,
+}
+
+impl FaultPolicy {
+    /// A policy with the default canary width (2 lanes per lookup
+    /// batch) and no injected faults — pure detection arming.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            canary_slots: 2,
+            injectors: Vec::new(),
+        }
+    }
+
+    /// Sets how many leading lanes of each lookup batch the workers
+    /// re-check through the scalar path. Clamped to at least 1 when the
+    /// policy is armed; wider canaries catch more corruption at more
+    /// re-evaluation cost.
+    #[must_use]
+    pub fn canary_slots(mut self, lanes: usize) -> Self {
+        self.canary_slots = lanes;
+        self
+    }
+
+    /// Arms a deterministic fault on shard `shard` (ignored if the
+    /// engine has fewer shards). The injector ticks once per lookup
+    /// evaluation on that shard and fires exactly once.
+    #[must_use]
+    pub fn inject(mut self, shard: usize, injector: FaultInjector) -> Self {
+        self.injectors.push((shard, injector));
+        self
+    }
+
+    /// The injector armed for `shard`, if any (first match wins).
+    fn injector_for(&self, shard: usize) -> Option<FaultInjector> {
+        self.injectors
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, inj)| inj.clone())
+    }
+}
+
 /// Builds a [`ServingEngine`] from named parts instead of positional
 /// arguments: geometry ([`line`](Self::line) or [`host`](Self::host)),
 /// resident activation tables ([`table`](Self::table) /
 /// [`tables`](Self::tables), fitted through an optional shared
-/// [`cache`](Self::cache)) and the worker count
-/// ([`shards`](Self::shards), default 1).
+/// [`cache`](Self::cache)), the worker count
+/// ([`shards`](Self::shards), default 1) and optional fault detection
+/// ([`fault_check`](Self::fault_check)).
 #[derive(Debug)]
 pub struct EngineBuilder<'a> {
     kind: ApproximatorKind,
@@ -619,6 +967,7 @@ pub struct EngineBuilder<'a> {
     tables: Vec<TableKey>,
     cache: Option<&'a TableCache>,
     unit_cap: usize,
+    fault_policy: Option<FaultPolicy>,
 }
 
 impl<'a> EngineBuilder<'a> {
@@ -631,7 +980,17 @@ impl<'a> EngineBuilder<'a> {
             tables: Vec::new(),
             cache: None,
             unit_cap: MAX_UNIT_BATCHES,
+            fault_policy: None,
         }
+    }
+
+    /// Arms per-shard fault detection (and optional deterministic fault
+    /// injection) — see [`FaultPolicy`]. Without this the engine runs
+    /// exactly as before: panics fail the slate, nothing quarantines.
+    #[must_use]
+    pub fn fault_check(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
     }
 
     /// Explicit line geometry (`routers × neurons` grid plus link/reach).
@@ -755,7 +1114,7 @@ impl<'a> EngineBuilder<'a> {
             shards: self.shards,
             tables: keys,
         };
-        ServingEngine::from_config_parts(config, tables, self.unit_cap)
+        ServingEngine::from_config_parts(config, tables, self.unit_cap, self.fault_policy)
     }
 }
 
@@ -765,7 +1124,7 @@ impl<'a> EngineBuilder<'a> {
 /// ([`ServingEngine::worker_loads`]): `queries`, `batches`,
 /// `latency_cycles` and the table-switch counters are sums over the
 /// shard workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServingStats {
     /// Requests served to completion (slates that returned an error
     /// count their dispatched batches/queries below, but no requests).
@@ -792,6 +1151,18 @@ pub struct ServingStats {
     /// (the table lives on the wire), `entries` per switch on LUT banks,
     /// more on the SDP ([`crate::timeline::table_switch_cycles`]).
     pub switch_cycles: u64,
+    /// Shards quarantined after a detected fault (see [`FaultPolicy`]):
+    /// their feed rings are closed and their workers retired, but the
+    /// engine keeps serving on the survivors.
+    pub quarantined_shards: u64,
+    /// In-flight work units re-admitted to healthy shards after their
+    /// original shard was quarantined. Requeued units contribute nothing
+    /// to any other counter — only the healthy re-run is accounted.
+    pub requeued_units: u64,
+    /// Capacity lost to quarantine, in percent of the configured shard
+    /// count (`100 × quarantined / shards`; 0.0 while every shard is
+    /// healthy).
+    pub degraded_capacity_pct: f64,
 }
 
 nova_serde::impl_serde_struct!(ServingStats {
@@ -803,6 +1174,9 @@ nova_serde::impl_serde_struct!(ServingStats {
     latency_cycles,
     table_switches,
     switch_cycles,
+    quarantined_shards,
+    requeued_units,
+    degraded_capacity_pct,
 });
 
 /// Per-shard-worker accounting: what one worker thread served.
@@ -855,6 +1229,10 @@ pub struct StageTimes {
     /// (watermark bookkeeping; results were already scattered in
     /// place by the workers).
     pub finalize_ns: u64,
+    /// Nanoseconds the caller thread spent quarantining faulted shards
+    /// and re-admitting their in-flight units to healthy shards (ring
+    /// close + worker join + unit re-wrap); 0 while no fault fired.
+    pub requeue_ns: u64,
 }
 
 nova_serde::impl_serde_struct!(StageTimes {
@@ -862,6 +1240,7 @@ nova_serde::impl_serde_struct!(StageTimes {
     worker_busy_ns,
     worker_busy_max_ns,
     finalize_ns,
+    requeue_ns,
 });
 
 /// Where one query's output word lands: a raw pointer into the
@@ -1033,6 +1412,15 @@ struct UnitDone {
     recycled: Vec<PackedBatch>,
     /// `Ok`, or the unit's first (lowest-batch) failure.
     result: Result<(), NovaError>,
+    /// A shard-fault verdict (canary mismatch or armed-policy panic):
+    /// the unit was *not* served — `recycled` still carries its intact
+    /// batches, `plan` rides back below, and the engine must quarantine
+    /// this worker and requeue the unit to a healthy shard. `None` for
+    /// every normal completion.
+    fault: Option<String>,
+    /// The unit's plan, returned only with a fault verdict so the
+    /// engine can re-wrap `recycled` into a dispatchable [`WorkUnit`].
+    plan: Option<Arc<CompiledPlan>>,
 }
 
 /// One slate's results: per-request output vectors, aligned with the
@@ -1115,6 +1503,10 @@ struct ShardLink {
     /// from `done` yet. Admission keeps this `< WORKER_DONE_DEPTH`.
     outstanding: usize,
     handle: Option<JoinHandle<()>>,
+    /// Set once a fault verdict retired this shard: its feed is closed,
+    /// its worker joined, and its (soon-closed) completion ring is
+    /// exempt from the worker-died poison check. Never cleared.
+    quarantined: bool,
 }
 
 /// The concurrent multi-tenant serving engine.
@@ -1182,6 +1574,16 @@ pub struct ServingEngine {
     admit_ns: u64,
     /// Caller-thread nanoseconds spent finalizing tickets, cumulative.
     finalize_ns: u64,
+    /// Caller-thread nanoseconds spent quarantining shards and
+    /// requeueing their in-flight units, cumulative.
+    requeue_ns: u64,
+    /// Shard indices still accepting work, in index order. Starts as
+    /// `0..shards`; quarantine removes entries. Dispatch maps
+    /// `seq % healthy.len()` over this list, so the round-robin spread
+    /// adapts to the surviving pool.
+    healthy: Vec<usize>,
+    /// Work units re-admitted after a quarantine, cumulative.
+    requeued_units: u64,
     /// Latched fatal runtime failure (a dead worker pool): every later
     /// call fails fast instead of deadlocking. Latching also tears the
     /// pool down, so no worker can still hold scatter pointers into
@@ -1212,6 +1614,63 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("<non-string panic payload>")
 }
 
+/// Pushes a completion onto the done ring, yielding on the (invariantly
+/// unreachable) full case and dropping it silently once the engine is
+/// gone.
+fn push_done(done_tx: &spsc::Producer<UnitDone>, mut done: UnitDone) {
+    loop {
+        match done_tx.try_push(done) {
+            Ok(()) => return,
+            Err(PushError::Full(back)) => {
+                // Unreachable by the outstanding-cap invariant (admission
+                // never has more than the ring's capacity in flight per
+                // shard); yield rather than wedge if it is ever violated.
+                debug_assert!(false, "completion ring full despite the outstanding cap");
+                done = back;
+                std::thread::yield_now();
+            }
+            // The engine is gone; nobody will read.
+            Err(PushError::Closed(_)) => return,
+        }
+    }
+}
+
+/// The armed worker's per-lookup fault hook: applies this shard's
+/// injected fault (if its trigger tick has come up), then re-evaluates a
+/// canary slice of the batch through the scalar architectural path and
+/// reports the first mismatching lane.
+///
+/// Returns `None` when the policy is disarmed (`canary` is `None`) or
+/// when every canary lane agrees; `Some(lane)` is a shard-fault verdict.
+fn lookup_fault_hook(
+    table: &QuantizedPwl,
+    xs: &[Fixed],
+    ys: &mut [Fixed],
+    injector: &mut Option<FaultInjector>,
+    canary: Option<usize>,
+) -> Option<usize> {
+    let lanes = canary?;
+    if let Some(fault) = injector.as_mut().and_then(FaultInjector::tick) {
+        match fault {
+            InjectedFault::BitFlip { bit } => {
+                if let Some(y) = ys.first_mut() {
+                    // Flip below the sign bit so the corrupted word is
+                    // always representable and never saturates back to
+                    // the original value.
+                    let fmt = table.format();
+                    let width = u32::from(fmt.total_bits()).saturating_sub(1).max(1);
+                    *y = Fixed::from_raw_saturating(y.raw() ^ (1i64 << (bit % width)), fmt);
+                }
+            }
+            InjectedFault::Panic => panic!("injected shard fault"),
+        }
+    }
+    xs.iter()
+        .zip(ys.iter())
+        .take(lanes)
+        .position(|(&x, &y)| table.eval(x) != y)
+}
+
 impl ServingEngine {
     /// Starts configuring an engine for `kind` — see [`EngineBuilder`].
     #[must_use]
@@ -1225,6 +1684,7 @@ impl ServingEngine {
         config: ServingConfig,
         tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
         unit_cap: usize,
+        fault_policy: Option<FaultPolicy>,
     ) -> Result<Self, NovaError> {
         config.validate()?;
         let units = (0..config.shards)
@@ -1251,7 +1711,7 @@ impl ServingEngine {
                 })?;
             }
         }
-        Self::from_units(config, tables, unit_cap, units)
+        Self::from_units(config, tables, unit_cap, fault_policy, units)
     }
 
     /// Spawns the worker pool around pre-built units (also the test seam
@@ -1260,6 +1720,7 @@ impl ServingEngine {
         config: ServingConfig,
         tables: Vec<(TableKey, Arc<QuantizedPwl>)>,
         unit_cap: usize,
+        fault_policy: Option<FaultPolicy>,
         units: Vec<Box<dyn VectorUnit>>,
     ) -> Result<Self, NovaError> {
         let shards = units.len();
@@ -1267,6 +1728,11 @@ impl ServingEngine {
         let doorbell = Arc::new(Doorbell::new());
         let mut links = Vec::with_capacity(shards);
         for (id, mut unit) in units.into_iter().enumerate() {
+            // Fault arming is resolved per shard before spawn: the
+            // canary width (None = disarmed) and this shard's injected
+            // fault, if the policy carries one.
+            let canary = fault_policy.as_ref().map(|p| p.canary_slots.max(1));
+            let mut injector = fault_policy.as_ref().and_then(|p| p.injector_for(id));
             let (feed_tx, feed_rx) = spsc::ring::<WorkUnit>(WORKER_FEED_DEPTH);
             let (done_tx, done_rx) = spsc::ring::<UnitDone>(WORKER_DONE_DEPTH);
             let bell = Arc::clone(&doorbell);
@@ -1294,6 +1760,10 @@ impl ServingEngine {
                     let mut pong = FixedBatch::empty();
                     let mut latch: Vec<i64> = Vec::new();
                     let mut row_exps: Vec<Option<i32>> = Vec::new();
+                    // Latched fault verdict: once set, this shard serves
+                    // nothing further — it drains its feed ring back to
+                    // the engine (see below) until the feed closes.
+                    let mut retired: Option<String> = None;
                     'serve: loop {
                         let work = loop {
                             if let Some(u) = feed_rx.try_pop() {
@@ -1324,6 +1794,32 @@ impl ServingEngine {
                             feed_rx.end_park();
                         };
                         let WorkUnit { seq, plan, batches } = work;
+                        if let Some(why) = &retired {
+                            // Quarantine drain-back: this shard already
+                            // reported a fault, so nothing it evaluates
+                            // can be trusted. Hand every remaining unit
+                            // back whole (batches intact, plan riding
+                            // along) for the engine to requeue; the
+                            // engine's feed close ends the loop.
+                            let done = UnitDone {
+                                seq,
+                                worker: id,
+                                batches_ok: 0,
+                                queries_ok: 0,
+                                latency: 0,
+                                padded: 0,
+                                table_switches: 0,
+                                switch_cycles: 0,
+                                busy_ns: 0,
+                                recycled: batches,
+                                result: Ok(()),
+                                fault: Some(why.clone()),
+                                plan: Some(plan),
+                            };
+                            push_done(&done_tx, done);
+                            bell.ring();
+                            continue 'serve;
+                        }
                         let started = Instant::now();
                         let mut batches_ok = 0u64;
                         let mut queries_ok = 0u64;
@@ -1332,7 +1828,16 @@ impl ServingEngine {
                         let mut table_switches = 0u64;
                         let mut switch_cycles = 0u64;
                         let mut result: Result<(), NovaError> = Ok(());
+                        let mut unit_fault: Option<String> = None;
                         for pb in &batches {
+                            if unit_fault.is_some() {
+                                // The shard is condemned: stop serving
+                                // mid-unit. The whole unit re-runs on a
+                                // healthy shard (scatter is idempotent,
+                                // so already-written batches rewrite the
+                                // same words).
+                                break;
+                            }
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     if let Some((key, table)) = plan.single_lookup() {
@@ -1344,7 +1849,23 @@ impl ServingEngine {
                                             table_switches += 1;
                                             current = Some(*key);
                                         }
-                                        return unit.lookup_batch_into(&pb.inputs, &mut scratch);
+                                        unit.lookup_batch_into(&pb.inputs, &mut scratch)?;
+                                        if let Some(lane) = lookup_fault_hook(
+                                            table,
+                                            pb.inputs.as_slice(),
+                                            scratch.as_mut_slice(),
+                                            &mut injector,
+                                            canary,
+                                        ) {
+                                            unit_fault = Some(format!(
+                                                "shard worker {id} canary mismatch at lane \
+                                                 {lane} of work unit {seq}"
+                                            ));
+                                            return Err(NovaError::Runtime(
+                                                "canary mismatch".into(),
+                                            ));
+                                        }
+                                        return Ok(());
                                     }
                                     // Fused plan: run the stage sequence,
                                     // ping-ponging lookups through the
@@ -1361,15 +1882,43 @@ impl ServingEngine {
                                                     table_switches += 1;
                                                     current = Some(*key);
                                                 }
-                                                if first {
+                                                let mismatch = if first {
                                                     unit.lookup_batch_into(
                                                         &pb.inputs,
                                                         &mut scratch,
                                                     )?;
                                                     first = false;
+                                                    lookup_fault_hook(
+                                                        table,
+                                                        pb.inputs.as_slice(),
+                                                        scratch.as_mut_slice(),
+                                                        &mut injector,
+                                                        canary,
+                                                    )
                                                 } else {
                                                     unit.lookup_batch_into(&scratch, &mut pong)?;
+                                                    // Canary-check the fresh
+                                                    // words against their
+                                                    // stage inputs before the
+                                                    // ping-pong swap.
+                                                    let m = lookup_fault_hook(
+                                                        table,
+                                                        scratch.as_slice(),
+                                                        pong.as_mut_slice(),
+                                                        &mut injector,
+                                                        canary,
+                                                    );
                                                     std::mem::swap(&mut scratch, &mut pong);
+                                                    m
+                                                };
+                                                if let Some(lane) = mismatch {
+                                                    unit_fault = Some(format!(
+                                                        "shard worker {id} canary mismatch \
+                                                         at lane {lane} of work unit {seq}"
+                                                    ));
+                                                    return Err(NovaError::Runtime(
+                                                        "canary mismatch".into(),
+                                                    ));
                                                 }
                                             }
                                             StageOp::MaxSubtract => {
@@ -1406,8 +1955,8 @@ impl ServingEngine {
                                                     // RangeScale overwrites every
                                                     // lane with the uniform
                                                     // fallback.
-                                                    let m_raw = red
-                                                        .map_or(plan.format.scale(), |(m, _)| m);
+                                                    let m_raw =
+                                                        red.map_or(plan.format.scale(), |(m, _)| m);
                                                     let m = Fixed::from_raw_saturating(
                                                         m_raw,
                                                         plan.format,
@@ -1446,8 +1995,7 @@ impl ServingEngine {
                                                                 plan.format,
                                                                 plan.rounding,
                                                             );
-                                                            lanes[start..start + len]
-                                                                .fill(uniform);
+                                                            lanes[start..start + len].fill(uniform);
                                                         }
                                                     }
                                                 }
@@ -1481,11 +2029,14 @@ impl ServingEngine {
                                     }
                                 }
                                 Ok(Err(e)) => {
-                                    // Keep the run's first (lowest-batch)
-                                    // failure; later batches still run,
-                                    // exactly like the per-batch pipeline
-                                    // did.
-                                    if result.is_ok() {
+                                    // A canary mismatch latched a fault
+                                    // verdict and aborted the batch with
+                                    // a sentinel error; everything else
+                                    // keeps the run's first
+                                    // (lowest-batch) failure — later
+                                    // batches still run, exactly like
+                                    // the per-batch pipeline did.
+                                    if unit_fault.is_none() && result.is_ok() {
                                         result = Err(e);
                                     }
                                 }
@@ -1498,50 +2049,64 @@ impl ServingEngine {
                                     // unconditionally instead of trusting
                                     // corrupted banks.
                                     current = None;
-                                    if result.is_ok() {
-                                        result = Err(NovaError::Runtime(format!(
-                                            "shard worker {id} panicked serving work unit {seq}: {}",
-                                            panic_message(payload.as_ref())
-                                        )));
+                                    let msg = format!(
+                                        "shard worker {id} panicked serving work unit {seq}: {}",
+                                        panic_message(payload.as_ref())
+                                    );
+                                    if canary.is_some() {
+                                        // Armed policy: a panic is a
+                                        // shard fault, not a slate
+                                        // failure — quarantine and
+                                        // requeue instead of erroring.
+                                        unit_fault = Some(msg);
+                                    } else if result.is_ok() {
+                                        result = Err(NovaError::Runtime(msg));
                                     }
                                 }
                             }
                         }
                         let busy_ns =
                             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        let mut done = UnitDone {
-                            seq,
-                            worker: id,
-                            batches_ok,
-                            queries_ok,
-                            latency,
-                            padded,
-                            table_switches,
-                            switch_cycles,
-                            busy_ns,
-                            recycled: batches,
-                            result,
-                        };
-                        loop {
-                            match done_tx.try_push(done) {
-                                Ok(()) => break,
-                                Err(PushError::Full(back)) => {
-                                    // Unreachable by the outstanding-cap
-                                    // invariant (admission never has more
-                                    // than the ring's capacity in flight
-                                    // per shard); yield rather than wedge
-                                    // if it is ever violated.
-                                    debug_assert!(
-                                        false,
-                                        "completion ring full despite the outstanding cap"
-                                    );
-                                    done = back;
-                                    std::thread::yield_now();
-                                }
-                                // The engine is gone; nobody will read.
-                                Err(PushError::Closed(_)) => return,
+                        let done = if let Some(why) = unit_fault {
+                            // Shard fault: the unit reports zero work (the
+                            // healthy re-run is the one the ledger counts —
+                            // anything this shard touched is untrusted) and
+                            // carries its batches and plan back for requeue.
+                            // This shard serves nothing further.
+                            retired = Some(why.clone());
+                            UnitDone {
+                                seq,
+                                worker: id,
+                                batches_ok: 0,
+                                queries_ok: 0,
+                                latency: 0,
+                                padded: 0,
+                                table_switches: 0,
+                                switch_cycles: 0,
+                                busy_ns: 0,
+                                recycled: batches,
+                                result: Ok(()),
+                                fault: Some(why),
+                                plan: Some(plan),
                             }
-                        }
+                        } else {
+                            UnitDone {
+                                seq,
+                                worker: id,
+                                batches_ok,
+                                queries_ok,
+                                latency,
+                                padded,
+                                table_switches,
+                                switch_cycles,
+                                busy_ns,
+                                recycled: batches,
+                                result,
+                                fault: None,
+                                plan: None,
+                            }
+                        };
+                        push_done(&done_tx, done);
                         bell.ring();
                     }
                 })
@@ -1551,6 +2116,7 @@ impl ServingEngine {
                 done: done_rx,
                 outstanding: 0,
                 handle: Some(handle),
+                quarantined: false,
             });
         }
         let routers = config.line.routers;
@@ -1578,6 +2144,9 @@ impl ServingEngine {
             unit_cap: unit_cap.max(1),
             admit_ns: 0,
             finalize_ns: 0,
+            requeue_ns: 0,
+            healthy: (0..shards).collect(),
+            requeued_units: 0,
             poisoned: None,
         })
     }
@@ -1648,7 +2217,22 @@ impl ServingEngine {
             stats.table_switches += load.table_switches;
             stats.switch_cycles += load.switch_cycles;
         }
+        let quarantined = self.shards.iter().filter(|l| l.quarantined).count() as u64;
+        stats.quarantined_shards = quarantined;
+        stats.requeued_units = self.requeued_units;
+        stats.degraded_capacity_pct = if self.shards.is_empty() {
+            0.0
+        } else {
+            100.0 * quarantined as f64 / self.shards.len() as f64
+        };
         stats
+    }
+
+    /// Shards still accepting work (total minus quarantined). Equals
+    /// [`Self::shards`] until a fault verdict quarantines one.
+    #[must_use]
+    pub fn healthy_shards(&self) -> usize {
+        self.healthy.len()
     }
 
     /// Per-worker accounting: what each shard thread served so far.
@@ -1686,6 +2270,7 @@ impl ServingEngine {
         let mut times = StageTimes {
             admit_ns: self.admit_ns,
             finalize_ns: self.finalize_ns,
+            requeue_ns: self.requeue_ns,
             ..StageTimes::default()
         };
         for load in &self.loads {
@@ -2232,24 +2817,35 @@ impl ServingEngine {
     fn pump(&mut self) -> Result<(), NovaError> {
         for s in 0..self.shards.len() {
             while let Some(done) = self.shards[s].done.try_pop() {
-                self.route(done);
+                if done.fault.is_some() {
+                    self.handle_fault(s, done)?;
+                } else {
+                    self.route(done);
+                }
             }
             // A closed (and now drained) completion ring means its
             // worker thread died outside the catch — unit panics are
-            // caught and reported, so this is a wiring failure.
-            if self.shards[s].done.is_closed() {
+            // caught and reported, so this is a wiring failure. A
+            // quarantined shard's ring is closed *by design* (its
+            // worker was retired and joined), so it is exempt.
+            if self.shards[s].done.is_closed() && !self.shards[s].quarantined {
                 return Err(self.poison(&format!("shard worker {s} died")));
             }
         }
-        let nshards = self.shards.len();
         while let Some(unit) = self.pending.pop_front() {
             // Units go out strictly in sequence order (stopping at the
             // first saturated shard), so each worker's table-switch
-            // pattern is deterministic for a given worker count. The
-            // outstanding cap keeps every shard's completion ring from
-            // ever filling — that is what makes worker completion
-            // pushes non-blocking by invariant.
-            let worker = usize::try_from(unit.seq % nshards as u64).expect("shards fit usize");
+            // pattern is deterministic for a given worker count *and
+            // quarantine set*. The outstanding cap keeps every shard's
+            // completion ring from ever filling — that is what makes
+            // worker completion pushes non-blocking by invariant.
+            let Some(worker) = self.route_shard(unit.seq) else {
+                // No healthy shard left: the fault that emptied the set
+                // already latched the poison — park the unit and let the
+                // caller's check_poisoned surface it.
+                self.pending.push_front(unit);
+                break;
+            };
             let link = &mut self.shards[worker];
             if link.outstanding >= WORKER_DONE_DEPTH || link.feed.is_full() {
                 self.pending.push_front(unit);
@@ -2261,12 +2857,92 @@ impl ServingEngine {
                     self.pending.push_front(unit);
                     break;
                 }
-                Err(PushError::Closed(_)) => {
-                    return Err(self.poison(&format!("shard worker {worker} died")));
+                Err(PushError::Closed(unit)) => {
+                    // The shard failed between the routing decision and
+                    // the push (its fault completion is in flight): park
+                    // the unit — the next pump quarantines the shard and
+                    // re-routes over the shrunken healthy set.
+                    self.pending.push_front(unit);
+                    break;
                 }
             }
         }
         Ok(())
+    }
+
+    /// The healthy shard `seq` routes to, or `None` once every shard is
+    /// quarantined. Round-robin over the *healthy* list, so routing
+    /// stays deterministic for a given quarantine set.
+    fn route_shard(&self, seq: u64) -> Option<usize> {
+        if self.healthy.is_empty() {
+            return None;
+        }
+        let slot = usize::try_from(seq % self.healthy.len() as u64).expect("shards fit usize");
+        Some(self.healthy[slot])
+    }
+
+    /// Retires shard `s` after a fault verdict: closes its feed ring
+    /// (the retired worker drains the ring back as fault completions and
+    /// exits), joins the thread, and removes the shard from the healthy
+    /// routing set. Idempotent — the drain-back completions re-enter
+    /// here once per parked unit.
+    fn quarantine(&mut self, s: usize) {
+        if self.shards[s].quarantined {
+            return;
+        }
+        self.shards[s].quarantined = true;
+        self.shards[s].feed.close();
+        if let Some(handle) = self.shards[s].handle.take() {
+            // Cannot deadlock: the done ring's depth equals the
+            // outstanding cap, so every drain-back push fits without the
+            // engine popping.
+            let _ = handle.join();
+        }
+        self.healthy.retain(|&h| h != s);
+    }
+
+    /// One fault completion from shard `s`: quarantines the shard (first
+    /// verdict only) and re-admits the returned unit — batches intact,
+    /// plan riding along — to the healthy routing set. Scatter is
+    /// idempotent (workers write result words through per-slot pointers),
+    /// so the healthy re-run lands bit-identically even if the faulty
+    /// shard partially scattered before its canary tripped.
+    ///
+    /// # Errors
+    ///
+    /// Poisons the engine when the quarantine empties the healthy set:
+    /// with no shard left to re-run on, the slate can never complete.
+    fn handle_fault(&mut self, s: usize, done: UnitDone) -> Result<(), NovaError> {
+        let started = Instant::now();
+        let UnitDone {
+            seq,
+            recycled,
+            fault,
+            plan,
+            ..
+        } = done;
+        let why = fault.unwrap_or_else(|| "unreported shard fault".into());
+        self.shards[s].outstanding -= 1;
+        self.quarantine(s);
+        let outcome = match plan {
+            _ if self.healthy.is_empty() => Err(self.poison(&format!(
+                "all shard workers quarantined; last verdict: {why}"
+            ))),
+            Some(plan) => {
+                self.requeued_units += 1;
+                self.pending.push_back(WorkUnit {
+                    seq,
+                    plan,
+                    batches: recycled,
+                });
+                Ok(())
+            }
+            None => Err(self.poison(&format!(
+                "shard worker {s} reported a fault without returning its plan: {why}"
+            ))),
+        };
+        self.requeue_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        outcome
     }
 
     /// Files one completion with its in-flight ticket: rolls the
@@ -2286,6 +2962,8 @@ impl ServingEngine {
             busy_ns,
             recycled,
             result,
+            fault: _,
+            plan: _,
         } = done;
         self.shards[worker].outstanding -= 1;
         // A switch the worker performed really re-programmed the unit —
@@ -2336,21 +3014,26 @@ impl ServingEngine {
     /// progress then requires a worker to push a completion, and every
     /// such push rings the doorbell.
     fn progress_ready(&self) -> bool {
-        if self
-            .shards
-            .iter()
-            .any(|link| !link.done.is_empty() || link.done.is_closed())
-        {
+        if self.shards.iter().any(|link| {
+            // A quarantined shard's rings are closed by design and its
+            // buffered fault completions were all drained during the
+            // quarantine pump — treating its permanently-closed done
+            // ring as "ready" would busy-spin the wait loop.
+            !link.done.is_empty() || (link.done.is_closed() && !link.quarantined)
+        }) {
             return true;
         }
         match self.pending.front() {
-            Some(unit) => {
-                let worker =
-                    usize::try_from(unit.seq % self.shards.len() as u64).expect("fits usize");
-                let link = &self.shards[worker];
-                link.feed.is_closed()
-                    || (link.outstanding < WORKER_DONE_DEPTH && !link.feed.is_full())
-            }
+            Some(unit) => match self.route_shard(unit.seq) {
+                Some(worker) => {
+                    let link = &self.shards[worker];
+                    link.feed.is_closed()
+                        || (link.outstanding < WORKER_DONE_DEPTH && !link.feed.is_full())
+                }
+                // Healthy set empty: the engine is poisoned and the wait
+                // loop's check_poisoned fires before it can park.
+                None => true,
+            },
             None => false,
         }
     }
@@ -3282,7 +3965,8 @@ mod tests {
         let units: Vec<Box<dyn VectorUnit>> =
             vec![Box::new(PanickingUnit), Box::new(PanickingUnit)];
         let mut eng =
-            ServingEngine::from_units(config, vec![(key, table)], MAX_UNIT_BATCHES, units).unwrap();
+            ServingEngine::from_units(config, vec![(key, table)], MAX_UNIT_BATCHES, None, units)
+                .unwrap();
         let err = eng.serve(&requests(2, 10, 30)).unwrap_err();
         assert!(
             matches!(&err, NovaError::Runtime(msg) if msg.contains("panicked")),
@@ -3546,5 +4230,243 @@ mod tests {
             "zero-sum row must be uniform: {:?}",
             outputs[0]
         );
+    }
+
+    // ----- fault quarantine, requeue, and warm-start snapshots -----
+
+    #[test]
+    fn injected_fault_quarantines_the_shard_and_the_slate_completes() {
+        // The tentpole in one engine: a bit-flip fault fires on shard 0
+        // mid-traffic, the canary catches it, the shard is quarantined,
+        // its in-flight units re-run on the survivor — and the slate is
+        // still bit-identical to the sequential reference.
+        let mut eng = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+            .line(LineConfig::paper_default(2, 4))
+            .table(gelu_key())
+            .shards(2)
+            .fault_check(FaultPolicy::new().inject(0, FaultInjector::bit_flip(1, 7)))
+            .build()
+            .unwrap();
+        let reqs = requests(8, 40, 0xFA01);
+        let reference = eng.serve_reference(&reqs);
+        assert_eq!(eng.serve(&reqs).unwrap(), reference);
+        let stats = eng.stats();
+        assert_eq!(stats.quarantined_shards, 1, "{stats:?}");
+        assert!(stats.requeued_units >= 1, "{stats:?}");
+        assert!(
+            (stats.degraded_capacity_pct - 50.0).abs() < 1e-9,
+            "{stats:?}"
+        );
+        assert_eq!(eng.healthy_shards(), 1);
+        assert!(
+            eng.stage_times().requeue_ns > 0,
+            "requeue cost must be attributed"
+        );
+        // Degraded steady state: the survivor keeps serving correctly.
+        assert_eq!(eng.serve(&reqs).unwrap(), reference);
+        assert_eq!(eng.stats().quarantined_shards, 1, "no double quarantine");
+    }
+
+    #[test]
+    fn last_healthy_shard_fault_poisons_the_engine() {
+        let mut eng = ServingEngine::builder(ApproximatorKind::PerCoreLut)
+            .line(LineConfig::paper_default(2, 4))
+            .table(gelu_key())
+            .fault_check(FaultPolicy::new().inject(0, FaultInjector::panic_after(0)))
+            .build()
+            .unwrap();
+        let err = eng.serve(&requests(2, 10, 0xFA02)).unwrap_err();
+        assert!(
+            matches!(&err, NovaError::Runtime(msg) if msg.contains("all shard workers quarantined")),
+            "{err:?}"
+        );
+        // The poison is latched: the engine stays dead deterministically.
+        assert!(eng.serve(&requests(1, 3, 0xFA03)).is_err());
+        assert_eq!(eng.healthy_shards(), 0);
+        assert!((eng.stats().degraded_capacity_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn armed_but_fault_free_policy_serves_identically() {
+        // Detection arming without any injected fault must be purely
+        // observational: same outputs, nothing quarantined or requeued.
+        let reqs = requests(6, 30, 0xFA04);
+        let mut plain = engine_with_workers(ApproximatorKind::NovaNoc, 2, 4, 2);
+        let reference = plain.serve(&reqs).unwrap();
+        let mut armed = ServingEngine::builder(ApproximatorKind::NovaNoc)
+            .line(LineConfig::paper_default(2, 4))
+            .table(gelu_key())
+            .shards(2)
+            .fault_check(FaultPolicy::new())
+            .build()
+            .unwrap();
+        assert_eq!(armed.serve(&reqs).unwrap(), reference);
+        let stats = armed.stats();
+        assert_eq!(stats.quarantined_shards, 0);
+        assert_eq!(stats.requeued_units, 0);
+        assert!(stats.degraded_capacity_pct.abs() < 1e-9);
+        assert_eq!(armed.stage_times().requeue_ns, 0);
+    }
+
+    #[test]
+    fn seeded_chaos_sweep_stays_bit_identical_while_any_shard_survives() {
+        // Satellite: random BitFaults + panics injected mid-traffic
+        // across workers {1, 2, 4} × every approximator kind. Whenever
+        // k < workers shards are hit, the slate must complete
+        // bit-identical to `serve_reference` and the ledger must match
+        // the injection log; when the only shard is hit, the engine
+        // must poison (not hang, not corrupt).
+        let mut rng = StdRng::seed_from_u64(0xC7A05);
+        let reqs = mixed_requests(8, 40, 0xFA05);
+        let cache = TableCache::new();
+        for kind in ApproximatorKind::all() {
+            for workers in [1usize, 2, 4] {
+                // Injection log: hit `workers - 1` shards (so one always
+                // survives), except the 1-worker row which hits its only
+                // shard to exercise the poison path.
+                let hit = if workers == 1 { 1 } else { workers - 1 };
+                let mut policy = FaultPolicy::new();
+                for shard in 0..hit {
+                    let after = rng.gen_range(0u64..3);
+                    policy = if rng.gen_range(0u32..2) == 0 {
+                        let bit = rng.gen_range(0u32..32);
+                        policy.inject(shard, FaultInjector::bit_flip(after, bit))
+                    } else {
+                        policy.inject(shard, FaultInjector::panic_after(after))
+                    };
+                }
+                let mut eng = ServingEngine::builder(kind)
+                    .line(LineConfig::paper_default(2, 4))
+                    .cache(&cache)
+                    .tables([gelu_key(), exp_key()])
+                    .shards(workers)
+                    .fault_check(policy)
+                    .build()
+                    .unwrap();
+                let label = format!("{} w={workers}", kind.label());
+                let reference = eng.serve_reference(&reqs);
+                if workers == 1 {
+                    let err = eng.serve(&reqs).unwrap_err();
+                    assert!(
+                        matches!(&err, NovaError::Runtime(msg)
+                            if msg.contains("all shard workers quarantined")),
+                        "{label}: {err:?}"
+                    );
+                    continue;
+                }
+                assert_eq!(eng.serve(&reqs).unwrap(), reference, "{label}");
+                let stats = eng.stats();
+                assert_eq!(stats.quarantined_shards, hit as u64, "{label}: {stats:?}");
+                assert!(
+                    stats.requeued_units >= hit as u64,
+                    "{label}: every hit shard bounces at least its triggering unit: {stats:?}"
+                );
+                let expected_pct = 100.0 * hit as f64 / workers as f64;
+                assert!(
+                    (stats.degraded_capacity_pct - expected_pct).abs() < 1e-9,
+                    "{label}: {stats:?}"
+                );
+                assert_eq!(eng.healthy_shards(), workers - hit, "{label}");
+                // Degraded but alive: the survivors still serve the
+                // whole slate bit-identically.
+                assert_eq!(eng.serve(&reqs).unwrap(), reference, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoning_fitter_thread_does_not_take_down_the_cache() {
+        // Satellite: a thread that panics while holding the cache's
+        // write lock poisons the `RwLock`; recovery must hand later
+        // callers the (valid) map instead of cascading the panic into
+        // every serving engine sharing the cache.
+        let cache = TableCache::new();
+        cache.get_or_fit(gelu_key()).unwrap();
+        let poisoner = cache.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.inner.tables.write().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(result.is_err(), "the fitter thread must have panicked");
+        assert_eq!(cache.len(), 1, "reads recover the poisoned lock");
+        let a = cache.get_or_fit(gelu_key()).unwrap();
+        let b = cache.get_or_fit(exp_key()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2, "writes recover the poisoned lock");
+        let snapshot = cache.snapshot();
+        let fresh = TableCache::new();
+        assert_eq!(fresh.restore(&snapshot).unwrap(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_every_resident_table_raw_identical() {
+        // Warm-start contract: every fitted table survives
+        // snapshot → restore with raw slope/bias/breakpoint words
+        // bit-identical, across activations, formats, and roundings.
+        let cache = TableCache::new();
+        let mut keys = vec![gelu_key(), exp_key()];
+        keys.push(TableKey {
+            rounding: Rounding::Floor,
+            ..gelu_key()
+        });
+        keys.push(TableKey {
+            activation: Activation::Tanh,
+            breakpoints: 9,
+            ..gelu_key()
+        });
+        for &key in &keys {
+            cache.get_or_fit(key).unwrap();
+        }
+        let snapshot = cache.snapshot();
+        let warm = TableCache::new();
+        assert_eq!(warm.restore(&snapshot).unwrap(), keys.len());
+        assert_eq!(warm.len(), keys.len());
+        for &key in &keys {
+            let orig = cache.get_or_fit(key).unwrap();
+            let misses = warm.misses();
+            let restored = warm.get_or_fit(key).unwrap();
+            assert_eq!(warm.misses(), misses, "warm start must not refit {key:?}");
+            assert_eq!(orig.slopes_raw(), restored.slopes_raw(), "{key:?}");
+            assert_eq!(orig.biases_raw(), restored.biases_raw(), "{key:?}");
+            assert_eq!(orig.breakpoints(), restored.breakpoints(), "{key:?}");
+            assert_eq!(orig.format(), restored.format(), "{key:?}");
+            assert_eq!(orig.rounding(), restored.rounding(), "{key:?}");
+        }
+        // Restore is additive and idempotent: resident keys are skipped.
+        assert_eq!(warm.restore(&snapshot).unwrap(), 0);
+        // And the snapshot survives a JSON round-trip (the daemon's
+        // on-disk form).
+        let json = snapshot.to_json();
+        let reloaded = Value::from_json(&json).unwrap();
+        let warm2 = TableCache::new();
+        assert_eq!(warm2.restore(&reloaded).unwrap(), keys.len());
+        assert_eq!(warm2.snapshot().to_json(), warm.snapshot().to_json());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let cache = TableCache::new();
+        let err = cache
+            .restore(&Value::from_json("{\"format\":\"bogus/v9\",\"tables\":[]}").unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(&err, NovaError::Runtime(msg) if msg.contains("unrecognized format")),
+            "{err:?}"
+        );
+        // A malformed entry rejects the whole snapshot atomically:
+        // nothing is inserted from the valid half.
+        let donor = TableCache::new();
+        donor.get_or_fit(gelu_key()).unwrap();
+        let mut json = donor.snapshot().to_json();
+        json = json.replacen("\"gelu\"", "\"unknown\"", 1);
+        let err = cache
+            .restore(&Value::from_json(&json).unwrap())
+            .unwrap_err();
+        assert!(
+            matches!(&err, NovaError::Runtime(msg) if msg.contains("activation")),
+            "{err:?}"
+        );
+        assert_eq!(cache.len(), 0, "rejected snapshots insert nothing");
     }
 }

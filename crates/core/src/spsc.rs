@@ -40,6 +40,23 @@
 //! engine thread collecting completions from several rings at once),
 //! again with a raise-then-recheck protocol.
 //!
+//! # Quarantine handshake
+//!
+//! The serving engine's shard-quarantine path leans on two properties
+//! the close protocol already guarantees, pinned here as contract:
+//!
+//! - **producer-side close loses nothing** — when the engine closes a
+//!   failed shard's feed ring from the *producer* end
+//!   ([`Producer::close`]), the worker keeps draining every unit that
+//!   was pushed before the close (drain-after-close) and only then
+//!   observes emptiness as final, so in-flight work units are always
+//!   handed back for requeue, never dropped;
+//! - **joining after close cannot deadlock** — the retired worker's
+//!   hand-backs go out over the *done* ring, whose capacity equals the
+//!   engine's per-shard outstanding cap, so every drain-back push fits
+//!   without the engine popping concurrently; the engine may therefore
+//!   close the feed and immediately `join()` the worker thread.
+//!
 //! # Example
 //!
 //! ```
@@ -527,6 +544,44 @@ mod tests {
         }
         drop(tx);
         assert_eq!(consumer.join().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn producer_close_then_join_hands_every_item_back() {
+        // The quarantine handshake in miniature: the engine closes a
+        // failed shard's feed ring from the producer side and joins the
+        // worker; the worker drains every pre-close unit back over a
+        // done ring deep enough for all of them, then exits. Nothing is
+        // lost, and the join cannot deadlock because the hand-backs fit
+        // the done ring without a concurrent consumer.
+        let outstanding = 4usize;
+        let (feed_tx, feed_rx) = ring::<u32>(outstanding);
+        let (done_tx, done_rx) = ring::<u32>(outstanding);
+        for unit in 0..outstanding as u32 {
+            feed_tx.try_push(unit).unwrap();
+        }
+        let worker = std::thread::spawn(move || {
+            loop {
+                if let Some(unit) = feed_rx.try_pop() {
+                    // Drain-back: hand the unit to the engine untouched.
+                    done_tx.try_push(unit).unwrap();
+                    continue;
+                }
+                if feed_rx.is_closed() {
+                    match feed_rx.try_pop() {
+                        Some(unit) => done_tx.try_push(unit).unwrap(),
+                        None => return, // closed + drained is final
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        feed_tx.close();
+        worker.join().unwrap();
+        let drained: Vec<u32> = std::iter::from_fn(|| done_rx.try_pop()).collect();
+        assert_eq!(drained, (0..outstanding as u32).collect::<Vec<_>>());
+        assert!(done_rx.is_closed(), "retired worker dropped its done end");
     }
 
     #[test]

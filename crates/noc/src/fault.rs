@@ -1,12 +1,25 @@
-//! Fault injection on the broadcast link.
+//! Fault injection on the broadcast link, and the hooks the serving
+//! runtime uses to rehearse shard failure.
 //!
 //! NOVA trades SRAM (with its well-understood ECC story) for long repeated
 //! wires, so a reproduction should let users ask: *what does a single-event
-//! upset on the link do to the results?* This module flips chosen bits of
-//! a flit's wire image and reports how the approximation output degrades —
-//! useful both as a robustness study and as a test oracle (a flipped bit
-//! must corrupt only the neurons whose lookup address selected the
-//! affected pair, and only in the affected flit).
+//! upset on the link do to the results?* Two layers answer that:
+//!
+//! - **Offline analysis** — [`inject`] flips a chosen bit of a flit's wire
+//!   image and reports how the approximation output degrades. Useful both
+//!   as a robustness study and as a test oracle (a flipped bit must
+//!   corrupt only the neurons whose lookup address selected the affected
+//!   pair, and only in the affected flit).
+//! - **Online rehearsal** — [`FaultInjector`] is a deterministic one-shot
+//!   trigger a serving-engine shard carries. After a configured number of
+//!   lookup evaluations it either flips a bit of one output word
+//!   ([`InjectedFault::BitFlip`]) or panics ([`InjectedFault::Panic`]),
+//!   standing in for a real single-event upset or a wedged worker. The
+//!   serving engine's fault-check canary (see `nova-core`'s serving
+//!   module) is expected to catch the corruption, quarantine the shard,
+//!   and requeue its in-flight work — the injector exists so chaos tests,
+//!   benches, and examples can drive that lifecycle on demand and fully
+//!   reproducibly.
 
 use nova_approx::QuantizedPwl;
 use nova_fixed::Fixed;
@@ -30,6 +43,98 @@ impl BitFault {
     pub fn slot(&self, link: LinkConfig) -> Option<usize> {
         let data_bits = link.pairs_per_flit * 32;
         (self.bit < data_bits).then_some(self.bit / 32)
+    }
+}
+
+/// The observable effect of a [`FaultInjector`] firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectedFault {
+    /// XOR one bit into an output word, modelling a link upset that slipped
+    /// past the wire-level checkers.
+    BitFlip {
+        /// Bit position to flip; consumers reduce it modulo the format
+        /// width of the word they corrupt.
+        bit: u32,
+    },
+    /// Panic at the trigger point, modelling a wedged or crashed worker.
+    Panic,
+}
+
+/// A deterministic one-shot fault trigger for serving-engine shards.
+///
+/// The carrier calls [`tick`](Self::tick) once per lookup evaluation; the
+/// injector stays silent for `after` ticks, fires exactly once, and is
+/// inert afterwards. Because the trigger counts deterministic events (not
+/// wall-clock time), a seeded chaos sweep replays the identical failure
+/// on every run.
+///
+/// ```
+/// use nova_noc::fault::{FaultInjector, InjectedFault};
+///
+/// let mut inj = FaultInjector::bit_flip(2, 7);
+/// assert_eq!(inj.tick(), None);
+/// assert_eq!(inj.tick(), None);
+/// assert_eq!(inj.tick(), Some(InjectedFault::BitFlip { bit: 7 }));
+/// assert_eq!(inj.tick(), None); // one-shot: never fires again
+/// assert!(inj.fired());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaultInjector {
+    after: u64,
+    mode: InjectedFault,
+    ticks: u64,
+    fired: bool,
+}
+
+impl FaultInjector {
+    /// An injector that flips `bit` of one output word on the
+    /// `after`-th [`tick`](Self::tick) (0-based: `after == 0` fires on the
+    /// first tick).
+    #[must_use]
+    pub fn bit_flip(after: u64, bit: u32) -> Self {
+        Self {
+            after,
+            mode: InjectedFault::BitFlip { bit },
+            ticks: 0,
+            fired: false,
+        }
+    }
+
+    /// An injector that panics on the `after`-th [`tick`](Self::tick).
+    #[must_use]
+    pub fn panic_after(after: u64) -> Self {
+        Self {
+            after,
+            mode: InjectedFault::Panic,
+            ticks: 0,
+            fired: false,
+        }
+    }
+
+    /// Advances the trigger clock; returns the fault exactly once, on the
+    /// `after`-th call.
+    ///
+    /// Note the [`InjectedFault::Panic`] mode does **not** panic here —
+    /// the carrier decides where the returned verdict detonates, so the
+    /// panic lands inside whatever unwind boundary guards the datapath.
+    pub fn tick(&mut self) -> Option<InjectedFault> {
+        if self.fired {
+            return None;
+        }
+        let due = self.ticks == self.after;
+        self.ticks += 1;
+        if due {
+            self.fired = true;
+            Some(self.mode)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the one-shot has already fired.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired
     }
 }
 
@@ -182,6 +287,121 @@ mod tests {
         let link = LinkConfig::paper();
         assert!(inject(&t, link, &inputs(), BitFault { flit: 5, bit: 0 }).is_err());
         assert!(inject(&t, link, &inputs(), BitFault { flit: 0, bit: 257 }).is_err());
+    }
+
+    #[test]
+    fn slot_classifies_every_bit_position() {
+        let link = LinkConfig::paper();
+        let data_bits = link.pairs_per_flit * 32;
+        // First and last data bit of the first and last pair slots.
+        assert_eq!(BitFault { flit: 0, bit: 0 }.slot(link), Some(0));
+        assert_eq!(BitFault { flit: 0, bit: 31 }.slot(link), Some(0));
+        assert_eq!(
+            BitFault {
+                flit: 0,
+                bit: data_bits - 1
+            }
+            .slot(link),
+            Some(link.pairs_per_flit - 1)
+        );
+        // The tag field and anything beyond the wire image are not a slot.
+        assert_eq!(
+            BitFault {
+                flit: 0,
+                bit: data_bits
+            }
+            .slot(link),
+            None
+        );
+        assert_eq!(
+            BitFault {
+                flit: 0,
+                bit: usize::MAX
+            }
+            .slot(link),
+            None
+        );
+    }
+
+    #[test]
+    fn exact_boundary_fault_positions_rejected() {
+        let t = table();
+        let link = LinkConfig::paper();
+        let schedule = BroadcastSchedule::compile(&t, link).unwrap();
+        // One past the last flit and one past the last wire, exactly.
+        let flit_edge = BitFault {
+            flit: schedule.flit_count(),
+            bit: 0,
+        };
+        let bit_edge = BitFault {
+            flit: 0,
+            bit: link.link_bits(),
+        };
+        assert!(inject(&t, link, &inputs(), flit_edge).is_err());
+        assert!(inject(&t, link, &inputs(), bit_edge).is_err());
+        // The last in-range position is accepted.
+        let last = BitFault {
+            flit: schedule.flit_count() - 1,
+            bit: link.link_bits() - 1,
+        };
+        assert!(inject(&t, link, &inputs(), last).is_ok());
+    }
+
+    #[test]
+    fn unaddressed_slot_fault_reports_zero_corruption() {
+        // 16 breakpoints → 17 pairs over 3 flits of 8 slots: the last
+        // flit's top slot backs no address, so corrupting it must leave
+        // every output untouched and the report's `corrupted` list empty.
+        let t = table();
+        let link = LinkConfig::paper();
+        let xs = inputs();
+        let schedule = BroadcastSchedule::compile(&t, link).unwrap();
+        let fault = BitFault {
+            flit: schedule.flit_count() - 1,
+            bit: (link.pairs_per_flit - 1) * 32 + 5,
+        };
+        let report = inject(&t, link, &xs, fault).unwrap();
+        assert!(!report.tag_fault);
+        assert!(report.corrupted.is_empty(), "no address selects that slot");
+        assert_eq!(report.golden, report.faulty);
+    }
+
+    #[test]
+    fn single_input_batch_round_trips_through_inject() {
+        let t = table();
+        let link = LinkConfig::paper();
+        // One input whose address is 6 (flit 0, slot 3 — see the
+        // slot-targeting test above), hit by a slope-MSB flip in exactly
+        // that slot: the lone result must corrupt, and every report field
+        // must have single-batch shape.
+        let x = *inputs()
+            .iter()
+            .find(|x| t.lookup_address(**x) == 6)
+            .expect("domain sweep covers address 6");
+        let fault = BitFault {
+            flit: 0,
+            bit: 3 * 32 + 14,
+        };
+        let report = inject(&t, link, &[x], fault).unwrap();
+        assert_eq!(report.golden.len(), 1);
+        assert_eq!(report.faulty.len(), 1);
+        assert_eq!(report.golden[0], t.eval(x));
+        assert_eq!(report.corrupted, vec![0]);
+    }
+
+    #[test]
+    fn panic_injector_fires_once_at_the_configured_tick() {
+        let mut inj = FaultInjector::panic_after(0);
+        assert!(!inj.fired());
+        assert_eq!(inj.tick(), Some(InjectedFault::Panic));
+        assert!(inj.fired());
+        for _ in 0..8 {
+            assert_eq!(inj.tick(), None);
+        }
+
+        let mut later = FaultInjector::bit_flip(3, 0);
+        let fired_at = (0..8).find(|_| later.tick().is_some());
+        assert_eq!(fired_at, Some(3));
     }
 
     #[test]
