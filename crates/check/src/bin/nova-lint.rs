@@ -1,0 +1,31 @@
+//! `nova-lint` — walks a workspace tree and fails (exit 1) on any
+//! violation of the invariants in [`nova_check::lint`].
+//!
+//! ```text
+//! nova-lint [ROOT]     # default ROOT: current directory
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let findings = match nova_check::lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("nova-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("nova-lint: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("nova-lint: {} violation(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,99 @@
+//! Vector clocks — the happens-before substrate of the model checker.
+//!
+//! Every model thread carries a [`VClock`]; release stores snapshot the
+//! storing thread's clock, acquire loads join the snapshot back in, and
+//! the data-race detector compares clocks to decide whether two
+//! [`UnsafeCell`](crate::shim::cell::UnsafeCell) accesses are ordered.
+
+/// A grow-on-demand vector clock over model-thread ids.
+///
+/// Missing components read as 0, so clocks over different thread counts
+/// compare naturally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for thread `tid`.
+    #[must_use]
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Bumps thread `tid`'s own component (one per model operation).
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: `self` absorbs everything `other` has
+    /// seen (the acquire half of a release/acquire pair).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether every component of `self` is ≤ the matching component of
+    /// `other` — i.e. everything `self` describes happens-before (or is)
+    /// what `other` has seen.
+    #[must_use]
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &c)| c <= other.get(tid))
+    }
+
+    /// Feeds the clock into a state hash (FNV-1a accumulation).
+    #[must_use]
+    pub fn fnv(&self, mut hash: u64) -> u64 {
+        for &c in &self.0 {
+            hash ^= c;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut joined = a.clone();
+        joined.join(&b);
+        assert!(a.le(&joined));
+        assert!(b.le(&joined));
+        assert_eq!(joined.get(0), 2);
+        assert_eq!(joined.get(1), 1);
+        assert_eq!(joined.get(7), 0, "missing components read as zero");
+    }
+
+    #[test]
+    fn zero_clock_happens_before_everything() {
+        let zero = VClock::new();
+        let mut busy = VClock::new();
+        busy.tick(3);
+        assert!(zero.le(&busy));
+        assert!(zero.le(&zero));
+    }
+}

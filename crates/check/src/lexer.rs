@@ -1,0 +1,384 @@
+//! A minimal, dependency-free Rust lexer for `nova-lint`.
+//!
+//! Good enough for source-level linting: it separates identifiers,
+//! comments, string/char literals, numbers, and punctuation, and it
+//! tracks line numbers. Keywords are just identifiers here — the lint
+//! rules match on their text. Crucially, identifiers are maximal
+//! (`unsafe_code` is one token, not `unsafe` + `_code`) and keyword
+//! matching never fires inside strings or comments.
+
+/// A lexed token's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// Identifier or keyword (maximal run of `XID`-ish chars).
+    Ident(&'a str),
+    /// `// …` (text includes the slashes).
+    LineComment(&'a str),
+    /// `/* … */` (possibly nested, text includes delimiters).
+    BlockComment(&'a str),
+    /// Any string / raw string / byte string / char literal.
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime(&'a str),
+    /// A single punctuation character (`(`, `:`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The payload.
+    pub tok: Tok<'a>,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Malformed input never panics — the
+/// lexer just degrades to single-char punctuation tokens.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    // Counts newlines in src[a..b] into `line`.
+    fn advance_lines(src: &[u8], a: usize, b: usize, line: &mut u32) {
+        *line += src[a..b].iter().filter(|&&c| c == b'\n').count() as u32;
+    }
+
+    while i < n {
+        let c = src[i..].chars().next().unwrap_or('\0');
+        let start = i;
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += c.len_utf8(),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(n, |o| i + o);
+                toks.push(Token {
+                    tok: Tok::LineComment(&src[i..end]),
+                    line: start_line,
+                });
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                advance_lines(bytes, i, j, &mut line);
+                toks.push(Token {
+                    tok: Tok::BlockComment(&src[start..j]),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                i = skip_string(src, i);
+                advance_lines(bytes, start, i, &mut line);
+                toks.push(Token {
+                    tok: Tok::Literal,
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(src, i) => {
+                i = skip_raw_or_byte(src, i);
+                advance_lines(bytes, start, i, &mut line);
+                toks.push(Token {
+                    tok: Tok::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                let rest = &src[i + 1..];
+                let mut chars = rest.chars();
+                match chars.next() {
+                    Some(c2) if is_ident_start(c2) => {
+                        // Scan the ident; a trailing quote makes it a
+                        // char literal ('a'), otherwise a lifetime ('a).
+                        let mut j = i + 1 + c2.len_utf8();
+                        while let Some(c3) = src[j..].chars().next() {
+                            if is_ident_continue(c3) {
+                                j += c3.len_utf8();
+                            } else {
+                                break;
+                            }
+                        }
+                        if bytes.get(j) == Some(&b'\'') {
+                            toks.push(Token {
+                                tok: Tok::Literal,
+                                line: start_line,
+                            });
+                            i = j + 1;
+                        } else {
+                            toks.push(Token {
+                                tok: Tok::Lifetime(&src[i..j]),
+                                line: start_line,
+                            });
+                            i = j;
+                        }
+                    }
+                    Some('\\') => {
+                        // Escaped char literal: skip to closing quote.
+                        let mut j = i + 2;
+                        // The escape body is at most a few chars; find
+                        // the next unescaped quote.
+                        while j < n && bytes[j] != b'\'' {
+                            j += if bytes[j] == b'\\' { 2 } else { 1 };
+                        }
+                        toks.push(Token {
+                            tok: Tok::Literal,
+                            line: start_line,
+                        });
+                        i = (j + 1).min(n);
+                    }
+                    Some(c2) => {
+                        // Plain char literal like '(' or '7'.
+                        let mut j = i + 1 + c2.len_utf8();
+                        if bytes.get(j) == Some(&b'\'') {
+                            j += 1;
+                        }
+                        toks.push(Token {
+                            tok: Tok::Literal,
+                            line: start_line,
+                        });
+                        i = j;
+                    }
+                    None => i = n,
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + c.len_utf8();
+                while let Some(c2) = src[j..].chars().next() {
+                    if is_ident_continue(c2) {
+                        j += c2.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(&src[i..j]),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                // Numbers can contain `_`, `.`, hex letters, suffixes —
+                // consume the alphanumeric run (lint never inspects it).
+                while let Some(c2) = src[j..].chars().next() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '.' {
+                        j += c2.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Num,
+                    line: start_line,
+                });
+                i = j;
+            }
+            c => {
+                toks.push(Token {
+                    tok: Tok::Punct(c),
+                    line: start_line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    toks
+}
+
+/// Whether `src[i..]` starts a raw/byte string (`r"`, `r#"`, `br"`,
+/// `b"`, `b'`…). A bare `r`/`b` identifier does not match.
+fn starts_raw_or_byte_string(src: &str, i: usize) -> bool {
+    let rest = &src.as_bytes()[i..];
+    match rest.first() {
+        Some(b'r') => {
+            let mut j = 1;
+            while rest.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            rest.get(j) == Some(&b'"')
+        }
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut j = 2;
+                while rest.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                rest.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a plain (escaped) string starting at the opening quote.
+/// Returns the index one past the closing quote.
+fn skip_string(src: &str, i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw/byte/raw-byte string or byte char starting at `i`.
+fn skip_raw_or_byte(src: &str, i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        // Byte char literal b'x' / b'\n'.
+        j += 1;
+        while j < n && bytes[j] != b'\'' {
+            j += if bytes[j] == b'\\' { 2 } else { 1 };
+        }
+        return (j + 1).min(n);
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    j += 1;
+    if !raw {
+        // Plain (byte) string: escapes apply.
+        while j < n {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        return n;
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes.
+    while j < n {
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_are_maximal() {
+        // `unsafe_code` must NOT produce an `unsafe` token.
+        assert_eq!(
+            idents("#![forbid(unsafe_code)] unsafe fn f() {}"),
+            vec!["forbid", "unsafe_code", "unsafe", "fn", "f"]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = r##"
+            let s = "unsafe Instant";
+            let r = r#"thread::sleep"#;
+            // unsafe in a line comment
+            /* Instant in a block comment */
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe"));
+        assert!(!ids.contains(&"Instant"));
+        assert!(!ids.contains(&"sleep"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Literal))
+            .count();
+        assert_eq!(lits, 1, "'a' is a char literal");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_text() {
+        let toks = lex("// SAFETY: fine\nunsafe {}");
+        assert!(matches!(toks[0].tok, Tok::LineComment(c) if c.contains("SAFETY")));
+        assert_eq!(toks[0].line, 1);
+        assert!(matches!(toks[1].tok, Tok::Ident("unsafe")));
+        assert_eq!(toks[1].line, 2);
+    }
+}

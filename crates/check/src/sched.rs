@@ -1,0 +1,1152 @@
+//! The deterministic interleaving explorer.
+//!
+//! [`explore`] runs a test closure many times. Each run ("execution")
+//! spawns the closure as *model thread 0* on a real OS thread, but every
+//! operation on the instrumented [`shim`](crate::shim) types hands
+//! control back to a controller that serializes the whole program: at
+//! any instant exactly one model thread is between operations. Which
+//! thread advances next — and, on relaxed-memory loads, *which store a
+//! load observes* — are explicit **choice points**, and the controller
+//! drives a bounded depth-first search over the resulting choice tree
+//! (with optional state-hash pruning, a per-execution step cap, and an
+//! overall execution budget).
+//!
+//! The memory model is an operational C11-ish approximation: every
+//! atomic location keeps its full store history; per-thread *view
+//! floors* enforce coherence; release stores snapshot the storer's
+//! vector clock (and view) which acquire loads join back in; RMWs read
+//! the modification-order-latest store and extend release sequences;
+//! `SeqCst` operations additionally go through a global per-location
+//! floor so that store→load ("Dekker") patterns behave as sequentially
+//! consistent. Plain-memory accesses through the shim
+//! [`UnsafeCell`](crate::shim::cell::UnsafeCell) are checked for data
+//! races with vector clocks.
+//!
+//! Violations the explorer reports: model panics (failed assertions in
+//! the closure), **deadlock** (every live thread parked or blocked —
+//! the shape a lost wakeup takes), and **data races** on cell accesses.
+//! Every violation carries the choice list that produced it, so it can
+//! be replayed deterministically with [`Strategy::Replay`].
+
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::clock::VClock;
+
+/// Memory ordering as the model sees it (mirrors the std orderings the
+/// shim types accept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ord {
+    /// `Ordering::Relaxed` — coherence only.
+    Relaxed,
+    /// `Ordering::Acquire` — joins the release clock of the store read.
+    Acquire,
+    /// `Ordering::Release` — publishes the current clock with the store.
+    Release,
+    /// `Ordering::AcqRel` — both halves (RMWs).
+    AcqRel,
+    /// `Ordering::SeqCst` — acquire+release plus the global SC floor.
+    SeqCst,
+}
+
+impl Ord {
+    fn acquires(self) -> bool {
+        matches!(self, Ord::Acquire | Ord::AcqRel | Ord::SeqCst)
+    }
+    fn releases(self) -> bool {
+        matches!(self, Ord::Release | Ord::AcqRel | Ord::SeqCst)
+    }
+}
+
+/// The read-modify-write flavors the shim atomics expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwKind {
+    /// `swap`: the new value replaces the old unconditionally.
+    Swap,
+    /// `fetch_add` (wrapping).
+    Add,
+    /// `fetch_sub` (wrapping).
+    Sub,
+    /// `compare_exchange`: writes only when the current value matches.
+    CompareExchange {
+        /// The expected current value.
+        expected: u64,
+    },
+}
+
+/// One operation a model thread submits to the controller.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// First op of every thread — a scheduling point before user code.
+    Begin,
+    /// Atomic load from `loc`.
+    Load {
+        /// Location id.
+        loc: usize,
+        /// Ordering.
+        ord: Ord,
+    },
+    /// Atomic store to `loc`.
+    Store {
+        /// Location id.
+        loc: usize,
+        /// Value stored.
+        val: u64,
+        /// Ordering.
+        ord: Ord,
+    },
+    /// Atomic read-modify-write on `loc`.
+    Rmw {
+        /// Location id.
+        loc: usize,
+        /// Which RMW.
+        kind: RmwKind,
+        /// Operand (new value / addend / CAS replacement).
+        operand: u64,
+        /// Ordering (failure ordering of a CAS is folded in).
+        ord: Ord,
+    },
+    /// A plain-memory access through a shim `UnsafeCell` (treated as a
+    /// write for race detection).
+    CellAccess {
+        /// Cell id.
+        cell: usize,
+    },
+    /// `thread::park` — blocks until this thread's token is set.
+    Park,
+    /// `Thread::unpark` on model thread `target`.
+    Unpark {
+        /// Thread id to wake.
+        target: usize,
+    },
+    /// `JoinHandle::join` on model thread `target` — blocks until it
+    /// finishes, then joins its final clock.
+    Join {
+        /// Thread id to wait for.
+        target: usize,
+    },
+    /// Lock shim mutex `mid` — blocks while held.
+    Lock {
+        /// Mutex id.
+        mid: usize,
+    },
+    /// Unlock shim mutex `mid`.
+    Unlock {
+        /// Mutex id.
+        mid: usize,
+    },
+    /// An explicit scheduling point with no memory effect.
+    Yield,
+}
+
+/// Whether thread `tid`'s pending `op` can execute right now.
+fn op_runnable(sh: &Shared, tid: usize, op: &Op) -> bool {
+    match *op {
+        Op::Park => sh.threads[tid].park_token,
+        Op::Join { target } => matches!(sh.threads[target].status, Status::Finished),
+        Op::Lock { mid } => !sh.mem.mutexes[mid].locked,
+        _ => true,
+    }
+}
+
+/// What the controller hands back after executing an op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpResult {
+    /// Loaded / previous value (loads, RMWs).
+    pub value: u64,
+    /// CAS success flag.
+    pub ok: bool,
+    /// New thread id (spawn) — carried via `value` instead; reserved.
+    pub aborted: bool,
+}
+
+/// A store in a location's modification order.
+#[derive(Debug, Clone)]
+struct StoreRec {
+    value: u64,
+    /// Release metadata: the storing thread's clock and view snapshot,
+    /// present when the store (or the release sequence it continues)
+    /// had release semantics.
+    release: Option<(VClock, Vec<usize>)>,
+}
+
+/// One atomic location: its full modification order.
+#[derive(Debug, Clone, Default)]
+struct LocState {
+    stores: Vec<StoreRec>,
+}
+
+/// One shim `UnsafeCell`: the clock of its last access (every access is
+/// treated as a write — the SPSC slots are moved in and out).
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    last: VClock,
+    last_tid: Option<usize>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MutexRec {
+    locked: bool,
+    release: VClock,
+    view: Vec<usize>,
+}
+
+/// The whole model memory.
+#[derive(Debug, Default)]
+struct ModelState {
+    locs: Vec<LocState>,
+    cells: Vec<CellState>,
+    mutexes: Vec<MutexRec>,
+    /// Per-location SC floor: the modification-order index every SeqCst
+    /// access must be coherent with.
+    sc_view: Vec<usize>,
+}
+
+/// Scheduling status of a model thread.
+#[derive(Debug)]
+enum Status {
+    /// Between ops (running user code) — the controller must wait.
+    Running,
+    /// Submitted an op, waiting for the grant.
+    Ready(Op),
+    /// Done (normally or by abort); `panic_msg` set on a real panic.
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    /// Vector clock (happens-before knowledge).
+    clock: VClock,
+    /// Per-location coherence floor into the modification order.
+    view: Vec<usize>,
+    /// `unpark` token (std semantics: one token, sticky until consumed).
+    park_token: bool,
+    /// Clock/view snapshots carried by the last unpark (joined on wake).
+    park_clock: VClock,
+    park_view: Vec<usize>,
+    /// Result slot for the granted op.
+    result: OpResult,
+    granted: bool,
+    panic_msg: Option<String>,
+}
+
+impl ThreadRec {
+    fn new() -> Self {
+        ThreadRec {
+            status: Status::Running,
+            clock: VClock::new(),
+            view: Vec::new(),
+            park_token: false,
+            park_clock: VClock::new(),
+            park_view: Vec::new(),
+            result: OpResult::default(),
+            granted: false,
+            panic_msg: None,
+        }
+    }
+}
+
+/// State shared between the controller and the model threads.
+struct Shared {
+    threads: Vec<ThreadRec>,
+    mem: ModelState,
+    /// Set when the controller abandons the execution: every grant then
+    /// carries `aborted = true` and the shim unwinds with [`AbortToken`].
+    aborting: bool,
+    /// OS join handles of spawned model threads (drained at the end).
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The per-execution context the shim talks to (thread-local, see
+/// [`crate::shim`]).
+pub struct Ctx {
+    shared: Mutex<Shared>,
+    cv: Condvar,
+    /// Execution epoch — lets shim types lazily re-register per run.
+    pub(crate) epoch: u64,
+}
+
+/// Global epoch counter (shim `Reg` caches `(epoch, loc)` pairs).
+pub(crate) static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Panic payload for abandoned executions; the panic hook stays quiet
+/// about it and `thread_main` swallows it.
+pub(crate) struct AbortToken;
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Ctx {
+    /// Registers a fresh atomic location holding `init`. Not a
+    /// scheduling point — construction is not observable behavior.
+    pub(crate) fn new_loc(&self, init: u64) -> usize {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        sh.mem.locs.push(LocState {
+            stores: vec![StoreRec {
+                value: init,
+                release: None,
+            }],
+        });
+        sh.mem.sc_view.push(0);
+        sh.mem.locs.len() - 1
+    }
+
+    /// Registers a fresh cell for race checking.
+    pub(crate) fn new_cell(&self) -> usize {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        sh.mem.cells.push(CellState::default());
+        sh.mem.cells.len() - 1
+    }
+
+    /// Registers a fresh shim mutex.
+    pub(crate) fn new_mutex(&self) -> usize {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        sh.mem.mutexes.push(MutexRec::default());
+        sh.mem.mutexes.len() - 1
+    }
+
+    /// Submits `op` for model thread `tid` and blocks until the
+    /// controller grants it. Unwinds with [`AbortToken`] when the
+    /// execution was abandoned.
+    pub(crate) fn op(&self, tid: usize, op: Op) -> OpResult {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        if sh.aborting {
+            drop(sh);
+            panic::panic_any(AbortToken);
+        }
+        sh.threads[tid].granted = false;
+        sh.threads[tid].status = Status::Ready(op);
+        self.cv.notify_all();
+        while !sh.threads[tid].granted {
+            sh = self.cv.wait(sh).expect("model state poisoned");
+        }
+        let res = sh.threads[tid].result;
+        sh.threads[tid].status = Status::Running;
+        drop(sh);
+        if res.aborted {
+            panic::panic_any(AbortToken);
+        }
+        res
+    }
+
+    /// Registers the root model thread record (tid 0).
+    pub(crate) fn register_root(&self) -> usize {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        sh.threads.push(ThreadRec::new());
+        sh.threads.len() - 1
+    }
+
+    /// Registers a child model thread; the spawn edge hands the child
+    /// the parent's clock and view. Called by the shim's
+    /// `thread::spawn` *before* the OS thread starts.
+    pub(crate) fn register_child(&self, parent: usize) -> usize {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        let mut rec = ThreadRec::new();
+        rec.clock = sh.threads[parent].clock.clone();
+        rec.view = sh.threads[parent].view.clone();
+        sh.threads.push(rec);
+        sh.threads.len() - 1
+    }
+
+    /// Records an OS join handle for cleanup at execution end.
+    pub(crate) fn adopt_handle(&self, h: std::thread::JoinHandle<()>) {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        sh.handles.push(h);
+    }
+
+    /// Marks `tid` finished (normally or after catching a panic).
+    pub(crate) fn finish(&self, tid: usize, panic_msg: Option<String>) {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        sh.threads[tid].status = Status::Finished;
+        sh.threads[tid].panic_msg = panic_msg;
+        self.cv.notify_all();
+    }
+
+    /// `get_mut`-style access: joins the release metadata of the latest
+    /// store so exclusive access after a real-world synchronization
+    /// edge (e.g. `Arc::drop`'s refcount) does not report stale races.
+    pub(crate) fn get_mut_sync(&self, tid: usize, loc: usize) -> u64 {
+        let mut sh = self.shared.lock().expect("model state poisoned");
+        let idx = sh.mem.locs[loc].stores.len() - 1;
+        let (val, rel) = {
+            let rec = &sh.mem.locs[loc].stores[idx];
+            (rec.value, rec.release.clone())
+        };
+        let t = &mut sh.threads[tid];
+        bump_view(&mut t.view, loc, idx);
+        if let Some((clk, view)) = rel {
+            t.clock.join(&clk);
+            join_view(&mut t.view, &view);
+        }
+        val
+    }
+}
+
+fn bump_view(view: &mut Vec<usize>, loc: usize, idx: usize) {
+    if view.len() <= loc {
+        view.resize(loc + 1, 0);
+    }
+    if view[loc] < idx {
+        view[loc] = idx;
+    }
+}
+
+fn join_view(view: &mut Vec<usize>, other: &[usize]) {
+    if view.len() < other.len() {
+        view.resize(other.len(), 0);
+    }
+    for (mine, &theirs) in view.iter_mut().zip(other) {
+        *mine = (*mine).max(theirs);
+    }
+}
+
+/// What went wrong in an execution.
+#[derive(Debug, Clone)]
+pub enum ViolationKind {
+    /// Every live thread is parked or blocked — a lost wakeup,
+    /// lock cycle, or join-on-stuck-thread.
+    Deadlock,
+    /// A model thread panicked (assertion failure in the closure).
+    Panic {
+        /// Which model thread.
+        thread: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// Two unordered accesses to the same shim `UnsafeCell`.
+    DataRace {
+        /// Cell id.
+        cell: usize,
+        /// The racing threads.
+        threads: (usize, usize),
+    },
+}
+
+/// A failed execution: what happened plus the choices that reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The failure class.
+    pub kind: ViolationKind,
+    /// The choice list — feed to [`Strategy::Replay`] to reproduce.
+    pub choices: Vec<u32>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::Deadlock => write!(f, "deadlock: every live thread parked/blocked")?,
+            ViolationKind::Panic { thread, message } => {
+                write!(f, "model thread {thread} panicked: {message}")?;
+            }
+            ViolationKind::DataRace { cell, threads } => write!(
+                f,
+                "data race on cell {} between threads {} and {}",
+                cell, threads.0, threads.1
+            )?,
+        }
+        write!(f, " [replay: {:?}]", self.choices)
+    }
+}
+
+/// How the explorer picks branches.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Systematic bounded DFS over the whole choice tree (default).
+    Dfs,
+    /// Seeded pseudo-random schedules (for huge trees): same seed, same
+    /// schedules.
+    Random {
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// Replay one exact choice list (from [`Violation::choices`]).
+    Replay(Vec<u32>),
+}
+
+/// Exploration knobs.
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Hard cap on executions (env `NOVA_CHECK_BUDGET` overrides).
+    pub max_executions: usize,
+    /// Per-execution cap on scheduling steps; beyond it the execution
+    /// is truncated (counted, not a violation).
+    pub max_steps: usize,
+    /// Branch strategy.
+    pub strategy: Strategy,
+    /// State-hash subtree pruning (DFS only).
+    pub prune: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        let budget = std::env::var("NOVA_CHECK_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(20_000);
+        ModelOptions {
+            max_executions: budget,
+            max_steps: 2_000,
+            strategy: Strategy::Dfs,
+            prune: true,
+        }
+    }
+}
+
+/// What an [`explore`] run found.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions actually run.
+    pub executions: usize,
+    /// True when the DFS closed the whole (bounded) tree within budget.
+    pub exhausted: bool,
+    /// Subtrees skipped because their state hash was already seen.
+    pub pruned: usize,
+    /// Executions cut off by `max_steps`.
+    pub truncated: usize,
+    /// Longest schedule seen (steps).
+    pub deepest: usize,
+    /// FNV hash over every schedule explored, in order — two runs with
+    /// the same seed/options produce the same value (determinism pin).
+    pub schedule_hash: u64,
+    /// The first violation, if any (exploration stops on it).
+    pub violation: Option<Violation>,
+}
+
+/// The DFS/random/replay chooser.
+struct Explorer {
+    strategy: Strategy,
+    /// DFS stack: (taken, fanout) per choice point of the current run.
+    stack: Vec<(u32, u32)>,
+    /// Position in `stack` during the current execution.
+    cursor: usize,
+    rng: u64,
+    seen: HashSet<u64>,
+}
+
+impl Explorer {
+    fn new(strategy: Strategy) -> Self {
+        let rng = match strategy {
+            Strategy::Random { seed } => seed ^ 0x9e37_79b9_7f4a_7c15,
+            _ => 0,
+        };
+        Explorer {
+            strategy,
+            stack: Vec::new(),
+            cursor: 0,
+            rng,
+            seen: HashSet::new(),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // splitmix64 step — deterministic, dependency-free.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Picks a branch at a choice point with `n` alternatives.
+    fn choose(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        let taken = match &self.strategy {
+            Strategy::Dfs => {
+                if self.cursor < self.stack.len() {
+                    // Replaying the backtracked prefix.
+                    let (taken, fanout) = &mut self.stack[self.cursor];
+                    *fanout = n; // fanout may legally differ only past a violation
+                    (*taken).min(n - 1)
+                } else {
+                    self.stack.push((0, n));
+                    0
+                }
+            }
+            Strategy::Random { .. } => {
+                let t = (self.next_rand() % u64::from(n)) as u32;
+                self.stack.push((t, n));
+                t
+            }
+            Strategy::Replay(choices) => {
+                let t = choices.get(self.cursor).copied().unwrap_or(0).min(n - 1);
+                self.stack.push((t, n));
+                t
+            }
+        };
+        self.cursor += 1;
+        taken
+    }
+
+    /// True while this execution is past every backtracked choice — the
+    /// only region where pruning and `seen` insertion are sound.
+    fn on_fresh_frontier(&self) -> bool {
+        match self.strategy {
+            Strategy::Dfs => self.cursor >= self.stack.len(),
+            _ => false,
+        }
+    }
+
+    /// Advances to the next schedule. Returns false when the tree is
+    /// exhausted (DFS) or after every non-DFS run (caller loops on
+    /// budget instead).
+    fn backtrack(&mut self) -> bool {
+        match &self.strategy {
+            Strategy::Dfs => {
+                while let Some((taken, fanout)) = self.stack.pop() {
+                    if taken + 1 < fanout {
+                        self.stack.push((taken + 1, fanout));
+                        self.cursor = 0;
+                        return true;
+                    }
+                }
+                false
+            }
+            Strategy::Random { .. } => {
+                self.stack.clear();
+                self.cursor = 0;
+                true
+            }
+            Strategy::Replay(_) => false,
+        }
+    }
+}
+
+thread_local! {
+    pub(crate) static CURRENT: std::cell::RefCell<Option<(std::sync::Arc<Ctx>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The model-thread entry wrapper: binds the thread-local identity,
+/// emits `Begin`, runs `body`, swallows [`AbortToken`], records panics.
+pub(crate) fn thread_main<F: FnOnce()>(ctx: Arc<Ctx>, tid: usize, body: F) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&ctx), tid)));
+    // Begin sits inside the catch: an abort raised while waiting for
+    // the very first grant must still reach `finish`.
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        ctx.op(tid, Op::Begin);
+        body();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match outcome {
+        Ok(()) => ctx.finish(tid, None),
+        Err(payload) => {
+            if payload.downcast_ref::<AbortToken>().is_some() {
+                ctx.finish(tid, None);
+            } else {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                ctx.finish(tid, Some(msg));
+            }
+        }
+    }
+}
+
+fn fnv1a(mut hash: u64, x: u64) -> u64 {
+    hash ^= x;
+    hash.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Small numeric fingerprint of a pending op (feeds the state hash).
+fn op_code(op: &Op) -> u64 {
+    match *op {
+        Op::Begin => 1,
+        Op::Load { loc, ord } => fnv1a(fnv1a(2, loc as u64), ord as u64),
+        Op::Store { loc, val, ord } => fnv1a(fnv1a(fnv1a(3, loc as u64), val), ord as u64),
+        Op::Rmw {
+            loc, operand, ord, ..
+        } => fnv1a(fnv1a(fnv1a(4, loc as u64), operand), ord as u64),
+        Op::CellAccess { cell } => fnv1a(5, cell as u64),
+        Op::Park => 6,
+        Op::Unpark { target } => fnv1a(7, target as u64),
+        Op::Join { target } => fnv1a(8, target as u64),
+        Op::Lock { mid } => fnv1a(9, mid as u64),
+        Op::Unlock { mid } => fnv1a(10, mid as u64),
+        Op::Yield => 11,
+    }
+}
+
+/// Hashes the settled state: thread positions + pending ops + views +
+/// memory. Two identical hashes ⇒ (modulo collisions) identical
+/// subtrees, so the DFS can prune the second occurrence.
+fn state_hash(sh: &Shared) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for (tid, t) in sh.threads.iter().enumerate() {
+        h = fnv1a(h, t.clock.get(tid)); // own position = ops executed
+        h = fnv1a(h, u64::from(t.park_token));
+        h = match &t.status {
+            Status::Finished => fnv1a(h, 0xfee1_dead),
+            Status::Ready(op) => fnv1a(h, op_code(op)),
+            Status::Running => fnv1a(h, 0x0b5e_55ed),
+        };
+        for &v in &t.view {
+            h = fnv1a(h, v as u64);
+        }
+        h = fnv1a(h, 0x5eed);
+    }
+    for loc in &sh.mem.locs {
+        for s in &loc.stores {
+            h = fnv1a(h, s.value);
+            h = fnv1a(h, u64::from(s.release.is_some()));
+        }
+        h = fnv1a(h, 0x10c);
+    }
+    for &v in &sh.mem.sc_view {
+        h = fnv1a(h, v as u64);
+    }
+    for m in &sh.mem.mutexes {
+        h = fnv1a(h, u64::from(m.locked));
+    }
+    h
+}
+
+/// Executes thread `tid`'s pending op against the model memory.
+/// Returns the op result, or a violation (data race). Load-candidate
+/// nondeterminism consults the explorer for a branch choice.
+fn exec_op(
+    sh: &mut Shared,
+    tid: usize,
+    op: &Op,
+    explorer: &mut Explorer,
+) -> Result<OpResult, ViolationKind> {
+    let mut res = OpResult::default();
+    // One clock tick per executed op: the thread's own component is its
+    // program position.
+    sh.threads[tid].clock.tick(tid);
+    match *op {
+        Op::Begin | Op::Yield => {}
+        Op::Load { loc, ord } => {
+            let mut floor = sh.threads[tid].view.get(loc).copied().unwrap_or(0);
+            if matches!(ord, Ord::SeqCst) {
+                floor = floor.max(sh.mem.sc_view[loc]);
+            }
+            let latest = sh.mem.locs[loc].stores.len() - 1;
+            let fanout = (latest - floor + 1) as u32;
+            let idx = if fanout > 1 {
+                // Which store this load observes is a real branch in the
+                // relaxed-memory tree: newest-first so schedule 0 is the
+                // "SC-like" one.
+                latest - explorer.choose(fanout) as usize
+            } else {
+                latest
+            };
+            let (val, rel) = {
+                let rec = &sh.mem.locs[loc].stores[idx];
+                (rec.value, rec.release.clone())
+            };
+            res.value = val;
+            let t = &mut sh.threads[tid];
+            bump_view(&mut t.view, loc, idx);
+            if ord.acquires() {
+                if let Some((clk, view)) = rel {
+                    t.clock.join(&clk);
+                    join_view(&mut t.view, &view);
+                }
+            }
+            if matches!(ord, Ord::SeqCst) && sh.mem.sc_view[loc] < idx {
+                sh.mem.sc_view[loc] = idx;
+            }
+        }
+        Op::Store { loc, val, ord } => {
+            let idx = sh.mem.locs[loc].stores.len();
+            let release = if ord.releases() {
+                let t = &mut sh.threads[tid];
+                bump_view(&mut t.view, loc, idx);
+                Some((t.clock.clone(), t.view.clone()))
+            } else {
+                bump_view(&mut sh.threads[tid].view, loc, idx);
+                None
+            };
+            sh.mem.locs[loc].stores.push(StoreRec {
+                value: val,
+                release,
+            });
+            if matches!(ord, Ord::SeqCst) {
+                sh.mem.sc_view[loc] = idx;
+            }
+        }
+        Op::Rmw {
+            loc,
+            kind,
+            operand,
+            ord,
+        } => {
+            // RMWs are atomic: they always read the modification-order
+            // maximum — no stale-read branch.
+            let latest = sh.mem.locs[loc].stores.len() - 1;
+            let (old, rel) = {
+                let rec = &sh.mem.locs[loc].stores[latest];
+                (rec.value, rec.release.clone())
+            };
+            res.value = old;
+            let writes = match kind {
+                RmwKind::CompareExchange { expected } => old == expected,
+                _ => true,
+            };
+            res.ok = writes;
+            bump_view(&mut sh.threads[tid].view, loc, latest);
+            if ord.acquires() {
+                if let Some((clk, view)) = rel.as_ref() {
+                    let t = &mut sh.threads[tid];
+                    t.clock.join(clk);
+                    join_view(&mut t.view, view);
+                }
+            }
+            if writes {
+                let newval = match kind {
+                    RmwKind::Swap | RmwKind::CompareExchange { .. } => operand,
+                    RmwKind::Add => old.wrapping_add(operand),
+                    RmwKind::Sub => old.wrapping_sub(operand),
+                };
+                let idx = latest + 1;
+                bump_view(&mut sh.threads[tid].view, loc, idx);
+                // Release sequence: the RMW store carries its own release
+                // snapshot (if releasing) merged with the snapshot of the
+                // store it replaced, so acquirers synchronize with the
+                // sequence head through any chain of RMWs.
+                let own = if ord.releases() {
+                    let t = &sh.threads[tid];
+                    Some((t.clock.clone(), t.view.clone()))
+                } else {
+                    None
+                };
+                let release = match (own, rel) {
+                    (Some((mut c, mut v)), Some((pc, pv))) => {
+                        c.join(&pc);
+                        join_view(&mut v, &pv);
+                        Some((c, v))
+                    }
+                    (Some(o), None) => Some(o),
+                    (None, prev) => prev,
+                };
+                sh.mem.locs[loc].stores.push(StoreRec {
+                    value: newval,
+                    release,
+                });
+                if matches!(ord, Ord::SeqCst) {
+                    sh.mem.sc_view[loc] = idx;
+                }
+            } else if matches!(ord, Ord::SeqCst) && sh.mem.sc_view[loc] < latest {
+                sh.mem.sc_view[loc] = latest;
+            }
+        }
+        Op::CellAccess { cell } => {
+            let ordered = {
+                let c = &sh.mem.cells[cell];
+                c.last.le(&sh.threads[tid].clock)
+            };
+            if !ordered {
+                let earlier = sh.mem.cells[cell].last_tid.unwrap_or(usize::MAX);
+                return Err(ViolationKind::DataRace {
+                    cell,
+                    threads: (earlier, tid),
+                });
+            }
+            let snapshot = sh.threads[tid].clock.clone();
+            let c = &mut sh.mem.cells[cell];
+            c.last = snapshot;
+            c.last_tid = Some(tid);
+        }
+        Op::Park => {
+            // Runnable only with a token: consume it and join the hb
+            // edge the unparker left behind.
+            let (clk, view) = {
+                let t = &mut sh.threads[tid];
+                t.park_token = false;
+                (
+                    std::mem::take(&mut t.park_clock),
+                    std::mem::take(&mut t.park_view),
+                )
+            };
+            let t = &mut sh.threads[tid];
+            t.clock.join(&clk);
+            join_view(&mut t.view, &view);
+        }
+        Op::Unpark { target } => {
+            let (clk, view) = {
+                let t = &sh.threads[tid];
+                (t.clock.clone(), t.view.clone())
+            };
+            let tgt = &mut sh.threads[target];
+            tgt.park_token = true;
+            tgt.park_clock.join(&clk);
+            join_view(&mut tgt.park_view, &view);
+        }
+        Op::Join { target } => {
+            let (clk, view) = {
+                let t = &sh.threads[target];
+                (t.clock.clone(), t.view.clone())
+            };
+            let t = &mut sh.threads[tid];
+            t.clock.join(&clk);
+            join_view(&mut t.view, &view);
+        }
+        Op::Lock { mid } => {
+            let (clk, view) = {
+                let m = &mut sh.mem.mutexes[mid];
+                m.locked = true;
+                (m.release.clone(), m.view.clone())
+            };
+            let t = &mut sh.threads[tid];
+            t.clock.join(&clk);
+            join_view(&mut t.view, &view);
+        }
+        Op::Unlock { mid } => {
+            let (clk, view) = {
+                let t = &sh.threads[tid];
+                (t.clock.clone(), t.view.clone())
+            };
+            let m = &mut sh.mem.mutexes[mid];
+            m.locked = false;
+            m.release.join(&clk);
+            join_view(&mut m.view, &view);
+        }
+    }
+    Ok(res)
+}
+
+fn settled(t: &ThreadRec) -> bool {
+    match t.status {
+        Status::Finished => true,
+        Status::Ready(_) => !t.granted,
+        Status::Running => false,
+    }
+}
+
+/// Outcome of one execution.
+struct ExecOutcome {
+    violation: Option<ViolationKind>,
+    truncated: bool,
+    steps: usize,
+    pruned: bool,
+}
+
+/// Runs the closure once under one schedule, consulting `explorer` at
+/// every choice point.
+fn run_once(
+    body: &Arc<dyn Fn() + Send + Sync>,
+    opts: &ModelOptions,
+    explorer: &mut Explorer,
+) -> ExecOutcome {
+    install_quiet_hook();
+    let ctx = Arc::new(Ctx {
+        shared: Mutex::new(Shared {
+            threads: Vec::new(),
+            mem: ModelState::default(),
+            aborting: false,
+            handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
+    });
+    let root = ctx.register_root();
+    debug_assert_eq!(root, 0);
+    {
+        let ctx0 = Arc::clone(&ctx);
+        let body = Arc::clone(body);
+        let h = std::thread::spawn(move || thread_main(ctx0, 0, move || body()));
+        ctx.adopt_handle(h);
+    }
+
+    let mut outcome = ExecOutcome {
+        violation: None,
+        truncated: false,
+        steps: 0,
+        pruned: false,
+    };
+    loop {
+        let mut sh = ctx.shared.lock().expect("model state poisoned");
+        while !sh.threads.iter().all(settled) {
+            sh = ctx.cv.wait(sh).expect("model state poisoned");
+        }
+        // A caught model panic beats everything else.
+        if let Some((tid, msg)) = sh
+            .threads
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| t.panic_msg.clone().map(|m| (i, m)))
+        {
+            outcome.violation = Some(ViolationKind::Panic {
+                thread: tid,
+                message: msg,
+            });
+            break;
+        }
+        if sh
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+        {
+            break; // clean completion
+        }
+        let runnable: Vec<usize> = sh
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match &t.status {
+                Status::Ready(op) if op_runnable(&sh, tid, op) => Some(tid),
+                _ => None,
+            })
+            .collect();
+        if runnable.is_empty() {
+            outcome.violation = Some(ViolationKind::Deadlock);
+            break;
+        }
+        if outcome.steps >= opts.max_steps {
+            outcome.truncated = true;
+            break;
+        }
+        if opts.prune && explorer.on_fresh_frontier() {
+            let h = state_hash(&sh);
+            if !explorer.seen.insert(h) {
+                outcome.pruned = true;
+                break;
+            }
+        }
+        let tid = if runnable.len() > 1 {
+            runnable[explorer.choose(runnable.len() as u32) as usize]
+        } else {
+            runnable[0]
+        };
+        let op = match &sh.threads[tid].status {
+            Status::Ready(op) => op.clone(),
+            _ => unreachable!("chosen thread is not ready"),
+        };
+        match exec_op(&mut sh, tid, &op, explorer) {
+            Ok(res) => {
+                let t = &mut sh.threads[tid];
+                t.result = res;
+                t.granted = true;
+            }
+            Err(v) => {
+                outcome.violation = Some(v);
+                break;
+            }
+        }
+        outcome.steps += 1;
+        ctx.cv.notify_all();
+    }
+
+    // Abandon the execution: every live thread unwinds with AbortToken
+    // (drop handlers fall back to mirror semantics while panicking).
+    let handles = {
+        let mut sh = ctx.shared.lock().expect("model state poisoned");
+        sh.aborting = true;
+        loop {
+            for t in sh.threads.iter_mut() {
+                if matches!(t.status, Status::Ready(_)) && !t.granted {
+                    t.result = OpResult {
+                        aborted: true,
+                        ..OpResult::default()
+                    };
+                    t.granted = true;
+                }
+            }
+            ctx.cv.notify_all();
+            if sh
+                .threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Finished))
+            {
+                break;
+            }
+            sh = ctx.cv.wait(sh).expect("model state poisoned");
+        }
+        std::mem::take(&mut sh.handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    outcome
+}
+
+/// Explores the closure under `opts`; returns the full [`Report`].
+///
+/// The closure runs many times (once per schedule); it must be
+/// self-contained and deterministic apart from the shim types.
+pub fn explore<F>(opts: ModelOptions, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut explorer = Explorer::new(opts.strategy.clone());
+    let mut report = Report {
+        executions: 0,
+        exhausted: false,
+        pruned: 0,
+        truncated: 0,
+        deepest: 0,
+        schedule_hash: 0xcbf2_9ce4_8422_2325,
+        violation: None,
+    };
+    loop {
+        let outcome = run_once(&body, &opts, &mut explorer);
+        report.executions += 1;
+        report.deepest = report.deepest.max(outcome.steps);
+        if outcome.pruned {
+            report.pruned += 1;
+        }
+        if outcome.truncated {
+            report.truncated += 1;
+        }
+        for &(taken, _) in &explorer.stack {
+            report.schedule_hash = fnv1a(report.schedule_hash, u64::from(taken));
+        }
+        report.schedule_hash = fnv1a(report.schedule_hash, 0x5c4e_d01e);
+        if let Some(kind) = outcome.violation {
+            report.violation = Some(Violation {
+                kind,
+                choices: explorer.stack.iter().map(|&(t, _)| t).collect(),
+            });
+            break;
+        }
+        if matches!(explorer.strategy, Strategy::Replay(_)) {
+            report.exhausted = true;
+            break;
+        }
+        if report.executions >= opts.max_executions {
+            break;
+        }
+        if !explorer.backtrack() {
+            report.exhausted = true;
+            break;
+        }
+    }
+    report
+}
+
+/// Explores with default options and **panics on any violation** — the
+/// assert-style entry model tests use.
+///
+/// # Panics
+///
+/// Panics with the violation display (including the replay choice list)
+/// when the explorer finds one.
+pub fn model<F>(body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(ModelOptions::default(), body);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model violation after {} executions: {v}",
+            report.executions
+        );
+    }
+    report
+}

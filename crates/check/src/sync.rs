@@ -1,0 +1,47 @@
+//! The cfg-selected concurrency facade production code imports.
+//!
+//! In normal builds every name here is a re-export of the std
+//! original — zero cost, zero behavior change. Compiling with
+//! `RUSTFLAGS="--cfg nova_check_model"` flips the aliases to the
+//! instrumented [`shim`](crate::shim) types so the same source runs
+//! under the [`sched`](crate::sched) interleaving explorer. `spsc.rs`
+//! (and the `serving.rs` atomic counters) import *only* through this
+//! module — `nova-lint` rule R3 enforces that mechanically.
+
+/// Atomics: `AtomicBool`/`AtomicUsize`/`AtomicU64` plus the std
+/// `Ordering` enum (the shim methods accept std orderings directly).
+pub mod atomic {
+    #[cfg(nova_check_model)]
+    pub use crate::shim::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    #[cfg(not(nova_check_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}
+
+/// `UnsafeCell`: race-checked under the model cfg.
+pub mod cell {
+    #[cfg(nova_check_model)]
+    pub use crate::shim::cell::UnsafeCell;
+    #[cfg(not(nova_check_model))]
+    pub use std::cell::UnsafeCell;
+}
+
+/// Thread surface: `spawn`/`current`/`park`/`yield_now`, `Thread`,
+/// `JoinHandle`.
+pub mod thread {
+    #[cfg(nova_check_model)]
+    pub use crate::shim::thread::{current, park, spawn, yield_now, JoinHandle, Thread};
+    #[cfg(not(nova_check_model))]
+    pub use std::thread::{current, park, spawn, yield_now, JoinHandle, Thread};
+}
+
+#[cfg(nova_check_model)]
+pub use crate::shim::mutex::{Mutex, MutexGuard};
+#[cfg(not(nova_check_model))]
+pub use std::sync::{Mutex, MutexGuard};
+
+// Always the std originals: `Arc`'s refcount synchronization is modeled
+// by the shim's `get_mut` join, and `OnceLock` only ferries wakeup
+// handles (no protocol data rides on its internal lock).
+pub use std::sync::{Arc, OnceLock};

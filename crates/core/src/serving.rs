@@ -234,7 +234,10 @@
 //! | `ServingEngine::for_host(kind, tech, cfg, &c, key, n)` | `builder(kind).host(tech, cfg).cache(&c).table(key).shards(n).build()` |
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+// Atomics come through the nova-check facade (std in normal builds,
+// instrumented under `--cfg nova_check_model`); nova-lint keeps raw
+// `std::sync::atomic` imports out of this crate.
+use nova_check::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -522,6 +525,7 @@ impl TableCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
+            // ordering: Relaxed — monotonic stats counter, no payload.
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(table));
         }
@@ -541,9 +545,11 @@ impl TableCache {
         if let Some(winner) = tables.get(&key) {
             // Lost the race: another thread fitted and inserted the same
             // key while we fitted. Converge on its allocation.
+            // ordering: Relaxed — monotonic stats counter, no payload.
             self.inner.lost_races.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(winner));
         }
+        // ordering: Relaxed — monotonic stats counter, no payload.
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         tables.insert(key, Arc::clone(&table));
         Ok(table)
@@ -552,12 +558,14 @@ impl TableCache {
     /// Cache hits served so far (fast-path read hits).
     #[must_use]
     pub fn hits(&self) -> u64 {
+        // ordering: Relaxed — stats snapshot; no synchronization carried.
         self.inner.hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses (tables fitted and inserted) so far.
     #[must_use]
     pub fn misses(&self) -> u64 {
+        // ordering: Relaxed — stats snapshot; no synchronization carried.
         self.inner.misses.load(Ordering::Relaxed)
     }
 
@@ -565,6 +573,7 @@ impl TableCache {
     /// of the same key. Always 0 under single-threaded use.
     #[must_use]
     pub fn lost_races(&self) -> u64 {
+        // ordering: Relaxed — stats snapshot; no synchronization carried.
         self.inner.lost_races.load(Ordering::Relaxed)
     }
 

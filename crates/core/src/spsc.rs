@@ -25,8 +25,36 @@
 //!
 //! Lost wakeups are excluded Dekker-style: the consumer raises its
 //! parked flag *then* re-checks the ring; the producer publishes *then*
-//! checks the flag. All flag and cursor crossings are `SeqCst`, so one
-//! of the two always observes the other.
+//! checks the flag. The four crossings of that store→load square
+//! (`tail` publish, `parked` raise, and both re-check loads) are
+//! `SeqCst` — one of the two sides always observes the other. Every
+//! other ordering is the weakest the model checker proves sufficient:
+//! the cursor handoff is `Release`/`Acquire` (slot contents must be
+//! visible before the cursor that publishes them), own-cursor reads and
+//! advisory peeks are `Relaxed`. Each callsite carries its one-line
+//! rationale; `nova-lint` fails the build if one goes missing.
+//!
+//! # Model-checked protocols
+//!
+//! Every protocol claim this module makes is pinned by an exhaustive
+//! bounded-DFS model test in `crates/core/tests/model.rs` (run with
+//! `RUSTFLAGS="--cfg nova_check_model" cargo test -p nova-core --test
+//! model`), driven by the `nova_check` interleaving explorer:
+//!
+//! - FIFO, no lost or duplicated items → `fifo_no_lost_items`
+//! - producer-side close hands every in-flight item back (the
+//!   quarantine handshake) → `close_then_join_hands_every_item_back`
+//! - begin_park / re-check / park never misses a wakeup →
+//!   `parked_consumer_never_misses_wakeup` (and the checker *catches*
+//!   the variant with the re-check removed — see
+//!   `missing_recheck_after_raise_is_caught_as_lost_wakeup` in
+//!   nova-check's self-tests)
+//! - doorbell arm/ring races never strand the collector →
+//!   `doorbell_arm_ring_no_lost_wake`
+//! - dropping endpoints drops each in-flight item exactly once →
+//!   `drop_exactly_once_inflight`
+//! - the degenerate capacity-1 ring parks and wakes correctly →
+//!   `capacity_one_ring_parks_and_wakes`
 //!
 //! [`ring`] hands back the two endpoints. Each endpoint is `Send` but
 //! deliberately **not** `Sync` and not `Clone` — the single-producer /
@@ -100,12 +128,18 @@
 
 #![allow(unsafe_code)] // the audited carve-out: see the crate-root lint note
 
-use std::cell::{Cell, UnsafeCell};
+use std::cell::Cell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::thread::Thread;
+
+// All synchronization goes through the nova-check facade: std types in
+// normal builds, the instrumented model-checker shim under
+// `--cfg nova_check_model`. `nova-lint` (atomic-facade rule) keeps raw
+// `std::sync::atomic` out of this crate.
+use nova_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nova_check::sync::cell::UnsafeCell;
+use nova_check::sync::thread::Thread;
+use nova_check::sync::{Arc, Mutex, OnceLock};
 
 /// Why a [`Producer::try_push`] did not take the value. The value rides
 /// back in either case, so the caller can retry or drop it.
@@ -116,6 +150,10 @@ pub enum PushError<T> {
     /// The consumer endpoint was dropped; the value can never arrive.
     Closed(T),
 }
+
+/// The largest capacity [`ring`] accepts: the biggest power of two a
+/// `usize` can hold, past which the rounding math would overflow.
+pub const MAX_CAPACITY: usize = 1 << (usize::BITS - 1);
 
 /// The shared ring state. Slot `i % capacity` is owned by the producer
 /// while `head <= i < tail` is false and by the consumer otherwise;
@@ -142,11 +180,15 @@ struct Inner<T> {
 // consumer only `[head, tail)`, with the cursor atomics ordering the
 // handoff.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — shared references only ever reach disjoint slots.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
     fn wake_resident(&self) {
-        if self.parked.swap(false, SeqCst) {
+        // ordering: SeqCst — producer half of the Dekker square: the
+        // preceding tail/closed publish and this flag check must not
+        // reorder, or a wakeup is lost (model: parked_consumer test).
+        if self.parked.swap(false, Ordering::SeqCst) {
             if let Some(thread) = self.resident.get() {
                 thread.unpark();
             }
@@ -154,7 +196,11 @@ impl<T> Inner<T> {
     }
 
     fn close(&self) {
-        self.closed.store(true, SeqCst);
+        // ordering: SeqCst — publishes the close *and* orders it before
+        // the parked-flag check in wake_resident (Dekker store side);
+        // also carries release: a consumer that observes the close sees
+        // every earlier push (drain-after-close).
+        self.closed.store(true, Ordering::SeqCst);
         self.wake_resident();
     }
 }
@@ -193,9 +239,21 @@ pub struct Consumer<T> {
 }
 
 /// Creates an SPSC ring holding at least `capacity` items (rounded up
-/// to a power of two, minimum 1).
+/// to a power of two; `0` saturates to 1).
+///
+/// # Panics
+///
+/// Panics when `capacity` exceeds [`MAX_CAPACITY`] — beyond it the
+/// power-of-two rounding has no representable result (it would
+/// previously overflow deep inside the rounding math; now it fails
+/// loudly up front).
 #[must_use]
 pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(
+        capacity <= MAX_CAPACITY,
+        "spsc::ring capacity {capacity} exceeds MAX_CAPACITY ({MAX_CAPACITY}): \
+         no power-of-two slot count can hold it"
+    );
     let capacity = capacity.max(1).next_power_of_two();
     let slots = (0..capacity)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -232,22 +290,30 @@ impl<T> Producer<T> {
     /// back inside the error either way.
     pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
         let inner = &*self.inner;
-        if inner.closed.load(SeqCst) {
+        // ordering: Relaxed — advisory fast-fail; a push that races a
+        // consumer-side close lands in the ring and is reclaimed by the
+        // ring's Drop, so timeliness is all this load buys.
+        if inner.closed.load(Ordering::Relaxed) {
             return Err(PushError::Closed(value));
         }
-        // `tail` is producer-owned; only `head` races with the consumer.
-        let tail = inner.tail.load(SeqCst);
-        let head = inner.head.load(SeqCst);
+        // ordering: Relaxed — `tail` is producer-owned; this thread
+        // wrote it last, coherence alone returns the latest value.
+        let tail = inner.tail.load(Ordering::Relaxed);
+        // ordering: Acquire — pairs with the consumer's Release `head`
+        // store: the pop's slot read must complete before this side
+        // reuses the slot (model: fifo_no_lost_items at capacity 1).
+        let head = inner.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) > inner.mask {
             return Err(PushError::Full(value));
         }
         // SAFETY: `[tail, head + capacity)` slots belong to the producer
         // and this one is vacant (the consumer's cursor is behind it).
         unsafe { (*inner.slots[tail & inner.mask].get()).write(value) };
-        // Publish, then offer a wakeup: a consumer that raised its
-        // parked flag before this store sees it on re-check (or we see
-        // the flag here) — `SeqCst` on both sides excludes the miss.
-        inner.tail.store(tail.wrapping_add(1), SeqCst);
+        // ordering: SeqCst — publishes the slot write (release half)
+        // *and* forms the Dekker square with the parked-flag swap below
+        // against the consumer's raise-then-recheck; Release alone
+        // loses wakeups (the model checker finds the interleaving).
+        inner.tail.store(tail.wrapping_add(1), Ordering::SeqCst);
         inner.wake_resident();
         Ok(())
     }
@@ -256,17 +322,22 @@ impl<T> Producer<T> {
     #[must_use]
     pub fn is_full(&self) -> bool {
         let inner = &*self.inner;
+        // ordering: Relaxed ×2 — advisory peek; the serving engine's
+        // wait loop re-checks after a completion wakeup rather than
+        // relying on this being fresh.
         inner
             .tail
-            .load(SeqCst)
-            .wrapping_sub(inner.head.load(SeqCst))
+            .load(Ordering::Relaxed)
+            .wrapping_sub(inner.head.load(Ordering::Relaxed))
             > inner.mask
     }
 
     /// Whether either endpoint closed the ring.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.inner.closed.load(SeqCst)
+        // ordering: Relaxed — advisory on the producer side (the
+        // authoritative failure is try_push's Closed error).
+        self.inner.closed.load(Ordering::Relaxed)
     }
 
     /// Closes the ring: later pushes fail, the consumer (woken if
@@ -296,23 +367,38 @@ impl<T> Consumer<T> {
     #[must_use]
     pub fn try_pop(&self) -> Option<T> {
         let inner = &*self.inner;
-        // `head` is consumer-owned; only `tail` races with the producer.
-        let head = inner.head.load(SeqCst);
-        if head == inner.tail.load(SeqCst) {
+        // ordering: Relaxed — `head` is consumer-owned; this thread
+        // wrote it last, coherence alone returns the latest value.
+        let head = inner.head.load(Ordering::Relaxed);
+        // ordering: SeqCst — acquire half pairs with the producer's
+        // tail publish (slot contents visible before the read below),
+        // and this is the consumer's Dekker re-check after begin_park:
+        // Acquire alone loses wakeups (model: parked_consumer test).
+        if head == inner.tail.load(Ordering::SeqCst) {
             return None;
         }
         // SAFETY: `[head, tail)` slots hold initialized values the
         // producer published before its tail store.
         let value = unsafe { (*inner.slots[head & inner.mask].get()).assume_init_read() };
-        inner.head.store(head.wrapping_add(1), SeqCst);
+        // ordering: Release — hands the emptied slot back to the
+        // producer; pairs with try_push's Acquire `head` load so the
+        // slot read above completes before the producer overwrites it.
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
         value.into()
     }
 
-    /// Whether the ring holds nothing right now (racy, advisory).
+    /// Whether the ring holds nothing right now. Safe as the re-check
+    /// between [`Doorbell::arm`] (or [`begin_park`](Self::begin_park))
+    /// and a park: a push it cannot see is guaranteed to ring/wake.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         let inner = &*self.inner;
-        inner.head.load(SeqCst) == inner.tail.load(SeqCst)
+        // ordering: Relaxed — own cursor, coherence suffices…
+        // ordering: SeqCst on `tail` — the serving collector re-checks
+        // `done.is_empty()` *after* arming the doorbell; that makes
+        // this load the Dekker partner of the worker's tail publish +
+        // armed check (model: doorbell_arm_ring_no_lost_wake).
+        inner.head.load(Ordering::Relaxed) == inner.tail.load(Ordering::SeqCst)
     }
 
     /// Whether either endpoint closed the ring. Once this returns true,
@@ -320,7 +406,12 @@ impl<T> Consumer<T> {
     /// pre-close push has been drained.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.inner.closed.load(SeqCst)
+        // ordering: SeqCst — the consumer's Dekker re-check against
+        // close(): begin_park raises the flag, this load must then see
+        // a close whose wake_resident missed the flag (model:
+        // close_then_join_hands_every_item_back); also acquires the
+        // pre-close pushes for drain-after-close.
+        self.inner.closed.load(Ordering::SeqCst)
     }
 
     /// Raises the parked flag and binds the calling thread as the
@@ -332,15 +423,24 @@ impl<T> Consumer<T> {
     /// [`end_park`](Self::end_park). The re-check closes the race with
     /// a push that landed between the first failed pop and the flag.
     pub fn begin_park(&self) {
-        self.inner.resident.get_or_init(std::thread::current);
-        self.inner.parked.store(true, SeqCst);
+        self.inner
+            .resident
+            .get_or_init(nova_check::sync::thread::current);
+        // ordering: SeqCst — the consumer's Dekker raise: it must be
+        // ordered before the re-check loads (try_pop / is_closed), or
+        // the producer can publish-and-miss while we recheck-and-miss
+        // (the model checker finds the lost wakeup under Release).
+        self.inner.parked.store(true, Ordering::SeqCst);
     }
 
     /// Lowers the parked flag after a park (or an aborted one). A stale
     /// wakeup token this leaves behind at worst makes the next park
     /// return early — the re-check loop absorbs it.
     pub fn end_park(&self) {
-        self.inner.parked.store(false, SeqCst);
+        // ordering: Relaxed — lowering the flag is pure bookkeeping: a
+        // producer that still sees it raised sends one spurious unpark,
+        // which the next park absorbs.
+        self.inner.parked.store(false, Ordering::Relaxed);
     }
 
     /// Closes the ring from the consumer side (producer pushes start
@@ -395,8 +495,13 @@ impl Doorbell {
     ///
     /// Panics if the waiter mutex was poisoned (a ringer panicked).
     pub fn arm(&self) {
-        *self.waiter.lock().expect("doorbell waiter poisoned") = Some(std::thread::current());
-        self.armed.store(true, SeqCst);
+        *self.waiter.lock().expect("doorbell waiter poisoned") =
+            Some(nova_check::sync::thread::current());
+        // ordering: SeqCst — the collector's Dekker raise: ordered
+        // before its post-arm re-check (e.g. `done.is_empty()`), so a
+        // worker that published work either sees the armed flag or its
+        // publish is seen by the re-check (model: doorbell test).
+        self.armed.store(true, Ordering::SeqCst);
     }
 
     /// Disarms after waking (or deciding not to park). Stale unpark
@@ -406,7 +511,10 @@ impl Doorbell {
     ///
     /// Panics if the waiter mutex was poisoned (a ringer panicked).
     pub fn disarm(&self) {
-        self.armed.store(false, SeqCst);
+        // ordering: Relaxed — lowering the flag is bookkeeping: a
+        // worker that still sees it armed sends one spurious unpark,
+        // absorbed by the next arm → re-check → park round.
+        self.armed.store(false, Ordering::Relaxed);
         self.waiter.lock().expect("doorbell waiter poisoned").take();
     }
 
@@ -417,7 +525,11 @@ impl Doorbell {
     ///
     /// Panics if the waiter mutex was poisoned (an armer panicked).
     pub fn ring(&self) {
-        if self.armed.load(SeqCst) && self.armed.swap(false, SeqCst) {
+        // ordering: SeqCst ×2 — the worker's Dekker check after its
+        // tail publish: the fast-path load and the claiming swap must
+        // both be ordered after the publish or the collector parks on
+        // work it never saw (model: doorbell_arm_ring_no_lost_wake).
+        if self.armed.load(Ordering::SeqCst) && self.armed.swap(false, Ordering::SeqCst) {
             if let Some(thread) = self.waiter.lock().expect("doorbell waiter poisoned").take() {
                 thread.unpark();
             }
@@ -463,6 +575,94 @@ mod tests {
     }
 
     #[test]
+    fn capacity_zero_saturates_to_one_and_still_works() {
+        // Regression: capacity 0 must neither panic nor produce a
+        // zero-slot ring with an all-ones mask.
+        let (tx, rx) = ring::<u64>(0);
+        assert_eq!(tx.capacity(), 1);
+        for round in 0..5 {
+            tx.try_push(round).unwrap();
+            assert!(tx.is_full());
+            assert_eq!(rx.try_pop(), Some(round));
+            assert!(rx.is_empty());
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_CAPACITY")]
+    fn oversized_capacity_panics_up_front() {
+        // Past the largest power of two the rounding math would
+        // overflow (debug: panic deep inside next_power_of_two;
+        // release: wrap to 0 and build a broken mask). The guard turns
+        // both into one clear panic before any allocation.
+        let _ = ring::<u8>(MAX_CAPACITY + 1);
+    }
+
+    #[test]
+    fn capacity_one_full_empty_inversion() {
+        // Depth-1 ring: every push flips empty→full, every pop flips
+        // it back; the cursors are only ever 0 or 1 apart.
+        let (tx, rx) = ring::<u32>(1);
+        assert!(rx.is_empty());
+        assert!(!tx.is_full());
+        tx.try_push(1).unwrap();
+        assert!(!rx.is_empty());
+        assert!(tx.is_full());
+        assert!(matches!(tx.try_push(2), Err(PushError::Full(2))));
+        assert_eq!(rx.try_pop(), Some(1));
+        assert!(rx.is_empty());
+        assert!(!tx.is_full());
+        // And the wrap keeps working across many laps.
+        for lap in 0..100 {
+            tx.try_push(lap).unwrap();
+            assert_eq!(rx.try_pop(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn capacity_one_park_wake() {
+        // The park protocol at the degenerate depth: the consumer parks
+        // between every element, the producer retries through Full.
+        let (tx, rx) = ring::<u64>(1);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                if let Some(v) = rx.try_pop() {
+                    got.push(v);
+                    continue;
+                }
+                if rx.is_closed() {
+                    while let Some(v) = rx.try_pop() {
+                        got.push(v);
+                    }
+                    return got;
+                }
+                rx.begin_park();
+                if rx.try_pop().is_none() && !rx.is_closed() {
+                    std::thread::park();
+                }
+                rx.end_park();
+            }
+        });
+        for v in 0..64u64 {
+            let mut item = v;
+            loop {
+                match tx.try_push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => panic!("consumer hung up early"),
+                }
+            }
+        }
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn close_fails_pushes_but_drains_pops() {
         let (tx, rx) = ring::<u32>(4);
         tx.try_push(1).unwrap();
@@ -493,7 +693,7 @@ mod tests {
         struct Counted(Arc<AtomicUsize>);
         impl Drop for Counted {
             fn drop(&mut self) {
-                self.0.fetch_add(1, SeqCst);
+                self.0.fetch_add(1, Ordering::SeqCst);
             }
         }
         let (tx, rx) = ring::<Counted>(4);
@@ -503,7 +703,7 @@ mod tests {
         drop(rx.try_pop()); // one popped and dropped by us
         drop(tx);
         drop(rx); // two dropped by the ring's cleanup
-        assert_eq!(counter.load(SeqCst), 3);
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
     }
 
     #[test]
@@ -593,7 +793,7 @@ mod tests {
             let flag = Arc::clone(&flag);
             std::thread::spawn(move || loop {
                 bell.arm();
-                if flag.load(SeqCst) {
+                if flag.load(Ordering::SeqCst) {
                     bell.disarm();
                     return;
                 }
@@ -603,7 +803,7 @@ mod tests {
         };
         // Publish, then ring — the waiter either re-checked in time or
         // gets the unpark.
-        flag.store(true, SeqCst);
+        flag.store(true, Ordering::SeqCst);
         bell.ring();
         waiter.join().unwrap();
         // Ringing with nobody armed is a no-op.
